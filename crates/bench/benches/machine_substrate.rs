@@ -1,0 +1,59 @@
+//! Substrate benchmarks: raw simulated-machine throughput, the cost of
+//! tracing, and compiler speed — the denominators behind every
+//! experiment's wall-clock budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use databp_machine::{Machine, NoHooks};
+use databp_tinyc::{compile, Options};
+use databp_trace::Tracer;
+use databp_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_machine_throughput(c: &mut Criterion) {
+    let w = Workload::by_name("qcd").expect("qcd exists").scaled_down();
+    let compiled = compile(w.source, &Options::plain()).expect("compiles");
+    // Count instructions once.
+    let mut m = Machine::new();
+    m.load(&compiled.program);
+    m.set_args(w.args.clone());
+    m.run(&mut NoHooks, w.max_steps).expect("runs");
+    let instructions = m.cost().instructions;
+
+    let mut g = c.benchmark_group("machine/throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("qcd_plain_run", |b| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            m.load(&compiled.program);
+            m.set_args(w.args.clone());
+            black_box(m.run(&mut NoHooks, w.max_steps).unwrap())
+        });
+    });
+    g.bench_function("qcd_traced_run", |b| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            m.load(&compiled.program);
+            m.set_args(w.args.clone());
+            let mut t = Tracer::new(compiled.debug.frame_map(), compiled.debug.global_specs())
+                .with_untraced(compiled.debug.untraced_store_pcs.clone());
+            t.begin();
+            m.run(&mut t, w.max_steps).unwrap();
+            black_box(t.finish().len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tinyc/compile");
+    for w in Workload::all() {
+        g.bench_function(w.name, |b| {
+            b.iter(|| black_box(compile(w.source, &Options::codepatch()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine_throughput, bench_compiler);
+criterion_main!(benches);

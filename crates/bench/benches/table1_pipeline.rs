@@ -1,0 +1,48 @@
+//! Table 1 regeneration benchmark: phase 1 (instrumented run → trace) and
+//! session enumeration, per workload.
+//!
+//! Run with `cargo bench -p databp-bench --bench table1_pipeline`. The
+//! bench prints the regenerated Table 1 row for each workload once, then
+//! times the pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use databp_harness::analyze;
+use databp_sessions::enumerate_sessions;
+use databp_workloads::{prepare, Workload};
+use std::hint::black_box;
+
+fn bench_phase1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/phase1_trace");
+    g.sample_size(10);
+    for w in Workload::all() {
+        let w = w.scaled_down();
+        // Print the regenerated Table 1 row once.
+        let r = analyze(&w);
+        let kc = r.kind_counts();
+        println!(
+            "table1 row: {:6} sessions={:?} base_ms={:.1}",
+            w.name,
+            kc.values().collect::<Vec<_>>(),
+            r.base_ms()
+        );
+        g.bench_function(w.name, |b| {
+            b.iter(|| black_box(prepare(&w).expect("workload runs")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/session_enumeration");
+    for w in Workload::all() {
+        let w = w.scaled_down();
+        let p = prepare(&w).expect("workload runs");
+        g.bench_function(w.name, |b| {
+            b.iter(|| black_box(enumerate_sessions(&p.plain.debug, &p.trace)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phase1, bench_enumeration);
+criterion_main!(benches);

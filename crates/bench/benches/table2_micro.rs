@@ -1,0 +1,126 @@
+//! Table 2 regeneration benchmark — Appendix A.5 for real.
+//!
+//! Measures `SoftwareLookup` and `SoftwareUpdate` on the paper's
+//! WorkingMonitorSet (100 non-overlapping monitors in 2 MiB) against the
+//! page-bitmap structure, and runs the lookup-structure **ablation**: the
+//! same operations on the naive interval list, at several set sizes —
+//! quantifying why the paper chose a hash-table-of-bitmaps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use databp_core::{IntervalSet, Monitor, MonitorId, PageMap};
+use databp_harness::microbench::{software_microbenchmarks, working_monitor_set};
+use std::hint::black_box;
+
+fn probe_addrs(n: usize) -> Vec<u32> {
+    // Deterministic pseudo-random probes over the 2 MiB region.
+    let mut s = 0x1992_u64;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0x0040_0000 + ((s >> 33) as u32) % (2 * 1024 * 1024 - 4)
+        })
+        .collect()
+}
+
+fn monitors(n: usize) -> Vec<Monitor> {
+    (0..n as u32)
+        .map(|i| {
+            let ba = 0x0040_0000 + i * (2 * 1024 * 1024 / n as u32 / 4 * 4);
+            Monitor::new(ba, ba + 16).expect("non-empty")
+        })
+        .collect()
+}
+
+fn bench_software_lookup(c: &mut Criterion) {
+    // Print the regenerated Table 2 software rows once.
+    let b = software_microbenchmarks();
+    println!(
+        "table2 rows: SoftwareLookup host={:.4}µs (paper 2.75µs), SoftwareUpdate host={:.4}µs (paper 22µs)",
+        b.lookup_us, b.update_us
+    );
+
+    let set = working_monitor_set();
+    let mut pm = PageMap::new();
+    let mut is = IntervalSet::new();
+    for (i, m) in set.iter().enumerate() {
+        pm.install(MonitorId::from_raw(i as u64), *m);
+        is.install(MonitorId::from_raw(i as u64), *m);
+    }
+    let probes = probe_addrs(1024);
+
+    let mut g = c.benchmark_group("table2/software_lookup");
+    g.bench_function("pagemap_100_monitors", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = probes[i & 1023];
+            i += 1;
+            black_box(pm.lookup(a, a + 4))
+        });
+    });
+    g.bench_function("intervalset_100_monitors", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = probes[i & 1023];
+            i += 1;
+            black_box(is.hit_exact(a, a + 4))
+        });
+    });
+    g.finish();
+}
+
+fn bench_software_update(c: &mut Criterion) {
+    let set = working_monitor_set();
+    let mut g = c.benchmark_group("table2/software_update");
+    g.bench_function("pagemap_install_remove_100", |b| {
+        b.iter(|| {
+            let mut pm = PageMap::new();
+            for (i, m) in set.iter().enumerate() {
+                pm.install(MonitorId::from_raw(i as u64), *m);
+            }
+            for (i, m) in set.iter().enumerate() {
+                pm.remove(MonitorId::from_raw(i as u64), *m);
+            }
+            black_box(pm.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_lookup_scaling_ablation(c: &mut Criterion) {
+    let probes = probe_addrs(1024);
+    let mut g = c.benchmark_group("ablation/lookup_structure_scaling");
+    for n in [10usize, 100, 1000] {
+        let ms = monitors(n);
+        let mut pm = PageMap::new();
+        let mut is = IntervalSet::new();
+        for (i, m) in ms.iter().enumerate() {
+            pm.install(MonitorId::from_raw(i as u64), *m);
+            is.install(MonitorId::from_raw(i as u64), *m);
+        }
+        g.bench_with_input(BenchmarkId::new("pagemap", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let a = probes[i & 1023];
+                i += 1;
+                black_box(pm.lookup(a, a + 4))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("intervalset", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let a = probes[i & 1023];
+                i += 1;
+                black_box(is.hit_exact(a, a + 4))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_software_lookup,
+    bench_software_update,
+    bench_lookup_scaling_ablation
+);
+criterion_main!(benches);

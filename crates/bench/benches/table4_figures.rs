@@ -1,0 +1,73 @@
+//! Table 4 and Figures 7–9 regeneration benchmark: analytical-model
+//! evaluation and summary statistics over every session population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use databp_harness::figures::{figure_series, Figure};
+use databp_harness::{analyze, overheads_for, WorkloadResults};
+use databp_models::{overhead, Approach, TimingVars};
+use databp_stats::Summary;
+use databp_workloads::Workload;
+use std::hint::black_box;
+
+fn results() -> Vec<WorkloadResults> {
+    Workload::all().into_iter().map(|w| analyze(&w.scaled_down())).collect()
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let res = results();
+    // Print the regenerated Table 4 t-mean row per workload once.
+    for r in &res {
+        let tmeans: Vec<String> = Approach::ALL
+            .iter()
+            .map(|&a| format!("{}={:.2}", a.abbrev(), Summary::from_samples(&overheads_for(r, a)).t_mean))
+            .collect();
+        println!("table4 t-means: {:6} {}", r.prepared.workload.name, tmeans.join(" "));
+    }
+    let timing = TimingVars::default();
+    let mut g = c.benchmark_group("table4");
+    g.bench_function("model_evaluation_all_sessions", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in &res {
+                for cts in &r.counts4 {
+                    for a in Approach::ALL {
+                        acc += overhead(a, cts, &timing).total_us();
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("summaries_all_cells", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for r in &res {
+                for a in Approach::ALL {
+                    out.push(Summary::from_samples(&overheads_for(r, a)));
+                }
+            }
+            black_box(out)
+        });
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let res = results();
+    // Print the regenerated figure series once.
+    for fig in [Figure::Max, Figure::P90, Figure::TMean] {
+        for (name, vals) in figure_series(&res, fig) {
+            println!("{:?} series: {:6} {:?}", fig, name, vals);
+        }
+    }
+    let mut g = c.benchmark_group("figures");
+    for (fig, slug) in [(Figure::Max, "fig7"), (Figure::P90, "fig8"), (Figure::TMean, "fig9")] {
+        g.bench_function(slug, |b| {
+            b.iter(|| black_box(figure_series(&res, fig)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4, bench_figures);
+criterion_main!(benches);

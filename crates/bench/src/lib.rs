@@ -1,0 +1,3 @@
+//! Criterion benchmark crate — see `benches/`. One bench target per
+//! paper table/figure plus the DESIGN.md ablations; `cargo bench`
+//! regenerates and times every artifact.

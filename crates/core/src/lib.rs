@@ -1,0 +1,53 @@
+//! The write monitor service (WMS) — the primary contribution of
+//! *Efficient Data Breakpoints* (Wahbe, ASPLOS 1992).
+//!
+//! A WMS notifies clients of every write to a *monitored* region of
+//! memory; data breakpoints are built on top of it. This crate provides:
+//!
+//! * the WMS interface of the paper's Section 2 — install/remove
+//!   monitors, receive [`Notification`]s — as the [`Wms`] facade;
+//! * the address→monitor mapping of Appendix A.5 — a per-page,
+//!   word-granular bitmap in a hash table ([`PageMap`]) — plus a naive
+//!   [`IntervalSet`] used as an oracle and ablation baseline;
+//! * **executable implementations of all four strategies** the paper
+//!   studies, each driving a program on the simulated machine and
+//!   charging the Table 2 primitive costs as it goes:
+//!   [`NativeHardware`], [`VirtualMemory`], [`TrapPatch`], [`CodePatch`];
+//! * [`MonitorPlan`] — the client's description of *what* to monitor
+//!   (monitor sessions implement this), and [`SessionTracker`] — the
+//!   bookkeeping that turns function boundaries and heap events into
+//!   install/remove operations.
+//!
+//! # Examples
+//!
+//! Monitoring a global with the software WMS directly:
+//!
+//! ```
+//! use databp_core::Wms;
+//!
+//! let mut wms = Wms::new();
+//! let id = wms.install(0x10_0000, 0x10_0004).unwrap();
+//! assert!(wms.check_write(0x10_0000, 0x10_0004, 0x1_0000)); // hit
+//! assert!(!wms.check_write(0x10_0010, 0x10_0014, 0x1_0004)); // miss
+//! assert_eq!(wms.notifications().len(), 1);
+//! wms.remove(id).unwrap();
+//! ```
+
+mod intervals;
+mod monitor;
+mod pagemap;
+mod plan;
+mod service;
+mod strategy;
+mod tracker;
+
+pub use intervals::IntervalSet;
+pub use monitor::{Monitor, MonitorId, Notification, WmsError};
+pub use pagemap::PageMap;
+pub use plan::{MonitorEverything, MonitorPlan, NoMonitors, RangePlan};
+pub use service::{Wms, WmsCounters};
+pub use strategy::{
+    CodePatch, DynamicCodePatch, NativeHardware, StrategyReport, TrapPatch, VirtualMemory,
+    VmContinuation, MAX_CAPTURED_NOTIFICATIONS, PATCH_SITE_US,
+};
+pub use tracker::SessionTracker;

@@ -1,0 +1,164 @@
+//! Monitor descriptors, notifications, and errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifies an installed write monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MonitorId(pub(crate) u64);
+
+impl MonitorId {
+    /// Creates an id from a raw number — for driving
+    /// [`PageMap`](crate::PageMap) / [`IntervalSet`](crate::IntervalSet)
+    /// directly (benchmarks, oracles). Ids used with
+    /// [`Wms`](crate::Wms) are allocated by the service itself.
+    pub fn from_raw(raw: u64) -> Self {
+        MonitorId(raw)
+    }
+
+    /// The raw number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A write monitor: a contiguous region of memory `[ba, ea)` whose writes
+/// must be reported (the paper's Section 2 descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Monitor {
+    /// Beginning address.
+    pub ba: u32,
+    /// Ending address (exclusive).
+    pub ea: u32,
+}
+
+impl Monitor {
+    /// Creates a monitor over `[ba, ea)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WmsError::EmptyRange`] when `ba >= ea`.
+    pub fn new(ba: u32, ea: u32) -> Result<Monitor, WmsError> {
+        if ba >= ea {
+            return Err(WmsError::EmptyRange { ba, ea });
+        }
+        Ok(Monitor { ba, ea })
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.ea - self.ba
+    }
+
+    /// Monitors are never empty (enforced at construction); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if the write `[ba, ea)` overlaps this monitor.
+    pub fn overlaps(&self, ba: u32, ea: u32) -> bool {
+        ba < self.ea && self.ba < ea
+    }
+}
+
+impl fmt::Display for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x})", self.ba, self.ea)
+    }
+}
+
+/// A monitor notification — the paper's `MonitorNotification(BA, EA, PC)`
+/// upcall, delivered once per monitor hit, after the write has succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// Beginning address of the write.
+    pub ba: u32,
+    /// Ending address of the write (exclusive).
+    pub ea: u32,
+    /// Program counter of the writing instruction.
+    pub pc: u32,
+}
+
+impl fmt::Display for Notification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "write [{:#010x}, {:#010x}) at pc {:#010x}", self.ba, self.ea, self.pc)
+    }
+}
+
+/// WMS errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WmsError {
+    /// A monitor range with `ba >= ea`.
+    EmptyRange {
+        /// Beginning address.
+        ba: u32,
+        /// Ending address.
+        ea: u32,
+    },
+    /// Removing a monitor id that is not installed.
+    UnknownMonitor(MonitorId),
+    /// Removing by range when no installed monitor has that exact range.
+    NoSuchRange {
+        /// Beginning address.
+        ba: u32,
+        /// Ending address.
+        ea: u32,
+    },
+}
+
+impl fmt::Display for WmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WmsError::EmptyRange { ba, ea } => {
+                write!(f, "empty monitor range [{ba:#x}, {ea:#x})")
+            }
+            WmsError::UnknownMonitor(id) => write!(f, "unknown monitor {id}"),
+            WmsError::NoSuchRange { ba, ea } => {
+                write!(f, "no installed monitor with range [{ba:#x}, {ea:#x})")
+            }
+        }
+    }
+}
+
+impl Error for WmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_construction_validates() {
+        assert!(Monitor::new(0, 4).is_ok());
+        assert_eq!(Monitor::new(4, 4), Err(WmsError::EmptyRange { ba: 4, ea: 4 }));
+        assert_eq!(Monitor::new(8, 4), Err(WmsError::EmptyRange { ba: 8, ea: 4 }));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let m = Monitor::new(100, 108).unwrap();
+        assert!(m.overlaps(100, 104));
+        assert!(m.overlaps(107, 108));
+        assert!(m.overlaps(96, 101));
+        assert!(m.overlaps(96, 200));
+        assert!(!m.overlaps(108, 112));
+        assert!(!m.overlaps(96, 100));
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Monitor::new(0, 4).unwrap().to_string().contains("0x00000000"));
+        assert!(MonitorId(3).to_string().contains('3'));
+        let n = Notification { ba: 0, ea: 4, pc: 8 };
+        assert!(n.to_string().contains("pc"));
+        assert!(WmsError::UnknownMonitor(MonitorId(1)).to_string().contains("m1"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The Appendix A.5 address→monitor mapping.
+//!
+//! "For each page that has an active write monitor we maintain a bitmap;
+//! each bit corresponds to a word of memory. Using the page number as a
+//! key, the bitmaps are stored in a hash table."
+//!
+//! The bitmap answers the *timed* question — does this address range
+//! intersect any active monitor? — at word granularity (the paper's
+//! footnote: monitors are word-aligned at this level; higher layers
+//! compensate). Alongside each bitmap we keep the per-page monitor list,
+//! which resolves byte-exact hits for notification counting.
+
+use crate::monitor::{Monitor, MonitorId};
+use std::collections::HashMap;
+
+/// Bitmap page size in bytes. Fixed at 4 KiB — this is the granularity of
+/// the *data structure*, independent of the VirtualMemory strategy's MMU
+/// page size.
+const PAGE: u32 = 4096;
+const WORDS_PER_PAGE: usize = (PAGE / 4) as usize;
+const U64S_PER_PAGE: usize = WORDS_PER_PAGE / 64;
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    bits: [u64; U64S_PER_PAGE],
+    entries: Vec<(MonitorId, Monitor)>,
+}
+
+impl Bucket {
+    fn set_range(&mut self, first_word: usize, last_word: usize) {
+        for w in first_word..=last_word {
+            self.bits[w / 64] |= 1 << (w % 64);
+        }
+    }
+
+    fn rebuild(&mut self, page: u32) {
+        self.bits = [0; U64S_PER_PAGE];
+        let page_base = page * PAGE;
+        for i in 0..self.entries.len() {
+            let (_, m) = self.entries[i];
+            let lo = m.ba.max(page_base);
+            let hi = m.ea.min(page_base + PAGE);
+            let first = ((lo - page_base) / 4) as usize;
+            let last = ((hi - 1 - page_base) / 4) as usize;
+            self.set_range(first, last);
+        }
+    }
+
+    fn any_bit(&self, first_word: usize, last_word: usize) -> bool {
+        (first_word..=last_word).any(|w| self.bits[w / 64] & (1 << (w % 64)) != 0)
+    }
+}
+
+/// The page-bitmap monitor index.
+///
+/// `lookup` is the operation the paper times as `SoftwareLookupτ`;
+/// `install`/`remove` together are `SoftwareUpdateτ`.
+#[derive(Debug, Clone, Default)]
+pub struct PageMap {
+    buckets: HashMap<u32, Bucket>,
+    live: usize,
+}
+
+impl PageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Number of installed monitors.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no monitor is installed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn pages(m: &Monitor) -> std::ops::RangeInclusive<u32> {
+        (m.ba / PAGE)..=((m.ea - 1) / PAGE)
+    }
+
+    /// Installs monitor `m` under identity `id`.
+    pub fn install(&mut self, id: MonitorId, m: Monitor) {
+        for page in Self::pages(&m) {
+            let bucket = self.buckets.entry(page).or_default();
+            bucket.entries.push((id, m));
+            let page_base = page * PAGE;
+            let lo = m.ba.max(page_base);
+            let hi = m.ea.min(page_base + PAGE);
+            let first = ((lo - page_base) / 4) as usize;
+            let last = ((hi - 1 - page_base) / 4) as usize;
+            bucket.set_range(first, last);
+        }
+        self.live += 1;
+    }
+
+    /// Removes the monitor installed under `id`. Returns whether it was
+    /// present. Bitmaps of affected pages are rebuilt so that overlapping
+    /// surviving monitors keep their bits.
+    pub fn remove(&mut self, id: MonitorId, m: Monitor) -> bool {
+        let mut found = false;
+        for page in Self::pages(&m) {
+            if let Some(bucket) = self.buckets.get_mut(&page) {
+                let before = bucket.entries.len();
+                bucket.entries.retain(|(eid, _)| *eid != id);
+                if bucket.entries.len() != before {
+                    found = true;
+                    if bucket.entries.is_empty() {
+                        self.buckets.remove(&page);
+                    } else {
+                        bucket.rebuild(page);
+                    }
+                }
+            }
+        }
+        if found {
+            self.live -= 1;
+        }
+        found
+    }
+
+    /// Word-granular intersection test — the paper's timed
+    /// `SoftwareLookup` operation. May report true for writes that touch
+    /// a monitored *word* without touching monitored *bytes*.
+    pub fn lookup(&self, ba: u32, ea: u32) -> bool {
+        if self.live == 0 || ba >= ea {
+            return false;
+        }
+        for page in (ba / PAGE)..=((ea - 1) / PAGE) {
+            if let Some(bucket) = self.buckets.get(&page) {
+                let page_base = page * PAGE;
+                let lo = ba.max(page_base);
+                let hi = ea.min(page_base + PAGE);
+                let first = ((lo - page_base) / 4) as usize;
+                let last = ((hi - 1 - page_base) / 4) as usize;
+                if bucket.any_bit(first, last) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Byte-exact hit test: true when the write `[ba, ea)` overlaps an
+    /// installed monitor's actual byte range.
+    pub fn hit_exact(&self, ba: u32, ea: u32) -> bool {
+        self.first_hit(ba, ea).is_some()
+    }
+
+    /// Byte-exact resolution: the id of some monitor overlapping the
+    /// write, if any.
+    pub fn first_hit(&self, ba: u32, ea: u32) -> Option<MonitorId> {
+        if self.live == 0 || ba >= ea {
+            return None;
+        }
+        for page in (ba / PAGE)..=((ea - 1) / PAGE) {
+            if let Some(bucket) = self.buckets.get(&page) {
+                for &(id, m) in &bucket.entries {
+                    if m.overlaps(ba, ea) {
+                        return Some(id);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Collects every monitor id overlapping the write (deduplicated).
+    pub fn hits(&self, ba: u32, ea: u32, out: &mut Vec<MonitorId>) {
+        out.clear();
+        if self.live == 0 || ba >= ea {
+            return;
+        }
+        for page in (ba / PAGE)..=((ea - 1) / PAGE) {
+            if let Some(bucket) = self.buckets.get(&page) {
+                for &(id, m) in &bucket.entries {
+                    if m.overlaps(ba, ea) && !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ba: u32, ea: u32) -> Monitor {
+        Monitor::new(ba, ea).unwrap()
+    }
+
+    #[test]
+    fn install_lookup_remove() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(1), m(0x1000, 0x1010));
+        assert!(pm.lookup(0x1000, 0x1004));
+        assert!(pm.lookup(0x100c, 0x1010));
+        assert!(!pm.lookup(0x1010, 0x1014));
+        assert!(!pm.lookup(0x0ff0, 0x0ff4));
+        assert!(pm.remove(MonitorId(1), m(0x1000, 0x1010)));
+        assert!(pm.is_empty());
+        assert!(!pm.lookup(0x1000, 0x1004));
+    }
+
+    #[test]
+    fn word_granularity_false_positive_documented() {
+        let mut pm = PageMap::new();
+        // Monitor a single byte in the middle of a word.
+        pm.install(MonitorId(1), m(0x1001, 0x1002));
+        // A write to the first byte of the same word: word-granular
+        // lookup says true; byte-exact says false.
+        assert!(pm.lookup(0x1000, 0x1001));
+        assert!(!pm.hit_exact(0x1000, 0x1001));
+        assert!(pm.hit_exact(0x1001, 0x1002));
+    }
+
+    #[test]
+    fn monitor_spanning_pages() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(9), m(0x0ffc, 0x2004)); // spans 3 pages
+        assert!(pm.lookup(0x0ffc, 0x1000));
+        assert!(pm.lookup(0x1800, 0x1804));
+        assert!(pm.lookup(0x2000, 0x2004));
+        assert!(!pm.lookup(0x2004, 0x2008));
+        assert!(pm.remove(MonitorId(9), m(0x0ffc, 0x2004)));
+        assert!(!pm.lookup(0x1800, 0x1804));
+    }
+
+    #[test]
+    fn overlapping_monitors_survive_removal() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(1), m(0x1000, 0x1020));
+        pm.install(MonitorId(2), m(0x1010, 0x1030));
+        assert!(pm.remove(MonitorId(1), m(0x1000, 0x1020)));
+        // The overlap region must still be monitored by id 2.
+        assert!(pm.lookup(0x1010, 0x1014));
+        assert!(pm.hit_exact(0x1018, 0x101c));
+        assert!(!pm.lookup(0x1000, 0x1004));
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn removing_unknown_id_is_false() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(1), m(0, 4));
+        assert!(!pm.remove(MonitorId(2), m(0, 4)));
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn hits_resolution_dedupes_across_pages() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(5), m(0x0ff0, 0x1010)); // two pages
+        let mut out = Vec::new();
+        pm.hits(0x0ff0, 0x1010, &mut out);
+        assert_eq!(out, vec![MonitorId(5)]);
+    }
+
+    #[test]
+    fn multiple_hits_reported() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(1), m(0x100, 0x108));
+        pm.install(MonitorId(2), m(0x104, 0x10c));
+        let mut out = Vec::new();
+        pm.hits(0x104, 0x108, &mut out);
+        out.sort();
+        assert_eq!(out, vec![MonitorId(1), MonitorId(2)]);
+        assert!(pm.first_hit(0x104, 0x108).is_some());
+    }
+
+    #[test]
+    fn empty_range_never_hits() {
+        let mut pm = PageMap::new();
+        pm.install(MonitorId(1), m(0x100, 0x200));
+        assert!(!pm.lookup(0x150, 0x150));
+        assert!(!pm.hit_exact(0x150, 0x150));
+    }
+}

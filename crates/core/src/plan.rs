@@ -1,0 +1,116 @@
+//! Monitor plans: *what* a client wants monitored.
+//!
+//! A monitor session (the paper's Section 5) is program-independent in
+//! spirit: "monitor this local", "monitor all heap objects allocated by
+//! f". [`MonitorPlan`] is the WMS-side abstraction of such a session —
+//! the strategies consult it at every object-lifetime event to decide
+//! whether to install a monitor. The `databp-sessions` crate implements
+//! it for the paper's five session types.
+
+/// Decides which program objects a run should monitor.
+pub trait MonitorPlan {
+    /// Should global `id` be monitored (installed at program start)?
+    fn monitor_global(&self, _id: u32) -> bool {
+        false
+    }
+
+    /// Should local variable `var` of function `func` be monitored
+    /// (installed at every instantiation)?
+    fn monitor_local(&self, _func: u16, _var: u16) -> bool {
+        false
+    }
+
+    /// Should the heap object with allocation number `seq` be monitored?
+    /// `stack` is the dynamic call stack (function ids, outermost first)
+    /// at allocation time — the context `AllHeapInFunc` needs.
+    fn monitor_heap(&self, _seq: u32, _stack: &[u16]) -> bool {
+        false
+    }
+}
+
+/// Monitors nothing — the baseline plan (useful for measuring pure
+/// instrumentation overhead, e.g. CodePatch with zero active monitors).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMonitors;
+
+impl MonitorPlan for NoMonitors {}
+
+/// Monitors every global, local, and heap object (stress testing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorEverything;
+
+impl MonitorPlan for MonitorEverything {
+    fn monitor_global(&self, _id: u32) -> bool {
+        true
+    }
+
+    fn monitor_local(&self, _func: u16, _var: u16) -> bool {
+        true
+    }
+
+    fn monitor_heap(&self, _seq: u32, _stack: &[u16]) -> bool {
+        true
+    }
+}
+
+/// A hand-built plan over explicit object lists — convenient in examples
+/// and tests ("watch global 3 and local (2, 0)").
+#[derive(Debug, Clone, Default)]
+pub struct RangePlan {
+    /// Global ids to monitor.
+    pub globals: Vec<u32>,
+    /// `(func, var)` locals to monitor.
+    pub locals: Vec<(u16, u16)>,
+    /// Heap allocation numbers to monitor.
+    pub heap_seqs: Vec<u32>,
+}
+
+impl MonitorPlan for RangePlan {
+    fn monitor_global(&self, id: u32) -> bool {
+        self.globals.contains(&id)
+    }
+
+    fn monitor_local(&self, func: u16, var: u16) -> bool {
+        self.locals.contains(&(func, var))
+    }
+
+    fn monitor_heap(&self, seq: u32, _stack: &[u16]) -> bool {
+        self.heap_seqs.contains(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_monitors_declines_everything() {
+        let p = NoMonitors;
+        assert!(!p.monitor_global(0));
+        assert!(!p.monitor_local(0, 0));
+        assert!(!p.monitor_heap(0, &[]));
+    }
+
+    #[test]
+    fn monitor_everything_accepts_everything() {
+        let p = MonitorEverything;
+        assert!(p.monitor_global(7));
+        assert!(p.monitor_local(1, 2));
+        assert!(p.monitor_heap(3, &[0, 1]));
+    }
+
+    #[test]
+    fn range_plan_selects_listed_objects() {
+        let p = RangePlan {
+            globals: vec![2],
+            locals: vec![(1, 0)],
+            heap_seqs: vec![5],
+        };
+        assert!(p.monitor_global(2));
+        assert!(!p.monitor_global(3));
+        assert!(p.monitor_local(1, 0));
+        assert!(!p.monitor_local(1, 1));
+        assert!(p.monitor_heap(5, &[9]));
+        assert!(!p.monitor_heap(6, &[9]));
+    }
+}

@@ -1,0 +1,265 @@
+//! CodePatch: every write instruction preceded by an inline check
+//! (Section 3.3, Figure 6) — the strategy the paper recommends.
+
+use super::{drive, Mechanism};
+use crate::monitor::Notification;
+use crate::plan::MonitorPlan;
+use crate::service::Wms;
+use crate::strategy::report::StrategyReport;
+use databp_machine::{Instr, Machine, MachineError, StopConfig, StopReason};
+use databp_models::{Approach, TimingVar, TimingVars};
+use databp_tinyc::DebugInfo;
+use std::collections::HashMap;
+
+/// The CodePatch strategy.
+///
+/// The program must be compiled with
+/// [`databp_tinyc::Options::codepatch`]: each traced store is preceded by
+/// a `chk` of the same effective address ("the check is done in a
+/// subroutine with the target address passed via an available register").
+/// Every check costs one `SoftwareLookupτ`; no kernel transition ever
+/// happens, which is the entire performance argument.
+///
+/// With [`CodePatch::loopopt`] (and a program compiled with
+/// [`databp_tinyc::Options::codepatch_loopopt`]) the Section 9
+/// optimization is active: a loop's *preliminary check* runs once in the
+/// preheader; while it misses, body checks on the same loop-invariant
+/// target skip their lookups ([`StrategyReport::skipped_lookups`]).
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct CodePatch {
+    /// Enable the Section 9 loop-invariant preliminary checks.
+    pub loopopt: bool,
+    /// Primitive costs.
+    pub timing: TimingVars,
+}
+
+
+impl CodePatch {
+    /// CodePatch with the loop optimization enabled.
+    pub fn with_loopopt() -> Self {
+        CodePatch { loopopt: true, timing: TimingVars::default() }
+    }
+
+    /// Runs a freshly loaded, CodePatch-compiled machine under this
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] from the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loaded image contains no `chk` instructions while
+    /// the program has traced stores — i.e. it was not compiled with
+    /// CodePatch instrumentation.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        debug: &DebugInfo,
+        plan: &dyn MonitorPlan,
+        max_steps: u64,
+    ) -> Result<StrategyReport, MachineError> {
+        let mut mech = CpMech {
+            opts: *self,
+            wms: Wms::new(),
+            preheader: HashMap::new(),
+            body: HashMap::new(),
+            armed: Vec::new(),
+        };
+        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Cp))
+    }
+}
+
+struct CpMech {
+    opts: CodePatch,
+    wms: Wms,
+    /// Preheader check pc -> loop-group index.
+    preheader: HashMap<u32, usize>,
+    /// Body check pc -> loop-group index.
+    body: HashMap<u32, usize>,
+    /// Whether each loop group's preliminary check hit.
+    armed: Vec<bool>,
+}
+
+impl Mechanism for CpMech {
+    fn stop_config(&self) -> StopConfig {
+        StopConfig { chk: true, ..StopConfig::default() }
+    }
+
+    fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError> {
+        if debug.traced_store_count > 0 {
+            let has_chk =
+                (0..m.code_len()).any(|i| matches!(m.instr_at(i), Ok(Instr::Chk(..))));
+            assert!(
+                has_chk,
+                "CodePatch strategy requires a program compiled with Options::codepatch"
+            );
+        }
+        if self.opts.loopopt {
+            for (idx, l) in debug.loopopts.iter().enumerate() {
+                self.preheader.insert(l.preheader_pc, idx);
+                for &pc in &l.body_pcs {
+                    self.body.insert(pc, idx);
+                }
+            }
+            self.armed = vec![false; debug.loopopts.len()];
+        }
+        Ok(())
+    }
+
+    fn install(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+    }
+
+    fn remove(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+    }
+
+    fn handle(
+        &mut self,
+        _m: &mut Machine,
+        _debug: &DebugInfo,
+        stop: StopReason,
+        rep: &mut StrategyReport,
+    ) -> Result<(), MachineError> {
+        let StopReason::Chk(ev) = stop else {
+            unreachable!("CodePatch received unexpected stop {stop:?}")
+        };
+        let t = &self.opts.timing;
+        let (ba, ea) = (ev.addr, ev.addr + ev.len);
+        if self.opts.loopopt {
+            if let Some(&idx) = self.preheader.get(&ev.pc) {
+                // Preliminary check: pure lookup, arms or disarms the
+                // loop's body checks. Not a write — no hit/miss counted.
+                rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+                rep.preheader_lookups += 1;
+                self.armed[idx] = self.wms.would_hit(ba, ea);
+                return Ok(());
+            }
+            if let Some(&idx) = self.body.get(&ev.pc) {
+                if !self.armed[idx] {
+                    // The write still happens and is still a (model)
+                    // miss; the lookup cost is elided — that is the
+                    // optimization.
+                    debug_assert!(
+                        !self.wms.would_hit(ba, ea),
+                        "disarmed loop check would have hit: unsound arming"
+                    );
+                    rep.counts.miss += 1;
+                    rep.skipped_lookups += 1;
+                    return Ok(());
+                }
+            }
+        }
+        rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+        if self.wms.would_hit(ba, ea) {
+            rep.counts.hit += 1;
+            rep.notify(Notification { ba, ea, pc: ev.pc });
+        } else {
+            rep.counts.miss += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{NoMonitors, RangePlan};
+    use databp_tinyc::{compile, Options};
+
+    const SRC: &str = r#"
+        int g;
+        int h;
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) g = g + 1;
+            h = 3;
+            return g + h;
+        }
+    "#;
+
+    fn load(src: &str, opts: &Options) -> (Machine, DebugInfo) {
+        let c = compile(src, opts).unwrap();
+        let mut m = Machine::new();
+        m.load(&c.program);
+        (m, c.debug)
+    }
+
+    #[test]
+    fn counts_match_trap_patch_semantics() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let rep = CodePatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        assert_eq!(rep.counts.hit, 10);
+        assert_eq!(rep.counts.miss, 12);
+        assert_eq!(m.exit_code(), 13);
+        let model = databp_models::overhead(Approach::Cp, &rep.counts, &TimingVars::default());
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled with Options::codepatch")]
+    fn rejects_uninstrumented_program() {
+        let (mut m, debug) = load(SRC, &Options::plain());
+        let _ = CodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000);
+    }
+
+    #[test]
+    fn loopopt_elides_lookups_for_unmonitored_invariant_targets() {
+        let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
+        // Monitor nothing: every loop body check on g and i is disarmed.
+        let rep =
+            CodePatch::with_loopopt().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        assert!(rep.skipped_lookups > 0, "invariant-target checks were skipped");
+        assert!(rep.preheader_lookups > 0);
+        assert_eq!(rep.counts.hit, 0);
+        // Misses still counted (they are real writes).
+        assert_eq!(rep.counts.miss, 22);
+        // Charged lookups < total writes.
+        let charged = rep.counts.writes() - rep.skipped_lookups + rep.preheader_lookups;
+        let expected = charged as f64 * TimingVars::default().software_lookup_us;
+        assert!((rep.overhead.total_us() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopopt_still_notifies_when_monitored() {
+        let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let rep = CodePatch::with_loopopt().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        // All ten writes to g must still notify: the preheader armed the
+        // loop for g.
+        assert_eq!(rep.counts.hit, 10);
+        assert_eq!(rep.notification_count, 10);
+        // Checks on i (unmonitored, invariant) were skipped.
+        assert!(rep.skipped_lookups > 0);
+    }
+
+    #[test]
+    fn loopopt_matches_model_adjustment() {
+        let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let rep = CodePatch::with_loopopt().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let model = databp_models::cp_loopopt_overhead(
+            &rep.counts,
+            rep.skipped_lookups,
+            rep.preheader_lookups,
+            &TimingVars::default(),
+        );
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_monitor_cp_still_pays_per_write() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let rep = CodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        assert_eq!(rep.counts.miss, 22);
+        assert_eq!(
+            rep.overhead.total_us(),
+            22.0 * TimingVars::default().software_lookup_us
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! DynamicCodePatch: the Section 3.3 hybrid — nop padding patched into
+//! checks at run time.
+//!
+//! "This may be done before execution begins, in a way that supports all
+//! possible write monitors, or at runtime as write monitors are installed
+//! and removed. A hybrid approach might be used, such as leaving space
+//! between functions or strategically placing 'nop' instructions, to make
+//! dynamic modification simpler."
+//!
+//! The program is compiled with
+//! [`databp_tinyc::Options::nop_padding`]: a `nop` precedes every traced
+//! store. While **no** monitor is installed, the pads stay `nop`s and the
+//! program runs essentially free of monitoring overhead — the payoff over
+//! static CodePatch, which pays a `SoftwareLookupτ` on every write
+//! forever. When the first monitor is installed, every pad is overwritten
+//! with the `chk` matching its store; from then on the strategy behaves
+//! exactly like CodePatch. By default patching is *sticky* (pads are not
+//! restored when the monitor count drops to zero), which avoids
+//! pathological repatch storms for monitors that churn on every function
+//! call; construct with [`DynamicCodePatch::unsticky`] to study the
+//! restore-on-zero policy.
+
+use super::{drive, Mechanism};
+use crate::monitor::Notification;
+use crate::plan::MonitorPlan;
+use crate::service::Wms;
+use crate::strategy::report::StrategyReport;
+use databp_machine::{Instr, Machine, MachineError, StopConfig, StopReason};
+use databp_models::{Approach, TimingVar, TimingVars};
+use databp_tinyc::DebugInfo;
+
+/// Host time to rewrite one instruction word at run time, microseconds.
+/// Comparable to Kessler's fast-breakpoint patching on the era's
+/// machines; charged (as `SoftwareUpdate`) once per pad per patch event.
+pub const PATCH_SITE_US: f64 = 3.0;
+
+/// The dynamic-patching hybrid of Section 3.3.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicCodePatch {
+    /// When false, pads are restored to `nop` whenever the active monitor
+    /// count returns to zero (and re-patched on the next install).
+    pub sticky: bool,
+    /// Primitive costs.
+    pub timing: TimingVars,
+}
+
+impl Default for DynamicCodePatch {
+    fn default() -> Self {
+        DynamicCodePatch { sticky: true, timing: TimingVars::default() }
+    }
+}
+
+impl DynamicCodePatch {
+    /// The restore-on-zero policy (repatches on every 0→1 transition).
+    pub fn unsticky() -> Self {
+        DynamicCodePatch { sticky: false, ..DynamicCodePatch::default() }
+    }
+
+    /// Runs a freshly loaded, nop-padded machine under this strategy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] from the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was not compiled with
+    /// [`databp_tinyc::Options::nop_padding`] (no pads to patch).
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        debug: &DebugInfo,
+        plan: &dyn MonitorPlan,
+        max_steps: u64,
+    ) -> Result<StrategyReport, MachineError> {
+        let mut mech = DynMech {
+            opts: *self,
+            wms: Wms::new(),
+            pads: Vec::new(),
+            patched: false,
+            active: 0,
+        };
+        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Cp))
+    }
+}
+
+struct DynMech {
+    opts: DynamicCodePatch,
+    wms: Wms,
+    /// (pad word index, chk instruction to install there).
+    pads: Vec<(usize, Instr)>,
+    patched: bool,
+    active: u64,
+}
+
+impl DynMech {
+    fn patch_all(&mut self, m: &mut Machine, rep: &mut StrategyReport) {
+        for &(idx, chk) in &self.pads {
+            m.patch_instr(idx, chk).expect("pad index is valid");
+        }
+        rep.overhead
+            .add(TimingVar::SoftwareUpdate, self.pads.len() as f64 * PATCH_SITE_US);
+        rep.patch_events += 1;
+        self.patched = true;
+    }
+
+    fn unpatch_all(&mut self, m: &mut Machine, rep: &mut StrategyReport) {
+        for &(idx, _) in &self.pads {
+            m.patch_instr(idx, Instr::Nop).expect("pad index is valid");
+        }
+        rep.overhead
+            .add(TimingVar::SoftwareUpdate, self.pads.len() as f64 * PATCH_SITE_US);
+        rep.patch_events += 1;
+        self.patched = false;
+    }
+}
+
+impl Mechanism for DynMech {
+    fn stop_config(&self) -> StopConfig {
+        StopConfig { chk: true, ..StopConfig::default() }
+    }
+
+    fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError> {
+        assert!(
+            debug.traced_store_count == 0 || !debug.pad_pcs.is_empty(),
+            "DynamicCodePatch requires a program compiled with Options::nop_padding"
+        );
+        for &pc in &debug.pad_pcs {
+            let idx = m.pc_to_index(pc)?;
+            let store = m.instr_at(idx + 1)?;
+            let chk = match store {
+                Instr::Sw(_, base, imm) => Instr::Chk(base, imm, 4),
+                Instr::Sb(_, base, imm) => Instr::Chk(base, imm, 1),
+                other => panic!("pad at {pc:#x} not followed by a store: {other:?}"),
+            };
+            self.pads.push((idx, chk));
+        }
+        Ok(())
+    }
+
+    fn install(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.active += 1;
+        if !self.patched {
+            self.patch_all(m, rep);
+        }
+    }
+
+    fn remove(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.active -= 1;
+        if self.active == 0 && self.patched && !self.opts.sticky {
+            self.unpatch_all(m, rep);
+        }
+    }
+
+    fn handle(
+        &mut self,
+        _m: &mut Machine,
+        _debug: &DebugInfo,
+        stop: StopReason,
+        rep: &mut StrategyReport,
+    ) -> Result<(), MachineError> {
+        let StopReason::Chk(ev) = stop else {
+            unreachable!("DynamicCodePatch received unexpected stop {stop:?}")
+        };
+        let t = &self.opts.timing;
+        rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+        let (ba, ea) = (ev.addr, ev.addr + ev.len);
+        if self.wms.would_hit(ba, ea) {
+            rep.counts.hit += 1;
+            rep.notify(Notification { ba, ea, pc: ev.pc });
+        } else {
+            rep.counts.miss += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{NoMonitors, RangePlan};
+    use crate::strategy::CodePatch;
+    use databp_tinyc::{compile, Options};
+
+    const SRC: &str = r#"
+        int g;
+        int burn(int rounds) {
+            int i; int acc;
+            acc = 0;
+            for (i = 0; i < rounds; i = i + 1) acc = acc + i * 3;
+            return acc;
+        }
+        int main() {
+            int warm;
+            warm = burn(200);      // long monitor-free prefix
+            g = warm;              // the single watched write
+            return g & 255;
+        }
+    "#;
+
+    fn load(opts: &Options) -> (Machine, DebugInfo) {
+        let c = compile(SRC, opts).unwrap();
+        let mut m = Machine::new();
+        m.load(&c.program);
+        (m, c.debug)
+    }
+
+    #[test]
+    fn no_monitors_means_near_zero_overhead() {
+        let (mut m, debug) = load(&Options::nop_padding());
+        let rep =
+            DynamicCodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        assert_eq!(rep.overhead.total_us(), 0.0, "no pads patched, no lookups charged");
+        assert_eq!(rep.counts.writes(), 0, "nothing is checked");
+        assert_eq!(rep.patch_events, 0);
+        // Static CodePatch pays for every write in the same situation.
+        let (mut m, cdebug) = load(&Options::codepatch());
+        let cp = CodePatch::default().run(&mut m, &cdebug, &NoMonitors, 10_000_000).unwrap();
+        assert!(cp.overhead.total_us() > 1000.0, "CP pays {}", cp.overhead.total_us());
+    }
+
+    #[test]
+    fn behaves_like_codepatch_once_armed() {
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let (mut m, debug) = load(&Options::nop_padding());
+        let dyn_rep = DynamicCodePatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let exit_dyn = m.exit_code();
+        let (mut m, cdebug) = load(&Options::codepatch());
+        let cp_rep = CodePatch::default().run(&mut m, &cdebug, &plan, 10_000_000).unwrap();
+        assert_eq!(m.exit_code(), exit_dyn, "semantics preserved");
+        assert_eq!(dyn_rep.counts.hit, cp_rep.counts.hit);
+        assert_eq!(dyn_rep.notification_count, 1, "the single write to g");
+        assert_eq!(dyn_rep.patch_events, 1, "armed exactly once");
+    }
+
+    #[test]
+    fn late_arming_checks_fewer_writes_than_static_cp() {
+        // The global monitor installs at program start here, so use a
+        // local watch of main to get a genuinely late install.
+        let src = r#"
+            int prefix(int n) {
+                int i; int acc;
+                acc = 0;
+                for (i = 0; i < n; i = i + 1) acc = acc + i;
+                return acc;
+            }
+            int tail(int seed) {
+                int watched;
+                watched = seed;
+                watched = watched * 2;
+                return watched;
+            }
+            int main() {
+                int r;
+                r = prefix(300);
+                return tail(r) & 127;
+            }
+        "#;
+        let c = compile(src, &Options::nop_padding()).unwrap();
+        let tail = c.debug.func_id("tail").unwrap();
+        let watched = c.debug.functions[tail as usize]
+            .locals
+            .iter()
+            .find(|l| l.name == "watched")
+            .unwrap()
+            .var;
+        let plan = RangePlan { locals: vec![(tail, watched)], ..RangePlan::default() };
+        let mut m = Machine::new();
+        m.load(&c.program);
+        let dy = DynamicCodePatch::default().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+
+        let cc = compile(src, &Options::codepatch()).unwrap();
+        let mut m = Machine::new();
+        m.load(&cc.program);
+        let cp = CodePatch::default().run(&mut m, &cc.debug, &plan, 10_000_000).unwrap();
+
+        assert_eq!(dy.counts.hit, cp.counts.hit, "same hits");
+        assert!(
+            dy.counts.miss < cp.counts.miss / 2,
+            "dynamic skipped the prefix: {} vs {} misses",
+            dy.counts.miss,
+            cp.counts.miss
+        );
+        assert!(dy.overhead.total_us() < cp.overhead.total_us());
+    }
+
+    #[test]
+    fn unsticky_restores_pads_on_zero() {
+        let src = r#"
+            int poke() { int x; x = 1; return x; }
+            int main() {
+                int a; int b;
+                a = poke();        // monitors 0 -> 1 -> 0
+                b = poke();        // again
+                return a + b;
+            }
+        "#;
+        let c = compile(src, &Options::nop_padding()).unwrap();
+        let poke = c.debug.func_id("poke").unwrap();
+        let plan = RangePlan { locals: vec![(poke, 0)], ..RangePlan::default() };
+        let mut m = Machine::new();
+        m.load(&c.program);
+        let rep = DynamicCodePatch::unsticky().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+        assert_eq!(rep.counts.hit, 2);
+        // Two arming events and two restores (one per poke call).
+        assert_eq!(rep.patch_events, 4, "{rep:?}");
+        // Sticky arms once and never restores.
+        let mut m = Machine::new();
+        m.load(&c.program);
+        let sticky =
+            DynamicCodePatch::default().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+        assert_eq!(sticky.patch_events, 1);
+        assert_eq!(sticky.counts.hit, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Options::nop_padding")]
+    fn rejects_unpadded_program() {
+        let (mut m, debug) = load(&Options::plain());
+        let _ = DynamicCodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! Executable WMS strategies.
+//!
+//! Each strategy drives a loaded program on the simulated machine,
+//! maintains monitors according to a [`MonitorPlan`], counts the paper's
+//! counting variables as they happen, and charges the Table 2 timing
+//! costs *as it goes* — so an executable run and the analytical model
+//! evaluated on the same counts must agree (a property the integration
+//! tests verify).
+//!
+//! Strategy contract: the caller loads the right program variant into the
+//! machine (plain code for NativeHardware/VirtualMemory/TrapPatch,
+//! CodePatch-instrumented code for CodePatch), then calls `run` exactly
+//! once per load.
+
+mod cp;
+mod dyncp;
+mod nh;
+mod report;
+mod tp;
+mod vm;
+
+pub use cp::CodePatch;
+pub use dyncp::{DynamicCodePatch, PATCH_SITE_US};
+pub use nh::NativeHardware;
+pub use report::{StrategyReport, MAX_CAPTURED_NOTIFICATIONS};
+pub use tp::TrapPatch;
+pub use vm::{VirtualMemory, VmContinuation};
+
+use crate::plan::MonitorPlan;
+use crate::tracker::SessionTracker;
+use databp_machine::{Machine, MachineError, MarkKind, NoHooks, StopConfig, StopReason};
+use databp_tinyc::DebugInfo;
+
+/// The strategy-specific half of the driver: how monitors are realized
+/// and how strategy-owned stops are serviced.
+trait Mechanism {
+    /// Extra stop events this mechanism needs (beyond marks and heap).
+    fn stop_config(&self) -> StopConfig;
+
+    /// One-time setup: patch code, configure MMU/watch registers.
+    fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError>;
+
+    /// Realize a monitor over `[ba, ea)`.
+    fn install(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport);
+
+    /// Tear down the monitor over `[ba, ea)`.
+    fn remove(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport);
+
+    /// Service a stop the shared driver does not understand
+    /// (faults/traps/checks).
+    fn handle(
+        &mut self,
+        m: &mut Machine,
+        debug: &DebugInfo,
+        stop: StopReason,
+        rep: &mut StrategyReport,
+    ) -> Result<(), MachineError>;
+}
+
+/// The shared driver loop: runs the program to completion, routing
+/// object-lifetime stops through the [`SessionTracker`] and everything
+/// else to the mechanism.
+fn drive<M: Mechanism>(
+    mech: &mut M,
+    machine: &mut Machine,
+    debug: &DebugInfo,
+    plan: &dyn MonitorPlan,
+    max_steps: u64,
+    mut rep: StrategyReport,
+) -> Result<StrategyReport, MachineError> {
+    mech.prepare(machine, debug)?;
+    let mut cfg = mech.stop_config();
+    cfg.marks = true;
+    cfg.heap = true;
+    machine.set_stop_config(cfg);
+
+    let mut tracker = SessionTracker::new(debug, plan);
+    for (ba, ea) in tracker.initial_installs() {
+        mech.install(machine, ba, ea, &mut rep);
+        rep.counts.install += 1;
+    }
+
+    loop {
+        let executed = machine.cost().instructions;
+        if executed >= max_steps {
+            return Err(MachineError::StepLimitExceeded { limit: max_steps });
+        }
+        match machine.run(&mut NoHooks, max_steps - executed)? {
+            StopReason::Halted => break,
+            StopReason::Mark { kind: MarkKind::Enter, fid, fp, .. } => {
+                for (ba, ea) in tracker.enter(fid, fp) {
+                    mech.install(machine, ba, ea, &mut rep);
+                    rep.counts.install += 1;
+                }
+            }
+            StopReason::Mark { kind: MarkKind::Exit, fid, .. } => {
+                for (ba, ea) in tracker.exit(fid) {
+                    mech.remove(machine, ba, ea, &mut rep);
+                    rep.counts.remove += 1;
+                }
+            }
+            StopReason::HeapAlloc { seq, ba, ea } => {
+                if let Some((ba, ea)) = tracker.heap_alloc(plan, seq, ba, ea) {
+                    mech.install(machine, ba, ea, &mut rep);
+                    rep.counts.install += 1;
+                }
+            }
+            StopReason::HeapFree { seq, .. } => {
+                if let Some((ba, ea)) = tracker.heap_free(seq) {
+                    mech.remove(machine, ba, ea, &mut rep);
+                    rep.counts.remove += 1;
+                }
+            }
+            StopReason::HeapRealloc { seq, new_ba, new_ea, .. } => {
+                let (rem, ins) = tracker.heap_realloc(seq, new_ba, new_ea);
+                if let Some((ba, ea)) = rem {
+                    mech.remove(machine, ba, ea, &mut rep);
+                    rep.counts.remove += 1;
+                }
+                if let Some((ba, ea)) = ins {
+                    mech.install(machine, ba, ea, &mut rep);
+                    rep.counts.install += 1;
+                }
+            }
+            other => mech.handle(machine, debug, other, &mut rep)?,
+        }
+    }
+
+    // Program over: the debugger removes whatever is still installed
+    // (matching the tracer's finish() accounting, so executable counts
+    // line up with trace-simulated counts).
+    for (ba, ea) in tracker.outstanding() {
+        mech.remove(machine, ba, ea, &mut rep);
+        rep.counts.remove += 1;
+    }
+
+    rep.base_us = machine.cost().total_us(machine.cost_model());
+    rep.instructions = machine.cost().instructions;
+    Ok(rep)
+}

@@ -1,0 +1,195 @@
+//! NativeHardware: watchpoint registers in the processor (Section 3.1,
+//! Figure 3).
+
+use super::{drive, Mechanism};
+use crate::plan::MonitorPlan;
+use crate::strategy::report::StrategyReport;
+use databp_machine::{
+    Machine, MachineError, StopConfig, StopReason, WatchRegs, DEFAULT_WATCH_REGS,
+};
+use databp_models::{Approach, TimingVar, TimingVars};
+use databp_tinyc::DebugInfo;
+
+/// The NativeHardware strategy.
+///
+/// Installing or removing a monitor programs a watch register at
+/// negligible cost ("the monitor hardware is accessible to user programs
+/// and we assume the cost to update it can be safely ignored"); every hit
+/// costs one `NHFaultHandlerτ`. Monitor misses are free — that is the
+/// whole attraction.
+///
+/// The catch the paper emphasizes: real processors have at most
+/// [`DEFAULT_WATCH_REGS`] registers. Construct with `regs: None` for the
+/// paper's idealized unlimited bank, or `Some(n)` to study coverage
+/// ([`StrategyReport::watch_exhausted`] reports sessions hardware could
+/// not fully support).
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct NativeHardware {
+    /// Watch-register capacity; `None` = unlimited (the paper's
+    /// hypothetical SPARCstation extension).
+    pub regs: Option<usize>,
+    /// Primitive costs.
+    pub timing: TimingVars,
+}
+
+
+impl NativeHardware {
+    /// A bank with the era's realistic capacity (four registers).
+    pub fn realistic() -> Self {
+        NativeHardware { regs: Some(DEFAULT_WATCH_REGS), timing: TimingVars::default() }
+    }
+
+    /// Runs a freshly loaded machine under this strategy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] from the run.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        debug: &DebugInfo,
+        plan: &dyn MonitorPlan,
+        max_steps: u64,
+    ) -> Result<StrategyReport, MachineError> {
+        let mut mech = NhMech { opts: *self };
+        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Nh))
+    }
+}
+
+struct NhMech {
+    opts: NativeHardware,
+}
+
+impl Mechanism for NhMech {
+    fn stop_config(&self) -> StopConfig {
+        StopConfig::default()
+    }
+
+    fn prepare(&mut self, m: &mut Machine, _debug: &DebugInfo) -> Result<(), MachineError> {
+        m.set_watch_regs(match self.opts.regs {
+            None => WatchRegs::unlimited(),
+            Some(n) => WatchRegs::new(n),
+        });
+        Ok(())
+    }
+
+    fn install(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        // Programming a register is free per the Figure 3 model.
+        if m.watch_mut().install(ba, ea).is_none() {
+            rep.watch_exhausted = true;
+        }
+    }
+
+    fn remove(&mut self, m: &mut Machine, ba: u32, ea: u32, _rep: &mut StrategyReport) {
+        // May be absent when install was refused at capacity.
+        let _ = m.watch_mut().remove_range(ba, ea);
+    }
+
+    fn handle(
+        &mut self,
+        _m: &mut Machine,
+        _debug: &DebugInfo,
+        stop: StopReason,
+        rep: &mut StrategyReport,
+    ) -> Result<(), MachineError> {
+        match stop {
+            StopReason::WatchFault(f) => {
+                // The write has committed; notify and continue.
+                rep.counts.hit += 1;
+                rep.overhead.add(TimingVar::NhFaultHandler, self.opts.timing.nh_fault_us);
+                rep.notify(crate::monitor::Notification {
+                    ba: f.addr,
+                    ea: f.addr + f.len,
+                    pc: f.pc,
+                });
+                Ok(())
+            }
+            other => unreachable!("NativeHardware received unexpected stop {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RangePlan;
+    use databp_tinyc::{compile, Options};
+
+    const SRC: &str = r#"
+        int g;
+        int h;
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) g = g + 1;
+            h = 5;
+            return g;
+        }
+    "#;
+
+    fn load(src: &str) -> (Machine, DebugInfo) {
+        let c = compile(src, &Options::plain()).unwrap();
+        let mut m = Machine::new();
+        m.load(&c.program);
+        (m, c.debug)
+    }
+
+    #[test]
+    fn counts_hits_on_watched_global() {
+        let (mut m, debug) = load(SRC);
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let rep = NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        assert_eq!(rep.counts.hit, 10, "ten writes to g");
+        assert_eq!(rep.counts.miss, 0, "NH never sees misses");
+        assert_eq!(rep.notification_count, 10);
+        assert!(!rep.watch_exhausted);
+        assert_eq!(rep.counts.install, 1);
+        assert_eq!(rep.counts.remove, 1);
+        let expected = 10.0 * TimingVars::default().nh_fault_us;
+        assert!((rep.overhead.total_us() - expected).abs() < 1e-9);
+        assert!(rep.base_us > 0.0);
+    }
+
+    #[test]
+    fn program_behaviour_unchanged_by_monitoring() {
+        let (mut m, debug) = load(SRC);
+        let plan = RangePlan { globals: vec![0, 1], ..RangePlan::default() };
+        NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        assert_eq!(m.exit_code(), 10);
+    }
+
+    #[test]
+    fn capacity_exhaustion_flagged() {
+        // Monitor many locals of one function with only 1 register.
+        let src = r#"
+            int f() { int a; int b; int c; a = 1; b = 2; c = 3; return a + b + c; }
+            int main() { return f(); }
+        "#;
+        let (mut m, debug) = load(src);
+        let plan = RangePlan {
+            locals: vec![(0, 0), (0, 1), (0, 2)],
+            ..RangePlan::default()
+        };
+        let nh = NativeHardware { regs: Some(1), timing: TimingVars::default() };
+        let rep = nh.run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        assert!(rep.watch_exhausted, "three monitors cannot fit one register");
+        // Only the first local's write is caught.
+        assert_eq!(rep.counts.hit, 1);
+    }
+
+    #[test]
+    fn unlimited_bank_covers_everything() {
+        let src = r#"
+            int f() { int a; int b; int c; a = 1; b = 2; c = 3; return a + b + c; }
+            int main() { return f(); }
+        "#;
+        let (mut m, debug) = load(src);
+        let plan = RangePlan {
+            locals: vec![(0, 0), (0, 1), (0, 2)],
+            ..RangePlan::default()
+        };
+        let rep = NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        assert!(!rep.watch_exhausted);
+        assert_eq!(rep.counts.hit, 3);
+    }
+}

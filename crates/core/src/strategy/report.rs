@@ -1,0 +1,93 @@
+//! The result of one executable strategy run.
+
+use crate::monitor::Notification;
+use databp_models::{Approach, Counts, Overhead};
+
+/// Notifications retained verbatim per run; the count keeps increasing
+/// past this.
+pub const MAX_CAPTURED_NOTIFICATIONS: usize = 10_000;
+
+/// Everything measured during one monitor session executed under one
+/// strategy.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyReport {
+    /// Which strategy ran (None only during construction).
+    pub approach: Option<Approach>,
+    /// The paper's counting variables, measured live.
+    pub counts: Counts,
+    /// Overhead charged during the run, attributed per timing variable.
+    pub overhead: Overhead,
+    /// Base (unmonitored) execution time of the run, microseconds.
+    pub base_us: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// The first [`MAX_CAPTURED_NOTIFICATIONS`] notifications.
+    pub notifications: Vec<Notification>,
+    /// Total notifications delivered.
+    pub notification_count: u64,
+    /// NativeHardware only: the watch-register bank filled up and at
+    /// least one monitor could not be realized (the paper's fundamental
+    /// objection to hardware-only support).
+    pub watch_exhausted: bool,
+    /// CodePatch loop-optimization only: body checks whose lookup was
+    /// elided.
+    pub skipped_lookups: u64,
+    /// CodePatch loop-optimization only: preliminary (preheader) checks
+    /// executed.
+    pub preheader_lookups: u64,
+    /// DynamicCodePatch only: pad patch/unpatch sweeps performed.
+    pub patch_events: u64,
+}
+
+impl StrategyReport {
+    /// A fresh report for `approach`.
+    pub fn new(approach: Approach) -> Self {
+        StrategyReport { approach: Some(approach), ..StrategyReport::default() }
+    }
+
+    /// Records a notification (capped buffer, unbounded count).
+    pub fn notify(&mut self, n: Notification) {
+        self.notification_count += 1;
+        if self.notifications.len() < MAX_CAPTURED_NOTIFICATIONS {
+            self.notifications.push(n);
+        }
+    }
+
+    /// Relative overhead: charged overhead over base execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has not completed (`base_us == 0`).
+    pub fn relative_overhead(&self) -> f64 {
+        assert!(self.base_us > 0.0, "report from an unfinished run");
+        self.overhead.total_us() / self.base_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_caps_buffer_not_count() {
+        let mut r = StrategyReport::new(Approach::Cp);
+        for i in 0..(MAX_CAPTURED_NOTIFICATIONS as u32 + 10) {
+            r.notify(Notification { ba: i, ea: i + 1, pc: 0 });
+        }
+        assert_eq!(r.notifications.len(), MAX_CAPTURED_NOTIFICATIONS);
+        assert_eq!(r.notification_count, MAX_CAPTURED_NOTIFICATIONS as u64 + 10);
+    }
+
+    #[test]
+    fn relative_overhead_requires_base() {
+        let mut r = StrategyReport::new(Approach::Nh);
+        r.base_us = 100.0;
+        assert_eq!(r.relative_overhead(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished run")]
+    fn relative_overhead_rejects_unfinished() {
+        StrategyReport::new(Approach::Nh).relative_overhead();
+    }
+}

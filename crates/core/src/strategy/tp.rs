@@ -1,0 +1,190 @@
+//! TrapPatch: every write instruction replaced by a trap (Section 3.3,
+//! Figure 5).
+
+use super::{drive, Mechanism};
+use crate::monitor::Notification;
+use crate::plan::MonitorPlan;
+use crate::service::Wms;
+use crate::strategy::report::StrategyReport;
+use databp_machine::{
+    Instr, Machine, MachineError, NoHooks, StopConfig, StopReason, TP_TRAP_BASE,
+};
+use databp_models::{Approach, TimingVar, TimingVars};
+use databp_tinyc::DebugInfo;
+use std::collections::HashMap;
+
+/// The TrapPatch strategy — how `gdb` and `dbx` of the era implemented
+/// watchpoints in software.
+///
+/// At "compile time" (here: once, before the run) every traced write
+/// instruction in the image is overwritten with a trap word. The trap
+/// handler looks up the displaced store's target in the software map and
+/// emulates the store out of line. Every checked write — hit *or* miss —
+/// pays `TPFaultHandlerτ + SoftwareLookupτ`, which is why the paper finds
+/// it "unacceptably slow for most debugging applications".
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct TrapPatch {
+    /// Primitive costs.
+    pub timing: TimingVars,
+}
+
+
+impl TrapPatch {
+    /// Runs a freshly loaded machine under this strategy (the image is
+    /// patched in place).
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] from patching or the run.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        debug: &DebugInfo,
+        plan: &dyn MonitorPlan,
+        max_steps: u64,
+    ) -> Result<StrategyReport, MachineError> {
+        let mut mech = TpMech { opts: *self, wms: Wms::new(), patches: HashMap::new() };
+        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Tp))
+    }
+}
+
+struct TpMech {
+    opts: TrapPatch,
+    wms: Wms,
+    /// Displaced instructions by trap pc.
+    patches: HashMap<u32, Instr>,
+}
+
+impl Mechanism for TpMech {
+    fn stop_config(&self) -> StopConfig {
+        StopConfig::default()
+    }
+
+    fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError> {
+        // Replace every traced store with a trap, remembering the
+        // displaced word (the paper's compile-time patching).
+        for idx in 0..m.code_len() {
+            let instr = m.instr_at(idx)?;
+            if instr.is_store() {
+                let pc = databp_machine::CODE_BASE + 4 * idx as u32;
+                if !debug.is_untraced_store(pc) {
+                    let orig = m.patch_instr(idx, Instr::Trap(TP_TRAP_BASE))?;
+                    self.patches.insert(pc, orig);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn install(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+    }
+
+    fn remove(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
+        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
+        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+    }
+
+    fn handle(
+        &mut self,
+        m: &mut Machine,
+        _debug: &DebugInfo,
+        stop: StopReason,
+        rep: &mut StrategyReport,
+    ) -> Result<(), MachineError> {
+        match stop {
+            StopReason::Trap { code, pc } if code == TP_TRAP_BASE => {
+                let orig = *self.patches.get(&pc).expect("trap at patched pc");
+                // The handler decodes the displaced store to find its
+                // effective address.
+                let (addr, len) = match orig {
+                    Instr::Sw(_, base, imm) => {
+                        (m.cpu().read(base).wrapping_add(imm as i32 as u32), 4)
+                    }
+                    Instr::Sb(_, base, imm) => {
+                        (m.cpu().read(base).wrapping_add(imm as i32 as u32), 1)
+                    }
+                    other => unreachable!("patched instruction was not a store: {other:?}"),
+                };
+                let t = &self.opts.timing;
+                rep.overhead.add(TimingVar::TpFaultHandler, t.tp_fault_us);
+                rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+                if self.wms.would_hit(addr, addr + len) {
+                    rep.counts.hit += 1;
+                    rep.notify(Notification { ba: addr, ea: addr + len, pc });
+                } else {
+                    rep.counts.miss += 1;
+                }
+                m.emulate_instr(orig, &mut NoHooks)?;
+                Ok(())
+            }
+            other => unreachable!("TrapPatch received unexpected stop {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{NoMonitors, RangePlan};
+    use databp_tinyc::{compile, Options};
+
+    const SRC: &str = r#"
+        int g;
+        int h;
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) g = g + 1;
+            h = 3;
+            return g + h;
+        }
+    "#;
+
+    fn load(src: &str) -> (Machine, DebugInfo) {
+        let c = compile(src, &Options::plain()).unwrap();
+        let mut m = Machine::new();
+        m.load(&c.program);
+        (m, c.debug)
+    }
+
+    #[test]
+    fn every_traced_write_is_checked() {
+        let (mut m, debug) = load(SRC);
+        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let rep = TrapPatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        assert_eq!(rep.counts.hit, 10);
+        // Every other traced store is a (costed) miss: i=0 + 10×(i=i+1)
+        // + h=3 = 12.
+        assert_eq!(rep.counts.miss, 12);
+        assert_eq!(m.exit_code(), 13, "emulation preserves results");
+        // Overhead matches the Figure 5 equation on the same counts.
+        let model = databp_models::overhead(Approach::Tp, &rep.counts, &TimingVars::default());
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn misses_cost_even_with_no_monitors() {
+        let (mut m, debug) = load(SRC);
+        let rep = TrapPatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        assert_eq!(rep.counts.hit, 0);
+        assert_eq!(rep.counts.miss, 22);
+        assert!(rep.overhead.total_us() > 0.0, "TP pays for every write regardless");
+    }
+
+    #[test]
+    fn untraced_stores_not_patched() {
+        let (mut m, debug) = load(SRC);
+        let mut mech = TpMech {
+            opts: TrapPatch::default(),
+            wms: Wms::new(),
+            patches: HashMap::new(),
+        };
+        mech.prepare(&mut m, &debug).unwrap();
+        for &pc in &debug.untraced_store_pcs {
+            assert!(!mech.patches.contains_key(&pc), "{pc:#x} must stay a store");
+        }
+        assert_eq!(mech.patches.len() as u32, debug.traced_store_count);
+    }
+}

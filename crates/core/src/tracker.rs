@@ -1,0 +1,250 @@
+//! Object-lifetime bookkeeping shared by all strategy drivers.
+//!
+//! [`SessionTracker`] converts run events (function enter/exit, heap
+//! alloc/free/realloc) into concrete monitor ranges to install or remove,
+//! consulting the session's [`MonitorPlan`]. It is strategy-agnostic: the
+//! caller applies the returned ranges to its own mechanism (watch
+//! registers, page protection, or the software map).
+
+use crate::plan::MonitorPlan;
+use databp_tinyc::DebugInfo;
+use std::collections::HashMap;
+
+/// One monitored range (beginning address, ending address).
+pub type Range = (u32, u32);
+
+/// Tracks which objects are live and monitored during a run.
+#[derive(Debug)]
+pub struct SessionTracker {
+    /// Per function: the frame variables the plan wants monitored, as
+    /// `(fp-relative offset, size)`.
+    monitored_vars: Vec<Vec<(i32, u32)>>,
+    /// Globals the plan wants monitored, as ranges.
+    monitored_globals: Vec<Range>,
+    /// Live call stack: `(fid, fp)`.
+    stack: Vec<(u16, u32)>,
+    /// Scratch of stack fids, kept in sync for `monitor_heap` queries.
+    stack_fids: Vec<u16>,
+    /// Ranges installed for each live frame.
+    frame_ranges: Vec<Vec<Range>>,
+    /// Ranges installed for live monitored heap objects.
+    heap_ranges: HashMap<u32, Range>,
+}
+
+impl SessionTracker {
+    /// Builds a tracker for `debug`'s program under `plan`.
+    pub fn new(debug: &DebugInfo, plan: &dyn MonitorPlan) -> Self {
+        let monitored_vars = debug
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(fid, f)| {
+                f.locals
+                    .iter()
+                    .filter(|l| plan.monitor_local(fid as u16, l.var))
+                    .map(|l| (l.offset, l.size))
+                    .collect()
+            })
+            .collect();
+        let monitored_globals = debug
+            .globals
+            .iter()
+            .filter(|g| !g.is_literal && plan.monitor_global(g.id))
+            .map(|g| (g.ba, g.ea))
+            .collect();
+        SessionTracker {
+            monitored_vars,
+            monitored_globals,
+            stack: Vec::new(),
+            stack_fids: Vec::new(),
+            frame_ranges: Vec::new(),
+            heap_ranges: HashMap::new(),
+        }
+    }
+
+    /// Ranges to install before the program starts (monitored globals).
+    pub fn initial_installs(&self) -> Vec<Range> {
+        self.monitored_globals.clone()
+    }
+
+    /// Records entry to `fid` with frame pointer `fp`; returns the local
+    /// ranges to install.
+    pub fn enter(&mut self, fid: u16, fp: u32) -> Vec<Range> {
+        let ranges: Vec<Range> = self
+            .monitored_vars
+            .get(fid as usize)
+            .map(|vars| {
+                vars.iter()
+                    .map(|&(off, size)| {
+                        let ba = fp.wrapping_add(off as u32);
+                        (ba, ba + size)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.stack.push((fid, fp));
+        self.stack_fids.push(fid);
+        self.frame_ranges.push(ranges.clone());
+        ranges
+    }
+
+    /// Records exit from `fid`; returns the local ranges to remove.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched enter/exit nesting (a compiler bug).
+    pub fn exit(&mut self, fid: u16) -> Vec<Range> {
+        let (top, _) = self.stack.pop().expect("exit with empty stack");
+        assert_eq!(top, fid, "mismatched function exit");
+        self.stack_fids.pop();
+        self.frame_ranges.pop().expect("frame ranges in sync with stack")
+    }
+
+    /// Records a heap allocation; returns the range to install when the
+    /// plan monitors this object.
+    pub fn heap_alloc(&mut self, plan: &dyn MonitorPlan, seq: u32, ba: u32, ea: u32) -> Option<Range> {
+        if plan.monitor_heap(seq, &self.stack_fids) {
+            self.heap_ranges.insert(seq, (ba, ea));
+            Some((ba, ea))
+        } else {
+            None
+        }
+    }
+
+    /// Records a heap free; returns the range to remove when the object
+    /// was monitored.
+    pub fn heap_free(&mut self, seq: u32) -> Option<Range> {
+        self.heap_ranges.remove(&seq)
+    }
+
+    /// Records a realloc move; returns `(remove, install)` ranges when
+    /// the object was monitored (identity is preserved per the paper).
+    pub fn heap_realloc(&mut self, seq: u32, new_ba: u32, new_ea: u32) -> (Option<Range>, Option<Range>) {
+        match self.heap_ranges.get_mut(&seq) {
+            Some(r) => {
+                let old = *r;
+                *r = (new_ba, new_ea);
+                (Some(old), Some((new_ba, new_ea)))
+            }
+            None => (None, None),
+        }
+    }
+
+    /// Ranges still installed (outstanding frames, live heap objects,
+    /// globals) — removed by drivers when the program halts, matching the
+    /// tracer's `finish()` accounting.
+    pub fn outstanding(&self) -> Vec<Range> {
+        let mut out: Vec<Range> = self.frame_ranges.iter().flatten().copied().collect();
+        let mut heap: Vec<(u32, Range)> = self.heap_ranges.iter().map(|(s, r)| (*s, *r)).collect();
+        heap.sort_unstable();
+        out.extend(heap.into_iter().map(|(_, r)| r));
+        out.extend(self.monitored_globals.iter().copied());
+        out
+    }
+
+    /// The dynamic call stack as function ids (outermost first).
+    pub fn stack_fids(&self) -> &[u16] {
+        &self.stack_fids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{MonitorEverything, NoMonitors, RangePlan};
+    use databp_tinyc::{compile, Options};
+
+    fn debug_for(src: &str) -> DebugInfo {
+        compile(src, &Options::plain()).unwrap().debug
+    }
+
+    const SRC: &str = r#"
+        int g;
+        int h;
+        int f(int x) { int y; y = x; return y; }
+        int main() { int a; a = f(1); return a; }
+    "#;
+
+    #[test]
+    fn plan_filtering_at_construction() {
+        let debug = debug_for(SRC);
+        let all = SessionTracker::new(&debug, &MonitorEverything);
+        assert_eq!(all.initial_installs().len(), 2);
+        let none = SessionTracker::new(&debug, &NoMonitors);
+        assert!(none.initial_installs().is_empty());
+    }
+
+    #[test]
+    fn enter_exit_produces_matching_ranges() {
+        let debug = debug_for(SRC);
+        let mut t = SessionTracker::new(&debug, &MonitorEverything);
+        let fp = 0x00F0_0000;
+        let installed = t.enter(0, fp); // f has x (param) and y
+        assert_eq!(installed.len(), 2);
+        for &(ba, ea) in &installed {
+            assert!(ba < ea && ea <= fp);
+        }
+        let removed = t.exit(0);
+        assert_eq!(installed, removed);
+    }
+
+    #[test]
+    fn recursion_distinguishes_instances_by_fp() {
+        let debug = debug_for(SRC);
+        let mut t = SessionTracker::new(&debug, &MonitorEverything);
+        let a = t.enter(0, 0x00F0_0000);
+        let b = t.enter(0, 0x00EF_FF00);
+        assert_ne!(a, b);
+        assert_eq!(t.exit(0), b);
+        assert_eq!(t.exit(0), a);
+    }
+
+    #[test]
+    fn heap_lifecycle_with_selective_plan() {
+        let debug = debug_for(SRC);
+        let plan = RangePlan { heap_seqs: vec![1], ..RangePlan::default() };
+        let mut t = SessionTracker::new(&debug, &plan);
+        assert_eq!(t.heap_alloc(&plan, 0, 0x40_0000, 0x40_0010), None);
+        assert_eq!(
+            t.heap_alloc(&plan, 1, 0x40_0010, 0x40_0020),
+            Some((0x40_0010, 0x40_0020))
+        );
+        let (rem, ins) = t.heap_realloc(1, 0x40_0100, 0x40_0140);
+        assert_eq!(rem, Some((0x40_0010, 0x40_0020)));
+        assert_eq!(ins, Some((0x40_0100, 0x40_0140)));
+        assert_eq!(t.heap_free(1), Some((0x40_0100, 0x40_0140)));
+        assert_eq!(t.heap_free(1), None);
+    }
+
+    #[test]
+    fn outstanding_reports_everything_live() {
+        let debug = debug_for(SRC);
+        let plan = MonitorEverything;
+        let mut t = SessionTracker::new(&debug, &plan);
+        t.enter(1, 0x00F0_0000);
+        t.heap_alloc(&plan, 0, 0x40_0000, 0x40_0010);
+        let out = t.outstanding();
+        // main's local a + heap object + 2 globals.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn stack_fids_reflect_call_context() {
+        let debug = debug_for(SRC);
+        let mut t = SessionTracker::new(&debug, &NoMonitors);
+        t.enter(1, 0x00F0_0000);
+        t.enter(0, 0x00EF_FF00);
+        assert_eq!(t.stack_fids(), &[1, 0]);
+        t.exit(0);
+        assert_eq!(t.stack_fids(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched function exit")]
+    fn mismatched_exit_panics() {
+        let debug = debug_for(SRC);
+        let mut t = SessionTracker::new(&debug, &NoMonitors);
+        t.enter(0, 0x00F0_0000);
+        t.exit(1);
+    }
+}

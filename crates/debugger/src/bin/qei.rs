@@ -1,0 +1,75 @@
+//! `qei` — interactive REPL over the databp debugger.
+//!
+//! ```text
+//! usage: qei <program.c> [args...]
+//! ```
+//!
+//! Reads debugger commands from stdin (one per line; see `help`).
+
+use databp_debugger::{Debugger, RunState};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: qei <program.c> [args...]");
+        return ExitCode::FAILURE;
+    };
+    let prog_args: Vec<i32> = args
+        .map(|a| a.parse().expect("program arguments are integers"))
+        .collect();
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qei: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut dbg = match Debugger::launch(&source, &prog_args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("qei: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("qei: loaded {path} (type 'help' for commands)");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("(qei) ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("qei: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "q" || line == "exit" {
+            break;
+        }
+        match dbg.execute(line) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        if matches!(dbg.state(), RunState::Exited(_)) && line.starts_with(['r', 'c']) {
+            // Show any remaining program output on exit.
+            let out = dbg.execute("output").expect("output always works");
+            if !out.is_empty() {
+                println!("--- program output ---\n{out}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,207 @@
+//! Command-line grammar of the `qei` debugger.
+
+use crate::watches::Condition;
+
+/// A watch target as written by the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchTarget {
+    /// `watch name` — a global.
+    Global(String),
+    /// `watch func.var` — a local, every instantiation.
+    Local {
+        /// Function name.
+        func: String,
+        /// Variable name.
+        var: String,
+    },
+    /// `watch heap N` — a heap object by allocation number.
+    Heap(u32),
+}
+
+/// A parsed debugger command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Set a data breakpoint.
+    Watch(WatchTarget, Condition),
+    /// Set a control breakpoint on function entry.
+    Break(String),
+    /// Delete a watch by number.
+    Delete(u32),
+    /// Start the program.
+    Run,
+    /// Resume after a pause.
+    Continue,
+    /// Execute `n` machine instructions.
+    StepI(u64),
+    /// Print a variable (`name` or `func.name`).
+    Print(String),
+    /// Show the call stack.
+    Backtrace,
+    /// List watches.
+    InfoWatch,
+    /// List control breakpoints.
+    InfoBreak,
+    /// Disassemble `n` instructions at the current pc.
+    Disasm(u32),
+    /// Show program output so far.
+    Output,
+    /// Show help.
+    Help,
+    /// Exit the debugger.
+    Quit,
+}
+
+/// Parses one command line.
+///
+/// # Errors
+///
+/// A human-readable message naming the problem.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut words = line.split_whitespace();
+    let Some(head) = words.next() else {
+        return Err("empty command (try 'help')".into());
+    };
+    let rest: Vec<&str> = words.collect();
+    match head {
+        "watch" | "w" => parse_watch(&rest),
+        "break" | "b" => match rest.as_slice() {
+            [func] => Ok(Command::Break(func.to_string())),
+            _ => Err("usage: break <function>".into()),
+        },
+        "delete" | "d" => match rest.as_slice() {
+            [n] => n
+                .parse()
+                .map(Command::Delete)
+                .map_err(|_| "usage: delete <watch-number>".into()),
+            _ => Err("usage: delete <watch-number>".into()),
+        },
+        "run" | "r" => Ok(Command::Run),
+        "continue" | "c" => Ok(Command::Continue),
+        "stepi" | "si" => match rest.as_slice() {
+            [] => Ok(Command::StepI(1)),
+            [n] => n.parse().map(Command::StepI).map_err(|_| "usage: stepi [n]".into()),
+            _ => Err("usage: stepi [n]".into()),
+        },
+        "print" | "p" => match rest.as_slice() {
+            [name] => Ok(Command::Print(name.to_string())),
+            _ => Err("usage: print <var> or print <func>.<var>".into()),
+        },
+        "backtrace" | "bt" => Ok(Command::Backtrace),
+        "info" => match rest.as_slice() {
+            ["watch"] | ["watches"] => Ok(Command::InfoWatch),
+            ["break"] | ["breaks"] => Ok(Command::InfoBreak),
+            _ => Err("usage: info watch | info break".into()),
+        },
+        "disasm" | "x" => match rest.as_slice() {
+            [] => Ok(Command::Disasm(8)),
+            [n] => n.parse().map(Command::Disasm).map_err(|_| "usage: disasm [n]".into()),
+            _ => Err("usage: disasm [n]".into()),
+        },
+        "output" | "o" => Ok(Command::Output),
+        "help" | "h" | "?" => Ok(Command::Help),
+        "quit" | "q" | "exit" => Ok(Command::Quit),
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+fn parse_watch(rest: &[&str]) -> Result<Command, String> {
+    if rest.is_empty() {
+        return Err("usage: watch <var>|<func>.<var>|heap <n> [if ==|!=|<|> <value>]".into());
+    }
+    // Split off a trailing "if <op> <value>".
+    let (target_words, cond) = match rest.iter().position(|w| *w == "if") {
+        Some(pos) => {
+            let cond_words = &rest[pos + 1..];
+            let cond = match cond_words {
+                [op, val] => {
+                    let v: i32 =
+                        val.parse().map_err(|_| format!("bad condition value '{val}'"))?;
+                    match *op {
+                        "==" => Condition::Eq(v),
+                        "!=" => Condition::Ne(v),
+                        "<" => Condition::Lt(v),
+                        ">" => Condition::Gt(v),
+                        other => return Err(format!("bad condition operator '{other}'")),
+                    }
+                }
+                _ => return Err("usage: ... if ==|!=|<|> <value>".into()),
+            };
+            (&rest[..pos], cond)
+        }
+        None => (rest, Condition::Always),
+    };
+    let target = match target_words {
+        ["heap", n] => WatchTarget::Heap(
+            n.parse().map_err(|_| format!("bad heap object number '{n}'"))?,
+        ),
+        [name] => match name.split_once('.') {
+            Some((func, var)) if !func.is_empty() && !var.is_empty() => {
+                WatchTarget::Local { func: func.to_string(), var: var.to_string() }
+            }
+            Some(_) => return Err(format!("malformed local name '{name}'")),
+            None => WatchTarget::Global(name.to_string()),
+        },
+        _ => return Err("usage: watch <var>|<func>.<var>|heap <n>".into()),
+    };
+    Ok(Command::Watch(target, cond))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_watch_forms() {
+        assert_eq!(
+            parse_command("watch g").unwrap(),
+            Command::Watch(WatchTarget::Global("g".into()), Condition::Always)
+        );
+        assert_eq!(
+            parse_command("w main.i").unwrap(),
+            Command::Watch(
+                WatchTarget::Local { func: "main".into(), var: "i".into() },
+                Condition::Always
+            )
+        );
+        assert_eq!(
+            parse_command("watch heap 7").unwrap(),
+            Command::Watch(WatchTarget::Heap(7), Condition::Always)
+        );
+        assert_eq!(
+            parse_command("watch g if == 42").unwrap(),
+            Command::Watch(WatchTarget::Global("g".into()), Condition::Eq(42))
+        );
+        assert_eq!(
+            parse_command("watch heap 3 if > -1").unwrap(),
+            Command::Watch(WatchTarget::Heap(3), Condition::Gt(-1))
+        );
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        assert_eq!(parse_command("break main").unwrap(), Command::Break("main".into()));
+        assert_eq!(parse_command("r").unwrap(), Command::Run);
+        assert_eq!(parse_command("c").unwrap(), Command::Continue);
+        assert_eq!(parse_command("si 100").unwrap(), Command::StepI(100));
+        assert_eq!(parse_command("stepi").unwrap(), Command::StepI(1));
+        assert_eq!(parse_command("p main.x").unwrap(), Command::Print("main.x".into()));
+        assert_eq!(parse_command("bt").unwrap(), Command::Backtrace);
+        assert_eq!(parse_command("info watch").unwrap(), Command::InfoWatch);
+        assert_eq!(parse_command("delete 2").unwrap(), Command::Delete(2));
+        assert_eq!(parse_command("disasm").unwrap(), Command::Disasm(8));
+        assert_eq!(parse_command("q").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("watch").is_err());
+        assert!(parse_command("watch g if >= 3").is_err());
+        assert!(parse_command("watch g if == many").is_err());
+        assert!(parse_command("watch heap x").is_err());
+        assert!(parse_command("watch .x").is_err());
+        assert!(parse_command("delete two").is_err());
+        assert!(parse_command("info nothing").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `qei` — a scriptable source-level debugger with data breakpoints.
+//!
+//! The paper closes with the system this library was meant for: "a
+//! sophisticated high-level debugging system called QEI" (a Latin
+//! abbreviation for "which was to be found out"), to be built on a
+//! CodePatch write monitor service. This crate is that debugger, scaled
+//! to the `tinyc`/`spar` world:
+//!
+//! * **data breakpoints** on globals, locals (per-instantiation, as the
+//!   paper's `OneLocalAuto`), and heap objects — including *conditional*
+//!   ones (`watch g if == 42`);
+//! * **control breakpoints** on function entry (the ubiquitous kind the
+//!   paper contrasts with);
+//! * inspection: print variables, backtrace, disassembly around a pc;
+//! * fully scriptable ([`Debugger::execute`] takes one command and
+//!   returns text), with a REPL binary (`qei`) on top.
+//!
+//! # Examples
+//!
+//! ```
+//! use databp_debugger::Debugger;
+//!
+//! let src = "int g; int main() { g = 7; g = g + 1; return g; }";
+//! let mut dbg = Debugger::launch(src, &[]).expect("program compiles");
+//! dbg.execute("watch g").unwrap();
+//! let out = dbg.execute("run").unwrap();
+//! assert!(out.contains("data breakpoint"), "{out}");
+//! let out = dbg.execute("print g").unwrap();
+//! assert!(out.contains("= 7"), "{out}");
+//! ```
+
+mod command;
+mod debugger;
+mod watches;
+
+pub use command::{parse_command, Command, WatchTarget};
+pub use debugger::{Debugger, DebuggerError, RunState};
+pub use watches::{Condition, WatchId, WatchKind};

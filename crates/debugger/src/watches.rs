@@ -1,0 +1,126 @@
+//! Watch (data breakpoint) and breakpoint bookkeeping.
+
+use std::fmt;
+
+/// Identifies a user-visible watch (data breakpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WatchId(pub u32);
+
+impl fmt::Display for WatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "watch #{}", self.0)
+    }
+}
+
+/// What a watch monitors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchKind {
+    /// A file-scope global (or function-static) by id.
+    Global {
+        /// Global table id.
+        id: u32,
+        /// Display name.
+        name: String,
+    },
+    /// Every instantiation of a local automatic variable.
+    Local {
+        /// Function id.
+        func: u16,
+        /// Variable index.
+        var: u16,
+        /// Display name (`func.var`).
+        name: String,
+    },
+    /// One heap object by allocation sequence number (may not exist yet).
+    Heap {
+        /// Allocation sequence number.
+        seq: u32,
+    },
+}
+
+impl fmt::Display for WatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchKind::Global { name, .. } => write!(f, "global '{name}'"),
+            WatchKind::Local { name, .. } => write!(f, "local '{name}'"),
+            WatchKind::Heap { seq } => write!(f, "heap object #{seq}"),
+        }
+    }
+}
+
+/// A condition on the *newly stored* value; the debugger pauses only when
+/// it holds (the watch still counts every hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Condition {
+    /// Pause on every write.
+    #[default]
+    Always,
+    /// Pause when the stored value equals the operand.
+    Eq(i32),
+    /// Pause when it differs.
+    Ne(i32),
+    /// Pause when it is less (signed).
+    Lt(i32),
+    /// Pause when it is greater (signed).
+    Gt(i32),
+}
+
+impl Condition {
+    /// Evaluates the condition against a stored value.
+    pub fn holds(self, value: i32) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::Eq(x) => value == x,
+            Condition::Ne(x) => value != x,
+            Condition::Lt(x) => value < x,
+            Condition::Gt(x) => value > x,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Always => Ok(()),
+            Condition::Eq(x) => write!(f, " if == {x}"),
+            Condition::Ne(x) => write!(f, " if != {x}"),
+            Condition::Lt(x) => write!(f, " if < {x}"),
+            Condition::Gt(x) => write!(f, " if > {x}"),
+        }
+    }
+}
+
+/// One installed watch.
+#[derive(Debug, Clone)]
+pub(crate) struct Watch {
+    pub kind: WatchKind,
+    pub cond: Condition,
+    pub hits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditions_evaluate() {
+        assert!(Condition::Always.holds(0));
+        assert!(Condition::Eq(5).holds(5));
+        assert!(!Condition::Eq(5).holds(6));
+        assert!(Condition::Ne(5).holds(6));
+        assert!(Condition::Lt(0).holds(-1));
+        assert!(!Condition::Lt(0).holds(0));
+        assert!(Condition::Gt(10).holds(11));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(WatchId(3).to_string(), "watch #3");
+        assert_eq!(
+            WatchKind::Global { id: 0, name: "g".into() }.to_string(),
+            "global 'g'"
+        );
+        assert_eq!(Condition::Eq(7).to_string(), " if == 7");
+        assert_eq!(Condition::Always.to_string(), "");
+    }
+}

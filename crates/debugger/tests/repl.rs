@@ -1,0 +1,105 @@
+//! End-to-end test of the `qei` REPL binary: spawn it on a source file,
+//! feed a command script over stdin, check the transcript.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const PROGRAM: &str = r#"
+    int total;
+    int add(int x) { total = total + x; return total; }
+    int main() {
+        add(5);
+        add(7);
+        print_int(total);
+        return total;
+    }
+"#;
+
+fn run_script(program: &str, script: &str, args: &[&str]) -> (String, String, bool) {
+    let dir = std::env::temp_dir().join(format!(
+        "qei-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("program.c");
+    std::fs::write(&src, program).expect("write source");
+
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qei"));
+    cmd.arg(&src).args(args).stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn qei");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("qei runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn scripted_watch_session_over_stdin() {
+    let script = "watch total\nrun\ncontinue\ncontinue\ninfo watch\noutput\nquit\n";
+    let (stdout, stderr, ok) = run_script(PROGRAM, script, &[]);
+    assert!(ok, "qei failed: {stderr}");
+    assert!(stdout.contains("loaded"), "{stdout}");
+    // Two pauses (one per write), then exit.
+    assert_eq!(stdout.matches("data breakpoint").count(), 2, "{stdout}");
+    assert!(stdout.contains("wrote 5"), "{stdout}");
+    assert!(stdout.contains("wrote 12"), "{stdout}");
+    assert!(stdout.contains("exited with code 12"), "{stdout}");
+    assert!(stdout.contains("2 hits"), "{stdout}");
+}
+
+#[test]
+fn bad_commands_keep_the_repl_alive() {
+    let script = "frobnicate\nwatch nosuch\nrun\nquit\n";
+    let (stdout, _, ok) = run_script(PROGRAM, script, &[]);
+    assert!(ok);
+    assert!(stdout.contains("error: unknown command"), "{stdout}");
+    assert!(stdout.contains("error: no global named"), "{stdout}");
+    assert!(stdout.contains("exited with code 12"), "{stdout}");
+}
+
+#[test]
+fn program_arguments_flow_through() {
+    let src = "int main() { print_int(arg(0) * arg(1)); return 0; }";
+    let (stdout, _, ok) = run_script(src, "run\noutput\nquit\n", &["6", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("42"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_a_clean_failure() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qei"))
+        .arg("/nonexistent/nowhere.c")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn compile_errors_are_reported_with_line() {
+    let (_, stderr, ok) = {
+        let dir = std::env::temp_dir().join(format!("qei-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("bad.c");
+        std::fs::write(&src, "int main() { return unknown_var; }").unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_qei")).arg(&src).output().expect("spawn");
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+    assert!(!ok);
+    assert!(stderr.contains("line 1"), "{stderr}");
+}

@@ -1,0 +1,219 @@
+//! Scripted debugging sessions exercising the full command surface.
+
+use databp_debugger::{Debugger, DebuggerError, RunState};
+
+const PROGRAM: &str = r#"
+    int counter;
+    int history[4];
+
+    int bump(int by) {
+        int before;
+        before = counter;
+        counter = counter + by;
+        history[counter % 4] = before;
+        return before;
+    }
+
+    int main() {
+        int i;
+        for (i = 1; i <= 5; i = i + 1) {
+            bump(i);
+        }
+        print_int(counter);
+        return counter;
+    }
+"#;
+
+fn launch() -> Debugger {
+    Debugger::launch(PROGRAM, &[]).expect("program compiles")
+}
+
+#[test]
+fn watch_global_pauses_on_each_write() {
+    let mut dbg = launch();
+    dbg.execute("watch counter").unwrap();
+    let mut pauses = 0;
+    let mut out = dbg.execute("run").unwrap();
+    while dbg.state() == RunState::Paused {
+        assert!(out.contains("data breakpoint"), "{out}");
+        assert!(out.contains("global 'counter'"), "{out}");
+        assert!(out.contains("in bump()"), "{out}");
+        pauses += 1;
+        out = dbg.execute("continue").unwrap();
+    }
+    assert_eq!(pauses, 5, "five writes to counter");
+    assert!(out.contains("exited with code 15"), "{out}");
+}
+
+#[test]
+fn conditional_watch_pauses_only_when_predicate_holds() {
+    let mut dbg = launch();
+    dbg.execute("watch counter if == 6").unwrap();
+    let out = dbg.execute("run").unwrap();
+    // counter takes values 1, 3, 6, 10, 15 — exactly one pause.
+    assert!(out.contains("wrote 6"), "{out}");
+    assert_eq!(dbg.state(), RunState::Paused);
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("exited"), "{out}");
+    // The watch still counted every hit.
+    let info = dbg.execute("info watch").unwrap();
+    assert!(info.contains("5 hits"), "{info}");
+}
+
+#[test]
+fn watch_local_catches_per_instantiation_writes() {
+    let mut dbg = launch();
+    dbg.execute("watch bump.before").unwrap();
+    let mut pauses = 0;
+    let mut out = dbg.execute("run").unwrap();
+    while dbg.state() == RunState::Paused {
+        assert!(out.contains("local 'bump.before'"), "{out}");
+        pauses += 1;
+        out = dbg.execute("continue").unwrap();
+    }
+    assert_eq!(pauses, 5, "one write per call");
+}
+
+#[test]
+fn control_breakpoint_and_inspection() {
+    let mut dbg = launch();
+    dbg.execute("break bump").unwrap();
+    let out = dbg.execute("run").unwrap();
+    assert!(out.contains("entered bump()"), "{out}");
+
+    // Stack: bump under main.
+    let bt = dbg.execute("backtrace").unwrap();
+    assert!(bt.starts_with("#0 bump()"), "{bt}");
+    assert!(bt.contains("#1 main()"), "{bt}");
+
+    // The breakpoint fires at frame establishment, *before* the argument
+    // spills to its slot (that spill is itself a traced write).
+    let by = dbg.execute("print by").unwrap();
+    assert!(by.contains("by = 0"), "{by}");
+    // Two instructions later (chk + sw) the parameter has landed.
+    dbg.execute("stepi 2").unwrap();
+    let by = dbg.execute("print by").unwrap();
+    assert!(by.contains("by = 1"), "{by}");
+    let c = dbg.execute("print counter").unwrap();
+    assert!(c.contains("counter = 0"), "{c}");
+    let qualified = dbg.execute("print main.i").unwrap();
+    assert!(qualified.contains("main.i = 1"), "{qualified}");
+
+    // Second entry: argument advanced.
+    dbg.execute("continue").unwrap();
+    dbg.execute("stepi 2").unwrap();
+    let by = dbg.execute("print by").unwrap();
+    assert!(by.contains("by = 2"), "{by}");
+}
+
+#[test]
+fn delete_watch_stops_future_pauses() {
+    let mut dbg = launch();
+    dbg.execute("watch counter").unwrap();
+    dbg.execute("run").unwrap();
+    assert_eq!(dbg.state(), RunState::Paused);
+    let out = dbg.execute("delete 0").unwrap();
+    assert!(out.contains("deleted watch #0"), "{out}");
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("exited"), "{out}");
+}
+
+#[test]
+fn watch_heap_object() {
+    let src = r#"
+        int main() {
+            int *a;
+            int *b;
+            a = (int*)malloc(8);
+            b = (int*)malloc(8);
+            a[0] = 1;
+            b[0] = 2;   // second allocation = heap #1
+            b[1] = 3;
+            free((char*)a);
+            free((char*)b);
+            return 0;
+        }
+    "#;
+    let mut dbg = Debugger::launch(src, &[]).expect("compiles");
+    dbg.execute("watch heap 1").unwrap();
+    let out = dbg.execute("run").unwrap();
+    assert!(out.contains("heap object #1"), "{out}");
+    assert!(out.contains("wrote 2"), "{out}");
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("wrote 3"), "{out}");
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("exited"), "{out}");
+}
+
+#[test]
+fn stepi_and_disasm() {
+    let mut dbg = launch();
+    let out = dbg.execute("stepi 3").unwrap();
+    assert!(out.contains("stopped at pc"), "{out}");
+    let dis = dbg.execute("disasm 4").unwrap();
+    assert!(dis.contains("=>"), "{dis}");
+    assert_eq!(dis.lines().count(), 4);
+    // Stepping a lot eventually exits.
+    let out = dbg.execute("stepi 1000000").unwrap();
+    assert!(out.contains("exited"), "{out}");
+}
+
+#[test]
+fn output_command_shows_program_output() {
+    let mut dbg = launch();
+    dbg.execute("run").unwrap();
+    let out = dbg.execute("output").unwrap();
+    assert_eq!(out.trim(), "15");
+}
+
+#[test]
+fn state_machine_errors() {
+    let mut dbg = launch();
+    assert!(matches!(
+        dbg.execute("continue"),
+        Err(DebuggerError::Command(m)) if m.contains("not started")
+    ));
+    dbg.execute("run").unwrap(); // exits (no watches)
+    assert!(matches!(dbg.state(), RunState::Exited(15)));
+    assert!(dbg.execute("run").is_err());
+    assert!(dbg.execute("continue").is_err());
+}
+
+#[test]
+fn bad_names_are_reported() {
+    let mut dbg = launch();
+    assert!(dbg.execute("watch nonexistent").is_err());
+    assert!(dbg.execute("watch bump.nothing").is_err());
+    assert!(dbg.execute("watch missing.x").is_err());
+    assert!(dbg.execute("break missing").is_err());
+    assert!(dbg.execute("print missing").is_err());
+    assert!(dbg.execute("delete 99").is_err());
+    assert!(dbg.execute("gibberish").is_err());
+}
+
+#[test]
+fn watch_function_static_by_name() {
+    let src = r#"
+        int tick() { static int n; n = n + 1; return n; }
+        int main() { tick(); tick(); return tick(); }
+    "#;
+    let mut dbg = Debugger::launch(src, &[]).expect("compiles");
+    dbg.execute("watch n").unwrap(); // resolves tick::n
+    let mut pauses = 0;
+    let mut out = dbg.execute("run").unwrap();
+    while dbg.state() == RunState::Paused {
+        assert!(out.contains("tick::n"), "{out}");
+        pauses += 1;
+        out = dbg.execute("continue").unwrap();
+    }
+    assert_eq!(pauses, 3);
+}
+
+#[test]
+fn help_lists_commands() {
+    let mut dbg = launch();
+    let h = dbg.execute("help").unwrap();
+    for cmd in ["watch", "break", "stepi", "backtrace", "disasm"] {
+        assert!(h.contains(cmd), "help missing {cmd}");
+    }
+}

@@ -1,0 +1,244 @@
+//! `repro` — regenerates every table and figure of *Efficient Data
+//! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads.
+//!
+//! ```text
+//! usage: repro [--small] [--csv DIR] <command>
+//!
+//! commands:
+//!   all          every experiment, in paper order
+//!   table1       session counts and base execution times
+//!   table2       timing variables (paper + host-measured)
+//!   table3       mean counting variables
+//!   table4       relative overhead statistics
+//!   fig7         maximum relative overhead (chart + values)
+//!   fig8         90th-percentile relative overhead
+//!   fig9         10–90% trimmed-mean relative overhead
+//!   breakdown    Section 8 time-spent breakdown
+//!   expansion    Section 8 CodePatch code expansion
+//!   loopopt      Section 9 loop-check optimization (executes CodePatch)
+//!   dyncp        Section 3.3 dynamic-patching hybrid (executes CodePatch)
+//!   nhcoverage   watch-register coverage analysis
+//!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
+//!   sessions W   list surviving sessions of workload W
+//!   dist W A     histogram of per-session overheads for workload W under
+//!                approach A (nh, vm4k, vm8k, tp, cp)
+//!   trace W F    run workload W and save its phase-1 trace to file F
+//!                (binary when F ends in .bin, text otherwise)
+//!
+//! options:
+//!   --small      run scaled-down workloads (fast; for smoke tests)
+//!   --csv DIR    also write each table as CSV into DIR
+//! ```
+
+use databp_harness::figures::{figure, figure_ascii, Figure};
+use databp_harness::overheads_for;
+use databp_harness::render::TextTable;
+use databp_harness::{analyze, analyze_all, Scale};
+use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, tables};
+use databp_workloads::Workload;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    scale: Scale,
+    csv_dir: Option<PathBuf>,
+}
+
+fn emit(opts: &Opts, slug: &str, table: &TextTable) {
+    println!("{}", table.render());
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, table.render_csv()).expect("write csv");
+        println!("(csv written to {})\n", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>();
+    let mut opts = Opts { scale: Scale::Full, csv_dir: None };
+    if let Some(pos) = args.iter().position(|a| a == "--small") {
+        args.remove(pos);
+        opts.scale = Scale::Small;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--csv needs a directory");
+            return ExitCode::FAILURE;
+        }
+        opts.csv_dir = Some(PathBuf::from(args.remove(pos)));
+    }
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("usage: repro [--small] [--csv DIR] <command>; see source header");
+        return ExitCode::FAILURE;
+    };
+
+    match cmd {
+        "table2" => {
+            // No workload runs needed.
+            emit(&opts, "table2", &tables::table2());
+            return ExitCode::SUCCESS;
+        }
+        "dist" => {
+            let (Some(name), Some(approach)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: repro dist <workload> <nh|vm4k|vm8k|tp|cp>");
+                return ExitCode::FAILURE;
+            };
+            let approach = match approach.as_str() {
+                "nh" => databp_models::Approach::Nh,
+                "vm4k" => databp_models::Approach::Vm4k,
+                "vm8k" => databp_models::Approach::Vm8k,
+                "tp" => databp_models::Approach::Tp,
+                "cp" => databp_models::Approach::Cp,
+                other => {
+                    eprintln!("unknown approach '{other}'");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let w = match opts.scale {
+                Scale::Full => w,
+                Scale::Small => w.scaled_down(),
+            };
+            let r = analyze(&w);
+            let ovs = overheads_for(&r, approach);
+            let h = databp_stats::Histogram::from_samples(&ovs, 16);
+            println!(
+                "{name} under {approach}: {} sessions, relative overhead distribution",
+                ovs.len()
+            );
+            print!("{}", h.render_ascii(48));
+            let s = databp_stats::Summary::from_samples(&ovs);
+            println!(
+                "min={:.2} t-mean={:.2} mean={:.2} p90={:.2} p98={:.2} max={:.2}",
+                s.min, s.t_mean, s.mean, s.p90, s.p98, s.max
+            );
+            return ExitCode::SUCCESS;
+        }
+        "trace" => {
+            let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: repro trace <workload> <file>");
+                return ExitCode::FAILURE;
+            };
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let w = match opts.scale {
+                Scale::Full => w,
+                Scale::Small => w.scaled_down(),
+            };
+            let p = databp_workloads::prepare(&w).expect("workload runs");
+            let mut buf = Vec::new();
+            if path.ends_with(".bin") {
+                databp_trace::write_binary(&p.trace, &mut buf).expect("encode");
+            } else {
+                databp_trace::write_text(&p.trace, &mut buf).expect("encode");
+            }
+            std::fs::write(path, &buf).expect("write trace file");
+            let st = p.trace.stats();
+            println!(
+                "{}: {} events ({} writes, {} installs) -> {} ({} bytes)",
+                name,
+                p.trace.len(),
+                st.writes,
+                st.installs,
+                path,
+                buf.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        "sessions" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: repro sessions <workload>");
+                return ExitCode::FAILURE;
+            };
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}' (cc, tex, spice, qcd, bps)");
+                return ExitCode::FAILURE;
+            };
+            let w = match opts.scale {
+                Scale::Full => w,
+                Scale::Small => w.scaled_down(),
+            };
+            let r = analyze(&w);
+            println!(
+                "{}: {} candidate sessions, {} with hits",
+                name,
+                r.candidates,
+                r.sessions.len()
+            );
+            for (i, s) in r.sessions.iter().enumerate() {
+                println!(
+                    "  [{i:4}] {:+30} hits={:8} misses={:9}  {}",
+                    s.to_string(),
+                    r.counts4[i].hit,
+                    r.counts4[i].miss,
+                    s.describe(&r.prepared.plain.debug)
+                );
+            }
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+
+    eprintln!(
+        "running {} workloads (this regenerates the paper's traces)...",
+        match opts.scale {
+            Scale::Full => "full-scale",
+            Scale::Small => "scaled-down",
+        }
+    );
+    let results = analyze_all(opts.scale);
+    eprintln!("workloads done.\n");
+
+    let run_figures = |opts: &Opts, fig: Figure, slug: &str| {
+        println!("{}", figure_ascii(&results, fig, 48));
+        emit(opts, slug, &figure(&results, fig));
+    };
+
+    match cmd {
+        "all" => {
+            emit(&opts, "table1", &tables::table1(&results));
+            emit(&opts, "table2", &tables::table2());
+            emit(&opts, "table3", &tables::table3(&results));
+            emit(&opts, "table4", &tables::table4(&results));
+            run_figures(&opts, Figure::Max, "fig7");
+            run_figures(&opts, Figure::P90, "fig8");
+            run_figures(&opts, Figure::TMean, "fig9");
+            emit(&opts, "breakdown", &breakdown::breakdown_table(&results));
+            emit(&opts, "expansion", &expansion::expansion_table(&results));
+            emit(&opts, "nhcoverage", &nhcoverage::coverage_table(&results));
+            emit(&opts, "loopopt", &loopopt::loopopt_table(&results, 3));
+            emit(&opts, "dyncp", &dyncp::dyncp_table(&results));
+        }
+        "table1" => emit(&opts, "table1", &tables::table1(&results)),
+        "table3" => emit(&opts, "table3", &tables::table3(&results)),
+        "table4" => emit(&opts, "table4", &tables::table4(&results)),
+        "fig7" => run_figures(&opts, Figure::Max, "fig7"),
+        "fig8" => run_figures(&opts, Figure::P90, "fig8"),
+        "fig9" => run_figures(&opts, Figure::TMean, "fig9"),
+        "breakdown" => emit(&opts, "breakdown", &breakdown::breakdown_table(&results)),
+        "expansion" => emit(&opts, "expansion", &expansion::expansion_table(&results)),
+        "nhcoverage" => emit(&opts, "nhcoverage", &nhcoverage::coverage_table(&results)),
+        "loopopt" => emit(&opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
+        "dyncp" => emit(&opts, "dyncp", &dyncp::dyncp_table(&results)),
+        "verify" => {
+            let checks = databp_harness::verify::verify(&results);
+            let (text, all) = databp_harness::verify::render(&checks);
+            println!("{text}");
+            if !all {
+                return ExitCode::FAILURE;
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! Section 8's overhead breakdown: "for each program we calculated the
+//! mean, over all monitor sessions, of the percentage of time taken by
+//! each of the operations corresponding to our timing variables."
+
+use crate::pipeline::WorkloadResults;
+use crate::render::{fmt_pct, TextTable};
+use databp_models::{overhead, Approach, TimingVar, TimingVars};
+
+/// Mean fraction of modeled overhead attributed to `var` under
+/// `approach`, over all sessions of one workload. Sessions with zero
+/// total overhead are skipped.
+pub fn mean_fraction(r: &WorkloadResults, approach: Approach, var: TimingVar) -> f64 {
+    let timing = TimingVars::default();
+    let counts = if approach == Approach::Vm8k { &r.counts8 } else { &r.counts4 };
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for c in counts {
+        let ov = overhead(approach, c, &timing);
+        if ov.total_us() > 0.0 {
+            total += ov.fraction(var);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// The dominant timing variable per approach (what Section 8 reports).
+fn headline_var(a: Approach) -> TimingVar {
+    match a {
+        Approach::Nh => TimingVar::NhFaultHandler,
+        Approach::Vm4k | Approach::Vm8k => TimingVar::VmFaultHandler,
+        Approach::Tp => TimingVar::TpFaultHandler,
+        Approach::Cp => TimingVar::SoftwareLookup,
+    }
+}
+
+/// The breakdown table: per program, the mean share of the dominant
+/// timing variable for each approach. Section 8 expects ~100% for NH,
+/// 86–97% for VM, ~97% for TP, and 98–99% for CP.
+pub fn breakdown_table(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Section 8 breakdown: mean share of the dominant timing variable",
+        &[
+            "Program",
+            "NH: NHFaultHandler",
+            "VM-4K: VMFaultHandler",
+            "VM-8K: VMFaultHandler",
+            "TP: TPFaultHandler",
+            "CP: SoftwareLookup",
+        ],
+    );
+    for r in results {
+        let mut row = vec![r.prepared.workload.name.to_string()];
+        for a in Approach::ALL {
+            row.push(fmt_pct(mean_fraction(r, a, headline_var(a))));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use databp_workloads::Workload;
+
+    #[test]
+    fn dominant_shares_match_section_8_bands() {
+        let r = analyze(&Workload::by_name("cc").unwrap().scaled_down());
+        // NH: all overhead is the fault handler.
+        let nh = mean_fraction(&r, Approach::Nh, TimingVar::NhFaultHandler);
+        assert!((nh - 1.0).abs() < 1e-9, "NH share {nh}");
+        // TP: 102/(102+2.75) per checked write, plus small update term.
+        let tp = mean_fraction(&r, Approach::Tp, TimingVar::TpFaultHandler);
+        assert!(tp > 0.95 && tp < 0.99, "TP share {tp}");
+        // CP: lookup dominates.
+        let cp = mean_fraction(&r, Approach::Cp, TimingVar::SoftwareLookup);
+        assert!(cp > 0.90, "CP share {cp}");
+        // VM: fault handler dominates.
+        let vm = mean_fraction(&r, Approach::Vm4k, TimingVar::VmFaultHandler);
+        assert!(vm > 0.5, "VM share {vm}");
+    }
+
+    #[test]
+    fn table_renders_percentages() {
+        let r = vec![analyze(&Workload::by_name("tex").unwrap().scaled_down())];
+        let text = breakdown_table(&r).render();
+        assert!(text.contains('%'));
+        assert!(text.contains("tex"));
+    }
+}

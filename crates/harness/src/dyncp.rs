@@ -1,0 +1,130 @@
+//! Section 3.3's dynamic-patching hybrid, measured: static CodePatch vs.
+//! nop-padding patched on demand.
+//!
+//! "Which approach one employs depends on the language being monitored
+//! and the performance penalty of executing unused monitor code." This
+//! experiment quantifies both sides: the *idle* cost (no monitors ever
+//! installed — the price a user pays for merely running under a
+//! watchpoint-capable debugger) and the *armed* cost (a typical session,
+//! where the hybrid converges to static CodePatch plus one patch sweep).
+
+use crate::pipeline::WorkloadResults;
+use crate::render::{fmt_pct, fmt_rel, TextTable};
+use databp_core::{CodePatch, DynamicCodePatch, MonitorPlan, NoMonitors};
+use databp_machine::Machine;
+use databp_sessions::SessionPlan;
+
+/// One measured comparison.
+#[derive(Debug, Clone)]
+pub struct DynCpRow {
+    /// Workload name.
+    pub workload: String,
+    /// Session description (or "(no monitors)").
+    pub session: String,
+    /// Static CodePatch relative overhead.
+    pub cp: f64,
+    /// Dynamic-patching relative overhead.
+    pub dyn_cp: f64,
+    /// Pad patch/unpatch sweeps performed by the dynamic run.
+    pub patch_events: u64,
+}
+
+fn run_static(r: &WorkloadResults, plan: &dyn MonitorPlan) -> f64 {
+    let mut m = Machine::new();
+    m.load(&r.prepared.codepatch.program);
+    m.set_args(r.prepared.workload.args.clone());
+    CodePatch::default()
+        .run(&mut m, &r.prepared.codepatch.debug, plan, r.prepared.workload.max_steps * 2)
+        .expect("CodePatch run")
+        .relative_overhead()
+}
+
+fn run_dynamic(r: &WorkloadResults, plan: &dyn MonitorPlan) -> (f64, u64, u64) {
+    let mut m = Machine::new();
+    m.load(&r.prepared.nop_padded.program);
+    m.set_args(r.prepared.workload.args.clone());
+    let rep = DynamicCodePatch::default()
+        .run(&mut m, &r.prepared.nop_padded.debug, plan, r.prepared.workload.max_steps * 2)
+        .expect("DynamicCodePatch run");
+    (rep.relative_overhead(), rep.patch_events, rep.counts.hit)
+}
+
+/// Measures the hybrid for one workload: idle plus the busiest session.
+pub fn measure(r: &WorkloadResults) -> Vec<DynCpRow> {
+    let mut rows = Vec::new();
+    let (dyn_idle, patches, _) = run_dynamic(r, &NoMonitors);
+    rows.push(DynCpRow {
+        workload: r.prepared.workload.name.to_string(),
+        session: "(no monitors)".to_string(),
+        cp: run_static(r, &NoMonitors),
+        dyn_cp: dyn_idle,
+        patch_events: patches,
+    });
+    if let Some((i, _)) = r
+        .counts4
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.hit)
+    {
+        let session = r.sessions[i];
+        let plan = SessionPlan::new(session, &r.prepared.plain.debug);
+        let cp = run_static(r, &plan);
+        let (dyn_cp, patch_events, hits) = run_dynamic(r, &plan);
+        assert_eq!(hits, r.counts4[i].hit, "dynamic patching must not lose hits");
+        rows.push(DynCpRow {
+            workload: r.prepared.workload.name.to_string(),
+            session: session.describe(&r.prepared.plain.debug),
+            cp,
+            dyn_cp,
+            patch_events,
+        });
+    }
+    rows
+}
+
+/// The dynamic-patching table over all workloads.
+pub fn dyncp_table(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Section 3.3 hybrid: static CodePatch vs dynamic nop-patching (executed)",
+        &["Program", "Session", "CP", "DynCP", "saved", "patch sweeps"],
+    );
+    for r in results {
+        for row in measure(r) {
+            let saved = if row.cp > 0.0 { 1.0 - row.dyn_cp / row.cp } else { 0.0 };
+            t.row(vec![
+                row.workload,
+                row.session,
+                fmt_rel(row.cp),
+                fmt_rel(row.dyn_cp),
+                fmt_pct(saved),
+                row.patch_events.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use databp_workloads::Workload;
+
+    #[test]
+    fn idle_hybrid_is_free_and_armed_hybrid_matches_cp() {
+        let r = analyze(&Workload::by_name("tex").unwrap().scaled_down());
+        let rows = measure(&r);
+        assert_eq!(rows.len(), 2);
+        let idle = &rows[0];
+        assert_eq!(idle.dyn_cp, 0.0, "idle hybrid charges nothing: {idle:?}");
+        assert!(idle.cp > 1.0, "static CP pays while idle: {idle:?}");
+        assert_eq!(idle.patch_events, 0);
+        let armed = &rows[1];
+        // Once armed the hybrid costs at most ~CP plus the patch sweep.
+        assert!(
+            armed.dyn_cp <= armed.cp * 1.10 + 0.5,
+            "armed hybrid should track CP: {armed:?}"
+        );
+        assert!(armed.patch_events >= 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Section 8's CodePatch space overhead: "we estimated the code
+//! expansion for CodePatch … a modest increase of between 12% and 15%."
+
+use crate::pipeline::WorkloadResults;
+use crate::render::{fmt_pct, TextTable};
+use databp_models::code_expansion;
+
+/// Static code expansion of CodePatch for one workload: checked stores ×
+/// 2 words over the uninstrumented image size, plus the *measured*
+/// expansion (instrumented image vs. plain image).
+pub fn expansion_row(r: &WorkloadResults) -> (f64, f64) {
+    let plain_words = r.prepared.plain.program.len() as u32;
+    let estimated = code_expansion(r.prepared.plain.debug.traced_store_count, plain_words);
+    let cp_words = r.prepared.codepatch.program.len() as u32;
+    let measured = (cp_words - plain_words) as f64 / plain_words as f64;
+    (estimated, measured)
+}
+
+/// The expansion table across all workloads.
+pub fn expansion_table(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Section 8: CodePatch static code expansion",
+        &[
+            "Program",
+            "Code words",
+            "Traced stores",
+            "Estimated (2 words/check)",
+            "Measured (image growth)",
+        ],
+    );
+    for r in results {
+        let (est, meas) = expansion_row(r);
+        t.row(vec![
+            r.prepared.workload.name.to_string(),
+            r.prepared.plain.program.len().to_string(),
+            r.prepared.plain.debug.traced_store_count.to_string(),
+            fmt_pct(est),
+            fmt_pct(meas),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use databp_workloads::Workload;
+
+    #[test]
+    fn expansion_in_a_plausible_band() {
+        // Our chk is one word, the paper costs two; the measured image
+        // growth is therefore about half the estimate. Both should land
+        // in the paper's neighbourhood (single-digit to ~20%).
+        let r = analyze(&Workload::by_name("cc").unwrap().scaled_down());
+        let (est, meas) = expansion_row(&r);
+        assert!(est > 0.04 && est < 0.30, "estimated {est}");
+        assert!(meas > 0.02 && meas < 0.20, "measured {meas}");
+        assert!((est / 2.0 - meas).abs() < 0.02, "measured ≈ estimate/2");
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = vec![analyze(&Workload::by_name("spice").unwrap().scaled_down())];
+        let text = expansion_table(&r).render();
+        assert!(text.contains("Traced stores"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,143 @@
+//! Figures 7–9: per-program, per-approach relative-overhead charts.
+//!
+//! The paper plots grouped bars (log-scaled by eye); we render the same
+//! series as an aligned value table plus a log-scale ASCII bar chart, and
+//! export CSV for external plotting.
+
+use crate::pipeline::{overheads_for, WorkloadResults};
+use crate::render::TextTable;
+use databp_models::Approach;
+use databp_stats::Summary;
+
+/// Which figure to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Figure 7: maximum relative overhead over all sessions.
+    Max,
+    /// Figure 8: 90th-percentile relative overhead.
+    P90,
+    /// Figure 9: mean of sessions between the 10th and 90th percentiles.
+    TMean,
+}
+
+impl Figure {
+    /// The paper's caption.
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Max => "Figure 7: maximum relative overhead over all monitor sessions",
+            Figure::P90 => "Figure 8: 90th percentile relative overhead",
+            Figure::TMean => {
+                "Figure 9: mean relative overhead, sessions between 10th and 90th percentiles"
+            }
+        }
+    }
+
+    fn statistic(self, s: &Summary) -> f64 {
+        match self {
+            Figure::Max => s.max,
+            Figure::P90 => s.p90,
+            Figure::TMean => s.t_mean,
+        }
+    }
+}
+
+/// The figure's data series: `(program, [value per approach])` in
+/// [`Approach::ALL`] order.
+pub fn figure_series(results: &[WorkloadResults], fig: Figure) -> Vec<(String, Vec<f64>)> {
+    results
+        .iter()
+        .map(|r| {
+            let vals = Approach::ALL
+                .iter()
+                .map(|&a| fig.statistic(&Summary::from_samples(&overheads_for(r, a))))
+                .collect();
+            (r.prepared.workload.name.to_string(), vals)
+        })
+        .collect()
+}
+
+/// Renders the figure as a value table.
+pub fn figure(results: &[WorkloadResults], fig: Figure) -> TextTable {
+    let mut t = TextTable::new(fig.title(), &["Program", "NH", "VM-4K", "VM-8K", "TP", "CP"]);
+    for (name, vals) in figure_series(results, fig) {
+        let mut row = vec![name];
+        row.extend(vals.iter().map(|v| crate::render::fmt_rel(*v)));
+        t.row(row);
+    }
+    t
+}
+
+/// Renders the figure as a log-scale ASCII bar chart (bars scaled to
+/// `width` characters at the series maximum).
+pub fn figure_ascii(results: &[WorkloadResults], fig: Figure, width: usize) -> String {
+    let series = figure_series(results, fig);
+    let maxv = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let log_max = (1.0 + maxv).ln();
+    let mut out = String::new();
+    out.push_str(fig.title());
+    out.push('\n');
+    for (name, vals) in &series {
+        out.push_str(&format!("{name}\n"));
+        for (a, v) in Approach::ALL.iter().zip(vals) {
+            let bar = if log_max > 0.0 {
+                (((1.0 + v).ln() / log_max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!("  {:>5} {:>10.2} |{}\n", a.abbrev(), v, "#".repeat(bar)));
+        }
+    }
+    out.push_str("(bar length is log-scaled)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use databp_workloads::Workload;
+
+    fn res() -> Vec<WorkloadResults> {
+        vec![analyze(&Workload::by_name("qcd").unwrap().scaled_down())]
+    }
+
+    #[test]
+    fn series_has_five_approaches_per_program() {
+        let r = res();
+        for fig in [Figure::Max, Figure::P90, Figure::TMean] {
+            let s = figure_series(&r, fig);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s[0].1.len(), 5);
+        }
+    }
+
+    #[test]
+    fn tmean_below_max_for_every_approach() {
+        let r = res();
+        let maxs = &figure_series(&r, Figure::Max)[0].1;
+        let tmeans = &figure_series(&r, Figure::TMean)[0].1;
+        for (m, t) in maxs.iter().zip(tmeans) {
+            assert!(t <= m, "t-mean {t} above max {m}");
+        }
+    }
+
+    #[test]
+    fn ascii_chart_renders_bars() {
+        let r = res();
+        let chart = figure_ascii(&r, Figure::Max, 40);
+        assert!(chart.contains("qcd"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains("log-scaled"));
+    }
+
+    #[test]
+    fn figure_table_renders() {
+        let r = res();
+        let t = figure(&r, Figure::P90);
+        assert!(t.render().contains("Figure 8"));
+    }
+}

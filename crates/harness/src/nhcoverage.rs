@@ -1,0 +1,127 @@
+//! Watch-register coverage — quantifying the paper's core objection to
+//! NativeHardware: "no widely-used chip today supports more than four
+//! concurrent write monitors", yet "no existing processor could have
+//! supported all of the monitor sessions used in our experiment".
+//!
+//! For every surviving session we compute the *maximum number of
+//! simultaneously active monitors* from the trace; a session is
+//! hardware-feasible only if that maximum fits the register bank.
+
+use crate::pipeline::WorkloadResults;
+use crate::render::{fmt_pct, TextTable};
+use databp_machine::DEFAULT_WATCH_REGS;
+use databp_sessions::SessionSet;
+use databp_sim::Membership;
+use databp_trace::Event;
+
+/// Per-session maximum concurrent active monitors over one trace.
+pub fn max_concurrent(r: &WorkloadResults) -> Vec<u32> {
+    let set = SessionSet::new(
+        r.sessions.clone(),
+        &r.prepared.plain.debug,
+        &r.prepared.trace,
+    );
+    let n = set.count();
+    let mut cur = vec![0u32; n];
+    let mut max = vec![0u32; n];
+    let mut scratch = Vec::new();
+    for ev in r.prepared.trace.events() {
+        match ev {
+            Event::Install { obj, .. } => {
+                set.sessions_of(obj, &mut scratch);
+                for &s in &scratch {
+                    cur[s as usize] += 1;
+                    max[s as usize] = max[s as usize].max(cur[s as usize]);
+                }
+            }
+            Event::Remove { obj, .. } => {
+                set.sessions_of(obj, &mut scratch);
+                for &s in &scratch {
+                    // Objects that were never installed under this
+                    // session cannot be removed from it; membership is
+                    // static, so this decrement always has a matching
+                    // increment.
+                    cur[s as usize] -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    max
+}
+
+/// The coverage table: how many sessions fit 1/2/4 registers, and the
+/// largest demand seen.
+pub fn coverage_table(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "NativeHardware coverage: sessions supportable with N watch registers",
+        &[
+            "Program",
+            "Sessions",
+            "fit 1 reg",
+            "fit 4 regs (real HW)",
+            "need >4 regs",
+            "max concurrent",
+        ],
+    );
+    for r in results {
+        let maxes = max_concurrent(r);
+        let n = maxes.len().max(1);
+        let fit = |k: u32| maxes.iter().filter(|&&m| m <= k).count();
+        let over = maxes.iter().filter(|&&m| m > DEFAULT_WATCH_REGS as u32).count();
+        t.row(vec![
+            r.prepared.workload.name.to_string(),
+            maxes.len().to_string(),
+            fmt_pct(fit(1) as f64 / n as f64),
+            fmt_pct(fit(DEFAULT_WATCH_REGS as u32) as f64 / n as f64),
+            fmt_pct(over as f64 / n as f64),
+            maxes.iter().max().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use databp_sessions::SessionKind;
+    use databp_workloads::Workload;
+
+    #[test]
+    fn heap_rich_workload_needs_more_than_real_hardware() {
+        let r = analyze(&Workload::by_name("bps").unwrap().scaled_down());
+        let maxes = max_concurrent(&r);
+        assert_eq!(maxes.len(), r.sessions.len());
+        // Every session needs at least one register.
+        assert!(maxes.iter().all(|&m| m >= 1));
+        // AllHeapInFunc over the whole search must exceed 4 concurrent
+        // monitors — the paper's "consider monitoring a large central
+        // data structure".
+        let over: Vec<_> = r
+            .sessions
+            .iter()
+            .zip(&maxes)
+            .filter(|(s, &m)| s.kind() == SessionKind::AllHeapInFunc && m > 4)
+            .collect();
+        assert!(!over.is_empty(), "expected a heap-wide session to exceed 4 registers");
+    }
+
+    #[test]
+    fn single_object_sessions_fit_one_register() {
+        let r = analyze(&Workload::by_name("tex").unwrap().scaled_down());
+        let maxes = max_concurrent(&r);
+        for (s, &m) in r.sessions.iter().zip(&maxes) {
+            if s.kind() == SessionKind::OneGlobalStatic {
+                assert_eq!(m, 1, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = vec![analyze(&Workload::by_name("tex").unwrap().scaled_down())];
+        let text = coverage_table(&r).render();
+        assert!(text.contains("max concurrent"));
+    }
+}

@@ -1,0 +1,159 @@
+//! The phase-1 + phase-2 pipeline shared by every experiment.
+
+use databp_machine::PageSize;
+use databp_models::{overhead, Approach, Counts};
+use databp_sessions::{enumerate_sessions, Session, SessionKind, SessionSet};
+use databp_sim::simulate;
+use databp_workloads::{prepare, Prepared, Workload};
+use std::collections::BTreeMap;
+
+/// Which workload scale to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The full Table-1-like configuration (seconds per workload).
+    #[default]
+    Full,
+    /// Scaled-down inputs for quick runs and tests.
+    Small,
+}
+
+/// Everything the experiments need for one workload: trace, sessions
+/// (zero-hit filtered, as in the paper), and per-session counting
+/// variables at both page sizes.
+#[derive(Debug)]
+pub struct WorkloadResults {
+    /// Compiled builds, trace, and base timing.
+    pub prepared: Prepared,
+    /// Sessions with at least one monitor hit, aligned with the counts
+    /// vectors.
+    pub sessions: Vec<Session>,
+    /// Counting variables at 4 KiB pages.
+    pub counts4: Vec<Counts>,
+    /// Counting variables at 8 KiB pages.
+    pub counts8: Vec<Counts>,
+    /// Number of enumerated sessions before zero-hit filtering.
+    pub candidates: usize,
+}
+
+impl WorkloadResults {
+    /// Surviving sessions per kind (Table 1's columns).
+    pub fn kind_counts(&self) -> BTreeMap<SessionKind, usize> {
+        let mut m = BTreeMap::new();
+        for k in SessionKind::ALL {
+            m.insert(k, 0usize);
+        }
+        for s in &self.sessions {
+            *m.get_mut(&s.kind()).expect("all kinds pre-inserted") += 1;
+        }
+        m
+    }
+
+    /// Base execution time in milliseconds (Table 1's last column).
+    pub fn base_ms(&self) -> f64 {
+        self.prepared.base_us / 1000.0
+    }
+}
+
+/// Runs phase 1 and phase 2 for one workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run (covered by workload tests).
+pub fn analyze(workload: &Workload) -> WorkloadResults {
+    let prepared = prepare(workload)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name));
+    let all = enumerate_sessions(&prepared.plain.debug, &prepared.trace);
+    let candidates = all.len();
+    let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
+    let c4 = simulate(&prepared.trace, &set, PageSize::K4);
+    let c8 = simulate(&prepared.trace, &set, PageSize::K8);
+
+    // "Monitor sessions that had no monitor hits were discarded under the
+    // assumption that they are unlikely candidates during debugging."
+    let mut sessions = Vec::new();
+    let mut counts4 = Vec::new();
+    let mut counts8 = Vec::new();
+    for (i, s) in all.into_iter().enumerate() {
+        if c4[i].hit > 0 {
+            sessions.push(s);
+            counts4.push(c4[i]);
+            counts8.push(c8[i]);
+        }
+    }
+    WorkloadResults { prepared, sessions, counts4, counts8, candidates }
+}
+
+/// Runs the pipeline for all five workloads at the given scale.
+pub fn analyze_all(scale: Scale) -> Vec<WorkloadResults> {
+    Workload::all()
+        .into_iter()
+        .map(|w| match scale {
+            Scale::Full => w,
+            Scale::Small => w.scaled_down(),
+        })
+        .map(|w| analyze(&w))
+        .collect()
+}
+
+/// Per-session relative overheads for one approach — the population each
+/// Table 4 cell and each figure summarizes.
+pub fn overheads_for(res: &WorkloadResults, approach: Approach) -> Vec<f64> {
+    let timing = databp_models::TimingVars::default();
+    let counts = if approach == Approach::Vm8k { &res.counts8 } else { &res.counts4 };
+    counts
+        .iter()
+        .map(|c| overhead(approach, c, &timing).relative(res.prepared.base_us))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(name: &str) -> WorkloadResults {
+        analyze(&Workload::by_name(name).unwrap().scaled_down())
+    }
+
+    #[test]
+    fn zero_hit_sessions_filtered() {
+        let r = small("cc");
+        assert!(r.sessions.len() < r.candidates, "some candidates never get written");
+        assert!(r.counts4.iter().all(|c| c.hit > 0));
+        assert_eq!(r.sessions.len(), r.counts4.len());
+        assert_eq!(r.sessions.len(), r.counts8.len());
+    }
+
+    #[test]
+    fn tex_and_qcd_have_no_heap_sessions() {
+        for name in ["tex", "qcd"] {
+            let r = small(name);
+            let kc = r.kind_counts();
+            assert_eq!(kc[&SessionKind::OneHeap], 0, "{name}");
+            assert_eq!(kc[&SessionKind::AllHeapInFunc], 0, "{name}");
+            assert!(kc[&SessionKind::OneLocalAuto] > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn overhead_populations_are_positive_and_ordered() {
+        let r = small("cc");
+        let tp = overheads_for(&r, Approach::Tp);
+        let cp = overheads_for(&r, Approach::Cp);
+        assert_eq!(tp.len(), r.sessions.len());
+        for (t, c) in tp.iter().zip(&cp) {
+            assert!(t > c, "TP must dominate CP per session");
+            assert!(*c > 0.0);
+        }
+    }
+
+    #[test]
+    fn vm8k_uses_8k_counts() {
+        let r = small("tex");
+        let v4 = overheads_for(&r, Approach::Vm4k);
+        let v8 = overheads_for(&r, Approach::Vm8k);
+        // 8K pages can only see equal-or-more active-page misses.
+        let mean4: f64 = v4.iter().sum::<f64>() / v4.len() as f64;
+        let mean8: f64 = v8.iter().sum::<f64>() / v8.len() as f64;
+        assert!(mean8 >= mean4 * 0.999, "mean4={mean4} mean8={mean8}");
+    }
+}

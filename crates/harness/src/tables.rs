@@ -1,0 +1,180 @@
+//! Tables 1–4.
+
+use crate::pipeline::{overheads_for, WorkloadResults};
+use crate::render::{fmt_rel, TextTable};
+use databp_models::{Approach, TimingVars};
+use databp_sessions::SessionKind;
+use databp_stats::Summary;
+
+/// Table 1: type and number of monitor sessions studied (zero-hit
+/// sessions excluded) plus base execution time in milliseconds.
+pub fn table1(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1: monitor sessions studied and base execution time",
+        &[
+            "Program",
+            "OneLocalAuto",
+            "AllLocalInFunc",
+            "OneGlobalStatic",
+            "OneHeap",
+            "AllHeapInFunc",
+            "Execution Time (ms)",
+        ],
+    );
+    for r in results {
+        let kc = r.kind_counts();
+        t.row(vec![
+            r.prepared.workload.name.to_string(),
+            kc[&SessionKind::OneLocalAuto].to_string(),
+            kc[&SessionKind::AllLocalInFunc].to_string(),
+            kc[&SessionKind::OneGlobalStatic].to_string(),
+            kc[&SessionKind::OneHeap].to_string(),
+            kc[&SessionKind::AllHeapInFunc].to_string(),
+            format!("{:.0}", r.base_ms()),
+        ]);
+    }
+    t
+}
+
+/// Table 2: timing variable data in microseconds. The model values are
+/// the paper's SPARCstation 2 measurements (our simulated machine adopts
+/// them); the `host-measured` column reports this machine actually
+/// executing the Appendix A.5 software benchmarks against the real
+/// [`databp_core::PageMap`].
+pub fn table2() -> TextTable {
+    let t = TimingVars::default();
+    let measured = crate::microbench::software_microbenchmarks();
+    let mut out = TextTable::new(
+        "Table 2: timing variables (µs)",
+        &["Timing Variable", "Paper (SPARCstation 2)", "Host-measured (this machine)"],
+    );
+    for (var, us) in t.entries() {
+        let host = match var {
+            databp_models::TimingVar::SoftwareUpdate => format!("{:.3}", measured.update_us),
+            databp_models::TimingVar::SoftwareLookup => format!("{:.3}", measured.lookup_us),
+            _ => "(adopted from paper)".to_string(),
+        };
+        out.row(vec![var.to_string(), format!("{us}"), host]);
+    }
+    out
+}
+
+/// Table 3: mean counting-variable data over all studied sessions of
+/// each program.
+pub fn table3(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 3: mean counting variables over all monitor sessions",
+        &[
+            "Program",
+            "Install/Remove",
+            "MonitorHit",
+            "MonitorMiss",
+            "VM4K Prot/Unprot",
+            "VM4K ActivePageMiss",
+            "VM8K Prot/Unprot",
+            "VM8K ActivePageMiss",
+        ],
+    );
+    for r in results {
+        let n = r.counts4.len().max(1) as f64;
+        let mean = |f: &dyn Fn(usize) -> u64| -> f64 {
+            (0..r.counts4.len()).map(f).sum::<u64>() as f64 / n
+        };
+        t.row(vec![
+            r.prepared.workload.name.to_string(),
+            format!("{:.0}", mean(&|i| r.counts4[i].install)),
+            format!("{:.0}", mean(&|i| r.counts4[i].hit)),
+            format!("{:.0}", mean(&|i| r.counts4[i].miss)),
+            format!("{:.0}", mean(&|i| r.counts4[i].vm_protect)),
+            format!("{:.0}", mean(&|i| r.counts4[i].vm_active_page_miss)),
+            format!("{:.0}", mean(&|i| r.counts8[i].vm_protect)),
+            format!("{:.0}", mean(&|i| r.counts8[i].vm_active_page_miss)),
+        ]);
+    }
+    t
+}
+
+/// Table 4: relative overhead statistics. Rows per program: Min/Max,
+/// T-Mean/Mean, 90%/98% — exactly the paper's layout.
+pub fn table4(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 4: relative overhead statistics",
+        &[
+            "Program", "Statistic", "NH", "VM-4K", "VM-8K", "TP", "CP",
+        ],
+    );
+    for r in results {
+        let summaries: Vec<Summary> = Approach::ALL
+            .iter()
+            .map(|&a| Summary::from_samples(&overheads_for(r, a)))
+            .collect();
+        let name = r.prepared.workload.name;
+        let cell = |f: &dyn Fn(&Summary) -> f64| -> Vec<String> {
+            summaries.iter().map(|s| fmt_rel(f(s))).collect()
+        };
+        let mut push = |stat: &str, vals: Vec<String>| {
+            let mut row = vec![name.to_string(), stat.to_string()];
+            row.extend(vals);
+            t.row(row);
+        };
+        push("Min", cell(&|s| s.min));
+        push("Max", cell(&|s| s.max));
+        push("T-Mean", cell(&|s| s.t_mean));
+        push("Mean", cell(&|s| s.mean));
+        push("90%", cell(&|s| s.p90));
+        push("98%", cell(&|s| s.p98));
+    }
+    t
+}
+
+/// One program × approach Table 4 cell-group as a [`Summary`] (shared by
+/// the figures and the EXPERIMENTS report).
+pub fn summary_for(r: &WorkloadResults, a: Approach) -> Summary {
+    Summary::from_samples(&overheads_for(r, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze, Scale};
+    use databp_workloads::Workload;
+
+    fn one_result() -> Vec<WorkloadResults> {
+        vec![analyze(&Workload::by_name("tex").unwrap().scaled_down())]
+    }
+
+    #[test]
+    fn table1_has_row_per_workload() {
+        let res = one_result();
+        let t = table1(&res);
+        let text = t.render();
+        assert!(text.contains("tex"));
+        assert!(text.contains("Execution Time"));
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn table2_contains_paper_values() {
+        let text = table2().render();
+        assert!(text.contains("561"));
+        assert!(text.contains("2.75"));
+        assert!(text.contains("NHFaultHandler"));
+    }
+
+    #[test]
+    fn table3_and_table4_render() {
+        let res = one_result();
+        assert!(table3(&res).render().contains("MonitorHit"));
+        let t4 = table4(&res).render();
+        assert!(t4.contains("T-Mean"));
+        assert!(t4.contains("VM-8K"));
+        // Table 4 has 6 statistic rows for the single program.
+        assert_eq!(table4(&res).render_csv().lines().count(), 7);
+    }
+
+    #[test]
+    fn scale_enum_is_usable() {
+        assert_eq!(Scale::default(), Scale::Full);
+    }
+}

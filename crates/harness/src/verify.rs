@@ -1,0 +1,153 @@
+//! `repro verify`: the DESIGN.md §5 fidelity targets as an executable
+//! checklist.
+//!
+//! Runs the full pipeline and asserts the paper's *qualitative* findings
+//! hold on the substituted workloads. This is the same set of claims the
+//! workspace-level `paper_shape` tests pin down, but runnable at full
+//! scale from the CLI and reported as a PASS/FAIL table.
+
+use crate::expansion::expansion_row;
+use crate::pipeline::{overheads_for, WorkloadResults};
+use databp_models::Approach;
+use databp_sessions::SessionKind;
+use databp_stats::Summary;
+
+/// One fidelity check's outcome.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short name of the claim.
+    pub name: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+fn check(name: &str, passed: bool, detail: String) -> Check {
+    Check { name: name.to_string(), passed, detail }
+}
+
+fn summary(r: &WorkloadResults, a: Approach) -> Summary {
+    Summary::from_samples(&overheads_for(r, a))
+}
+
+/// Runs every fidelity check against analyzed workloads.
+pub fn verify(results: &[WorkloadResults]) -> Vec<Check> {
+    let mut out = Vec::new();
+
+    for r in results {
+        let name = r.prepared.workload.name;
+        let cp = summary(r, Approach::Cp);
+        let tp = summary(r, Approach::Tp);
+        let nh = summary(r, Approach::Nh);
+        let vm = summary(r, Approach::Vm4k);
+        let vm8 = summary(r, Approach::Vm8k);
+
+        out.push(check(
+            &format!("{name}: CP t-mean ≪ TP t-mean (>10x)"),
+            cp.t_mean * 10.0 < tp.t_mean,
+            format!("CP {:.2} vs TP {:.2}", cp.t_mean, tp.t_mean),
+        ));
+        out.push(check(
+            &format!("{name}: TP unacceptably slow (t-mean > 20x)"),
+            tp.t_mean > 20.0,
+            format!("TP t-mean {:.2}", tp.t_mean),
+        ));
+        out.push(check(
+            &format!("{name}: CP max beats NH max (Figure 7)"),
+            cp.max < nh.max,
+            format!("CP {:.2} vs NH {:.2}", cp.max, nh.max),
+        ));
+        out.push(check(
+            &format!("{name}: CP low variance (max < 10x t-mean)"),
+            cp.max < cp.t_mean * 10.0,
+            format!("max {:.2}, t-mean {:.2}", cp.max, cp.t_mean),
+        ));
+        out.push(check(
+            &format!("{name}: TP low variance (max < 1.5x t-mean)"),
+            tp.max < tp.t_mean * 1.5,
+            format!("max {:.2}, t-mean {:.2}", tp.max, tp.t_mean),
+        ));
+        out.push(check(
+            &format!("{name}: VM catastrophic worst case (max > 10x CP max)"),
+            vm.max > cp.max * 10.0,
+            format!("VM max {:.2} vs CP max {:.2}", vm.max, cp.max),
+        ));
+        out.push(check(
+            &format!("{name}: VM-8K mean ≥ VM-4K mean"),
+            vm8.mean >= vm.mean * 0.999,
+            format!("8K {:.2} vs 4K {:.2}", vm8.mean, vm.mean),
+        ));
+        let (est, _) = expansion_row(r);
+        out.push(check(
+            &format!("{name}: CP expansion in band (5–30%)"),
+            est > 0.05 && est < 0.30,
+            format!("estimated {:.1}%", est * 100.0),
+        ));
+    }
+
+    // Table 1 structural facts.
+    for name in ["tex", "qcd"] {
+        if let Some(r) = results.iter().find(|r| r.prepared.workload.name == name) {
+            let kc = r.kind_counts();
+            out.push(check(
+                &format!("{name}: zero heap sessions (CTEX/QCD analogue)"),
+                kc[&SessionKind::OneHeap] == 0 && kc[&SessionKind::AllHeapInFunc] == 0,
+                format!(
+                    "OneHeap {}, AllHeapInFunc {}",
+                    kc[&SessionKind::OneHeap],
+                    kc[&SessionKind::AllHeapInFunc]
+                ),
+            ));
+        }
+    }
+    for name in ["cc", "bps"] {
+        if let Some(r) = results.iter().find(|r| r.prepared.workload.name == name) {
+            let kc = r.kind_counts();
+            out.push(check(
+                &format!("{name}: heap sessions dominate (BPS/GCC analogue)"),
+                kc[&SessionKind::OneHeap] > 100,
+                format!("OneHeap {}", kc[&SessionKind::OneHeap]),
+            ));
+            // NH/VM t-means collapse on session-rich programs.
+            let nh = summary(r, Approach::Nh);
+            out.push(check(
+                &format!("{name}: NH t-mean near zero on session-rich program"),
+                nh.t_mean < 1.0,
+                format!("NH t-mean {:.3}", nh.t_mean),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Renders the checklist; returns `(text, all_passed)`.
+pub fn render(checks: &[Check]) -> (String, bool) {
+    let mut out = String::new();
+    let mut all = true;
+    for c in checks {
+        let mark = if c.passed { "PASS" } else { "FAIL" };
+        all &= c.passed;
+        out.push_str(&format!("[{mark}] {:<58} {}\n", c.name, c.detail));
+    }
+    let (npass, ntotal) = (checks.iter().filter(|c| c.passed).count(), checks.len());
+    out.push_str(&format!("\n{npass}/{ntotal} fidelity checks passed\n"));
+    (out, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_all, Scale};
+
+    #[test]
+    fn all_checks_pass_at_small_scale() {
+        let results = analyze_all(Scale::Small);
+        let checks = verify(&results);
+        assert!(checks.len() > 30, "substantial checklist, got {}", checks.len());
+        let (text, all) = render(&checks);
+        assert!(all, "failing fidelity checks:\n{text}");
+        assert!(text.contains("PASS"));
+    }
+}

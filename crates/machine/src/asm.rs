@@ -1,0 +1,159 @@
+//! Ergonomic instruction constructors taking raw register numbers.
+//!
+//! The `tinyc` code generator builds [`Instr`] values directly; these
+//! helpers exist for hand-written test programs, examples, and the
+//! microbenchmarks, where `asm::addi(2, 0, 40)` reads better than
+//! `Instr::Addi(Reg::new(2), Reg::new(0), 40)`.
+
+use crate::isa::{Instr, MarkKind, Reg};
+
+macro_rules! r3 {
+    ($(#[$doc:meta])* $name:ident, $variant:ident) => {
+        $(#[$doc])*
+        pub fn $name(rd: u8, rs1: u8, rs2: u8) -> Instr {
+            Instr::$variant(Reg::new(rd), Reg::new(rs1), Reg::new(rs2))
+        }
+    };
+}
+
+macro_rules! ri {
+    ($(#[$doc:meta])* $name:ident, $variant:ident, $t:ty) => {
+        $(#[$doc])*
+        pub fn $name(rd: u8, rs1: u8, imm: $t) -> Instr {
+            Instr::$variant(Reg::new(rd), Reg::new(rs1), imm)
+        }
+    };
+}
+
+r3!(#[doc = "`rd = rs1 + rs2`."] add, Add);
+r3!(#[doc = "`rd = rs1 - rs2`."] sub, Sub);
+r3!(#[doc = "`rd = rs1 * rs2`."] mul, Mul);
+r3!(#[doc = "`rd = rs1 / rs2`."] div, Div);
+r3!(#[doc = "`rd = rs1 % rs2`."] rem, Rem);
+r3!(#[doc = "`rd = rs1 & rs2`."] and, And);
+r3!(#[doc = "`rd = rs1 | rs2`."] or, Or);
+r3!(#[doc = "`rd = rs1 ^ rs2`."] xor, Xor);
+r3!(#[doc = "`rd = rs1 << rs2`."] sll, Sll);
+r3!(#[doc = "`rd = rs1 >> rs2` (logical)."] srl, Srl);
+r3!(#[doc = "`rd = rs1 >> rs2` (arithmetic)."] sra, Sra);
+r3!(#[doc = "`rd = rs1 < rs2` (signed)."] slt, Slt);
+r3!(#[doc = "`rd = rs1 < rs2` (unsigned)."] sltu, Sltu);
+
+ri!(#[doc = "`rd = rs1 + imm`."] addi, Addi, i16);
+ri!(#[doc = "`rd = rs1 & imm`."] andi, Andi, u16);
+ri!(#[doc = "`rd = rs1 | imm`."] ori, Ori, u16);
+ri!(#[doc = "`rd = rs1 ^ imm`."] xori, Xori, u16);
+ri!(#[doc = "`rd = rs1 < imm` (signed)."] slti, Slti, i16);
+ri!(#[doc = "`rd = mem32[rs1 + imm]`."] lw, Lw, i16);
+ri!(#[doc = "`rd = sext(mem8[rs1 + imm])`."] lb, Lb, i16);
+ri!(#[doc = "`rd = zext(mem8[rs1 + imm])`."] lbu, Lbu, i16);
+
+/// `rd = imm << 16`.
+pub fn lui(rd: u8, imm: u16) -> Instr {
+    Instr::Lui(Reg::new(rd), imm)
+}
+
+/// `rd = rs1 << shamt`.
+pub fn slli(rd: u8, rs1: u8, sh: u8) -> Instr {
+    Instr::Slli(Reg::new(rd), Reg::new(rs1), sh)
+}
+
+/// `rd = rs1 >> shamt` (logical).
+pub fn srli(rd: u8, rs1: u8, sh: u8) -> Instr {
+    Instr::Srli(Reg::new(rd), Reg::new(rs1), sh)
+}
+
+/// `rd = rs1 >> shamt` (arithmetic).
+pub fn srai(rd: u8, rs1: u8, sh: u8) -> Instr {
+    Instr::Srai(Reg::new(rd), Reg::new(rs1), sh)
+}
+
+/// `mem32[rbase + imm] = rsrc`.
+pub fn sw(rsrc: u8, rbase: u8, imm: i16) -> Instr {
+    Instr::Sw(Reg::new(rsrc), Reg::new(rbase), imm)
+}
+
+/// `mem8[rbase + imm] = rsrc`.
+pub fn sb(rsrc: u8, rbase: u8, imm: i16) -> Instr {
+    Instr::Sb(Reg::new(rsrc), Reg::new(rbase), imm)
+}
+
+/// Branch if equal; `off` in words from the next instruction.
+pub fn beq(rs1: u8, rs2: u8, off: i16) -> Instr {
+    Instr::Beq(Reg::new(rs1), Reg::new(rs2), off)
+}
+
+/// Branch if not equal.
+pub fn bne(rs1: u8, rs2: u8, off: i16) -> Instr {
+    Instr::Bne(Reg::new(rs1), Reg::new(rs2), off)
+}
+
+/// Branch if less (signed).
+pub fn blt(rs1: u8, rs2: u8, off: i16) -> Instr {
+    Instr::Blt(Reg::new(rs1), Reg::new(rs2), off)
+}
+
+/// Branch if greater-or-equal (signed).
+pub fn bge(rs1: u8, rs2: u8, off: i16) -> Instr {
+    Instr::Bge(Reg::new(rs1), Reg::new(rs2), off)
+}
+
+/// Call: jump to code word `target`, `ra = pc + 4`.
+pub fn jal(target: u32) -> Instr {
+    Instr::Jal(target)
+}
+
+/// Indirect jump: `rd = pc + 4; pc = rs1 + imm`.
+pub fn jalr(rd: u8, rs1: u8, imm: i16) -> Instr {
+    Instr::Jalr(Reg::new(rd), Reg::new(rs1), imm)
+}
+
+/// Trap with `code` (syscall or TrapPatch trap).
+pub fn trap(code: u16) -> Instr {
+    Instr::Trap(code)
+}
+
+/// Stop execution.
+pub fn halt() -> Instr {
+    Instr::Halt
+}
+
+/// No-op.
+pub fn nop() -> Instr {
+    Instr::Nop
+}
+
+/// Function-entry marker for function `fid`.
+pub fn mark_enter(fid: u16) -> Instr {
+    Instr::Mark(MarkKind::Enter, fid)
+}
+
+/// Function-exit marker for function `fid`.
+pub fn mark_exit(fid: u16) -> Instr {
+    Instr::Mark(MarkKind::Exit, fid)
+}
+
+/// CodePatch check of the `len`-byte range at `rbase + imm`.
+pub fn chk(rbase: u8, imm: i16, len: u8) -> Instr {
+    Instr::Chk(Reg::new(rbase), imm, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        assert!(matches!(add(1, 2, 3), Instr::Add(..)));
+        assert!(matches!(sw(1, 2, -4), Instr::Sw(..)));
+        assert!(matches!(chk(2, 0, 4), Instr::Chk(..)));
+        assert!(matches!(mark_enter(3), Instr::Mark(MarkKind::Enter, 3)));
+        assert!(matches!(mark_exit(3), Instr::Mark(MarkKind::Exit, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn bad_register_rejected() {
+        add(32, 0, 0);
+    }
+}

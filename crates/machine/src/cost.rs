@@ -1,0 +1,217 @@
+//! Cycle accounting: converts executed instructions into base-program time.
+//!
+//! The paper normalizes each monitor session's overhead to the *base
+//! execution time* of the unmonitored program (Table 1). Our substrate is
+//! a simulator, so base time is defined rather than measured: each
+//! instruction class costs a fixed number of cycles at a 40 MHz clock
+//! (the SPARCstation 2's clock; per-class cycle counts approximate its
+//! CPI ≈ 1.3–1.8 behaviour). System-call service time is charged in
+//! microseconds directly, standing in for the untraced library/kernel time
+//! present in the paper's wall-clock base measurements.
+
+use crate::isa::Instr;
+
+/// Classification of instructions for cycle costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Single-cycle ALU / compare / no-op.
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide / remainder.
+    Div,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Taken-or-not branch.
+    Branch,
+    /// `jal` / `jalr`.
+    Jump,
+    /// Trap dispatch overhead (excluding host-side service time).
+    Trap,
+    /// Function-boundary marker: free (a tracing artifact, not real code).
+    Mark,
+    /// CodePatch check: the paper's "minimum of two additional
+    /// instructions" per write.
+    Chk,
+}
+
+/// Per-class cycle costs and the simulated clock.
+///
+/// The default models a 40 MHz in-order machine with cached memory
+/// (loads 2, stores 3, mul 5, div 18 cycles). Construct a custom model to
+/// explore clock sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Cycles for [`InstrClass::Alu`].
+    pub alu: u64,
+    /// Cycles for [`InstrClass::Mul`].
+    pub mul: u64,
+    /// Cycles for [`InstrClass::Div`].
+    pub div: u64,
+    /// Cycles for [`InstrClass::Load`].
+    pub load: u64,
+    /// Cycles for [`InstrClass::Store`].
+    pub store: u64,
+    /// Cycles for [`InstrClass::Branch`].
+    pub branch: u64,
+    /// Cycles for [`InstrClass::Jump`].
+    pub jump: u64,
+    /// Cycles for [`InstrClass::Trap`] dispatch.
+    pub trap: u64,
+    /// Cycles for [`InstrClass::Chk`].
+    pub chk: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_mhz: 40.0,
+            alu: 1,
+            mul: 5,
+            div: 18,
+            load: 2,
+            store: 3,
+            branch: 2,
+            jump: 2,
+            trap: 12,
+            chk: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles charged for one instruction of class `class`.
+    pub fn cycles_for(&self, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::Alu => self.alu,
+            InstrClass::Mul => self.mul,
+            InstrClass::Div => self.div,
+            InstrClass::Load => self.load,
+            InstrClass::Store => self.store,
+            InstrClass::Branch => self.branch,
+            InstrClass::Jump => self.jump,
+            InstrClass::Trap => self.trap,
+            InstrClass::Mark => 0,
+            InstrClass::Chk => self.chk,
+        }
+    }
+
+    /// Classifies an instruction.
+    pub fn classify(i: &Instr) -> InstrClass {
+        use Instr::*;
+        match i {
+            Mul(..) => InstrClass::Mul,
+            Div(..) | Rem(..) => InstrClass::Div,
+            Lw(..) | Lb(..) | Lbu(..) => InstrClass::Load,
+            Sw(..) | Sb(..) => InstrClass::Store,
+            Beq(..) | Bne(..) | Blt(..) | Bge(..) => InstrClass::Branch,
+            Jal(..) | Jalr(..) => InstrClass::Jump,
+            Trap(..) | Halt => InstrClass::Trap,
+            Mark(..) => InstrClass::Mark,
+            Chk(..) => InstrClass::Chk,
+            _ => InstrClass::Alu,
+        }
+    }
+
+    /// Converts a cycle count to microseconds at the model's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_mhz
+    }
+}
+
+/// Accumulated execution cost of one run.
+///
+/// `cycles` covers architectural execution; `syscall_us` is host-service
+/// time (allocator, I/O) charged in microseconds — it models the paper's
+/// untraced library/system time, which inflates base time but produces no
+/// trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cycles {
+    /// Architectural cycles executed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Host-side system-call service time, microseconds.
+    pub syscall_us: f64,
+}
+
+impl Cycles {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Cycles::default();
+    }
+
+    /// Total base time in microseconds under `model`.
+    pub fn total_us(&self, model: &CostModel) -> f64 {
+        model.cycles_to_us(self.cycles) + self.syscall_us
+    }
+
+    /// Total base time in milliseconds under `model` (Table 1 units).
+    pub fn total_ms(&self, model: &CostModel) -> f64 {
+        self.total_us(model) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, MarkKind, Reg};
+
+    #[test]
+    fn default_clock_is_sparcstation_2() {
+        assert_eq!(CostModel::default().clock_mhz, 40.0);
+    }
+
+    #[test]
+    fn classify_all_classes() {
+        let r = Reg::new;
+        let cases = [
+            (Instr::Add(r(1), r(2), r(3)), InstrClass::Alu),
+            (Instr::Addi(r(1), r(2), 0), InstrClass::Alu),
+            (Instr::Lui(r(1), 0), InstrClass::Alu),
+            (Instr::Nop, InstrClass::Alu),
+            (Instr::Mul(r(1), r(2), r(3)), InstrClass::Mul),
+            (Instr::Div(r(1), r(2), r(3)), InstrClass::Div),
+            (Instr::Rem(r(1), r(2), r(3)), InstrClass::Div),
+            (Instr::Lw(r(1), r(2), 0), InstrClass::Load),
+            (Instr::Sw(r(1), r(2), 0), InstrClass::Store),
+            (Instr::Sb(r(1), r(2), 0), InstrClass::Store),
+            (Instr::Beq(r(1), r(2), 0), InstrClass::Branch),
+            (Instr::Jal(0), InstrClass::Jump),
+            (Instr::Jalr(r(31), r(1), 0), InstrClass::Jump),
+            (Instr::Trap(1), InstrClass::Trap),
+            (Instr::Halt, InstrClass::Trap),
+            (Instr::Mark(MarkKind::Enter, 0), InstrClass::Mark),
+            (Instr::Chk(r(2), 0, 4), InstrClass::Chk),
+        ];
+        for (i, c) in cases {
+            assert_eq!(CostModel::classify(&i), c, "for {i:?}");
+        }
+    }
+
+    #[test]
+    fn marks_are_free() {
+        assert_eq!(CostModel::default().cycles_for(InstrClass::Mark), 0);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let m = CostModel::default();
+        // 40 cycles at 40 MHz = 1 µs.
+        assert_eq!(m.cycles_to_us(40), 1.0);
+        let c = Cycles { cycles: 40_000, instructions: 0, syscall_us: 500.0 };
+        assert_eq!(c.total_us(&m), 1500.0);
+        assert_eq!(c.total_ms(&m), 1.5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = Cycles { cycles: 5, instructions: 2, syscall_us: 1.0 };
+        c.reset();
+        assert_eq!(c, Cycles::default());
+    }
+}

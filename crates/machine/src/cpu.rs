@@ -1,0 +1,159 @@
+//! The CPU register file and program counter.
+//!
+//! Instruction execution lives in [`Machine`](crate::Machine) (it needs
+//! memory, MMU, watchpoints and hooks); `Cpu` is the pure architectural
+//! state, kept separate so fault handlers and tests can inspect and
+//! manipulate it freely.
+
+use crate::isa::Reg;
+use crate::layout::{CODE_BASE, STACK_TOP};
+
+/// Well-known register numbers under the `tinyc` calling convention.
+pub mod reg {
+    /// Hardwired zero.
+    pub const ZERO: u8 = 0;
+    /// Assembler/codegen scratch.
+    pub const AT: u8 = 1;
+    /// Return value.
+    pub const RV: u8 = 2;
+    /// Second scratch (address computation in stores).
+    pub const AT2: u8 = 3;
+    /// First argument register; arguments use `A0..A0+3`.
+    pub const A0: u8 = 4;
+    /// First expression-temporary register; temporaries use `T0..=T_LAST`.
+    pub const T0: u8 = 8;
+    /// Last expression-temporary register.
+    pub const T_LAST: u8 = 23;
+    /// Stack pointer.
+    pub const SP: u8 = 29;
+    /// Frame pointer.
+    pub const FP: u8 = 30;
+    /// Return address.
+    pub const RA: u8 = 31;
+}
+
+/// Architectural CPU state: 32 registers and the program counter.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; Reg::COUNT],
+    pc: u32,
+    halted: bool,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// A CPU reset to the program entry convention: `pc = CODE_BASE`,
+    /// `sp = fp = STACK_TOP`, all other registers zero.
+    pub fn new() -> Self {
+        let mut cpu = Cpu { regs: [0; Reg::COUNT], pc: CODE_BASE, halted: false };
+        cpu.regs[reg::SP as usize] = STACK_TOP;
+        cpu.regs[reg::FP as usize] = STACK_TOP;
+        cpu
+    }
+
+    /// Reads register `n`; `r0` always reads zero.
+    pub fn reg(&self, n: u8) -> u32 {
+        self.regs[Reg::new(n).index()]
+    }
+
+    /// Reads register `r`.
+    pub fn read(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes register `r`; writes to `r0` are discarded.
+    pub fn write(&mut self, r: Reg, val: u32) {
+        if r.index() != 0 {
+            self.regs[r.index()] = val;
+        }
+    }
+
+    /// Writes register number `n` (convenience for tests and syscalls).
+    pub fn set_reg(&mut self, n: u8, val: u32) {
+        self.write(Reg::new(n), val);
+    }
+
+    /// Current program counter (byte address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Advances `pc` by one instruction.
+    pub fn advance(&mut self) {
+        self.pc = self.pc.wrapping_add(4);
+    }
+
+    /// True once the program executed `halt` or the exit system call.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Marks the CPU halted.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Clears the halted flag (used by loaders when re-running).
+    pub fn unhalt(&mut self) {
+        self.halted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut cpu = Cpu::new();
+        cpu.write(Reg::new(0), 1234);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn registers_hold_values() {
+        let mut cpu = Cpu::new();
+        for n in 1..32u8 {
+            cpu.set_reg(n, n as u32 * 10);
+        }
+        for n in 1..32u8 {
+            assert_eq!(cpu.reg(n), n as u32 * 10);
+        }
+    }
+
+    #[test]
+    fn reset_state_follows_convention() {
+        let cpu = Cpu::new();
+        assert_eq!(cpu.pc(), CODE_BASE);
+        assert_eq!(cpu.reg(reg::SP), STACK_TOP);
+        assert_eq!(cpu.reg(reg::FP), STACK_TOP);
+        assert!(!cpu.is_halted());
+    }
+
+    #[test]
+    fn advance_moves_one_word() {
+        let mut cpu = Cpu::new();
+        let pc0 = cpu.pc();
+        cpu.advance();
+        assert_eq!(cpu.pc(), pc0 + 4);
+    }
+
+    #[test]
+    fn halt_unhalt() {
+        let mut cpu = Cpu::new();
+        cpu.halt();
+        assert!(cpu.is_halted());
+        cpu.unhalt();
+        assert!(!cpu.is_halted());
+    }
+}

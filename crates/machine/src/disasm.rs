@@ -1,0 +1,136 @@
+//! Disassembly: a readable one-line rendering per instruction.
+//!
+//! Used by the harness's `disasm` subcommand and by compiler tests when a
+//! generated program misbehaves.
+
+use crate::isa::{Instr, MarkKind};
+use crate::layout::CODE_BASE;
+
+/// Formats one instruction in a conventional three-operand syntax.
+///
+/// # Examples
+///
+/// ```
+/// use databp_machine::{asm, disasm};
+///
+/// assert_eq!(disasm::format_instr(&asm::addi(2, 0, 40)), "addi  r2, r0, 40");
+/// assert_eq!(disasm::format_instr(&asm::sw(9, 30, -8)), "sw    r9, -8(r30)");
+/// ```
+pub fn format_instr(i: &Instr) -> String {
+    use Instr::*;
+    match *i {
+        Add(d, a, b) => format!("add   {d}, {a}, {b}"),
+        Sub(d, a, b) => format!("sub   {d}, {a}, {b}"),
+        Mul(d, a, b) => format!("mul   {d}, {a}, {b}"),
+        Div(d, a, b) => format!("div   {d}, {a}, {b}"),
+        Rem(d, a, b) => format!("rem   {d}, {a}, {b}"),
+        And(d, a, b) => format!("and   {d}, {a}, {b}"),
+        Or(d, a, b) => format!("or    {d}, {a}, {b}"),
+        Xor(d, a, b) => format!("xor   {d}, {a}, {b}"),
+        Sll(d, a, b) => format!("sll   {d}, {a}, {b}"),
+        Srl(d, a, b) => format!("srl   {d}, {a}, {b}"),
+        Sra(d, a, b) => format!("sra   {d}, {a}, {b}"),
+        Slt(d, a, b) => format!("slt   {d}, {a}, {b}"),
+        Sltu(d, a, b) => format!("sltu  {d}, {a}, {b}"),
+        Addi(d, a, imm) => format!("addi  {d}, {a}, {imm}"),
+        Andi(d, a, imm) => format!("andi  {d}, {a}, {imm:#x}"),
+        Ori(d, a, imm) => format!("ori   {d}, {a}, {imm:#x}"),
+        Xori(d, a, imm) => format!("xori  {d}, {a}, {imm:#x}"),
+        Slti(d, a, imm) => format!("slti  {d}, {a}, {imm}"),
+        Lui(d, imm) => format!("lui   {d}, {imm:#x}"),
+        Slli(d, a, sh) => format!("slli  {d}, {a}, {sh}"),
+        Srli(d, a, sh) => format!("srli  {d}, {a}, {sh}"),
+        Srai(d, a, sh) => format!("srai  {d}, {a}, {sh}"),
+        Lw(d, a, imm) => format!("lw    {d}, {imm}({a})"),
+        Lb(d, a, imm) => format!("lb    {d}, {imm}({a})"),
+        Lbu(d, a, imm) => format!("lbu   {d}, {imm}({a})"),
+        Sw(s, b, imm) => format!("sw    {s}, {imm}({b})"),
+        Sb(s, b, imm) => format!("sb    {s}, {imm}({b})"),
+        Beq(a, b, off) => format!("beq   {a}, {b}, {off}"),
+        Bne(a, b, off) => format!("bne   {a}, {b}, {off}"),
+        Blt(a, b, off) => format!("blt   {a}, {b}, {off}"),
+        Bge(a, b, off) => format!("bge   {a}, {b}, {off}"),
+        Jal(t) => format!("jal   {:#x}", CODE_BASE + 4 * t),
+        Jalr(d, a, imm) => format!("jalr  {d}, {imm}({a})"),
+        Trap(code) => format!("trap  {code:#x}"),
+        Halt => "halt".to_string(),
+        Nop => "nop".to_string(),
+        Mark(MarkKind::Enter, fid) => format!("enter {fid}"),
+        Mark(MarkKind::Exit, fid) => format!("exit  {fid}"),
+        Chk(b, imm, len) => format!("chk{len}  {imm}({b})"),
+    }
+}
+
+/// Disassembles a whole code image with addresses.
+pub fn format_code(code: &[Instr]) -> String {
+    let mut out = String::new();
+    for (i, instr) in code.iter().enumerate() {
+        out.push_str(&format!(
+            "{:#010x}: {}\n",
+            CODE_BASE + 4 * i as u32,
+            format_instr(instr)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn every_instruction_formats_nonempty() {
+        let samples = [
+            asm::add(1, 2, 3),
+            asm::sub(1, 2, 3),
+            asm::mul(1, 2, 3),
+            asm::div(1, 2, 3),
+            asm::rem(1, 2, 3),
+            asm::and(1, 2, 3),
+            asm::or(1, 2, 3),
+            asm::xor(1, 2, 3),
+            asm::sll(1, 2, 3),
+            asm::srl(1, 2, 3),
+            asm::sra(1, 2, 3),
+            asm::slt(1, 2, 3),
+            asm::sltu(1, 2, 3),
+            asm::addi(1, 2, -3),
+            asm::andi(1, 2, 3),
+            asm::ori(1, 2, 3),
+            asm::xori(1, 2, 3),
+            asm::slti(1, 2, 3),
+            asm::lui(1, 2),
+            asm::slli(1, 2, 3),
+            asm::srli(1, 2, 3),
+            asm::srai(1, 2, 3),
+            asm::lw(1, 2, 3),
+            asm::lb(1, 2, 3),
+            asm::lbu(1, 2, 3),
+            asm::sw(1, 2, 3),
+            asm::sb(1, 2, 3),
+            asm::beq(1, 2, 3),
+            asm::bne(1, 2, 3),
+            asm::blt(1, 2, 3),
+            asm::bge(1, 2, 3),
+            asm::jal(3),
+            asm::jalr(1, 2, 3),
+            asm::trap(3),
+            asm::halt(),
+            asm::nop(),
+            asm::mark_enter(3),
+            asm::mark_exit(3),
+            asm::chk(2, 3, 4),
+        ];
+        for i in &samples {
+            assert!(!format_instr(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn code_listing_has_addresses() {
+        let listing = format_code(&[asm::nop(), asm::halt()]);
+        assert!(listing.contains("0x00010000: nop"));
+        assert!(listing.contains("0x00010004: halt"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Machine execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal execution error: the simulated program did something
+/// architecturally impossible to continue from.
+///
+/// Distinct from [`StopReason`](crate::StopReason): faults and traps are
+/// *recoverable* stops delivered to the driving strategy; a `MachineError`
+/// aborts the run (it indicates a bug in the guest program or in a code
+/// patch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// A data access touched an address outside the 16 MiB data space.
+    UnmappedAddress {
+        /// The faulting byte address.
+        addr: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// A 4-byte access was not 4-byte aligned.
+    Misaligned {
+        /// The faulting byte address.
+        addr: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// `div`/`rem` with a zero divisor.
+    DivideByZero {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// The program counter left the code segment or landed on an
+    /// undecodable word.
+    InvalidOpcode {
+        /// The undecodable instruction word.
+        word: u32,
+        /// Program counter of the bad fetch.
+        pc: u32,
+    },
+    /// `pc` outside the loaded code image.
+    BadPc {
+        /// The out-of-range program counter.
+        pc: u32,
+    },
+    /// The stack pointer dropped below [`STACK_LIMIT`](crate::STACK_LIMIT).
+    StackOverflow {
+        /// Stack pointer value at detection.
+        sp: u32,
+        /// Program counter at detection.
+        pc: u32,
+    },
+    /// The heap could not satisfy an allocation.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u32,
+    },
+    /// `free`/`realloc` of an address that is not a live allocation.
+    BadFree {
+        /// The bogus pointer.
+        addr: u32,
+    },
+    /// The step budget given to [`Machine::run`](crate::Machine::run) was
+    /// exhausted before the program stopped.
+    StepLimitExceeded {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MachineError::UnmappedAddress { addr, pc } => {
+                write!(f, "unmapped data address {addr:#010x} at pc {pc:#010x}")
+            }
+            MachineError::Misaligned { addr, pc } => {
+                write!(f, "misaligned word access {addr:#010x} at pc {pc:#010x}")
+            }
+            MachineError::DivideByZero { pc } => write!(f, "divide by zero at pc {pc:#010x}"),
+            MachineError::InvalidOpcode { word, pc } => {
+                write!(f, "invalid instruction word {word:#010x} at pc {pc:#010x}")
+            }
+            MachineError::BadPc { pc } => write!(f, "pc {pc:#010x} outside code image"),
+            MachineError::StackOverflow { sp, pc } => {
+                write!(f, "stack overflow (sp {sp:#010x}) at pc {pc:#010x}")
+            }
+            MachineError::OutOfMemory { requested } => {
+                write!(f, "heap exhausted allocating {requested} bytes")
+            }
+            MachineError::BadFree { addr } => {
+                write!(f, "free of non-allocated address {addr:#010x}")
+            }
+            MachineError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let cases = [
+            MachineError::UnmappedAddress { addr: 0x1234, pc: 0x10000 },
+            MachineError::Misaligned { addr: 3, pc: 0 },
+            MachineError::DivideByZero { pc: 4 },
+            MachineError::InvalidOpcode { word: 0xffff_ffff, pc: 8 },
+            MachineError::BadPc { pc: 12 },
+            MachineError::StackOverflow { sp: 1, pc: 2 },
+            MachineError::OutOfMemory { requested: 400 },
+            MachineError::BadFree { addr: 0x40 },
+            MachineError::StepLimitExceeded { limit: 10 },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(MachineError::DivideByZero { pc: 0 });
+    }
+}

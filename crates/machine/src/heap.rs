@@ -1,0 +1,254 @@
+//! Host-side heap allocator for the simulated machine.
+//!
+//! The allocator's metadata lives entirely on the host: simulated memory
+//! never sees header writes. This mirrors the paper's trace discipline —
+//! "system calls, standard libraries, and implicit writes … do not appear
+//! in the trace" — while still giving every heap object a stable address
+//! range and an *allocation sequence number* that identifies it across its
+//! lifetime (and across `realloc`, which the paper treats as the same
+//! object).
+
+use crate::error::MachineError;
+use crate::layout::{HEAP_BASE, HEAP_END};
+use std::collections::HashMap;
+
+/// Allocation granularity in bytes; all blocks are multiples of this and
+/// so all heap objects are word-aligned (required by the Appendix A.5
+/// page-bitmap monitor structure).
+const ALIGN: u32 = 8;
+
+/// Running allocator statistics (exposed for workload calibration tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Total `malloc` calls served.
+    pub allocs: u64,
+    /// Total `free` calls served.
+    pub frees: u64,
+    /// Total `realloc` calls served.
+    pub reallocs: u64,
+    /// Bytes currently allocated.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+}
+
+/// First-fit free-list allocator with coalescing over
+/// `[HEAP_BASE, HEAP_END)`.
+#[derive(Debug, Clone)]
+pub struct HeapAlloc {
+    /// Free blocks `(addr, size)`, sorted by address, non-adjacent.
+    free: Vec<(u32, u32)>,
+    /// Live blocks: addr -> (size, allocation sequence number).
+    live: HashMap<u32, (u32, u32)>,
+    next_seq: u32,
+    stats: HeapStats,
+}
+
+impl Default for HeapAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapAlloc {
+    /// An empty heap spanning the whole heap segment.
+    pub fn new() -> Self {
+        HeapAlloc {
+            free: vec![(HEAP_BASE, HEAP_END - HEAP_BASE)],
+            live: HashMap::new(),
+            next_seq: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Looks up a live block by its base address.
+    pub fn live_block(&self, addr: u32) -> Option<(u32, u32)> {
+        self.live.get(&addr).copied()
+    }
+
+    fn round(size: u32) -> u32 {
+        size.max(1).div_ceil(ALIGN) * ALIGN
+    }
+
+    /// Allocates `size` bytes (rounded up to 8), returning
+    /// `(base address, allocation sequence number)`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfMemory`] when no free block fits.
+    pub fn alloc(&mut self, size: u32) -> Result<(u32, u32), MachineError> {
+        let seq = self.next_seq;
+        let r = self.alloc_with_seq(size, seq)?;
+        self.next_seq += 1;
+        Ok((r, seq))
+    }
+
+    /// Allocates with a caller-chosen sequence number — used by `realloc`
+    /// so the new block keeps the old object identity.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfMemory`] when no free block fits.
+    pub fn alloc_with_seq(&mut self, size: u32, seq: u32) -> Result<u32, MachineError> {
+        let size = Self::round(size);
+        let slot = self
+            .free
+            .iter()
+            .position(|&(_, fs)| fs >= size)
+            .ok_or(MachineError::OutOfMemory { requested: size })?;
+        let (addr, fsize) = self.free[slot];
+        if fsize == size {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = (addr + size, fsize - size);
+        }
+        self.live.insert(addr, (size, seq));
+        self.stats.allocs += 1;
+        self.stats.live_bytes += size as u64;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        Ok(addr)
+    }
+
+    /// Frees the block at `addr`, returning its `(size, seq)`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadFree`] if `addr` is not a live block base.
+    pub fn free(&mut self, addr: u32) -> Result<(u32, u32), MachineError> {
+        let (size, seq) = self.live.remove(&addr).ok_or(MachineError::BadFree { addr })?;
+        self.stats.frees += 1;
+        self.stats.live_bytes -= size as u64;
+        self.insert_free(addr, size);
+        Ok((size, seq))
+    }
+
+    /// Records a realloc served (statistics only; the machine performs the
+    /// alloc/copy/free sequence).
+    pub fn note_realloc(&mut self) {
+        self.stats.reallocs += 1;
+        // alloc+free above each bump their counters; a realloc is not an
+        // extra alloc/free pair from the program's perspective.
+        self.stats.allocs -= 1;
+        self.stats.frees -= 1;
+    }
+
+    fn insert_free(&mut self, addr: u32, size: u32) {
+        let i = self.free.partition_point(|&(a, _)| a < addr);
+        self.free.insert(i, (addr, size));
+        // Coalesce with successor.
+        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
+            self.free[i].1 += self.free[i + 1].1;
+            self.free.remove(i + 1);
+        }
+        // Coalesce with predecessor.
+        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
+            self.free[i - 1].1 += self.free[i].1;
+            self.free.remove(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_aligned_heap_addresses() {
+        let mut h = HeapAlloc::new();
+        let (a, s) = h.alloc(10).unwrap();
+        assert!((HEAP_BASE..HEAP_END).contains(&a));
+        assert_eq!(a % ALIGN, 0);
+        assert_eq!(s, 0);
+        let (_, s2) = h.alloc(1).unwrap();
+        assert_eq!(s2, 1);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let mut h = HeapAlloc::new();
+        let (a, _) = h.alloc(16).unwrap();
+        let (b, _) = h.alloc(16).unwrap();
+        assert!(a + 16 <= b || b + 16 <= a);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut h = HeapAlloc::new();
+        let (a, _) = h.alloc(32).unwrap();
+        h.alloc(32).unwrap();
+        let (size, _) = h.free(a).unwrap();
+        assert_eq!(size, 32);
+        let (c, _) = h.alloc(32).unwrap();
+        assert_eq!(c, a, "first-fit should reuse the freed hole");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = HeapAlloc::new();
+        let (a, _) = h.alloc(8).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(MachineError::BadFree { addr: a }));
+    }
+
+    #[test]
+    fn free_of_interior_pointer_rejected() {
+        let mut h = HeapAlloc::new();
+        let (a, _) = h.alloc(64).unwrap();
+        assert!(h.free(a + 8).is_err());
+    }
+
+    #[test]
+    fn coalescing_restores_full_heap() {
+        let mut h = HeapAlloc::new();
+        let blocks: Vec<u32> = (0..10).map(|_| h.alloc(100).unwrap().0).collect();
+        // Free in shuffled order.
+        for &i in &[3usize, 0, 7, 1, 9, 5, 2, 8, 4, 6] {
+            h.free(blocks[i]).unwrap();
+        }
+        assert_eq!(h.free, vec![(HEAP_BASE, HEAP_END - HEAP_BASE)]);
+        assert_eq!(h.live_count(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut h = HeapAlloc::new();
+        assert!(matches!(
+            h.alloc(HEAP_END - HEAP_BASE + 1),
+            Err(MachineError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_liveness() {
+        let mut h = HeapAlloc::new();
+        let (a, _) = h.alloc(8).unwrap();
+        let (b, _) = h.alloc(8).unwrap();
+        assert_eq!(h.stats().live_bytes, 16);
+        assert_eq!(h.stats().peak_bytes, 16);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.stats().live_bytes, 0);
+        assert_eq!(h.stats().peak_bytes, 16);
+        assert_eq!(h.stats().allocs, 2);
+        assert_eq!(h.stats().frees, 2);
+    }
+
+    #[test]
+    fn alloc_with_seq_preserves_identity() {
+        let mut h = HeapAlloc::new();
+        let (a, seq) = h.alloc(8).unwrap();
+        h.free(a).unwrap();
+        let b = h.alloc_with_seq(24, seq).unwrap();
+        assert_eq!(h.live_block(b), Some((24, seq)));
+    }
+}

@@ -1,0 +1,532 @@
+//! The `spar` instruction set and its 32-bit binary encoding.
+//!
+//! A real binary encoding (rather than a `Vec<Instr>` of host enums alone)
+//! matters for this reproduction: the TrapPatch strategy of the paper
+//! *overwrites write-instruction words with trap words* in the loaded
+//! image, and the CodePatch space-overhead estimate counts inserted
+//! instruction words. Both are only meaningful against an encoded image.
+//!
+//! ## Formats
+//!
+//! ```text
+//! R-type:  op[31:26] rd[25:21] rs1[20:16] rs2[15:11] funct[10:0]
+//! I-type:  op[31:26] rd[25:21] rs1[20:16] imm16[15:0]      (imm sign-extended)
+//! J-type:  op[31:26] target26[25:0]                        (word index)
+//! ```
+//!
+//! `pc` is a byte address; branches are pc-relative in *instruction words*
+//! from the instruction following the branch (like MIPS without delay
+//! slots); `jal` targets are absolute word indices into the code segment.
+
+use std::fmt;
+
+/// A register number in `0..32`. `r0` reads as zero and ignores writes.
+///
+/// Conventions used by the `tinyc` code generator (the hardware does not
+/// enforce them): `r2` return value, `r4..r7` arguments, `r8..r23`
+/// expression temporaries, `r29` stack pointer, `r30` frame pointer,
+/// `r31` return address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 32, "register number out of range: {n}");
+        Reg(n)
+    }
+
+    /// The register number.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(n: u8) -> Self {
+        Reg::new(n)
+    }
+}
+
+/// Discriminates function-boundary marker instructions.
+///
+/// Marks are architectural no-ops emitted by the compiler at the point
+/// where a function's frame becomes (in)valid; the tracer uses them to
+/// install and remove write monitors for local automatic variables
+/// "on function boundaries" exactly as the paper's phase-1 trace does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkKind {
+    /// Frame is set up; locals of function `fid` now live.
+    Enter,
+    /// Frame about to be torn down; locals of function `fid` now dead.
+    Exit,
+}
+
+/// First trap code reserved for the TrapPatch strategy. Codes below
+/// [`SYS_TRAP_MAX`] are system calls handled by the machine itself; codes
+/// at or above `TP_TRAP_BASE` stop the run loop and are delivered to the
+/// driving strategy.
+pub const TP_TRAP_BASE: u16 = 0x100;
+
+/// Exclusive upper bound of trap codes interpreted as system calls.
+pub const SYS_TRAP_MAX: u16 = 0x20;
+
+/// One `spar` instruction.
+///
+/// Store instructions (`Sw`, `Sb`) are the *write instructions* of the
+/// paper: every data breakpoint strategy revolves around intercepting
+/// them. `Chk` is the CodePatch check pseudo-instruction: it computes the
+/// same effective address as the store that follows it and hands it to the
+/// write-monitor service (costing the paper's two inserted instructions
+/// plus a `SoftwareLookup`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    // ---- R-type ALU ----
+    /// `rd = rs1 + rs2` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2` (wrapping, low 32 bits).
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 / rs2` (signed; traps on divide-by-zero).
+    Div(Reg, Reg, Reg),
+    /// `rd = rs1 % rs2` (signed remainder; traps on divide-by-zero).
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`.
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`.
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 << (rs2 & 31)`.
+    Sll(Reg, Reg, Reg),
+    /// `rd = (rs1 as u32) >> (rs2 & 31)`.
+    Srl(Reg, Reg, Reg),
+    /// `rd = (rs1 as i32) >> (rs2 & 31)`.
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs1 as i32) < (rs2 as i32)`.
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs1 as u32) < (rs2 as u32)`.
+    Sltu(Reg, Reg, Reg),
+
+    // ---- I-type ALU ----
+    /// `rd = rs1 + sext(imm)`.
+    Addi(Reg, Reg, i16),
+    /// `rd = rs1 & zext(imm)`.
+    Andi(Reg, Reg, u16),
+    /// `rd = rs1 | zext(imm)`.
+    Ori(Reg, Reg, u16),
+    /// `rd = rs1 ^ zext(imm)`.
+    Xori(Reg, Reg, u16),
+    /// `rd = (rs1 as i32) < sext(imm)`.
+    Slti(Reg, Reg, i16),
+    /// `rd = imm << 16`.
+    Lui(Reg, u16),
+    /// `rd = rs1 << shamt`.
+    Slli(Reg, Reg, u8),
+    /// `rd = (rs1 as u32) >> shamt`.
+    Srli(Reg, Reg, u8),
+    /// `rd = (rs1 as i32) >> shamt`.
+    Srai(Reg, Reg, u8),
+
+    // ---- memory ----
+    /// `rd = mem32[rs1 + sext(imm)]`.
+    Lw(Reg, Reg, i16),
+    /// `rd = sext8(mem8[rs1 + sext(imm)])`.
+    Lb(Reg, Reg, i16),
+    /// `rd = zext8(mem8[rs1 + sext(imm)])`.
+    Lbu(Reg, Reg, i16),
+    /// `mem32[rs1 + sext(imm)] = rsrc` — a 4-byte write instruction.
+    /// Field order: `Sw(rsrc, rbase, imm)`.
+    Sw(Reg, Reg, i16),
+    /// `mem8[rs1 + sext(imm)] = rsrc & 0xff` — a 1-byte write instruction.
+    Sb(Reg, Reg, i16),
+
+    // ---- control ----
+    /// Branch if `rs1 == rs2`; `off` counts instruction words from the
+    /// following instruction.
+    Beq(Reg, Reg, i16),
+    /// Branch if `rs1 != rs2`.
+    Bne(Reg, Reg, i16),
+    /// Branch if `(rs1 as i32) < (rs2 as i32)`.
+    Blt(Reg, Reg, i16),
+    /// Branch if `(rs1 as i32) >= (rs2 as i32)`.
+    Bge(Reg, Reg, i16),
+    /// Jump to absolute code word index `target`; `r31 = pc + 4`.
+    Jal(u32),
+    /// `rd = pc + 4; pc = (rs1 + sext(imm)) & !3`.
+    Jalr(Reg, Reg, i16),
+
+    // ---- system ----
+    /// Trap with a 16-bit code. Codes `< SYS_TRAP_MAX` are system calls
+    /// executed by the machine; other codes stop the run loop and are
+    /// delivered to the driver (used by TrapPatch).
+    Trap(u16),
+    /// Stop execution normally.
+    Halt,
+    /// No operation (1 cycle).
+    Nop,
+    /// Function-boundary marker; architectural no-op carrying the function
+    /// id. See [`MarkKind`].
+    Mark(MarkKind, u16),
+    /// CodePatch write check: hands `rs1 + sext(imm)` (an effective address
+    /// of `len` bytes, `len` ∈ {1, 4}) to the write-monitor service.
+    /// Field order: `Chk(rbase, imm, len)`.
+    Chk(Reg, i16, u8),
+}
+
+impl Instr {
+    /// Returns true for the paper's *write instructions* (`Sw`/`Sb`) —
+    /// the instructions TrapPatch replaces and CodePatch precedes with a
+    /// check.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Sw(..) | Instr::Sb(..))
+    }
+
+    /// Width in bytes of the memory write performed by a store, or `None`
+    /// for non-stores.
+    pub fn store_width(&self) -> Option<u32> {
+        match self {
+            Instr::Sw(..) => Some(4),
+            Instr::Sb(..) => Some(1),
+            _ => None,
+        }
+    }
+}
+
+// ---- encoding ----
+
+const OP_RALU: u32 = 0x00;
+const OP_ADDI: u32 = 0x01;
+const OP_ANDI: u32 = 0x02;
+const OP_ORI: u32 = 0x03;
+const OP_XORI: u32 = 0x04;
+const OP_SLTI: u32 = 0x05;
+const OP_LUI: u32 = 0x06;
+const OP_SLLI: u32 = 0x07;
+const OP_SRLI: u32 = 0x08;
+const OP_SRAI: u32 = 0x09;
+const OP_LW: u32 = 0x10;
+const OP_LB: u32 = 0x11;
+const OP_LBU: u32 = 0x12;
+const OP_SW: u32 = 0x14;
+const OP_SB: u32 = 0x15;
+const OP_BEQ: u32 = 0x18;
+const OP_BNE: u32 = 0x19;
+const OP_BLT: u32 = 0x1a;
+const OP_BGE: u32 = 0x1b;
+const OP_JAL: u32 = 0x20;
+const OP_JALR: u32 = 0x21;
+const OP_TRAP: u32 = 0x30;
+const OP_HALT: u32 = 0x31;
+const OP_NOP: u32 = 0x32;
+const OP_MARK_ENTER: u32 = 0x33;
+const OP_MARK_EXIT: u32 = 0x34;
+const OP_CHK: u32 = 0x35;
+
+const F_ADD: u32 = 0;
+const F_SUB: u32 = 1;
+const F_MUL: u32 = 2;
+const F_DIV: u32 = 3;
+const F_REM: u32 = 4;
+const F_AND: u32 = 5;
+const F_OR: u32 = 6;
+const F_XOR: u32 = 7;
+const F_SLL: u32 = 8;
+const F_SRL: u32 = 9;
+const F_SRA: u32 = 10;
+const F_SLT: u32 = 11;
+const F_SLTU: u32 = 12;
+
+fn r3(op: u32, rd: Reg, rs1: Reg, rs2: Reg, funct: u32) -> u32 {
+    (op << 26)
+        | ((rd.index() as u32) << 21)
+        | ((rs1.index() as u32) << 16)
+        | ((rs2.index() as u32) << 11)
+        | (funct & 0x7ff)
+}
+
+fn i16imm(op: u32, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | imm as u32
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// Every instruction encodes to exactly one word, and
+/// `decode(encode(i)) == Ok(i)` for all instructions (property-tested).
+///
+/// # Panics
+///
+/// Panics if a `Jal` target exceeds 26 bits or a shift amount exceeds 31 —
+/// conditions the assembler/codegen rule out by construction.
+pub fn encode(i: Instr) -> u32 {
+    use Instr::*;
+    match i {
+        Add(d, a, b) => r3(OP_RALU, d, a, b, F_ADD),
+        Sub(d, a, b) => r3(OP_RALU, d, a, b, F_SUB),
+        Mul(d, a, b) => r3(OP_RALU, d, a, b, F_MUL),
+        Div(d, a, b) => r3(OP_RALU, d, a, b, F_DIV),
+        Rem(d, a, b) => r3(OP_RALU, d, a, b, F_REM),
+        And(d, a, b) => r3(OP_RALU, d, a, b, F_AND),
+        Or(d, a, b) => r3(OP_RALU, d, a, b, F_OR),
+        Xor(d, a, b) => r3(OP_RALU, d, a, b, F_XOR),
+        Sll(d, a, b) => r3(OP_RALU, d, a, b, F_SLL),
+        Srl(d, a, b) => r3(OP_RALU, d, a, b, F_SRL),
+        Sra(d, a, b) => r3(OP_RALU, d, a, b, F_SRA),
+        Slt(d, a, b) => r3(OP_RALU, d, a, b, F_SLT),
+        Sltu(d, a, b) => r3(OP_RALU, d, a, b, F_SLTU),
+        Addi(d, a, imm) => i16imm(OP_ADDI, d, a, imm as u16),
+        Andi(d, a, imm) => i16imm(OP_ANDI, d, a, imm),
+        Ori(d, a, imm) => i16imm(OP_ORI, d, a, imm),
+        Xori(d, a, imm) => i16imm(OP_XORI, d, a, imm),
+        Slti(d, a, imm) => i16imm(OP_SLTI, d, a, imm as u16),
+        Lui(d, imm) => i16imm(OP_LUI, d, Reg::new(0), imm),
+        Slli(d, a, sh) => {
+            assert!(sh < 32, "shift amount out of range");
+            i16imm(OP_SLLI, d, a, sh as u16)
+        }
+        Srli(d, a, sh) => {
+            assert!(sh < 32, "shift amount out of range");
+            i16imm(OP_SRLI, d, a, sh as u16)
+        }
+        Srai(d, a, sh) => {
+            assert!(sh < 32, "shift amount out of range");
+            i16imm(OP_SRAI, d, a, sh as u16)
+        }
+        Lw(d, a, imm) => i16imm(OP_LW, d, a, imm as u16),
+        Lb(d, a, imm) => i16imm(OP_LB, d, a, imm as u16),
+        Lbu(d, a, imm) => i16imm(OP_LBU, d, a, imm as u16),
+        Sw(src, base, imm) => i16imm(OP_SW, src, base, imm as u16),
+        Sb(src, base, imm) => i16imm(OP_SB, src, base, imm as u16),
+        Beq(a, b, off) => r_branch(OP_BEQ, a, b, off),
+        Bne(a, b, off) => r_branch(OP_BNE, a, b, off),
+        Blt(a, b, off) => r_branch(OP_BLT, a, b, off),
+        Bge(a, b, off) => r_branch(OP_BGE, a, b, off),
+        Jal(target) => {
+            assert!(target < (1 << 26), "jal target out of range: {target}");
+            (OP_JAL << 26) | target
+        }
+        Jalr(d, a, imm) => i16imm(OP_JALR, d, a, imm as u16),
+        Trap(code) => (OP_TRAP << 26) | code as u32,
+        Halt => OP_HALT << 26,
+        Nop => OP_NOP << 26,
+        Mark(MarkKind::Enter, fid) => (OP_MARK_ENTER << 26) | fid as u32,
+        Mark(MarkKind::Exit, fid) => (OP_MARK_EXIT << 26) | fid as u32,
+        Chk(base, imm, len) => {
+            assert!(len == 1 || len == 4, "chk length must be 1 or 4");
+            // len stored in the rd field (values 1 / 4 fit in 5 bits).
+            (OP_CHK << 26)
+                | ((len as u32) << 21)
+                | ((base.index() as u32) << 16)
+                | (imm as u16) as u32
+        }
+    }
+}
+
+fn r_branch(op: u32, a: Reg, b: Reg, off: i16) -> u32 {
+    // Branches reuse the I-type layout: rd = rs1-operand-a, rs1 = operand-b.
+    i16imm(op, a, b, off as u16)
+}
+
+/// Decodes a 32-bit word back to an [`Instr`].
+///
+/// # Errors
+///
+/// Returns the offending word when the opcode or funct field is not part
+/// of the ISA — the machine turns this into
+/// [`MachineError::InvalidOpcode`](crate::MachineError::InvalidOpcode).
+pub fn decode(w: u32) -> Result<Instr, u32> {
+    use Instr::*;
+    let op = w >> 26;
+    let rd = Reg::new(((w >> 21) & 31) as u8);
+    let rs1 = Reg::new(((w >> 16) & 31) as u8);
+    let rs2 = Reg::new(((w >> 11) & 31) as u8);
+    let funct = w & 0x7ff;
+    let imm = (w & 0xffff) as u16;
+    let simm = imm as i16;
+    Ok(match op {
+        OP_RALU => match funct {
+            F_ADD => Add(rd, rs1, rs2),
+            F_SUB => Sub(rd, rs1, rs2),
+            F_MUL => Mul(rd, rs1, rs2),
+            F_DIV => Div(rd, rs1, rs2),
+            F_REM => Rem(rd, rs1, rs2),
+            F_AND => And(rd, rs1, rs2),
+            F_OR => Or(rd, rs1, rs2),
+            F_XOR => Xor(rd, rs1, rs2),
+            F_SLL => Sll(rd, rs1, rs2),
+            F_SRL => Srl(rd, rs1, rs2),
+            F_SRA => Sra(rd, rs1, rs2),
+            F_SLT => Slt(rd, rs1, rs2),
+            F_SLTU => Sltu(rd, rs1, rs2),
+            _ => return Err(w),
+        },
+        OP_ADDI => Addi(rd, rs1, simm),
+        OP_ANDI => Andi(rd, rs1, imm),
+        OP_ORI => Ori(rd, rs1, imm),
+        OP_XORI => Xori(rd, rs1, imm),
+        OP_SLTI => Slti(rd, rs1, simm),
+        OP_LUI => Lui(rd, imm),
+        OP_SLLI => Slli(rd, rs1, (imm & 31) as u8),
+        OP_SRLI => Srli(rd, rs1, (imm & 31) as u8),
+        OP_SRAI => Srai(rd, rs1, (imm & 31) as u8),
+        OP_LW => Lw(rd, rs1, simm),
+        OP_LB => Lb(rd, rs1, simm),
+        OP_LBU => Lbu(rd, rs1, simm),
+        OP_SW => Sw(rd, rs1, simm),
+        OP_SB => Sb(rd, rs1, simm),
+        OP_BEQ => Beq(rd, rs1, simm),
+        OP_BNE => Bne(rd, rs1, simm),
+        OP_BLT => Blt(rd, rs1, simm),
+        OP_BGE => Bge(rd, rs1, simm),
+        OP_JAL => Jal(w & 0x03ff_ffff),
+        OP_JALR => Jalr(rd, rs1, simm),
+        OP_TRAP => Trap(imm),
+        OP_HALT => Halt,
+        OP_NOP => Nop,
+        OP_MARK_ENTER => Mark(MarkKind::Enter, imm),
+        OP_MARK_EXIT => Mark(MarkKind::Exit, imm),
+        OP_CHK => {
+            let len = rd.index() as u8;
+            if len != 1 && len != 4 {
+                return Err(w);
+            }
+            Chk(rs1, simm, len)
+        }
+        _ => return Err(w),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        let r = Reg::new;
+        vec![
+            Add(r(1), r(2), r(3)),
+            Sub(r(31), r(0), r(15)),
+            Mul(r(8), r(9), r(10)),
+            Div(r(8), r(9), r(10)),
+            Rem(r(8), r(9), r(10)),
+            And(r(1), r(1), r(1)),
+            Or(r(2), r(3), r(4)),
+            Xor(r(5), r(6), r(7)),
+            Sll(r(5), r(6), r(7)),
+            Srl(r(5), r(6), r(7)),
+            Sra(r(5), r(6), r(7)),
+            Slt(r(5), r(6), r(7)),
+            Sltu(r(5), r(6), r(7)),
+            Addi(r(2), r(0), -42),
+            Andi(r(2), r(4), 0xffff),
+            Ori(r(2), r(4), 0x1234),
+            Xori(r(2), r(4), 0x00ff),
+            Slti(r(2), r(4), -1),
+            Lui(r(7), 0xdead),
+            Slli(r(1), r(2), 31),
+            Srli(r(1), r(2), 0),
+            Srai(r(1), r(2), 15),
+            Lw(r(2), r(30), -8),
+            Lb(r(2), r(30), 127),
+            Lbu(r(2), r(30), -128),
+            Sw(r(2), r(30), -4),
+            Sb(r(2), r(30), 3),
+            Beq(r(1), r(2), -100),
+            Bne(r(1), r(2), 100),
+            Blt(r(1), r(2), 0),
+            Bge(r(1), r(2), 32767),
+            Jal(0x03ff_ffff),
+            Jal(0),
+            Jalr(r(31), r(2), 0),
+            Trap(0),
+            Trap(0xffff),
+            Halt,
+            Nop,
+            Mark(MarkKind::Enter, 17),
+            Mark(MarkKind::Exit, 65535),
+            Chk(r(30), -4, 4),
+            Chk(r(5), 1000, 1),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_sample_instrs() {
+            let w = encode(i);
+            assert_eq!(decode(w), Ok(i), "roundtrip failed for {i:?} (word {w:#010x})");
+        }
+    }
+
+    #[test]
+    fn distinct_instrs_encode_distinctly() {
+        let instrs = all_sample_instrs();
+        for (a_idx, &a) in instrs.iter().enumerate() {
+            for &b in &instrs[a_idx + 1..] {
+                assert_ne!(encode(a), encode(b), "{a:?} and {b:?} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        assert!(decode(0x3f << 26).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_funct() {
+        assert!(decode(13).is_err()); // R-ALU with funct 13
+    }
+
+    #[test]
+    fn decode_rejects_bad_chk_len() {
+        // Chk with len field = 2.
+        let w = (0x35u32 << 26) | (2 << 21);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn is_store_classification() {
+        let r = Reg::new;
+        assert!(Instr::Sw(r(1), r(2), 0).is_store());
+        assert!(Instr::Sb(r(1), r(2), 0).is_store());
+        assert!(!Instr::Lw(r(1), r(2), 0).is_store());
+        assert!(!Instr::Chk(r(2), 0, 4).is_store());
+        assert_eq!(Instr::Sw(r(1), r(2), 0).store_width(), Some(4));
+        assert_eq!(Instr::Sb(r(1), r(2), 0).store_width(), Some(1));
+        assert_eq!(Instr::Nop.store_width(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn reg_rejects_32() {
+        Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "jal target out of range")]
+    fn jal_target_overflow_panics() {
+        encode(Instr::Jal(1 << 26));
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        let i = Instr::Addi(Reg::new(1), Reg::new(2), i16::MIN);
+        assert_eq!(decode(encode(i)), Ok(i));
+        let s = Instr::Sw(Reg::new(1), Reg::new(2), i16::MIN);
+        assert_eq!(decode(encode(s)), Ok(s));
+    }
+}

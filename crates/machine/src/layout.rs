@@ -1,0 +1,65 @@
+//! The fixed virtual-address-space layout of a loaded `spar` program.
+//!
+//! The layout is deliberately simple and constant so that traces from
+//! different runs of the same program are directly comparable and the
+//! phase-2 simulator can reason about segments without consulting the
+//! machine.
+//!
+//! ```text
+//! 0x0001_0000  CODE_BASE    instruction image (Harvard; not in data memory)
+//! 0x0010_0000  DATA_BASE    globals and function-static variables
+//! 0x0040_0000  HEAP_BASE    heap, grows upward
+//! 0x00E0_0000  HEAP_END     end of heap / stack red zone
+//! 0x00FF_FFF0  STACK_TOP    initial stack pointer, grows downward
+//! 0x0100_0000  MEM_SIZE     top of the 16 MiB data address space
+//! ```
+
+/// Base byte address of the instruction image. `pc` values are byte
+/// addresses; instruction word *i* lives at `CODE_BASE + 4 * i`.
+pub const CODE_BASE: u32 = 0x0001_0000;
+
+/// Base of the global/static data segment.
+pub const DATA_BASE: u32 = 0x0010_0000;
+
+/// First byte of the heap segment.
+pub const HEAP_BASE: u32 = 0x0040_0000;
+
+/// One past the last byte usable by the heap.
+pub const HEAP_END: u32 = 0x00E0_0000;
+
+/// Lowest address the stack may grow down to; a store below this while
+/// `sp < STACK_LIMIT` indicates stack overflow.
+pub const STACK_LIMIT: u32 = 0x00E0_0000;
+
+/// Initial stack pointer (16-byte aligned, grows downward).
+pub const STACK_TOP: u32 = 0x00FF_FFF0;
+
+/// Total size of the simulated data memory in bytes (16 MiB).
+pub const MEM_SIZE: u32 = 0x0100_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate layout checks
+    fn segments_are_ordered_and_disjoint() {
+        assert!(CODE_BASE < DATA_BASE);
+        assert!(DATA_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < HEAP_END);
+        assert!(HEAP_END <= STACK_LIMIT);
+        assert!(STACK_LIMIT < STACK_TOP);
+        assert!(STACK_TOP < MEM_SIZE);
+    }
+
+    #[test]
+    fn stack_top_is_16_byte_aligned() {
+        assert_eq!(STACK_TOP % 16, 0);
+    }
+
+    #[test]
+    fn mem_size_is_page_multiple_for_both_paper_page_sizes() {
+        assert_eq!(MEM_SIZE % 4096, 0);
+        assert_eq!(MEM_SIZE % 8192, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Flat byte-addressed data memory.
+
+use crate::error::MachineError;
+use crate::layout::MEM_SIZE;
+
+/// The simulated data memory: a flat little-endian byte array of
+/// [`MEM_SIZE`] bytes.
+///
+/// `Memory` performs bounds and alignment checking only; write *protection*
+/// is the [`Mmu`](crate::Mmu)'s job and is enforced by the machine's store
+/// path, not here. This separation lets fault handlers and emulation
+/// helpers write through protection exactly like a kernel would.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("size", &self.bytes.len()).finish()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// Creates a zeroed memory of [`MEM_SIZE`] bytes.
+    pub fn new() -> Self {
+        Memory { bytes: vec![0; MEM_SIZE as usize] }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, len: u32, pc: u32) -> Result<usize, MachineError> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MachineError::UnmappedAddress { addr, pc });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Misaligned`] unless `addr % 4 == 0`;
+    /// [`MachineError::UnmappedAddress`] if out of bounds. `pc` is only
+    /// used to annotate the error.
+    pub fn load_u32(&self, addr: u32, pc: u32) -> Result<u32, MachineError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MachineError::Misaligned { addr, pc });
+        }
+        let i = self.check(addr, 4, pc)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Stores a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load_u32`].
+    pub fn store_u32(&mut self, addr: u32, val: u32, pc: u32) -> Result<(), MachineError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MachineError::Misaligned { addr, pc });
+        }
+        let i = self.check(addr, 4, pc)?;
+        self.bytes[i..i + 4].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnmappedAddress`] if out of bounds.
+    pub fn load_u8(&self, addr: u32, pc: u32) -> Result<u8, MachineError> {
+        let i = self.check(addr, 1, pc)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnmappedAddress`] if out of bounds.
+    pub fn store_u8(&mut self, addr: u32, val: u8, pc: u32) -> Result<(), MachineError> {
+        let i = self.check(addr, 1, pc)?;
+        self.bytes[i] = val;
+        Ok(())
+    }
+
+    /// Copies `src` into memory starting at `addr` (used by the loader and
+    /// the `realloc` system call).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnmappedAddress`] if the destination range is out of
+    /// bounds.
+    pub fn write_bytes(&mut self, addr: u32, src: &[u8]) -> Result<(), MachineError> {
+        let i = self.check(addr, src.len() as u32, 0)?;
+        self.bytes[i..i + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnmappedAddress`] if the range is out of bounds.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MachineError> {
+        let i = self.check(addr, len, 0)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Zeroes `len` bytes starting at `addr` (loader use).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnmappedAddress`] if the range is out of bounds.
+    pub fn zero(&mut self, addr: u32, len: u32) -> Result<(), MachineError> {
+        let i = self.check(addr, len, 0)?;
+        self.bytes[i..i + len as usize].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Memory::new();
+        m.store_u32(0x100, 0xdead_beef, 0).unwrap();
+        assert_eq!(m.load_u32(0x100, 0).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn byte_roundtrip_and_endianness() {
+        let mut m = Memory::new();
+        m.store_u32(0x200, 0x0403_0201, 0).unwrap();
+        assert_eq!(m.load_u8(0x200, 0).unwrap(), 0x01);
+        assert_eq!(m.load_u8(0x203, 0).unwrap(), 0x04);
+    }
+
+    #[test]
+    fn misaligned_word_rejected() {
+        let mut m = Memory::new();
+        assert_eq!(
+            m.store_u32(0x101, 1, 0x44),
+            Err(MachineError::Misaligned { addr: 0x101, pc: 0x44 })
+        );
+        assert_eq!(
+            m.load_u32(0x102, 0x48),
+            Err(MachineError::Misaligned { addr: 0x102, pc: 0x48 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Memory::new();
+        let top = m.size();
+        assert!(m.load_u8(top, 0).is_err());
+        assert!(m.store_u32(top - 2, 0, 0).is_err());
+        // Address arithmetic must not wrap.
+        assert!(m.load_u32(u32::MAX - 3, 0).is_err());
+    }
+
+    #[test]
+    fn last_valid_addresses_work() {
+        let mut m = Memory::new();
+        let top = m.size();
+        m.store_u8(top - 1, 0xaa, 0).unwrap();
+        assert_eq!(m.load_u8(top - 1, 0).unwrap(), 0xaa);
+        m.store_u32(top - 4, 0x11223344, 0).unwrap();
+        assert_eq!(m.load_u32(top - 4, 0).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn bulk_write_and_read() {
+        let mut m = Memory::new();
+        m.write_bytes(0x300, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.read_bytes(0x300, 5).unwrap(), &[1, 2, 3, 4, 5]);
+        m.zero(0x301, 2).unwrap();
+        assert_eq!(m.read_bytes(0x300, 5).unwrap(), &[1, 0, 0, 4, 5]);
+    }
+}

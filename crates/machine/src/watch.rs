@@ -1,0 +1,184 @@
+//! Hardware watchpoint ("monitor") registers — the substrate for the
+//! NativeHardware strategy.
+//!
+//! Real processors of the paper's era exposed at most four such registers
+//! (i386 debug registers, MIPS R4000 WatchLo/WatchHi). The paper's
+//! hypothetical SPARCstation extension assumes "enough monitor registers
+//! for the monitor sessions that we are interested in", readable and
+//! writable from user code at negligible cost. [`WatchRegs`] models both:
+//! construct with [`WatchRegs::new`] for a realistic fixed capacity, or
+//! [`WatchRegs::unlimited`] for the paper's idealization.
+
+/// Number of watchpoint registers on the era's real hardware.
+pub const DEFAULT_WATCH_REGS: usize = 4;
+
+/// A bank of hardware watchpoint registers.
+///
+/// Each active register describes a half-open byte range `[ba, ea)`. A
+/// store that overlaps any active range raises a watch fault *after* the
+/// write commits (the paper's monitor notification semantics: "the
+/// notification may occur after the write has succeeded").
+#[derive(Debug, Clone)]
+pub struct WatchRegs {
+    regs: Vec<Option<(u32, u32)>>,
+    capacity: Option<usize>,
+    active: usize,
+}
+
+impl WatchRegs {
+    /// A bank with a hard `capacity` (e.g. [`DEFAULT_WATCH_REGS`]).
+    pub fn new(capacity: usize) -> Self {
+        WatchRegs { regs: vec![None; capacity], capacity: Some(capacity), active: 0 }
+    }
+
+    /// The paper's idealized bank: as many registers as needed.
+    pub fn unlimited() -> Self {
+        WatchRegs { regs: Vec::new(), capacity: None, active: 0 }
+    }
+
+    /// The configured capacity, or `None` for unlimited.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of active watchpoints.
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// True when no watchpoint is active — the machine's store fast path.
+    pub fn nothing_watched(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Programs a register to watch `[ba, ea)` and returns its index, or
+    /// `None` when all registers are in use (the real-hardware limitation
+    /// the paper's Section 9 warns about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ba >= ea` (an empty watch range is meaningless).
+    pub fn install(&mut self, ba: u32, ea: u32) -> Option<usize> {
+        assert!(ba < ea, "watch range must be non-empty: [{ba:#x}, {ea:#x})");
+        if let Some(slot) = self.regs.iter().position(Option::is_none) {
+            self.regs[slot] = Some((ba, ea));
+            self.active += 1;
+            return Some(slot);
+        }
+        match self.capacity {
+            Some(cap) if self.regs.len() >= cap => None,
+            _ => {
+                self.regs.push(Some((ba, ea)));
+                self.active += 1;
+                Some(self.regs.len() - 1)
+            }
+        }
+    }
+
+    /// Clears register `slot`. Clearing an inactive slot is a no-op.
+    pub fn remove(&mut self, slot: usize) {
+        if let Some(r) = self.regs.get_mut(slot) {
+            if r.take().is_some() {
+                self.active -= 1;
+            }
+        }
+    }
+
+    /// Removes the first register exactly matching `[ba, ea)`; returns
+    /// whether one was found.
+    pub fn remove_range(&mut self, ba: u32, ea: u32) -> bool {
+        if let Some(slot) = self.regs.iter().position(|r| *r == Some((ba, ea))) {
+            self.remove(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if a `len`-byte store at `addr` overlaps any active watchpoint.
+    pub fn store_hits(&self, addr: u32, len: u32) -> bool {
+        if self.active == 0 {
+            return false;
+        }
+        let end = addr.saturating_add(len);
+        self.regs
+            .iter()
+            .flatten()
+            .any(|&(ba, ea)| addr < ea && ba < end)
+    }
+
+    /// Clears every register.
+    pub fn clear(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = None);
+        self.active = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_until_capacity() {
+        let mut w = WatchRegs::new(2);
+        assert_eq!(w.install(0, 4), Some(0));
+        assert_eq!(w.install(8, 12), Some(1));
+        assert_eq!(w.install(16, 20), None); // full: the real-HW limitation
+        assert_eq!(w.active_count(), 2);
+    }
+
+    #[test]
+    fn unlimited_never_refuses() {
+        let mut w = WatchRegs::unlimited();
+        for i in 0..1000u32 {
+            assert!(w.install(i * 8, i * 8 + 4).is_some());
+        }
+        assert_eq!(w.active_count(), 1000);
+        assert_eq!(w.capacity(), None);
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut w = WatchRegs::new(1);
+        let s = w.install(0, 4).unwrap();
+        w.remove(s);
+        assert!(w.nothing_watched());
+        assert_eq!(w.install(100, 104), Some(0));
+    }
+
+    #[test]
+    fn remove_range_matches_exactly() {
+        let mut w = WatchRegs::new(4);
+        w.install(0, 4).unwrap();
+        w.install(4, 8).unwrap();
+        assert!(!w.remove_range(0, 8)); // no exact match
+        assert!(w.remove_range(4, 8));
+        assert_eq!(w.active_count(), 1);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut w = WatchRegs::new(4);
+        w.install(100, 108).unwrap();
+        assert!(w.store_hits(100, 4));
+        assert!(w.store_hits(104, 4));
+        assert!(w.store_hits(107, 1));
+        assert!(w.store_hits(96, 8)); // straddles the start
+        assert!(!w.store_hits(108, 4));
+        assert!(!w.store_hits(96, 4));
+    }
+
+    #[test]
+    fn removing_inactive_slot_is_noop() {
+        let mut w = WatchRegs::new(2);
+        w.remove(0);
+        w.remove(99);
+        assert_eq!(w.active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "watch range must be non-empty")]
+    fn empty_range_rejected() {
+        WatchRegs::new(1).install(4, 4);
+    }
+}

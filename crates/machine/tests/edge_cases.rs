@@ -1,0 +1,231 @@
+//! Machine edge cases: fault/resume interplay, patching misuse, heap
+//! error propagation from guest code, straddling accesses.
+
+use databp_machine::{
+    asm, Instr, Machine, MachineError, NoHooks, PageSize, Program, StopConfig, StopReason,
+    Syscall, CODE_BASE, DATA_BASE, HEAP_END,
+};
+
+fn data_hi() -> u16 {
+    (DATA_BASE >> 16) as u16
+}
+
+#[test]
+fn byte_store_straddling_nothing_but_page_boundary_word() {
+    // A word store whose 4 bytes straddle a page boundary must fault if
+    // EITHER page is protected.
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::ori(8, 8, 0x0ffc),
+        asm::addi(9, 0, 7),
+        asm::sw(9, 8, 0), // [DATA_BASE+0xffc, DATA_BASE+0x1000): last word of page
+        asm::sb(9, 8, 4), // first byte of next page
+        asm::halt(),
+    ]));
+    // Protect only the second page.
+    m.mmu_mut().protect_page((DATA_BASE + 0x1000) >> 12);
+    // First store is entirely within the unprotected page: no fault.
+    let stop = m.run(&mut NoHooks, 100).unwrap();
+    match stop {
+        StopReason::ProtFault(f) => {
+            assert_eq!(f.addr, DATA_BASE + 0x1000, "only the byte store faults");
+            assert_eq!(f.len, 1);
+        }
+        other => panic!("expected ProtFault, got {other:?}"),
+    }
+    m.emulate_pending_store(&mut NoHooks).unwrap();
+    assert_eq!(m.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
+    assert_eq!(m.mem().load_u8(DATA_BASE + 0x1000, 0).unwrap(), 7);
+}
+
+#[test]
+fn word_store_straddling_into_protected_page_faults() {
+    let mut m = Machine::new();
+    m.set_page_size(PageSize::K4);
+    m.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::ori(8, 8, 0x0ffc),
+        asm::sw(0, 8, 0),
+        asm::halt(),
+    ]));
+    m.mmu_mut().protect_page((DATA_BASE + 0x1000) >> 12);
+    // The word [0xffc, 0x1000) does NOT touch the protected page.
+    assert_eq!(m.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
+
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::ori(8, 8, 0x0ffc),
+        asm::sw(0, 8, 2), // misaligned — fails at commit, but MMU sees it first
+        asm::halt(),
+    ]));
+    m.mmu_mut().protect_page((DATA_BASE + 0x1000) >> 12);
+    // Range [0xffe, 0x1002) overlaps the protected page: fault first.
+    assert!(matches!(m.run(&mut NoHooks, 100).unwrap(), StopReason::ProtFault(_)));
+}
+
+#[test]
+fn guest_double_free_is_a_machine_error() {
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::addi(4, 0, 8),
+        asm::trap(Syscall::Malloc as u16),
+        asm::addi(4, 2, 0),
+        asm::trap(Syscall::Free as u16),
+        asm::trap(Syscall::Free as u16),
+        asm::halt(),
+    ]));
+    assert!(matches!(
+        m.run(&mut NoHooks, 100),
+        Err(MachineError::BadFree { .. })
+    ));
+}
+
+#[test]
+fn guest_out_of_memory_is_a_machine_error() {
+    let mut m = Machine::new();
+    // Allocate more than the whole heap in one call.
+    let huge = (HEAP_END - 0x40_0000 + 8) as i32;
+    m.load(&Program::from_asm(&[
+        asm::lui(4, (huge >> 16) as u16),
+        asm::ori(4, 4, (huge & 0xffff) as u16),
+        asm::trap(Syscall::Malloc as u16),
+        asm::halt(),
+    ]));
+    assert!(matches!(
+        m.run(&mut NoHooks, 100),
+        Err(MachineError::OutOfMemory { .. })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "no pending fault")]
+fn emulate_without_fault_panics() {
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[asm::halt()]));
+    let _ = m.emulate_pending_store(&mut NoHooks);
+}
+
+#[test]
+fn patching_out_of_range_is_an_error() {
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[asm::halt()]));
+    assert!(m.patch_instr(1, Instr::Nop).is_err());
+    assert!(m.instr_at(99).is_err());
+    assert!(m.pc_to_index(CODE_BASE + 2).is_err(), "misaligned pc");
+    assert!(m.pc_to_index(CODE_BASE - 4).is_err(), "below code base");
+}
+
+#[test]
+fn stop_config_roundtrip_and_chk_does_not_stop_by_default() {
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::chk(8, 0, 4),
+        asm::sw(0, 8, 0),
+        asm::halt(),
+    ]));
+    assert_eq!(m.stop_config(), StopConfig::default());
+    assert_eq!(m.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
+
+    let mut m2 = Machine::new();
+    m2.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::chk(8, 0, 4),
+        asm::sw(0, 8, 0),
+        asm::halt(),
+    ]));
+    m2.set_stop_config(StopConfig { chk: true, ..StopConfig::default() });
+    assert!(matches!(m2.run(&mut NoHooks, 100).unwrap(), StopReason::Chk(_)));
+    assert_eq!(m2.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
+}
+
+#[test]
+fn watch_and_protection_compose() {
+    // A store that both hits a watchpoint and writes a protected page:
+    // protection wins (pre-commit), and after emulation the watchpoint
+    // fires post-commit.
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::lui(8, data_hi()),
+        asm::addi(9, 0, 3),
+        asm::sw(9, 8, 0),
+        asm::halt(),
+    ]));
+    m.mmu_mut().protect_range(DATA_BASE, DATA_BASE + 4);
+    m.watch_mut().install(DATA_BASE, DATA_BASE + 4).unwrap();
+    assert!(matches!(m.run(&mut NoHooks, 100).unwrap(), StopReason::ProtFault(_)));
+    let after = m.emulate_pending_store(&mut NoHooks).unwrap();
+    assert!(
+        matches!(after, Some(StopReason::WatchFault(_))),
+        "emulated store still trips the watchpoint: {after:?}"
+    );
+    assert_eq!(m.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
+    assert_eq!(m.mem().load_u32(DATA_BASE, 0).unwrap(), 3);
+}
+
+#[test]
+fn run_resume_cycles_preserve_determinism() {
+    // Stopping at every mark and resuming must not change results.
+    let body = [
+        asm::addi(8, 0, 0),
+        asm::mark_enter(0),
+        asm::addi(8, 8, 5),
+        asm::mark_exit(0),
+        asm::mark_enter(1),
+        asm::addi(8, 8, 7),
+        asm::mark_exit(1),
+        asm::addi(2, 8, 0),
+        asm::halt(),
+    ];
+    let mut plain = Machine::new();
+    plain.load(&Program::from_asm(&body));
+    plain.run(&mut NoHooks, 100).unwrap();
+
+    let mut stopping = Machine::new();
+    stopping.load(&Program::from_asm(&body));
+    stopping.set_stop_config(StopConfig { marks: true, ..StopConfig::default() });
+    let mut stops = 0;
+    loop {
+        match stopping.run(&mut NoHooks, 100).unwrap() {
+            StopReason::Halted => break,
+            StopReason::Mark { .. } => stops += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(stops, 4);
+    assert_eq!(stopping.cpu().reg(2), plain.cpu().reg(2));
+    assert_eq!(stopping.cost().instructions, plain.cost().instructions);
+    assert_eq!(
+        stopping.cost().cycles,
+        plain.cost().cycles,
+        "stop/resume must not change cycle accounting"
+    );
+}
+
+#[test]
+fn trap_with_unknown_syscall_code_is_invalid_opcode() {
+    let mut m = Machine::new();
+    // Code 0x1f is below SYS_TRAP_MAX but not a defined syscall.
+    m.load(&Program::from_asm(&[asm::trap(0x1f), asm::halt()]));
+    assert!(matches!(
+        m.run(&mut NoHooks, 10),
+        Err(MachineError::InvalidOpcode { .. })
+    ));
+}
+
+#[test]
+fn exit_code_is_preserved_across_output_takes() {
+    let mut m = Machine::new();
+    m.load(&Program::from_asm(&[
+        asm::addi(4, 0, 9),
+        asm::trap(Syscall::PrintInt as u16),
+        asm::addi(4, 0, -5),
+        asm::trap(Syscall::Exit as u16),
+    ]));
+    m.run(&mut NoHooks, 100).unwrap();
+    assert_eq!(m.take_output(), b"9\n");
+    assert!(m.output().is_empty());
+    assert_eq!(m.exit_code(), -5);
+}

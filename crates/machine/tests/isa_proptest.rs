@@ -1,0 +1,79 @@
+//! Property tests for the `spar` ISA encoding and core machine behaviour.
+
+use databp_machine::{decode, encode, Instr, MarkKind, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let r = any_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Add(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sub(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Mul(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Div(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Rem(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::And(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Or(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Xor(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sll(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Srl(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sra(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Slt(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sltu(a, b, c)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Addi(a, b, i)),
+        (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Instr::Andi(a, b, i)),
+        (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Instr::Ori(a, b, i)),
+        (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Instr::Xori(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Slti(a, b, i)),
+        (r(), any::<u16>()).prop_map(|(a, i)| Instr::Lui(a, i)),
+        (r(), r(), 0u8..32).prop_map(|(a, b, s)| Instr::Slli(a, b, s)),
+        (r(), r(), 0u8..32).prop_map(|(a, b, s)| Instr::Srli(a, b, s)),
+        (r(), r(), 0u8..32).prop_map(|(a, b, s)| Instr::Srai(a, b, s)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Lw(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Lb(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Lbu(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Sw(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Sb(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Beq(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Bne(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Blt(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Bge(a, b, i)),
+        (0u32..(1 << 26)).prop_map(Instr::Jal),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Jalr(a, b, i)),
+        any::<u16>().prop_map(Instr::Trap),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+        any::<u16>().prop_map(|f| Instr::Mark(MarkKind::Enter, f)),
+        any::<u16>().prop_map(|f| Instr::Mark(MarkKind::Exit, f)),
+        (r(), any::<i16>(), prop_oneof![Just(1u8), Just(4u8)])
+            .prop_map(|(b, i, l)| Instr::Chk(b, i, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn encode_decode_roundtrip(i in any_instr()) {
+        prop_assert_eq!(decode(encode(i)), Ok(i));
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        // Arbitrary words either decode or are rejected — never panic.
+        let _ = decode(w);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            // Encoding a decoded instruction reproduces a word that decodes
+            // to the same instruction (the word itself may normalize unused
+            // bits).
+            prop_assert_eq!(decode(encode(i)), Ok(i));
+        }
+    }
+}

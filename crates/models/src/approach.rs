@@ -1,0 +1,66 @@
+//! The four strategies under study.
+
+use std::fmt;
+
+/// A write-monitor-service implementation strategy (Section 3). Page size
+/// for VirtualMemory is carried in the variant because the paper reports
+/// VM-4K and VM-8K as separate columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Approach {
+    /// NativeHardware — monitor registers in the processor.
+    Nh,
+    /// VirtualMemory with 4 KiB pages.
+    Vm4k,
+    /// VirtualMemory with 8 KiB pages.
+    Vm8k,
+    /// TrapPatch — every write instruction replaced by a trap.
+    Tp,
+    /// CodePatch — every write instruction preceded by an inline check.
+    Cp,
+}
+
+impl Approach {
+    /// All approaches in the paper's Table 4 column order.
+    pub const ALL: [Approach; 5] =
+        [Approach::Nh, Approach::Vm4k, Approach::Vm8k, Approach::Tp, Approach::Cp];
+
+    /// The paper's column abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Approach::Nh => "NH",
+            Approach::Vm4k => "VM-4K",
+            Approach::Vm8k => "VM-8K",
+            Approach::Tp => "TP",
+            Approach::Cp => "CP",
+        }
+    }
+
+    /// True for either VirtualMemory variant.
+    pub fn is_vm(self) -> bool {
+        matches!(self, Approach::Vm4k | Approach::Vm8k)
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_table_4() {
+        let names: Vec<&str> = Approach::ALL.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(names, ["NH", "VM-4K", "VM-8K", "TP", "CP"]);
+    }
+
+    #[test]
+    fn vm_classification() {
+        assert!(Approach::Vm4k.is_vm());
+        assert!(Approach::Vm8k.is_vm());
+        assert!(!Approach::Cp.is_vm());
+    }
+}

@@ -1,0 +1,78 @@
+//! Counting variables (Figure 2 and the per-strategy extensions).
+
+use std::ops::{Add, AddAssign};
+
+/// Counting variables for one monitor session, produced either by the
+/// phase-2 trace simulator or by an executable strategy run.
+///
+/// `vm_protect`, `vm_unprotect`, and `vm_active_page_miss` are
+/// page-size-dependent (the paper reports them for both 4 KiB and 8 KiB);
+/// the other fields are page-size-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// `InstallMonitorσ` — write monitors installed.
+    pub install: u64,
+    /// `RemoveMonitorσ` — write monitors removed.
+    pub remove: u64,
+    /// `MonitorHitσ` — writes that hit an active monitor.
+    pub hit: u64,
+    /// `MonitorMissσ` — checked writes that hit nothing.
+    pub miss: u64,
+    /// `VMProtectσ` — page transitions from zero to one active monitors.
+    pub vm_protect: u64,
+    /// `VMUnprotectσ` — page transitions from one to zero active monitors.
+    pub vm_unprotect: u64,
+    /// `VMActivePageMissσ` — monitor misses that wrote a page holding an
+    /// active monitor.
+    pub vm_active_page_miss: u64,
+}
+
+impl Counts {
+    /// Total checked writes (`hit + miss`).
+    pub fn writes(&self) -> u64 {
+        self.hit + self.miss
+    }
+}
+
+impl Add for Counts {
+    type Output = Counts;
+
+    fn add(self, o: Counts) -> Counts {
+        Counts {
+            install: self.install + o.install,
+            remove: self.remove + o.remove,
+            hit: self.hit + o.hit,
+            miss: self.miss + o.miss,
+            vm_protect: self.vm_protect + o.vm_protect,
+            vm_unprotect: self.vm_unprotect + o.vm_unprotect,
+            vm_active_page_miss: self.vm_active_page_miss + o.vm_active_page_miss,
+        }
+    }
+}
+
+impl AddAssign for Counts {
+    fn add_assign(&mut self, o: Counts) {
+        *self = *self + o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_sums_hits_and_misses() {
+        let c = Counts { hit: 3, miss: 7, ..Counts::default() };
+        assert_eq!(c.writes(), 10);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = Counts { install: 1, remove: 2, hit: 3, miss: 4, vm_protect: 5, vm_unprotect: 6, vm_active_page_miss: 7 };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.install, 2);
+        assert_eq!(b.vm_active_page_miss, 14);
+    }
+}

@@ -1,0 +1,260 @@
+//! The overhead equations of Figures 3–6, with per-term attribution.
+
+use crate::approach::Approach;
+use crate::counts::Counts;
+use crate::timing::{TimingVar, TimingVars};
+
+/// The modeled overhead of one monitor session under one approach, broken
+/// down by timing variable (the paper's Section 8 "where the time was
+/// spent" analysis).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Overhead {
+    terms: Vec<(TimingVar, f64)>,
+}
+
+impl Overhead {
+    /// Adds `us` microseconds attributed to `var` (used by the analytical
+    /// equations and by the executable strategies, which charge costs as
+    /// they go).
+    pub fn add(&mut self, var: TimingVar, us: f64) {
+        if us == 0.0 {
+            return;
+        }
+        match self.terms.iter_mut().find(|(v, _)| *v == var) {
+            Some((_, acc)) => *acc += us,
+            None => self.terms.push((var, us)),
+        }
+    }
+
+    /// Total overhead in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.terms.iter().map(|(_, us)| us).sum()
+    }
+
+    /// Overhead attributed to each timing variable, in microseconds.
+    pub fn terms(&self) -> &[(TimingVar, f64)] {
+        &self.terms
+    }
+
+    /// Fraction (0–1) of the total attributed to `var`.
+    pub fn fraction(&self, var: TimingVar) -> f64 {
+        let total = self.total_us();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.terms.iter().find(|(v, _)| *v == var).map_or(0.0, |(_, us)| us / total)
+    }
+
+    /// Relative overhead: modeled overhead normalized to the base
+    /// execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_us` is not positive.
+    pub fn relative(&self, base_us: f64) -> f64 {
+        assert!(base_us > 0.0, "base execution time must be positive");
+        self.total_us() / base_us
+    }
+}
+
+/// Evaluates the analytical model for `approach` on one session's
+/// counting variables.
+///
+/// The caller is responsible for passing counts measured at the matching
+/// page size for [`Approach::Vm4k`] / [`Approach::Vm8k`]; the equations
+/// themselves are identical for the two.
+pub fn overhead(approach: Approach, c: &Counts, t: &TimingVars) -> Overhead {
+    let mut ov = Overhead::default();
+    match approach {
+        // Figure 3.
+        Approach::Nh => {
+            ov.add(TimingVar::NhFaultHandler, c.hit as f64 * t.nh_fault_us);
+        }
+        // Figure 4.
+        Approach::Vm4k | Approach::Vm8k => {
+            let faults = (c.hit + c.vm_active_page_miss) as f64;
+            ov.add(TimingVar::VmFaultHandler, faults * t.vm_fault_us);
+            ov.add(TimingVar::SoftwareLookup, faults * t.software_lookup_us);
+            let churn = (c.install + c.remove) as f64;
+            ov.add(
+                TimingVar::VmUnprotect,
+                churn * t.vm_unprotect_us + c.vm_unprotect as f64 * t.vm_unprotect_us,
+            );
+            ov.add(
+                TimingVar::VmProtect,
+                churn * t.vm_protect_us + c.vm_protect as f64 * t.vm_protect_us,
+            );
+            ov.add(TimingVar::SoftwareUpdate, churn * t.software_update_us);
+        }
+        // Figure 5.
+        Approach::Tp => {
+            let checked = c.writes() as f64;
+            ov.add(TimingVar::TpFaultHandler, checked * t.tp_fault_us);
+            ov.add(TimingVar::SoftwareLookup, checked * t.software_lookup_us);
+            ov.add(
+                TimingVar::SoftwareUpdate,
+                (c.install + c.remove) as f64 * t.software_update_us,
+            );
+        }
+        // Figure 6.
+        Approach::Cp => {
+            ov.add(TimingVar::SoftwareLookup, c.writes() as f64 * t.software_lookup_us);
+            ov.add(
+                TimingVar::SoftwareUpdate,
+                (c.install + c.remove) as f64 * t.software_update_us,
+            );
+        }
+    }
+    ov
+}
+
+/// Section 9's loop-invariant preliminary-check adjustment to CodePatch.
+///
+/// `skipped_checks` is the number of dynamic body checks whose lookup was
+/// elided because the loop's preliminary check missed;
+/// `preheader_checks` is the number of preliminary checks executed. The
+/// adjusted model charges `SoftwareLookup` only for the checks that
+/// actually ran.
+///
+/// # Panics
+///
+/// Panics if `skipped_checks` exceeds the session's total checked writes.
+pub fn cp_loopopt_overhead(
+    c: &Counts,
+    skipped_checks: u64,
+    preheader_checks: u64,
+    t: &TimingVars,
+) -> Overhead {
+    assert!(
+        skipped_checks <= c.writes(),
+        "cannot skip more checks than writes ({skipped_checks} > {})",
+        c.writes()
+    );
+    let mut ov = Overhead::default();
+    let lookups = c.writes() - skipped_checks + preheader_checks;
+    ov.add(TimingVar::SoftwareLookup, lookups as f64 * t.software_lookup_us);
+    ov.add(
+        TimingVar::SoftwareUpdate,
+        (c.install + c.remove) as f64 * t.software_update_us,
+    );
+    ov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> Counts {
+        Counts {
+            install: 10,
+            remove: 10,
+            hit: 100,
+            miss: 10_000,
+            vm_protect: 8,
+            vm_unprotect: 8,
+            vm_active_page_miss: 500,
+        }
+    }
+
+    #[test]
+    fn nh_counts_only_hits() {
+        let t = TimingVars::default();
+        let ov = overhead(Approach::Nh, &sample_counts(), &t);
+        assert_eq!(ov.total_us(), 100.0 * 131.0);
+        assert_eq!(ov.fraction(TimingVar::NhFaultHandler), 1.0);
+    }
+
+    #[test]
+    fn vm_equation_matches_figure_4() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let ov = overhead(Approach::Vm4k, &c, &t);
+        let expected = (100.0 + 500.0) * (561.0 + 2.75)
+            + 10.0 * (299.0 + 22.0 + 80.0)
+            + 8.0 * 80.0
+            + 10.0 * (299.0 + 22.0 + 80.0)
+            + 8.0 * 299.0;
+        assert!((ov.total_us() - expected).abs() < 1e-9, "{} vs {expected}", ov.total_us());
+        // Identical equations for 8K (counts differ in practice).
+        assert_eq!(overhead(Approach::Vm8k, &c, &t).total_us(), ov.total_us());
+    }
+
+    #[test]
+    fn tp_equation_matches_figure_5() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let ov = overhead(Approach::Tp, &c, &t);
+        let expected = 10_100.0 * (102.0 + 2.75) + 20.0 * 22.0;
+        assert!((ov.total_us() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cp_equation_matches_figure_6() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let ov = overhead(Approach::Cp, &c, &t);
+        let expected = 10_100.0 * 2.75 + 20.0 * 22.0;
+        assert!((ov.total_us() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let t = TimingVars::default();
+        for a in Approach::ALL {
+            let ov = overhead(a, &sample_counts(), &t);
+            let sum: f64 = ov.terms().iter().map(|(v, _)| ov.fraction(*v)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{a}: fractions sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn tp_dominated_by_fault_handler() {
+        // Section 8: "TPFaultHandler consistently accounted for 97% of
+        // the overhead". With Table 2 values, 102/(102+2.75) ≈ 0.9737.
+        let t = TimingVars::default();
+        let c = Counts { hit: 0, miss: 1_000_000, ..Counts::default() };
+        let ov = overhead(Approach::Tp, &c, &t);
+        let f = ov.fraction(TimingVar::TpFaultHandler);
+        assert!((f - 102.0 / 104.75).abs() < 1e-6, "{f}");
+    }
+
+    #[test]
+    fn relative_overhead_normalizes() {
+        let t = TimingVars::default();
+        let ov = overhead(Approach::Nh, &sample_counts(), &t);
+        assert!((ov.relative(13_100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "base execution time must be positive")]
+    fn relative_rejects_zero_base() {
+        overhead(Approach::Nh, &sample_counts(), &TimingVars::default()).relative(0.0);
+    }
+
+    #[test]
+    fn loopopt_reduces_cp_lookup_cost() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let plain = overhead(Approach::Cp, &c, &t);
+        // Half the checked writes elided, a few hundred preheader checks.
+        let opt = cp_loopopt_overhead(&c, c.writes() / 2, 300, &t);
+        assert!(opt.total_us() < plain.total_us());
+        // No skipping at all + zero preheaders = identical to plain CP.
+        let same = cp_loopopt_overhead(&c, 0, 0, &t);
+        assert!((same.total_us() - plain.total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot skip more checks")]
+    fn loopopt_rejects_overskip() {
+        cp_loopopt_overhead(&sample_counts(), u64::MAX, 0, &TimingVars::default());
+    }
+
+    #[test]
+    fn zero_counts_zero_overhead() {
+        let t = TimingVars::default();
+        for a in Approach::ALL {
+            assert_eq!(overhead(a, &Counts::default(), &t).total_us(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! CodePatch static space overhead (Section 8's final note).
+//!
+//! "For each write instruction, CodePatch must insert a call to a WMS
+//! routine responsible for detecting monitor hits. For the SPARC
+//! architecture this requires a minimum of two additional instructions.
+//! … we estimated the code expansion … between 12% and 15%."
+
+/// Number of instruction words CodePatch inserts per write instruction
+/// (the paper's SPARC minimum; our `chk` pseudo-instruction is costed as
+/// the same two words).
+pub const WORDS_PER_CHECK: u32 = 2;
+
+/// Estimates CodePatch code expansion as a fraction: inserted words over
+/// original words.
+///
+/// `traced_stores` is the static count of write instructions that get a
+/// check; `code_words` is the size of the *uninstrumented* program in
+/// instruction words.
+///
+/// # Panics
+///
+/// Panics if `code_words` is zero.
+///
+/// # Examples
+///
+/// ```
+/// // 6.5% of instructions are stores -> 13% expansion at 2 words/check.
+/// let e = databp_models::code_expansion(65, 1000);
+/// assert!((e - 0.13).abs() < 1e-12);
+/// ```
+pub fn code_expansion(traced_stores: u32, code_words: u32) -> f64 {
+    assert!(code_words > 0, "program has no instructions");
+    (traced_stores * WORDS_PER_CHECK) as f64 / code_words as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_band_examples() {
+        // The paper's 12–15% band corresponds to 6–7.5% static write
+        // fraction at two words per check.
+        assert!((code_expansion(60, 1000) - 0.12).abs() < 1e-12);
+        assert!((code_expansion(75, 1000) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stores_zero_expansion() {
+        assert_eq!(code_expansion(0, 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instructions")]
+    fn empty_program_rejected() {
+        code_expansion(1, 0);
+    }
+}

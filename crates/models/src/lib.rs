@@ -1,0 +1,49 @@
+//! Analytical cost models — Section 7 of the paper.
+//!
+//! Each write-monitor-service strategy is modeled by equations that
+//! combine *counting variables* (how often each primitive ran during a
+//! monitor session — [`Counts`]) with *timing variables* (what each
+//! primitive costs — [`TimingVars`], whose defaults are the paper's
+//! Table 2 measurements on a 40 MHz SPARCstation 2 under SunOS 4.1.1).
+//!
+//! The models are transcribed from the paper's Figures 3–6:
+//!
+//! ```text
+//! NativeHardware (Fig. 3):
+//!   MonitorHitov     = MonitorHitσ · NHFaultHandlerτ
+//!   (everything else zero)
+//!
+//! VirtualMemory (Fig. 4):
+//!   MonitorHitov     = MonitorHitσ · (VMFaultHandlerτ + SoftwareLookupτ)
+//!   MonitorMissov    = VMActivePageMissσ · (VMFaultHandlerτ + SoftwareLookupτ)
+//!   InstallMonitorov = InstallMonitorσ · (VMUnprotectτ + SoftwareUpdateτ + VMProtectτ)
+//!                      + VMProtectσ · VMProtectτ
+//!   RemoveMonitorov  = RemoveMonitorσ · (VMUnprotectτ + SoftwareUpdateτ + VMProtectτ)
+//!                      + VMUnprotectσ · VMUnprotectτ
+//!
+//! TrapPatch (Fig. 5):
+//!   MonitorHitov     = MonitorHitσ · (TPFaultHandlerτ + SoftwareLookupτ)
+//!   MonitorMissov    = MonitorMissσ · (TPFaultHandlerτ + SoftwareLookupτ)
+//!   Install/Remove   = countσ · SoftwareUpdateτ
+//!
+//! CodePatch (Fig. 6):
+//!   MonitorHitov     = MonitorHitσ · SoftwareLookupτ
+//!   MonitorMissov    = MonitorMissσ · SoftwareLookupτ
+//!   Install/Remove   = countσ · SoftwareUpdateτ
+//! ```
+//!
+//! The module also provides the Section 8 auxiliary results: per-timing-
+//! variable overhead breakdown, the CodePatch static code-expansion
+//! estimate, and the Section 9 loop-invariant-check adjustment.
+
+mod approach;
+mod counts;
+mod equations;
+mod expansion;
+mod timing;
+
+pub use approach::Approach;
+pub use counts::Counts;
+pub use equations::{cp_loopopt_overhead, overhead, Overhead};
+pub use expansion::code_expansion;
+pub use timing::{TimingVar, TimingVars};

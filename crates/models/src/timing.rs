@@ -1,0 +1,137 @@
+//! Timing variables (Table 2).
+
+use std::fmt;
+
+/// Names of the timed primitives, for breakdown reporting (the Section 8
+/// "where the time was spent" analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingVar {
+    /// Update the address→monitor mapping (install or remove).
+    SoftwareUpdate,
+    /// Check whether an address range intersects an active monitor.
+    SoftwareLookup,
+    /// Deliver a user-level monitor-register fault and continue.
+    NhFaultHandler,
+    /// Deliver a user-level write fault, emulate, and continue.
+    VmFaultHandler,
+    /// `mprotect` a page read-only.
+    VmProtect,
+    /// `mprotect` a page read-write.
+    VmUnprotect,
+    /// Deliver a user-level trap fault, emulate, and continue.
+    TpFaultHandler,
+}
+
+impl fmt::Display for TimingVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TimingVar::SoftwareUpdate => "SoftwareUpdate",
+            TimingVar::SoftwareLookup => "SoftwareLookup",
+            TimingVar::NhFaultHandler => "NHFaultHandler",
+            TimingVar::VmFaultHandler => "VMFaultHandler",
+            TimingVar::VmProtect => "VMProtect",
+            TimingVar::VmUnprotect => "VMUnprotect",
+            TimingVar::TpFaultHandler => "TPFaultHandler",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The timed primitive costs, in microseconds.
+///
+/// [`TimingVars::default`] returns the paper's Table 2 values, measured
+/// on an unloaded 40 MHz SPARCstation 2 running SunOS 4.1.1. Override
+/// individual fields to model other platforms; the harness's `table2`
+/// experiment re-derives them from microbenchmarks against the simulated
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingVars {
+    /// `SoftwareUpdateτ` (µs).
+    pub software_update_us: f64,
+    /// `SoftwareLookupτ` (µs).
+    pub software_lookup_us: f64,
+    /// `NHFaultHandlerτ` (µs).
+    pub nh_fault_us: f64,
+    /// `VMFaultHandlerτ` (µs).
+    pub vm_fault_us: f64,
+    /// `VMProtectτ` (µs).
+    pub vm_protect_us: f64,
+    /// `VMUnprotectτ` (µs).
+    pub vm_unprotect_us: f64,
+    /// `TPFaultHandlerτ` (µs).
+    pub tp_fault_us: f64,
+}
+
+impl Default for TimingVars {
+    /// The paper's Table 2.
+    fn default() -> Self {
+        TimingVars {
+            software_update_us: 22.0,
+            software_lookup_us: 2.75,
+            nh_fault_us: 131.0,
+            vm_fault_us: 561.0,
+            vm_protect_us: 80.0,
+            vm_unprotect_us: 299.0,
+            tp_fault_us: 102.0,
+        }
+    }
+}
+
+impl TimingVars {
+    /// The value of one timing variable, in microseconds.
+    pub fn get(&self, var: TimingVar) -> f64 {
+        match var {
+            TimingVar::SoftwareUpdate => self.software_update_us,
+            TimingVar::SoftwareLookup => self.software_lookup_us,
+            TimingVar::NhFaultHandler => self.nh_fault_us,
+            TimingVar::VmFaultHandler => self.vm_fault_us,
+            TimingVar::VmProtect => self.vm_protect_us,
+            TimingVar::VmUnprotect => self.vm_unprotect_us,
+            TimingVar::TpFaultHandler => self.tp_fault_us,
+        }
+    }
+
+    /// All variables with their values, in Table 2 order.
+    pub fn entries(&self) -> [(TimingVar, f64); 7] {
+        [
+            (TimingVar::SoftwareUpdate, self.software_update_us),
+            (TimingVar::SoftwareLookup, self.software_lookup_us),
+            (TimingVar::NhFaultHandler, self.nh_fault_us),
+            (TimingVar::VmFaultHandler, self.vm_fault_us),
+            (TimingVar::VmProtect, self.vm_protect_us),
+            (TimingVar::VmUnprotect, self.vm_unprotect_us),
+            (TimingVar::TpFaultHandler, self.tp_fault_us),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let t = TimingVars::default();
+        assert_eq!(t.software_update_us, 22.0);
+        assert_eq!(t.software_lookup_us, 2.75);
+        assert_eq!(t.nh_fault_us, 131.0);
+        assert_eq!(t.vm_fault_us, 561.0);
+        assert_eq!(t.vm_protect_us, 80.0);
+        assert_eq!(t.vm_unprotect_us, 299.0);
+        assert_eq!(t.tp_fault_us, 102.0);
+    }
+
+    #[test]
+    fn get_matches_entries() {
+        let t = TimingVars::default();
+        for (var, v) in t.entries() {
+            assert_eq!(t.get(var), v);
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(TimingVar::NhFaultHandler.to_string(), "NHFaultHandler");
+        assert_eq!(TimingVar::SoftwareLookup.to_string(), "SoftwareLookup");
+    }
+}

@@ -1,0 +1,191 @@
+//! Session enumeration — "we discovered all instances of the monitor
+//! session types described in Section 5" (Section 8).
+
+use crate::kinds::Session;
+use databp_tinyc::DebugInfo;
+use databp_trace::{Event, ObjectDesc, Trace};
+use std::collections::HashMap;
+
+/// For each heap object, the set of functions on the dynamic call stack
+/// when it was (first) allocated — the membership context for
+/// `AllHeapInFunc`.
+///
+/// Requires the trace's `Enter`/`Exit` records; re-installs of the same
+/// sequence number (realloc) do not change the context.
+pub fn heap_contexts(trace: &Trace) -> HashMap<u32, Vec<u16>> {
+    let mut stack: Vec<u16> = Vec::new();
+    let mut ctx: HashMap<u32, Vec<u16>> = HashMap::new();
+    for ev in trace.events() {
+        match *ev {
+            Event::Enter { func } => stack.push(func),
+            Event::Exit { .. } => {
+                stack.pop();
+            }
+            Event::Install { obj: ObjectDesc::Heap { seq }, .. } => {
+                ctx.entry(seq).or_insert_with(|| {
+                    let mut fids = stack.clone();
+                    fids.sort_unstable();
+                    fids.dedup();
+                    fids
+                });
+            }
+            _ => {}
+        }
+    }
+    ctx
+}
+
+/// Enumerates every candidate session of all five types for one program
+/// run. (Zero-hit filtering happens after simulation, as in the paper.)
+///
+/// * `OneLocalAuto`: every local automatic variable (parameters
+///   included) of every function.
+/// * `AllLocalInFunc`: every function that has at least one local or
+///   function-static variable.
+/// * `OneGlobalStatic`: every file-scope variable (string literals
+///   excluded).
+/// * `OneHeap`: every heap object allocated during the run.
+/// * `AllHeapInFunc`: every function in whose dynamic context at least
+///   one heap object was allocated.
+pub fn enumerate_sessions(debug: &DebugInfo, trace: &Trace) -> Vec<Session> {
+    let mut out = Vec::new();
+    for (fid, f) in debug.functions.iter().enumerate() {
+        for l in &f.locals {
+            out.push(Session::OneLocalAuto { func: fid as u16, var: l.var });
+        }
+    }
+    let has_static: Vec<bool> = {
+        let mut v = vec![false; debug.functions.len()];
+        for g in &debug.globals {
+            if let Some(owner) = g.owner {
+                v[owner as usize] = true;
+            }
+        }
+        v
+    };
+    for (fid, f) in debug.functions.iter().enumerate() {
+        if !f.locals.is_empty() || has_static[fid] {
+            out.push(Session::AllLocalInFunc { func: fid as u16 });
+        }
+    }
+    for g in &debug.globals {
+        if !g.is_literal && g.owner.is_none() {
+            out.push(Session::OneGlobalStatic { global: g.id });
+        }
+    }
+    let ctx = heap_contexts(trace);
+    let mut seqs: Vec<u32> = ctx.keys().copied().collect();
+    seqs.sort_unstable();
+    for seq in seqs {
+        out.push(Session::OneHeap { seq });
+    }
+    let mut alloc_funcs: Vec<u16> = ctx.values().flatten().copied().collect();
+    alloc_funcs.sort_unstable();
+    alloc_funcs.dedup();
+    for func in alloc_funcs {
+        out.push(Session::AllHeapInFunc { func });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::SessionKind;
+    use databp_machine::{Machine, StopReason};
+    use databp_tinyc::{compile, Options};
+    use databp_trace::Tracer;
+
+    fn trace_of(src: &str) -> (DebugInfo, Trace) {
+        let c = compile(src, &Options::plain()).unwrap();
+        let mut m = Machine::new();
+        m.load(&c.program);
+        let mut tracer = Tracer::new(c.debug.frame_map(), c.debug.global_specs())
+            .with_untraced(c.debug.untraced_store_pcs.clone());
+        tracer.begin();
+        assert_eq!(m.run(&mut tracer, 50_000_000).unwrap(), StopReason::Halted);
+        (c.debug, tracer.finish())
+    }
+
+    const SRC: &str = r#"
+        int g1;
+        int g2;
+        int leaf(int n) {
+            int *p;
+            p = (int*)malloc(8);
+            p[0] = n;
+            free((char*)p);
+            return n;
+        }
+        int mid(int n) { static int cache; cache = n; return leaf(n) + cache; }
+        int main() {
+            int i;
+            g1 = 0;
+            for (i = 0; i < 3; i = i + 1) g1 = g1 + mid(i);
+            g2 = g1;
+            return g2;
+        }
+    "#;
+
+    #[test]
+    fn enumeration_covers_all_kinds() {
+        let (debug, trace) = trace_of(SRC);
+        let sessions = enumerate_sessions(&debug, &trace);
+        let count = |k: SessionKind| sessions.iter().filter(|s| s.kind() == k).count();
+        // Locals: leaf(n, p) + mid(n) + main(i) = 4.
+        assert_eq!(count(SessionKind::OneLocalAuto), 4);
+        // All three functions have locals (mid also has a static).
+        assert_eq!(count(SessionKind::AllLocalInFunc), 3);
+        // File-scope globals only (the static belongs to AllLocalInFunc).
+        assert_eq!(count(SessionKind::OneGlobalStatic), 2);
+        // Three allocations (one per loop iteration).
+        assert_eq!(count(SessionKind::OneHeap), 3);
+        // Allocation context: main -> mid -> leaf.
+        assert_eq!(count(SessionKind::AllHeapInFunc), 3);
+    }
+
+    #[test]
+    fn heap_contexts_capture_dynamic_stack() {
+        let (debug, trace) = trace_of(SRC);
+        let ctx = heap_contexts(&trace);
+        assert_eq!(ctx.len(), 3);
+        let leaf = debug.func_id("leaf").unwrap();
+        let mid = debug.func_id("mid").unwrap();
+        let main = debug.func_id("main").unwrap();
+        for fids in ctx.values() {
+            let mut expect = vec![leaf, mid, main];
+            expect.sort_unstable();
+            assert_eq!(fids, &expect);
+        }
+    }
+
+    #[test]
+    fn no_heap_program_has_no_heap_sessions() {
+        // The CTEX/QCD property from Table 1: zero OneHeap /
+        // AllHeapInFunc sessions.
+        let (debug, trace) = trace_of("int g; int main() { g = 1; return g; }");
+        let sessions = enumerate_sessions(&debug, &trace);
+        assert!(sessions.iter().all(|s| !matches!(
+            s.kind(),
+            SessionKind::OneHeap | SessionKind::AllHeapInFunc
+        )));
+    }
+
+    #[test]
+    fn realloc_does_not_create_a_second_heap_session() {
+        let src = r#"
+            int main() {
+                char *p;
+                p = malloc(8);
+                p = realloc(p, 64);
+                free(p);
+                return 0;
+            }
+        "#;
+        let (debug, trace) = trace_of(src);
+        let sessions = enumerate_sessions(&debug, &trace);
+        let heap: Vec<_> =
+            sessions.iter().filter(|s| s.kind() == SessionKind::OneHeap).collect();
+        assert_eq!(heap.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Session types and instances.
+
+use databp_tinyc::DebugInfo;
+use std::fmt;
+
+/// The five session types of Section 5 (Table 1's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SessionKind {
+    /// Monitor a single local automatic variable.
+    OneLocalAuto,
+    /// Monitor all locals of a function, including local statics.
+    AllLocalInFunc,
+    /// Monitor a single file-scope variable.
+    OneGlobalStatic,
+    /// Monitor a single heap object.
+    OneHeap,
+    /// Monitor all heap objects allocated in a function's dynamic
+    /// context.
+    AllHeapInFunc,
+}
+
+impl SessionKind {
+    /// All kinds in Table 1 column order.
+    pub const ALL: [SessionKind; 5] = [
+        SessionKind::OneLocalAuto,
+        SessionKind::AllLocalInFunc,
+        SessionKind::OneGlobalStatic,
+        SessionKind::OneHeap,
+        SessionKind::AllHeapInFunc,
+    ];
+
+    /// The paper's column heading.
+    pub fn title(self) -> &'static str {
+        match self {
+            SessionKind::OneLocalAuto => "OneLocalAuto",
+            SessionKind::AllLocalInFunc => "AllLocalInFunc",
+            SessionKind::OneGlobalStatic => "OneGlobalStatic",
+            SessionKind::OneHeap => "OneHeap",
+            SessionKind::AllHeapInFunc => "AllHeapInFunc",
+        }
+    }
+}
+
+impl fmt::Display for SessionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// One concrete monitor session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Session {
+    /// Monitor local `var` of function `func`.
+    OneLocalAuto {
+        /// Function id.
+        func: u16,
+        /// Variable index.
+        var: u16,
+    },
+    /// Monitor every local (and static) of `func`.
+    AllLocalInFunc {
+        /// Function id.
+        func: u16,
+    },
+    /// Monitor file-scope global `global`.
+    OneGlobalStatic {
+        /// Global id.
+        global: u32,
+    },
+    /// Monitor heap object `seq`.
+    OneHeap {
+        /// Allocation sequence number.
+        seq: u32,
+    },
+    /// Monitor heap objects allocated while `func` is on the stack.
+    AllHeapInFunc {
+        /// Function id.
+        func: u16,
+    },
+}
+
+impl Session {
+    /// The session's kind.
+    pub fn kind(&self) -> SessionKind {
+        match self {
+            Session::OneLocalAuto { .. } => SessionKind::OneLocalAuto,
+            Session::AllLocalInFunc { .. } => SessionKind::AllLocalInFunc,
+            Session::OneGlobalStatic { .. } => SessionKind::OneGlobalStatic,
+            Session::OneHeap { .. } => SessionKind::OneHeap,
+            Session::AllHeapInFunc { .. } => SessionKind::AllHeapInFunc,
+        }
+    }
+
+    /// A human-readable description using program symbol names.
+    pub fn describe(&self, debug: &DebugInfo) -> String {
+        let fname = |fid: u16| {
+            debug
+                .functions
+                .get(fid as usize)
+                .map(|f| f.name.as_str())
+                .unwrap_or("?")
+        };
+        match *self {
+            Session::OneLocalAuto { func, var } => {
+                let vname = debug
+                    .functions
+                    .get(func as usize)
+                    .and_then(|f| f.locals.get(var as usize))
+                    .map(|l| l.name.as_str())
+                    .unwrap_or("?");
+                format!("watch local '{}' of {}()", vname, fname(func))
+            }
+            Session::AllLocalInFunc { func } => {
+                format!("watch all locals of {}()", fname(func))
+            }
+            Session::OneGlobalStatic { global } => {
+                let gname = debug
+                    .globals
+                    .get(global as usize)
+                    .map(|g| g.name.as_str())
+                    .unwrap_or("?");
+                format!("watch global '{gname}'")
+            }
+            Session::OneHeap { seq } => format!("watch heap object #{seq}"),
+            Session::AllHeapInFunc { func } => {
+                format!("watch all heap objects allocated under {}()", fname(func))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Session::OneLocalAuto { func, var } => write!(f, "OneLocalAuto(f{func}.v{var})"),
+            Session::AllLocalInFunc { func } => write!(f, "AllLocalInFunc(f{func})"),
+            Session::OneGlobalStatic { global } => write!(f, "OneGlobalStatic(g{global})"),
+            Session::OneHeap { seq } => write!(f, "OneHeap(h{seq})"),
+            Session::AllHeapInFunc { func } => write!(f, "AllHeapInFunc(f{func})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_sessions() {
+        assert_eq!(Session::OneLocalAuto { func: 0, var: 1 }.kind(), SessionKind::OneLocalAuto);
+        assert_eq!(Session::AllLocalInFunc { func: 0 }.kind(), SessionKind::AllLocalInFunc);
+        assert_eq!(Session::OneGlobalStatic { global: 0 }.kind(), SessionKind::OneGlobalStatic);
+        assert_eq!(Session::OneHeap { seq: 0 }.kind(), SessionKind::OneHeap);
+        assert_eq!(Session::AllHeapInFunc { func: 0 }.kind(), SessionKind::AllHeapInFunc);
+    }
+
+    #[test]
+    fn titles_match_table_1() {
+        let titles: Vec<_> = SessionKind::ALL.iter().map(|k| k.title()).collect();
+        assert_eq!(
+            titles,
+            ["OneLocalAuto", "AllLocalInFunc", "OneGlobalStatic", "OneHeap", "AllHeapInFunc"]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Session::OneHeap { seq: 7 }.to_string(), "OneHeap(h7)");
+        assert_eq!(
+            Session::OneLocalAuto { func: 2, var: 3 }.to_string(),
+            "OneLocalAuto(f2.v3)"
+        );
+    }
+}

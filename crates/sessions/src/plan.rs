@@ -1,0 +1,121 @@
+//! Adapting a session to the executable strategies' [`MonitorPlan`].
+
+use crate::kinds::Session;
+use databp_core::MonitorPlan;
+use databp_tinyc::DebugInfo;
+
+/// A [`Session`] paired with the program's debug information, usable as a
+/// [`MonitorPlan`] by the executable WMS strategies.
+///
+/// The debug info is needed because `AllLocalInFunc` includes the
+/// function's *static* locals, which live in the global table with an
+/// owner tag.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionPlan<'a> {
+    session: Session,
+    debug: &'a DebugInfo,
+}
+
+impl<'a> SessionPlan<'a> {
+    /// Pairs `session` with its program.
+    pub fn new(session: Session, debug: &'a DebugInfo) -> Self {
+        SessionPlan { session, debug }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> Session {
+        self.session
+    }
+}
+
+impl MonitorPlan for SessionPlan<'_> {
+    fn monitor_global(&self, id: u32) -> bool {
+        match self.session {
+            Session::OneGlobalStatic { global } => global == id,
+            Session::AllLocalInFunc { func } => {
+                self.debug.globals.get(id as usize).is_some_and(|g| g.owner == Some(func))
+            }
+            _ => false,
+        }
+    }
+
+    fn monitor_local(&self, func: u16, var: u16) -> bool {
+        match self.session {
+            Session::OneLocalAuto { func: f, var: v } => f == func && v == var,
+            Session::AllLocalInFunc { func: f } => f == func,
+            _ => false,
+        }
+    }
+
+    fn monitor_heap(&self, seq: u32, stack: &[u16]) -> bool {
+        match self.session {
+            Session::OneHeap { seq: s } => s == seq,
+            Session::AllHeapInFunc { func } => stack.contains(&func),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use databp_tinyc::{compile, Options};
+
+    fn debug() -> DebugInfo {
+        compile(
+            r#"
+            int g;
+            int f() { static int s; int x; x = 1; s = x; return s; }
+            int main() { g = f(); return g; }
+            "#,
+            &Options::plain(),
+        )
+        .unwrap()
+        .debug
+    }
+
+    #[test]
+    fn one_global_static_matches_exactly() {
+        let d = debug();
+        let gid = d.global("g").unwrap().id;
+        let p = SessionPlan::new(Session::OneGlobalStatic { global: gid }, &d);
+        assert!(p.monitor_global(gid));
+        assert!(!p.monitor_global(gid + 1));
+        assert!(!p.monitor_local(0, 0));
+        assert!(!p.monitor_heap(0, &[0]));
+    }
+
+    #[test]
+    fn all_local_in_func_includes_statics() {
+        let d = debug();
+        let f = d.func_id("f").unwrap();
+        let static_gid = d.globals.iter().find(|g| g.owner == Some(f)).unwrap().id;
+        let p = SessionPlan::new(Session::AllLocalInFunc { func: f }, &d);
+        assert!(p.monitor_local(f, 0), "locals of f");
+        assert!(!p.monitor_local(f + 1, 0), "not other functions' locals");
+        assert!(p.monitor_global(static_gid), "f's static belongs to the session");
+        let other_gid = d.global("g").unwrap().id;
+        assert!(!p.monitor_global(other_gid));
+    }
+
+    #[test]
+    fn heap_sessions_use_stack_context() {
+        let d = debug();
+        let p = SessionPlan::new(Session::AllHeapInFunc { func: 3 }, &d);
+        assert!(p.monitor_heap(0, &[1, 3, 5]));
+        assert!(!p.monitor_heap(0, &[1, 5]));
+        let q = SessionPlan::new(Session::OneHeap { seq: 9 }, &d);
+        assert!(q.monitor_heap(9, &[]));
+        assert!(!q.monitor_heap(8, &[]));
+    }
+
+    #[test]
+    fn one_local_auto_matches_single_variable() {
+        let d = debug();
+        let f = d.func_id("f").unwrap();
+        let p = SessionPlan::new(Session::OneLocalAuto { func: f, var: 0 }, &d);
+        assert!(p.monitor_local(f, 0));
+        assert!(!p.monitor_local(f, 1));
+        assert!(!p.monitor_global(0));
+    }
+}

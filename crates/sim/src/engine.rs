@@ -1,0 +1,370 @@
+//! The one-pass multi-session counting engine.
+
+use crate::membership::Membership;
+use databp_machine::PageSize;
+use databp_models::Counts;
+use databp_trace::{Event, ObjectDesc, Trace};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A live monitored object instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    ba: u32,
+    ea: u32,
+    sessions: Rc<[u32]>,
+}
+
+struct Engine<'m, M: Membership> {
+    membership: &'m M,
+    page_size: PageSize,
+    /// Slab of live instances; `None` slots are free.
+    instances: Vec<Option<Instance>>,
+    free: Vec<u32>,
+    /// Live lookup by (object, install base address).
+    live: HashMap<(ObjectDesc, u32), u32>,
+    /// Page -> slab indices of instances overlapping it.
+    pages: HashMap<u32, Vec<u32>>,
+    /// Cached membership per object descriptor (all instantiations of a
+    /// local share one descriptor, so this interns per variable).
+    member_cache: HashMap<ObjectDesc, Rc<[u32]>>,
+    /// Per (session, page): active member-monitor count.
+    page_counts: HashMap<(u32, u32), u32>,
+    // Per-session accumulators.
+    hits: Vec<u64>,
+    installs: Vec<u64>,
+    removes: Vec<u64>,
+    apm: Vec<u64>,
+    vm_protect: Vec<u64>,
+    vm_unprotect: Vec<u64>,
+    // Event-stamped dedup state.
+    last_touch: Vec<u64>,
+    last_hit: Vec<u64>,
+    inst_stamp: Vec<u64>,
+    total_writes: u64,
+}
+
+/// Replays `trace` once, producing per-session counting variables at the
+/// given page size.
+///
+/// Sessions are identified by index (`0..membership.count()`); see
+/// [`Membership`]. `MonitorMissσ` is derived as
+/// `total writes − MonitorHitσ`, because the software strategies check
+/// every traced write for the whole run.
+pub fn simulate<M: Membership>(trace: &Trace, membership: &M, page_size: PageSize) -> Vec<Counts> {
+    let n = membership.count();
+    let mut e = Engine {
+        membership,
+        page_size,
+        instances: Vec::new(),
+        free: Vec::new(),
+        live: HashMap::new(),
+        pages: HashMap::new(),
+        member_cache: HashMap::new(),
+        page_counts: HashMap::new(),
+        hits: vec![0; n],
+        installs: vec![0; n],
+        removes: vec![0; n],
+        apm: vec![0; n],
+        vm_protect: vec![0; n],
+        vm_unprotect: vec![0; n],
+        last_touch: vec![u64::MAX; n],
+        last_hit: vec![u64::MAX; n],
+        inst_stamp: Vec::new(),
+        total_writes: 0,
+    };
+    let mut scratch = Vec::new();
+    for (idx, ev) in trace.events().iter().enumerate() {
+        let stamp = idx as u64;
+        match *ev {
+            Event::Install { obj, ba, ea } => e.install(obj, ba, ea, &mut scratch),
+            Event::Remove { obj, ba, .. } => e.remove(obj, ba),
+            Event::Write { ba, ea, .. } => e.write(ba, ea, stamp, &mut scratch),
+            Event::Enter { .. } | Event::Exit { .. } => {}
+        }
+    }
+    (0..n)
+        .map(|s| Counts {
+            install: e.installs[s],
+            remove: e.removes[s],
+            hit: e.hits[s],
+            miss: e.total_writes - e.hits[s],
+            vm_protect: e.vm_protect[s],
+            vm_unprotect: e.vm_unprotect[s],
+            vm_active_page_miss: e.apm[s],
+        })
+        .collect()
+}
+
+impl<'m, M: Membership> Engine<'m, M> {
+    fn members(&mut self, obj: &ObjectDesc, scratch: &mut Vec<u32>) -> Rc<[u32]> {
+        if let Some(m) = self.member_cache.get(obj) {
+            return Rc::clone(m);
+        }
+        self.membership.sessions_of(obj, scratch);
+        let rc: Rc<[u32]> = Rc::from(scratch.as_slice());
+        self.member_cache.insert(*obj, Rc::clone(&rc));
+        rc
+    }
+
+    fn install(&mut self, obj: ObjectDesc, ba: u32, ea: u32, scratch: &mut Vec<u32>) {
+        let sessions = self.members(&obj, scratch);
+        if sessions.is_empty() || ba >= ea {
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.instances[s as usize] =
+                    Some(Instance { ba, ea, sessions: Rc::clone(&sessions) });
+                s
+            }
+            None => {
+                self.instances.push(Some(Instance { ba, ea, sessions: Rc::clone(&sessions) }));
+                self.inst_stamp.push(u64::MAX);
+                (self.instances.len() - 1) as u32
+            }
+        };
+        self.live.insert((obj, ba), slot);
+        for page in self.page_size.pages_of_range(ba, ea) {
+            self.pages.entry(page).or_default().push(slot);
+            for &s in sessions.iter() {
+                let cnt = self.page_counts.entry((s, page)).or_insert(0);
+                *cnt += 1;
+                if *cnt == 1 {
+                    self.vm_protect[s as usize] += 1;
+                }
+            }
+        }
+        for &s in sessions.iter() {
+            self.installs[s as usize] += 1;
+        }
+    }
+
+    fn remove(&mut self, obj: ObjectDesc, ba: u32) {
+        let Some(slot) = self.live.remove(&(obj, ba)) else {
+            // Object not monitored by any session.
+            return;
+        };
+        let inst = self.instances[slot as usize].take().expect("live slot is occupied");
+        self.free.push(slot);
+        for page in self.page_size.pages_of_range(inst.ba, inst.ea) {
+            let list = self.pages.get_mut(&page).expect("instance was indexed");
+            let pos = list.iter().position(|&x| x == slot).expect("slot in page list");
+            list.swap_remove(pos);
+            if list.is_empty() {
+                self.pages.remove(&page);
+            }
+            for &s in inst.sessions.iter() {
+                let cnt = self
+                    .page_counts
+                    .get_mut(&(s, page))
+                    .expect("page count exists for member session");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.page_counts.remove(&(s, page));
+                    self.vm_unprotect[s as usize] += 1;
+                }
+            }
+        }
+        for &s in inst.sessions.iter() {
+            self.removes[s as usize] += 1;
+        }
+    }
+
+    fn write(&mut self, ba: u32, ea: u32, stamp: u64, touched: &mut Vec<u32>) {
+        self.total_writes += 1;
+        if ba >= ea {
+            return;
+        }
+        touched.clear();
+        for page in self.page_size.pages_of_range(ba, ea) {
+            let Some(list) = self.pages.get(&page) else { continue };
+            for &slot in list {
+                if self.inst_stamp[slot as usize] == stamp {
+                    continue; // instance spans pages; already processed
+                }
+                self.inst_stamp[slot as usize] = stamp;
+                let inst = self.instances[slot as usize].as_ref().expect("indexed slot live");
+                let overlap = ba < inst.ea && inst.ba < ea;
+                for &s in inst.sessions.iter() {
+                    if self.last_touch[s as usize] != stamp {
+                        self.last_touch[s as usize] = stamp;
+                        touched.push(s);
+                    }
+                    if overlap {
+                        self.last_hit[s as usize] = stamp;
+                    }
+                }
+            }
+        }
+        for &s in touched.iter() {
+            if self.last_hit[s as usize] == stamp {
+                self.hits[s as usize] += 1;
+            } else {
+                self.apm[s as usize] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::TableMembership;
+
+    fn g(id: u32) -> ObjectDesc {
+        ObjectDesc::Global { id }
+    }
+
+    fn write(ba: u32, ea: u32) -> Event {
+        Event::Write { pc: 0, ba, ea }
+    }
+
+    #[test]
+    fn single_session_hit_miss_accounting() {
+        let m = TableMembership { entries: vec![(g(0), vec![0])], sessions: 1 };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            write(0x1000, 0x1004), // hit
+            write(0x2000, 0x2004), // miss (different page)
+            write(0x1008, 0x100c), // active-page miss
+            Event::Remove { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            write(0x1000, 0x1004), // after removal: plain miss
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].hit, 1);
+        assert_eq!(c[0].miss, 3);
+        assert_eq!(c[0].vm_active_page_miss, 1);
+        assert_eq!(c[0].install, 1);
+        assert_eq!(c[0].remove, 1);
+        assert_eq!(c[0].vm_protect, 1);
+        assert_eq!(c[0].vm_unprotect, 1);
+    }
+
+    #[test]
+    fn page_size_affects_apm() {
+        let m = TableMembership { entries: vec![(g(0), vec![0])], sessions: 1 };
+        let trace = Trace::from_events(vec![
+            // Monitor on 4K page 1 == 8K page 0.
+            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            write(0x1800, 0x1804), // same 4K page and same 8K page
+            write(0x0800, 0x0804), // different 4K page, same 8K page
+        ]);
+        let c4 = simulate(&trace, &m, PageSize::K4);
+        let c8 = simulate(&trace, &m, PageSize::K8);
+        assert_eq!(c4[0].vm_active_page_miss, 1);
+        assert_eq!(c8[0].vm_active_page_miss, 2);
+        assert_eq!(c4[0].hit, 0);
+        assert_eq!(c4[0].miss, 2);
+    }
+
+    #[test]
+    fn one_write_hitting_two_objects_counts_once_per_session() {
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0]), (g(1), vec![0, 1])],
+            sessions: 2,
+        };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install { obj: g(1), ba: 0x1004, ea: 0x1008 },
+            write(0x1000, 0x1008), // straddles both objects
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 1, "session 0 hit once despite two member objects");
+        assert_eq!(c[1].hit, 1);
+    }
+
+    #[test]
+    fn hit_suppresses_active_page_miss_for_same_write() {
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0]), (g(1), vec![0])],
+            sessions: 1,
+        };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install { obj: g(1), ba: 0x1100, ea: 0x1104 },
+            // Hits g(0); also touches g(1)'s page (same page) — counts
+            // as a hit, not an APM.
+            write(0x1000, 0x1004),
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 1);
+        assert_eq!(c[0].vm_active_page_miss, 0);
+    }
+
+    #[test]
+    fn reinstalled_object_keeps_counting() {
+        // Realloc pattern: remove + install of the same descriptor.
+        let h = ObjectDesc::Heap { seq: 5 };
+        let m = TableMembership { entries: vec![(h, vec![0])], sessions: 1 };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: h, ba: 0x1000, ea: 0x1010 },
+            write(0x1000, 0x1004),
+            Event::Remove { obj: h, ba: 0x1000, ea: 0x1010 },
+            Event::Install { obj: h, ba: 0x3000, ea: 0x3040 },
+            write(0x3000, 0x3004),
+            Event::Remove { obj: h, ba: 0x3000, ea: 0x3040 },
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 2);
+        assert_eq!(c[0].install, 2);
+        assert_eq!(c[0].remove, 2);
+        assert_eq!(c[0].vm_protect, 2);
+    }
+
+    #[test]
+    fn recursion_instances_tracked_independently() {
+        let l = ObjectDesc::Local { func: 1, var: 0 };
+        let m = TableMembership { entries: vec![(l, vec![0])], sessions: 1 };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: l, ba: 0xF000, ea: 0xF004 }, // outer
+            Event::Install { obj: l, ba: 0xE000, ea: 0xE004 }, // inner
+            write(0xE000, 0xE004), // hits inner instance
+            Event::Remove { obj: l, ba: 0xE000, ea: 0xE004 },
+            write(0xE000, 0xE004), // inner gone: miss (different page from outer)
+            write(0xF000, 0xF004), // hits outer
+            Event::Remove { obj: l, ba: 0xF000, ea: 0xF004 },
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 2);
+        assert_eq!(c[0].install, 2);
+        assert_eq!(c[0].remove, 2);
+        assert_eq!(c[0].miss, 1);
+    }
+
+    #[test]
+    fn unmonitored_objects_cost_nothing() {
+        let m = TableMembership { entries: vec![], sessions: 1 };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: g(9), ba: 0x1000, ea: 0x1004 },
+            write(0x1000, 0x1004),
+            Event::Remove { obj: g(9), ba: 0x1000, ea: 0x1004 },
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 0);
+        assert_eq!(c[0].miss, 1);
+        assert_eq!(c[0].install, 0);
+        assert_eq!(c[0].vm_active_page_miss, 0);
+    }
+
+    #[test]
+    fn overlapping_monitors_page_counts_stay_protected() {
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0]), (g(1), vec![0])],
+            sessions: 1,
+        };
+        let trace = Trace::from_events(vec![
+            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install { obj: g(1), ba: 0x1004, ea: 0x1008 },
+            Event::Remove { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            // Page still has g(1): a nearby write is an APM.
+            write(0x1800, 0x1804),
+            Event::Remove { obj: g(1), ba: 0x1004, ea: 0x1008 },
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].vm_protect, 1, "page protected once");
+        assert_eq!(c[0].vm_unprotect, 1, "unprotected only when last monitor left");
+        assert_eq!(c[0].vm_active_page_miss, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! The phase-2 simulator (Section 4).
+//!
+//! Phase 1 produced a program event trace; phase 2 replays it against a
+//! description of which objects each *monitor session* watches, emitting
+//! the paper's counting variables ([`databp_models::Counts`]) per
+//! session. Those counts feed the analytical models.
+//!
+//! The engine ([`simulate`]) processes **all sessions in one pass** over
+//! the trace: each write consults a per-page index of active monitored
+//! object instances and attributes hits / active-page misses to the
+//! owning sessions with event-stamped deduplication. A naive per-session
+//! replay ([`simulate_naive`]) serves as the correctness oracle in
+//! property tests.
+//!
+//! Page-size-dependent counters (`VMProtectσ`, `VMUnprotectσ`,
+//! `VMActivePageMissσ`) are computed for the page size passed in; the
+//! harness runs the engine once for 4 KiB and once for 8 KiB, exactly as
+//! the paper reports VM-4K and VM-8K.
+
+mod engine;
+mod membership;
+mod naive;
+
+pub use engine::simulate;
+pub use membership::{Membership, TableMembership};
+pub use naive::simulate_naive;

@@ -1,0 +1,68 @@
+//! The session-membership interface between the simulator and whoever
+//! defines sessions.
+
+use databp_trace::ObjectDesc;
+
+/// Maps trace objects to the monitor sessions that watch them.
+///
+/// Implemented by `databp-sessions` for the paper's five session types;
+/// the simulator itself is session-type-agnostic.
+pub trait Membership {
+    /// Number of sessions (session indices are `0..count()`).
+    fn count(&self) -> usize;
+
+    /// Appends the indices of every session monitoring `obj` to `out`
+    /// (which is cleared first). Indices must be `< count()` and unique.
+    fn sessions_of(&self, obj: &ObjectDesc, out: &mut Vec<u32>);
+}
+
+/// A direct table-backed membership, convenient in tests: entry `i`
+/// lists `(object, sessions)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TableMembership {
+    /// Explicit object→sessions pairs.
+    pub entries: Vec<(ObjectDesc, Vec<u32>)>,
+    /// Total session count.
+    pub sessions: usize,
+}
+
+impl Membership for TableMembership {
+    fn count(&self) -> usize {
+        self.sessions
+    }
+
+    fn sessions_of(&self, obj: &ObjectDesc, out: &mut Vec<u32>) {
+        out.clear();
+        for (o, ss) in &self.entries {
+            if o == obj {
+                out.extend_from_slice(ss);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_membership_lookups() {
+        let m = TableMembership {
+            entries: vec![
+                (ObjectDesc::Global { id: 0 }, vec![0, 1]),
+                (ObjectDesc::Heap { seq: 3 }, vec![1]),
+            ],
+            sessions: 2,
+        };
+        let mut out = Vec::new();
+        m.sessions_of(&ObjectDesc::Global { id: 0 }, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        m.sessions_of(&ObjectDesc::Heap { seq: 3 }, &mut out);
+        assert_eq!(out, vec![1]);
+        m.sessions_of(&ObjectDesc::Heap { seq: 4 }, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Naive single-session replay — the oracle for the one-pass engine.
+//!
+//! Replays the trace tracking only one session's monitors, with plain
+//! data structures and no event-stamp tricks. O(sessions × trace), used
+//! only in tests and as a benchmark baseline.
+
+use crate::membership::Membership;
+use databp_machine::PageSize;
+use databp_models::Counts;
+use databp_trace::{Event, ObjectDesc, Trace};
+use std::collections::HashMap;
+
+/// Counts for session `session` alone, by direct replay.
+pub fn simulate_naive<M: Membership>(
+    trace: &Trace,
+    membership: &M,
+    page_size: PageSize,
+    session: u32,
+) -> Counts {
+    let mut c = Counts::default();
+    let mut active: HashMap<(ObjectDesc, u32), (u32, u32)> = HashMap::new();
+    let mut page_count: HashMap<u32, u32> = HashMap::new();
+    let mut scratch = Vec::new();
+    let mut total_writes = 0u64;
+
+    let is_member = |obj: &ObjectDesc, scratch: &mut Vec<u32>| {
+        membership.sessions_of(obj, scratch);
+        scratch.contains(&session)
+    };
+
+    for ev in trace.events() {
+        match *ev {
+            Event::Install { obj, ba, ea } => {
+                if ba < ea && is_member(&obj, &mut scratch) {
+                    active.insert((obj, ba), (ba, ea));
+                    c.install += 1;
+                    for page in page_size.pages_of_range(ba, ea) {
+                        let n = page_count.entry(page).or_insert(0);
+                        *n += 1;
+                        if *n == 1 {
+                            c.vm_protect += 1;
+                        }
+                    }
+                }
+            }
+            Event::Remove { obj, ba, .. } => {
+                if let Some((ba, ea)) = active.remove(&(obj, ba)) {
+                    c.remove += 1;
+                    for page in page_size.pages_of_range(ba, ea) {
+                        let n = page_count.get_mut(&page).expect("counted page");
+                        *n -= 1;
+                        if *n == 0 {
+                            page_count.remove(&page);
+                            c.vm_unprotect += 1;
+                        }
+                    }
+                }
+            }
+            Event::Write { ba, ea, .. } => {
+                total_writes += 1;
+                if ba >= ea {
+                    continue;
+                }
+                let hit = active.values().any(|&(mba, mea)| ba < mea && mba < ea);
+                if hit {
+                    c.hit += 1;
+                } else {
+                    let touches_active_page = page_size
+                        .pages_of_range(ba, ea)
+                        .any(|p| page_count.contains_key(&p));
+                    if touches_active_page {
+                        c.vm_active_page_miss += 1;
+                    }
+                }
+            }
+            Event::Enter { .. } | Event::Exit { .. } => {}
+        }
+    }
+    c.miss = total_writes - c.hit;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::membership::TableMembership;
+    use proptest::prelude::*;
+
+    /// Random traces where every object is eventually installed before
+    /// use and removed at most once per install.
+    fn arb_trace_and_membership() -> impl Strategy<Value = (Trace, TableMembership)> {
+        // A small universe of objects and a small address space so that
+        // page sharing and overlap happen constantly.
+        let objs: Vec<ObjectDesc> = vec![
+            ObjectDesc::Global { id: 0 },
+            ObjectDesc::Global { id: 1 },
+            ObjectDesc::Local { func: 0, var: 0 },
+            ObjectDesc::Local { func: 0, var: 1 },
+            ObjectDesc::Heap { seq: 0 },
+            ObjectDesc::Heap { seq: 1 },
+        ];
+        let n_sessions = 3usize;
+        let membership = prop::collection::vec(
+            prop::collection::vec(0u32..n_sessions as u32, 0..3),
+            objs.len(),
+        );
+        let script = prop::collection::vec(
+            prop_oneof![
+                // install object k at a random small range
+                (0usize..6, 0u32..0x3000u32, 4u32..64).prop_map(|(k, ba, len)| (0u8, k, ba, len)),
+                // remove object k
+                (0usize..6).prop_map(|k| (1u8, k, 0, 0)),
+                // write
+                (0u32..0x3400u32, 1u32..8).prop_map(|(ba, len)| (2u8, 0, ba, len)),
+            ],
+            1..150,
+        );
+        (membership, script).prop_map(move |(mem, script)| {
+            let objs = objs.clone();
+            let mut live: HashMap<usize, (u32, u32)> = HashMap::new();
+            let mut tr = Trace::new();
+            for (op, k, ba, len) in script {
+                match op {
+                    0 => {
+                        if let std::collections::hash_map::Entry::Vacant(e) = live.entry(k) {
+                            let range = (ba, ba + len);
+                            e.insert(range);
+                            tr.push(Event::Install { obj: objs[k], ba: range.0, ea: range.1 });
+                        }
+                    }
+                    1 => {
+                        if let Some((ba, ea)) = live.remove(&k) {
+                            tr.push(Event::Remove { obj: objs[k], ba, ea });
+                        }
+                    }
+                    _ => tr.push(Event::Write { pc: 0, ba, ea: ba + len }),
+                }
+            }
+            // Close out, like Tracer::finish.
+            let mut leftover: Vec<(usize, (u32, u32))> = live.into_iter().collect();
+            leftover.sort_unstable();
+            for (k, (ba, ea)) in leftover {
+                tr.push(Event::Remove { obj: objs[k], ba, ea });
+            }
+            let membership = TableMembership {
+                entries: objs
+                    .iter()
+                    .zip(mem)
+                    .map(|(o, mut ss)| {
+                        ss.sort_unstable();
+                        ss.dedup();
+                        (*o, ss)
+                    })
+                    .collect(),
+                sessions: n_sessions,
+            };
+            (tr, membership)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The one-pass engine agrees with per-session naive replay on
+        /// every counter, for both page sizes.
+        #[test]
+        fn engine_matches_naive_oracle((trace, membership) in arb_trace_and_membership()) {
+            for ps in [PageSize::K4, PageSize::K8] {
+                let fast = simulate(&trace, &membership, ps);
+                for s in 0..membership.sessions as u32 {
+                    let slow = simulate_naive(&trace, &membership, ps, s);
+                    prop_assert_eq!(
+                        fast[s as usize], slow,
+                        "divergence for session {} at page size {}", s, ps
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-bucket linear histogram used for the harness's ASCII distribution
+//! views of per-session relative overhead.
+
+/// One bucket of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the final bucket).
+    pub hi: f64,
+    /// Number of samples that fell in `[lo, hi)`.
+    pub count: usize,
+}
+
+/// A linear fixed-width histogram over a closed sample range.
+///
+/// # Examples
+///
+/// ```
+/// use databp_stats::Histogram;
+///
+/// let h = Histogram::from_samples(&[0.0, 0.5, 1.0, 9.9, 10.0], 5);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.buckets().len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<HistogramBucket>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `nbuckets` equal-width buckets spanning
+    /// `[min(samples), max(samples)]`.
+    ///
+    /// The final bucket is closed on both ends so the maximum sample is
+    /// counted. An empty sample slice produces a histogram with zero
+    /// buckets; a degenerate range (all samples equal) produces a single
+    /// bucket holding everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbuckets == 0` or any sample is NaN.
+    pub fn from_samples(samples: &[f64], nbuckets: usize) -> Self {
+        assert!(nbuckets > 0, "histogram needs at least one bucket");
+        if samples.is_empty() {
+            return Histogram { buckets: Vec::new(), total: 0 };
+        }
+        let lo = crate::min(samples);
+        let hi = crate::max(samples);
+        assert!(lo.is_finite() && hi.is_finite(), "samples must be finite");
+        if lo == hi {
+            return Histogram {
+                buckets: vec![HistogramBucket { lo, hi, count: samples.len() }],
+                total: samples.len(),
+            };
+        }
+        let width = (hi - lo) / nbuckets as f64;
+        let mut buckets: Vec<HistogramBucket> = (0..nbuckets)
+            .map(|i| HistogramBucket {
+                lo: lo + width * i as f64,
+                hi: lo + width * (i + 1) as f64,
+                count: 0,
+            })
+            .collect();
+        for &s in samples {
+            let idx = (((s - lo) / width) as usize).min(nbuckets - 1);
+            buckets[idx].count += 1;
+        }
+        Histogram { buckets, total: samples.len() }
+    }
+
+    /// The buckets, in ascending range order.
+    pub fn buckets(&self) -> &[HistogramBucket] {
+        &self.buckets
+    }
+
+    /// Total number of samples counted.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Renders a simple ASCII bar chart, one line per bucket, scaling the
+    /// widest bar to `width` characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let maxc = self.buckets.iter().map(|b| b.count).max().unwrap_or(0);
+        let mut out = String::new();
+        for b in &self.buckets {
+            let bar = (b.count * width).checked_div(maxc).unwrap_or(0);
+            out.push_str(&format!(
+                "[{:>10.2}, {:>10.2}) {:>8} |{}\n",
+                b.lo,
+                b.hi,
+                b.count,
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_sample_including_max() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&v, 10);
+        assert_eq!(h.total(), 101);
+        assert_eq!(h.buckets().iter().map(|b| b.count).sum::<usize>(), 101);
+    }
+
+    #[test]
+    fn degenerate_range_single_bucket() {
+        let h = Histogram::from_samples(&[2.0, 2.0, 2.0], 8);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.buckets()[0].count, 3);
+    }
+
+    #[test]
+    fn empty_samples_empty_histogram() {
+        let h = Histogram::from_samples(&[], 4);
+        assert_eq!(h.total(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bucket() {
+        let v = [0.0, 1.0, 2.0, 3.0];
+        let h = Histogram::from_samples(&v, 4);
+        let text = h.render_ascii(20);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        Histogram::from_samples(&[1.0], 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Descriptive statistics for the databp experiment harness.
+//!
+//! The paper ("Efficient Data Breakpoints", Wahbe, ASPLOS 1992) reports, for
+//! every benchmark program and every write-monitor-service strategy, the
+//! following statistics over the per-session *relative overhead* population
+//! (Table 4):
+//!
+//! * minimum and maximum,
+//! * the mean,
+//! * the *T-Mean* — the mean of sessions whose relative overhead falls
+//!   between the 10th and 90th percentiles,
+//! * the 90th and 98th percentiles.
+//!
+//! This crate provides exactly those primitives plus a small fixed-bucket
+//! histogram used by the harness's ASCII figures. All functions operate on
+//! `f64` samples and are deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use databp_stats::Summary;
+//!
+//! let samples = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+//! let s = Summary::from_samples(&samples);
+//! assert_eq!(s.min, 1.0);
+//! assert_eq!(s.max, 100.0);
+//! assert_eq!(s.n, 5);
+//! ```
+
+mod descriptive;
+mod histogram;
+mod summary;
+
+pub use descriptive::{max, mean, min, percentile_nearest_rank, trimmed_mean, trimmed_range};
+pub use histogram::{Histogram, HistogramBucket};
+pub use summary::Summary;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,63 @@
+//! Property-based tests for the statistics primitives.
+
+use crate::{max, mean, min, percentile_nearest_rank, trimmed_mean, Histogram, Summary};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e9_f64..1e9, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn mean_between_min_and_max(v in finite_samples()) {
+        let m = mean(&v);
+        prop_assert!(min(&v) - 1e-6 <= m && m <= max(&v) + 1e-6);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(v in finite_samples(), a in 0.0..100.0f64, b in 0.0..100.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile_nearest_rank(&v, lo) <= percentile_nearest_rank(&v, hi));
+    }
+
+    #[test]
+    fn percentile_is_a_sample(v in finite_samples(), p in 0.0..100.0f64) {
+        let q = percentile_nearest_rank(&v, p);
+        prop_assert!(v.contains(&q));
+    }
+
+    #[test]
+    fn trimmed_mean_bounded_by_extremes(v in finite_samples()) {
+        let t = trimmed_mean(&v, 10.0, 90.0);
+        prop_assert!(min(&v) - 1e-6 <= t && t <= max(&v) + 1e-6);
+    }
+
+    #[test]
+    fn summary_consistent_with_primitives(v in finite_samples()) {
+        let s = Summary::from_samples(&v);
+        prop_assert_eq!(s.n, v.len());
+        prop_assert_eq!(s.min, min(&v));
+        prop_assert_eq!(s.max, max(&v));
+        // Summation order differs (sorted vs. unsorted), so compare
+        // means approximately.
+        prop_assert!((s.mean - mean(&v)).abs() <= 1e-6 * (1.0 + s.mean.abs()));
+        prop_assert!(
+            (s.t_mean - trimmed_mean(&v, 10.0, 90.0)).abs() <= 1e-6 * (1.0 + s.t_mean.abs())
+        );
+        prop_assert_eq!(s.p90, percentile_nearest_rank(&v, 90.0));
+        prop_assert_eq!(s.p98, percentile_nearest_rank(&v, 98.0));
+    }
+
+    #[test]
+    fn histogram_conserves_samples(v in finite_samples(), nb in 1usize..32) {
+        let h = Histogram::from_samples(&v, nb);
+        prop_assert_eq!(h.total(), v.len());
+        prop_assert_eq!(h.buckets().iter().map(|b| b.count).sum::<usize>(), v.len());
+    }
+
+    #[test]
+    fn translation_shifts_mean(v in finite_samples(), c in -1e6_f64..1e6) {
+        let shifted: Vec<f64> = v.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - (mean(&v) + c)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,136 @@
+//! The [`Summary`] row type mirroring one cell-group of the paper's Table 4.
+
+use crate::descriptive::{mean, percentile_nearest_rank_sorted, trimmed_range};
+
+/// Summary statistics of one population of relative overheads — one
+/// program × approach cell of the paper's Table 4.
+///
+/// Fields are public because this is a passive, plain-data result record;
+/// it is produced by [`Summary::from_samples`] and never mutated.
+///
+/// # Examples
+///
+/// ```
+/// use databp_stats::Summary;
+///
+/// let mut v = vec![1.0; 20];
+/// v.push(100.0); // one extreme session
+/// let s = Summary::from_samples(&v);
+/// assert_eq!(s.n, 21);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 100.0);
+/// assert!(s.t_mean < s.mean); // the outlier is trimmed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum sample value (`0.0` when empty).
+    pub min: f64,
+    /// Maximum sample value (`0.0` when empty).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Trimmed mean over samples between the 10th and 90th nearest-rank
+    /// percentile values — the paper's "T-Mean".
+    pub t_mean: f64,
+    /// 90th nearest-rank percentile.
+    pub p90: f64,
+    /// 98th nearest-rank percentile.
+    pub p98: f64,
+}
+
+impl Summary {
+    /// Computes all Table 4 statistics for `samples`.
+    ///
+    /// An empty population yields the all-zero summary (and `n == 0`), which
+    /// the harness renders as an absent cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        Self::from_sorted(&sorted)
+    }
+
+    /// As [`Summary::from_samples`] but assumes `sorted` is ascending.
+    ///
+    /// This avoids re-sorting when the caller already holds ordered data
+    /// (the harness sorts once and derives several statistics).
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: mean(sorted),
+            t_mean: mean(trimmed_range(sorted, 10.0, 90.0)),
+            p90: percentile_nearest_rank_sorted(sorted, 90.0),
+            p98: percentile_nearest_rank_sorted(sorted, 98.0),
+        }
+    }
+
+    /// Returns true when the population was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let s = Summary::from_samples(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s, Summary::default());
+    }
+
+    #[test]
+    fn singleton_population() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.t_mean, 3.5);
+        assert_eq!(s.p90, 3.5);
+        assert_eq!(s.p98, 3.5);
+    }
+
+    #[test]
+    fn ordering_invariants_hold() {
+        let v: Vec<f64> = (0..100).map(|i| (i * i) as f64).collect();
+        let s = Summary::from_samples(&v);
+        assert!(s.min <= s.t_mean);
+        assert!(s.t_mean <= s.mean + 1e-12 || s.t_mean <= s.max);
+        assert!(s.p90 <= s.p98);
+        assert!(s.p98 <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn from_sorted_matches_from_samples() {
+        let v = [9.0, 1.0, 5.0, 5.0, 2.0, 8.0];
+        let mut sorted = v.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(Summary::from_samples(&v), Summary::from_sorted(&sorted));
+    }
+
+    #[test]
+    fn t_mean_robust_to_outlier() {
+        let mut v = vec![1.0; 50];
+        v.push(1e9);
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.t_mean, 1.0);
+        assert!(s.mean > 1.0);
+    }
+}

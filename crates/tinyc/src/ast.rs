@@ -1,0 +1,203 @@
+//! The untyped abstract syntax tree produced by the parser.
+
+/// A parsed type expression (struct names unresolved until sema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `char`
+    Char,
+    /// `void` (function returns only)
+    Void,
+    /// `struct Name`
+    Struct(String),
+    /// `T*`
+    Ptr(Box<TypeExpr>),
+}
+
+/// A declarator: name plus optional array length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declarator {
+    /// Declared name.
+    pub name: String,
+    /// `Some(n)` for `name[n]`.
+    pub array: Option<u32>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Members in declaration order.
+    pub members: Vec<(TypeExpr, Declarator)>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A file-scope variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Element type.
+    pub ty: TypeExpr,
+    /// Name and optional array length.
+    pub decl: Declarator,
+    /// Optional constant initializer.
+    pub init: Option<Expr>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Return type (`void` allowed).
+    pub ret: TypeExpr,
+    /// Function name.
+    pub name: String,
+    /// Parameters (scalar/pointer only).
+    pub params: Vec<(TypeExpr, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `struct S { … };`
+    Struct(StructDef),
+    /// File-scope variable.
+    Global(GlobalDecl),
+    /// Function definition.
+    Func(FuncDecl),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration, possibly `static`, possibly initialized.
+    Decl {
+        /// `static` storage?
+        is_static: bool,
+        /// Element type.
+        ty: TypeExpr,
+        /// Name and optional array length.
+        decl: Declarator,
+        /// Optional initializer (constant required when `is_static`).
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body` — all clauses optional.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `{ … }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// Binary operators (short-circuit logicals included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Node kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer or character literal.
+    Int(i32),
+    /// String literal.
+    Str(Vec<u8>),
+    /// Variable reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `*e`
+    Deref(Box<Expr>),
+    /// `&e`
+    AddrOf(Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs`
+    Assign(Box<Expr>, Box<Expr>),
+    /// `f(args…)`
+    Call(String, Vec<Expr>),
+    /// `e[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `e.member`
+    Member(Box<Expr>, String),
+    /// `e->member`
+    Arrow(Box<Expr>, String),
+    /// `(T)e`
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(T)`
+    Sizeof(TypeExpr),
+}

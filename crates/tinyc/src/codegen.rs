@@ -1,0 +1,1054 @@
+//! Code generation: HIR → `spar` machine code.
+//!
+//! The generated code follows the paper's compilation regime: named
+//! variables are always in memory; only expression temporaries use
+//! registers (`t0..t15`, a simple evaluation stack). Function prologues
+//! and epilogues bracket the body with `enter`/`exit` marks, and the
+//! implicit stores they perform (return-address/frame-pointer saves,
+//! temporary spills around calls) are recorded as *untraced*.
+//!
+//! With [`Options::codepatch`], every traced store is preceded by a `chk`
+//! of the same effective address — the paper's CodePatch instrumentation
+//! ("a minimum of two additional instructions" per write). With
+//! [`Options::loopopt`] additionally enabled, stores whose target is a
+//! loop-invariant scalar (a named local or global) get a *preliminary
+//! check* in the loop preheader (Section 9), recorded in
+//! [`DebugInfo::loopopts`] for the CodePatch strategy to exploit.
+
+use crate::debuginfo::{DebugInfo, FuncInfo, GlobalInfo, LocalInfo, LoopOptInfo};
+use crate::hir::{BinOp, Builtin, Expr, ExprKind, FuncDef, Hir, Stmt, UnOp};
+use crate::types::align_up;
+use crate::Compiled;
+use databp_machine::{asm, Instr, Program, CODE_BASE, DATA_BASE};
+use std::collections::HashMap;
+
+/// Code generation options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Insert a CodePatch `chk` before every traced store.
+    pub codepatch: bool,
+    /// Emit Section 9 loop-preheader preliminary checks (requires
+    /// `codepatch`; ignored otherwise).
+    pub loopopt: bool,
+    /// Emit a `nop` before every traced store instead of a `chk` — the
+    /// paper's Section 3.3 hybrid: padding that a *dynamic* code patcher
+    /// can overwrite with checks at run time. Ignored when `codepatch`
+    /// is set.
+    pub nop_padding: bool,
+}
+
+impl Options {
+    /// Plain code, no instrumentation (NativeHardware / VirtualMemory /
+    /// TrapPatch runs).
+    pub fn plain() -> Self {
+        Options::default()
+    }
+
+    /// CodePatch instrumentation.
+    pub fn codepatch() -> Self {
+        Options { codepatch: true, ..Options::default() }
+    }
+
+    /// CodePatch with the loop-invariant preliminary-check optimization.
+    pub fn codepatch_loopopt() -> Self {
+        Options { codepatch: true, loopopt: true, ..Options::default() }
+    }
+
+    /// Nop padding for dynamic patching (Section 3.3's hybrid).
+    pub fn nop_padding() -> Self {
+        Options { nop_padding: true, ..Options::default() }
+    }
+}
+
+// Register conventions (see databp_machine::reg).
+const AT: u8 = 1; // scratch for addresses / wide constants
+const RV: u8 = 2;
+const A0: u8 = 4;
+const T0: u8 = 8;
+const NTEMP: u32 = 16;
+const SP: u8 = 29;
+const FP: u8 = 30;
+
+const SYS_EXIT: u16 = 1;
+
+fn treg(depth: u32) -> u8 {
+    assert!(depth < NTEMP, "expression too deep: needs temp t{depth}");
+    T0 + depth as u8
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StoreTarget {
+    Local(u16),
+    Global(u32),
+}
+
+struct Gen<'a> {
+    hir: &'a Hir,
+    opts: Options,
+    code: Vec<Instr>,
+    func_entries: Vec<usize>,
+    call_fixups: Vec<(usize, u16)>,
+    labels: Vec<Option<usize>>,
+    branch_fixups: Vec<(usize, usize)>,
+    /// (break label, continue label) stack.
+    loop_labels: Vec<(usize, usize)>,
+    /// Innermost-loop hoist registry: target -> loopopts index.
+    hoist_stack: Vec<HashMap<StoreTarget, usize>>,
+    untraced: Vec<u32>,
+    pads: Vec<u32>,
+    loopopts: Vec<LoopOptInfo>,
+    traced_store_count: u32,
+    cur: Option<&'a FuncDef>,
+    epilogue: usize,
+}
+
+/// Generates machine code and debug info for a checked program.
+pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
+    let mut g = Gen {
+        hir,
+        opts: *opts,
+        code: Vec::new(),
+        func_entries: vec![0; hir.funcs.len()],
+        call_fixups: Vec::new(),
+        labels: Vec::new(),
+        branch_fixups: Vec::new(),
+        loop_labels: Vec::new(),
+        hoist_stack: Vec::new(),
+        untraced: Vec::new(),
+        pads: Vec::new(),
+        loopopts: Vec::new(),
+        traced_store_count: 0,
+        cur: None,
+        epilogue: 0,
+    };
+
+    // Entry stub: call main, pass its result to exit.
+    g.call_fixups.push((g.code.len(), hir.main));
+    g.emit(asm::jal(0));
+    g.emit(asm::addi(A0, RV, 0));
+    g.emit(asm::trap(SYS_EXIT));
+
+    for (fid, f) in hir.funcs.iter().enumerate() {
+        g.gen_func(fid as u16, f);
+    }
+
+    // Patch calls.
+    for (idx, fid) in std::mem::take(&mut g.call_fixups) {
+        g.code[idx] = asm::jal(g.func_entries[fid as usize] as u32);
+    }
+    // Branch fixups are resolved per function (labels are global though).
+    for (idx, label) in std::mem::take(&mut g.branch_fixups) {
+        let target = g.labels[label].expect("label must be bound before fixup");
+        let off = target as i64 - (idx as i64 + 1);
+        assert!(
+            (i16::MIN as i64..=i16::MAX as i64).contains(&off),
+            "branch offset out of range: {off}"
+        );
+        g.code[idx] = match g.code[idx] {
+            Instr::Beq(a, b, _) => Instr::Beq(a, b, off as i16),
+            Instr::Bne(a, b, _) => Instr::Bne(a, b, off as i16),
+            Instr::Blt(a, b, _) => Instr::Blt(a, b, off as i16),
+            Instr::Bge(a, b, _) => Instr::Bge(a, b, off as i16),
+            other => panic!("fixup on non-branch {other:?}"),
+        };
+    }
+
+    let mut data = vec![0u8; hir.data_size as usize];
+    for gl in &hir.globals {
+        data[gl.offset as usize..(gl.offset + gl.size) as usize].copy_from_slice(&gl.init);
+    }
+
+    g.untraced.sort_unstable();
+    let debug = DebugInfo {
+        functions: hir
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(fid, f)| FuncInfo {
+                name: f.name.clone(),
+                entry_pc: CODE_BASE + 4 * g.func_entries[fid] as u32,
+                params: f.params,
+                locals: f
+                    .locals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| LocalInfo {
+                        name: l.name.clone(),
+                        var: i as u16,
+                        offset: l.offset,
+                        size: l.size,
+                        is_param: l.is_param,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        globals: hir
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(id, gl)| GlobalInfo {
+                name: gl.name.clone(),
+                id: id as u32,
+                ba: DATA_BASE + gl.offset,
+                ea: DATA_BASE + gl.offset + gl.size,
+                owner: gl.owner,
+                is_literal: gl.is_literal,
+            })
+            .collect(),
+        untraced_store_pcs: g.untraced,
+        pad_pcs: g.pads,
+        loopopts: g.loopopts,
+        data_size: hir.data_size,
+        traced_store_count: g.traced_store_count,
+    };
+
+    Compiled {
+        program: Program { code: g.code, data, entry: CODE_BASE },
+        debug,
+    }
+}
+
+impl<'a> Gen<'a> {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here_pc(&self) -> u32 {
+        CODE_BASE + 4 * self.code.len() as u32
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        assert!(self.labels[label].is_none(), "label bound twice");
+        self.labels[label] = Some(self.code.len());
+    }
+
+    fn branch_to(&mut self, i: Instr, label: usize) {
+        let idx = self.emit(i);
+        self.branch_fixups.push((idx, label));
+    }
+
+    fn jump_to(&mut self, label: usize) {
+        // Unconditional branch: beq r0, r0.
+        self.branch_to(asm::beq(0, 0, 0), label);
+    }
+
+    /// Loads a 32-bit constant into `rd`.
+    fn load_const(&mut self, rd: u8, v: i32) {
+        if (-32768..=32767).contains(&v) {
+            self.emit(asm::addi(rd, 0, v as i16));
+        } else {
+            let u = v as u32;
+            self.emit(asm::lui(rd, (u >> 16) as u16));
+            let lo = (u & 0xffff) as u16;
+            if lo != 0 {
+                self.emit(asm::ori(rd, rd, lo));
+            }
+        }
+    }
+
+    /// Loads the absolute address of global `gid` into `rd`.
+    fn load_global_addr(&mut self, rd: u8, gid: u32) {
+        let addr = DATA_BASE + self.hir.globals[gid as usize].offset;
+        self.load_const(rd, addr as i32);
+    }
+
+    fn local_offset(&self, idx: u16) -> i16 {
+        let off = self.cur.expect("inside a function").locals[idx as usize].offset;
+        assert!((-32768..0).contains(&off), "frame too large: offset {off}");
+        off as i16
+    }
+
+    // ---- functions ----
+
+    fn gen_func(&mut self, fid: u16, f: &'a FuncDef) {
+        self.cur = Some(f);
+        self.func_entries[fid as usize] = self.code.len();
+        let total = align_up(f.frame_size, 8);
+        assert!(total <= 32760, "frame of '{}' too large", f.name);
+
+        self.emit(asm::addi(SP, SP, -(total as i16)));
+        self.untraced.push(self.here_pc());
+        self.emit(asm::sw(31, SP, (total - 4) as i16)); // save ra
+        self.untraced.push(self.here_pc());
+        self.emit(asm::sw(FP, SP, (total - 8) as i16)); // save caller fp
+        self.emit(asm::addi(FP, SP, total as i16));
+        self.emit(asm::mark_enter(fid));
+        // Spill parameters into their (traced) frame slots.
+        for p in 0..f.params {
+            let off = self.local_offset(p);
+            let width = f.locals[p as usize].ty.access_width();
+            self.checked_store(A0 + p as u8, FP, off, width, None);
+        }
+
+        self.epilogue = self.new_label();
+        let body: &'a [Stmt] = &f.body;
+        self.gen_stmts(fid, body);
+
+        let epi = self.epilogue;
+        self.bind(epi);
+        self.emit(asm::mark_exit(fid));
+        self.emit(asm::lw(31, FP, -4));
+        self.emit(asm::addi(SP, FP, 0));
+        self.emit(asm::lw(FP, FP, -8));
+        self.emit(asm::jalr(0, 31, 0));
+        self.cur = None;
+    }
+
+    fn gen_stmts(&mut self, fid: u16, stmts: &'a [Stmt]) {
+        for s in stmts {
+            self.gen_stmt(fid, s);
+        }
+    }
+
+    fn gen_stmt(&mut self, fid: u16, s: &'a Stmt) {
+        match s {
+            Stmt::Expr(e) => {
+                self.expr(e, 0);
+            }
+            Stmt::If(c, t, e) => {
+                let lelse = self.new_label();
+                let lend = self.new_label();
+                self.expr(c, 0);
+                self.branch_to(asm::beq(T0, 0, 0), lelse);
+                self.gen_stmts(fid, t);
+                if e.is_empty() {
+                    self.bind(lelse);
+                    self.labels[lend] = Some(self.code.len()); // unused
+                } else {
+                    self.jump_to(lend);
+                    self.bind(lelse);
+                    self.gen_stmts(fid, e);
+                    self.bind(lend);
+                }
+            }
+            Stmt::While(c, body) => {
+                self.gen_loop(fid, None, Some(c), None, body);
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.gen_loop(fid, init.as_ref(), cond.as_ref(), step.as_ref(), body);
+            }
+            Stmt::Return(v) => {
+                if let Some(v) = v {
+                    self.expr(v, 0);
+                    self.emit(asm::addi(RV, T0, 0));
+                }
+                let epi = self.epilogue;
+                self.jump_to(epi);
+            }
+            Stmt::Break => {
+                let (brk, _) = *self.loop_labels.last().expect("break inside loop");
+                self.jump_to(brk);
+            }
+            Stmt::Continue => {
+                let (_, cont) = *self.loop_labels.last().expect("continue inside loop");
+                self.jump_to(cont);
+            }
+        }
+    }
+
+    fn gen_loop(
+        &mut self,
+        fid: u16,
+        init: Option<&'a Expr>,
+        cond: Option<&'a Expr>,
+        step: Option<&'a Expr>,
+        body: &'a [Stmt],
+    ) {
+        if let Some(i) = init {
+            self.expr(i, 0);
+        }
+
+        // Section 9: preliminary checks for loop-invariant store targets.
+        let mut hoists = HashMap::new();
+        if self.opts.codepatch && self.opts.loopopt {
+            let mut targets = Vec::new();
+            collect_hoist_targets_stmts(body, &mut targets);
+            if let Some(c) = cond {
+                collect_hoist_targets_expr(c, &mut targets);
+            }
+            if let Some(st) = step {
+                collect_hoist_targets_expr(st, &mut targets);
+            }
+            targets.dedup();
+            for (target, width) in targets {
+                if hoists.contains_key(&target) {
+                    continue;
+                }
+                let pre_pc = self.here_pc();
+                match target {
+                    StoreTarget::Local(i) => {
+                        let off = self.local_offset(i);
+                        self.emit(asm::chk(FP, off, width as u8));
+                    }
+                    StoreTarget::Global(gid) => {
+                        self.load_global_addr(AT, gid);
+                        // load_global_addr may emit 1 or 2 instructions;
+                        // the chk is the *next* word.
+                        let pc = self.here_pc();
+                        self.emit(asm::chk(AT, 0, width as u8));
+                        self.loopopts.push(LoopOptInfo { preheader_pc: pc, body_pcs: Vec::new() });
+                        hoists.insert(target, self.loopopts.len() - 1);
+                        continue;
+                    }
+                }
+                self.loopopts.push(LoopOptInfo { preheader_pc: pre_pc, body_pcs: Vec::new() });
+                hoists.insert(target, self.loopopts.len() - 1);
+            }
+        }
+        self.hoist_stack.push(hoists);
+
+        let lcond = self.new_label();
+        let lstep = self.new_label();
+        let lend = self.new_label();
+        self.bind(lcond);
+        if let Some(c) = cond {
+            self.expr(c, 0);
+            self.branch_to(asm::beq(T0, 0, 0), lend);
+        }
+        self.loop_labels.push((lend, lstep));
+        self.gen_stmts(fid, body);
+        self.loop_labels.pop();
+        self.bind(lstep);
+        if let Some(st) = step {
+            self.expr(st, 0);
+        }
+        self.jump_to(lcond);
+        self.bind(lend);
+        self.hoist_stack.pop();
+    }
+
+    // ---- expressions ----
+
+    /// Emits code leaving the value of `e` in `treg(depth)`.
+    fn expr(&mut self, e: &'a Expr, depth: u32) {
+        let rd = treg(depth);
+        match &e.kind {
+            ExprKind::Const(v) => self.load_const(rd, *v),
+            ExprKind::AddrLocal(i) => {
+                let off = self.local_offset(*i);
+                self.emit(asm::addi(rd, FP, off));
+            }
+            ExprKind::AddrGlobal(g) => self.load_global_addr(rd, *g),
+            ExprKind::Load(addr) => {
+                let width = e.ty.access_width();
+                match &addr.kind {
+                    ExprKind::AddrLocal(i) => {
+                        let off = self.local_offset(*i);
+                        self.emit(load_instr(width, rd, FP, off));
+                    }
+                    ExprKind::AddrGlobal(g) => {
+                        self.load_global_addr(rd, *g);
+                        self.emit(load_instr(width, rd, rd, 0));
+                    }
+                    _ => {
+                        self.expr(addr, depth);
+                        self.emit(load_instr(width, rd, rd, 0));
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                self.expr(inner, depth);
+                match op {
+                    UnOp::Neg => {
+                        self.emit(asm::sub(rd, 0, rd));
+                    }
+                    UnOp::Not => {
+                        self.emit(asm::sltu(rd, 0, rd));
+                        self.emit(asm::xori(rd, rd, 1));
+                    }
+                    UnOp::BitNot => {
+                        self.emit(asm::addi(AT, 0, -1));
+                        self.emit(asm::xor(rd, rd, AT));
+                    }
+                }
+            }
+            ExprKind::CastChar(inner) => {
+                self.expr(inner, depth);
+                self.emit(asm::slli(rd, rd, 24));
+                self.emit(asm::srai(rd, rd, 24));
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.expr(a, depth);
+                self.expr(b, depth + 1);
+                let rb = treg(depth + 1);
+                self.bin_op(*op, rd, rd, rb);
+            }
+            ExprKind::LogAnd(a, b) => {
+                let lfalse = self.new_label();
+                let lend = self.new_label();
+                self.expr(a, depth);
+                self.branch_to(asm::beq(rd, 0, 0), lfalse);
+                self.expr(b, depth);
+                self.emit(asm::sltu(rd, 0, rd));
+                self.jump_to(lend);
+                self.bind(lfalse);
+                self.emit(asm::addi(rd, 0, 0));
+                self.bind(lend);
+            }
+            ExprKind::LogOr(a, b) => {
+                let ltrue = self.new_label();
+                let lend = self.new_label();
+                self.expr(a, depth);
+                self.branch_to(asm::bne(rd, 0, 0), ltrue);
+                self.expr(b, depth);
+                self.emit(asm::sltu(rd, 0, rd));
+                self.jump_to(lend);
+                self.bind(ltrue);
+                self.emit(asm::addi(rd, 0, 1));
+                self.bind(lend);
+            }
+            ExprKind::Assign { addr, value } => {
+                let width = e.ty.access_width();
+                self.expr(value, depth);
+                match &addr.kind {
+                    ExprKind::AddrLocal(i) => {
+                        let off = self.local_offset(*i);
+                        self.checked_store(rd, FP, off, width, Some(StoreTarget::Local(*i)));
+                    }
+                    ExprKind::AddrGlobal(g) => {
+                        self.load_global_addr(AT, *g);
+                        self.checked_store(rd, AT, 0, width, Some(StoreTarget::Global(*g)));
+                    }
+                    ExprKind::Binary(BinOp::Add, base, off)
+                        if matches!(off.kind, ExprKind::Const(c) if (-32768..=32767).contains(&c)) =>
+                    {
+                        let c = match off.kind {
+                            ExprKind::Const(c) => c as i16,
+                            _ => unreachable!(),
+                        };
+                        self.expr(base, depth + 1);
+                        let rbase = treg(depth + 1);
+                        self.checked_store(rd, rbase, c, width, None);
+                    }
+                    _ => {
+                        self.expr(addr, depth + 1);
+                        let rbase = treg(depth + 1);
+                        self.checked_store(rd, rbase, 0, width, None);
+                    }
+                }
+            }
+            ExprKind::Call(fid, args) => self.gen_call(*fid, args, depth),
+            ExprKind::Builtin(b, args) => self.gen_builtin(*b, args, depth),
+        }
+    }
+
+    fn bin_op(&mut self, op: BinOp, rd: u8, ra: u8, rb: u8) {
+        match op {
+            BinOp::Add => self.emit(asm::add(rd, ra, rb)),
+            BinOp::Sub => self.emit(asm::sub(rd, ra, rb)),
+            BinOp::Mul => self.emit(asm::mul(rd, ra, rb)),
+            BinOp::Div => self.emit(asm::div(rd, ra, rb)),
+            BinOp::Rem => self.emit(asm::rem(rd, ra, rb)),
+            BinOp::BitAnd => self.emit(asm::and(rd, ra, rb)),
+            BinOp::BitOr => self.emit(asm::or(rd, ra, rb)),
+            BinOp::BitXor => self.emit(asm::xor(rd, ra, rb)),
+            BinOp::Shl => self.emit(asm::sll(rd, ra, rb)),
+            BinOp::Shr => self.emit(asm::sra(rd, ra, rb)),
+            BinOp::Lt => self.emit(asm::slt(rd, ra, rb)),
+            BinOp::Gt => self.emit(asm::slt(rd, rb, ra)),
+            BinOp::Le => {
+                self.emit(asm::slt(rd, rb, ra));
+                self.emit(asm::xori(rd, rd, 1))
+            }
+            BinOp::Ge => {
+                self.emit(asm::slt(rd, ra, rb));
+                self.emit(asm::xori(rd, rd, 1))
+            }
+            BinOp::Eq => {
+                self.emit(asm::xor(rd, ra, rb));
+                self.emit(asm::sltu(rd, 0, rd));
+                self.emit(asm::xori(rd, rd, 1))
+            }
+            BinOp::Ne => {
+                self.emit(asm::xor(rd, ra, rb));
+                self.emit(asm::sltu(rd, 0, rd))
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("lowered to LogAnd/LogOr nodes"),
+        };
+    }
+
+    /// Emits a traced store (optionally CodePatch-checked) of `rsrc` to
+    /// `off(rbase)`.
+    fn checked_store(
+        &mut self,
+        rsrc: u8,
+        rbase: u8,
+        off: i16,
+        width: u32,
+        target: Option<StoreTarget>,
+    ) {
+        if !self.opts.codepatch && self.opts.nop_padding {
+            self.pads.push(self.here_pc());
+            self.emit(asm::nop());
+        }
+        if self.opts.codepatch {
+            let chk_pc = self.here_pc();
+            self.emit(asm::chk(rbase, off, width as u8));
+            if self.opts.loopopt {
+                if let Some(t) = target {
+                    if let Some(hoists) = self.hoist_stack.last() {
+                        if let Some(&idx) = hoists.get(&t) {
+                            self.loopopts[idx].body_pcs.push(chk_pc);
+                        }
+                    }
+                }
+            }
+        }
+        self.traced_store_count += 1;
+        match width {
+            1 => self.emit(asm::sb(rsrc, rbase, off)),
+            4 => self.emit(asm::sw(rsrc, rbase, off)),
+            _ => unreachable!("store width is 1 or 4"),
+        };
+    }
+
+    fn gen_call(&mut self, fid: u16, args: &'a [Expr], depth: u32) {
+        for (k, a) in args.iter().enumerate() {
+            self.expr(a, depth + k as u32);
+        }
+        for k in 0..args.len() {
+            self.emit(asm::addi(A0 + k as u8, treg(depth + k as u32), 0));
+        }
+        // Save live temporaries (untraced spills).
+        if depth > 0 {
+            self.emit(asm::addi(SP, SP, -(4 * depth as i16)));
+            for i in 0..depth {
+                self.untraced.push(self.here_pc());
+                self.emit(asm::sw(treg(i), SP, (4 * i) as i16));
+            }
+        }
+        self.call_fixups.push((self.code.len(), fid));
+        self.emit(asm::jal(0));
+        if depth > 0 {
+            for i in 0..depth {
+                self.emit(asm::lw(treg(i), SP, (4 * i) as i16));
+            }
+            self.emit(asm::addi(SP, SP, 4 * depth as i16));
+        }
+        self.emit(asm::addi(treg(depth), RV, 0));
+    }
+
+    fn gen_builtin(&mut self, b: Builtin, args: &'a [Expr], depth: u32) {
+        for (k, a) in args.iter().enumerate() {
+            self.expr(a, depth + k as u32);
+        }
+        for k in 0..args.len() {
+            self.emit(asm::addi(A0 + k as u8, treg(depth + k as u32), 0));
+        }
+        let code: u16 = match b {
+            Builtin::Exit => 1,
+            Builtin::PrintInt => 2,
+            Builtin::PrintChar => 3,
+            Builtin::Malloc => 4,
+            Builtin::Free => 5,
+            Builtin::Realloc => 6,
+            Builtin::Arg => 7,
+            Builtin::PrintStr => 8,
+        };
+        self.emit(asm::trap(code));
+        if matches!(b, Builtin::Malloc | Builtin::Realloc | Builtin::Arg) {
+            self.emit(asm::addi(treg(depth), RV, 0));
+        }
+    }
+}
+
+fn load_instr(width: u32, rd: u8, rbase: u8, off: i16) -> Instr {
+    match width {
+        1 => asm::lb(rd, rbase, off),
+        4 => asm::lw(rd, rbase, off),
+        _ => unreachable!("load width is 1 or 4"),
+    }
+}
+
+// ---- Section 9 hoist-target discovery ----
+
+fn collect_hoist_targets_stmts(stmts: &[Stmt], out: &mut Vec<(StoreTarget, u32)>) {
+    for s in stmts {
+        match s {
+            Stmt::Expr(e) => collect_hoist_targets_expr(e, out),
+            Stmt::If(c, t, e) => {
+                collect_hoist_targets_expr(c, out);
+                collect_hoist_targets_stmts(t, out);
+                collect_hoist_targets_stmts(e, out);
+            }
+            // Nested loops hoist into their own preheaders.
+            Stmt::While(..) | Stmt::For(..) => {}
+            Stmt::Return(Some(e)) => collect_hoist_targets_expr(e, out),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+fn collect_hoist_targets_expr(e: &Expr, out: &mut Vec<(StoreTarget, u32)>) {
+    match &e.kind {
+        ExprKind::Assign { addr, value } => {
+            match addr.kind {
+                ExprKind::AddrLocal(i) => out.push((StoreTarget::Local(i), e.ty.access_width())),
+                ExprKind::AddrGlobal(g) => out.push((StoreTarget::Global(g), e.ty.access_width())),
+                _ => collect_hoist_targets_expr(addr, out),
+            }
+            collect_hoist_targets_expr(value, out);
+        }
+        ExprKind::Load(a) | ExprKind::Unary(_, a) | ExprKind::CastChar(a) => {
+            collect_hoist_targets_expr(a, out)
+        }
+        ExprKind::Binary(_, a, b) | ExprKind::LogAnd(a, b) | ExprKind::LogOr(a, b) => {
+            collect_hoist_targets_expr(a, out);
+            collect_hoist_targets_expr(b, out);
+        }
+        ExprKind::Call(_, args) | ExprKind::Builtin(_, args) => {
+            for a in args {
+                collect_hoist_targets_expr(a, out);
+            }
+        }
+        ExprKind::Const(_) | ExprKind::AddrLocal(_) | ExprKind::AddrGlobal(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use databp_machine::{Machine, NoHooks, StopReason};
+
+    fn run(src: &str, args: &[i32]) -> (Vec<u8>, i32) {
+        run_opts(src, args, &Options::plain())
+    }
+
+    fn run_opts(src: &str, args: &[i32], opts: &Options) -> (Vec<u8>, i32) {
+        let hir = lower(src).expect("compile error");
+        let compiled = generate(&hir, opts);
+        let mut m = Machine::new();
+        m.load(&compiled.program);
+        m.set_args(args.to_vec());
+        match m.run(&mut NoHooks, 50_000_000) {
+            Ok(StopReason::Halted) => {}
+            other => panic!("unexpected stop: {other:?}\noutput so far: {:?}",
+                String::from_utf8_lossy(m.output())),
+        }
+        (m.take_output(), m.exit_code())
+    }
+
+    #[test]
+    fn returns_exit_code() {
+        let (_, code) = run("int main() { return 42; }", &[]);
+        assert_eq!(code, 42);
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let (out, _) = run(
+            r#"int main() {
+                print_int(2 + 3 * 4);
+                print_int((2 + 3) * 4);
+                print_int(10 / 3);
+                print_int(10 % 3);
+                print_int(-7 / 2);
+                print_int(1 << 10);
+                print_int(-16 >> 2);
+                print_int(5 & 3);
+                print_int(5 | 3);
+                print_int(5 ^ 3);
+                print_int(~0);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"14\n20\n3\n1\n-3\n1024\n-4\n1\n7\n6\n-1\n");
+    }
+
+    #[test]
+    fn comparisons() {
+        let (out, _) = run(
+            r#"int main() {
+                print_int(1 < 2); print_int(2 < 1); print_int(2 <= 2);
+                print_int(3 > 2); print_int(2 >= 3);
+                print_int(4 == 4); print_int(4 != 4);
+                print_int(-1 < 0);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"1\n0\n1\n1\n0\n1\n0\n1\n");
+    }
+
+    #[test]
+    fn short_circuit_side_effects() {
+        let (out, _) = run(
+            r#"
+            int hits;
+            int bump() { hits = hits + 1; return 1; }
+            int main() {
+                hits = 0;
+                if (0 && bump()) { print_int(99); }
+                print_int(hits);
+                if (1 || bump()) { print_int(7); }
+                print_int(hits);
+                print_int(2 && 3);
+                print_int(0 || 0);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"0\n7\n0\n1\n0\n");
+    }
+
+    #[test]
+    fn loops_and_break_continue() {
+        let (out, _) = run(
+            r#"int main() {
+                int i; int sum;
+                sum = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i == 3) continue;
+                    if (i == 8) break;
+                    sum = sum + i;
+                }
+                print_int(sum);
+                while (sum > 20) sum = sum - 7;
+                print_int(sum);
+                return 0;
+            }"#,
+            &[],
+        );
+        // 0+1+2+4+5+6+7 = 25; 25-7 = 18
+        assert_eq!(out, b"25\n18\n");
+    }
+
+    #[test]
+    fn recursion() {
+        let (out, _) = run(
+            r#"
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { print_int(fib(15)); return 0; }
+            "#,
+            &[],
+        );
+        assert_eq!(out, b"610\n");
+    }
+
+    #[test]
+    fn globals_and_statics() {
+        let (out, _) = run(
+            r#"
+            int g = 100;
+            int counter() { static int n = 0; n = n + 1; return n; }
+            int main() {
+                g = g + 1;
+                print_int(g);
+                counter(); counter();
+                print_int(counter());
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"101\n3\n");
+    }
+
+    #[test]
+    fn arrays_pointers_structs() {
+        let (out, _) = run(
+            r#"
+            struct Node { int val; struct Node *next; };
+            int main() {
+                int a[5];
+                int i;
+                int *p;
+                struct Node *n;
+                struct Node *m;
+                for (i = 0; i < 5; i = i + 1) a[i] = i * i;
+                p = a + 2;
+                print_int(*p);        // 4
+                print_int(p[2]);      // 16
+                n = (struct Node*)malloc(sizeof(struct Node));
+                m = (struct Node*)malloc(sizeof(struct Node));
+                n->val = 11; n->next = m;
+                m->val = 22; m->next = (struct Node*)0;
+                print_int(n->next->val);  // 22
+                print_int(n->val + m->val); // 33
+                free((char*)n); free((char*)m);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"4\n16\n22\n33\n");
+    }
+
+    #[test]
+    fn char_semantics() {
+        let (out, _) = run(
+            r#"int main() {
+                char c;
+                char buf[4];
+                c = 300;        // truncates to 44
+                print_int(c);
+                c = -1;
+                print_int(c);   // sign-extends back to -1
+                buf[0] = 'h'; buf[1] = 'i'; buf[2] = '\n'; buf[3] = '\0';
+                print_str(buf);
+                print_int((char)511);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"44\n-1\nhi\n-1\n");
+    }
+
+    #[test]
+    fn string_literals_and_args() {
+        let (out, code) = run(
+            r#"int main() {
+                print_str("arg0=");
+                print_int(arg(0));
+                return arg(1);
+            }"#,
+            &[5, 9],
+        );
+        assert_eq!(out, b"arg0=5\n");
+        assert_eq!(code, 9);
+    }
+
+    #[test]
+    fn realloc_preserves_prefix() {
+        let (out, _) = run(
+            r#"int main() {
+                int *p;
+                p = (int*)malloc(8);
+                p[0] = 123; p[1] = 456;
+                p = (int*)realloc((char*)p, 40);
+                p[9] = 789;
+                print_int(p[0]); print_int(p[1]); print_int(p[9]);
+                free((char*)p);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"123\n456\n789\n");
+    }
+
+    #[test]
+    fn address_of_and_swap() {
+        let (out, _) = run(
+            r#"
+            void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
+            int main() {
+                int x; int y;
+                x = 1; y = 2;
+                swap(&x, &y);
+                print_int(x); print_int(y);
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"2\n1\n");
+    }
+
+    #[test]
+    fn nested_calls_preserve_temporaries() {
+        // Deep expression with calls in the middle: temps must be saved
+        // around the inner calls.
+        let (out, _) = run(
+            r#"
+            int id(int x) { return x; }
+            int main() {
+                print_int(1 + id(2 + id(3)) * id(4) - id(5));
+                return 0;
+            }"#,
+            &[],
+        );
+        assert_eq!(out, b"16\n");
+    }
+
+    #[test]
+    fn codepatch_inserts_chk_per_traced_store() {
+        let hir = lower("int g; int main() { g = 1; g = 2; return g; }").unwrap();
+        let plain = generate(&hir, &Options::plain());
+        let cp = generate(&hir, &Options::codepatch());
+        let chks = cp.program.code.iter().filter(|i| matches!(i, Instr::Chk(..))).count();
+        // 2 global stores; main has no locals/params.
+        assert_eq!(chks, 2);
+        assert_eq!(plain.debug.traced_store_count, cp.debug.traced_store_count);
+        // Outputs must be identical either way.
+        let (o1, c1) = run_opts("int g; int main() { g = 1; g = 2; return g; }", &[], &Options::plain());
+        let (o2, c2) =
+            run_opts("int g; int main() { g = 1; g = 2; return g; }", &[], &Options::codepatch());
+        assert_eq!((o1, c1), (o2, c2));
+    }
+
+    #[test]
+    fn untraced_stores_cover_prologue_and_spills() {
+        let hir = lower(
+            r#"
+            int f(int x) { return x; }
+            int main() { return 1 + f(2); }
+            "#,
+        )
+        .unwrap();
+        let c = generate(&hir, &Options::plain());
+        // Each function has 2 prologue saves; the call inside the addition
+        // spills one live temp.
+        assert!(c.debug.untraced_store_pcs.len() >= 5, "{:?}", c.debug.untraced_store_pcs);
+        // Untraced pcs point at actual store instructions.
+        for &pc in &c.debug.untraced_store_pcs {
+            let idx = ((pc - CODE_BASE) / 4) as usize;
+            assert!(c.program.code[idx].is_store(), "pc {pc:#x} is {:?}", c.program.code[idx]);
+        }
+    }
+
+    #[test]
+    fn loopopt_tags_invariant_scalar_stores() {
+        let src = r#"
+            int g;
+            int main() {
+                int i; int acc;
+                int a[4];
+                acc = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    acc = acc + i;   // hoistable: scalar local
+                    g = acc;         // hoistable: scalar global
+                    a[i % 4] = i;    // NOT hoistable: computed address
+                }
+                return acc + g + a[0];
+            }
+        "#;
+        let hir = lower(src).unwrap();
+        let c = generate(&hir, &Options::codepatch_loopopt());
+        // Targets: i (step), acc, g — three hoist groups.
+        assert_eq!(c.debug.loopopts.len(), 3, "{:?}", c.debug.loopopts);
+        for l in &c.debug.loopopts {
+            assert!(!l.body_pcs.is_empty());
+            // Preheader pcs point at chk instructions.
+            let idx = ((l.preheader_pc - CODE_BASE) / 4) as usize;
+            assert!(matches!(c.program.code[idx], Instr::Chk(..)));
+        }
+        // Semantics unchanged.
+        let (o1, c1) = run_opts(src, &[], &Options::plain());
+        let (o2, c2) = run_opts(src, &[], &Options::codepatch_loopopt());
+        assert_eq!((o1, c1), (o2, c2));
+    }
+
+    #[test]
+    fn exit_builtin_stops_program() {
+        let (out, code) = run(
+            "int main() { print_int(1); exit(33); print_int(2); return 0; }",
+            &[],
+        );
+        assert_eq!(out, b"1\n");
+        assert_eq!(code, 33);
+    }
+
+    #[test]
+    fn large_constants_load() {
+        let (out, _) = run(
+            "int main() { print_int(1000000); print_int(-1000000); print_int(0x7fffffff); return 0; }",
+            &[],
+        );
+        assert_eq!(out, b"1000000\n-1000000\n2147483647\n");
+    }
+}

@@ -1,0 +1,211 @@
+//! Debug information emitted alongside generated code.
+//!
+//! This is the compiler's half of the paper's instrumentation contract:
+//! the tracer needs frame layouts and global placements to turn function
+//! boundaries into monitor install/remove events, and the session
+//! enumerator needs the symbol inventory to generate every
+//! `OneLocalAuto` / `AllLocalInFunc` / `OneGlobalStatic` candidate.
+
+use databp_trace::{FrameMap, FrameVar, GlobalSpec};
+
+/// One local automatic variable (parameters included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalInfo {
+    /// Source name.
+    pub name: String,
+    /// Variable index within the function (stable across runs).
+    pub var: u16,
+    /// Frame-pointer-relative byte offset of the variable base.
+    pub offset: i32,
+    /// Size in bytes.
+    pub size: u32,
+    /// True for parameters.
+    pub is_param: bool,
+}
+
+/// One function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Source name.
+    pub name: String,
+    /// Entry address (byte pc).
+    pub entry_pc: u32,
+    /// Number of parameters.
+    pub params: u16,
+    /// Local automatic variables, parameters first.
+    pub locals: Vec<LocalInfo>,
+}
+
+/// One global, function-static, or string literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Source name (statics are `func::name`, literals `@strN`).
+    pub name: String,
+    /// Global id (index).
+    pub id: u32,
+    /// Beginning address.
+    pub ba: u32,
+    /// Ending address (exclusive).
+    pub ea: u32,
+    /// Owning function for `static` locals.
+    pub owner: Option<u16>,
+    /// True for string-literal storage.
+    pub is_literal: bool,
+}
+
+/// The paper's Section 9 loop-invariant check optimization, as emitted:
+/// one record per (loop, store target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopOptInfo {
+    /// Byte pc of the preliminary check in the loop preheader.
+    pub preheader_pc: u32,
+    /// Byte pcs of the body checks covered by the preliminary check.
+    pub body_pcs: Vec<u32>,
+}
+
+/// Everything the tracer, session enumerator, and WMS strategies need to
+/// know about a compiled program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DebugInfo {
+    /// Functions; index is the function id.
+    pub functions: Vec<FuncInfo>,
+    /// Globals; index is the global id.
+    pub globals: Vec<GlobalInfo>,
+    /// Byte pcs of *implicit* stores (prologue saves, temporary spills)
+    /// that must not appear in the trace and are not patched/checked by
+    /// the WMS strategies, matching the paper's exclusion of register
+    /// spilling. Sorted ascending.
+    pub untraced_store_pcs: Vec<u32>,
+    /// Byte pcs of `nop` pads preceding traced stores (only when
+    /// compiled with `nop_padding`); a dynamic code patcher overwrites
+    /// these with checks at run time.
+    pub pad_pcs: Vec<u32>,
+    /// Loop-invariant check groups (only when compiled with
+    /// `loopopt`).
+    pub loopopts: Vec<LoopOptInfo>,
+    /// Data segment size in bytes.
+    pub data_size: u32,
+    /// Static count of traced write instructions (the paper's CodePatch
+    /// space-expansion numerator).
+    pub traced_store_count: u32,
+}
+
+impl DebugInfo {
+    /// True if the store at byte address `pc` is an implicit (untraced)
+    /// store.
+    pub fn is_untraced_store(&self, pc: u32) -> bool {
+        self.untraced_store_pcs.binary_search(&pc).is_ok()
+    }
+
+    /// Builds the tracer's [`FrameMap`] view.
+    pub fn frame_map(&self) -> FrameMap {
+        FrameMap {
+            funcs: self
+                .functions
+                .iter()
+                .map(|f| {
+                    f.locals
+                        .iter()
+                        .map(|l| FrameVar { var: l.var, offset: l.offset, size: l.size })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the tracer's [`GlobalSpec`] table. String literals are
+    /// excluded: they are read-only and never monitor-session candidates.
+    pub fn global_specs(&self) -> Vec<GlobalSpec> {
+        self.globals
+            .iter()
+            .filter(|g| !g.is_literal)
+            .map(|g| GlobalSpec { id: g.id, ba: g.ba, ea: g.ea })
+            .collect()
+    }
+
+    /// Looks up a function id by name (example/test convenience).
+    pub fn func_id(&self, name: &str) -> Option<u16> {
+        self.functions.iter().position(|f| f.name == name).map(|i| i as u16)
+    }
+
+    /// Looks up a non-literal global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalInfo> {
+        self.globals.iter().find(|g| g.name == name && !g.is_literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebugInfo {
+        DebugInfo {
+            functions: vec![FuncInfo {
+                name: "main".into(),
+                entry_pc: 0x10000,
+                params: 0,
+                locals: vec![LocalInfo {
+                    name: "x".into(),
+                    var: 0,
+                    offset: -12,
+                    size: 4,
+                    is_param: false,
+                }],
+            }],
+            globals: vec![
+                GlobalInfo {
+                    name: "g".into(),
+                    id: 0,
+                    ba: 0x100000,
+                    ea: 0x100004,
+                    owner: None,
+                    is_literal: false,
+                },
+                GlobalInfo {
+                    name: "@str0".into(),
+                    id: 1,
+                    ba: 0x100004,
+                    ea: 0x100007,
+                    owner: None,
+                    is_literal: true,
+                },
+            ],
+            untraced_store_pcs: vec![0x10004, 0x10008],
+            pad_pcs: vec![],
+            loopopts: vec![],
+            data_size: 8,
+            traced_store_count: 3,
+        }
+    }
+
+    #[test]
+    fn untraced_lookup() {
+        let d = sample();
+        assert!(d.is_untraced_store(0x10004));
+        assert!(!d.is_untraced_store(0x1000c));
+    }
+
+    #[test]
+    fn frame_map_mirrors_locals() {
+        let fm = sample().frame_map();
+        assert_eq!(fm.vars(0).len(), 1);
+        assert_eq!(fm.vars(0)[0].offset, -12);
+        assert!(fm.vars(9).is_empty());
+    }
+
+    #[test]
+    fn global_specs_exclude_literals() {
+        let gs = sample().global_specs();
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].id, 0);
+    }
+
+    #[test]
+    fn name_lookups() {
+        let d = sample();
+        assert_eq!(d.func_id("main"), Some(0));
+        assert_eq!(d.func_id("nope"), None);
+        assert!(d.global("g").is_some());
+        assert!(d.global("@str0").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A compilation failure with the 1-based source line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line number (0 when no position applies, e.g. missing
+    /// `main`).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(CompileError::new(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(CompileError::new(0, "no main").to_string(), "error: no main");
+    }
+}

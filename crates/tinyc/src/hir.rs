@@ -1,0 +1,207 @@
+//! The typed, resolved intermediate representation.
+//!
+//! Sema lowers the AST into this form, normalizing away all surface
+//! conveniences:
+//!
+//! * every lvalue is an explicit **address expression**;
+//! * pointer/array arithmetic carries explicit scaling;
+//! * member access is address + constant offset;
+//! * `sizeof`, casts between word types, and constant folding are gone.
+//!
+//! Both the code generator and the reference interpreter consume this IR,
+//! which is what makes differential testing between them meaningful: they
+//! share name resolution and layout but nothing else.
+
+pub use crate::ast::{BinOp, UnOp};
+use crate::types::Type;
+
+/// A resolved struct layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct tag.
+    pub name: String,
+    /// Members with resolved offsets.
+    pub members: Vec<MemberLayout>,
+    /// Total size in bytes (padded to word alignment).
+    pub size: u32,
+}
+
+/// One struct member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberLayout {
+    /// Member name.
+    pub name: String,
+    /// Member type.
+    pub ty: Type,
+    /// Byte offset from the struct base.
+    pub offset: u32,
+}
+
+/// A global (file-scope variable, function-static, or string literal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Name (synthesized for literals).
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Byte offset from `DATA_BASE`.
+    pub offset: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Initial contents (`size` bytes).
+    pub init: Vec<u8>,
+    /// Owning function for `static` locals, `None` for file scope.
+    pub owner: Option<u16>,
+    /// True for string-literal storage (never a monitor-session
+    /// candidate — it is read-only by construction).
+    pub is_literal: bool,
+}
+
+/// One local automatic variable (parameters included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Byte offset of the variable's base relative to the frame pointer
+    /// (always negative).
+    pub offset: i32,
+    /// Size in bytes.
+    pub size: u32,
+    /// True for parameters.
+    pub is_param: bool,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Number of parameters (the first `params` entries of `locals`).
+    pub params: u16,
+    /// All local automatics, parameters first.
+    pub locals: Vec<LocalDef>,
+    /// Total frame bytes for locals (below the save area).
+    pub frame_size: u32,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// The whole checked program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hir {
+    /// Struct layouts (indexed by [`Type::Struct`]).
+    pub structs: Vec<StructLayout>,
+    /// Globals, statics, and literals; `GlobalDef::offset` ascending.
+    pub globals: Vec<GlobalDef>,
+    /// Functions; index is the function id.
+    pub funcs: Vec<FuncDef>,
+    /// Total data segment size in bytes.
+    pub data_size: u32,
+    /// Function id of `main`.
+    pub main: u16,
+}
+
+impl Hir {
+    /// Sizes of all structs, for [`Type::size`].
+    pub fn struct_sizes(&self) -> Vec<u32> {
+        self.structs.iter().map(|s| s.size).collect()
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Evaluate for effect.
+    Expr(Expr),
+    /// `if` with lowered branches.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while`.
+    While(Expr, Vec<Stmt>),
+    /// `for`; all clauses optional.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break` out of the innermost loop.
+    Break,
+    /// `continue` the innermost loop.
+    Continue,
+}
+
+/// Builtin functions backed by machine system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `char *malloc(int n)`
+    Malloc,
+    /// `void free(char *p)`
+    Free,
+    /// `char *realloc(char *p, int n)`
+    Realloc,
+    /// `void print_int(int v)`
+    PrintInt,
+    /// `void print_char(int c)`
+    PrintChar,
+    /// `void print_str(char *s)`
+    PrintStr,
+    /// `int arg(int i)`
+    Arg,
+    /// `void exit(int code)`
+    Exit,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Result type (value type; address expressions are pointers).
+    pub ty: Type,
+    /// Node.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds after lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Constant.
+    Const(i32),
+    /// `fp + locals[i].offset` — address of local `i` of the current
+    /// function.
+    AddrLocal(u16),
+    /// `DATA_BASE + globals[i].offset`.
+    AddrGlobal(u32),
+    /// Load `ty` (1 or 4 bytes, char sign-extends) from the address.
+    Load(Box<Expr>),
+    /// Unary arithmetic.
+    Unary(UnOp, Box<Expr>),
+    /// Binary arithmetic/comparison (operands are word values; pointer
+    /// scaling was made explicit by sema). Never `LogAnd`/`LogOr`.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    /// Store `value` (width from `ty`) to `addr`; yields the stored
+    /// value.
+    Assign {
+        /// Address expression.
+        addr: Box<Expr>,
+        /// Value expression.
+        value: Box<Expr>,
+    },
+    /// Truncate to signed char (explicit `(char)` casts only; stores to
+    /// char lvalues truncate implicitly).
+    CastChar(Box<Expr>),
+    /// Call a user function by id.
+    Call(u16, Vec<Expr>),
+    /// Call a builtin.
+    Builtin(Builtin, Vec<Expr>),
+}
+
+impl Expr {
+    /// A constant int expression.
+    pub fn konst(v: i32) -> Expr {
+        Expr { ty: Type::Int, kind: ExprKind::Const(v) }
+    }
+}

@@ -1,0 +1,460 @@
+//! A reference AST (HIR) interpreter — the differential-testing oracle
+//! for the code generator.
+//!
+//! The interpreter executes the same [`Hir`] the code generator consumes,
+//! over a byte memory with the *identical* address-space layout (globals
+//! at `DATA_BASE`, frames laid out exactly like generated prologues, the
+//! same host-side heap allocator). Consequently a correct compiler and a
+//! correct interpreter must produce byte-identical output, equal exit
+//! codes, and equal pointer values — a strong oracle exercised by the
+//! crate's differential tests.
+
+use crate::hir::{BinOp, Builtin, Expr, ExprKind, FuncDef, Hir, Stmt, UnOp};
+use crate::types::{align_up, Type};
+use databp_machine::{HeapAlloc, MachineError, DATA_BASE, MEM_SIZE, STACK_LIMIT, STACK_TOP};
+
+/// Outcome of an interpreted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Bytes written by the print builtins.
+    pub output: Vec<u8>,
+    /// Exit code (from `exit(n)` or `main`'s return value).
+    pub exit_code: i32,
+    /// Expression/statement evaluations performed (fuel consumed).
+    pub steps: u64,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(u32),
+    Exit(i32),
+}
+
+struct Interp<'a> {
+    hir: &'a Hir,
+    mem: Vec<u8>,
+    heap: HeapAlloc,
+    sp: u32,
+    output: Vec<u8>,
+    args: Vec<i32>,
+    steps: u64,
+    max_steps: u64,
+}
+
+/// Interprets a checked program.
+///
+/// # Errors
+///
+/// Shares [`MachineError`] with the machine: divide-by-zero, unmapped or
+/// misaligned accesses, heap faults, stack overflow, and
+/// [`MachineError::StepLimitExceeded`] when `max_steps` evaluations are
+/// exhausted.
+pub fn interpret(hir: &Hir, args: &[i32], max_steps: u64) -> Result<InterpResult, MachineError> {
+    let mut it = Interp {
+        hir,
+        mem: vec![0; MEM_SIZE as usize],
+        heap: HeapAlloc::new(),
+        sp: STACK_TOP,
+        output: Vec::new(),
+        args: args.to_vec(),
+        steps: 0,
+        max_steps,
+    };
+    for g in &hir.globals {
+        let base = (DATA_BASE + g.offset) as usize;
+        it.mem[base..base + g.init.len()].copy_from_slice(&g.init);
+    }
+    let exit_code = match it.call(hir.main, &[])? {
+        Flow::Exit(code) => code,
+        Flow::Return(v) => v as i32,
+        _ => 0,
+    };
+    Ok(InterpResult { output: it.output, exit_code, steps: it.steps })
+}
+
+impl<'a> Interp<'a> {
+    fn tick(&mut self) -> Result<(), MachineError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(MachineError::StepLimitExceeded { limit: self.max_steps });
+        }
+        Ok(())
+    }
+
+    fn load(&self, addr: u32, width: u32) -> Result<u32, MachineError> {
+        if addr as u64 + width as u64 > self.mem.len() as u64 {
+            return Err(MachineError::UnmappedAddress { addr, pc: 0 });
+        }
+        Ok(match width {
+            1 => self.mem[addr as usize] as i8 as i32 as u32,
+            4 => {
+                if !addr.is_multiple_of(4) {
+                    return Err(MachineError::Misaligned { addr, pc: 0 });
+                }
+                let i = addr as usize;
+                u32::from_le_bytes([self.mem[i], self.mem[i + 1], self.mem[i + 2], self.mem[i + 3]])
+            }
+            _ => unreachable!("width is 1 or 4"),
+        })
+    }
+
+    fn store(&mut self, addr: u32, width: u32, value: u32) -> Result<(), MachineError> {
+        if addr as u64 + width as u64 > self.mem.len() as u64 {
+            return Err(MachineError::UnmappedAddress { addr, pc: 0 });
+        }
+        match width {
+            1 => self.mem[addr as usize] = value as u8,
+            4 => {
+                if !addr.is_multiple_of(4) {
+                    return Err(MachineError::Misaligned { addr, pc: 0 });
+                }
+                self.mem[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
+            }
+            _ => unreachable!("width is 1 or 4"),
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, fid: u16, args: &[u32]) -> Result<Flow, MachineError> {
+        let f: &FuncDef = &self.hir.funcs[fid as usize];
+        let total = align_up(f.frame_size, 8);
+        let fp = self.sp;
+        let new_sp = fp.wrapping_sub(total);
+        if new_sp < STACK_LIMIT {
+            return Err(MachineError::StackOverflow { sp: new_sp, pc: 0 });
+        }
+        let saved_sp = self.sp;
+        self.sp = new_sp;
+        // Parameters spill into their frame slots, like generated code.
+        for (k, &v) in args.iter().enumerate() {
+            let l = &f.locals[k];
+            let addr = fp.wrapping_add(l.offset as u32);
+            let v = if l.ty == Type::Char { (v as u8 as i8 as i32) as u32 } else { v };
+            self.store(addr, l.ty.access_width(), v)?;
+        }
+        let flow = self.stmts(f, fp, &f.body)?;
+        self.sp = saved_sp;
+        Ok(match flow {
+            Flow::Exit(c) => Flow::Exit(c),
+            Flow::Return(v) => Flow::Return(v),
+            _ => Flow::Return(0),
+        })
+    }
+
+    fn stmts(&mut self, f: &'a FuncDef, fp: u32, body: &'a [Stmt]) -> Result<Flow, MachineError> {
+        for s in body {
+            match self.stmt(f, fp, s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, f: &'a FuncDef, fp: u32, s: &'a Stmt) -> Result<Flow, MachineError> {
+        self.tick()?;
+        match s {
+            Stmt::Expr(e) => match self.expr(f, fp, e)? {
+                Ok(_) => Ok(Flow::Normal),
+                Err(exit) => Ok(Flow::Exit(exit)),
+            },
+            Stmt::If(c, t, e) => {
+                let cond = self.value(f, fp, c)?;
+                if let Err(code) = cond {
+                    return Ok(Flow::Exit(code));
+                }
+                if cond.unwrap_or(0) != 0 {
+                    self.stmts(f, fp, t)
+                } else {
+                    self.stmts(f, fp, e)
+                }
+            }
+            Stmt::While(c, body) => loop {
+                match self.value(f, fp, c)? {
+                    Err(code) => return Ok(Flow::Exit(code)),
+                    Ok(0) => return Ok(Flow::Normal),
+                    Ok(_) => {}
+                }
+                match self.stmts(f, fp, body)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => return Ok(Flow::Normal),
+                    other => return Ok(other),
+                }
+                self.tick()?;
+            },
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    if let Err(code) = self.expr(f, fp, i)? {
+                        return Ok(Flow::Exit(code));
+                    }
+                }
+                loop {
+                    if let Some(c) = cond {
+                        match self.value(f, fp, c)? {
+                            Err(code) => return Ok(Flow::Exit(code)),
+                            Ok(0) => return Ok(Flow::Normal),
+                            Ok(_) => {}
+                        }
+                    }
+                    match self.stmts(f, fp, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => return Ok(Flow::Normal),
+                        other => return Ok(other),
+                    }
+                    if let Some(st) = step {
+                        if let Err(code) = self.expr(f, fp, st)? {
+                            return Ok(Flow::Exit(code));
+                        }
+                    }
+                    self.tick()?;
+                }
+            }
+            Stmt::Return(v) => match v {
+                Some(e) => match self.value(f, fp, e)? {
+                    Err(code) => Ok(Flow::Exit(code)),
+                    Ok(v) => Ok(Flow::Return(v)),
+                },
+                None => Ok(Flow::Return(0)),
+            },
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    /// Evaluates to a value, collapsing `exit()` into the error arm of the
+    /// inner result.
+    fn value(&mut self, f: &'a FuncDef, fp: u32, e: &'a Expr) -> Result<Result<u32, i32>, MachineError> {
+        self.expr(f, fp, e)
+    }
+
+    /// Inner result: `Ok(value)` or `Err(exit_code)` when `exit()` ran.
+    fn expr(&mut self, f: &'a FuncDef, fp: u32, e: &'a Expr) -> Result<Result<u32, i32>, MachineError> {
+        self.tick()?;
+        macro_rules! eval {
+            ($e:expr) => {
+                match self.expr(f, fp, $e)? {
+                    Ok(v) => v,
+                    Err(code) => return Ok(Err(code)),
+                }
+            };
+        }
+        let v: u32 = match &e.kind {
+            ExprKind::Const(v) => *v as u32,
+            ExprKind::AddrLocal(i) => fp.wrapping_add(f.locals[*i as usize].offset as u32),
+            ExprKind::AddrGlobal(g) => DATA_BASE + self.hir.globals[*g as usize].offset,
+            ExprKind::Load(addr) => {
+                let a = eval!(addr);
+                self.load(a, e.ty.access_width())?
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = eval!(inner);
+                match op {
+                    UnOp::Neg => (v as i32).wrapping_neg() as u32,
+                    UnOp::Not => (v == 0) as u32,
+                    UnOp::BitNot => !v,
+                }
+            }
+            ExprKind::CastChar(inner) => {
+                let v = eval!(inner);
+                v as u8 as i8 as i32 as u32
+            }
+            ExprKind::Binary(op, a, b) => {
+                let x = eval!(a);
+                let y = eval!(b);
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(MachineError::DivideByZero { pc: 0 });
+                        }
+                        (x as i32).wrapping_div(y as i32) as u32
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(MachineError::DivideByZero { pc: 0 });
+                        }
+                        (x as i32).wrapping_rem(y as i32) as u32
+                    }
+                    BinOp::Shl => x.wrapping_shl(y & 31),
+                    BinOp::Shr => ((x as i32).wrapping_shr(y & 31)) as u32,
+                    BinOp::BitAnd => x & y,
+                    BinOp::BitOr => x | y,
+                    BinOp::BitXor => x ^ y,
+                    BinOp::Lt => ((x as i32) < (y as i32)) as u32,
+                    BinOp::Le => ((x as i32) <= (y as i32)) as u32,
+                    BinOp::Gt => ((x as i32) > (y as i32)) as u32,
+                    BinOp::Ge => ((x as i32) >= (y as i32)) as u32,
+                    BinOp::Eq => (x == y) as u32,
+                    BinOp::Ne => (x != y) as u32,
+                    BinOp::LogAnd | BinOp::LogOr => unreachable!("lowered to LogAnd/LogOr"),
+                }
+            }
+            ExprKind::LogAnd(a, b) => {
+                let x = eval!(a);
+                if x == 0 {
+                    0
+                } else {
+                    (eval!(b) != 0) as u32
+                }
+            }
+            ExprKind::LogOr(a, b) => {
+                let x = eval!(a);
+                if x != 0 {
+                    1
+                } else {
+                    (eval!(b) != 0) as u32
+                }
+            }
+            ExprKind::Assign { addr, value } => {
+                let v = eval!(value);
+                let a = eval!(addr);
+                let width = e.ty.access_width();
+                self.store(a, width, v)?;
+                v
+            }
+            ExprKind::Call(fid, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval!(a));
+                }
+                match self.call(*fid, &vals)? {
+                    Flow::Exit(code) => return Ok(Err(code)),
+                    Flow::Return(v) => v,
+                    _ => 0,
+                }
+            }
+            ExprKind::Builtin(b, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval!(a));
+                }
+                match b {
+                    Builtin::Malloc => self.heap.alloc(vals[0])?.0,
+                    Builtin::Free => {
+                        self.heap.free(vals[0])?;
+                        0
+                    }
+                    Builtin::Realloc => {
+                        let (old_size, seq) = self
+                            .heap
+                            .live_block(vals[0])
+                            .ok_or(MachineError::BadFree { addr: vals[0] })?;
+                        let saved: Vec<u8> = self.mem
+                            [vals[0] as usize..(vals[0] + old_size) as usize]
+                            .to_vec();
+                        self.heap.free(vals[0])?;
+                        let new_addr = self.heap.alloc_with_seq(vals[1], seq)?;
+                        let (new_size, _) =
+                            self.heap.live_block(new_addr).expect("just allocated");
+                        let keep = old_size.min(new_size) as usize;
+                        self.mem[new_addr as usize..new_addr as usize + keep]
+                            .copy_from_slice(&saved[..keep]);
+                        self.heap.note_realloc();
+                        new_addr
+                    }
+                    Builtin::PrintInt => {
+                        self.output
+                            .extend_from_slice(format!("{}\n", vals[0] as i32).as_bytes());
+                        0
+                    }
+                    Builtin::PrintChar => {
+                        self.output.push(vals[0] as u8);
+                        0
+                    }
+                    Builtin::PrintStr => {
+                        let start = vals[0];
+                        for a in start..start.saturating_add(65536) {
+                            let b = self.load(a, 1)? as u8;
+                            if b == 0 {
+                                break;
+                            }
+                            self.output.push(b);
+                        }
+                        0
+                    }
+                    Builtin::Arg => {
+                        self.args.get(vals[0] as usize).copied().unwrap_or(0) as u32
+                    }
+                    Builtin::Exit => return Ok(Err(vals[0] as i32)),
+                }
+            }
+        };
+        Ok(Ok(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+
+    fn run(src: &str, args: &[i32]) -> InterpResult {
+        interpret(&lower(src).unwrap(), args, 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn basic_output_and_exit() {
+        let r = run("int main() { print_int(7); return 3; }", &[]);
+        assert_eq!(r.output, b"7\n");
+        assert_eq!(r.exit_code, 3);
+    }
+
+    #[test]
+    fn exit_unwinds_nested_calls() {
+        let r = run(
+            r#"
+            int deep(int n) { if (n == 0) exit(55); return deep(n - 1); }
+            int main() { deep(10); print_int(1); return 0; }
+            "#,
+            &[],
+        );
+        assert_eq!(r.exit_code, 55);
+        assert!(r.output.is_empty());
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let hir = lower("int main() { while (1) {} return 0; }").unwrap();
+        assert!(matches!(
+            interpret(&hir, &[], 10_000),
+            Err(MachineError::StepLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn divide_by_zero_detected() {
+        let hir = lower("int main() { int z; z = 0; return 1 / z; }").unwrap();
+        assert!(matches!(interpret(&hir, &[], 1000), Err(MachineError::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let hir = lower(
+            "int f(int n) { int pad[2000]; pad[0] = n; return f(n + 1); } int main() { return f(0); }",
+        )
+        .unwrap();
+        assert!(matches!(
+            interpret(&hir, &[], 100_000_000),
+            Err(MachineError::StackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_misuse_detected() {
+        let hir = lower(
+            "int main() { free((char*)123456); return 0; }",
+        )
+        .unwrap();
+        assert!(matches!(interpret(&hir, &[], 1000), Err(MachineError::BadFree { .. })));
+    }
+
+    #[test]
+    fn args_reach_program() {
+        let r = run("int main() { print_int(arg(0) + arg(1)); return 0; }", &[40, 2]);
+        assert_eq!(r.output, b"42\n");
+    }
+}

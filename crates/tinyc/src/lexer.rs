@@ -1,0 +1,351 @@
+//! Lexical analysis.
+
+use crate::error::CompileError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal, hex `0x…`, or character `'c'`).
+    Int(i32),
+    /// String literal, with escapes already resolved.
+    Str(Vec<u8>),
+    /// Identifier or keyword-candidate word.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Int,
+    Char,
+    Void,
+    Struct,
+    Static,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "int" => Kw::Int,
+        "char" => Kw::Char,
+        "void" => Kw::Void,
+        "struct" => Kw::Struct,
+        "static" => Kw::Static,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "sizeof" => Kw::Sizeof,
+        _ => return None,
+    })
+}
+
+/// Multi-character punctuation, longest first.
+const PUNCT2: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+];
+const PUNCT1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", "[",
+    "]", ";", ",", ".", "?", ":",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(start, "unterminated comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<u8, CompileError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| CompileError::new(self.line, "unterminated escape"))?;
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            other => {
+                return Err(CompileError::new(
+                    self.line,
+                    format!("unknown escape '\\{}'", other as char),
+                ))
+            }
+        })
+    }
+}
+
+/// Tokenizes `source`. The result always ends with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Reports unterminated comments/strings/chars, malformed numbers, and
+/// unknown characters, each with its line.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer { src: source.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let line = lx.line;
+        let Some(c) = lx.peek() else {
+            out.push(Token { kind: Tok::Eof, line });
+            return Ok(out);
+        };
+        let kind = if c.is_ascii_digit() {
+            let start = lx.pos;
+            let hex = c == b'0' && matches!(lx.peek2(), Some(b'x') | Some(b'X'));
+            if hex {
+                lx.bump();
+                lx.bump();
+                let hstart = lx.pos;
+                while lx.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                    lx.bump();
+                }
+                let text = std::str::from_utf8(&lx.src[hstart..lx.pos]).unwrap();
+                let v = u32::from_str_radix(text, 16)
+                    .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                Tok::Int(v as i32)
+            } else {
+                while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                }
+                let text = std::str::from_utf8(&lx.src[start..lx.pos]).unwrap();
+                let v: i64 = text.parse().map_err(|_| CompileError::new(line, "bad number"))?;
+                if v > i32::MAX as i64 {
+                    return Err(CompileError::new(line, "integer literal out of range"));
+                }
+                Tok::Int(v as i32)
+            }
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            let start = lx.pos;
+            while lx
+                .peek()
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                lx.bump();
+            }
+            let text = std::str::from_utf8(&lx.src[start..lx.pos]).unwrap();
+            match keyword(text) {
+                Some(kw) => Tok::Kw(kw),
+                None => Tok::Ident(text.to_string()),
+            }
+        } else if c == b'\'' {
+            lx.bump();
+            let ch = match lx.bump() {
+                Some(b'\\') => lx.escape()?,
+                Some(b'\'') => return Err(CompileError::new(line, "empty char literal")),
+                Some(c) => c,
+                None => return Err(CompileError::new(line, "unterminated char literal")),
+            };
+            if lx.bump() != Some(b'\'') {
+                return Err(CompileError::new(line, "unterminated char literal"));
+            }
+            Tok::Int(ch as i8 as i32)
+        } else if c == b'"' {
+            lx.bump();
+            let mut bytes = Vec::new();
+            loop {
+                match lx.bump() {
+                    Some(b'"') => break,
+                    Some(b'\\') => bytes.push(lx.escape()?),
+                    Some(b'\n') | None => {
+                        return Err(CompileError::new(line, "unterminated string literal"))
+                    }
+                    Some(c) => bytes.push(c),
+                }
+            }
+            Tok::Str(bytes)
+        } else {
+            let rest = &source[lx.pos..];
+            if let Some(p) = PUNCT2.iter().find(|p| rest.starts_with(**p)) {
+                lx.bump();
+                lx.bump();
+                Tok::Punct(p)
+            } else if let Some(p) = PUNCT1.iter().find(|p| rest.starts_with(**p)) {
+                lx.bump();
+                Tok::Punct(p)
+            } else {
+                return Err(CompileError::new(
+                    line,
+                    format!("unexpected character '{}'", c as char),
+                ));
+            }
+        };
+        out.push(Token { kind, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("foo 123 0x1f bar_2"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(123),
+                Tok::Int(31),
+                Tok::Ident("bar_2".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            kinds("int char struct static sizeof"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Kw(Kw::Char),
+                Tok::Kw(Kw::Struct),
+                Tok::Kw(Kw::Static),
+                Tok::Kw(Kw::Sizeof),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_punct_wins() {
+        assert_eq!(
+            kinds("a <= b << c -> d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("->"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(kinds("'A'"), vec![Tok::Int(65), Tok::Eof]);
+        assert_eq!(kinds(r"'\n'"), vec![Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            kinds(r#""hi\n""#),
+            vec![Tok::Str(vec![b'h', b'i', b'\n']), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let toks = lex("a // one\n/* two\nthree */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, Tok::Ident("b".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("''").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("9999999999").is_err());
+        assert!(lex(r"'\q'").is_err());
+    }
+
+    #[test]
+    fn negative_char_semantics() {
+        // Chars are signed, like the target's lb.
+        assert_eq!(kinds(r"'\0'"), vec![Tok::Int(0), Tok::Eof]);
+        assert_eq!(kinds("'\u{7f}'"), vec![Tok::Int(127), Tok::Eof]);
+    }
+}

@@ -1,0 +1,1198 @@
+//! Semantic analysis: name resolution, type checking, layout, and
+//! lowering to [`Hir`].
+
+use crate::ast::{self, BinOp, Declarator, ExprKind as Ast, Item, TypeExpr, UnOp};
+use crate::error::CompileError;
+use crate::hir::{
+    Builtin, Expr, ExprKind, FuncDef, GlobalDef, Hir, LocalDef, MemberLayout, Stmt, StructLayout,
+};
+use crate::types::{align_up, Type};
+use databp_machine::DATA_BASE;
+use std::collections::HashMap;
+
+type SResult<T> = Result<T, CompileError>;
+
+/// Maximum parameters per function (all pass in registers `a0..a3`).
+const MAX_PARAMS: usize = 4;
+
+struct Checker {
+    struct_ids: HashMap<String, usize>,
+    structs: Vec<StructLayout>,
+    struct_sizes: Vec<u32>,
+    globals: Vec<GlobalDef>,
+    global_by_name: HashMap<String, u32>,
+    data_cursor: u32,
+    func_sigs: Vec<(String, Type, Vec<Type>)>,
+    func_ids: HashMap<String, u16>,
+    literal_cache: HashMap<Vec<u8>, u32>,
+}
+
+/// Per-function state.
+struct FuncCx {
+    fid: u16,
+    ret: Type,
+    locals: Vec<LocalDef>,
+    /// Frame cursor: bytes below fp in use (starts at 8 for saved ra/fp).
+    cursor: u32,
+    /// Scope stack: name -> binding.
+    scopes: Vec<HashMap<String, Binding>>,
+    loop_depth: u32,
+}
+
+#[derive(Clone, Copy)]
+enum Binding {
+    Local(u16),
+    Global(u32),
+}
+
+/// Checks and lowers a parsed program.
+///
+/// # Errors
+///
+/// Any semantic fault (unknown names, type mismatches, bad lvalues,
+/// missing `main`, …) with its source line.
+pub fn check(items: &[Item]) -> SResult<Hir> {
+    let mut cx = Checker {
+        struct_ids: HashMap::new(),
+        structs: Vec::new(),
+        struct_sizes: Vec::new(),
+        globals: Vec::new(),
+        global_by_name: HashMap::new(),
+        data_cursor: 0,
+        func_sigs: Vec::new(),
+        func_ids: HashMap::new(),
+        literal_cache: HashMap::new(),
+    };
+
+    // Pass 1: struct names get ids in order of appearance.
+    for item in items {
+        if let Item::Struct(s) = item {
+            if cx.struct_ids.insert(s.name.clone(), cx.struct_ids.len()).is_some() {
+                return Err(CompileError::new(s.line, format!("duplicate struct '{}'", s.name)));
+            }
+        }
+    }
+    cx.structs = Vec::with_capacity(cx.struct_ids.len());
+
+    // Pass 2: struct layouts, in order (value members must already be laid
+    // out; pointer members may reference any struct, including forward).
+    for item in items {
+        if let Item::Struct(s) = item {
+            let layout = cx.layout_struct(s)?;
+            cx.struct_sizes.push(layout.size);
+            cx.structs.push(layout);
+        }
+    }
+
+    // Pass 3: function signatures.
+    for item in items {
+        if let Item::Func(f) = item {
+            if cx.func_ids.contains_key(&f.name) {
+                return Err(CompileError::new(f.line, format!("duplicate function '{}'", f.name)));
+            }
+            if builtin_of(&f.name).is_some() {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("'{}' is a builtin and cannot be redefined", f.name),
+                ));
+            }
+            if f.params.len() > MAX_PARAMS {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("at most {MAX_PARAMS} parameters are supported"),
+                ));
+            }
+            let ret = cx.resolve_type(&f.ret, f.line)?;
+            let mut ptys = Vec::new();
+            for (pt, _) in &f.params {
+                let t = cx.resolve_type(pt, f.line)?;
+                if !t.is_scalar() {
+                    return Err(CompileError::new(f.line, "parameters must be scalar"));
+                }
+                ptys.push(t);
+            }
+            let fid = cx.func_sigs.len() as u16;
+            cx.func_ids.insert(f.name.clone(), fid);
+            cx.func_sigs.push((f.name.clone(), ret, ptys));
+        }
+    }
+
+    // Pass 4: globals.
+    for item in items {
+        if let Item::Global(g) = item {
+            cx.define_global(g)?;
+        }
+    }
+
+    // Pass 5: function bodies.
+    let mut funcs = Vec::new();
+    for item in items {
+        if let Item::Func(f) = item {
+            funcs.push(cx.check_func(f)?);
+        }
+    }
+
+    let main = *cx
+        .func_ids
+        .get("main")
+        .ok_or_else(|| CompileError::new(0, "no 'main' function"))?;
+
+    Ok(Hir {
+        structs: cx.structs,
+        globals: cx.globals,
+        funcs,
+        data_size: cx.data_cursor,
+        main,
+    })
+}
+
+fn builtin_of(name: &str) -> Option<Builtin> {
+    Some(match name {
+        "malloc" => Builtin::Malloc,
+        "free" => Builtin::Free,
+        "realloc" => Builtin::Realloc,
+        "print_int" => Builtin::PrintInt,
+        "print_char" => Builtin::PrintChar,
+        "print_str" => Builtin::PrintStr,
+        "arg" => Builtin::Arg,
+        "exit" => Builtin::Exit,
+        _ => return None,
+    })
+}
+
+impl Checker {
+    fn resolve_type(&self, t: &TypeExpr, line: u32) -> SResult<Type> {
+        Ok(match t {
+            TypeExpr::Int => Type::Int,
+            TypeExpr::Char => Type::Char,
+            TypeExpr::Void => Type::Void,
+            TypeExpr::Struct(name) => {
+                let id = self
+                    .struct_ids
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(line, format!("unknown struct '{name}'")))?;
+                Type::Struct(*id)
+            }
+            TypeExpr::Ptr(inner) => Type::Ptr(Box::new(self.resolve_type(inner, line)?)),
+        })
+    }
+
+    fn layout_struct(&mut self, s: &ast::StructDef) -> SResult<StructLayout> {
+        let my_id = self.struct_ids[&s.name];
+        let mut members = Vec::new();
+        let mut off = 0u32;
+        for (te, d) in &s.members {
+            let base = self.resolve_type(te, d.line)?;
+            let ty = match d.array {
+                Some(n) => Type::Array(Box::new(base), n),
+                None => base,
+            };
+            if ty == Type::Void {
+                return Err(CompileError::new(d.line, "void member"));
+            }
+            // Value members must be already laid out (no forward/self
+            // value members; pointers are fine).
+            let value_struct = match &ty {
+                Type::Struct(j) => Some(*j),
+                Type::Array(elem, _) => match elem.as_ref() {
+                    Type::Struct(j) => Some(*j),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(j) = value_struct {
+                if j >= my_id || j >= self.struct_sizes.len() {
+                    return Err(CompileError::new(
+                        d.line,
+                        "struct value members must be defined earlier (use a pointer)",
+                    ));
+                }
+            }
+            if members.iter().any(|m: &MemberLayout| m.name == d.name) {
+                return Err(CompileError::new(d.line, format!("duplicate member '{}'", d.name)));
+            }
+            let align = ty.align(&self.struct_sizes);
+            off = align_up(off, align);
+            members.push(MemberLayout { name: d.name.clone(), ty: ty.clone(), offset: off });
+            off += ty.size(&self.struct_sizes);
+        }
+        Ok(StructLayout { name: s.name.clone(), members, size: align_up(off.max(1), 4) })
+    }
+
+    fn alloc_global(
+        &mut self,
+        name: String,
+        ty: Type,
+        init: Vec<u8>,
+        owner: Option<u16>,
+        is_literal: bool,
+    ) -> u32 {
+        let size = ty.size(&self.struct_sizes);
+        let align = ty.align(&self.struct_sizes).max(4);
+        self.data_cursor = align_up(self.data_cursor, align);
+        let id = self.globals.len() as u32;
+        let mut bytes = init;
+        bytes.resize(size as usize, 0);
+        self.globals.push(GlobalDef {
+            name,
+            ty,
+            offset: self.data_cursor,
+            size,
+            init: bytes,
+            owner,
+            is_literal,
+        });
+        self.data_cursor += size;
+        id
+    }
+
+    fn intern_literal(&mut self, bytes: &[u8]) -> u32 {
+        if let Some(&id) = self.literal_cache.get(bytes) {
+            return id;
+        }
+        let mut stored = bytes.to_vec();
+        stored.push(0);
+        let n = stored.len() as u32;
+        let id = self.alloc_global(
+            format!("@str{}", self.literal_cache.len()),
+            Type::Array(Box::new(Type::Char), n),
+            stored.clone(),
+            None,
+            true,
+        );
+        self.literal_cache.insert(bytes.to_vec(), id);
+        id
+    }
+
+    fn define_global(&mut self, g: &ast::GlobalDecl) -> SResult<()> {
+        let line = g.decl.line;
+        if self.global_by_name.contains_key(&g.decl.name) {
+            return Err(CompileError::new(line, format!("duplicate global '{}'", g.decl.name)));
+        }
+        let base = self.resolve_type(&g.ty, line)?;
+        let ty = match g.decl.array {
+            Some(n) => Type::Array(Box::new(base), n),
+            None => base,
+        };
+        if ty == Type::Void {
+            return Err(CompileError::new(line, "void variable"));
+        }
+        let init = match &g.init {
+            None => Vec::new(),
+            Some(e) => self.const_init_bytes(e, &ty)?,
+        };
+        let id = self.alloc_global(g.decl.name.clone(), ty, init, None, false);
+        self.global_by_name.insert(g.decl.name.clone(), id);
+        Ok(())
+    }
+
+    /// Initial bytes for a constant initializer.
+    fn const_init_bytes(&mut self, e: &ast::Expr, ty: &Type) -> SResult<Vec<u8>> {
+        if let Ast::Str(s) = &e.kind {
+            if !ty.is_ptr() {
+                return Err(CompileError::new(e.line, "string initializer needs a pointer type"));
+            }
+            let id = self.intern_literal(s);
+            let addr = DATA_BASE + self.globals[id as usize].offset;
+            return Ok(addr.to_le_bytes().to_vec());
+        }
+        let v = self.const_eval(e)?;
+        Ok(match ty {
+            Type::Char => vec![v as u8],
+            Type::Int | Type::Ptr(_) => (v as u32).to_le_bytes().to_vec(),
+            _ => {
+                return Err(CompileError::new(
+                    e.line,
+                    "only scalar variables can have initializers",
+                ))
+            }
+        })
+    }
+
+    fn const_eval(&self, e: &ast::Expr) -> SResult<i32> {
+        let err = || CompileError::new(e.line, "initializer must be a constant expression");
+        Ok(match &e.kind {
+            Ast::Int(v) => *v,
+            Ast::Sizeof(t) => {
+                self.resolve_type(t, e.line)?.size(&self.struct_sizes) as i32
+            }
+            Ast::Unary(UnOp::Neg, x) => self.const_eval(x)?.wrapping_neg(),
+            Ast::Unary(UnOp::BitNot, x) => !self.const_eval(x)?,
+            Ast::Unary(UnOp::Not, x) => (self.const_eval(x)? == 0) as i32,
+            Ast::Binary(op, a, b) => {
+                let (a, b) = (self.const_eval(a)?, self.const_eval(b)?);
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div if b != 0 => a.wrapping_div(b),
+                    BinOp::Rem if b != 0 => a.wrapping_rem(b),
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    _ => return Err(err()),
+                }
+            }
+            Ast::Cast(_, x) => self.const_eval(x)?,
+            _ => return Err(err()),
+        })
+    }
+
+    fn check_func(&mut self, f: &ast::FuncDecl) -> SResult<FuncDef> {
+        let fid = self.func_ids[&f.name];
+        let (_, ret, ptys) = self.func_sigs[fid as usize].clone();
+        let mut fx = FuncCx {
+            fid,
+            ret: ret.clone(),
+            locals: Vec::new(),
+            cursor: 8,
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+        };
+        for ((_, pname), pty) in f.params.iter().zip(&ptys) {
+            self.alloc_local(&mut fx, pname.clone(), pty.clone(), true, f.line)?;
+        }
+        let body = self.lower_block(&mut fx, &f.body)?;
+        Ok(FuncDef {
+            name: f.name.clone(),
+            ret,
+            params: f.params.len() as u16,
+            locals: fx.locals,
+            frame_size: fx.cursor,
+            body,
+        })
+    }
+
+    fn alloc_local(
+        &mut self,
+        fx: &mut FuncCx,
+        name: String,
+        ty: Type,
+        is_param: bool,
+        line: u32,
+    ) -> SResult<u16> {
+        if ty == Type::Void {
+            return Err(CompileError::new(line, "void variable"));
+        }
+        let size = ty.size(&self.struct_sizes);
+        fx.cursor = align_up(fx.cursor + size, 4);
+        let idx = fx.locals.len();
+        if idx > u16::MAX as usize {
+            return Err(CompileError::new(line, "too many locals"));
+        }
+        let idx = idx as u16;
+        fx.locals.push(LocalDef {
+            name: name.clone(),
+            ty,
+            offset: -(fx.cursor as i32),
+            size,
+            is_param,
+        });
+        let scope = fx.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.clone(), Binding::Local(idx)).is_some() {
+            return Err(CompileError::new(line, format!("duplicate variable '{name}'")));
+        }
+        Ok(idx)
+    }
+
+    fn lookup(&self, fx: &FuncCx, name: &str) -> Option<Binding> {
+        for scope in fx.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(*b);
+            }
+        }
+        self.global_by_name.get(name).map(|&g| Binding::Global(g))
+    }
+
+    fn lower_block(&mut self, fx: &mut FuncCx, stmts: &[ast::Stmt]) -> SResult<Vec<Stmt>> {
+        fx.scopes.push(HashMap::new());
+        let mut out = Vec::new();
+        for s in stmts {
+            self.lower_stmt(fx, s, &mut out)?;
+        }
+        fx.scopes.pop();
+        Ok(out)
+    }
+
+    fn lower_stmt(
+        &mut self,
+        fx: &mut FuncCx,
+        s: &ast::Stmt,
+        out: &mut Vec<Stmt>,
+    ) -> SResult<()> {
+        match s {
+            ast::Stmt::Empty => {}
+            ast::Stmt::Decl { is_static, ty, decl, init } => {
+                self.lower_decl(fx, *is_static, ty, decl, init.as_ref(), out)?;
+            }
+            ast::Stmt::Expr(e) => {
+                let e = self.rvalue_or_void(fx, e)?;
+                out.push(Stmt::Expr(e));
+            }
+            ast::Stmt::If(cond, then, els) => {
+                let c = self.condition(fx, cond)?;
+                let t = self.lower_substmt(fx, then)?;
+                let e = match els {
+                    Some(s) => self.lower_substmt(fx, s)?,
+                    None => Vec::new(),
+                };
+                out.push(Stmt::If(c, t, e));
+            }
+            ast::Stmt::While(cond, body) => {
+                let c = self.condition(fx, cond)?;
+                fx.loop_depth += 1;
+                let b = self.lower_substmt(fx, body)?;
+                fx.loop_depth -= 1;
+                out.push(Stmt::While(c, b));
+            }
+            ast::Stmt::For(init, cond, step, body) => {
+                let i = init.as_ref().map(|e| self.rvalue_or_void(fx, e)).transpose()?;
+                let c = cond.as_ref().map(|e| self.condition(fx, e)).transpose()?;
+                let st = step.as_ref().map(|e| self.rvalue_or_void(fx, e)).transpose()?;
+                fx.loop_depth += 1;
+                let b = self.lower_substmt(fx, body)?;
+                fx.loop_depth -= 1;
+                out.push(Stmt::For(i, c, st, b));
+            }
+            ast::Stmt::Return(value, line) => {
+                let ret_ty = fx.ret.clone();
+                let e = match (value, ret_ty) {
+                    (None, Type::Void) => None,
+                    (None, _) => {
+                        return Err(CompileError::new(*line, "non-void function must return a value"))
+                    }
+                    (Some(_), Type::Void) => {
+                        return Err(CompileError::new(*line, "void function cannot return a value"))
+                    }
+                    (Some(v), ret) => {
+                        let e = self.rvalue(fx, v)?;
+                        self.check_assignable(&e.ty, &ret, *line)?;
+                        Some(e)
+                    }
+                };
+                out.push(Stmt::Return(e));
+            }
+            ast::Stmt::Break(line) => {
+                if fx.loop_depth == 0 {
+                    return Err(CompileError::new(*line, "break outside a loop"));
+                }
+                out.push(Stmt::Break);
+            }
+            ast::Stmt::Continue(line) => {
+                if fx.loop_depth == 0 {
+                    return Err(CompileError::new(*line, "continue outside a loop"));
+                }
+                out.push(Stmt::Continue);
+            }
+            ast::Stmt::Block(stmts) => {
+                let inner = self.lower_block(fx, stmts)?;
+                out.extend(inner);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_substmt(&mut self, fx: &mut FuncCx, s: &ast::Stmt) -> SResult<Vec<Stmt>> {
+        match s {
+            ast::Stmt::Block(stmts) => self.lower_block(fx, stmts),
+            other => {
+                fx.scopes.push(HashMap::new());
+                let mut out = Vec::new();
+                self.lower_stmt(fx, other, &mut out)?;
+                fx.scopes.pop();
+                Ok(out)
+            }
+        }
+    }
+
+    fn lower_decl(
+        &mut self,
+        fx: &mut FuncCx,
+        is_static: bool,
+        te: &TypeExpr,
+        decl: &Declarator,
+        init: Option<&ast::Expr>,
+        out: &mut Vec<Stmt>,
+    ) -> SResult<()> {
+        let line = decl.line;
+        let base = self.resolve_type(te, line)?;
+        let ty = match decl.array {
+            Some(n) => Type::Array(Box::new(base), n),
+            None => base,
+        };
+        if is_static {
+            let bytes = match init {
+                Some(e) => self.const_init_bytes(e, &ty)?,
+                None => Vec::new(),
+            };
+            let gid = self.alloc_global(
+                format!("{}::{}", self.func_sigs[fx.fid as usize].0, decl.name),
+                ty,
+                bytes,
+                Some(fx.fid),
+                false,
+            );
+            let scope = fx.scopes.last_mut().expect("scope stack never empty");
+            if scope.insert(decl.name.clone(), Binding::Global(gid)).is_some() {
+                return Err(CompileError::new(line, format!("duplicate variable '{}'", decl.name)));
+            }
+            return Ok(());
+        }
+        let idx = self.alloc_local(fx, decl.name.clone(), ty.clone(), false, line)?;
+        if let Some(e) = init {
+            if !ty.is_scalar() {
+                return Err(CompileError::new(line, "only scalar locals can have initializers"));
+            }
+            let value = self.rvalue(fx, e)?;
+            self.check_assignable(&value.ty, &ty, line)?;
+            let addr = Expr {
+                ty: Type::Ptr(Box::new(ty.clone())),
+                kind: ExprKind::AddrLocal(idx),
+            };
+            let value = coerce_store_value(value, &ty);
+            out.push(Stmt::Expr(Expr {
+                ty,
+                kind: ExprKind::Assign { addr: Box::new(addr), value: Box::new(value) },
+            }));
+        }
+        Ok(())
+    }
+
+    fn condition(&mut self, fx: &mut FuncCx, e: &ast::Expr) -> SResult<Expr> {
+        let c = self.rvalue(fx, e)?;
+        if !c.ty.is_scalar() {
+            return Err(CompileError::new(e.line, "condition must be scalar"));
+        }
+        Ok(c)
+    }
+
+    fn rvalue_or_void(&mut self, fx: &mut FuncCx, e: &ast::Expr) -> SResult<Expr> {
+        // Calls to void functions are legal expression statements.
+        self.lower_expr(fx, e, true)
+    }
+
+    fn rvalue(&mut self, fx: &mut FuncCx, e: &ast::Expr) -> SResult<Expr> {
+        let r = self.lower_expr(fx, e, false)?;
+        Ok(r)
+    }
+
+    fn check_assignable(&self, from: &Type, to: &Type, line: u32) -> SResult<()> {
+        let ok = match (from, to) {
+            (a, b) if a == b => true,
+            // Int-family conversions.
+            (Type::Int | Type::Char, Type::Int | Type::Char) => true,
+            // Old-C pointer laxity: any pointer to any pointer; int<->ptr.
+            (Type::Ptr(_), Type::Ptr(_)) => true,
+            (Type::Int, Type::Ptr(_)) | (Type::Ptr(_), Type::Int) => true,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CompileError::new(line, format!("cannot convert {from} to {to}")))
+        }
+    }
+
+    /// Lowers an lvalue to `(address-expression, object type)`.
+    fn lvalue(&mut self, fx: &mut FuncCx, e: &ast::Expr) -> SResult<(Expr, Type)> {
+        let line = e.line;
+        match &e.kind {
+            Ast::Ident(name) => match self.lookup(fx, name) {
+                Some(Binding::Local(i)) => {
+                    let ty = fx.locals[i as usize].ty.clone();
+                    Ok((
+                        Expr { ty: Type::Ptr(Box::new(ty.clone())), kind: ExprKind::AddrLocal(i) },
+                        ty,
+                    ))
+                }
+                Some(Binding::Global(g)) => {
+                    let ty = self.globals[g as usize].ty.clone();
+                    Ok((
+                        Expr { ty: Type::Ptr(Box::new(ty.clone())), kind: ExprKind::AddrGlobal(g) },
+                        ty,
+                    ))
+                }
+                None => Err(CompileError::new(line, format!("unknown variable '{name}'"))),
+            },
+            Ast::Deref(p) => {
+                let pe = self.rvalue(fx, p)?;
+                match pe.ty.clone() {
+                    Type::Ptr(t) => Ok((pe, (*t).clone())),
+                    other => Err(CompileError::new(line, format!("cannot dereference {other}"))),
+                }
+            }
+            Ast::Index(base, idx) => {
+                let b = self.rvalue(fx, base)?;
+                let elem = match b.ty.pointee() {
+                    Some(t) => t.clone(),
+                    None => {
+                        return Err(CompileError::new(line, format!("cannot index {}", b.ty)))
+                    }
+                };
+                let i = self.rvalue(fx, idx)?;
+                if !matches!(i.ty, Type::Int | Type::Char) {
+                    return Err(CompileError::new(line, "index must be an integer"));
+                }
+                let scaled = scale(i, elem.size(&self.struct_sizes));
+                let addr = Expr {
+                    ty: Type::Ptr(Box::new(elem.clone())),
+                    kind: ExprKind::Binary(BinOp::Add, Box::new(b), Box::new(scaled)),
+                };
+                Ok((addr, elem))
+            }
+            Ast::Member(inner, m) => {
+                let (iaddr, ity) = self.lvalue(fx, inner)?;
+                let Type::Struct(sid) = ity else {
+                    return Err(CompileError::new(line, format!("'.' on non-struct {ity}")));
+                };
+                let ml = self.member(sid, m, line)?;
+                Ok((offset_addr(iaddr, ml.offset, ml.ty.clone()), ml.ty))
+            }
+            Ast::Arrow(inner, m) => {
+                let p = self.rvalue(fx, inner)?;
+                let sid = match &p.ty {
+                    Type::Ptr(b) => match b.as_ref() {
+                        Type::Struct(s) => *s,
+                        other => {
+                            return Err(CompileError::new(
+                                line,
+                                format!("'->' on pointer to non-struct {other}"),
+                            ))
+                        }
+                    },
+                    other => {
+                        return Err(CompileError::new(line, format!("'->' on non-pointer {other}")))
+                    }
+                };
+                let ml = self.member(sid, m, line)?;
+                Ok((offset_addr(p, ml.offset, ml.ty.clone()), ml.ty))
+            }
+            _ => Err(CompileError::new(line, "expression is not an lvalue")),
+        }
+    }
+
+    fn member(&self, sid: usize, name: &str, line: u32) -> SResult<MemberLayout> {
+        self.structs[sid]
+            .members
+            .iter()
+            .find(|m| m.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                CompileError::new(
+                    line,
+                    format!("struct '{}' has no member '{name}'", self.structs[sid].name),
+                )
+            })
+    }
+
+    fn lower_expr(&mut self, fx: &mut FuncCx, e: &ast::Expr, allow_void: bool) -> SResult<Expr> {
+        let line = e.line;
+        match &e.kind {
+            Ast::Int(v) => Ok(Expr::konst(*v)),
+            Ast::Str(s) => {
+                let id = self.intern_literal(s);
+                Ok(Expr {
+                    ty: Type::Ptr(Box::new(Type::Char)),
+                    kind: ExprKind::AddrGlobal(id),
+                })
+            }
+            Ast::Sizeof(t) => {
+                let ty = self.resolve_type(t, line)?;
+                Ok(Expr::konst(ty.size(&self.struct_sizes) as i32))
+            }
+            Ast::AddrOf(inner) => {
+                let (addr, ty) = self.lvalue(fx, inner)?;
+                Ok(Expr { ty: Type::Ptr(Box::new(ty)), kind: addr.kind })
+            }
+            Ast::Cast(t, inner) => {
+                let target = self.resolve_type(t, line)?;
+                let v = self.rvalue(fx, inner)?;
+                if !v.ty.is_scalar() {
+                    return Err(CompileError::new(line, "cast of non-scalar value"));
+                }
+                match target {
+                    Type::Char => Ok(Expr {
+                        ty: Type::Char,
+                        kind: ExprKind::CastChar(Box::new(v)),
+                    }),
+                    t if t.is_scalar() => Ok(Expr { ty: t, kind: v.kind }),
+                    other => Err(CompileError::new(line, format!("cannot cast to {other}"))),
+                }
+            }
+            Ast::Unary(op, inner) => {
+                let v = self.rvalue(fx, inner)?;
+                if !v.ty.is_scalar() {
+                    return Err(CompileError::new(line, "unary operand must be scalar"));
+                }
+                Ok(Expr { ty: Type::Int, kind: ExprKind::Unary(*op, Box::new(v)) })
+            }
+            Ast::Assign(lhs, rhs) => {
+                let (addr, ty) = self.lvalue(fx, lhs)?;
+                if !ty.is_scalar() {
+                    return Err(CompileError::new(line, format!("cannot assign to {ty}")));
+                }
+                let value = self.rvalue(fx, rhs)?;
+                self.check_assignable(&value.ty, &ty, line)?;
+                let value = coerce_store_value(value, &ty);
+                Ok(Expr {
+                    ty,
+                    kind: ExprKind::Assign { addr: Box::new(addr), value: Box::new(value) },
+                })
+            }
+            Ast::Binary(op, a, b) => self.lower_binary(fx, *op, a, b, line),
+            Ast::Call(name, args) => self.lower_call(fx, name, args, line, allow_void),
+            // Reads of lvalue-shaped expressions.
+            Ast::Ident(_) | Ast::Deref(_) | Ast::Index(..) | Ast::Member(..) | Ast::Arrow(..) => {
+                let (addr, ty) = self.lvalue(fx, e)?;
+                match ty {
+                    Type::Array(elem, _) => {
+                        // Array decay: the value of an array is its address.
+                        Ok(Expr { ty: Type::Ptr(elem), kind: addr.kind })
+                    }
+                    Type::Struct(_) => {
+                        Err(CompileError::new(line, "struct values cannot be used directly"))
+                    }
+                    ty => Ok(Expr { ty, kind: ExprKind::Load(Box::new(addr)) }),
+                }
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        fx: &mut FuncCx,
+        op: BinOp,
+        a: &ast::Expr,
+        b: &ast::Expr,
+        line: u32,
+    ) -> SResult<Expr> {
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let l = self.condition(fx, a)?;
+            let r = self.condition(fx, b)?;
+            let kind = if op == BinOp::LogAnd {
+                ExprKind::LogAnd(Box::new(l), Box::new(r))
+            } else {
+                ExprKind::LogOr(Box::new(l), Box::new(r))
+            };
+            return Ok(Expr { ty: Type::Int, kind });
+        }
+        let l = self.rvalue(fx, a)?;
+        let r = self.rvalue(fx, b)?;
+        if !l.ty.is_scalar() || !r.ty.is_scalar() {
+            return Err(CompileError::new(line, "operands must be scalar"));
+        }
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                match (l.ty.is_ptr(), r.ty.is_ptr()) {
+                    (true, false) => {
+                        let elem = l.ty.pointee().expect("pointer has pointee").clone();
+                        let ty = l.ty.clone();
+                        let scaled = scale(r, elem.size(&self.struct_sizes));
+                        Ok(Expr {
+                            ty,
+                            kind: ExprKind::Binary(op, Box::new(l), Box::new(scaled)),
+                        })
+                    }
+                    (false, true) => {
+                        if op == BinOp::Sub {
+                            return Err(CompileError::new(line, "cannot subtract pointer from int"));
+                        }
+                        let elem = r.ty.pointee().expect("pointer has pointee").clone();
+                        let ty = r.ty.clone();
+                        let scaled = scale(l, elem.size(&self.struct_sizes));
+                        Ok(Expr {
+                            ty,
+                            kind: ExprKind::Binary(op, Box::new(scaled), Box::new(r)),
+                        })
+                    }
+                    (true, true) => {
+                        if op != BinOp::Sub {
+                            return Err(CompileError::new(line, "cannot add two pointers"));
+                        }
+                        let elem = l.ty.pointee().expect("pointer has pointee").clone();
+                        let size = elem.size(&self.struct_sizes).max(1);
+                        let diff = Expr {
+                            ty: Type::Int,
+                            kind: ExprKind::Binary(BinOp::Sub, Box::new(l), Box::new(r)),
+                        };
+                        Ok(Expr {
+                            ty: Type::Int,
+                            kind: ExprKind::Binary(
+                                BinOp::Div,
+                                Box::new(diff),
+                                Box::new(Expr::konst(size as i32)),
+                            ),
+                        })
+                    }
+                    (false, false) => Ok(Expr {
+                        ty: Type::Int,
+                        kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                    }),
+                }
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => Ok(Expr {
+                ty: Type::Int,
+                kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
+            }),
+            _ => {
+                if l.ty.is_ptr() || r.ty.is_ptr() {
+                    return Err(CompileError::new(line, "pointer operand not allowed here"));
+                }
+                Ok(Expr { ty: Type::Int, kind: ExprKind::Binary(op, Box::new(l), Box::new(r)) })
+            }
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        fx: &mut FuncCx,
+        name: &str,
+        args: &[ast::Expr],
+        line: u32,
+        allow_void: bool,
+    ) -> SResult<Expr> {
+        let mut largs = Vec::new();
+        for a in args {
+            let v = self.rvalue(fx, a)?;
+            if !v.ty.is_scalar() {
+                return Err(CompileError::new(line, "arguments must be scalar"));
+            }
+            largs.push(v);
+        }
+        if let Some(b) = builtin_of(name) {
+            let (argc, ret) = match b {
+                Builtin::Malloc => (1, Type::Ptr(Box::new(Type::Char))),
+                Builtin::Free => (1, Type::Void),
+                Builtin::Realloc => (2, Type::Ptr(Box::new(Type::Char))),
+                Builtin::PrintInt | Builtin::PrintChar | Builtin::PrintStr | Builtin::Exit => {
+                    (1, Type::Void)
+                }
+                Builtin::Arg => (1, Type::Int),
+            };
+            if largs.len() != argc {
+                return Err(CompileError::new(
+                    line,
+                    format!("'{name}' expects {argc} argument(s), got {}", largs.len()),
+                ));
+            }
+            if ret == Type::Void && !allow_void {
+                return Err(CompileError::new(line, format!("'{name}' returns no value")));
+            }
+            return Ok(Expr { ty: ret, kind: ExprKind::Builtin(b, largs) });
+        }
+        let fid = *self
+            .func_ids
+            .get(name)
+            .ok_or_else(|| CompileError::new(line, format!("unknown function '{name}'")))?;
+        let (_, ret, ptys) = self.func_sigs[fid as usize].clone();
+        if largs.len() != ptys.len() {
+            return Err(CompileError::new(
+                line,
+                format!("'{name}' expects {} argument(s), got {}", ptys.len(), largs.len()),
+            ));
+        }
+        for (v, p) in largs.iter().zip(&ptys) {
+            self.check_assignable(&v.ty, p, line)?;
+        }
+        if ret == Type::Void && !allow_void {
+            return Err(CompileError::new(line, format!("'{name}' returns no value")));
+        }
+        Ok(Expr { ty: ret, kind: ExprKind::Call(fid, largs) })
+    }
+}
+
+/// Multiplies an index expression by an element size (constant-folding the
+/// common literal case).
+fn scale(e: Expr, size: u32) -> Expr {
+    if size == 1 {
+        return e;
+    }
+    if let ExprKind::Const(v) = e.kind {
+        return Expr::konst(v.wrapping_mul(size as i32));
+    }
+    Expr {
+        ty: Type::Int,
+        kind: ExprKind::Binary(
+            BinOp::Mul,
+            Box::new(e),
+            Box::new(Expr::konst(size as i32)),
+        ),
+    }
+}
+
+fn offset_addr(base: Expr, offset: u32, member_ty: Type) -> Expr {
+    let ty = Type::Ptr(Box::new(member_ty));
+    if offset == 0 {
+        return Expr { ty, kind: base.kind };
+    }
+    Expr {
+        ty,
+        kind: ExprKind::Binary(
+            BinOp::Add,
+            Box::new(base),
+            Box::new(Expr::konst(offset as i32)),
+        ),
+    }
+}
+
+/// Wraps a value for storage into a `ty`-typed slot (chars truncate).
+fn coerce_store_value(value: Expr, ty: &Type) -> Expr {
+    if *ty == Type::Char && value.ty != Type::Char {
+        Expr { ty: Type::Char, kind: ExprKind::CastChar(Box::new(value)) }
+    } else {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> SResult<Hir> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn minimal_program() {
+        let hir = lower_src("int main() { return 0; }").unwrap();
+        assert_eq!(hir.funcs.len(), 1);
+        assert_eq!(hir.main, 0);
+        assert_eq!(hir.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        assert!(lower_src("int f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn struct_layout_offsets() {
+        let hir = lower_src(
+            r#"
+            struct S { char c; int x; char buf[5]; int y; };
+            int main() { return sizeof(struct S); }
+            "#,
+        )
+        .unwrap();
+        let s = &hir.structs[0];
+        assert_eq!(s.members[0].offset, 0); // c
+        assert_eq!(s.members[1].offset, 4); // x (aligned)
+        assert_eq!(s.members[2].offset, 8); // buf
+        assert_eq!(s.members[3].offset, 16); // y (13 -> 16)
+        assert_eq!(s.size, 20);
+    }
+
+    #[test]
+    fn self_referential_struct_via_pointer() {
+        assert!(lower_src(
+            "struct N { int v; struct N *next; }; int main() { return 0; }"
+        )
+        .is_ok());
+        // Value self-member rejected.
+        assert!(lower_src("struct N { struct N inner; }; int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn globals_laid_out_in_order() {
+        let hir = lower_src(
+            r#"
+            int a;
+            char b;
+            int c[10];
+            int main() { return 0; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(hir.globals[0].offset, 0);
+        assert_eq!(hir.globals[1].offset, 4);
+        assert_eq!(hir.globals[2].offset, 8); // aligned past the char
+        assert_eq!(hir.globals[2].size, 40);
+        assert_eq!(hir.data_size, 48);
+    }
+
+    #[test]
+    fn global_initializers_const_evaled() {
+        let hir = lower_src(
+            r#"
+            int a = 3 + 4 * 2;
+            int b = -5;
+            int c = sizeof(int) * 3;
+            char d = 'A';
+            int main() { return 0; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(hir.globals[0].init, 11i32.to_le_bytes());
+        assert_eq!(hir.globals[1].init, (-5i32).to_le_bytes());
+        assert_eq!(hir.globals[2].init, 12i32.to_le_bytes());
+        assert_eq!(hir.globals[3].init, vec![65]);
+    }
+
+    #[test]
+    fn non_constant_global_init_rejected() {
+        assert!(lower_src("int a = b; int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn statics_become_owned_globals() {
+        let hir = lower_src(
+            r#"
+            int f() { static int count = 7; count = count + 1; return count; }
+            int main() { return f(); }
+            "#,
+        )
+        .unwrap();
+        let st = hir.globals.iter().find(|g| g.owner.is_some()).unwrap();
+        assert_eq!(st.owner, Some(0));
+        assert_eq!(st.init, 7i32.to_le_bytes());
+        assert!(st.name.contains("count"));
+        // The static is NOT a frame local.
+        assert!(hir.funcs[0].locals.is_empty());
+    }
+
+    #[test]
+    fn frame_layout_params_then_locals() {
+        let hir = lower_src(
+            r#"
+            int f(int a, int b) { int x; char buf[6]; int y; x = a; y = b; return x + y; }
+            int main() { return f(1, 2); }
+            "#,
+        )
+        .unwrap();
+        let f = &hir.funcs[0];
+        assert_eq!(f.params, 2);
+        let offs: Vec<i32> = f.locals.iter().map(|l| l.offset).collect();
+        // a at -12, b at -16, x at -20, buf at -28 (6 rounded within
+        // cursor), y follows.
+        assert_eq!(offs[0], -12);
+        assert_eq!(offs[1], -16);
+        assert_eq!(offs[2], -20);
+        assert!(f.locals[3].name == "buf" && f.locals[3].size == 6);
+        for l in &f.locals {
+            assert!(l.offset < 0);
+            assert_eq!((l.offset.unsigned_abs()) % 4, 0, "word-aligned slots");
+        }
+        assert!(f.frame_size >= 8 + 4 * 3 + 6);
+    }
+
+    #[test]
+    fn shadowing_creates_distinct_locals() {
+        let hir = lower_src(
+            r#"
+            int main() { int x; x = 1; { int x; x = 2; } return x; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(hir.funcs[0].locals.len(), 2);
+        assert_ne!(hir.funcs[0].locals[0].offset, hir.funcs[0].locals[1].offset);
+    }
+
+    #[test]
+    fn pointer_arithmetic_scaled() {
+        let hir = lower_src(
+            r#"
+            int main() { int a[10]; int *p; p = a; p = p + 3; return *p; }
+            "#,
+        )
+        .unwrap();
+        // Find the Assign whose value is Binary(Add, _, Const(12)).
+        let found = format!("{:?}", hir.funcs[0].body);
+        assert!(found.contains("Const(12)"), "expected scaled offset 12 in {found}");
+    }
+
+    #[test]
+    fn string_literals_interned() {
+        let hir = lower_src(
+            r#"
+            int main() { print_str("hi"); print_str("hi"); print_str("ho"); return 0; }
+            "#,
+        )
+        .unwrap();
+        let lits = hir.globals.iter().filter(|g| g.is_literal).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        // assignment to rvalue
+        assert!(lower_src("int main() { 1 = 2; return 0; }").is_err());
+        // struct assignment
+        assert!(lower_src(
+            "struct S { int x; }; struct S a; struct S b; int main() { a = b; return 0; }"
+        )
+        .is_err());
+        // indexing an int
+        assert!(lower_src("int main() { int x; return x[0]; }").is_err());
+        // '->' on non-pointer
+        assert!(lower_src(
+            "struct S { int x; }; struct S s; int main() { return s->x; }"
+        )
+        .is_err());
+        // unknown member
+        assert!(lower_src(
+            "struct S { int x; }; struct S s; int main() { return s.y; }"
+        )
+        .is_err());
+        // unknown variable / function
+        assert!(lower_src("int main() { return nosuch; }").is_err());
+        assert!(lower_src("int main() { return nosuch(); }").is_err());
+        // arg count
+        assert!(lower_src("int f(int a) { return a; } int main() { return f(); }").is_err());
+        // break outside loop
+        assert!(lower_src("int main() { break; return 0; }").is_err());
+        // void misuse
+        assert!(lower_src("void f() { return; } int main() { return f(); }").is_err());
+        // adding two pointers
+        assert!(lower_src("int main() { int *p; int *q; return (int)(p + q); }").is_err());
+        // redefinition of a builtin
+        assert!(lower_src("int malloc(int n) { return n; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn pointer_difference_is_element_count() {
+        let hir = lower_src(
+            "int main() { int a[4]; return (&a[3]) - (&a[0]); }",
+        )
+        .unwrap();
+        let dump = format!("{:?}", hir.funcs[0].body);
+        assert!(dump.contains("Div"), "pointer difference divides by elem size: {dump}");
+    }
+
+    #[test]
+    fn char_assignment_truncates_via_cast() {
+        let hir = lower_src("int main() { char c; c = 300; return c; }").unwrap();
+        let dump = format!("{:?}", hir.funcs[0].body);
+        assert!(dump.contains("CastChar"), "{dump}");
+    }
+
+    #[test]
+    fn array_decay_in_calls() {
+        assert!(lower_src(
+            "int f(int *p) { return p[0]; } int main() { int a[3]; a[0] = 9; return f(a); }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn all_heap_builtins_typecheck() {
+        assert!(lower_src(
+            r#"
+            int main() {
+                int *p;
+                p = (int*)malloc(40);
+                p[0] = 1;
+                p = (int*)realloc((char*)p, 80);
+                free((char*)p);
+                print_int(0); print_char('x'); print_str("s");
+                exit(arg(0));
+                return 0;
+            }
+            "#,
+        )
+        .is_ok());
+    }
+}

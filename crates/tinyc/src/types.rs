@@ -1,0 +1,162 @@
+//! The resolved type system and layout rules.
+
+use std::fmt;
+
+/// A resolved type. Struct types reference the HIR struct table by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit signed integer.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to `T` (32-bit).
+    Ptr(Box<Type>),
+    /// `T[n]`.
+    Array(Box<Type>, u32),
+    /// `struct` by index into [`Hir::structs`](crate::hir::Hir::structs).
+    Struct(usize),
+}
+
+impl Type {
+    /// Size in bytes. Struct sizes come from `struct_sizes[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Void` (no object has type void).
+    pub fn size(&self, struct_sizes: &[u32]) -> u32 {
+        match self {
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Char => 1,
+            Type::Array(elem, n) => elem.size(struct_sizes) * n,
+            Type::Struct(i) => struct_sizes[*i],
+            Type::Void => panic!("void has no size"),
+        }
+    }
+
+    /// Alignment in bytes.
+    #[allow(clippy::only_used_in_recursion)] // kept parallel to `size`
+    pub fn align(&self, struct_sizes: &[u32]) -> u32 {
+        match self {
+            Type::Char => 1,
+            Type::Array(elem, _) => elem.align(struct_sizes),
+            _ => 4,
+        }
+        .max(match self {
+            // Structs align to a word: they always contain word-aligned
+            // layout padding in our rules.
+            Type::Struct(_) => 4,
+            _ => 1,
+        })
+    }
+
+    /// True for types storable in a register: int, char, pointer.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Width of a load/store of this scalar type (1 or 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-scalar types.
+    pub fn access_width(&self) -> u32 {
+        match self {
+            Type::Char => 1,
+            Type::Int | Type::Ptr(_) => 4,
+            other => panic!("no access width for {other:?}"),
+        }
+    }
+
+    /// The type `*self` yields, when `self` is a pointer or array.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Char => write!(f, "char"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(i) => write!(f, "struct#{i}"),
+        }
+    }
+}
+
+/// Rounds `off` up to a multiple of `align`.
+pub fn align_up(off: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two() || align == 1);
+    off.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        let none: &[u32] = &[];
+        assert_eq!(Type::Int.size(none), 4);
+        assert_eq!(Type::Char.size(none), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).size(none), 4);
+    }
+
+    #[test]
+    fn array_and_struct_sizes() {
+        let sizes = &[12u32];
+        assert_eq!(Type::Array(Box::new(Type::Int), 10).size(sizes), 40);
+        assert_eq!(Type::Array(Box::new(Type::Char), 5).size(sizes), 5);
+        assert_eq!(Type::Struct(0).size(sizes), 12);
+        assert_eq!(Type::Array(Box::new(Type::Struct(0)), 3).size(sizes), 36);
+    }
+
+    #[test]
+    fn alignment_rules() {
+        let sizes = &[8u32];
+        assert_eq!(Type::Char.align(sizes), 1);
+        assert_eq!(Type::Int.align(sizes), 4);
+        assert_eq!(Type::Array(Box::new(Type::Char), 7).align(sizes), 1);
+        assert_eq!(Type::Struct(0).align(sizes), 4);
+    }
+
+    #[test]
+    fn access_width() {
+        assert_eq!(Type::Char.access_width(), 1);
+        assert_eq!(Type::Int.access_width(), 4);
+        assert_eq!(Type::Ptr(Box::new(Type::Int)).access_width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no size")]
+    fn void_has_no_size() {
+        Type::Void.size(&[]);
+    }
+
+    #[test]
+    fn align_up_rounds() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(1, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 1), 5);
+    }
+
+    #[test]
+    fn display_renders() {
+        assert_eq!(Type::Ptr(Box::new(Type::Int)).to_string(), "int*");
+        assert_eq!(Type::Array(Box::new(Type::Char), 3).to_string(), "char[3]");
+    }
+}

@@ -1,0 +1,216 @@
+//! Code-generation boundary conditions: immediate ranges, frame sizes,
+//! temporary-register pressure, deep control nesting, and far globals.
+
+use databp_machine::{Machine, NoHooks, StopReason};
+use databp_tinyc::{compile, interpret, lower, Options};
+
+fn run(src: &str, args: &[i32]) -> (Vec<u8>, i32) {
+    let compiled = compile(src, &Options::codepatch()).expect("compiles");
+    let mut m = Machine::new();
+    m.load(&compiled.program);
+    m.set_args(args.to_vec());
+    assert_eq!(m.run(&mut NoHooks, 200_000_000).unwrap(), StopReason::Halted);
+    (m.take_output(), m.exit_code())
+}
+
+fn check_against_interp(src: &str, args: &[i32]) {
+    let hir = lower(src).unwrap();
+    let oracle = interpret(&hir, args, 400_000_000).unwrap();
+    let (out, code) = run(src, args);
+    assert_eq!(out, oracle.output);
+    assert_eq!(code, oracle.exit_code);
+}
+
+#[test]
+fn large_local_array_pushes_frame_offsets_past_byte_range() {
+    // 6000-byte array: frame offsets exceed i8 but stay within i16.
+    check_against_interp(
+        r#"
+        int main() {
+            int big[1500];
+            int i; int sum;
+            for (i = 0; i < 1500; i = i + 1) big[i] = i;
+            sum = 0;
+            for (i = 0; i < 1500; i = i + 1) sum = sum + big[i];
+            print_int(sum);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn global_beyond_64k_uses_wide_addressing() {
+    // A 70 000-byte global pushes later globals past the 16-bit offset
+    // range from DATA_BASE; lui/ori addressing must cope.
+    check_against_interp(
+        r#"
+        int pad[17500];
+        int far_global;
+        int main() {
+            pad[17499] = 123;
+            far_global = pad[17499] * 2;
+            print_int(far_global);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn expression_near_temp_register_limit() {
+    // A right-leaning chain keeps depth low, a left-leaning parenthesized
+    // tower pushes it up; 12 nested levels stay within the 16 temps.
+    check_against_interp(
+        r#"
+        int main() {
+            int r;
+            r = (1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12)))))))))));
+            print_int(r);
+            r = ((((((((((1 + 2) * 3) - 4) + 5) * 6) - 7) + 8) * 9) - 10) + 11);
+            print_int(r);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+#[should_panic(expected = "expression too deep")]
+fn pathological_expression_depth_is_a_clean_panic() {
+    // Calls force each argument to occupy a temp while siblings evaluate;
+    // nesting calls 20 deep exceeds the evaluation stack. The compiler
+    // must fail loudly, not generate wrong code.
+    let mut inner = "1".to_string();
+    for _ in 0..20 {
+        inner = format!("f(1 + f(1 + {inner}))");
+    }
+    let src = format!(
+        "int f(int x) {{ return x; }} int main() {{ return {inner} + f(2) + f(3) + f(4); }}"
+    );
+    let _ = compile(&src, &Options::plain());
+}
+
+#[test]
+fn deep_statement_nesting() {
+    let mut body = "acc = acc + 1;".to_string();
+    for d in 0..40 {
+        body = format!("if (acc >= {d}) {{ {body} }}");
+    }
+    let src = format!(
+        "int main() {{ int acc; acc = 0; {body} print_int(acc); return 0; }}"
+    );
+    check_against_interp(&src, &[]);
+}
+
+#[test]
+fn nested_loops_with_breaks_target_correct_levels() {
+    check_against_interp(
+        r#"
+        int main() {
+            int i; int j; int k; int count;
+            count = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) {
+                    if (j == 3) break;
+                    for (k = 0; k < 5; k = k + 1) {
+                        if (k == i) continue;
+                        if (k == 4) break;
+                        count = count + 1;
+                    }
+                }
+            }
+            print_int(count);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn i16_immediate_boundaries_in_constants() {
+    check_against_interp(
+        r#"
+        int main() {
+            print_int(32767);
+            print_int(-32768);
+            print_int(32768);
+            print_int(-32769);
+            print_int(65536);
+            print_int(-2147483647 - 1);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn recursion_to_moderate_depth_with_frame_churn() {
+    check_against_interp(
+        r#"
+        int down(int n, int acc) {
+            int local[8];
+            local[n % 8] = acc;
+            if (n == 0) return acc + local[0];
+            return down(n - 1, acc + n);
+        }
+        int main() {
+            print_int(down(200, 0));
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn chk_instrumentation_counts_match_stores() {
+    let src = r#"
+        int g;
+        int main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) g = g + i;
+            return g;
+        }
+    "#;
+    let plain = compile(src, &Options::plain()).unwrap();
+    let cp = compile(src, &Options::codepatch()).unwrap();
+    let pad = compile(src, &Options::nop_padding()).unwrap();
+    // Instrumented image grows by exactly one word per traced store.
+    assert_eq!(
+        cp.program.len() - plain.program.len(),
+        plain.debug.traced_store_count as usize
+    );
+    assert_eq!(
+        pad.program.len() - plain.program.len(),
+        plain.debug.traced_store_count as usize
+    );
+    assert_eq!(pad.debug.pad_pcs.len(), plain.debug.traced_store_count as usize);
+    // Pad pcs each precede a store.
+    for &pc in &pad.debug.pad_pcs {
+        let idx = ((pc - databp_machine::CODE_BASE) / 4) as usize;
+        assert!(pad.program.code[idx + 1].is_store());
+    }
+}
+
+#[test]
+fn arguments_pass_through_registers_correctly() {
+    check_against_interp(
+        r#"
+        int combine(int a, int b, int c, int d) {
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        int main() {
+            print_int(combine(1, 2, 3, 4));
+            print_int(combine(combine(1, 1, 1, 1), 0, 0, 1));
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}

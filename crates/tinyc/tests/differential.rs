@@ -1,0 +1,329 @@
+//! Differential tests: compiled execution vs. the reference interpreter.
+//!
+//! Because the interpreter mirrors the machine's address-space layout and
+//! heap allocator, output, exit code, and even printed pointer-derived
+//! values must match exactly, for every compilation mode.
+
+use databp_machine::{Machine, NoHooks, StopReason};
+use databp_tinyc::{compile, interpret, lower, Options};
+
+fn machine_run(src: &str, args: &[i32], opts: &Options) -> (Vec<u8>, i32) {
+    let compiled = compile(src, opts).expect("compile error");
+    let mut m = Machine::new();
+    m.load(&compiled.program);
+    m.set_args(args.to_vec());
+    assert_eq!(
+        m.run(&mut NoHooks, 100_000_000).expect("machine error"),
+        StopReason::Halted
+    );
+    (m.take_output(), m.exit_code())
+}
+
+fn check_differential(src: &str, args: &[i32]) {
+    let hir = lower(src).expect("compile error");
+    let oracle = interpret(&hir, args, 200_000_000).expect("interp error");
+    for opts in [Options::plain(), Options::codepatch(), Options::codepatch_loopopt()] {
+        let (out, code) = machine_run(src, args, &opts);
+        assert_eq!(
+            out, oracle.output,
+            "output mismatch under {opts:?}\nmachine: {}\ninterp:  {}",
+            String::from_utf8_lossy(&out),
+            String::from_utf8_lossy(&oracle.output),
+        );
+        assert_eq!(code, oracle.exit_code, "exit code mismatch under {opts:?}");
+    }
+}
+
+#[test]
+fn diff_sieve_of_eratosthenes() {
+    check_differential(
+        r#"
+        int flags[200];
+        int main() {
+            int i; int j; int count;
+            count = 0;
+            for (i = 2; i < 200; i = i + 1) flags[i] = 1;
+            for (i = 2; i < 200; i = i + 1) {
+                if (flags[i]) {
+                    count = count + 1;
+                    for (j = i + i; j < 200; j = j + i) flags[j] = 0;
+                }
+            }
+            print_int(count);
+            return count;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_linked_list_with_heap_churn() {
+    check_differential(
+        r#"
+        struct Node { int val; struct Node *next; };
+        struct Node *push(struct Node *head, int v) {
+            struct Node *n;
+            n = (struct Node*)malloc(sizeof(struct Node));
+            n->val = v;
+            n->next = head;
+            return n;
+        }
+        int main() {
+            struct Node *head;
+            struct Node *p;
+            struct Node *q;
+            int i; int sum;
+            head = (struct Node*)0;
+            for (i = 1; i <= 50; i = i + 1) head = push(head, i);
+            sum = 0;
+            p = head;
+            while (p != (struct Node*)0) {
+                sum = sum + p->val;
+                q = p->next;
+                free((char*)p);
+                p = q;
+            }
+            print_int(sum);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_string_processing() {
+    check_differential(
+        r#"
+        char buf[64];
+        int length(char *s) {
+            int n;
+            n = 0;
+            while (s[n]) n = n + 1;
+            return n;
+        }
+        void reverse(char *s) {
+            int i; int j; char t;
+            i = 0;
+            j = length(s) - 1;
+            while (i < j) {
+                t = s[i]; s[i] = s[j]; s[j] = t;
+                i = i + 1; j = j - 1;
+            }
+        }
+        void copy(char *dst, char *src) {
+            int i;
+            i = 0;
+            while (src[i]) { dst[i] = src[i]; i = i + 1; }
+            dst[i] = '\0';
+        }
+        int main() {
+            copy(buf, "data breakpoints");
+            reverse(buf);
+            print_str(buf);
+            print_char('\n');
+            print_int(length(buf));
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_matrix_multiply_fixed_point() {
+    check_differential(
+        r#"
+        int a[16];
+        int b[16];
+        int c[16];
+        int main() {
+            int i; int j; int k; int acc;
+            for (i = 0; i < 16; i = i + 1) { a[i] = i * 3 - 7; b[i] = 11 - i; }
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    acc = 0;
+                    for (k = 0; k < 4; k = k + 1) {
+                        acc = acc + a[i * 4 + k] * b[k * 4 + j];
+                    }
+                    c[i * 4 + j] = acc;
+                }
+            }
+            for (i = 0; i < 16; i = i + 1) print_int(c[i]);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_recursive_quicksort_on_heap_array() {
+    check_differential(
+        r#"
+        void qsort_ints(int *a, int lo, int hi) {
+            int p; int i; int j; int t;
+            if (lo >= hi) return;
+            p = a[(lo + hi) / 2];
+            i = lo; j = hi;
+            while (i <= j) {
+                while (a[i] < p) i = i + 1;
+                while (a[j] > p) j = j - 1;
+                if (i <= j) {
+                    t = a[i]; a[i] = a[j]; a[j] = t;
+                    i = i + 1; j = j - 1;
+                }
+            }
+            qsort_ints(a, lo, j);
+            qsort_ints(a, i, hi);
+        }
+        int main() {
+            int *a;
+            int i; int seed;
+            a = (int*)malloc(100 * sizeof(int));
+            seed = 12345;
+            for (i = 0; i < 100; i = i + 1) {
+                seed = seed * 1103515245 + 12345;
+                a[i] = (seed >> 16) % 1000;
+            }
+            qsort_ints(a, 0, 99);
+            for (i = 0; i < 100; i = i + 10) print_int(a[i]);
+            for (i = 1; i < 100; i = i + 1) {
+                if (a[i - 1] > a[i]) { print_str("UNSORTED\n"); return 1; }
+            }
+            free((char*)a);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_static_counters_and_args() {
+    check_differential(
+        r#"
+        int visit() { static int n; n = n + 1; return n; }
+        int main() {
+            int i;
+            for (i = 0; i < arg(0); i = i + 1) visit();
+            print_int(visit());
+            return arg(1);
+        }
+        "#,
+        &[7, 3],
+    );
+}
+
+#[test]
+fn diff_realloc_growth_pattern() {
+    check_differential(
+        r#"
+        int main() {
+            int *v;
+            int cap; int len; int i; int sum;
+            cap = 4; len = 0;
+            v = (int*)malloc(cap * sizeof(int));
+            for (i = 0; i < 100; i = i + 1) {
+                if (len == cap) {
+                    cap = cap * 2;
+                    v = (int*)realloc((char*)v, cap * sizeof(int));
+                }
+                v[len] = i * i;
+                len = len + 1;
+            }
+            sum = 0;
+            for (i = 0; i < len; i = i + 1) sum = sum + v[i];
+            print_int(sum);
+            print_int(cap);
+            free((char*)v);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_char_int_mixing_and_shifts() {
+    check_differential(
+        r#"
+        int main() {
+            char c;
+            int i;
+            int h;
+            h = 0;
+            for (i = 0; i < 26; i = i + 1) {
+                c = 'a' + i;
+                h = ((h << 5) - h + c) % 1000003;
+                if (h < 0) h = h + 1000003;
+            }
+            print_int(h);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_pointer_to_pointer_and_addressing() {
+    check_differential(
+        r#"
+        int main() {
+            int x; int y;
+            int *p;
+            int **pp;
+            x = 10; y = 20;
+            p = &x;
+            pp = &p;
+            **pp = 99;
+            print_int(x);
+            *pp = &y;
+            **pp = 77;
+            print_int(y);
+            print_int(*&x);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}
+
+#[test]
+fn diff_eight_puzzle_style_search_step() {
+    // A miniature of the BPS workload's inner loop: grid moves + scoring.
+    check_differential(
+        r#"
+        int grid[9];
+        int dist(int pos, int val) {
+            int r1; int c1; int r2; int c2; int d;
+            if (val == 0) return 0;
+            r1 = pos / 3; c1 = pos % 3;
+            r2 = (val - 1) / 3; c2 = (val - 1) % 3;
+            d = r1 - r2; if (d < 0) d = -d;
+            r1 = c1 - c2; if (r1 < 0) r1 = -r1;
+            return d + r1;
+        }
+        int score() {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 9; i = i + 1) s = s + dist(i, grid[i]);
+            return s;
+        }
+        int main() {
+            int i; int t; int best;
+            for (i = 0; i < 9; i = i + 1) grid[i] = (i * 7 + 3) % 9;
+            best = score();
+            for (i = 0; i < 8; i = i + 1) {
+                t = grid[i]; grid[i] = grid[i + 1]; grid[i + 1] = t;
+                if (score() < best) best = score();
+            }
+            print_int(best);
+            return 0;
+        }
+        "#,
+        &[],
+    );
+}

@@ -1,0 +1,104 @@
+//! Property test: randomly generated integer expressions produce the same
+//! value under compiled execution and the reference interpreter.
+
+use databp_machine::{Machine, NoHooks};
+use databp_tinyc::{compile, interpret, lower, Options};
+use proptest::prelude::*;
+
+/// A random expression AST rendered to source text. Division and modulo
+/// guard against zero divisors by construction (`| 1`).
+#[derive(Debug, Clone)]
+enum E {
+    K(i32),
+    Var(u8),
+    Un(&'static str, Box<E>),
+    Bin(&'static str, Box<E>, Box<E>),
+    DivSafe(Box<E>, Box<E>, bool),
+}
+
+impl E {
+    fn render(&self, out: &mut String) {
+        match self {
+            E::K(v) => out.push_str(&format!("({v})")),
+            E::Var(i) => out.push_str(&format!("v{}", i % 4)),
+            E::Un(op, a) => {
+                out.push('(');
+                out.push_str(op);
+                a.render(out);
+                out.push(')');
+            }
+            E::Bin(op, a, b) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(op);
+                b.render(out);
+                out.push(')');
+            }
+            E::DivSafe(a, b, modulo) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(if *modulo { "%" } else { "/" });
+                out.push_str("((");
+                b.render(out);
+                out.push_str(")|1)");
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-1000i32..1000).prop_map(E::K), (0u8..4).prop_map(E::Var)];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("-"), Just("~"), Just("!")], inner.clone())
+                .prop_map(|(op, a)| E::Un(op, Box::new(a))),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), any::<bool>())
+                .prop_map(|(a, b, m)| E::DivSafe(Box::new(a), Box::new(b), m)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_matches_interpreted(e in arb_expr(), vals in prop::array::uniform4(-100i32..100)) {
+        let mut body = String::new();
+        e.render(&mut body);
+        let src = format!(
+            "int main() {{ int v0; int v1; int v2; int v3; \
+             v0 = {}; v1 = {}; v2 = {}; v3 = {}; \
+             print_int({body}); return 0; }}",
+            vals[0], vals[1], vals[2], vals[3]
+        );
+        let hir = lower(&src).expect("fuzz source must compile");
+        let oracle = interpret(&hir, &[], 10_000_000).expect("interp");
+        let compiled = compile(&src, &Options::codepatch()).unwrap();
+        let mut m = Machine::new();
+        m.load(&compiled.program);
+        m.run(&mut NoHooks, 10_000_000).expect("machine");
+        prop_assert_eq!(m.output(), &oracle.output[..]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property test: randomly generated *programs* (statements, loops,
+//! branches, calls) behave identically compiled and interpreted.
+//!
+//! Complements `expr_fuzz` (pure expressions) with control flow: nested
+//! loops with bounded trip counts, `if`/`else`, `break`/`continue`,
+//! helper-function calls, and global/local mutation.
+
+use databp_machine::{Machine, NoHooks};
+use databp_tinyc::{compile, interpret, lower, Options};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum S {
+    AssignLocal(u8, E),
+    AssignGlobal(u8, E),
+    Print(E),
+    If(E, Vec<S>, Vec<S>),
+    /// Bounded loop: `for (li = 0; li < k; li = li + 1) body` over a
+    /// dedicated counter so it always terminates.
+    Loop(u8, Vec<S>),
+    BreakIf(E),
+    ContinueIf(E),
+    CallHelper(E),
+}
+
+#[derive(Debug, Clone)]
+enum E {
+    K(i32),
+    Local(u8),
+    Global(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self, out: &mut String) {
+        match self {
+            E::K(v) => out.push_str(&format!("({v})")),
+            E::Local(i) => out.push_str(&format!("v{}", i % 3)),
+            E::Global(i) => out.push_str(&format!("g{}", i % 3)),
+            E::Add(a, b) => bin(out, a, "+", b),
+            E::Sub(a, b) => bin(out, a, "-", b),
+            E::Mul(a, b) => bin(out, a, "*", b),
+            E::Lt(a, b) => bin(out, a, "<", b),
+            E::And(a, b) => bin(out, a, "&&", b),
+        }
+    }
+}
+
+fn bin(out: &mut String, a: &E, op: &str, b: &E) {
+    out.push('(');
+    a.render(out);
+    out.push_str(op);
+    b.render(out);
+    out.push(')');
+}
+
+fn render_stmts(stmts: &[S], depth: usize, loop_depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 1);
+    for s in stmts {
+        match s {
+            S::AssignLocal(i, e) => {
+                out.push_str(&format!("{pad}v{} = ", i % 3));
+                e.render(out);
+                out.push_str(";\n");
+            }
+            S::AssignGlobal(i, e) => {
+                out.push_str(&format!("{pad}g{} = ", i % 3));
+                e.render(out);
+                out.push_str(";\n");
+            }
+            S::Print(e) => {
+                out.push_str(&format!("{pad}print_int("));
+                e.render(out);
+                out.push_str(");\n");
+            }
+            S::If(c, t, f) => {
+                out.push_str(&format!("{pad}if ("));
+                c.render(out);
+                out.push_str(") {\n");
+                render_stmts(t, depth + 1, loop_depth, out);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(f, depth + 1, loop_depth, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::Loop(k, body) => {
+                let li = format!("li{depth}");
+                out.push_str(&format!(
+                    "{pad}for ({li} = 0; {li} < {}; {li} = {li} + 1) {{\n",
+                    k % 5 + 1
+                ));
+                render_stmts(body, depth + 1, loop_depth + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::BreakIf(c) => {
+                if loop_depth > 0 {
+                    out.push_str(&format!("{pad}if ("));
+                    c.render(out);
+                    out.push_str(") break;\n");
+                }
+            }
+            S::ContinueIf(c) => {
+                if loop_depth > 0 {
+                    out.push_str(&format!("{pad}if ("));
+                    c.render(out);
+                    out.push_str(") continue;\n");
+                }
+            }
+            S::CallHelper(e) => {
+                out.push_str(&format!("{pad}g0 = helper("));
+                e.render(out);
+                out.push_str(");\n");
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(E::K),
+        (0u8..3).prop_map(E::Local),
+        (0u8..3).prop_map(E::Global),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        (0u8..3, arb_expr()).prop_map(|(i, e)| S::AssignLocal(i, e)),
+        (0u8..3, arb_expr()).prop_map(|(i, e)| S::AssignGlobal(i, e)),
+        arb_expr().prop_map(S::Print),
+        arb_expr().prop_map(S::BreakIf),
+        arb_expr().prop_map(S::ContinueIf),
+        arb_expr().prop_map(S::CallHelper),
+    ];
+    leaf.prop_recursive(3, 40, 4, |inner| {
+        prop_oneof![
+            (arb_expr(), prop::collection::vec(inner.clone(), 0..4),
+             prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            (0u8..5, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(k, b)| S::Loop(k, b)),
+        ]
+    })
+}
+
+fn render_program(stmts: &[S]) -> String {
+    let mut body = String::new();
+    render_stmts(stmts, 0, 0, &mut body);
+    format!(
+        "int g0; int g1; int g2;\n\
+         int helper(int x) {{ return x * 2 - g1; }}\n\
+         int main() {{\n    \
+             int v0; int v1; int v2;\n    \
+             int li0; int li1; int li2; int li3; int li4;\n    \
+             v0 = 3; v1 = -7; v2 = 11;\n\
+         {body}    \
+             print_int(g0 + g1 + g2 + v0 + v1 + v2);\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_program_matches_interpreter(stmts in prop::collection::vec(arb_stmt(), 1..10)) {
+        let src = render_program(&stmts);
+        let hir = lower(&src).expect("generated program must compile");
+        let oracle = interpret(&hir, &[], 50_000_000).expect("interp");
+        for opts in [Options::plain(), Options::codepatch(), Options::codepatch_loopopt()] {
+            let compiled = compile(&src, &opts).unwrap();
+            let mut m = Machine::new();
+            m.load(&compiled.program);
+            m.run(&mut NoHooks, 50_000_000).expect("machine");
+            prop_assert_eq!(
+                m.output(), &oracle.output[..],
+                "divergence under {:?} for program:\n{}", opts, src
+            );
+            prop_assert_eq!(m.exit_code(), oracle.exit_code);
+        }
+    }
+}

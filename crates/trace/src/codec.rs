@@ -1,0 +1,383 @@
+//! Binary and text codecs for program event traces.
+//!
+//! The binary format is little-endian with a magic header, suitable for
+//! archiving phase-1 output so phase-2 experiments rerun without
+//! re-executing the workload. The text format is a line-oriented mirror
+//! for inspection and diffing.
+//!
+//! ```text
+//! binary: "DBPT" u32:version u64:count { u8:tag ... }*
+//! text:   one record per line, e.g.
+//!           I G3 00100000 00100004
+//!           W 00010004 00100000 00100004
+//!           E 17            (enter)
+//!           X 17            (exit)
+//! ```
+
+use crate::event::{Event, ObjectDesc, Trace};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DBPT";
+const VERSION: u32 = 1;
+
+const TAG_INSTALL: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_ENTER: u8 = 4;
+const TAG_EXIT: u8 = 5;
+
+const OBJ_GLOBAL: u8 = 1;
+const OBJ_LOCAL: u8 = 2;
+const OBJ_HEAP: u8 = 3;
+
+/// Errors from reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceCodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic, version, tag, or malformed text line; the message names
+    /// the offending element.
+    Malformed(String),
+}
+
+impl fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCodecError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceCodecError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl Error for TraceCodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceCodecError::Io(e) => Some(e),
+            TraceCodecError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceCodecError {
+    fn from(e: io::Error) -> Self {
+        TraceCodecError::Io(e)
+    }
+}
+
+fn write_obj(w: &mut impl Write, obj: &ObjectDesc) -> io::Result<()> {
+    match *obj {
+        ObjectDesc::Global { id } => {
+            w.write_all(&[OBJ_GLOBAL])?;
+            w.write_all(&id.to_le_bytes())
+        }
+        ObjectDesc::Local { func, var } => {
+            w.write_all(&[OBJ_LOCAL])?;
+            w.write_all(&func.to_le_bytes())?;
+            w.write_all(&var.to_le_bytes())
+        }
+        ObjectDesc::Heap { seq } => {
+            w.write_all(&[OBJ_HEAP])?;
+            w.write_all(&seq.to_le_bytes())
+        }
+    }
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_obj(r: &mut impl Read) -> Result<ObjectDesc, TraceCodecError> {
+    Ok(match read_u8(r)? {
+        OBJ_GLOBAL => ObjectDesc::Global { id: read_u32(r)? },
+        OBJ_LOCAL => ObjectDesc::Local { func: read_u16(r)?, var: read_u16(r)? },
+        OBJ_HEAP => ObjectDesc::Heap { seq: read_u32(r)? },
+        t => return Err(TraceCodecError::Malformed(format!("object tag {t}"))),
+    })
+}
+
+/// Serializes `trace` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_binary(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.events() {
+        match *e {
+            Event::Install { obj, ba, ea } => {
+                w.write_all(&[TAG_INSTALL])?;
+                write_obj(w, &obj)?;
+                w.write_all(&ba.to_le_bytes())?;
+                w.write_all(&ea.to_le_bytes())?;
+            }
+            Event::Remove { obj, ba, ea } => {
+                w.write_all(&[TAG_REMOVE])?;
+                write_obj(w, &obj)?;
+                w.write_all(&ba.to_le_bytes())?;
+                w.write_all(&ea.to_le_bytes())?;
+            }
+            Event::Write { pc, ba, ea } => {
+                w.write_all(&[TAG_WRITE])?;
+                w.write_all(&pc.to_le_bytes())?;
+                w.write_all(&ba.to_le_bytes())?;
+                w.write_all(&ea.to_le_bytes())?;
+            }
+            Event::Enter { func } => {
+                w.write_all(&[TAG_ENTER])?;
+                w.write_all(&func.to_le_bytes())?;
+            }
+            Event::Exit { func } => {
+                w.write_all(&[TAG_EXIT])?;
+                w.write_all(&func.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a binary trace.
+///
+/// # Errors
+///
+/// [`TraceCodecError::Malformed`] on bad magic/version/tags;
+/// [`TraceCodecError::Io`] on underlying read failure (including
+/// truncation).
+pub fn read_binary(r: &mut impl Read) -> Result<Trace, TraceCodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceCodecError::Malformed("bad magic".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(TraceCodecError::Malformed(format!("unsupported version {version}")));
+    }
+    let count = read_u64(r)?;
+    let mut trace = Trace::new();
+    for _ in 0..count {
+        let e = match read_u8(r)? {
+            TAG_INSTALL => {
+                let obj = read_obj(r)?;
+                Event::Install { obj, ba: read_u32(r)?, ea: read_u32(r)? }
+            }
+            TAG_REMOVE => {
+                let obj = read_obj(r)?;
+                Event::Remove { obj, ba: read_u32(r)?, ea: read_u32(r)? }
+            }
+            TAG_WRITE => Event::Write { pc: read_u32(r)?, ba: read_u32(r)?, ea: read_u32(r)? },
+            TAG_ENTER => Event::Enter { func: read_u16(r)? },
+            TAG_EXIT => Event::Exit { func: read_u16(r)? },
+            t => return Err(TraceCodecError::Malformed(format!("event tag {t}"))),
+        };
+        trace.push(e);
+    }
+    Ok(trace)
+}
+
+/// Serializes `trace` in the line-oriented text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_text(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
+    for e in trace.events() {
+        match *e {
+            Event::Install { obj, ba, ea } => writeln!(w, "I {obj} {ba:08x} {ea:08x}")?,
+            Event::Remove { obj, ba, ea } => writeln!(w, "R {obj} {ba:08x} {ea:08x}")?,
+            Event::Write { pc, ba, ea } => writeln!(w, "W {pc:08x} {ba:08x} {ea:08x}")?,
+            Event::Enter { func } => writeln!(w, "E {func}")?,
+            Event::Exit { func } => writeln!(w, "X {func}")?,
+        }
+    }
+    Ok(())
+}
+
+fn parse_obj(s: &str) -> Result<ObjectDesc, TraceCodecError> {
+    let bad = || TraceCodecError::Malformed(format!("object descriptor {s:?}"));
+    let (kind, rest) = s.split_at(1);
+    match kind {
+        "G" => Ok(ObjectDesc::Global { id: rest.parse().map_err(|_| bad())? }),
+        "H" => Ok(ObjectDesc::Heap { seq: rest.parse().map_err(|_| bad())? }),
+        "L" => {
+            let (f, v) = rest.split_once('.').ok_or_else(bad)?;
+            Ok(ObjectDesc::Local {
+                func: f.parse().map_err(|_| bad())?,
+                var: v.parse().map_err(|_| bad())?,
+            })
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn parse_hex(s: &str) -> Result<u32, TraceCodecError> {
+    u32::from_str_radix(s, 16)
+        .map_err(|_| TraceCodecError::Malformed(format!("hex field {s:?}")))
+}
+
+/// Parses the text format.
+///
+/// # Errors
+///
+/// [`TraceCodecError::Malformed`] with the offending line content.
+pub fn read_text(input: &str) -> Result<Trace, TraceCodecError> {
+    let mut trace = Trace::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || TraceCodecError::Malformed(format!("line {}: {line:?}", lineno + 1));
+        let tag = parts.next().ok_or_else(bad)?;
+        let e = match tag {
+            "I" | "R" => {
+                let obj = parse_obj(parts.next().ok_or_else(bad)?)?;
+                let ba = parse_hex(parts.next().ok_or_else(bad)?)?;
+                let ea = parse_hex(parts.next().ok_or_else(bad)?)?;
+                if tag == "I" {
+                    Event::Install { obj, ba, ea }
+                } else {
+                    Event::Remove { obj, ba, ea }
+                }
+            }
+            "W" => {
+                let pc = parse_hex(parts.next().ok_or_else(bad)?)?;
+                let ba = parse_hex(parts.next().ok_or_else(bad)?)?;
+                let ea = parse_hex(parts.next().ok_or_else(bad)?)?;
+                Event::Write { pc, ba, ea }
+            }
+            "E" => Event::Enter {
+                func: parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?,
+            },
+            "X" => Event::Exit {
+                func: parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?,
+            },
+            _ => return Err(bad()),
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        trace.push(e);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            Event::Install { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+            Event::Enter { func: 3 },
+            Event::Install {
+                obj: ObjectDesc::Local { func: 3, var: 1 },
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Write { pc: 0x1_0010, ba: 0xeffff0, ea: 0xeffff4 },
+            Event::Install { obj: ObjectDesc::Heap { seq: 2 }, ba: 0x40_0000, ea: 0x40_0010 },
+            Event::Write { pc: 0x1_0020, ba: 0x40_0008, ea: 0x40_0009 },
+            Event::Remove { obj: ObjectDesc::Heap { seq: 2 }, ba: 0x40_0000, ea: 0x40_0010 },
+            Event::Remove {
+                obj: ObjectDesc::Local { func: 3, var: 1 },
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Exit { func: 3 },
+            Event::Remove { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+        ])
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = read_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blank_lines() {
+        let t = read_text("# comment\n\nE 1\nX 1\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&mut &b"NOPE\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, TraceCodecError::Malformed(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample_trace(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_binary(&mut buf.as_slice()),
+            Err(TraceCodecError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text("Q 1 2 3").is_err());
+        assert!(read_text("W zz 0 0").is_err());
+        assert!(read_text("I G1 0 0 extra").is_err());
+        assert!(read_text("I Z1 0 0").is_err());
+        assert!(read_text("L no-dot").is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert_eq!(read_binary(&mut buf.as_slice()).unwrap(), t);
+        let mut tb = Vec::new();
+        write_text(&t, &mut tb).unwrap();
+        assert_eq!(read_text(std::str::from_utf8(&tb).unwrap()).unwrap(), t);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceCodecError::Malformed("line 3".into());
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The program event trace — phase 1 of the paper's experiment.
+//!
+//! The paper post-processes each benchmark's assembly so that one run
+//! emits a *program event trace* consisting of `InstallMonitorEvent`,
+//! `RemoveMonitorEvent`, and `WriteEvent` records (Section 6). The trace
+//! is **independent of any particular monitor session**: install/remove
+//! events are emitted for *every* program object any session might
+//! monitor, and the phase-2 simulator later decides which of them are
+//! active.
+//!
+//! This crate defines:
+//!
+//! * [`Event`] / [`ObjectDesc`] — the trace record types (we add
+//!   `Enter`/`Exit` function-boundary records, which the paper's
+//!   `AllHeapInFunc` session type implicitly requires in order to know
+//!   the dynamic call context of each allocation);
+//! * [`Tracer`] — a [`databp_machine::Hooks`] implementation that emits a
+//!   trace from an instrumented run, given per-function frame layouts and
+//!   the global table ([`FrameMap`], [`GlobalSpec`]);
+//! * binary and text codecs ([`write_binary`] / [`read_binary`],
+//!   [`write_text`] / [`read_text`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use databp_trace::{Event, ObjectDesc, Trace};
+//!
+//! let trace = Trace::from_events(vec![
+//!     Event::Install { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+//!     Event::Write { pc: 0x1_0000, ba: 0x10_0000, ea: 0x10_0004 },
+//!     Event::Remove { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+//! ]);
+//! assert_eq!(trace.stats().writes, 1);
+//! ```
+
+mod codec;
+mod event;
+mod tracer;
+
+pub use codec::{read_binary, read_text, write_binary, write_text, TraceCodecError};
+pub use event::{Event, ObjectDesc, Trace, TraceStats};
+pub use tracer::{FrameMap, FrameVar, GlobalSpec, Tracer};

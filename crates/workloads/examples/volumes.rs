@@ -1,0 +1,17 @@
+//! Prints trace/base statistics for every workload at full scale.
+fn main() {
+    for w in databp_workloads::Workload::all() {
+        let p = databp_workloads::prepare(&w).unwrap();
+        let s = p.trace.stats();
+        println!(
+            "{:6} instr={:9} base_ms={:8.2} writes={:8} installs={:8} heap={:6} events={:9}",
+            w.name,
+            p.instructions,
+            p.base_us / 1000.0,
+            s.writes,
+            s.installs,
+            s.heap_objects,
+            p.trace.len()
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The five benchmark workloads (Section 6), as `tinyc` programs.
+//!
+//! The paper's programs — GCC, CommonTeX, Spice, QCD, BPS — are
+//! unavailable in this environment (and their SPARC toolchain more so),
+//! so each is substituted by a synthetic program written to match its
+//! *monitor-session profile*, the property the experiments actually
+//! depend on:
+//!
+//! | Name | Paper analogue | Profile mirrored |
+//! |------|----------------|------------------|
+//! | `cc` | GCC 1.4 on rtl.c | many functions, heap AST/symbol nodes, global cursors, recursion |
+//! | `tex` | CommonTeX 2.9 | statics + buffers, **no heap** (zero OneHeap sessions in Table 1) |
+//! | `spice` | Spice 3c1 | few long-lived heap arrays, numeric inner loops |
+//! | `qcd` | Perfect-Club QCD | global lattice arrays, **no heap**, hot induction variables |
+//! | `bps` | Bayesian 8-puzzle solver | thousands of small heap search nodes |
+//!
+//! Every workload is deterministic (embedded LCG seeds) and parameterized
+//! by machine arguments so tests can run scaled-down instances.
+
+use databp_machine::{Machine, MachineError, StopReason};
+use databp_tinyc::{compile, Compiled, Options};
+use databp_trace::{Trace, Tracer};
+
+/// One benchmark workload: a source program plus run parameters.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (`cc`, `tex`, `spice`, `qcd`, `bps`).
+    pub name: &'static str,
+    /// The paper's program this one stands in for.
+    pub paper_analogue: &'static str,
+    /// `tinyc` source text.
+    pub source: &'static str,
+    /// Machine arguments (workload scale).
+    pub args: Vec<i32>,
+    /// Instruction budget for one run.
+    pub max_steps: u64,
+}
+
+const CC_SRC: &str = include_str!("programs/cc.c");
+const TEX_SRC: &str = include_str!("programs/tex.c");
+const SPICE_SRC: &str = include_str!("programs/spice.c");
+const QCD_SRC: &str = include_str!("programs/qcd.c");
+const BPS_SRC: &str = include_str!("programs/bps.c");
+
+impl Workload {
+    /// The five workloads at full (harness) scale, in Table 1 row order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload {
+                name: "cc",
+                paper_analogue: "GCC v1.4 compiling rtl.c",
+                source: CC_SRC,
+                args: vec![6],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "tex",
+                paper_analogue: "CommonTeX v2.9 on a 4-page document",
+                source: TEX_SRC,
+                args: vec![24],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "spice",
+                paper_analogue: "Spice v3c1 transient analysis",
+                source: SPICE_SRC,
+                args: vec![10, 14],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "qcd",
+                paper_analogue: "Perfect-Club QCD test simulation",
+                source: QCD_SRC,
+                args: vec![24, 20],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "bps",
+                paper_analogue: "BPS 8-puzzle Bayesian solver",
+                source: BPS_SRC,
+                args: vec![400, 1500],
+                max_steps: 80_000_000,
+            },
+        ]
+    }
+
+    /// Looks up a workload by name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::all().into_iter().find(|w| w.name == name)
+    }
+
+    /// A scaled-down variant for unit tests (same code paths, smaller
+    /// trace).
+    pub fn scaled_down(mut self) -> Workload {
+        self.args = match self.name {
+            "cc" => vec![2],
+            "tex" => vec![5],
+            "spice" => vec![6, 4],
+            "qcd" => vec![10, 4],
+            "bps" => vec![400, 150],
+            _ => self.args,
+        };
+        self
+    }
+}
+
+/// A workload compiled in all three instrumentation variants, traced, and
+/// timed — everything the harness needs for every experiment.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The workload description.
+    pub workload: Workload,
+    /// Uninstrumented build (NH / VM / TP runs, trace generation).
+    pub plain: Compiled,
+    /// CodePatch-instrumented build.
+    pub codepatch: Compiled,
+    /// CodePatch build with Section 9 loop optimization info.
+    pub codepatch_loopopt: Compiled,
+    /// Nop-padded build for the Section 3.3 dynamic-patching hybrid.
+    pub nop_padded: Compiled,
+    /// The phase-1 program event trace.
+    pub trace: Trace,
+    /// Base (uninstrumented, unmonitored) execution time, microseconds.
+    pub base_us: f64,
+    /// Instructions retired by the base run.
+    pub instructions: u64,
+    /// Program output (for workload integrity checks).
+    pub output: Vec<u8>,
+}
+
+/// Compiles and runs `workload` once under the tracer — the paper's
+/// phase 1 — returning the trace plus base timing.
+///
+/// # Errors
+///
+/// [`MachineError`] if the run faults or exhausts `max_steps`.
+///
+/// # Panics
+///
+/// Panics if the embedded workload source fails to compile (a build bug,
+/// covered by tests).
+pub fn prepare(workload: &Workload) -> Result<Prepared, MachineError> {
+    let plain = compile(workload.source, &Options::plain())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.name));
+    let codepatch = compile(workload.source, &Options::codepatch())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile (cp): {e}", workload.name));
+    let codepatch_loopopt = compile(workload.source, &Options::codepatch_loopopt())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile (cp+opt): {e}", workload.name));
+    let nop_padded = compile(workload.source, &Options::nop_padding())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile (nop): {e}", workload.name));
+
+    let mut m = Machine::new();
+    m.load(&plain.program);
+    m.set_args(workload.args.clone());
+    let mut tracer = Tracer::new(plain.debug.frame_map(), plain.debug.global_specs())
+        .with_untraced(plain.debug.untraced_store_pcs.clone());
+    tracer.begin();
+    let stop = m.run(&mut tracer, workload.max_steps)?;
+    assert_eq!(stop, StopReason::Halted, "workload {} did not halt", workload.name);
+    let trace = tracer.finish();
+    Ok(Prepared {
+        workload: workload.clone(),
+        base_us: m.cost().total_us(m.cost_model()),
+        instructions: m.cost().instructions,
+        output: m.take_output(),
+        plain,
+        codepatch,
+        codepatch_loopopt,
+        nop_padded,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use databp_machine::NoHooks;
+    use databp_tinyc::interpret;
+    use databp_trace::{Event, ObjectDesc};
+
+    fn run_scaled(name: &str) -> Prepared {
+        prepare(&Workload::by_name(name).unwrap().scaled_down()).unwrap()
+    }
+
+    #[test]
+    fn all_five_workloads_exist() {
+        let names: Vec<_> = Workload::all().iter().map(|w| w.name).collect();
+        assert_eq!(names, ["cc", "tex", "spice", "qcd", "bps"]);
+        assert!(Workload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn workloads_compile_run_and_match_interpreter() {
+        for w in Workload::all() {
+            let w = w.scaled_down();
+            let p = prepare(&w).unwrap();
+            assert!(!p.output.is_empty(), "{} produced no output", w.name);
+            // Differential check against the reference interpreter.
+            let hir = databp_tinyc::lower(w.source).unwrap();
+            let oracle = interpret(&hir, &w.args, 400_000_000).unwrap();
+            assert_eq!(p.output, oracle.output, "{}: machine vs interpreter divergence", w.name);
+        }
+    }
+
+    #[test]
+    fn codepatch_builds_behave_identically() {
+        for w in Workload::all() {
+            let w = w.scaled_down();
+            let p = prepare(&w).unwrap();
+            for build in [&p.codepatch, &p.codepatch_loopopt, &p.nop_padded] {
+                let mut m = Machine::new();
+                m.load(&build.program);
+                m.set_args(w.args.clone());
+                m.run(&mut NoHooks, w.max_steps).unwrap();
+                assert_eq!(m.take_output(), p.output, "{} instrumented run differs", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn heap_profiles_match_paper_table_1() {
+        // CTEX and QCD have zero heap sessions; GCC/Spice/BPS have many.
+        let heap_installs = |p: &Prepared| {
+            p.trace
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(e, Event::Install { obj: ObjectDesc::Heap { .. }, .. })
+                })
+                .count()
+        };
+        assert_eq!(heap_installs(&run_scaled("tex")), 0, "tex must not allocate");
+        assert_eq!(heap_installs(&run_scaled("qcd")), 0, "qcd must not allocate");
+        assert!(heap_installs(&run_scaled("cc")) > 20);
+        assert!(heap_installs(&run_scaled("spice")) >= 4);
+        assert!(heap_installs(&run_scaled("bps")) > 100, "bps allocates many nodes");
+    }
+
+    #[test]
+    fn traces_are_write_rich() {
+        for w in Workload::all() {
+            let w = w.scaled_down();
+            let p = prepare(&w).unwrap();
+            let s = p.trace.stats();
+            assert!(s.writes > 1_000, "{}: only {} writes", w.name, s.writes);
+            assert_eq!(s.installs, s.removes, "{}: unbalanced trace", w.name);
+            assert!(p.base_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn loopopt_build_has_hoist_groups() {
+        for name in ["cc", "tex", "spice", "qcd", "bps"] {
+            let p = run_scaled(name);
+            assert!(
+                !p.codepatch_loopopt.debug.loopopts.is_empty(),
+                "{name} has loops with invariant scalar stores"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_scaled("bps");
+        let b = run_scaled("bps");
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.base_us, b.base_us);
+    }
+}

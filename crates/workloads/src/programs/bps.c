@@ -1,0 +1,224 @@
+// bps — the BPS analogue (paper: Bayesian problem solver arranging 8
+// numbers on a 3x3 grid by sliding into the empty cell).
+//
+// A best-first 8-puzzle solver: search nodes are heap-allocated, kept in
+// a priority-ordered open list keyed by Manhattan-distance heuristic plus
+// path cost, expanded into up to four sliding moves, and checked against
+// a closed list of visited grid hashes. This allocates *thousands* of
+// small heap nodes — the profile behind BPS's 4184 OneHeap sessions in
+// Table 1.
+//
+// arg(0) = scramble moves for the initial grid (default 26)
+// arg(1) = node expansion budget (default 1400)
+
+struct State {
+    int grid[9];
+    int empty;           // index of the empty cell
+    int g;               // path cost
+    int h;               // heuristic
+    struct State *next;  // open-list link
+};
+
+int seed;
+int nodes_allocated;
+int nodes_expanded;
+int nodes_pruned;
+int solved_at;
+
+int closed[4096];        // visited hash table (open addressing, no heap)
+int closed_count;
+
+struct State *open_list;
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+int manhattan(int *grid) {
+    int i; int v; int d; int t;
+    d = 0;
+    for (i = 0; i < 9; i = i + 1) {
+        v = grid[i];
+        if (v == 0) continue;
+        t = (i / 3) - ((v - 1) / 3);
+        if (t < 0) t = -t;
+        d = d + t;
+        t = (i % 3) - ((v - 1) % 3);
+        if (t < 0) t = -t;
+        d = d + t;
+    }
+    return d;
+}
+
+int hash_grid(int *grid) {
+    int i; int h;
+    h = 0;
+    for (i = 0; i < 9; i = i + 1) h = h * 9 + grid[i];
+    if (h < 0) h = -h;
+    return h;
+}
+
+// Returns 1 when the grid hash was already visited; records it otherwise.
+int visited(int *grid) {
+    int h; int slot; int probes;
+    h = hash_grid(grid);
+    slot = h % 4096;
+    probes = 0;
+    while (probes < 4096) {
+        if (closed[slot] == 0) {
+            closed[slot] = h + 1;
+            closed_count = closed_count + 1;
+            return 0;
+        }
+        if (closed[slot] == h + 1) return 1;
+        slot = (slot + 1) % 4096;
+        probes = probes + 1;
+    }
+    return 1; // table full: treat as visited
+}
+
+struct State *new_state(int *grid, int g) {
+    struct State *s;
+    int i;
+    s = (struct State*)malloc(sizeof(struct State));
+    for (i = 0; i < 9; i = i + 1) s->grid[i] = grid[i];
+    s->empty = 0;
+    for (i = 0; i < 9; i = i + 1) {
+        if (grid[i] == 0) s->empty = i;
+    }
+    s->g = g;
+    s->h = manhattan(grid);
+    s->next = (struct State*)0;
+    nodes_allocated = nodes_allocated + 1;
+    return s;
+}
+
+// Evidence-weighted priority: the Bayesian solver of the paper combines
+// a weak heuristic belief with path cost; halving h keeps it admissible
+// but widens the search frontier considerably.
+int fval(struct State *s) {
+    return s->g + s->h / 2;
+}
+
+// Priority-ordered insert by f = g + h/2.
+void push_open(struct State *s) {
+    struct State *p;
+    int f;
+    f = fval(s);
+    if (open_list == (struct State*)0 || fval(open_list) >= f) {
+        s->next = open_list;
+        open_list = s;
+        return;
+    }
+    p = open_list;
+    while (p->next != (struct State*)0 && fval(p->next) < f) {
+        p = p->next;
+    }
+    s->next = p->next;
+    p->next = s;
+}
+
+struct State *pop_open() {
+    struct State *s;
+    s = open_list;
+    if (s != (struct State*)0) open_list = s->next;
+    return s;
+}
+
+// Tries to slide the tile at (empty + delta) into the empty cell.
+void expand_move(struct State *s, int delta, int valid) {
+    int tmp[9];
+    int i; int from;
+    struct State *child;
+    if (!valid) return;
+    from = s->empty + delta;
+    for (i = 0; i < 9; i = i + 1) tmp[i] = s->grid[i];
+    tmp[s->empty] = tmp[from];
+    tmp[from] = 0;
+    if (visited(tmp)) {
+        nodes_pruned = nodes_pruned + 1;
+        return;
+    }
+    child = new_state(tmp, s->g + 1);
+    push_open(child);
+}
+
+void expand(struct State *s) {
+    int e;
+    e = s->empty;
+    expand_move(s, -3, e >= 3);
+    expand_move(s, 3, e < 6);
+    expand_move(s, -1, e % 3 != 0);
+    expand_move(s, 1, e % 3 != 2);
+    nodes_expanded = nodes_expanded + 1;
+}
+
+void scramble(int *grid, int moves) {
+    int i; int e; int d; int ok; int t;
+    for (i = 0; i < 9; i = i + 1) grid[i] = (i + 1) % 9;
+    // grid = 1..8,0: solved with empty at index 8.
+    e = 8;
+    for (i = 0; i < moves; i = i + 1) {
+        d = rnd(4);
+        ok = 0;
+        if (d == 0 && e >= 3) { t = -3; ok = 1; }
+        if (d == 1 && e < 6) { t = 3; ok = 1; }
+        if (d == 2 && e % 3 != 0) { t = -1; ok = 1; }
+        if (d == 3 && e % 3 != 2) { t = 1; ok = 1; }
+        if (ok) {
+            grid[e] = grid[e + t];
+            grid[e + t] = 0;
+            e = e + t;
+        }
+    }
+}
+
+void free_open() {
+    struct State *p;
+    p = pop_open();
+    while (p != (struct State*)0) {
+        free((char*)p);
+        p = pop_open();
+    }
+}
+
+int main() {
+    int start[9];
+    int budget;
+    int moves;
+    struct State *s;
+    solved_at = -1;
+    seed = 8888;
+    moves = arg(0);
+    if (moves <= 0) moves = 26;
+    scramble(start, moves);
+    budget = arg(1);
+    if (budget <= 0) budget = 1400;
+    open_list = (struct State*)0;
+    push_open(new_state(start, 0));
+    while (budget > 0) {
+        s = pop_open();
+        if (s == (struct State*)0) break;
+        if (s->h == 0) {
+            solved_at = s->g;
+            free((char*)s);
+            break;
+        }
+        expand(s);
+        free((char*)s);
+        budget = budget - 1;
+    }
+    free_open();
+    print_str("bps: solved_at=");
+    print_int(solved_at);
+    print_str("bps: allocated=");
+    print_int(nodes_allocated);
+    print_str("bps: expanded=");
+    print_int(nodes_expanded);
+    print_str("bps: pruned=");
+    print_int(nodes_pruned);
+    print_str("bps: closed=");
+    print_int(closed_count);
+    return 0;
+}

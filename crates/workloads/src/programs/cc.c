@@ -1,0 +1,372 @@
+// cc — the GCC analogue (paper: GCC v1.4 compiling rtl.c).
+//
+// A miniature compiler front end: it lexes and parses an arithmetic
+// expression language with variables and let-bindings from a
+// synthetically generated source buffer, builds ASTs on the heap, interns
+// symbols into a heap-allocated symbol table, folds constants, and
+// "emits" stack code into a static buffer. Like a real compiler it mixes
+// hot induction variables, a large population of short-lived heap nodes,
+// global cursors, and deep recursion — the profile that gives GCC its
+// spread of monitor sessions in the paper.
+//
+// arg(0) = number of "files" to compile (default harness value 6).
+
+int NKINDS = 5;
+
+// --- source buffer (generated, not parsed from a literal) ---
+char src[4096];
+int src_len;
+int src_pos;
+int seed;
+
+// --- token state ---
+int tok_kind;   // 0 eof, 1 num, 2 ident, 3 punct
+int tok_value;
+int tok_punct;
+char tok_name[16];
+
+// --- emitted "object code" ---
+int emit_buf[2048];
+int emit_len;
+
+// --- statistics the compiler prints, like -ftime-report ---
+int nodes_built;
+int symbols_interned;
+int folds_done;
+
+struct Node {
+    int kind;            // 0 num, 1 var, 2 binop, 3 let
+    int value;           // number / operator char / symbol id
+    struct Node *left;
+    struct Node *right;
+};
+
+struct Sym {
+    int id;
+    int hash;
+    int value;
+    struct Sym *next;
+};
+
+struct Sym *symtab;
+int next_sym_id;
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+void put(char c) {
+    if (src_len < 4095) {
+        src[src_len] = c;
+        src_len = src_len + 1;
+    }
+}
+
+// Emit a random expression of the given depth into src[].
+void gen_expr(int depth) {
+    int choice;
+    if (depth <= 0) {
+        choice = rnd(3);
+        if (choice == 0) {
+            put('a' + rnd(6));          // variable
+        } else {
+            put('1' + rnd(9));          // small number
+            if (rnd(2)) put('0' + rnd(10));
+        }
+        return;
+    }
+    choice = rnd(4);
+    if (choice == 0) {
+        put('(');
+        gen_expr(depth - 1);
+        put(')');
+        return;
+    }
+    gen_expr(depth - 1);
+    if (choice == 1) put('+');
+    if (choice == 2) put('*');
+    if (choice == 3) put('-');
+    gen_expr(depth - 1);
+}
+
+void gen_source(int stmts) {
+    int i;
+    src_len = 0;
+    for (i = 0; i < stmts; i = i + 1) {
+        put('a' + rnd(6));
+        put('=');
+        gen_expr(3);
+        put(';');
+    }
+    put('\0');
+    src_pos = 0;
+}
+
+// --- lexer ---
+void next_token() {
+    char c;
+    int n;
+    c = src[src_pos];
+    while (c == ' ') {
+        src_pos = src_pos + 1;
+        c = src[src_pos];
+    }
+    if (c == '\0') {
+        tok_kind = 0;
+        return;
+    }
+    if (c >= '0' && c <= '9') {
+        tok_kind = 1;
+        tok_value = 0;
+        while (c >= '0' && c <= '9') {
+            tok_value = tok_value * 10 + (c - '0');
+            src_pos = src_pos + 1;
+            c = src[src_pos];
+        }
+        return;
+    }
+    if (c >= 'a' && c <= 'z') {
+        tok_kind = 2;
+        n = 0;
+        while (c >= 'a' && c <= 'z') {
+            if (n < 15) {
+                tok_name[n] = c;
+                n = n + 1;
+            }
+            src_pos = src_pos + 1;
+            c = src[src_pos];
+        }
+        tok_name[n] = '\0';
+        return;
+    }
+    tok_kind = 3;
+    tok_punct = c;
+    src_pos = src_pos + 1;
+}
+
+// --- symbol table (heap linked list, like obstack-less GCC) ---
+int hash_name(char *s) {
+    int h;
+    int i;
+    h = 0;
+    for (i = 0; s[i]; i = i + 1) h = h * 31 + s[i];
+    if (h < 0) h = -h;
+    return h;
+}
+
+struct Sym *intern(char *name) {
+    struct Sym *p;
+    int h;
+    h = hash_name(name);
+    p = symtab;
+    while (p != (struct Sym*)0) {
+        if (p->hash == h) return p;
+        p = p->next;
+    }
+    p = (struct Sym*)malloc(sizeof(struct Sym));
+    p->id = next_sym_id;
+    next_sym_id = next_sym_id + 1;
+    p->hash = h;
+    p->value = 0;
+    p->next = symtab;
+    symtab = p;
+    symbols_interned = symbols_interned + 1;
+    return p;
+}
+
+// --- parser (recursive descent, heap AST) ---
+struct Node *new_node(int kind, int value) {
+    struct Node *n;
+    n = (struct Node*)malloc(sizeof(struct Node));
+    n->kind = kind;
+    n->value = value;
+    n->left = (struct Node*)0;
+    n->right = (struct Node*)0;
+    nodes_built = nodes_built + 1;
+    return n;
+}
+
+struct Node *parse_factor() {
+    struct Node *n;
+    struct Sym *s;
+    if (tok_kind == 1) {
+        n = new_node(0, tok_value);
+        next_token();
+        return n;
+    }
+    if (tok_kind == 2) {
+        s = intern(tok_name);
+        n = new_node(1, s->id);
+        next_token();
+        return n;
+    }
+    if (tok_kind == 3 && tok_punct == '(') {
+        next_token();
+        n = parse_expr();
+        if (tok_kind == 3 && tok_punct == ')') next_token();
+        return n;
+    }
+    // error recovery: treat as zero
+    next_token();
+    return new_node(0, 0);
+}
+
+struct Node *parse_term() {
+    struct Node *n;
+    struct Node *b;
+    n = parse_factor();
+    while (tok_kind == 3 && tok_punct == '*') {
+        next_token();
+        b = new_node(2, '*');
+        b->left = n;
+        b->right = parse_factor();
+        n = b;
+    }
+    return n;
+}
+
+struct Node *parse_expr() {
+    struct Node *n;
+    struct Node *b;
+    n = parse_term();
+    while (tok_kind == 3 && (tok_punct == '+' || tok_punct == '-')) {
+        int op;
+        op = tok_punct;
+        next_token();
+        b = new_node(2, op);
+        b->left = n;
+        b->right = parse_term();
+        n = b;
+    }
+    return n;
+}
+
+// --- constant folding pass ---
+struct Node *fold(struct Node *n) {
+    if (n == (struct Node*)0) return n;
+    n->left = fold(n->left);
+    n->right = fold(n->right);
+    if (n->kind == 2 && n->left != (struct Node*)0 && n->right != (struct Node*)0) {
+        if (n->left->kind == 0 && n->right->kind == 0) {
+            int v;
+            if (n->value == '+') v = n->left->value + n->right->value;
+            if (n->value == '-') v = n->left->value - n->right->value;
+            if (n->value == '*') v = n->left->value * n->right->value;
+            free((char*)n->left);
+            free((char*)n->right);
+            n->kind = 0;
+            n->value = v;
+            n->left = (struct Node*)0;
+            n->right = (struct Node*)0;
+            folds_done = folds_done + 1;
+        }
+    }
+    return n;
+}
+
+// --- code "emission" (stack machine) ---
+void emit(int word) {
+    if (emit_len < 2048) {
+        emit_buf[emit_len] = word;
+        emit_len = emit_len + 1;
+    }
+}
+
+void codegen(struct Node *n) {
+    if (n == (struct Node*)0) return;
+    if (n->kind == 0) {
+        emit(1);
+        emit(n->value);
+        return;
+    }
+    if (n->kind == 1) {
+        emit(2);
+        emit(n->value);
+        return;
+    }
+    codegen(n->left);
+    codegen(n->right);
+    emit(3);
+    emit(n->value);
+}
+
+void free_ast(struct Node *n) {
+    if (n == (struct Node*)0) return;
+    free_ast(n->left);
+    free_ast(n->right);
+    free((char*)n);
+}
+
+int compile_file(int stmts) {
+    struct Node *ast;
+    struct Sym *lhs;
+    int checksum;
+    gen_source(stmts);
+    next_token();
+    emit_len = 0;
+    checksum = 0;
+    while (tok_kind != 0) {
+        if (tok_kind == 2) {
+            lhs = intern(tok_name);
+            next_token();
+            if (tok_kind == 3 && tok_punct == '=') next_token();
+            ast = parse_expr();
+            ast = fold(ast);
+            codegen(ast);
+            emit(4);
+            emit(lhs->id);
+            free_ast(ast);
+            if (tok_kind == 3 && tok_punct == ';') next_token();
+        } else {
+            next_token();
+        }
+    }
+    {
+        int i;
+        for (i = 0; i < emit_len; i = i + 1) {
+            checksum = checksum * 17 + emit_buf[i];
+            checksum = checksum % 1000003;
+            if (checksum < 0) checksum = checksum + 1000003;
+        }
+    }
+    return checksum;
+}
+
+void free_symtab() {
+    struct Sym *p;
+    struct Sym *q;
+    p = symtab;
+    while (p != (struct Sym*)0) {
+        q = p->next;
+        free((char*)p);
+        p = q;
+    }
+    symtab = (struct Sym*)0;
+}
+
+int main() {
+    int files;
+    int f;
+    int total;
+    files = arg(0);
+    if (files <= 0) files = 6;
+    seed = 20260706;
+    symtab = (struct Sym*)0;
+    next_sym_id = 0;
+    total = 0;
+    for (f = 0; f < files; f = f + 1) {
+        total = total + compile_file(40 + f * 5);
+        total = total % 1000003;
+    }
+    print_str("cc: checksum=");
+    print_int(total);
+    print_str("cc: nodes=");
+    print_int(nodes_built);
+    print_str("cc: syms=");
+    print_int(symbols_interned);
+    print_str("cc: folds=");
+    print_int(folds_done);
+    free_symtab();
+    return 0;
+}

@@ -1,0 +1,95 @@
+// qcd — the QCD analogue (paper: quantum chromodynamic simulation from
+// the Perfect Club suite).
+//
+// A 2-D lattice field relaxation in fixed point: repeated checkerboard
+// sweeps update every site from its four neighbours plus a quenched
+// random gauge term, with periodic boundaries, followed by a plaquette-
+// style reduction. Everything lives in global arrays — like the paper's
+// QCD it allocates **nothing on the heap**, has few functions, and its
+// inner loops hammer induction variables and array elements (the paper's
+// expensive NativeHardware sessions).
+//
+// arg(0) = lattice edge L (default 24, L*L sites)
+// arg(1) = sweeps (default 20)
+
+int L;
+int field[1600];
+int gauge[1600];
+int seed;
+int sweeps_done;
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+void init_lattice() {
+    int i;
+    for (i = 0; i < L * L; i = i + 1) {
+        field[i] = rnd(2048) - 1024;
+        gauge[i] = rnd(512) - 256;
+    }
+}
+
+int idx(int x, int y) {
+    if (x < 0) x = x + L;
+    if (x >= L) x = x - L;
+    if (y < 0) y = y + L;
+    if (y >= L) y = y - L;
+    return y * L + x;
+}
+
+void sweep(int parity) {
+    int x; int y; int s; int nb;
+    for (y = 0; y < L; y = y + 1) {
+        for (x = 0; x < L; x = x + 1) {
+            if ((x + y) % 2 != parity) continue;
+            s = idx(x, y);
+            nb = field[idx(x - 1, y)] + field[idx(x + 1, y)]
+               + field[idx(x, y - 1)] + field[idx(x, y + 1)];
+            field[s] = (nb + gauge[s] * 4) / 4 - (field[s] >> 4);
+        }
+    }
+    sweeps_done = sweeps_done + 1;
+}
+
+int plaquette() {
+    int x; int y; int acc;
+    static int evaluations;
+    acc = 0;
+    for (y = 0; y < L; y = y + 1) {
+        for (x = 0; x < L; x = x + 1) {
+            acc = acc + field[idx(x, y)] * field[idx(x + 1, y)] / 1024
+                      + field[idx(x, y)] * field[idx(x, y + 1)] / 1024;
+            acc = acc % 1000003;
+        }
+    }
+    evaluations = evaluations + 1;
+    if (acc < 0) acc = acc + 1000003;
+    return acc;
+}
+
+int main() {
+    int sweeps; int s;
+    int action;
+    L = arg(0);
+    if (L <= 0) L = 24;
+    if (L * L > 1600) L = 40;
+    sweeps = arg(1);
+    if (sweeps <= 0) sweeps = 20;
+    seed = 777;
+    init_lattice();
+    action = 0;
+    for (s = 0; s < sweeps; s = s + 1) {
+        sweep(0);
+        sweep(1);
+        action = (action + plaquette()) % 1000003;
+    }
+    print_str("qcd: action=");
+    print_int(action);
+    print_str("qcd: sweeps=");
+    print_int(sweeps_done);
+    print_str("qcd: f0=");
+    print_int(field[0]);
+    return 0;
+}

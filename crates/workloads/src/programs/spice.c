@@ -1,0 +1,174 @@
+// spice — the Spice 3c1 analogue (paper: transient analysis of a
+// differential pair, 20ns at 5ns steps).
+//
+// Fixed-point (Q16) nodal analysis of an RC ladder driven by a step
+// source: each timestep stamps the conductance matrix, runs Gaussian
+// elimination with partial pivoting, and back-substitutes node voltages.
+// The matrices and vectors are heap-allocated once and reused — few,
+// long-lived heap objects, matching Spice's moderate OneHeap session
+// count against its enormous write volume.
+//
+// arg(0) = number of circuit nodes (default 10)
+// arg(1) = number of timesteps (default 14)
+
+int FP = 65536;          // Q16 fixed point
+
+int seed;
+int pivots_swapped;
+int steps_done;
+int g_dt;                // timestep (Q16)
+int g_vin;               // source voltage (Q16)
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+int fpmul(int a, int b) {
+    // (a * b) >> 16 with headroom management: compute in pieces to avoid
+    // overflow for our small magnitudes.
+    int ah; int al; int r;
+    ah = a >> 8;
+    al = a & 255;
+    r = ah * b + ((al * (b >> 8)) >> 0);
+    return (r >> 8) + ((al * (b & 255)) >> 16);
+}
+
+int fpdiv(int a, int b) {
+    int sign; int q; int rem; int i;
+    if (b == 0) return 0;
+    sign = 1;
+    if (a < 0) { a = -a; sign = -sign; }
+    if (b < 0) { b = -b; sign = -sign; }
+    // Long division producing 16 fractional bits.
+    q = (a / b) << 16;
+    rem = a % b;
+    for (i = 0; i < 16; i = i + 1) {
+        rem = rem * 2;
+        q = q << 0;
+        if (rem >= b) {
+            rem = rem - b;
+            q = q | (1 << (15 - i));
+        }
+    }
+    return q * sign;
+}
+
+// Stamp the conductance matrix for an RC ladder (timestep g_dt, source
+// g_vin).
+void stamp(int *a, int *rhs, int *v_prev, int n) {
+    int i; int j;
+    int g;      // series conductance
+    int gc;     // capacitor companion conductance  C/dt
+    g = FP / 2;                 // 0.5 S
+    gc = fpdiv(FP / 4, g_dt);     // C = 0.25
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            a[i * n + j] = 0;
+        }
+        rhs[i] = 0;
+    }
+    for (i = 0; i < n; i = i + 1) {
+        // Series resistor to previous node (node -1 is the source).
+        a[i * n + i] = a[i * n + i] + g;
+        if (i > 0) {
+            a[i * n + (i - 1)] = a[i * n + (i - 1)] - g;
+            a[(i - 1) * n + i] = a[(i - 1) * n + i] - g;
+            a[(i - 1) * n + (i - 1)] = a[(i - 1) * n + (i - 1)] + g;
+        } else {
+            rhs[0] = rhs[0] + fpmul(g, g_vin);
+        }
+        // Capacitor to ground: companion model g_c + history current.
+        a[i * n + i] = a[i * n + i] + gc;
+        rhs[i] = rhs[i] + fpmul(gc, v_prev[i]);
+    }
+}
+
+// Gaussian elimination with partial pivoting, in place.
+void solve(int *a, int *rhs, int *x, int n) {
+    int col; int row; int best; int i; int j; int t; int factor;
+    for (col = 0; col < n; col = col + 1) {
+        best = col;
+        for (row = col + 1; row < n; row = row + 1) {
+            int av; int bv;
+            av = a[row * n + col];
+            if (av < 0) av = -av;
+            bv = a[best * n + col];
+            if (bv < 0) bv = -bv;
+            if (av > bv) best = row;
+        }
+        if (best != col) {
+            pivots_swapped = pivots_swapped + 1;
+            for (j = 0; j < n; j = j + 1) {
+                t = a[col * n + j];
+                a[col * n + j] = a[best * n + j];
+                a[best * n + j] = t;
+            }
+            t = rhs[col];
+            rhs[col] = rhs[best];
+            rhs[best] = t;
+        }
+        for (row = col + 1; row < n; row = row + 1) {
+            if (a[col * n + col] == 0) continue;
+            factor = fpdiv(a[row * n + col], a[col * n + col]);
+            for (j = col; j < n; j = j + 1) {
+                a[row * n + j] = a[row * n + j] - fpmul(factor, a[col * n + j]);
+            }
+            rhs[row] = rhs[row] - fpmul(factor, rhs[col]);
+        }
+    }
+    for (i = n - 1; i >= 0; i = i - 1) {
+        int acc;
+        acc = rhs[i];
+        for (j = i + 1; j < n; j = j + 1) {
+            acc = acc - fpmul(a[i * n + j], x[j]);
+        }
+        if (a[i * n + i] != 0) {
+            x[i] = fpdiv(acc, a[i * n + i]);
+        } else {
+            x[i] = 0;
+        }
+    }
+}
+
+int main() {
+    int n; int steps; int s; int i;
+    int *a; int *rhs; int *v; int *v_prev;
+    int checksum;
+    n = arg(0);
+    if (n <= 0) n = 10;
+    steps = arg(1);
+    if (steps <= 0) steps = 14;
+    seed = 3991;
+    a = (int*)malloc(n * n * sizeof(int));
+    rhs = (int*)malloc(n * sizeof(int));
+    v = (int*)malloc(n * sizeof(int));
+    v_prev = (int*)malloc(n * sizeof(int));
+    for (i = 0; i < n; i = i + 1) v_prev[i] = 0;
+    g_dt = FP / 8;
+    g_vin = 5 * FP;
+    checksum = 0;
+    for (s = 0; s < steps; s = s + 1) {
+        stamp(a, rhs, v_prev, n);
+        solve(a, rhs, v, n);
+        for (i = 0; i < n; i = i + 1) {
+            v_prev[i] = v[i];
+            checksum = (checksum * 13 + (v[i] >> 8)) % 1000003;
+            if (checksum < 0) checksum = checksum + 1000003;
+        }
+        steps_done = steps_done + 1;
+    }
+    print_str("spice: checksum=");
+    print_int(checksum);
+    print_str("spice: v0=");
+    print_int(v_prev[0] / (FP / 1000));   // millivolts-ish
+    print_str("spice: pivots=");
+    print_int(pivots_swapped);
+    print_str("spice: steps=");
+    print_int(steps_done);
+    free((char*)a);
+    free((char*)rhs);
+    free((char*)v);
+    free((char*)v_prev);
+    return 0;
+}

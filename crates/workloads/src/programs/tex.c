@@ -1,0 +1,138 @@
+// tex — the CommonTeX analogue (paper: CTEX formatting a 4-page document).
+//
+// A paragraph formatter: it synthesizes a document of words, measures
+// them, breaks paragraphs into justified lines with a greedy
+// minimum-raggedness pass, tracks page state in function statics, and
+// accumulates a layout checksum. Faithful to the CTEX row of Table 1:
+// plenty of locals, statics, and globals — and **zero heap allocation**,
+// so this workload produces no OneHeap/AllHeapInFunc sessions.
+//
+// arg(0) = number of paragraphs (default 24).
+
+int LINE_WIDTH = 64;
+
+int seed;
+char word[24];
+int word_len;
+char line[80];
+int line_len;
+int line_words;
+int out_checksum;
+int total_lines;
+int total_pages;
+int badness_sum;
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+// Synthesizes the next word of the document into word[].
+void next_word() {
+    int i;
+    word_len = 3 + rnd(8);
+    for (i = 0; i < word_len; i = i + 1) {
+        word[i] = 'a' + rnd(26);
+    }
+    word[word_len] = '\0';
+}
+
+// Hyphenation-ish: a long word may split; returns the split point or 0.
+int split_point(int width_left) {
+    static int hyphens;
+    if (word_len > 7 && width_left >= 4 && width_left < word_len + 1) {
+        hyphens = hyphens + 1;
+        return width_left - 1;
+    }
+    return 0;
+}
+
+void flush_line() {
+    int i;
+    int gaps;
+    int pad;
+    static int lines_on_page;
+    // Justify: distribute padding into the checksum (we do not store the
+    // padded text, only account for it, like a galley pass).
+    gaps = line_words - 1;
+    if (gaps < 1) gaps = 1;
+    pad = LINE_WIDTH - line_len;
+    if (pad < 0) pad = 0;
+    badness_sum = badness_sum + pad * pad;
+    for (i = 0; i < line_len; i = i + 1) {
+        out_checksum = (out_checksum * 31 + line[i] + pad / gaps) % 1000003;
+        if (out_checksum < 0) out_checksum = out_checksum + 1000003;
+    }
+    total_lines = total_lines + 1;
+    lines_on_page = lines_on_page + 1;
+    if (lines_on_page == 40) {
+        lines_on_page = 0;
+        total_pages = total_pages + 1;
+    }
+    line_len = 0;
+    line_words = 0;
+}
+
+void append_word(int from, int upto) {
+    int i;
+    if (line_words > 0) {
+        line[line_len] = ' ';
+        line_len = line_len + 1;
+    }
+    for (i = from; i < upto; i = i + 1) {
+        line[line_len] = word[i];
+        line_len = line_len + 1;
+    }
+    line_words = line_words + 1;
+}
+
+void paragraph(int words) {
+    int w;
+    int room;
+    int sp;
+    for (w = 0; w < words; w = w + 1) {
+        next_word();
+        room = LINE_WIDTH - line_len;
+        if (line_words > 0) room = room - 1;
+        if (word_len <= room) {
+            append_word(0, word_len);
+        } else {
+            sp = split_point(room);
+            if (sp > 0) {
+                append_word(0, sp);
+                line[line_len] = '-';
+                line_len = line_len + 1;
+                flush_line();
+                append_word(sp, word_len);
+            } else {
+                flush_line();
+                append_word(0, word_len);
+            }
+        }
+    }
+    if (line_len > 0) flush_line();
+    // Paragraph separation.
+    total_lines = total_lines + 1;
+}
+
+int main() {
+    int paras;
+    int p;
+    paras = arg(0);
+    if (paras <= 0) paras = 24;
+    seed = 19920401;
+    line_len = 0;
+    line_words = 0;
+    for (p = 0; p < paras; p = p + 1) {
+        paragraph(60 + rnd(60));
+    }
+    print_str("tex: checksum=");
+    print_int(out_checksum);
+    print_str("tex: lines=");
+    print_int(total_lines);
+    print_str("tex: pages=");
+    print_int(total_pages);
+    print_str("tex: badness=");
+    print_int(badness_sum);
+    return 0;
+}

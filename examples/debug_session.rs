@@ -1,0 +1,82 @@
+//! A scripted `qei` debugging session — the paper's QEI debugger brought
+//! to life. Walks the same bug hunt as `find_corruption`, but through
+//! debugger commands: conditional data breakpoints, backtraces, and
+//! disassembly.
+//!
+//! ```sh
+//! cargo run --example debug_session
+//! ```
+
+use databp::machine::Machine; // re-export check: the debuggee is a real machine
+use databp_debugger::{Debugger, RunState};
+
+const PROGRAM: &str = r#"
+    int inventory[8];
+    int audit_total;
+
+    void restock(int slot, int amount) {
+        inventory[slot] = inventory[slot] + amount;
+    }
+
+    int audit() {
+        int i; int sum;
+        sum = 0;
+        for (i = 0; i < 8; i = i + 1) sum = sum + inventory[i];
+        audit_total = sum;
+        return sum;
+    }
+
+    int main() {
+        int day;
+        for (day = 0; day < 9; day = day + 1) {
+            restock(day % 9, 10);     // BUG: slot 8 does not exist
+        }
+        print_int(audit());
+        return 0;
+    }
+"#;
+
+fn run(dbg: &mut Debugger, cmd: &str) -> String {
+    let out = dbg.execute(cmd).unwrap_or_else(|e| format!("error: {e}"));
+    println!("(qei) {cmd}");
+    for line in out.lines() {
+        println!("      {line}");
+    }
+    out
+}
+
+fn main() {
+    let _ = std::mem::size_of::<Machine>(); // the umbrella crate is wired up
+    let mut dbg = Debugger::launch(PROGRAM, &[]).expect("program compiles");
+    println!("qei: loaded inventory program\n");
+
+    // The symptom: the audit prints 80, not the expected 90. Something is
+    // writing `audit_total` besides audit(). Pause only on the suspicious
+    // value: a raw restock amount (10) is not a plausible running sum.
+    run(&mut dbg, "watch audit_total if == 10");
+    run(&mut dbg, "info watch");
+
+    let mut out = run(&mut dbg, "run");
+    let mut caught_rogue = false;
+    while dbg.state() == RunState::Paused {
+        if out.contains("in restock()") {
+            // Caught red-handed: restock() has no business writing the
+            // audit total. Inspect the crime scene.
+            caught_rogue = true;
+            run(&mut dbg, "backtrace");
+            run(&mut dbg, "disasm 4");
+        }
+        out = run(&mut dbg, "continue");
+    }
+    assert!(caught_rogue, "the rogue write must be caught in restock()");
+
+    run(&mut dbg, "output");
+    run(&mut dbg, "info watch");
+
+    println!(
+        "\nNine restocks of 10 should audit to 90, but the program prints 80:\n\
+         slot 8 is out of bounds, so one restock wrote `audit_total` instead of\n\
+         the array. The conditional data breakpoint paused exactly once — on the\n\
+         rogue store inside restock() — instead of on every legitimate write."
+    );
+}

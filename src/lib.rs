@@ -1,0 +1,57 @@
+//! **databp** — a reproduction of *Efficient Data Breakpoints*
+//! (Robert Wahbe, ASPLOS V, 1992) as a Rust workspace.
+//!
+//! The paper asks how a debugger should implement *data breakpoints*
+//! (watchpoints): the write-monitor service underneath must observe every
+//! store that could touch a monitored object. Four strategies are
+//! compared — hardware watch registers, page protection, trap patching,
+//! and code patching — by trace-driven simulation over five C programs,
+//! and code patching wins on practicality.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`machine`] — the simulated 32-bit RISC machine (MMU, watchpoint
+//!   registers, traps, cycle accounting);
+//! * [`tinyc`] — a C-subset compiler targeting it (plus a reference
+//!   interpreter used as a differential oracle);
+//! * [`trace`] — the program event trace (phase 1);
+//! * [`core`] — the write monitor service itself: the Appendix A.5
+//!   page-bitmap index and all four executable strategies;
+//! * [`sessions`] — the five monitor-session types and their enumeration;
+//! * [`sim`] — the one-pass phase-2 counting simulator;
+//! * [`models`] — the analytical cost models (Figures 3–6, Table 2);
+//! * [`workloads`] — the five synthetic benchmark programs;
+//! * [`harness`] — regenerates every table and figure (`repro` binary);
+//! * [`stats`] — the descriptive statistics of Table 4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use databp::core::{CodePatch, RangePlan};
+//! use databp::machine::Machine;
+//! use databp::tinyc::{compile, Options};
+//!
+//! // A program with a global counter...
+//! let src = "int hits; int main() { int i; for (i = 0; i < 5; i = i + 1) hits = hits + 1; return hits; }";
+//! let compiled = compile(src, &Options::codepatch()).expect("compiles");
+//!
+//! // ...watched by the paper's recommended strategy, CodePatch.
+//! let mut m = Machine::new();
+//! m.load(&compiled.program);
+//! let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+//! let report = CodePatch::default()
+//!     .run(&mut m, &compiled.debug, &plan, 1_000_000)
+//!     .expect("runs");
+//! assert_eq!(report.notification_count, 5); // one per write to `hits`
+//! ```
+
+pub use databp_core as core;
+pub use databp_harness as harness;
+pub use databp_machine as machine;
+pub use databp_models as models;
+pub use databp_sessions as sessions;
+pub use databp_sim as sim;
+pub use databp_stats as stats;
+pub use databp_tinyc as tinyc;
+pub use databp_trace as trace;
+pub use databp_workloads as workloads;

@@ -1,0 +1,74 @@
+//! Workspace-level integration: the full paper pipeline, exercised
+//! across crates exactly as the `repro` binary drives it.
+
+use databp::harness::{analyze, overheads_for};
+use databp::models::Approach;
+use databp::sessions::SessionKind;
+use databp::stats::Summary;
+use databp::workloads::Workload;
+
+#[test]
+fn pipeline_produces_table_rows_for_every_workload() {
+    for w in Workload::all() {
+        let w = w.scaled_down();
+        let r = analyze(&w);
+        assert!(!r.sessions.is_empty(), "{}: no surviving sessions", w.name);
+        for a in Approach::ALL {
+            let ovs = overheads_for(&r, a);
+            assert_eq!(ovs.len(), r.sessions.len());
+            let s = Summary::from_samples(&ovs);
+            assert!(s.min >= 0.0, "{} {a}: negative overhead", w.name);
+            assert!(s.max.is_finite());
+            assert!(s.t_mean <= s.max + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn table_1_shape_matches_paper() {
+    // The structural facts Table 1 shows: CTEX- and QCD-analogues have no
+    // heap sessions; the BPS-analogue's OneHeap population dwarfs its
+    // other session types.
+    let tex = analyze(&Workload::by_name("tex").unwrap().scaled_down());
+    let qcd = analyze(&Workload::by_name("qcd").unwrap().scaled_down());
+    let bps = analyze(&Workload::by_name("bps").unwrap().scaled_down());
+    for (name, r) in [("tex", &tex), ("qcd", &qcd)] {
+        let kc = r.kind_counts();
+        assert_eq!(kc[&SessionKind::OneHeap], 0, "{name}");
+        assert_eq!(kc[&SessionKind::AllHeapInFunc], 0, "{name}");
+    }
+    let kc = bps.kind_counts();
+    assert!(
+        kc[&SessionKind::OneHeap] > kc[&SessionKind::OneLocalAuto],
+        "bps: OneHeap {} should dominate locals {}",
+        kc[&SessionKind::OneHeap],
+        kc[&SessionKind::OneLocalAuto]
+    );
+}
+
+#[test]
+fn session_descriptions_are_human_readable() {
+    let r = analyze(&Workload::by_name("cc").unwrap().scaled_down());
+    for s in r.sessions.iter().take(50) {
+        let d = s.describe(&r.prepared.plain.debug);
+        assert!(d.contains("watch"), "{d}");
+        assert!(!d.contains('?'), "unresolved symbol in {d}");
+    }
+}
+
+#[test]
+fn counts_are_internally_consistent() {
+    let r = analyze(&Workload::by_name("spice").unwrap().scaled_down());
+    let writes = r.prepared.trace.stats().writes;
+    for (i, c) in r.counts4.iter().enumerate() {
+        assert_eq!(c.hit + c.miss, writes, "session {i}: hit+miss covers all writes");
+        assert_eq!(c.install, c.remove, "session {i}: balanced install/remove");
+        assert!(c.vm_protect >= c.vm_unprotect.saturating_sub(0));
+        assert!(
+            c.vm_active_page_miss <= c.miss,
+            "session {i}: APM is a subset of misses"
+        );
+        // 8K pages see at least as many active-page misses as 4K.
+        assert!(r.counts8[i].vm_active_page_miss >= c.vm_active_page_miss);
+    }
+}

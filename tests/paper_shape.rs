@@ -1,0 +1,129 @@
+//! The DESIGN.md fidelity targets: the paper's *qualitative* findings
+//! must hold on our substituted workloads. Absolute values differ (our
+//! substrate is a simulator); orderings and bands must not.
+
+use databp::harness::{analyze, analyze_all, expansion, overheads_for, Scale};
+use databp::models::{Approach, TimingVars};
+use databp::stats::Summary;
+use databp::workloads::Workload;
+
+fn summaries(name: &str) -> Vec<(Approach, Summary)> {
+    let r = analyze(&Workload::by_name(name).unwrap().scaled_down());
+    Approach::ALL
+        .iter()
+        .map(|&a| (a, Summary::from_samples(&overheads_for(&r, a))))
+        .collect()
+}
+
+fn get(s: &[(Approach, Summary)], a: Approach) -> Summary {
+    s.iter().find(|(x, _)| *x == a).expect("approach present").1
+}
+
+#[test]
+fn conclusion_ordering_nh_cp_vm_tp() {
+    // Section 9: "NativeHardware delivered the best overall performance.
+    // CodePatch was significantly more efficient than the other two
+    // approaches." NH's per-program t-mean advantage depends on a long
+    // tail of cold sessions, which only the session-rich programs have —
+    // the paper's GCC and BPS analogues here (our tex/qcd substitutes are
+    // much smaller than CommonTeX/QCD, so their few sessions are all
+    // hot). CP ≪ TP and CP ≪ VM-max hold universally.
+    for name in ["cc", "tex", "spice", "qcd", "bps"] {
+        let s = summaries(name);
+        let (vm, tp, cp) = (
+            get(&s, Approach::Vm4k),
+            get(&s, Approach::Tp),
+            get(&s, Approach::Cp),
+        );
+        assert!(cp.t_mean < tp.t_mean / 10.0, "{name}: CP ≪ TP");
+        assert!(cp.t_mean < vm.max, "{name}: VM's bad sessions dwarf CP");
+        assert!(
+            tp.t_mean > 20.0,
+            "{name}: TP is unacceptably slow (t-mean {})",
+            tp.t_mean
+        );
+    }
+    for name in ["cc", "spice", "bps"] {
+        let s = summaries(name);
+        assert!(
+            get(&s, Approach::Nh).t_mean < get(&s, Approach::Cp).t_mean,
+            "{name}: NH t-mean beats CP on session-rich programs"
+        );
+    }
+}
+
+#[test]
+fn cp_beats_nh_in_the_worst_case() {
+    // Figure 7's punchline: "for the most demanding monitor sessions,
+    // [CodePatch] provided better performance than even NativeHardware."
+    for name in ["cc", "tex", "spice", "qcd", "bps"] {
+        let s = summaries(name);
+        assert!(
+            get(&s, Approach::Cp).max < get(&s, Approach::Nh).max,
+            "{name}: CP max should undercut NH max"
+        );
+    }
+}
+
+#[test]
+fn cp_and_tp_have_low_variance_vm_and_nh_do_not() {
+    for name in ["cc", "bps"] {
+        let s = summaries(name);
+        let cp = get(&s, Approach::Cp);
+        let tp = get(&s, Approach::Tp);
+        let vm = get(&s, Approach::Vm4k);
+        let nh = get(&s, Approach::Nh);
+        // "CodePatch exhibited extremely low variance" — max within a
+        // small factor of the trimmed mean; same for TP.
+        assert!(cp.max / cp.t_mean < 20.0, "{name}: CP spread {}", cp.max / cp.t_mean);
+        assert!(tp.max / tp.t_mean < 1.5, "{name}: TP spread {}", tp.max / tp.t_mean);
+        // VM and NH blow up on their worst sessions by more than an
+        // order of magnitude over their typical ones.
+        assert!(
+            vm.max / vm.t_mean.max(0.01) > 10.0,
+            "{name}: VM spread {} too small",
+            vm.max / vm.t_mean.max(0.01)
+        );
+        assert!(
+            nh.max / nh.t_mean.max(0.01) > 10.0,
+            "{name}: NH spread {} too small",
+            nh.max / nh.t_mean.max(0.01)
+        );
+    }
+}
+
+#[test]
+fn vm_8k_never_cheaper_than_4k_on_average() {
+    for name in ["cc", "tex", "bps"] {
+        let r = analyze(&Workload::by_name(name).unwrap().scaled_down());
+        let m4 = Summary::from_samples(&overheads_for(&r, Approach::Vm4k)).mean;
+        let m8 = Summary::from_samples(&overheads_for(&r, Approach::Vm8k)).mean;
+        assert!(m8 >= m4 * 0.999, "{name}: VM-8K mean {m8} below VM-4K {m4}");
+    }
+}
+
+#[test]
+fn code_expansion_lands_in_the_paper_band() {
+    // "a modest increase of between 12% and 15%" at two words per check;
+    // we accept a slightly wider band since the ISA differs.
+    let results = analyze_all(Scale::Small);
+    for r in &results {
+        let (est, _) = expansion::expansion_row(r);
+        assert!(
+            est > 0.05 && est < 0.30,
+            "{}: estimated expansion {est} outside plausible band",
+            r.prepared.workload.name
+        );
+    }
+}
+
+#[test]
+fn timing_defaults_are_the_paper_table_2() {
+    let t = TimingVars::default();
+    assert_eq!(
+        (t.software_update_us, t.software_lookup_us),
+        (22.0, 2.75)
+    );
+    assert_eq!((t.nh_fault_us, t.vm_fault_us, t.tp_fault_us), (131.0, 561.0, 102.0));
+    assert_eq!((t.vm_protect_us, t.vm_unprotect_us), (80.0, 299.0));
+}
