@@ -34,7 +34,10 @@ fn builds() -> (Compiled, Compiled, Compiled) {
 
 fn bench_strategies(c: &mut Criterion) {
     let (plain, cp, cp_opt) = builds();
-    let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+    let plan = RangePlan {
+        globals: vec![0],
+        ..RangePlan::default()
+    };
     let mut g = c.benchmark_group("strategies/executable");
     g.sample_size(20);
 
@@ -43,7 +46,9 @@ fn bench_strategies(c: &mut Criterion) {
             let mut m = Machine::new();
             m.load(&plain.program);
             black_box(
-                NativeHardware::default().run(&mut m, &plain.debug, &plan, 10_000_000).unwrap(),
+                NativeHardware::default()
+                    .run(&mut m, &plain.debug, &plan, 10_000_000)
+                    .unwrap(),
             )
         });
     });
@@ -51,21 +56,33 @@ fn bench_strategies(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new();
             m.load(&plain.program);
-            black_box(VirtualMemory::k4().run(&mut m, &plain.debug, &plan, 10_000_000).unwrap())
+            black_box(
+                VirtualMemory::k4()
+                    .run(&mut m, &plain.debug, &plan, 10_000_000)
+                    .unwrap(),
+            )
         });
     });
     g.bench_function("trap_patch", |b| {
         b.iter(|| {
             let mut m = Machine::new();
             m.load(&plain.program);
-            black_box(TrapPatch::default().run(&mut m, &plain.debug, &plan, 10_000_000).unwrap())
+            black_box(
+                TrapPatch::default()
+                    .run(&mut m, &plain.debug, &plan, 10_000_000)
+                    .unwrap(),
+            )
         });
     });
     g.bench_function("code_patch", |b| {
         b.iter(|| {
             let mut m = Machine::new();
             m.load(&cp.program);
-            black_box(CodePatch::default().run(&mut m, &cp.debug, &plan, 10_000_000).unwrap())
+            black_box(
+                CodePatch::default()
+                    .run(&mut m, &cp.debug, &plan, 10_000_000)
+                    .unwrap(),
+            )
         });
     });
     g.bench_function("code_patch_loopopt", |b| {
@@ -73,7 +90,9 @@ fn bench_strategies(c: &mut Criterion) {
             let mut m = Machine::new();
             m.load(&cp_opt.program);
             black_box(
-                CodePatch::with_loopopt().run(&mut m, &cp_opt.debug, &plan, 10_000_000).unwrap(),
+                CodePatch::with_loopopt()
+                    .run(&mut m, &cp_opt.debug, &plan, 10_000_000)
+                    .unwrap(),
             )
         });
     });
@@ -82,10 +101,14 @@ fn bench_strategies(c: &mut Criterion) {
     // Print the Section 9 ablation result once: modeled overhead saved.
     let mut m = Machine::new();
     m.load(&cp.program);
-    let base = CodePatch::default().run(&mut m, &cp.debug, &plan, 10_000_000).unwrap();
+    let base = CodePatch::default()
+        .run(&mut m, &cp.debug, &plan, 10_000_000)
+        .unwrap();
     let mut m = Machine::new();
     m.load(&cp_opt.program);
-    let opt = CodePatch::with_loopopt().run(&mut m, &cp_opt.debug, &plan, 10_000_000).unwrap();
+    let opt = CodePatch::with_loopopt()
+        .run(&mut m, &cp_opt.debug, &plan, 10_000_000)
+        .unwrap();
     println!(
         "loopopt ablation: CP {:.2}x -> CP+opt {:.2}x ({} lookups skipped, {} preheader)",
         base.relative_overhead(),

@@ -16,7 +16,9 @@ fn probe_addrs(n: usize) -> Vec<u32> {
     let mut s = 0x1992_u64;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             0x0040_0000 + ((s >> 33) as u32) % (2 * 1024 * 1024 - 4)
         })
         .collect()

@@ -10,7 +10,9 @@ use databp_workloads::{prepare, Prepared, Workload};
 use std::hint::black_box;
 
 fn prep(name: &str) -> (Prepared, SessionSet) {
-    let w = Workload::by_name(name).expect("workload exists").scaled_down();
+    let w = Workload::by_name(name)
+        .expect("workload exists")
+        .scaled_down();
     let p = prepare(&w).expect("workload runs");
     let sessions = enumerate_sessions(&p.plain.debug, &p.trace);
     let set = SessionSet::new(sessions, &p.plain.debug, &p.trace);

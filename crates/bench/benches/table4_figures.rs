@@ -10,7 +10,10 @@ use databp_workloads::Workload;
 use std::hint::black_box;
 
 fn results() -> Vec<WorkloadResults> {
-    Workload::all().into_iter().map(|w| analyze(&w.scaled_down())).collect()
+    Workload::all()
+        .into_iter()
+        .map(|w| analyze(&w.scaled_down()))
+        .collect()
 }
 
 fn bench_table4(c: &mut Criterion) {
@@ -19,9 +22,19 @@ fn bench_table4(c: &mut Criterion) {
     for r in &res {
         let tmeans: Vec<String> = Approach::ALL
             .iter()
-            .map(|&a| format!("{}={:.2}", a.abbrev(), Summary::from_samples(&overheads_for(r, a)).t_mean))
+            .map(|&a| {
+                format!(
+                    "{}={:.2}",
+                    a.abbrev(),
+                    Summary::from_samples(&overheads_for(r, a)).t_mean
+                )
+            })
             .collect();
-        println!("table4 t-means: {:6} {}", r.prepared.workload.name, tmeans.join(" "));
+        println!(
+            "table4 t-means: {:6} {}",
+            r.prepared.workload.name,
+            tmeans.join(" ")
+        );
     }
     let timing = TimingVars::default();
     let mut g = c.benchmark_group("table4");
@@ -61,7 +74,11 @@ fn bench_figures(c: &mut Criterion) {
         }
     }
     let mut g = c.benchmark_group("figures");
-    for (fig, slug) in [(Figure::Max, "fig7"), (Figure::P90, "fig8"), (Figure::TMean, "fig9")] {
+    for (fig, slug) in [
+        (Figure::Max, "fig7"),
+        (Figure::P90, "fig8"),
+        (Figure::TMean, "fig9"),
+    ] {
         g.bench_function(slug, |b| {
             b.iter(|| black_box(figure_series(&res, fig)));
         });

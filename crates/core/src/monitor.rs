@@ -88,7 +88,11 @@ pub struct Notification {
 
 impl fmt::Display for Notification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "write [{:#010x}, {:#010x}) at pc {:#010x}", self.ba, self.ea, self.pc)
+        write!(
+            f,
+            "write [{:#010x}, {:#010x}) at pc {:#010x}",
+            self.ba, self.ea, self.pc
+        )
     }
 }
 
@@ -136,8 +140,14 @@ mod tests {
     #[test]
     fn monitor_construction_validates() {
         assert!(Monitor::new(0, 4).is_ok());
-        assert_eq!(Monitor::new(4, 4), Err(WmsError::EmptyRange { ba: 4, ea: 4 }));
-        assert_eq!(Monitor::new(8, 4), Err(WmsError::EmptyRange { ba: 8, ea: 4 }));
+        assert_eq!(
+            Monitor::new(4, 4),
+            Err(WmsError::EmptyRange { ba: 4, ea: 4 })
+        );
+        assert_eq!(
+            Monitor::new(8, 4),
+            Err(WmsError::EmptyRange { ba: 8, ea: 4 })
+        );
     }
 
     #[test]
@@ -155,10 +165,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(Monitor::new(0, 4).unwrap().to_string().contains("0x00000000"));
+        assert!(Monitor::new(0, 4)
+            .unwrap()
+            .to_string()
+            .contains("0x00000000"));
         assert!(MonitorId(3).to_string().contains('3'));
-        let n = Notification { ba: 0, ea: 4, pc: 8 };
+        let n = Notification {
+            ba: 0,
+            ea: 4,
+            pc: 8,
+        };
         assert!(n.to_string().contains("pc"));
-        assert!(WmsError::UnknownMonitor(MonitorId(1)).to_string().contains("m1"));
+        assert!(WmsError::UnknownMonitor(MonitorId(1))
+            .to_string()
+            .contains("m1"));
     }
 }

@@ -128,7 +128,10 @@ impl PageMap {
         if self.live == 0 || ba >= ea {
             return false;
         }
+        let mut probes = 0u64;
+        let mut hit = false;
         for page in (ba / PAGE)..=((ea - 1) / PAGE) {
+            probes += 1;
             if let Some(bucket) = self.buckets.get(&page) {
                 let page_base = page * PAGE;
                 let lo = ba.max(page_base);
@@ -136,11 +139,13 @@ impl PageMap {
                 let first = ((lo - page_base) / 4) as usize;
                 let last = ((hi - 1 - page_base) / 4) as usize;
                 if bucket.any_bit(first, last) {
-                    return true;
+                    hit = true;
+                    break;
                 }
             }
         }
-        false
+        databp_telemetry::observe!("wms.pagemap.probe_depth", &[1, 2, 4, 8, 16], probes);
+        hit
     }
 
     /// Byte-exact hit test: true when the write `[ba, ea)` overlaps an

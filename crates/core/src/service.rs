@@ -3,6 +3,7 @@
 
 use crate::monitor::{Monitor, MonitorId, Notification, WmsError};
 use crate::pagemap::PageMap;
+use databp_telemetry::Counter;
 use std::collections::HashMap;
 
 /// Maximum notifications retained in the buffer; the count keeps
@@ -23,6 +24,43 @@ pub struct WmsCounters {
     pub hits: u64,
 }
 
+/// Telemetry-counter storage backing [`WmsCounters`]. Per-instance and
+/// always counting (the legacy `counters()` API works with telemetry
+/// disabled); the `wms.*` global registry mirrors are updated alongside
+/// via the gated macros.
+#[derive(Debug, Default)]
+struct WmsTelemetry {
+    installs: Counter,
+    removes: Counter,
+    lookups: Counter,
+    hits: Counter,
+}
+
+impl Clone for WmsTelemetry {
+    fn clone(&self) -> Self {
+        // Deep copy: a cloned Wms must not share counter state with its
+        // source (the handles are Arc-backed; the pre-telemetry struct
+        // was a plain Copy).
+        WmsTelemetry {
+            installs: Counter::detached_with(self.installs.get()),
+            removes: Counter::detached_with(self.removes.get()),
+            lookups: Counter::detached_with(self.lookups.get()),
+            hits: Counter::detached_with(self.hits.get()),
+        }
+    }
+}
+
+impl WmsTelemetry {
+    fn as_counters(&self) -> WmsCounters {
+        WmsCounters {
+            installs: self.installs.get(),
+            removes: self.removes.get(),
+            lookups: self.lookups.get(),
+            hits: self.hits.get(),
+        }
+    }
+}
+
 /// The write monitor service: install/remove monitors, check writes,
 /// collect notifications.
 ///
@@ -35,7 +73,7 @@ pub struct Wms {
     live: HashMap<MonitorId, Monitor>,
     by_range: HashMap<(u32, u32), Vec<MonitorId>>,
     next: u64,
-    counters: WmsCounters,
+    counters: WmsTelemetry,
     notifications: Vec<Notification>,
     notification_count: u64,
 }
@@ -59,7 +97,9 @@ impl Wms {
         self.map.install(id, m);
         self.live.insert(id, m);
         self.by_range.entry((ba, ea)).or_default().push(id);
-        self.counters.installs += 1;
+        self.counters.installs.inc_always();
+        databp_telemetry::count!("wms.installs");
+        databp_telemetry::gauge_add!("wms.monitors.active", 1);
         Ok(id)
     }
 
@@ -77,7 +117,9 @@ impl Wms {
                 self.by_range.remove(&(m.ba, m.ea));
             }
         }
-        self.counters.removes += 1;
+        self.counters.removes.inc_always();
+        databp_telemetry::count!("wms.removes");
+        databp_telemetry::gauge_add!("wms.monitors.active", -1);
         Ok(())
     }
 
@@ -100,11 +142,13 @@ impl Wms {
     /// Checks a write against the active monitors; on a (byte-exact) hit,
     /// records a [`Notification`] and returns true.
     pub fn check_write(&mut self, ba: u32, ea: u32, pc: u32) -> bool {
-        self.counters.lookups += 1;
+        self.counters.lookups.inc_always();
+        databp_telemetry::count!("wms.lookups");
         // Fast word-granular bitmap test first (the timed operation),
         // byte-exact confirmation second.
         if self.map.lookup(ba, ea) && self.map.hit_exact(ba, ea) {
-            self.counters.hits += 1;
+            self.counters.hits.inc_always();
+            databp_telemetry::count!("wms.hits");
             self.notification_count += 1;
             if self.notifications.len() < NOTIFICATION_CAP {
                 self.notifications.push(Notification { ba, ea, pc });
@@ -138,7 +182,7 @@ impl Wms {
 
     /// Operation counters.
     pub fn counters(&self) -> WmsCounters {
-        self.counters
+        self.counters.as_counters()
     }
 
     /// Drains the notification buffer.
@@ -173,7 +217,11 @@ mod tests {
         w.check_write(0x100, 0x104, 0xabcd);
         assert_eq!(
             w.notifications(),
-            &[Notification { ba: 0x100, ea: 0x104, pc: 0xabcd }]
+            &[Notification {
+                ba: 0x100,
+                ea: 0x104,
+                pc: 0xabcd
+            }]
         );
         assert_eq!(w.notification_count(), 1);
         let drained = w.take_notifications();
@@ -192,7 +240,10 @@ mod tests {
         assert!(w.would_hit(0x200, 0x204));
         assert_eq!(
             w.remove_range(0x100, 0x110),
-            Err(WmsError::NoSuchRange { ba: 0x100, ea: 0x110 })
+            Err(WmsError::NoSuchRange {
+                ba: 0x100,
+                ea: 0x110
+            })
         );
     }
 
@@ -211,7 +262,10 @@ mod tests {
     fn errors_for_bad_operations() {
         let mut w = Wms::new();
         assert!(w.install(8, 8).is_err());
-        assert_eq!(w.remove(MonitorId(99)), Err(WmsError::UnknownMonitor(MonitorId(99))));
+        assert_eq!(
+            w.remove(MonitorId(99)),
+            Err(WmsError::UnknownMonitor(MonitorId(99)))
+        );
     }
 
     #[test]

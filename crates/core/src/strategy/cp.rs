@@ -25,8 +25,7 @@ use std::collections::HashMap;
 /// optimization is active: a loop's *preliminary check* runs once in the
 /// preheader; while it misses, body checks on the same loop-invariant
 /// target skip their lookups ([`StrategyReport::skipped_lookups`]).
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CodePatch {
     /// Enable the Section 9 loop-invariant preliminary checks.
     pub loopopt: bool,
@@ -34,11 +33,13 @@ pub struct CodePatch {
     pub timing: TimingVars,
 }
 
-
 impl CodePatch {
     /// CodePatch with the loop optimization enabled.
     pub fn with_loopopt() -> Self {
-        CodePatch { loopopt: true, timing: TimingVars::default() }
+        CodePatch {
+            loopopt: true,
+            timing: TimingVars::default(),
+        }
     }
 
     /// Runs a freshly loaded, CodePatch-compiled machine under this
@@ -67,7 +68,16 @@ impl CodePatch {
             body: HashMap::new(),
             armed: Vec::new(),
         };
-        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Cp))
+        let mut rep = drive(
+            &mut mech,
+            machine,
+            debug,
+            plan,
+            max_steps,
+            StrategyReport::new(Approach::Cp),
+        )?;
+        rep.wms_counters = mech.wms.counters();
+        Ok(rep)
     }
 }
 
@@ -84,13 +94,15 @@ struct CpMech {
 
 impl Mechanism for CpMech {
     fn stop_config(&self) -> StopConfig {
-        StopConfig { chk: true, ..StopConfig::default() }
+        StopConfig {
+            chk: true,
+            ..StopConfig::default()
+        }
     }
 
     fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError> {
         if debug.traced_store_count > 0 {
-            let has_chk =
-                (0..m.code_len()).any(|i| matches!(m.instr_at(i), Ok(Instr::Chk(..))));
+            let has_chk = (0..m.code_len()).any(|i| matches!(m.instr_at(i), Ok(Instr::Chk(..))));
             assert!(
                 has_chk,
                 "CodePatch strategy requires a program compiled with Options::codepatch"
@@ -109,13 +121,23 @@ impl Mechanism for CpMech {
     }
 
     fn install(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .install(ba, ea)
+            .expect("tracker ranges are non-empty");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
     }
 
     fn remove(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .remove_range(ba, ea)
+            .expect("removed monitor was installed");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
     }
 
     fn handle(
@@ -134,7 +156,8 @@ impl Mechanism for CpMech {
             if let Some(&idx) = self.preheader.get(&ev.pc) {
                 // Preliminary check: pure lookup, arms or disarms the
                 // loop's body checks. Not a write — no hit/miss counted.
-                rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+                rep.overhead
+                    .add(TimingVar::SoftwareLookup, t.software_lookup_us);
                 rep.preheader_lookups += 1;
                 self.armed[idx] = self.wms.would_hit(ba, ea);
                 return Ok(());
@@ -154,8 +177,9 @@ impl Mechanism for CpMech {
                 }
             }
         }
-        rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
-        if self.wms.would_hit(ba, ea) {
+        rep.overhead
+            .add(TimingVar::SoftwareLookup, t.software_lookup_us);
+        if self.wms.check_write(ba, ea, ev.pc) {
             rep.counts.hit += 1;
             rep.notify(Notification { ba, ea, pc: ev.pc });
         } else {
@@ -192,8 +216,13 @@ mod tests {
     #[test]
     fn counts_match_trap_patch_semantics() {
         let (mut m, debug) = load(SRC, &Options::codepatch());
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = CodePatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::default()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 10);
         assert_eq!(rep.counts.miss, 12);
         assert_eq!(m.exit_code(), 13);
@@ -212,9 +241,13 @@ mod tests {
     fn loopopt_elides_lookups_for_unmonitored_invariant_targets() {
         let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
         // Monitor nothing: every loop body check on g and i is disarmed.
-        let rep =
-            CodePatch::with_loopopt().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
-        assert!(rep.skipped_lookups > 0, "invariant-target checks were skipped");
+        let rep = CodePatch::with_loopopt()
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
+        assert!(
+            rep.skipped_lookups > 0,
+            "invariant-target checks were skipped"
+        );
         assert!(rep.preheader_lookups > 0);
         assert_eq!(rep.counts.hit, 0);
         // Misses still counted (they are real writes).
@@ -228,8 +261,13 @@ mod tests {
     #[test]
     fn loopopt_still_notifies_when_monitored() {
         let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = CodePatch::with_loopopt().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::with_loopopt()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         // All ten writes to g must still notify: the preheader armed the
         // loop for g.
         assert_eq!(rep.counts.hit, 10);
@@ -241,8 +279,13 @@ mod tests {
     #[test]
     fn loopopt_matches_model_adjustment() {
         let (mut m, debug) = load(SRC, &Options::codepatch_loopopt());
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = CodePatch::with_loopopt().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::with_loopopt()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         let model = databp_models::cp_loopopt_overhead(
             &rep.counts,
             rep.skipped_lookups,
@@ -255,7 +298,9 @@ mod tests {
     #[test]
     fn zero_monitor_cp_still_pays_per_write() {
         let (mut m, debug) = load(SRC, &Options::codepatch());
-        let rep = CodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        let rep = CodePatch::default()
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.miss, 22);
         assert_eq!(
             rep.overhead.total_us(),

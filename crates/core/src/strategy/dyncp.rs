@@ -46,14 +46,20 @@ pub struct DynamicCodePatch {
 
 impl Default for DynamicCodePatch {
     fn default() -> Self {
-        DynamicCodePatch { sticky: true, timing: TimingVars::default() }
+        DynamicCodePatch {
+            sticky: true,
+            timing: TimingVars::default(),
+        }
     }
 }
 
 impl DynamicCodePatch {
     /// The restore-on-zero policy (repatches on every 0→1 transition).
     pub fn unsticky() -> Self {
-        DynamicCodePatch { sticky: false, ..DynamicCodePatch::default() }
+        DynamicCodePatch {
+            sticky: false,
+            ..DynamicCodePatch::default()
+        }
     }
 
     /// Runs a freshly loaded, nop-padded machine under this strategy.
@@ -80,7 +86,16 @@ impl DynamicCodePatch {
             patched: false,
             active: 0,
         };
-        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Cp))
+        let mut rep = drive(
+            &mut mech,
+            machine,
+            debug,
+            plan,
+            max_steps,
+            StrategyReport::new(Approach::Cp),
+        )?;
+        rep.wms_counters = mech.wms.counters();
+        Ok(rep)
     }
 }
 
@@ -98,8 +113,10 @@ impl DynMech {
         for &(idx, chk) in &self.pads {
             m.patch_instr(idx, chk).expect("pad index is valid");
         }
-        rep.overhead
-            .add(TimingVar::SoftwareUpdate, self.pads.len() as f64 * PATCH_SITE_US);
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.pads.len() as f64 * PATCH_SITE_US,
+        );
         rep.patch_events += 1;
         self.patched = true;
     }
@@ -108,8 +125,10 @@ impl DynMech {
         for &(idx, _) in &self.pads {
             m.patch_instr(idx, Instr::Nop).expect("pad index is valid");
         }
-        rep.overhead
-            .add(TimingVar::SoftwareUpdate, self.pads.len() as f64 * PATCH_SITE_US);
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.pads.len() as f64 * PATCH_SITE_US,
+        );
         rep.patch_events += 1;
         self.patched = false;
     }
@@ -117,7 +136,10 @@ impl DynMech {
 
 impl Mechanism for DynMech {
     fn stop_config(&self) -> StopConfig {
-        StopConfig { chk: true, ..StopConfig::default() }
+        StopConfig {
+            chk: true,
+            ..StopConfig::default()
+        }
     }
 
     fn prepare(&mut self, m: &mut Machine, debug: &DebugInfo) -> Result<(), MachineError> {
@@ -139,8 +161,13 @@ impl Mechanism for DynMech {
     }
 
     fn install(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .install(ba, ea)
+            .expect("tracker ranges are non-empty");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
         self.active += 1;
         if !self.patched {
             self.patch_all(m, rep);
@@ -148,8 +175,13 @@ impl Mechanism for DynMech {
     }
 
     fn remove(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .remove_range(ba, ea)
+            .expect("removed monitor was installed");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
         self.active -= 1;
         if self.active == 0 && self.patched && !self.opts.sticky {
             self.unpatch_all(m, rep);
@@ -167,9 +199,10 @@ impl Mechanism for DynMech {
             unreachable!("DynamicCodePatch received unexpected stop {stop:?}")
         };
         let t = &self.opts.timing;
-        rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
+        rep.overhead
+            .add(TimingVar::SoftwareLookup, t.software_lookup_us);
         let (ba, ea) = (ev.addr, ev.addr + ev.len);
-        if self.wms.would_hit(ba, ea) {
+        if self.wms.check_write(ba, ea, ev.pc) {
             rep.counts.hit += 1;
             rep.notify(Notification { ba, ea, pc: ev.pc });
         } else {
@@ -212,25 +245,43 @@ mod tests {
     #[test]
     fn no_monitors_means_near_zero_overhead() {
         let (mut m, debug) = load(&Options::nop_padding());
-        let rep =
-            DynamicCodePatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
-        assert_eq!(rep.overhead.total_us(), 0.0, "no pads patched, no lookups charged");
+        let rep = DynamicCodePatch::default()
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
+        assert_eq!(
+            rep.overhead.total_us(),
+            0.0,
+            "no pads patched, no lookups charged"
+        );
         assert_eq!(rep.counts.writes(), 0, "nothing is checked");
         assert_eq!(rep.patch_events, 0);
         // Static CodePatch pays for every write in the same situation.
         let (mut m, cdebug) = load(&Options::codepatch());
-        let cp = CodePatch::default().run(&mut m, &cdebug, &NoMonitors, 10_000_000).unwrap();
-        assert!(cp.overhead.total_us() > 1000.0, "CP pays {}", cp.overhead.total_us());
+        let cp = CodePatch::default()
+            .run(&mut m, &cdebug, &NoMonitors, 10_000_000)
+            .unwrap();
+        assert!(
+            cp.overhead.total_us() > 1000.0,
+            "CP pays {}",
+            cp.overhead.total_us()
+        );
     }
 
     #[test]
     fn behaves_like_codepatch_once_armed() {
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
         let (mut m, debug) = load(&Options::nop_padding());
-        let dyn_rep = DynamicCodePatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let dyn_rep = DynamicCodePatch::default()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         let exit_dyn = m.exit_code();
         let (mut m, cdebug) = load(&Options::codepatch());
-        let cp_rep = CodePatch::default().run(&mut m, &cdebug, &plan, 10_000_000).unwrap();
+        let cp_rep = CodePatch::default()
+            .run(&mut m, &cdebug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(m.exit_code(), exit_dyn, "semantics preserved");
         assert_eq!(dyn_rep.counts.hit, cp_rep.counts.hit);
         assert_eq!(dyn_rep.notification_count, 1, "the single write to g");
@@ -268,15 +319,22 @@ mod tests {
             .find(|l| l.name == "watched")
             .unwrap()
             .var;
-        let plan = RangePlan { locals: vec![(tail, watched)], ..RangePlan::default() };
+        let plan = RangePlan {
+            locals: vec![(tail, watched)],
+            ..RangePlan::default()
+        };
         let mut m = Machine::new();
         m.load(&c.program);
-        let dy = DynamicCodePatch::default().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+        let dy = DynamicCodePatch::default()
+            .run(&mut m, &c.debug, &plan, 10_000_000)
+            .unwrap();
 
         let cc = compile(src, &Options::codepatch()).unwrap();
         let mut m = Machine::new();
         m.load(&cc.program);
-        let cp = CodePatch::default().run(&mut m, &cc.debug, &plan, 10_000_000).unwrap();
+        let cp = CodePatch::default()
+            .run(&mut m, &cc.debug, &plan, 10_000_000)
+            .unwrap();
 
         assert_eq!(dy.counts.hit, cp.counts.hit, "same hits");
         assert!(
@@ -301,18 +359,24 @@ mod tests {
         "#;
         let c = compile(src, &Options::nop_padding()).unwrap();
         let poke = c.debug.func_id("poke").unwrap();
-        let plan = RangePlan { locals: vec![(poke, 0)], ..RangePlan::default() };
+        let plan = RangePlan {
+            locals: vec![(poke, 0)],
+            ..RangePlan::default()
+        };
         let mut m = Machine::new();
         m.load(&c.program);
-        let rep = DynamicCodePatch::unsticky().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+        let rep = DynamicCodePatch::unsticky()
+            .run(&mut m, &c.debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 2);
         // Two arming events and two restores (one per poke call).
         assert_eq!(rep.patch_events, 4, "{rep:?}");
         // Sticky arms once and never restores.
         let mut m = Machine::new();
         m.load(&c.program);
-        let sticky =
-            DynamicCodePatch::default().run(&mut m, &c.debug, &plan, 10_000_000).unwrap();
+        let sticky = DynamicCodePatch::default()
+            .run(&mut m, &c.debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(sticky.patch_events, 1);
         assert_eq!(sticky.counts.hit, 2);
     }

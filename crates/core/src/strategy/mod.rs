@@ -29,6 +29,7 @@ pub use vm::{VirtualMemory, VmContinuation};
 use crate::plan::MonitorPlan;
 use crate::tracker::SessionTracker;
 use databp_machine::{Machine, MachineError, MarkKind, NoHooks, StopConfig, StopReason};
+use databp_models::Approach;
 use databp_tinyc::DebugInfo;
 
 /// The strategy-specific half of the driver: how monitors are realized
@@ -87,13 +88,22 @@ fn drive<M: Mechanism>(
         }
         match machine.run(&mut NoHooks, max_steps - executed)? {
             StopReason::Halted => break,
-            StopReason::Mark { kind: MarkKind::Enter, fid, fp, .. } => {
+            StopReason::Mark {
+                kind: MarkKind::Enter,
+                fid,
+                fp,
+                ..
+            } => {
                 for (ba, ea) in tracker.enter(fid, fp) {
                     mech.install(machine, ba, ea, &mut rep);
                     rep.counts.install += 1;
                 }
             }
-            StopReason::Mark { kind: MarkKind::Exit, fid, .. } => {
+            StopReason::Mark {
+                kind: MarkKind::Exit,
+                fid,
+                ..
+            } => {
                 for (ba, ea) in tracker.exit(fid) {
                     mech.remove(machine, ba, ea, &mut rep);
                     rep.counts.remove += 1;
@@ -111,7 +121,12 @@ fn drive<M: Mechanism>(
                     rep.counts.remove += 1;
                 }
             }
-            StopReason::HeapRealloc { seq, new_ba, new_ea, .. } => {
+            StopReason::HeapRealloc {
+                seq,
+                new_ba,
+                new_ea,
+                ..
+            } => {
                 let (rem, ins) = tracker.heap_realloc(seq, new_ba, new_ea);
                 if let Some((ba, ea)) = rem {
                     mech.remove(machine, ba, ea, &mut rep);
@@ -136,5 +151,26 @@ fn drive<M: Mechanism>(
 
     rep.base_us = machine.cost().total_us(machine.cost_model());
     rep.instructions = machine.cost().instructions;
+    record_strategy_telemetry(&rep);
     Ok(rep)
+}
+
+/// Per-strategy run and charged-cost counters (whole microseconds, as
+/// charged against the Table 2 timing variables during the run).
+fn record_strategy_telemetry(rep: &StrategyReport) {
+    if !databp_telemetry::enabled() {
+        return;
+    }
+    let Some(approach) = rep.approach else { return };
+    let (runs, charged) = match approach {
+        Approach::Nh => ("strategy.nh.runs", "strategy.nh.charged_us"),
+        Approach::Vm4k => ("strategy.vm4k.runs", "strategy.vm4k.charged_us"),
+        Approach::Vm8k => ("strategy.vm8k.runs", "strategy.vm8k.charged_us"),
+        Approach::Tp => ("strategy.tp.runs", "strategy.tp.charged_us"),
+        Approach::Cp => ("strategy.cp.runs", "strategy.cp.charged_us"),
+    };
+    let reg = databp_telemetry::global();
+    reg.counter(runs).inc_always();
+    reg.counter(charged)
+        .add_always(rep.overhead.total_us() as u64);
 }

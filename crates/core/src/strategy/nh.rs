@@ -23,8 +23,7 @@ use databp_tinyc::DebugInfo;
 /// paper's idealized unlimited bank, or `Some(n)` to study coverage
 /// ([`StrategyReport::watch_exhausted`] reports sessions hardware could
 /// not fully support).
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NativeHardware {
     /// Watch-register capacity; `None` = unlimited (the paper's
     /// hypothetical SPARCstation extension).
@@ -33,11 +32,13 @@ pub struct NativeHardware {
     pub timing: TimingVars,
 }
 
-
 impl NativeHardware {
     /// A bank with the era's realistic capacity (four registers).
     pub fn realistic() -> Self {
-        NativeHardware { regs: Some(DEFAULT_WATCH_REGS), timing: TimingVars::default() }
+        NativeHardware {
+            regs: Some(DEFAULT_WATCH_REGS),
+            timing: TimingVars::default(),
+        }
     }
 
     /// Runs a freshly loaded machine under this strategy.
@@ -53,7 +54,14 @@ impl NativeHardware {
         max_steps: u64,
     ) -> Result<StrategyReport, MachineError> {
         let mut mech = NhMech { opts: *self };
-        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Nh))
+        drive(
+            &mut mech,
+            machine,
+            debug,
+            plan,
+            max_steps,
+            StrategyReport::new(Approach::Nh),
+        )
     }
 }
 
@@ -97,7 +105,8 @@ impl Mechanism for NhMech {
             StopReason::WatchFault(f) => {
                 // The write has committed; notify and continue.
                 rep.counts.hit += 1;
-                rep.overhead.add(TimingVar::NhFaultHandler, self.opts.timing.nh_fault_us);
+                rep.overhead
+                    .add(TimingVar::NhFaultHandler, self.opts.timing.nh_fault_us);
                 rep.notify(crate::monitor::Notification {
                     ba: f.addr,
                     ea: f.addr + f.len,
@@ -137,8 +146,13 @@ mod tests {
     #[test]
     fn counts_hits_on_watched_global() {
         let (mut m, debug) = load(SRC);
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = NativeHardware::default()
+            .run(&mut m, &debug, &plan, 1_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 10, "ten writes to g");
         assert_eq!(rep.counts.miss, 0, "NH never sees misses");
         assert_eq!(rep.notification_count, 10);
@@ -153,8 +167,13 @@ mod tests {
     #[test]
     fn program_behaviour_unchanged_by_monitoring() {
         let (mut m, debug) = load(SRC);
-        let plan = RangePlan { globals: vec![0, 1], ..RangePlan::default() };
-        NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0, 1],
+            ..RangePlan::default()
+        };
+        NativeHardware::default()
+            .run(&mut m, &debug, &plan, 1_000_000)
+            .unwrap();
         assert_eq!(m.exit_code(), 10);
     }
 
@@ -170,9 +189,15 @@ mod tests {
             locals: vec![(0, 0), (0, 1), (0, 2)],
             ..RangePlan::default()
         };
-        let nh = NativeHardware { regs: Some(1), timing: TimingVars::default() };
+        let nh = NativeHardware {
+            regs: Some(1),
+            timing: TimingVars::default(),
+        };
         let rep = nh.run(&mut m, &debug, &plan, 1_000_000).unwrap();
-        assert!(rep.watch_exhausted, "three monitors cannot fit one register");
+        assert!(
+            rep.watch_exhausted,
+            "three monitors cannot fit one register"
+        );
         // Only the first local's write is caught.
         assert_eq!(rep.counts.hit, 1);
     }
@@ -188,7 +213,9 @@ mod tests {
             locals: vec![(0, 0), (0, 1), (0, 2)],
             ..RangePlan::default()
         };
-        let rep = NativeHardware::default().run(&mut m, &debug, &plan, 1_000_000).unwrap();
+        let rep = NativeHardware::default()
+            .run(&mut m, &debug, &plan, 1_000_000)
+            .unwrap();
         assert!(!rep.watch_exhausted);
         assert_eq!(rep.counts.hit, 3);
     }

@@ -1,6 +1,7 @@
 //! The result of one executable strategy run.
 
 use crate::monitor::Notification;
+use crate::service::WmsCounters;
 use databp_models::{Approach, Counts, Overhead};
 
 /// Notifications retained verbatim per run; the count keeps increasing
@@ -37,12 +38,19 @@ pub struct StrategyReport {
     pub preheader_lookups: u64,
     /// DynamicCodePatch only: pad patch/unpatch sweeps performed.
     pub patch_events: u64,
+    /// Operation counters of the strategy's software WMS instance (all
+    /// zeros for NativeHardware, which realizes monitors in watch
+    /// registers without a software WMS).
+    pub wms_counters: WmsCounters,
 }
 
 impl StrategyReport {
     /// A fresh report for `approach`.
     pub fn new(approach: Approach) -> Self {
-        StrategyReport { approach: Some(approach), ..StrategyReport::default() }
+        StrategyReport {
+            approach: Some(approach),
+            ..StrategyReport::default()
+        }
     }
 
     /// Records a notification (capped buffer, unbounded count).
@@ -72,7 +80,11 @@ mod tests {
     fn notify_caps_buffer_not_count() {
         let mut r = StrategyReport::new(Approach::Cp);
         for i in 0..(MAX_CAPTURED_NOTIFICATIONS as u32 + 10) {
-            r.notify(Notification { ba: i, ea: i + 1, pc: 0 });
+            r.notify(Notification {
+                ba: i,
+                ea: i + 1,
+                pc: 0,
+            });
         }
         assert_eq!(r.notifications.len(), MAX_CAPTURED_NOTIFICATIONS);
         assert_eq!(r.notification_count, MAX_CAPTURED_NOTIFICATIONS as u64 + 10);

@@ -6,9 +6,7 @@ use crate::monitor::Notification;
 use crate::plan::MonitorPlan;
 use crate::service::Wms;
 use crate::strategy::report::StrategyReport;
-use databp_machine::{
-    Instr, Machine, MachineError, NoHooks, StopConfig, StopReason, TP_TRAP_BASE,
-};
+use databp_machine::{Instr, Machine, MachineError, NoHooks, StopConfig, StopReason, TP_TRAP_BASE};
 use databp_models::{Approach, TimingVar, TimingVars};
 use databp_tinyc::DebugInfo;
 use std::collections::HashMap;
@@ -22,13 +20,11 @@ use std::collections::HashMap;
 /// emulates the store out of line. Every checked write — hit *or* miss —
 /// pays `TPFaultHandlerτ + SoftwareLookupτ`, which is why the paper finds
 /// it "unacceptably slow for most debugging applications".
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TrapPatch {
     /// Primitive costs.
     pub timing: TimingVars,
 }
-
 
 impl TrapPatch {
     /// Runs a freshly loaded machine under this strategy (the image is
@@ -44,8 +40,21 @@ impl TrapPatch {
         plan: &dyn MonitorPlan,
         max_steps: u64,
     ) -> Result<StrategyReport, MachineError> {
-        let mut mech = TpMech { opts: *self, wms: Wms::new(), patches: HashMap::new() };
-        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(Approach::Tp))
+        let mut mech = TpMech {
+            opts: *self,
+            wms: Wms::new(),
+            patches: HashMap::new(),
+        };
+        let mut rep = drive(
+            &mut mech,
+            machine,
+            debug,
+            plan,
+            max_steps,
+            StrategyReport::new(Approach::Tp),
+        )?;
+        rep.wms_counters = mech.wms.counters();
+        Ok(rep)
     }
 }
 
@@ -78,13 +87,23 @@ impl Mechanism for TpMech {
     }
 
     fn install(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .install(ba, ea)
+            .expect("tracker ranges are non-empty");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
     }
 
     fn remove(&mut self, _m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
-        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
-        rep.overhead.add(TimingVar::SoftwareUpdate, self.opts.timing.software_update_us);
+        self.wms
+            .remove_range(ba, ea)
+            .expect("removed monitor was installed");
+        rep.overhead.add(
+            TimingVar::SoftwareUpdate,
+            self.opts.timing.software_update_us,
+        );
     }
 
     fn handle(
@@ -110,10 +129,15 @@ impl Mechanism for TpMech {
                 };
                 let t = &self.opts.timing;
                 rep.overhead.add(TimingVar::TpFaultHandler, t.tp_fault_us);
-                rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
-                if self.wms.would_hit(addr, addr + len) {
+                rep.overhead
+                    .add(TimingVar::SoftwareLookup, t.software_lookup_us);
+                if self.wms.check_write(addr, addr + len, pc) {
                     rep.counts.hit += 1;
-                    rep.notify(Notification { ba: addr, ea: addr + len, pc });
+                    rep.notify(Notification {
+                        ba: addr,
+                        ea: addr + len,
+                        pc,
+                    });
                 } else {
                     rep.counts.miss += 1;
                 }
@@ -152,8 +176,13 @@ mod tests {
     #[test]
     fn every_traced_write_is_checked() {
         let (mut m, debug) = load(SRC);
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = TrapPatch::default().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = TrapPatch::default()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 10);
         // Every other traced store is a (costed) miss: i=0 + 10×(i=i+1)
         // + h=3 = 12.
@@ -167,10 +196,15 @@ mod tests {
     #[test]
     fn misses_cost_even_with_no_monitors() {
         let (mut m, debug) = load(SRC);
-        let rep = TrapPatch::default().run(&mut m, &debug, &NoMonitors, 10_000_000).unwrap();
+        let rep = TrapPatch::default()
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 0);
         assert_eq!(rep.counts.miss, 22);
-        assert!(rep.overhead.total_us() > 0.0, "TP pays for every write regardless");
+        assert!(
+            rep.overhead.total_us() > 0.0,
+            "TP pays for every write regardless"
+        );
     }
 
     #[test]

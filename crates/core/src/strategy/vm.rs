@@ -98,7 +98,16 @@ impl VirtualMemory {
             wms: Wms::new(),
             page_counts: HashMap::new(),
         };
-        drive(&mut mech, machine, debug, plan, max_steps, StrategyReport::new(self.approach()))
+        let mut rep = drive(
+            &mut mech,
+            machine,
+            debug,
+            plan,
+            max_steps,
+            StrategyReport::new(self.approach()),
+        )?;
+        rep.wms_counters = mech.wms.counters();
+        Ok(rep)
     }
 }
 
@@ -121,11 +130,14 @@ impl Mechanism for VmMech {
 
     fn install(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
         let t = &self.opts.timing;
-        self.wms.install(ba, ea).expect("tracker ranges are non-empty");
+        self.wms
+            .install(ba, ea)
+            .expect("tracker ranges are non-empty");
         // Figure 4: toggling the (read-only) WMS data page around the
         // update, plus protecting pages that newly gained a monitor.
         rep.overhead.add(TimingVar::VmUnprotect, t.vm_unprotect_us);
-        rep.overhead.add(TimingVar::SoftwareUpdate, t.software_update_us);
+        rep.overhead
+            .add(TimingVar::SoftwareUpdate, t.software_update_us);
         rep.overhead.add(TimingVar::VmProtect, t.vm_protect_us);
         for page in self.opts.page_size.pages_of_range(ba, ea) {
             let cnt = self.page_counts.entry(page).or_insert(0);
@@ -140,9 +152,12 @@ impl Mechanism for VmMech {
 
     fn remove(&mut self, m: &mut Machine, ba: u32, ea: u32, rep: &mut StrategyReport) {
         let t = &self.opts.timing;
-        self.wms.remove_range(ba, ea).expect("removed monitor was installed");
+        self.wms
+            .remove_range(ba, ea)
+            .expect("removed monitor was installed");
         rep.overhead.add(TimingVar::VmUnprotect, t.vm_unprotect_us);
-        rep.overhead.add(TimingVar::SoftwareUpdate, t.software_update_us);
+        rep.overhead
+            .add(TimingVar::SoftwareUpdate, t.software_update_us);
         rep.overhead.add(TimingVar::VmProtect, t.vm_protect_us);
         for page in self.opts.page_size.pages_of_range(ba, ea) {
             let cnt = self
@@ -171,10 +186,15 @@ impl Mechanism for VmMech {
                 if !debug.is_untraced_store(f.pc) {
                     let t = &self.opts.timing;
                     rep.overhead.add(TimingVar::VmFaultHandler, t.vm_fault_us);
-                    rep.overhead.add(TimingVar::SoftwareLookup, t.software_lookup_us);
-                    if self.wms.would_hit(f.addr, f.addr + f.len) {
+                    rep.overhead
+                        .add(TimingVar::SoftwareLookup, t.software_lookup_us);
+                    if self.wms.check_write(f.addr, f.addr + f.len, f.pc) {
                         rep.counts.hit += 1;
-                        rep.notify(Notification { ba: f.addr, ea: f.addr + f.len, pc: f.pc });
+                        rep.notify(Notification {
+                            ba: f.addr,
+                            ea: f.addr + f.len,
+                            pc: f.pc,
+                        });
                     } else {
                         rep.counts.vm_active_page_miss += 1;
                     }
@@ -240,10 +260,18 @@ mod tests {
         let (mut m, debug) = load(SRC);
         // Monitor only g; h lives on the same data page, so its writes
         // are active-page misses.
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = VirtualMemory::k4().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = VirtualMemory::k4()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 10);
-        assert_eq!(rep.counts.vm_active_page_miss, 5, "writes to h share g's page");
+        assert_eq!(
+            rep.counts.vm_active_page_miss, 5,
+            "writes to h share g's page"
+        );
         assert_eq!(rep.counts.vm_protect, 1);
         assert_eq!(rep.counts.vm_unprotect, 1);
         assert_eq!(m.exit_code(), 15, "emulation preserves program results");
@@ -263,8 +291,13 @@ mod tests {
             }
         "#;
         let (mut m, debug) = load(src);
-        let plan = RangePlan { locals: vec![(0, 0)], ..RangePlan::default() };
-        let rep = VirtualMemory::k4().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            locals: vec![(0, 0)],
+            ..RangePlan::default()
+        };
+        let rep = VirtualMemory::k4()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(rep.counts.hit, 2, "two writes to `watched`");
         // other=0, i=0, 8 increments of other, 8 of i => 18 misses on
         // the same stack page.
@@ -288,13 +321,23 @@ mod tests {
             }
         "#;
         let (mut m4, debug) = load(src);
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let r4 = VirtualMemory::k4().run(&mut m4, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let r4 = VirtualMemory::k4()
+            .run(&mut m4, &debug, &plan, 10_000_000)
+            .unwrap();
         let (mut m8, _) = load(src);
-        let r8 = VirtualMemory::k8().run(&mut m8, &debug, &plan, 10_000_000).unwrap();
+        let r8 = VirtualMemory::k8()
+            .run(&mut m8, &debug, &plan, 10_000_000)
+            .unwrap();
         assert_eq!(r4.counts.hit, 1);
         assert_eq!(r8.counts.hit, 1);
-        assert_eq!(r4.counts.vm_active_page_miss, 0, "h is ~5KB away: other 4K page");
+        assert_eq!(
+            r4.counts.vm_active_page_miss, 0,
+            "h is ~5KB away: other 4K page"
+        );
         assert_eq!(r8.counts.vm_active_page_miss, 6, "h shares g's 8K page");
     }
 
@@ -303,9 +346,15 @@ mod tests {
         // Section 3.2's two continuation mechanisms must produce the
         // same counts, the same charged overhead, and the same program
         // results; only the machinery differs.
-        let plan = RangePlan { globals: vec![0], locals: vec![(0, 0)], ..RangePlan::default() };
+        let plan = RangePlan {
+            globals: vec![0],
+            locals: vec![(0, 0)],
+            ..RangePlan::default()
+        };
         let (mut m1, debug) = load(SRC);
-        let emu = VirtualMemory::k4().run(&mut m1, &debug, &plan, 10_000_000).unwrap();
+        let emu = VirtualMemory::k4()
+            .run(&mut m1, &debug, &plan, 10_000_000)
+            .unwrap();
         let (mut m2, _) = load(SRC);
         let step = VirtualMemory::k4()
             .with_continuation(VmContinuation::StepReprotect)
@@ -324,8 +373,13 @@ mod tests {
     #[test]
     fn overhead_matches_figure_4_equation() {
         let (mut m, debug) = load(SRC);
-        let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
-        let rep = VirtualMemory::k4().run(&mut m, &debug, &plan, 10_000_000).unwrap();
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = VirtualMemory::k4()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
         let model = databp_models::overhead(Approach::Vm4k, &rep.counts, &TimingVars::default());
         assert!(
             (rep.overhead.total_us() - model.total_us()).abs() < 1e-6,

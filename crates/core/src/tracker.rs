@@ -97,12 +97,20 @@ impl SessionTracker {
         let (top, _) = self.stack.pop().expect("exit with empty stack");
         assert_eq!(top, fid, "mismatched function exit");
         self.stack_fids.pop();
-        self.frame_ranges.pop().expect("frame ranges in sync with stack")
+        self.frame_ranges
+            .pop()
+            .expect("frame ranges in sync with stack")
     }
 
     /// Records a heap allocation; returns the range to install when the
     /// plan monitors this object.
-    pub fn heap_alloc(&mut self, plan: &dyn MonitorPlan, seq: u32, ba: u32, ea: u32) -> Option<Range> {
+    pub fn heap_alloc(
+        &mut self,
+        plan: &dyn MonitorPlan,
+        seq: u32,
+        ba: u32,
+        ea: u32,
+    ) -> Option<Range> {
         if plan.monitor_heap(seq, &self.stack_fids) {
             self.heap_ranges.insert(seq, (ba, ea));
             Some((ba, ea))
@@ -119,7 +127,12 @@ impl SessionTracker {
 
     /// Records a realloc move; returns `(remove, install)` ranges when
     /// the object was monitored (identity is preserved per the paper).
-    pub fn heap_realloc(&mut self, seq: u32, new_ba: u32, new_ea: u32) -> (Option<Range>, Option<Range>) {
+    pub fn heap_realloc(
+        &mut self,
+        seq: u32,
+        new_ba: u32,
+        new_ea: u32,
+    ) -> (Option<Range>, Option<Range>) {
         match self.heap_ranges.get_mut(&seq) {
             Some(r) => {
                 let old = *r;
@@ -202,7 +215,10 @@ mod tests {
     #[test]
     fn heap_lifecycle_with_selective_plan() {
         let debug = debug_for(SRC);
-        let plan = RangePlan { heap_seqs: vec![1], ..RangePlan::default() };
+        let plan = RangePlan {
+            heap_seqs: vec![1],
+            ..RangePlan::default()
+        };
         let mut t = SessionTracker::new(&debug, &plan);
         assert_eq!(t.heap_alloc(&plan, 0, 0x40_0000, 0x40_0010), None);
         assert_eq!(

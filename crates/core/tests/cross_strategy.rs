@@ -4,8 +4,8 @@
 //! qualitative ordering.
 
 use databp_core::{
-    CodePatch, DynamicCodePatch, MonitorPlan, NativeHardware, RangePlan, TrapPatch,
-    VirtualMemory, VmContinuation,
+    CodePatch, DynamicCodePatch, MonitorPlan, NativeHardware, RangePlan, TrapPatch, VirtualMemory,
+    VmContinuation,
 };
 use databp_machine::Machine;
 use databp_tinyc::{compile, Compiled, DebugInfo, Options};
@@ -52,32 +52,67 @@ fn run_all(plan: &dyn MonitorPlan) -> Vec<(String, u64, u64, f64)> {
     let mut out = Vec::new();
     {
         let (mut m, d) = fresh(&Options::plain());
-        let r = NativeHardware::default().run(&mut m, &d, plan, 50_000_000).unwrap();
-        out.push(("NH".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        let r = NativeHardware::default()
+            .run(&mut m, &d, plan, 50_000_000)
+            .unwrap();
+        out.push((
+            "NH".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     {
         let (mut m, d) = fresh(&Options::plain());
-        let r = VirtualMemory::k4().run(&mut m, &d, plan, 50_000_000).unwrap();
-        out.push(("VM-4K".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        let r = VirtualMemory::k4()
+            .run(&mut m, &d, plan, 50_000_000)
+            .unwrap();
+        out.push((
+            "VM-4K".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     {
         let (mut m, d) = fresh(&Options::plain());
-        let r = TrapPatch::default().run(&mut m, &d, plan, 50_000_000).unwrap();
-        out.push(("TP".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        let r = TrapPatch::default()
+            .run(&mut m, &d, plan, 50_000_000)
+            .unwrap();
+        out.push((
+            "TP".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     {
         let (mut m, d) = fresh(&Options::codepatch());
-        let r = CodePatch::default().run(&mut m, &d, plan, 50_000_000).unwrap();
-        out.push(("CP".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        let r = CodePatch::default()
+            .run(&mut m, &d, plan, 50_000_000)
+            .unwrap();
+        out.push((
+            "CP".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     {
         let (mut m, d) = fresh(&Options::nop_padding());
-        let r = DynamicCodePatch::default().run(&mut m, &d, plan, 50_000_000).unwrap();
-        out.push(("DynCP".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        let r = DynamicCodePatch::default()
+            .run(&mut m, &d, plan, 50_000_000)
+            .unwrap();
+        out.push((
+            "DynCP".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     {
@@ -86,7 +121,12 @@ fn run_all(plan: &dyn MonitorPlan) -> Vec<(String, u64, u64, f64)> {
             .with_continuation(VmContinuation::StepReprotect)
             .run(&mut m, &d, plan, 50_000_000)
             .unwrap();
-        out.push(("VM-step".into(), r.counts.hit, r.notification_count, r.relative_overhead()));
+        out.push((
+            "VM-step".into(),
+            r.counts.hit,
+            r.notification_count,
+            r.relative_overhead(),
+        ));
         assert_eq!(m.output(), b"190\n");
     }
     out
@@ -94,10 +134,16 @@ fn run_all(plan: &dyn MonitorPlan) -> Vec<(String, u64, u64, f64)> {
 
 #[test]
 fn all_strategies_agree_on_hits_for_global_monitor() {
-    let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+    let plan = RangePlan {
+        globals: vec![0],
+        ..RangePlan::default()
+    };
     let results = run_all(&plan);
     let hits: Vec<u64> = results.iter().map(|r| r.1).collect();
-    assert!(hits.iter().all(|&h| h == hits[0]), "hit counts diverge: {results:?}");
+    assert!(
+        hits.iter().all(|&h| h == hits[0]),
+        "hit counts diverge: {results:?}"
+    );
     assert_eq!(hits[0], 1, "one write to `total`");
     let notifs: Vec<u64> = results.iter().map(|r| r.2).collect();
     assert_eq!(notifs, hits);
@@ -106,10 +152,16 @@ fn all_strategies_agree_on_hits_for_global_monitor() {
 #[test]
 fn all_strategies_agree_on_hits_for_heap_monitor() {
     // Monitor the 3rd heap allocation.
-    let plan = RangePlan { heap_seqs: vec![2], ..RangePlan::default() };
+    let plan = RangePlan {
+        heap_seqs: vec![2],
+        ..RangePlan::default()
+    };
     let results = run_all(&plan);
     let hits: Vec<u64> = results.iter().map(|r| r.1).collect();
-    assert!(hits.iter().all(|&h| h == hits[0]), "hit counts diverge: {results:?}");
+    assert!(
+        hits.iter().all(|&h| h == hits[0]),
+        "hit counts diverge: {results:?}"
+    );
     // Each node gets val and next written once.
     assert_eq!(hits[0], 2);
 }
@@ -125,10 +177,16 @@ fn all_strategies_agree_on_hits_for_local_monitor() {
         .find(|l| l.name == "sum")
         .unwrap()
         .var;
-    let plan = RangePlan { locals: vec![(fid, var)], ..RangePlan::default() };
+    let plan = RangePlan {
+        locals: vec![(fid, var)],
+        ..RangePlan::default()
+    };
     let results = run_all(&plan);
     let hits: Vec<u64> = results.iter().map(|r| r.1).collect();
-    assert!(hits.iter().all(|&h| h == hits[0]), "hit counts diverge: {results:?}");
+    assert!(
+        hits.iter().all(|&h| h == hits[0]),
+        "hit counts diverge: {results:?}"
+    );
     // sum = 0 plus 20 accumulations.
     assert_eq!(hits[0], 21);
 }
@@ -138,21 +196,42 @@ fn qualitative_cost_ordering_matches_paper() {
     // The paper's headline: for typical sessions NH is cheapest, CP is
     // close, and TP/VM are orders of magnitude slower; TP pays for every
     // write.
-    let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+    let plan = RangePlan {
+        globals: vec![0],
+        ..RangePlan::default()
+    };
     let results = run_all(&plan);
     let get = |name: &str| results.iter().find(|r| r.0 == name).unwrap().3;
     let (nh, vm, tp, cp) = (get("NH"), get("VM-4K"), get("TP"), get("CP"));
-    assert!(nh < cp, "NH ({nh:.3}) should beat CP ({cp:.3}) on a quiet session");
-    assert!(cp < tp, "CP ({cp:.3}) must be far cheaper than TP ({tp:.3})");
-    assert!(cp < vm, "CP ({cp:.3}) must be cheaper than VM ({vm:.3}) here");
-    assert!(tp / cp > 10.0, "TP/CP ratio should be large, got {}", tp / cp);
+    assert!(
+        nh < cp,
+        "NH ({nh:.3}) should beat CP ({cp:.3}) on a quiet session"
+    );
+    assert!(
+        cp < tp,
+        "CP ({cp:.3}) must be far cheaper than TP ({tp:.3})"
+    );
+    assert!(
+        cp < vm,
+        "CP ({cp:.3}) must be cheaper than VM ({vm:.3}) here"
+    );
+    assert!(
+        tp / cp > 10.0,
+        "TP/CP ratio should be large, got {}",
+        tp / cp
+    );
 }
 
 #[test]
 fn notifications_carry_pcs_inside_code_segment() {
-    let plan = RangePlan { globals: vec![0], ..RangePlan::default() };
+    let plan = RangePlan {
+        globals: vec![0],
+        ..RangePlan::default()
+    };
     let (mut m, d) = fresh(&Options::codepatch());
-    let r = CodePatch::default().run(&mut m, &d, &plan, 50_000_000).unwrap();
+    let r = CodePatch::default()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
     for n in &r.notifications {
         assert!(n.pc >= databp_machine::CODE_BASE);
         assert!(n.ba < n.ea);

@@ -1,0 +1,117 @@
+//! The `WmsCounters` migration contract: after a cross-strategy run
+//! with telemetry enabled, the global registry's `wms.*` counters must
+//! equal the sum of every strategy's legacy per-instance counters.
+//!
+//! Lives in its own test binary (single `#[test]`) because the global
+//! registry is process-wide — nothing else may touch `wms.*` here.
+
+use databp_core::{
+    CodePatch, DynamicCodePatch, NativeHardware, RangePlan, TrapPatch, VirtualMemory, Wms,
+    WmsCounters,
+};
+use databp_machine::Machine;
+use databp_tinyc::{compile, Compiled, DebugInfo, Options};
+
+const SRC: &str = r#"
+    int total;
+    int accumulate(int n) {
+        int i; int sum;
+        sum = 0;
+        for (i = 0; i < n; i = i + 1) {
+            total = total + i;
+            sum = sum + total;
+        }
+        return sum;
+    }
+    int main() {
+        print_int(accumulate(12));
+        return 0;
+    }
+"#;
+
+fn fresh(opts: &Options) -> (Machine, DebugInfo) {
+    let Compiled { program, debug } = compile(SRC, opts).unwrap();
+    let mut m = Machine::new();
+    m.load(&program);
+    (m, debug)
+}
+
+fn add(total: &mut WmsCounters, c: WmsCounters) {
+    total.installs += c.installs;
+    total.removes += c.removes;
+    total.lookups += c.lookups;
+    total.hits += c.hits;
+}
+
+#[test]
+fn registry_mirrors_legacy_counters_across_strategies() {
+    databp_telemetry::set_enabled(true);
+    databp_telemetry::global().reset();
+
+    let plan = RangePlan {
+        globals: vec![0],
+        ..RangePlan::default()
+    };
+    let mut legacy = WmsCounters::default();
+
+    let (mut m, d) = fresh(&Options::plain());
+    let r = NativeHardware::default()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    let (mut m, d) = fresh(&Options::plain());
+    let r = VirtualMemory::k4()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    let (mut m, d) = fresh(&Options::plain());
+    let r = VirtualMemory::k8()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    let (mut m, d) = fresh(&Options::plain());
+    let r = TrapPatch::default()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    let (mut m, d) = fresh(&Options::codepatch());
+    let r = CodePatch::default()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    let (mut m, d) = fresh(&Options::nop_padding());
+    let r = DynamicCodePatch::default()
+        .run(&mut m, &d, &plan, 50_000_000)
+        .unwrap();
+    add(&mut legacy, r.wms_counters);
+
+    // Plus one directly driven service instance, so the equality also
+    // covers usage outside the strategy drivers.
+    let mut w = Wms::new();
+    let id = w.install(0x10_0000, 0x10_0010).unwrap();
+    assert!(w.check_write(0x10_0000, 0x10_0004, 0));
+    assert!(!w.check_write(0x20_0000, 0x20_0004, 4));
+    w.remove(id).unwrap();
+    add(&mut legacy, w.counters());
+
+    databp_telemetry::set_enabled(false);
+    let snap = databp_telemetry::global().snapshot();
+
+    assert!(legacy.installs > 0, "the run must install monitors");
+    assert!(legacy.lookups > 0, "the run must perform lookups");
+    assert_eq!(snap.counter("wms.installs"), Some(legacy.installs));
+    assert_eq!(snap.counter("wms.removes"), Some(legacy.removes));
+    assert_eq!(snap.counter("wms.lookups"), Some(legacy.lookups));
+    assert_eq!(snap.counter("wms.hits"), Some(legacy.hits));
+    // Every strategy tears its monitors down at exit, so the active
+    // gauge must balance back to installs − removes.
+    assert_eq!(
+        snap.gauge("wms.monitors.active"),
+        Some(legacy.installs as i64 - legacy.removes as i64)
+    );
+}

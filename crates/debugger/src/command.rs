@@ -79,7 +79,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "continue" | "c" => Ok(Command::Continue),
         "stepi" | "si" => match rest.as_slice() {
             [] => Ok(Command::StepI(1)),
-            [n] => n.parse().map(Command::StepI).map_err(|_| "usage: stepi [n]".into()),
+            [n] => n
+                .parse()
+                .map(Command::StepI)
+                .map_err(|_| "usage: stepi [n]".into()),
             _ => Err("usage: stepi [n]".into()),
         },
         "print" | "p" => match rest.as_slice() {
@@ -94,7 +97,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         },
         "disasm" | "x" => match rest.as_slice() {
             [] => Ok(Command::Disasm(8)),
-            [n] => n.parse().map(Command::Disasm).map_err(|_| "usage: disasm [n]".into()),
+            [n] => n
+                .parse()
+                .map(Command::Disasm)
+                .map_err(|_| "usage: disasm [n]".into()),
             _ => Err("usage: disasm [n]".into()),
         },
         "output" | "o" => Ok(Command::Output),
@@ -114,8 +120,9 @@ fn parse_watch(rest: &[&str]) -> Result<Command, String> {
             let cond_words = &rest[pos + 1..];
             let cond = match cond_words {
                 [op, val] => {
-                    let v: i32 =
-                        val.parse().map_err(|_| format!("bad condition value '{val}'"))?;
+                    let v: i32 = val
+                        .parse()
+                        .map_err(|_| format!("bad condition value '{val}'"))?;
                     match *op {
                         "==" => Condition::Eq(v),
                         "!=" => Condition::Ne(v),
@@ -132,12 +139,14 @@ fn parse_watch(rest: &[&str]) -> Result<Command, String> {
     };
     let target = match target_words {
         ["heap", n] => WatchTarget::Heap(
-            n.parse().map_err(|_| format!("bad heap object number '{n}'"))?,
+            n.parse()
+                .map_err(|_| format!("bad heap object number '{n}'"))?,
         ),
         [name] => match name.split_once('.') {
-            Some((func, var)) if !func.is_empty() && !var.is_empty() => {
-                WatchTarget::Local { func: func.to_string(), var: var.to_string() }
-            }
+            Some((func, var)) if !func.is_empty() && !var.is_empty() => WatchTarget::Local {
+                func: func.to_string(),
+                var: var.to_string(),
+            },
             Some(_) => return Err(format!("malformed local name '{name}'")),
             None => WatchTarget::Global(name.to_string()),
         },
@@ -159,7 +168,10 @@ mod tests {
         assert_eq!(
             parse_command("w main.i").unwrap(),
             Command::Watch(
-                WatchTarget::Local { func: "main".into(), var: "i".into() },
+                WatchTarget::Local {
+                    func: "main".into(),
+                    var: "i".into()
+                },
                 Condition::Always
             )
         );
@@ -179,12 +191,18 @@ mod tests {
 
     #[test]
     fn parses_control_commands() {
-        assert_eq!(parse_command("break main").unwrap(), Command::Break("main".into()));
+        assert_eq!(
+            parse_command("break main").unwrap(),
+            Command::Break("main".into())
+        );
         assert_eq!(parse_command("r").unwrap(), Command::Run);
         assert_eq!(parse_command("c").unwrap(), Command::Continue);
         assert_eq!(parse_command("si 100").unwrap(), Command::StepI(100));
         assert_eq!(parse_command("stepi").unwrap(), Command::StepI(1));
-        assert_eq!(parse_command("p main.x").unwrap(), Command::Print("main.x".into()));
+        assert_eq!(
+            parse_command("p main.x").unwrap(),
+            Command::Print("main.x".into())
+        );
         assert_eq!(parse_command("bt").unwrap(), Command::Backtrace);
         assert_eq!(parse_command("info watch").unwrap(), Command::InfoWatch);
         assert_eq!(parse_command("delete 2").unwrap(), Command::Delete(2));

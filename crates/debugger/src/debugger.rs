@@ -4,7 +4,7 @@ use crate::command::{parse_command, Command, WatchTarget};
 use crate::watches::{Condition, Watch, WatchId, WatchKind};
 use databp_core::{Monitor, MonitorId, PageMap};
 use databp_machine::{disasm, Machine, MachineError, MarkKind, NoHooks, StopConfig, StopReason};
-use databp_tinyc::{compile, Compiled, CompileError, Options};
+use databp_tinyc::{compile, CompileError, Compiled, Options};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
@@ -79,12 +79,15 @@ impl Debugger {
     ///
     /// [`DebuggerError::Compile`] on a bad program.
     pub fn launch(source: &str, args: &[i32]) -> Result<Debugger, DebuggerError> {
-        let compiled =
-            compile(source, &Options::codepatch()).map_err(DebuggerError::Compile)?;
+        let compiled = compile(source, &Options::codepatch()).map_err(DebuggerError::Compile)?;
         let mut machine = Machine::new();
         machine.load(&compiled.program);
         machine.set_args(args.to_vec());
-        machine.set_stop_config(StopConfig { marks: true, heap: true, chk: true });
+        machine.set_stop_config(StopConfig {
+            marks: true,
+            heap: true,
+            chk: true,
+        });
         Ok(Debugger {
             machine,
             compiled,
@@ -151,9 +154,7 @@ impl Debugger {
             Command::InfoWatch => Ok(self.info_watch()),
             Command::InfoBreak => Ok(self.info_break()),
             Command::Disasm(n) => self.disassemble(n),
-            Command::Output => {
-                Ok(String::from_utf8_lossy(self.machine.output()).into_owned())
-            }
+            Command::Output => Ok(String::from_utf8_lossy(self.machine.output()).into_owned()),
             Command::Help => Ok(HELP.to_string()),
             Command::Quit => Ok("bye".to_string()),
         }
@@ -164,8 +165,10 @@ impl Debugger {
     fn install(&mut self, ba: u32, ea: u32, owner: WatchId) -> MonitorId {
         let id = MonitorId::from_raw(self.next_monitor);
         self.next_monitor += 1;
-        self.map
-            .install(id, Monitor::new(ba, ea).expect("object ranges are non-empty"));
+        self.map.install(
+            id,
+            Monitor::new(ba, ea).expect("object ranges are non-empty"),
+        );
         self.mon_watch.insert(id, owner);
         id
     }
@@ -182,10 +185,11 @@ impl Debugger {
                             .iter()
                             .find(|g| !g.is_literal && g.name.ends_with(&format!("::{name}")))
                     })
-                    .ok_or_else(|| {
-                        DebuggerError::Command(format!("no global named '{name}'"))
-                    })?;
-                WatchKind::Global { id: g.id, name: g.name.clone() }
+                    .ok_or_else(|| DebuggerError::Command(format!("no global named '{name}'")))?;
+                WatchKind::Global {
+                    id: g.id,
+                    name: g.name.clone(),
+                }
             }
             WatchTarget::Local { func, var } => {
                 let fid = debug
@@ -198,14 +202,25 @@ impl Debugger {
                     .ok_or_else(|| {
                         DebuggerError::Command(format!("{func}() has no local '{var}'"))
                     })?;
-                WatchKind::Local { func: fid, var: local.var, name: format!("{func}.{var}") }
+                WatchKind::Local {
+                    func: fid,
+                    var: local.var,
+                    name: format!("{func}.{var}"),
+                }
             }
             WatchTarget::Heap(seq) => WatchKind::Heap { seq: *seq },
         };
 
         let wid = WatchId(self.next_watch);
         self.next_watch += 1;
-        self.watches.insert(wid.0, Watch { kind: kind.clone(), cond, hits: 0 });
+        self.watches.insert(
+            wid.0,
+            Watch {
+                kind: kind.clone(),
+                cond,
+                hits: 0,
+            },
+        );
 
         // Realize monitors for already-live objects.
         let mut realized = 0usize;
@@ -217,9 +232,8 @@ impl Debugger {
                 realized += 1;
             }
             WatchKind::Local { func, var, .. } => {
-                let local = self.compiled.debug.functions[func as usize].locals
-                    [var as usize]
-                    .clone();
+                let local =
+                    self.compiled.debug.functions[func as usize].locals[var as usize].clone();
                 for depth in 0..self.stack.len() {
                     let (fid, fp) = self.stack[depth];
                     if fid == func {
@@ -270,8 +284,11 @@ impl Debugger {
                     self.map.remove(id, mon);
                 }
             }
-            if let Some(seq) =
-                self.heap_monitors.iter().find(|(_, (m, _))| *m == id).map(|(s, _)| *s)
+            if let Some(seq) = self
+                .heap_monitors
+                .iter()
+                .find(|(_, (m, _))| *m == id)
+                .map(|(s, _)| *s)
             {
                 let (_, mon) = self.heap_monitors.remove(&seq).expect("just found");
                 self.map.remove(id, mon);
@@ -365,7 +382,9 @@ impl Debugger {
                 let mut pauses = Vec::new();
                 let in_func = self.func_at(ev.pc).to_string();
                 for id in ids {
-                    let Some(&wid) = self.mon_watch.get(&id) else { continue };
+                    let Some(&wid) = self.mon_watch.get(&id) else {
+                        continue;
+                    };
                     let w = self.watches.get_mut(&wid.0).expect("monitor owner exists");
                     w.hits += 1;
                     if w.cond.holds(value) {
@@ -386,7 +405,12 @@ impl Debugger {
                 }
                 Ok(None)
             }
-            StopReason::Mark { kind: MarkKind::Enter, fid, fp, .. } => {
+            StopReason::Mark {
+                kind: MarkKind::Enter,
+                fid,
+                fp,
+                ..
+            } => {
                 self.stack.push((fid, fp));
                 self.frame_monitors.push(Vec::new());
                 // Install monitors for local watches on this function.
@@ -395,8 +419,8 @@ impl Debugger {
                     .iter()
                     .filter_map(|(n, w)| match w.kind {
                         WatchKind::Local { func, var, .. } if func == fid => {
-                            let l = &self.compiled.debug.functions[func as usize].locals
-                                [var as usize];
+                            let l =
+                                &self.compiled.debug.functions[func as usize].locals[var as usize];
                             Some((WatchId(*n), l.offset, l.size))
                         }
                         _ => None,
@@ -421,7 +445,10 @@ impl Debugger {
                 }
                 Ok(None)
             }
-            StopReason::Mark { kind: MarkKind::Exit, .. } => {
+            StopReason::Mark {
+                kind: MarkKind::Exit,
+                ..
+            } => {
                 let frames = self.frame_monitors.pop().unwrap_or_default();
                 for (id, mon) in frames {
                     self.map.remove(id, mon);
@@ -451,7 +478,12 @@ impl Debugger {
                 }
                 Ok(None)
             }
-            StopReason::HeapRealloc { seq, new_ba, new_ea, .. } => {
+            StopReason::HeapRealloc {
+                seq,
+                new_ba,
+                new_ea,
+                ..
+            } => {
                 self.heap_live.insert(seq, (new_ba, new_ea));
                 if let Some((id, mon)) = self.heap_monitors.remove(&seq) {
                     let wid = self.mon_watch.remove(&id).expect("owned monitor");
@@ -508,9 +540,7 @@ impl Debugger {
                 .locals
                 .iter()
                 .find(|l| l.name == var)
-                .ok_or_else(|| {
-                    DebuggerError::Command(format!("{func}() has no local '{var}'"))
-                })?;
+                .ok_or_else(|| DebuggerError::Command(format!("{func}() has no local '{var}'")))?;
             let (_, fp) = self
                 .stack
                 .iter()
@@ -519,12 +549,17 @@ impl Debugger {
                 .ok_or_else(|| DebuggerError::Command(format!("{func}() is not live")))?;
             let ba = fp.wrapping_add(local.offset as u32);
             let v = self.read_value(ba, local.size.min(4))?;
-            return Ok(format!("{name} = {v} (at {ba:#010x}, {} bytes)", local.size));
+            return Ok(format!(
+                "{name} = {v} (at {ba:#010x}, {} bytes)",
+                local.size
+            ));
         }
         // Bare name: local of the innermost frame, then global.
         if let Some(&(fid, fp)) = self.stack.last() {
-            if let Some(l) =
-                debug.functions[fid as usize].locals.iter().find(|l| l.name == name)
+            if let Some(l) = debug.functions[fid as usize]
+                .locals
+                .iter()
+                .find(|l| l.name == name)
             {
                 let ba = fp.wrapping_add(l.offset as u32);
                 let v = self.read_value(ba, l.size.min(4))?;
@@ -538,7 +573,11 @@ impl Debugger {
             .global(name)
             .ok_or_else(|| DebuggerError::Command(format!("no variable named '{name}'")))?;
         let v = self.read_value(g.ba, (g.ea - g.ba).min(4))?;
-        Ok(format!("{name} = {v} (global at {:#010x}, {} bytes)", g.ba, g.ea - g.ba))
+        Ok(format!(
+            "{name} = {v} (global at {:#010x}, {} bytes)",
+            g.ba,
+            g.ea - g.ba
+        ))
     }
 
     fn backtrace(&self) -> String {
@@ -590,7 +629,10 @@ impl Debugger {
             let instr = self.machine.instr_at(i)?;
             let addr = databp_machine::CODE_BASE + 4 * i as u32;
             let marker = if addr == pc { "=>" } else { "  " };
-            out.push_str(&format!("{marker} {addr:#010x}: {}\n", disasm::format_instr(&instr)));
+            out.push_str(&format!(
+                "{marker} {addr:#010x}: {}\n",
+                disasm::format_instr(&instr)
+            ));
         }
         Ok(out)
     }

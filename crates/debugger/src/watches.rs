@@ -117,7 +117,11 @@ mod tests {
     fn displays() {
         assert_eq!(WatchId(3).to_string(), "watch #3");
         assert_eq!(
-            WatchKind::Global { id: 0, name: "g".into() }.to_string(),
+            WatchKind::Global {
+                id: 0,
+                name: "g".into()
+            }
+            .to_string(),
             "global 'g'"
         );
         assert_eq!(Condition::Eq(7).to_string(), " if == 7");

@@ -26,7 +26,11 @@ fn run_script(program: &str, script: &str, args: &[&str]) -> (String, String, bo
     std::fs::write(&src, program).expect("write source");
 
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_qei"));
-    cmd.arg(&src).args(args).stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
+    cmd.arg(&src)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
     let mut child = cmd.spawn().expect("spawn qei");
     child
         .stdin
@@ -92,7 +96,10 @@ fn compile_errors_are_reported_with_line() {
         std::fs::create_dir_all(&dir).unwrap();
         let src = dir.join("bad.c");
         std::fs::write(&src, "int main() { return unknown_var; }").unwrap();
-        let out = Command::new(env!("CARGO_BIN_EXE_qei")).arg(&src).output().expect("spawn");
+        let out = Command::new(env!("CARGO_BIN_EXE_qei"))
+            .arg(&src)
+            .output()
+            .expect("spawn");
         let _ = std::fs::remove_dir_all(&dir);
         (
             String::from_utf8_lossy(&out.stdout).into_owned(),

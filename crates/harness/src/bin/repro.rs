@@ -2,7 +2,7 @@
 //! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads.
 //!
 //! ```text
-//! usage: repro [--small] [--csv DIR] <command>
+//! usage: repro [--small] [--csv DIR] [--telemetry FMT] <command>
 //!
 //! commands:
 //!   all          every experiment, in paper order
@@ -19,6 +19,8 @@
 //!   dyncp        Section 3.3 dynamic-patching hybrid (executes CodePatch)
 //!   nhcoverage   watch-register coverage analysis
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
+//!   perf         instrumented small-scale run; prints a telemetry
+//!                snapshot and writes results/perf.json
 //!   sessions W   list surviving sessions of workload W
 //!   dist W A     histogram of per-session overheads for workload W under
 //!                approach A (nh, vm4k, vm8k, tp, cp)
@@ -26,8 +28,10 @@
 //!                (binary when F ends in .bin, text otherwise)
 //!
 //! options:
-//!   --small      run scaled-down workloads (fast; for smoke tests)
-//!   --csv DIR    also write each table as CSV into DIR
+//!   --small           run scaled-down workloads (fast; for smoke tests)
+//!   --csv DIR         also write each table as CSV into DIR
+//!   --telemetry FMT   enable telemetry and dump a snapshot after the
+//!                     command (FMT: text, json, csv)
 //! ```
 
 use databp_harness::figures::{figure, figure_ascii, Figure};
@@ -35,13 +39,69 @@ use databp_harness::overheads_for;
 use databp_harness::render::TextTable;
 use databp_harness::{analyze, analyze_all, Scale};
 use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, tables};
+use databp_telemetry::Snapshot;
 use databp_workloads::Workload;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] <command>\n\
+                     commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
+                     expansion loopopt dyncp nhcoverage verify perf sessions dist trace\n\
+                     (see the source header for details)";
+
+/// Every valid subcommand — checked before any workload runs so an
+/// unknown command fails fast with a nonzero exit.
+const COMMANDS: &[&str] = &[
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "breakdown",
+    "expansion",
+    "loopopt",
+    "dyncp",
+    "nhcoverage",
+    "verify",
+    "perf",
+    "sessions",
+    "dist",
+    "trace",
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TelemetryFormat {
+    Text,
+    Json,
+    Csv,
+}
+
+impl TelemetryFormat {
+    fn parse(s: &str) -> Option<TelemetryFormat> {
+        match s {
+            "text" => Some(TelemetryFormat::Text),
+            "json" => Some(TelemetryFormat::Json),
+            "csv" => Some(TelemetryFormat::Csv),
+            _ => None,
+        }
+    }
+
+    fn render(self, snap: &Snapshot) -> String {
+        match self {
+            TelemetryFormat::Text => snap.to_text(),
+            TelemetryFormat::Json => snap.to_json(),
+            TelemetryFormat::Csv => snap.to_csv(),
+        }
+    }
+}
+
 struct Opts {
     scale: Scale,
     csv_dir: Option<PathBuf>,
+    telemetry: Option<TelemetryFormat>,
 }
 
 fn emit(opts: &Opts, slug: &str, table: &TextTable) {
@@ -56,7 +116,11 @@ fn emit(opts: &Opts, slug: &str, table: &TextTable) {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).collect::<Vec<_>>();
-    let mut opts = Opts { scale: Scale::Full, csv_dir: None };
+    let mut opts = Opts {
+        scale: Scale::Full,
+        csv_dir: None,
+        telemetry: None,
+    };
     if let Some(pos) = args.iter().position(|a| a == "--small") {
         args.remove(pos);
         opts.scale = Scale::Small;
@@ -69,15 +133,52 @@ fn main() -> ExitCode {
         }
         opts.csv_dir = Some(PathBuf::from(args.remove(pos)));
     }
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--telemetry needs a format: text, json, or csv");
+            return ExitCode::FAILURE;
+        }
+        let fmt = args.remove(pos);
+        let Some(fmt) = TelemetryFormat::parse(&fmt) else {
+            eprintln!("unknown telemetry format '{fmt}' (expected text, json, or csv)");
+            return ExitCode::FAILURE;
+        };
+        opts.telemetry = Some(fmt);
+    }
     let Some(cmd) = args.first().map(String::as_str) else {
-        eprintln!("usage: repro [--small] [--csv DIR] <command>; see source header");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if !COMMANDS.contains(&cmd) {
+        eprintln!("unknown command '{cmd}'\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
 
+    // `perf` enables telemetry itself; otherwise the flag controls it.
+    if opts.telemetry.is_some() || cmd == "perf" {
+        databp_telemetry::set_enabled(true);
+        databp_telemetry::global().reset();
+    }
+
+    let code = run(cmd, &args, &opts);
+
+    // For every command except `perf` (which prints its own snapshot),
+    // `--telemetry` appends a dump of everything recorded.
+    if cmd != "perf" {
+        if let Some(fmt) = opts.telemetry {
+            print!("{}", fmt.render(&databp_telemetry::global().snapshot()));
+        }
+    }
+    code
+}
+
+fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     match cmd {
+        "perf" => return perf(opts),
         "table2" => {
             // No workload runs needed.
-            emit(&opts, "table2", &tables::table2());
+            emit(opts, "table2", &tables::table2());
             return ExitCode::SUCCESS;
         }
         "dist" => {
@@ -203,30 +304,30 @@ fn main() -> ExitCode {
 
     match cmd {
         "all" => {
-            emit(&opts, "table1", &tables::table1(&results));
-            emit(&opts, "table2", &tables::table2());
-            emit(&opts, "table3", &tables::table3(&results));
-            emit(&opts, "table4", &tables::table4(&results));
-            run_figures(&opts, Figure::Max, "fig7");
-            run_figures(&opts, Figure::P90, "fig8");
-            run_figures(&opts, Figure::TMean, "fig9");
-            emit(&opts, "breakdown", &breakdown::breakdown_table(&results));
-            emit(&opts, "expansion", &expansion::expansion_table(&results));
-            emit(&opts, "nhcoverage", &nhcoverage::coverage_table(&results));
-            emit(&opts, "loopopt", &loopopt::loopopt_table(&results, 3));
-            emit(&opts, "dyncp", &dyncp::dyncp_table(&results));
+            emit(opts, "table1", &tables::table1(&results));
+            emit(opts, "table2", &tables::table2());
+            emit(opts, "table3", &tables::table3(&results));
+            emit(opts, "table4", &tables::table4(&results));
+            run_figures(opts, Figure::Max, "fig7");
+            run_figures(opts, Figure::P90, "fig8");
+            run_figures(opts, Figure::TMean, "fig9");
+            emit(opts, "breakdown", &breakdown::breakdown_table(&results));
+            emit(opts, "expansion", &expansion::expansion_table(&results));
+            emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results));
+            emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3));
+            emit(opts, "dyncp", &dyncp::dyncp_table(&results));
         }
-        "table1" => emit(&opts, "table1", &tables::table1(&results)),
-        "table3" => emit(&opts, "table3", &tables::table3(&results)),
-        "table4" => emit(&opts, "table4", &tables::table4(&results)),
-        "fig7" => run_figures(&opts, Figure::Max, "fig7"),
-        "fig8" => run_figures(&opts, Figure::P90, "fig8"),
-        "fig9" => run_figures(&opts, Figure::TMean, "fig9"),
-        "breakdown" => emit(&opts, "breakdown", &breakdown::breakdown_table(&results)),
-        "expansion" => emit(&opts, "expansion", &expansion::expansion_table(&results)),
-        "nhcoverage" => emit(&opts, "nhcoverage", &nhcoverage::coverage_table(&results)),
-        "loopopt" => emit(&opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
-        "dyncp" => emit(&opts, "dyncp", &dyncp::dyncp_table(&results)),
+        "table1" => emit(opts, "table1", &tables::table1(&results)),
+        "table3" => emit(opts, "table3", &tables::table3(&results)),
+        "table4" => emit(opts, "table4", &tables::table4(&results)),
+        "fig7" => run_figures(opts, Figure::Max, "fig7"),
+        "fig8" => run_figures(opts, Figure::P90, "fig8"),
+        "fig9" => run_figures(opts, Figure::TMean, "fig9"),
+        "breakdown" => emit(opts, "breakdown", &breakdown::breakdown_table(&results)),
+        "expansion" => emit(opts, "expansion", &expansion::expansion_table(&results)),
+        "nhcoverage" => emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results)),
+        "loopopt" => emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
+        "dyncp" => emit(opts, "dyncp", &dyncp::dyncp_table(&results)),
         "verify" => {
             let checks = databp_harness::verify::verify(&results);
             let (text, all) = databp_harness::verify::render(&checks);
@@ -235,10 +336,64 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        other => {
-            eprintln!("unknown command '{other}'");
-            return ExitCode::FAILURE;
+        other => unreachable!("command '{other}' passed validation but has no handler"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `perf` subcommand: a fully instrumented small-scale pass over
+/// every experiment. The registry is reset first, so counters reflect
+/// exactly this run (and are deterministic run to run); spans and the
+/// derived rates carry the host's wall-clock timings.
+fn perf(opts: &Opts) -> ExitCode {
+    eprintln!("running scaled-down workloads under telemetry...");
+    let wall = std::time::Instant::now();
+    let results = analyze_all(Scale::Small);
+
+    // Exercise every harness path so each `harness.*` span is recorded;
+    // the tables themselves go to the CSV dir if requested, not stdout.
+    let tables = [
+        ("table1", tables::table1(&results)),
+        ("table2", tables::table2()),
+        ("table3", tables::table3(&results)),
+        ("table4", tables::table4(&results)),
+        ("fig7", figure(&results, Figure::Max)),
+        ("fig8", figure(&results, Figure::P90)),
+        ("fig9", figure(&results, Figure::TMean)),
+        ("breakdown", breakdown::breakdown_table(&results)),
+        ("expansion", expansion::expansion_table(&results)),
+        ("nhcoverage", nhcoverage::coverage_table(&results)),
+        ("loopopt", loopopt::loopopt_table(&results, 3)),
+        ("dyncp", dyncp::dyncp_table(&results)),
+    ];
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for (slug, table) in &tables {
+            std::fs::write(dir.join(format!("{slug}.csv")), table.render_csv()).expect("write csv");
         }
     }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    eprintln!("workloads done in {wall_secs:.2}s.\n");
+
+    let mut snap = databp_telemetry::global().snapshot();
+    let instructions = snap.counter("machine.instructions.retired").unwrap_or(0);
+    let events = snap.counter("sim.events.replayed").unwrap_or(0);
+    let replay_secs = snap
+        .span("sim.replay")
+        .map_or(0.0, |s| s.total_ns as f64 / 1e9);
+    snap.push_derived("wall_seconds", wall_secs);
+    if replay_secs > 0.0 {
+        snap.push_derived("events_per_sec", events as f64 / replay_secs);
+    }
+    if wall_secs > 0.0 {
+        snap.push_derived("instructions_per_sec", instructions as f64 / wall_secs);
+    }
+
+    let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
+    print!("{}", fmt.render(&snap));
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/perf.json", snap.to_json()).expect("write results/perf.json");
+    eprintln!("(snapshot written to results/perf.json)");
     ExitCode::SUCCESS
 }

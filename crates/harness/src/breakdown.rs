@@ -11,7 +11,11 @@ use databp_models::{overhead, Approach, TimingVar, TimingVars};
 /// total overhead are skipped.
 pub fn mean_fraction(r: &WorkloadResults, approach: Approach, var: TimingVar) -> f64 {
     let timing = TimingVars::default();
-    let counts = if approach == Approach::Vm8k { &r.counts8 } else { &r.counts4 };
+    let counts = if approach == Approach::Vm8k {
+        &r.counts8
+    } else {
+        &r.counts4
+    };
     let mut total = 0.0;
     let mut n = 0usize;
     for c in counts {
@@ -42,6 +46,7 @@ fn headline_var(a: Approach) -> TimingVar {
 /// timing variable for each approach. Section 8 expects ~100% for NH,
 /// 86–97% for VM, ~97% for TP, and 98–99% for CP.
 pub fn breakdown_table(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.breakdown");
     let mut t = TextTable::new(
         "Section 8 breakdown: mean share of the dominant timing variable",
         &[

@@ -34,7 +34,12 @@ fn run_static(r: &WorkloadResults, plan: &dyn MonitorPlan) -> f64 {
     m.load(&r.prepared.codepatch.program);
     m.set_args(r.prepared.workload.args.clone());
     CodePatch::default()
-        .run(&mut m, &r.prepared.codepatch.debug, plan, r.prepared.workload.max_steps * 2)
+        .run(
+            &mut m,
+            &r.prepared.codepatch.debug,
+            plan,
+            r.prepared.workload.max_steps * 2,
+        )
         .expect("CodePatch run")
         .relative_overhead()
 }
@@ -44,7 +49,12 @@ fn run_dynamic(r: &WorkloadResults, plan: &dyn MonitorPlan) -> (f64, u64, u64) {
     m.load(&r.prepared.nop_padded.program);
     m.set_args(r.prepared.workload.args.clone());
     let rep = DynamicCodePatch::default()
-        .run(&mut m, &r.prepared.nop_padded.debug, plan, r.prepared.workload.max_steps * 2)
+        .run(
+            &mut m,
+            &r.prepared.nop_padded.debug,
+            plan,
+            r.prepared.workload.max_steps * 2,
+        )
         .expect("DynamicCodePatch run");
     (rep.relative_overhead(), rep.patch_events, rep.counts.hit)
 }
@@ -60,17 +70,15 @@ pub fn measure(r: &WorkloadResults) -> Vec<DynCpRow> {
         dyn_cp: dyn_idle,
         patch_events: patches,
     });
-    if let Some((i, _)) = r
-        .counts4
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| c.hit)
-    {
+    if let Some((i, _)) = r.counts4.iter().enumerate().max_by_key(|(_, c)| c.hit) {
         let session = r.sessions[i];
         let plan = SessionPlan::new(session, &r.prepared.plain.debug);
         let cp = run_static(r, &plan);
         let (dyn_cp, patch_events, hits) = run_dynamic(r, &plan);
-        assert_eq!(hits, r.counts4[i].hit, "dynamic patching must not lose hits");
+        assert_eq!(
+            hits, r.counts4[i].hit,
+            "dynamic patching must not lose hits"
+        );
         rows.push(DynCpRow {
             workload: r.prepared.workload.name.to_string(),
             session: session.describe(&r.prepared.plain.debug),
@@ -84,13 +92,18 @@ pub fn measure(r: &WorkloadResults) -> Vec<DynCpRow> {
 
 /// The dynamic-patching table over all workloads.
 pub fn dyncp_table(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.dyncp");
     let mut t = TextTable::new(
         "Section 3.3 hybrid: static CodePatch vs dynamic nop-patching (executed)",
         &["Program", "Session", "CP", "DynCP", "saved", "patch sweeps"],
     );
     for r in results {
         for row in measure(r) {
-            let saved = if row.cp > 0.0 { 1.0 - row.dyn_cp / row.cp } else { 0.0 };
+            let saved = if row.cp > 0.0 {
+                1.0 - row.dyn_cp / row.cp
+            } else {
+                0.0
+            };
             t.row(vec![
                 row.workload,
                 row.session,

@@ -18,6 +18,7 @@ pub fn expansion_row(r: &WorkloadResults) -> (f64, f64) {
 
 /// The expansion table across all workloads.
 pub fn expansion_table(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.expansion");
     let mut t = TextTable::new(
         "Section 8: CodePatch static code expansion",
         &[

@@ -58,7 +58,11 @@ pub fn figure_series(results: &[WorkloadResults], fig: Figure) -> Vec<(String, V
 
 /// Renders the figure as a value table.
 pub fn figure(results: &[WorkloadResults], fig: Figure) -> TextTable {
-    let mut t = TextTable::new(fig.title(), &["Program", "NH", "VM-4K", "VM-8K", "TP", "CP"]);
+    let _span = databp_telemetry::time!("harness.figures");
+    let mut t = TextTable::new(
+        fig.title(),
+        &["Program", "NH", "VM-4K", "VM-8K", "TP", "CP"],
+    );
     for (name, vals) in figure_series(results, fig) {
         let mut row = vec![name];
         row.extend(vals.iter().map(|v| crate::render::fmt_rel(*v)));
@@ -88,7 +92,12 @@ pub fn figure_ascii(results: &[WorkloadResults], fig: Figure, width: usize) -> S
             } else {
                 0
             };
-            out.push_str(&format!("  {:>5} {:>10.2} |{}\n", a.abbrev(), v, "#".repeat(bar)));
+            out.push_str(&format!(
+                "  {:>5} {:>10.2} |{}\n",
+                a.abbrev(),
+                v,
+                "#".repeat(bar)
+            ));
         }
     }
     out.push_str("(bar length is log-scaled)\n");

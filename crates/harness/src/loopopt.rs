@@ -38,13 +38,26 @@ fn run_cp(
     plan: &dyn MonitorPlan,
     optimized: bool,
 ) -> databp_core::StrategyReport {
-    let build = if optimized { &r.prepared.codepatch_loopopt } else { &r.prepared.codepatch };
+    let build = if optimized {
+        &r.prepared.codepatch_loopopt
+    } else {
+        &r.prepared.codepatch
+    };
     let mut m = Machine::new();
     m.load(&build.program);
     m.set_args(r.prepared.workload.args.clone());
-    let strat = if optimized { CodePatch::with_loopopt() } else { CodePatch::default() };
+    let strat = if optimized {
+        CodePatch::with_loopopt()
+    } else {
+        CodePatch::default()
+    };
     strat
-        .run(&mut m, &build.debug, plan, r.prepared.workload.max_steps * 2)
+        .run(
+            &mut m,
+            &build.debug,
+            plan,
+            r.prepared.workload.max_steps * 2,
+        )
         .expect("CodePatch run failed")
 }
 
@@ -93,15 +106,26 @@ pub fn measure(r: &WorkloadResults, samples: usize) -> Vec<LoopOptRow> {
 
 /// The Section 9 table over all workloads.
 pub fn loopopt_table(results: &[WorkloadResults], samples: usize) -> TextTable {
+    let _span = databp_telemetry::time!("harness.loopopt");
     let mut t = TextTable::new(
         "Section 9: CodePatch loop-invariant preliminary checks (executed)",
         &[
-            "Program", "Session", "CP", "CP+loopopt", "saved", "skipped lookups", "preheader",
+            "Program",
+            "Session",
+            "CP",
+            "CP+loopopt",
+            "saved",
+            "skipped lookups",
+            "preheader",
         ],
     );
     for r in results {
         for row in measure(r, samples) {
-            let saved = if row.cp > 0.0 { 1.0 - row.cp_opt / row.cp } else { 0.0 };
+            let saved = if row.cp > 0.0 {
+                1.0 - row.cp_opt / row.cp
+            } else {
+                0.0
+            };
             t.row(vec![
                 row.workload,
                 row.session,

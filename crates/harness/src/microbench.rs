@@ -28,7 +28,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self, limit: u32) -> u32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as u32) % limit
     }
 }
@@ -91,7 +94,11 @@ pub fn software_microbenchmarks() -> SoftwareBench {
     let lookup_us = start.elapsed().as_secs_f64() * 1e6 / probes as f64;
     // Keep the hit count live so the loop cannot be optimized away.
     assert!(hits > 0, "some probes must hit the working set");
-    SoftwareBench { update_us, lookup_us, probes }
+    SoftwareBench {
+        update_us,
+        lookup_us,
+        probes,
+    }
 }
 
 #[cfg(test)]

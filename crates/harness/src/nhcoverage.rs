@@ -53,6 +53,7 @@ pub fn max_concurrent(r: &WorkloadResults) -> Vec<u32> {
 /// The coverage table: how many sessions fit 1/2/4 registers, and the
 /// largest demand seen.
 pub fn coverage_table(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.nhcoverage");
     let mut t = TextTable::new(
         "NativeHardware coverage: sessions supportable with N watch registers",
         &[
@@ -68,7 +69,10 @@ pub fn coverage_table(results: &[WorkloadResults]) -> TextTable {
         let maxes = max_concurrent(r);
         let n = maxes.len().max(1);
         let fit = |k: u32| maxes.iter().filter(|&&m| m <= k).count();
-        let over = maxes.iter().filter(|&&m| m > DEFAULT_WATCH_REGS as u32).count();
+        let over = maxes
+            .iter()
+            .filter(|&&m| m > DEFAULT_WATCH_REGS as u32)
+            .count();
         t.row(vec![
             r.prepared.workload.name.to_string(),
             maxes.len().to_string(),
@@ -104,7 +108,10 @@ mod tests {
             .zip(&maxes)
             .filter(|(s, &m)| s.kind() == SessionKind::AllHeapInFunc && m > 4)
             .collect();
-        assert!(!over.is_empty(), "expected a heap-wide session to exceed 4 registers");
+        assert!(
+            !over.is_empty(),
+            "expected a heap-wide session to exceed 4 registers"
+        );
     }
 
     #[test]

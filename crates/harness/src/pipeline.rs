@@ -60,8 +60,9 @@ impl WorkloadResults {
 ///
 /// Panics if the workload fails to run (covered by workload tests).
 pub fn analyze(workload: &Workload) -> WorkloadResults {
-    let prepared = prepare(workload)
-        .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name));
+    let _span = databp_telemetry::time!("harness.analyze");
+    let prepared =
+        prepare(workload).unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name));
     let all = enumerate_sessions(&prepared.plain.debug, &prepared.trace);
     let candidates = all.len();
     let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
@@ -80,7 +81,13 @@ pub fn analyze(workload: &Workload) -> WorkloadResults {
             counts8.push(c8[i]);
         }
     }
-    WorkloadResults { prepared, sessions, counts4, counts8, candidates }
+    WorkloadResults {
+        prepared,
+        sessions,
+        counts4,
+        counts8,
+        candidates,
+    }
 }
 
 /// Runs the pipeline for all five workloads at the given scale.
@@ -99,7 +106,11 @@ pub fn analyze_all(scale: Scale) -> Vec<WorkloadResults> {
 /// Table 4 cell and each figure summarizes.
 pub fn overheads_for(res: &WorkloadResults, approach: Approach) -> Vec<f64> {
     let timing = databp_models::TimingVars::default();
-    let counts = if approach == Approach::Vm8k { &res.counts8 } else { &res.counts4 };
+    let counts = if approach == Approach::Vm8k {
+        &res.counts8
+    } else {
+        &res.counts4
+    };
     counts
         .iter()
         .map(|c| overhead(approach, c, &timing).relative(res.prepared.base_us))
@@ -117,7 +128,10 @@ mod tests {
     #[test]
     fn zero_hit_sessions_filtered() {
         let r = small("cc");
-        assert!(r.sessions.len() < r.candidates, "some candidates never get written");
+        assert!(
+            r.sessions.len() < r.candidates,
+            "some candidates never get written"
+        );
         assert!(r.counts4.iter().all(|c| c.hit > 0));
         assert_eq!(r.sessions.len(), r.counts4.len());
         assert_eq!(r.sessions.len(), r.counts8.len());

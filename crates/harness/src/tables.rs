@@ -9,6 +9,7 @@ use databp_stats::Summary;
 /// Table 1: type and number of monitor sessions studied (zero-hit
 /// sessions excluded) plus base execution time in milliseconds.
 pub fn table1(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.table1");
     let mut t = TextTable::new(
         "Table 1: monitor sessions studied and base execution time",
         &[
@@ -42,11 +43,16 @@ pub fn table1(results: &[WorkloadResults]) -> TextTable {
 /// executing the Appendix A.5 software benchmarks against the real
 /// [`databp_core::PageMap`].
 pub fn table2() -> TextTable {
+    let _span = databp_telemetry::time!("harness.table2");
     let t = TimingVars::default();
     let measured = crate::microbench::software_microbenchmarks();
     let mut out = TextTable::new(
         "Table 2: timing variables (µs)",
-        &["Timing Variable", "Paper (SPARCstation 2)", "Host-measured (this machine)"],
+        &[
+            "Timing Variable",
+            "Paper (SPARCstation 2)",
+            "Host-measured (this machine)",
+        ],
     );
     for (var, us) in t.entries() {
         let host = match var {
@@ -62,6 +68,7 @@ pub fn table2() -> TextTable {
 /// Table 3: mean counting-variable data over all studied sessions of
 /// each program.
 pub fn table3(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.table3");
     let mut t = TextTable::new(
         "Table 3: mean counting variables over all monitor sessions",
         &[
@@ -97,11 +104,10 @@ pub fn table3(results: &[WorkloadResults]) -> TextTable {
 /// Table 4: relative overhead statistics. Rows per program: Min/Max,
 /// T-Mean/Mean, 90%/98% — exactly the paper's layout.
 pub fn table4(results: &[WorkloadResults]) -> TextTable {
+    let _span = databp_telemetry::time!("harness.table4");
     let mut t = TextTable::new(
         "Table 4: relative overhead statistics",
-        &[
-            "Program", "Statistic", "NH", "VM-4K", "VM-8K", "TP", "CP",
-        ],
+        &["Program", "Statistic", "NH", "VM-4K", "VM-8K", "TP", "CP"],
     );
     for r in results {
         let summaries: Vec<Summary> = Approach::ALL

@@ -24,7 +24,11 @@ pub struct Check {
 }
 
 fn check(name: &str, passed: bool, detail: String) -> Check {
-    Check { name: name.to_string(), passed, detail }
+    Check {
+        name: name.to_string(),
+        passed,
+        detail,
+    }
 }
 
 fn summary(r: &WorkloadResults, a: Approach) -> Summary {
@@ -145,7 +149,11 @@ mod tests {
     fn all_checks_pass_at_small_scale() {
         let results = analyze_all(Scale::Small);
         let checks = verify(&results);
-        assert!(checks.len() > 30, "substantial checklist, got {}", checks.len());
+        assert!(
+            checks.len() > 30,
+            "substantial checklist, got {}",
+            checks.len()
+        );
         let (text, all) = render(&checks);
         assert!(all, "failing fidelity checks:\n{text}");
         assert!(text.contains("PASS"));

@@ -25,28 +25,120 @@ macro_rules! ri {
     };
 }
 
-r3!(#[doc = "`rd = rs1 + rs2`."] add, Add);
-r3!(#[doc = "`rd = rs1 - rs2`."] sub, Sub);
-r3!(#[doc = "`rd = rs1 * rs2`."] mul, Mul);
-r3!(#[doc = "`rd = rs1 / rs2`."] div, Div);
-r3!(#[doc = "`rd = rs1 % rs2`."] rem, Rem);
-r3!(#[doc = "`rd = rs1 & rs2`."] and, And);
-r3!(#[doc = "`rd = rs1 | rs2`."] or, Or);
-r3!(#[doc = "`rd = rs1 ^ rs2`."] xor, Xor);
-r3!(#[doc = "`rd = rs1 << rs2`."] sll, Sll);
-r3!(#[doc = "`rd = rs1 >> rs2` (logical)."] srl, Srl);
-r3!(#[doc = "`rd = rs1 >> rs2` (arithmetic)."] sra, Sra);
-r3!(#[doc = "`rd = rs1 < rs2` (signed)."] slt, Slt);
-r3!(#[doc = "`rd = rs1 < rs2` (unsigned)."] sltu, Sltu);
+r3!(
+    #[doc = "`rd = rs1 + rs2`."]
+    add,
+    Add
+);
+r3!(
+    #[doc = "`rd = rs1 - rs2`."]
+    sub,
+    Sub
+);
+r3!(
+    #[doc = "`rd = rs1 * rs2`."]
+    mul,
+    Mul
+);
+r3!(
+    #[doc = "`rd = rs1 / rs2`."]
+    div,
+    Div
+);
+r3!(
+    #[doc = "`rd = rs1 % rs2`."]
+    rem,
+    Rem
+);
+r3!(
+    #[doc = "`rd = rs1 & rs2`."]
+    and,
+    And
+);
+r3!(
+    #[doc = "`rd = rs1 | rs2`."]
+    or,
+    Or
+);
+r3!(
+    #[doc = "`rd = rs1 ^ rs2`."]
+    xor,
+    Xor
+);
+r3!(
+    #[doc = "`rd = rs1 << rs2`."]
+    sll,
+    Sll
+);
+r3!(
+    #[doc = "`rd = rs1 >> rs2` (logical)."]
+    srl,
+    Srl
+);
+r3!(
+    #[doc = "`rd = rs1 >> rs2` (arithmetic)."]
+    sra,
+    Sra
+);
+r3!(
+    #[doc = "`rd = rs1 < rs2` (signed)."]
+    slt,
+    Slt
+);
+r3!(
+    #[doc = "`rd = rs1 < rs2` (unsigned)."]
+    sltu,
+    Sltu
+);
 
-ri!(#[doc = "`rd = rs1 + imm`."] addi, Addi, i16);
-ri!(#[doc = "`rd = rs1 & imm`."] andi, Andi, u16);
-ri!(#[doc = "`rd = rs1 | imm`."] ori, Ori, u16);
-ri!(#[doc = "`rd = rs1 ^ imm`."] xori, Xori, u16);
-ri!(#[doc = "`rd = rs1 < imm` (signed)."] slti, Slti, i16);
-ri!(#[doc = "`rd = mem32[rs1 + imm]`."] lw, Lw, i16);
-ri!(#[doc = "`rd = sext(mem8[rs1 + imm])`."] lb, Lb, i16);
-ri!(#[doc = "`rd = zext(mem8[rs1 + imm])`."] lbu, Lbu, i16);
+ri!(
+    #[doc = "`rd = rs1 + imm`."]
+    addi,
+    Addi,
+    i16
+);
+ri!(
+    #[doc = "`rd = rs1 & imm`."]
+    andi,
+    Andi,
+    u16
+);
+ri!(
+    #[doc = "`rd = rs1 | imm`."]
+    ori,
+    Ori,
+    u16
+);
+ri!(
+    #[doc = "`rd = rs1 ^ imm`."]
+    xori,
+    Xori,
+    u16
+);
+ri!(
+    #[doc = "`rd = rs1 < imm` (signed)."]
+    slti,
+    Slti,
+    i16
+);
+ri!(
+    #[doc = "`rd = mem32[rs1 + imm]`."]
+    lw,
+    Lw,
+    i16
+);
+ri!(
+    #[doc = "`rd = sext(mem8[rs1 + imm])`."]
+    lb,
+    Lb,
+    i16
+);
+ri!(
+    #[doc = "`rd = zext(mem8[rs1 + imm])`."]
+    lbu,
+    Lbu,
+    i16
+);
 
 /// `rd = imm << 16`.
 pub fn lui(rd: u8, imm: u16) -> Instr {

@@ -203,14 +203,22 @@ mod tests {
         let m = CostModel::default();
         // 40 cycles at 40 MHz = 1 µs.
         assert_eq!(m.cycles_to_us(40), 1.0);
-        let c = Cycles { cycles: 40_000, instructions: 0, syscall_us: 500.0 };
+        let c = Cycles {
+            cycles: 40_000,
+            instructions: 0,
+            syscall_us: 500.0,
+        };
         assert_eq!(c.total_us(&m), 1500.0);
         assert_eq!(c.total_ms(&m), 1.5);
     }
 
     #[test]
     fn reset_zeroes() {
-        let mut c = Cycles { cycles: 5, instructions: 2, syscall_us: 1.0 };
+        let mut c = Cycles {
+            cycles: 5,
+            instructions: 2,
+            syscall_us: 1.0,
+        };
         c.reset();
         assert_eq!(c, Cycles::default());
     }

@@ -50,7 +50,11 @@ impl Cpu {
     /// A CPU reset to the program entry convention: `pc = CODE_BASE`,
     /// `sp = fp = STACK_TOP`, all other registers zero.
     pub fn new() -> Self {
-        let mut cpu = Cpu { regs: [0; Reg::COUNT], pc: CODE_BASE, halted: false };
+        let mut cpu = Cpu {
+            regs: [0; Reg::COUNT],
+            pc: CODE_BASE,
+            halted: false,
+        };
         cpu.regs[reg::SP as usize] = STACK_TOP;
         cpu.regs[reg::FP as usize] = STACK_TOP;
         cpu

@@ -108,10 +108,16 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_informative() {
         let cases = [
-            MachineError::UnmappedAddress { addr: 0x1234, pc: 0x10000 },
+            MachineError::UnmappedAddress {
+                addr: 0x1234,
+                pc: 0x10000,
+            },
             MachineError::Misaligned { addr: 3, pc: 0 },
             MachineError::DivideByZero { pc: 4 },
-            MachineError::InvalidOpcode { word: 0xffff_ffff, pc: 8 },
+            MachineError::InvalidOpcode {
+                word: 0xffff_ffff,
+                pc: 8,
+            },
             MachineError::BadPc { pc: 12 },
             MachineError::StackOverflow { sp: 1, pc: 2 },
             MachineError::OutOfMemory { requested: 400 },

@@ -113,6 +113,8 @@ impl HeapAlloc {
             self.free[slot] = (addr + size, fsize - size);
         }
         self.live.insert(addr, (size, seq));
+        databp_telemetry::count!("machine.heap.allocs");
+        databp_telemetry::gauge_add!("machine.heap.live_bytes", size as i64);
         self.stats.allocs += 1;
         self.stats.live_bytes += size as u64;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
@@ -125,7 +127,12 @@ impl HeapAlloc {
     ///
     /// [`MachineError::BadFree`] if `addr` is not a live block base.
     pub fn free(&mut self, addr: u32) -> Result<(u32, u32), MachineError> {
-        let (size, seq) = self.live.remove(&addr).ok_or(MachineError::BadFree { addr })?;
+        let (size, seq) = self
+            .live
+            .remove(&addr)
+            .ok_or(MachineError::BadFree { addr })?;
+        databp_telemetry::count!("machine.heap.frees");
+        databp_telemetry::gauge_add!("machine.heap.live_bytes", -(size as i64));
         self.stats.frees += 1;
         self.stats.live_bytes -= size as u64;
         self.insert_free(addr, size);
@@ -135,6 +142,7 @@ impl HeapAlloc {
     /// Records a realloc served (statistics only; the machine performs the
     /// alloc/copy/free sequence).
     pub fn note_realloc(&mut self) {
+        databp_telemetry::count!("machine.heap.reallocs");
         self.stats.reallocs += 1;
         // alloc+free above each bump their counters; a realloc is not an
         // extra alloc/free pair from the program's perspective.

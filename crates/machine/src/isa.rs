@@ -467,7 +467,11 @@ mod tests {
     fn encode_decode_roundtrip() {
         for i in all_sample_instrs() {
             let w = encode(i);
-            assert_eq!(decode(w), Ok(i), "roundtrip failed for {i:?} (word {w:#010x})");
+            assert_eq!(
+                decode(w),
+                Ok(i),
+                "roundtrip failed for {i:?} (word {w:#010x})"
+            );
         }
     }
 

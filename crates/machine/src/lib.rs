@@ -61,7 +61,9 @@ pub use error::MachineError;
 pub use heap::{HeapAlloc, HeapStats};
 pub use isa::{decode, encode, Instr, MarkKind, Reg, SYS_TRAP_MAX, TP_TRAP_BASE};
 pub use layout::{CODE_BASE, DATA_BASE, HEAP_BASE, HEAP_END, MEM_SIZE, STACK_LIMIT, STACK_TOP};
-pub use machine::{Fault, Hooks, Machine, NoHooks, Program, StopConfig, StopReason, StoreEvent, Syscall};
+pub use machine::{
+    Fault, Hooks, Machine, NoHooks, Program, StopConfig, StopReason, StoreEvent, Syscall,
+};
 pub use mem::Memory;
 pub use mmu::{Mmu, PageSize};
 pub use watch::{WatchRegs, DEFAULT_WATCH_REGS};

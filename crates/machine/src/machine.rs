@@ -60,7 +60,11 @@ pub struct Fault {
 impl Fault {
     /// The store as a [`StoreEvent`].
     pub fn store_event(&self) -> StoreEvent {
-        StoreEvent { pc: self.pc, addr: self.addr, len: self.len }
+        StoreEvent {
+            pc: self.pc,
+            addr: self.addr,
+            len: self.len,
+        }
     }
 }
 
@@ -237,7 +241,11 @@ impl Program {
     /// A program with the given instructions, no data, entry at the first
     /// instruction.
     pub fn from_asm(code: &[Instr]) -> Self {
-        Program { code: code.to_vec(), data: Vec::new(), entry: CODE_BASE }
+        Program {
+            code: code.to_vec(),
+            data: Vec::new(),
+            entry: CODE_BASE,
+        }
     }
 
     /// Number of instruction words.
@@ -466,12 +474,13 @@ impl Machine {
     /// [`MachineError::InvalidOpcode`] if the word does not decode (only
     /// possible after a bad patch).
     pub fn instr_at(&self, index: usize) -> Result<Instr, MachineError> {
-        let word = *self
-            .code
-            .get(index)
-            .ok_or(MachineError::BadPc { pc: CODE_BASE + 4 * index as u32 })?;
-        decode(word)
-            .map_err(|w| MachineError::InvalidOpcode { word: w, pc: CODE_BASE + 4 * index as u32 })
+        let word = *self.code.get(index).ok_or(MachineError::BadPc {
+            pc: CODE_BASE + 4 * index as u32,
+        })?;
+        decode(word).map_err(|w| MachineError::InvalidOpcode {
+            word: w,
+            pc: CODE_BASE + 4 * index as u32,
+        })
     }
 
     /// Overwrites the instruction word at `index` with `instr`, returning
@@ -528,6 +537,7 @@ impl Machine {
         let instr = decode(word).map_err(|w| MachineError::InvalidOpcode { word: w, pc })?;
         self.cost.instructions += 1;
         self.cost.cycles += self.cost_model.cycles_for(CostModel::classify(&instr));
+        databp_telemetry::count!("machine.instructions.retired");
         self.exec(instr, hooks, false)
     }
 
@@ -701,6 +711,7 @@ impl Machine {
                 if code < SYS_TRAP_MAX {
                     return self.syscall(code, hooks);
                 }
+                databp_telemetry::count!("machine.faults.trap");
                 return Ok(Some(StopReason::Trap { code, pc }));
             }
             Halt => {
@@ -721,7 +732,11 @@ impl Machine {
             }
             Chk(base, imm, len) => {
                 let addr = self.cpu.read(base).wrapping_add(imm as i32 as u32);
-                let ev = StoreEvent { pc, addr, len: len as u32 };
+                let ev = StoreEvent {
+                    pc,
+                    addr,
+                    len: len as u32,
+                };
                 hooks.on_chk(&ev);
                 self.cpu.advance();
                 if self.stop_config.chk {
@@ -758,8 +773,14 @@ impl Machine {
         bypass_mmu: bool,
     ) -> Result<Option<StopReason>, MachineError> {
         if !bypass_mmu && self.mmu.store_faults(addr, len) {
-            let fault = Fault { pc, addr, len, value };
+            let fault = Fault {
+                pc,
+                addr,
+                len,
+                value,
+            };
             self.pending_fault = Some(fault);
+            databp_telemetry::count!("machine.faults.prot");
             return Ok(Some(StopReason::ProtFault(fault)));
         }
         match len {
@@ -770,7 +791,13 @@ impl Machine {
         hooks.on_store(&StoreEvent { pc, addr, len });
         self.cpu.advance();
         if self.watch.store_hits(addr, len) {
-            return Ok(Some(StopReason::WatchFault(Fault { pc, addr, len, value })));
+            databp_telemetry::count!("machine.faults.watch");
+            return Ok(Some(StopReason::WatchFault(Fault {
+                pc,
+                addr,
+                len,
+                value,
+            })));
         }
         Ok(None)
     }
@@ -795,7 +822,8 @@ impl Machine {
             }
             Syscall::PrintInt => {
                 self.cost.syscall_us += US_PRINT;
-                self.output.extend_from_slice(format!("{}\n", a0 as i32).as_bytes());
+                self.output
+                    .extend_from_slice(format!("{}\n", a0 as i32).as_bytes());
             }
             Syscall::PrintChar => {
                 self.cost.syscall_us += US_PRINT;
@@ -809,7 +837,11 @@ impl Machine {
                 hooks.on_heap_alloc(seq, addr, addr + size);
                 if self.stop_config.heap {
                     self.cpu.advance();
-                    return Ok(Some(StopReason::HeapAlloc { seq, ba: addr, ea: addr + size }));
+                    return Ok(Some(StopReason::HeapAlloc {
+                        seq,
+                        ba: addr,
+                        ea: addr + size,
+                    }));
                 }
             }
             Syscall::Free => {
@@ -818,13 +850,19 @@ impl Machine {
                 hooks.on_heap_free(seq, a0, a0 + size);
                 if self.stop_config.heap {
                     self.cpu.advance();
-                    return Ok(Some(StopReason::HeapFree { seq, ba: a0, ea: a0 + size }));
+                    return Ok(Some(StopReason::HeapFree {
+                        seq,
+                        ba: a0,
+                        ea: a0 + size,
+                    }));
                 }
             }
             Syscall::Realloc => {
                 self.cost.syscall_us += US_REALLOC;
-                let (old_size, seq) =
-                    self.heap.live_block(a0).ok_or(MachineError::BadFree { addr: a0 })?;
+                let (old_size, seq) = self
+                    .heap
+                    .live_block(a0)
+                    .ok_or(MachineError::BadFree { addr: a0 })?;
                 let saved = self.mem.read_bytes(a0, old_size)?.to_vec();
                 self.heap.free(a0)?;
                 let new_addr = self.heap.alloc_with_seq(a1, seq)?;
@@ -833,11 +871,7 @@ impl Machine {
                 self.mem.write_bytes(new_addr, &saved[..keep])?;
                 self.heap.note_realloc();
                 self.cpu.set_reg(reg::RV, new_addr);
-                hooks.on_heap_realloc(
-                    seq,
-                    (a0, a0 + old_size),
-                    (new_addr, new_addr + new_size),
-                );
+                hooks.on_heap_realloc(seq, (a0, a0 + old_size), (new_addr, new_addr + new_size));
                 if self.stop_config.heap {
                     self.cpu.advance();
                     return Ok(Some(StopReason::HeapRealloc {
@@ -1020,7 +1054,9 @@ mod tests {
             asm::sw(9, 8, 8),
             asm::halt(),
         ]));
-        m.watch_mut().install(DATA_BASE + 8, DATA_BASE + 12).unwrap();
+        m.watch_mut()
+            .install(DATA_BASE + 8, DATA_BASE + 12)
+            .unwrap();
         let stop = m.run(&mut NoHooks, 100).unwrap();
         match stop {
             StopReason::WatchFault(f) => {
@@ -1047,7 +1083,13 @@ mod tests {
         let orig = m.patch_instr(2, Instr::Trap(0x100)).unwrap();
         assert!(orig.is_store());
         let stop = m.run(&mut NoHooks, 100).unwrap();
-        assert_eq!(stop, StopReason::Trap { code: 0x100, pc: CODE_BASE + 8 });
+        assert_eq!(
+            stop,
+            StopReason::Trap {
+                code: 0x100,
+                pc: CODE_BASE + 8
+            }
+        );
         // Handler emulates the displaced store.
         m.emulate_instr(orig, &mut NoHooks).unwrap();
         assert_eq!(m.mem().load_u32(DATA_BASE, 0).unwrap(), 31);
@@ -1071,7 +1113,14 @@ mod tests {
         ]));
         let mut c = Chks(Vec::new());
         m.run(&mut c, 100).unwrap();
-        assert_eq!(c.0, vec![StoreEvent { pc: CODE_BASE + 4, addr: DATA_BASE + 12, len: 4 }]);
+        assert_eq!(
+            c.0,
+            vec![StoreEvent {
+                pc: CODE_BASE + 4,
+                addr: DATA_BASE + 12,
+                len: 4
+            }]
+        );
     }
 
     #[test]
@@ -1218,14 +1267,20 @@ mod tests {
         let mut m = Machine::new();
         m.load(&Program::from_asm(&[asm::addi(29, 29, -4096), asm::jal(0)]));
         let err = m.run(&mut NoHooks, 1_000_000).unwrap_err();
-        assert!(matches!(err, MachineError::StackOverflow { .. }), "got {err:?}");
+        assert!(
+            matches!(err, MachineError::StackOverflow { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
     fn bad_pc_detected() {
         let mut m = Machine::new();
         m.load(&Program::from_asm(&[asm::jalr(0, 0, 0)])); // jump to address 0
-        assert!(matches!(m.run(&mut NoHooks, 10), Err(MachineError::BadPc { .. })));
+        assert!(matches!(
+            m.run(&mut NoHooks, 10),
+            Err(MachineError::BadPc { .. })
+        ));
     }
 
     #[test]

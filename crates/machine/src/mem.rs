@@ -17,7 +17,9 @@ pub struct Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memory").field("size", &self.bytes.len()).finish()
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .finish()
     }
 }
 
@@ -30,7 +32,9 @@ impl Default for Memory {
 impl Memory {
     /// Creates a zeroed memory of [`MEM_SIZE`] bytes.
     pub fn new() -> Self {
-        Memory { bytes: vec![0; MEM_SIZE as usize] }
+        Memory {
+            bytes: vec![0; MEM_SIZE as usize],
+        }
     }
 
     /// Total size in bytes.
@@ -160,11 +164,17 @@ mod tests {
         let mut m = Memory::new();
         assert_eq!(
             m.store_u32(0x101, 1, 0x44),
-            Err(MachineError::Misaligned { addr: 0x101, pc: 0x44 })
+            Err(MachineError::Misaligned {
+                addr: 0x101,
+                pc: 0x44
+            })
         );
         assert_eq!(
             m.load_u32(0x102, 0x48),
-            Err(MachineError::Misaligned { addr: 0x102, pc: 0x48 })
+            Err(MachineError::Misaligned {
+                addr: 0x102,
+                pc: 0x48
+            })
         );
     }
 

@@ -81,7 +81,11 @@ impl Mmu {
     /// Creates an MMU with all pages writable.
     pub fn new(page_size: PageSize) -> Self {
         let npages = (MEM_SIZE / page_size.bytes()) as usize;
-        Mmu { page_size, protected: vec![false; npages], protected_count: 0 }
+        Mmu {
+            page_size,
+            protected: vec![false; npages],
+            protected_count: 0,
+        }
     }
 
     /// The configured page size.
@@ -109,6 +113,7 @@ impl Mmu {
         if !*p {
             *p = true;
             self.protected_count += 1;
+            databp_telemetry::count!("machine.mmu.protects");
         }
     }
 
@@ -122,6 +127,7 @@ impl Mmu {
         if *p {
             *p = false;
             self.protected_count -= 1;
+            databp_telemetry::count!("machine.mmu.unprotects");
         }
     }
 
@@ -180,7 +186,10 @@ mod tests {
     fn pages_of_range_spans() {
         let ps = PageSize::K4;
         assert_eq!(ps.pages_of_range(0, 1).collect::<Vec<_>>(), vec![0]);
-        assert_eq!(ps.pages_of_range(4095, 4097).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            ps.pages_of_range(4095, 4097).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
         assert_eq!(ps.pages_of_range(4096, 8192).collect::<Vec<_>>(), vec![1]);
         assert_eq!(ps.pages_of_range(100, 100).count(), 0);
     }

@@ -28,12 +28,20 @@ pub struct WatchRegs {
 impl WatchRegs {
     /// A bank with a hard `capacity` (e.g. [`DEFAULT_WATCH_REGS`]).
     pub fn new(capacity: usize) -> Self {
-        WatchRegs { regs: vec![None; capacity], capacity: Some(capacity), active: 0 }
+        WatchRegs {
+            regs: vec![None; capacity],
+            capacity: Some(capacity),
+            active: 0,
+        }
     }
 
     /// The paper's idealized bank: as many registers as needed.
     pub fn unlimited() -> Self {
-        WatchRegs { regs: Vec::new(), capacity: None, active: 0 }
+        WatchRegs {
+            regs: Vec::new(),
+            capacity: None,
+            active: 0,
+        }
     }
 
     /// The configured capacity, or `None` for unlimited.

@@ -2,8 +2,8 @@
 //! error propagation from guest code, straddling accesses.
 
 use databp_machine::{
-    asm, Instr, Machine, MachineError, NoHooks, PageSize, Program, StopConfig, StopReason,
-    Syscall, CODE_BASE, DATA_BASE, HEAP_END,
+    asm, Instr, Machine, MachineError, NoHooks, PageSize, Program, StopConfig, StopReason, Syscall,
+    CODE_BASE, DATA_BASE, HEAP_END,
 };
 
 fn data_hi() -> u16 {
@@ -62,7 +62,10 @@ fn word_store_straddling_into_protected_page_faults() {
     ]));
     m.mmu_mut().protect_page((DATA_BASE + 0x1000) >> 12);
     // Range [0xffe, 0x1002) overlaps the protected page: fault first.
-    assert!(matches!(m.run(&mut NoHooks, 100).unwrap(), StopReason::ProtFault(_)));
+    assert!(matches!(
+        m.run(&mut NoHooks, 100).unwrap(),
+        StopReason::ProtFault(_)
+    ));
 }
 
 #[test]
@@ -136,8 +139,14 @@ fn stop_config_roundtrip_and_chk_does_not_stop_by_default() {
         asm::sw(0, 8, 0),
         asm::halt(),
     ]));
-    m2.set_stop_config(StopConfig { chk: true, ..StopConfig::default() });
-    assert!(matches!(m2.run(&mut NoHooks, 100).unwrap(), StopReason::Chk(_)));
+    m2.set_stop_config(StopConfig {
+        chk: true,
+        ..StopConfig::default()
+    });
+    assert!(matches!(
+        m2.run(&mut NoHooks, 100).unwrap(),
+        StopReason::Chk(_)
+    ));
     assert_eq!(m2.run(&mut NoHooks, 100).unwrap(), StopReason::Halted);
 }
 
@@ -155,7 +164,10 @@ fn watch_and_protection_compose() {
     ]));
     m.mmu_mut().protect_range(DATA_BASE, DATA_BASE + 4);
     m.watch_mut().install(DATA_BASE, DATA_BASE + 4).unwrap();
-    assert!(matches!(m.run(&mut NoHooks, 100).unwrap(), StopReason::ProtFault(_)));
+    assert!(matches!(
+        m.run(&mut NoHooks, 100).unwrap(),
+        StopReason::ProtFault(_)
+    ));
     let after = m.emulate_pending_store(&mut NoHooks).unwrap();
     assert!(
         matches!(after, Some(StopReason::WatchFault(_))),
@@ -185,7 +197,10 @@ fn run_resume_cycles_preserve_determinism() {
 
     let mut stopping = Machine::new();
     stopping.load(&Program::from_asm(&body));
-    stopping.set_stop_config(StopConfig { marks: true, ..StopConfig::default() });
+    stopping.set_stop_config(StopConfig {
+        marks: true,
+        ..StopConfig::default()
+    });
     let mut stops = 0;
     loop {
         match stopping.run(&mut NoHooks, 100).unwrap() {

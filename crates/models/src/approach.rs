@@ -21,8 +21,13 @@ pub enum Approach {
 
 impl Approach {
     /// All approaches in the paper's Table 4 column order.
-    pub const ALL: [Approach; 5] =
-        [Approach::Nh, Approach::Vm4k, Approach::Vm8k, Approach::Tp, Approach::Cp];
+    pub const ALL: [Approach; 5] = [
+        Approach::Nh,
+        Approach::Vm4k,
+        Approach::Vm8k,
+        Approach::Tp,
+        Approach::Cp,
+    ];
 
     /// The paper's column abbreviation.
     pub fn abbrev(self) -> &'static str {

@@ -62,13 +62,25 @@ mod tests {
 
     #[test]
     fn writes_sums_hits_and_misses() {
-        let c = Counts { hit: 3, miss: 7, ..Counts::default() };
+        let c = Counts {
+            hit: 3,
+            miss: 7,
+            ..Counts::default()
+        };
         assert_eq!(c.writes(), 10);
     }
 
     #[test]
     fn addition_is_fieldwise() {
-        let a = Counts { install: 1, remove: 2, hit: 3, miss: 4, vm_protect: 5, vm_unprotect: 6, vm_active_page_miss: 7 };
+        let a = Counts {
+            install: 1,
+            remove: 2,
+            hit: 3,
+            miss: 4,
+            vm_protect: 5,
+            vm_unprotect: 6,
+            vm_active_page_miss: 7,
+        };
         let mut b = a;
         b += a;
         assert_eq!(b, a + a);

@@ -42,7 +42,10 @@ impl Overhead {
         if total == 0.0 {
             return 0.0;
         }
-        self.terms.iter().find(|(v, _)| *v == var).map_or(0.0, |(_, us)| us / total)
+        self.terms
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map_or(0.0, |(_, us)| us / total)
     }
 
     /// Relative overhead: modeled overhead normalized to the base
@@ -98,7 +101,10 @@ pub fn overhead(approach: Approach, c: &Counts, t: &TimingVars) -> Overhead {
         }
         // Figure 6.
         Approach::Cp => {
-            ov.add(TimingVar::SoftwareLookup, c.writes() as f64 * t.software_lookup_us);
+            ov.add(
+                TimingVar::SoftwareLookup,
+                c.writes() as f64 * t.software_lookup_us,
+            );
             ov.add(
                 TimingVar::SoftwareUpdate,
                 (c.install + c.remove) as f64 * t.software_update_us,
@@ -132,7 +138,10 @@ pub fn cp_loopopt_overhead(
     );
     let mut ov = Overhead::default();
     let lookups = c.writes() - skipped_checks + preheader_checks;
-    ov.add(TimingVar::SoftwareLookup, lookups as f64 * t.software_lookup_us);
+    ov.add(
+        TimingVar::SoftwareLookup,
+        lookups as f64 * t.software_lookup_us,
+    );
     ov.add(
         TimingVar::SoftwareUpdate,
         (c.install + c.remove) as f64 * t.software_update_us,
@@ -174,7 +183,11 @@ mod tests {
             + 8.0 * 80.0
             + 10.0 * (299.0 + 22.0 + 80.0)
             + 8.0 * 299.0;
-        assert!((ov.total_us() - expected).abs() < 1e-9, "{} vs {expected}", ov.total_us());
+        assert!(
+            (ov.total_us() - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            ov.total_us()
+        );
         // Identical equations for 8K (counts differ in practice).
         assert_eq!(overhead(Approach::Vm8k, &c, &t).total_us(), ov.total_us());
     }
@@ -212,7 +225,11 @@ mod tests {
         // Section 8: "TPFaultHandler consistently accounted for 97% of
         // the overhead". With Table 2 values, 102/(102+2.75) ≈ 0.9737.
         let t = TimingVars::default();
-        let c = Counts { hit: 0, miss: 1_000_000, ..Counts::default() };
+        let c = Counts {
+            hit: 0,
+            miss: 1_000_000,
+            ..Counts::default()
+        };
         let ov = overhead(Approach::Tp, &c, &t);
         let f = ov.fraction(TimingVar::TpFaultHandler);
         assert!((f - 102.0 / 104.75).abs() < 1e-6, "{f}");

@@ -21,7 +21,10 @@ pub fn heap_contexts(trace: &Trace) -> HashMap<u32, Vec<u16>> {
             Event::Exit { .. } => {
                 stack.pop();
             }
-            Event::Install { obj: ObjectDesc::Heap { seq }, .. } => {
+            Event::Install {
+                obj: ObjectDesc::Heap { seq },
+                ..
+            } => {
                 ctx.entry(seq).or_insert_with(|| {
                     let mut fids = stack.clone();
                     fids.sort_unstable();
@@ -51,7 +54,10 @@ pub fn enumerate_sessions(debug: &DebugInfo, trace: &Trace) -> Vec<Session> {
     let mut out = Vec::new();
     for (fid, f) in debug.functions.iter().enumerate() {
         for l in &f.locals {
-            out.push(Session::OneLocalAuto { func: fid as u16, var: l.var });
+            out.push(Session::OneLocalAuto {
+                func: fid as u16,
+                var: l.var,
+            });
         }
     }
     let has_static: Vec<bool> = {
@@ -165,10 +171,9 @@ mod tests {
         // AllHeapInFunc sessions.
         let (debug, trace) = trace_of("int g; int main() { g = 1; return g; }");
         let sessions = enumerate_sessions(&debug, &trace);
-        assert!(sessions.iter().all(|s| !matches!(
-            s.kind(),
-            SessionKind::OneHeap | SessionKind::AllHeapInFunc
-        )));
+        assert!(sessions
+            .iter()
+            .all(|s| !matches!(s.kind(), SessionKind::OneHeap | SessionKind::AllHeapInFunc)));
     }
 
     #[test]
@@ -184,8 +189,10 @@ mod tests {
         "#;
         let (debug, trace) = trace_of(src);
         let sessions = enumerate_sessions(&debug, &trace);
-        let heap: Vec<_> =
-            sessions.iter().filter(|s| s.kind() == SessionKind::OneHeap).collect();
+        let heap: Vec<_> = sessions
+            .iter()
+            .filter(|s| s.kind() == SessionKind::OneHeap)
+            .collect();
         assert_eq!(heap.len(), 1);
     }
 }

@@ -147,11 +147,23 @@ mod tests {
 
     #[test]
     fn kinds_cover_all_sessions() {
-        assert_eq!(Session::OneLocalAuto { func: 0, var: 1 }.kind(), SessionKind::OneLocalAuto);
-        assert_eq!(Session::AllLocalInFunc { func: 0 }.kind(), SessionKind::AllLocalInFunc);
-        assert_eq!(Session::OneGlobalStatic { global: 0 }.kind(), SessionKind::OneGlobalStatic);
+        assert_eq!(
+            Session::OneLocalAuto { func: 0, var: 1 }.kind(),
+            SessionKind::OneLocalAuto
+        );
+        assert_eq!(
+            Session::AllLocalInFunc { func: 0 }.kind(),
+            SessionKind::AllLocalInFunc
+        );
+        assert_eq!(
+            Session::OneGlobalStatic { global: 0 }.kind(),
+            SessionKind::OneGlobalStatic
+        );
         assert_eq!(Session::OneHeap { seq: 0 }.kind(), SessionKind::OneHeap);
-        assert_eq!(Session::AllHeapInFunc { func: 0 }.kind(), SessionKind::AllHeapInFunc);
+        assert_eq!(
+            Session::AllHeapInFunc { func: 0 }.kind(),
+            SessionKind::AllHeapInFunc
+        );
     }
 
     #[test]
@@ -159,7 +171,13 @@ mod tests {
         let titles: Vec<_> = SessionKind::ALL.iter().map(|k| k.title()).collect();
         assert_eq!(
             titles,
-            ["OneLocalAuto", "AllLocalInFunc", "OneGlobalStatic", "OneHeap", "AllHeapInFunc"]
+            [
+                "OneLocalAuto",
+                "AllLocalInFunc",
+                "OneGlobalStatic",
+                "OneHeap",
+                "AllHeapInFunc"
+            ]
         );
     }
 

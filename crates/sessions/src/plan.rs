@@ -32,9 +32,11 @@ impl MonitorPlan for SessionPlan<'_> {
     fn monitor_global(&self, id: u32) -> bool {
         match self.session {
             Session::OneGlobalStatic { global } => global == id,
-            Session::AllLocalInFunc { func } => {
-                self.debug.globals.get(id as usize).is_some_and(|g| g.owner == Some(func))
-            }
+            Session::AllLocalInFunc { func } => self
+                .debug
+                .globals
+                .get(id as usize)
+                .is_some_and(|g| g.owner == Some(func)),
             _ => false,
         }
     }
@@ -93,7 +95,10 @@ mod tests {
         let p = SessionPlan::new(Session::AllLocalInFunc { func: f }, &d);
         assert!(p.monitor_local(f, 0), "locals of f");
         assert!(!p.monitor_local(f + 1, 0), "not other functions' locals");
-        assert!(p.monitor_global(static_gid), "f's static belongs to the session");
+        assert!(
+            p.monitor_global(static_gid),
+            "f's static belongs to the session"
+        );
         let other_gid = d.global("g").unwrap().id;
         assert!(!p.monitor_global(other_gid));
     }

@@ -169,11 +169,19 @@ mod tests {
     fn statics_map_to_owner_allloc_only() {
         let (debug, _, set) = setup(SRC);
         let worker = debug.func_id("worker").unwrap();
-        let static_gid = debug.globals.iter().find(|g| g.owner == Some(worker)).unwrap().id;
+        let static_gid = debug
+            .globals
+            .iter()
+            .find(|g| g.owner == Some(worker))
+            .unwrap()
+            .id;
         let mut out = Vec::new();
         set.sessions_of(&ObjectDesc::Global { id: static_gid }, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(set.session(out[0]), Session::AllLocalInFunc { func: worker });
+        assert_eq!(
+            set.session(out[0]),
+            Session::AllLocalInFunc { func: worker }
+        );
     }
 
     #[test]
@@ -183,7 +191,10 @@ mod tests {
         let mut out = Vec::new();
         set.sessions_of(&ObjectDesc::Global { id: gid }, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(set.session(out[0]), Session::OneGlobalStatic { global: gid });
+        assert_eq!(
+            set.session(out[0]),
+            Session::OneGlobalStatic { global: gid }
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ fn executable_counts_equal_simulated_counts_for_every_session() {
     let cp = compile(SRC, &Options::codepatch()).unwrap();
     let trace = build_trace(&plain);
     let sessions = enumerate_sessions(&plain.debug, &trace);
-    assert!(sessions.len() > 25, "rich session population, got {}", sessions.len());
+    assert!(
+        sessions.len() > 25,
+        "rich session population, got {}",
+        sessions.len()
+    );
     let set = SessionSet::new(sessions.clone(), &plain.debug, &trace);
     let sim4: Vec<Counts> = simulate(&trace, &set, PageSize::K4);
     let sim8: Vec<Counts> = simulate(&trace, &set, PageSize::K8);
@@ -90,44 +94,86 @@ fn executable_counts_equal_simulated_counts_for_every_session() {
         // NativeHardware: hits must match (NH does not observe misses).
         let mut m = Machine::new();
         m.load(&plain.program);
-        let nh = NativeHardware::default().run(&mut m, &plain.debug, &plan, 100_000_000).unwrap();
+        let nh = NativeHardware::default()
+            .run(&mut m, &plain.debug, &plan, 100_000_000)
+            .unwrap();
         assert_eq!(nh.counts.hit, sim4[i].hit, "NH hit mismatch for {session}");
-        assert_eq!(nh.counts.install, sim4[i].install, "NH install mismatch for {session}");
-        assert_eq!(nh.counts.remove, sim4[i].remove, "NH remove mismatch for {session}");
+        assert_eq!(
+            nh.counts.install, sim4[i].install,
+            "NH install mismatch for {session}"
+        );
+        assert_eq!(
+            nh.counts.remove, sim4[i].remove,
+            "NH remove mismatch for {session}"
+        );
 
         // VirtualMemory 4K: full counting-variable agreement.
         let mut m = Machine::new();
         m.load(&plain.program);
-        let vm4 = VirtualMemory::k4().run(&mut m, &plain.debug, &plan, 100_000_000).unwrap();
+        let vm4 = VirtualMemory::k4()
+            .run(&mut m, &plain.debug, &plan, 100_000_000)
+            .unwrap();
         assert_eq!(
-            (vm4.counts.hit, vm4.counts.vm_active_page_miss, vm4.counts.vm_protect, vm4.counts.vm_unprotect),
-            (sim4[i].hit, sim4[i].vm_active_page_miss, sim4[i].vm_protect, sim4[i].vm_unprotect),
+            (
+                vm4.counts.hit,
+                vm4.counts.vm_active_page_miss,
+                vm4.counts.vm_protect,
+                vm4.counts.vm_unprotect
+            ),
+            (
+                sim4[i].hit,
+                sim4[i].vm_active_page_miss,
+                sim4[i].vm_protect,
+                sim4[i].vm_unprotect
+            ),
             "VM-4K mismatch for {session}"
         );
 
         // VirtualMemory 8K.
         let mut m = Machine::new();
         m.load(&plain.program);
-        let vm8 = VirtualMemory::k8().run(&mut m, &plain.debug, &plan, 100_000_000).unwrap();
+        let vm8 = VirtualMemory::k8()
+            .run(&mut m, &plain.debug, &plan, 100_000_000)
+            .unwrap();
         assert_eq!(
-            (vm8.counts.hit, vm8.counts.vm_active_page_miss, vm8.counts.vm_protect, vm8.counts.vm_unprotect),
-            (sim8[i].hit, sim8[i].vm_active_page_miss, sim8[i].vm_protect, sim8[i].vm_unprotect),
+            (
+                vm8.counts.hit,
+                vm8.counts.vm_active_page_miss,
+                vm8.counts.vm_protect,
+                vm8.counts.vm_unprotect
+            ),
+            (
+                sim8[i].hit,
+                sim8[i].vm_active_page_miss,
+                sim8[i].vm_protect,
+                sim8[i].vm_unprotect
+            ),
             "VM-8K mismatch for {session}"
         );
 
         // TrapPatch: hit + miss over the same checked-write population.
         let mut m = Machine::new();
         m.load(&plain.program);
-        let tp = TrapPatch::default().run(&mut m, &plain.debug, &plan, 100_000_000).unwrap();
+        let tp = TrapPatch::default()
+            .run(&mut m, &plain.debug, &plan, 100_000_000)
+            .unwrap();
         assert_eq!(tp.counts.hit, sim4[i].hit, "TP hit mismatch for {session}");
-        assert_eq!(tp.counts.miss, sim4[i].miss, "TP miss mismatch for {session}");
+        assert_eq!(
+            tp.counts.miss, sim4[i].miss,
+            "TP miss mismatch for {session}"
+        );
 
         // CodePatch on the instrumented build.
         let mut m = Machine::new();
         m.load(&cp.program);
-        let cpr = CodePatch::default().run(&mut m, &cp.debug, &plan, 100_000_000).unwrap();
+        let cpr = CodePatch::default()
+            .run(&mut m, &cp.debug, &plan, 100_000_000)
+            .unwrap();
         assert_eq!(cpr.counts.hit, sim4[i].hit, "CP hit mismatch for {session}");
-        assert_eq!(cpr.counts.miss, sim4[i].miss, "CP miss mismatch for {session}");
+        assert_eq!(
+            cpr.counts.miss, sim4[i].miss,
+            "CP miss mismatch for {session}"
+        );
     }
 }
 
@@ -147,7 +193,9 @@ fn modeled_overhead_agrees_between_paths() {
 
     let mut m = Machine::new();
     m.load(&plain.program);
-    let vm = VirtualMemory::k4().run(&mut m, &plain.debug, &plan, 100_000_000).unwrap();
+    let vm = VirtualMemory::k4()
+        .run(&mut m, &plain.debug, &plan, 100_000_000)
+        .unwrap();
     let model = overhead(Approach::Vm4k, &sim4[i], &t);
     assert!(
         (vm.overhead.total_us() - model.total_us()).abs() < 1e-6,

@@ -73,6 +73,10 @@ pub fn simulate<M: Membership>(trace: &Trace, membership: &M, page_size: PageSiz
         inst_stamp: Vec::new(),
         total_writes: 0,
     };
+    let _replay_timer = databp_telemetry::time!("sim.replay");
+    databp_telemetry::count!("sim.replays");
+    databp_telemetry::count!("sim.sessions.simulated", n as u64);
+    databp_telemetry::count!("sim.events.replayed", trace.events().len() as u64);
     let mut scratch = Vec::new();
     for (idx, ev) in trace.events().iter().enumerate() {
         let stamp = idx as u64;
@@ -114,12 +118,19 @@ impl<'m, M: Membership> Engine<'m, M> {
         }
         let slot = match self.free.pop() {
             Some(s) => {
-                self.instances[s as usize] =
-                    Some(Instance { ba, ea, sessions: Rc::clone(&sessions) });
+                self.instances[s as usize] = Some(Instance {
+                    ba,
+                    ea,
+                    sessions: Rc::clone(&sessions),
+                });
                 s
             }
             None => {
-                self.instances.push(Some(Instance { ba, ea, sessions: Rc::clone(&sessions) }));
+                self.instances.push(Some(Instance {
+                    ba,
+                    ea,
+                    sessions: Rc::clone(&sessions),
+                }));
                 self.inst_stamp.push(u64::MAX);
                 (self.instances.len() - 1) as u32
             }
@@ -145,11 +156,16 @@ impl<'m, M: Membership> Engine<'m, M> {
             // Object not monitored by any session.
             return;
         };
-        let inst = self.instances[slot as usize].take().expect("live slot is occupied");
+        let inst = self.instances[slot as usize]
+            .take()
+            .expect("live slot is occupied");
         self.free.push(slot);
         for page in self.page_size.pages_of_range(inst.ba, inst.ea) {
             let list = self.pages.get_mut(&page).expect("instance was indexed");
-            let pos = list.iter().position(|&x| x == slot).expect("slot in page list");
+            let pos = list
+                .iter()
+                .position(|&x| x == slot)
+                .expect("slot in page list");
             list.swap_remove(pos);
             if list.is_empty() {
                 self.pages.remove(&page);
@@ -178,13 +194,17 @@ impl<'m, M: Membership> Engine<'m, M> {
         }
         touched.clear();
         for page in self.page_size.pages_of_range(ba, ea) {
-            let Some(list) = self.pages.get(&page) else { continue };
+            let Some(list) = self.pages.get(&page) else {
+                continue;
+            };
             for &slot in list {
                 if self.inst_stamp[slot as usize] == stamp {
                     continue; // instance spans pages; already processed
                 }
                 self.inst_stamp[slot as usize] = stamp;
-                let inst = self.instances[slot as usize].as_ref().expect("indexed slot live");
+                let inst = self.instances[slot as usize]
+                    .as_ref()
+                    .expect("indexed slot live");
                 let overlap = ba < inst.ea && inst.ba < ea;
                 for &s in inst.sessions.iter() {
                     if self.last_touch[s as usize] != stamp {
@@ -222,13 +242,24 @@ mod tests {
 
     #[test]
     fn single_session_hit_miss_accounting() {
-        let m = TableMembership { entries: vec![(g(0), vec![0])], sessions: 1 };
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0])],
+            sessions: 1,
+        };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
             write(0x1000, 0x1004), // hit
             write(0x2000, 0x2004), // miss (different page)
             write(0x1008, 0x100c), // active-page miss
-            Event::Remove { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Remove {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
             write(0x1000, 0x1004), // after removal: plain miss
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
@@ -244,10 +275,17 @@ mod tests {
 
     #[test]
     fn page_size_affects_apm() {
-        let m = TableMembership { entries: vec![(g(0), vec![0])], sessions: 1 };
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0])],
+            sessions: 1,
+        };
         let trace = Trace::from_events(vec![
             // Monitor on 4K page 1 == 8K page 0.
-            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
             write(0x1800, 0x1804), // same 4K page and same 8K page
             write(0x0800, 0x0804), // different 4K page, same 8K page
         ]);
@@ -266,8 +304,16 @@ mod tests {
             sessions: 2,
         };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
-            Event::Install { obj: g(1), ba: 0x1004, ea: 0x1008 },
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x1004,
+                ea: 0x1008,
+            },
             write(0x1000, 0x1008), // straddles both objects
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
@@ -282,8 +328,16 @@ mod tests {
             sessions: 1,
         };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
-            Event::Install { obj: g(1), ba: 0x1100, ea: 0x1104 },
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x1100,
+                ea: 0x1104,
+            },
             // Hits g(0); also touches g(1)'s page (same page) — counts
             // as a hit, not an APM.
             write(0x1000, 0x1004),
@@ -297,14 +351,33 @@ mod tests {
     fn reinstalled_object_keeps_counting() {
         // Realloc pattern: remove + install of the same descriptor.
         let h = ObjectDesc::Heap { seq: 5 };
-        let m = TableMembership { entries: vec![(h, vec![0])], sessions: 1 };
+        let m = TableMembership {
+            entries: vec![(h, vec![0])],
+            sessions: 1,
+        };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: h, ba: 0x1000, ea: 0x1010 },
+            Event::Install {
+                obj: h,
+                ba: 0x1000,
+                ea: 0x1010,
+            },
             write(0x1000, 0x1004),
-            Event::Remove { obj: h, ba: 0x1000, ea: 0x1010 },
-            Event::Install { obj: h, ba: 0x3000, ea: 0x3040 },
+            Event::Remove {
+                obj: h,
+                ba: 0x1000,
+                ea: 0x1010,
+            },
+            Event::Install {
+                obj: h,
+                ba: 0x3000,
+                ea: 0x3040,
+            },
             write(0x3000, 0x3004),
-            Event::Remove { obj: h, ba: 0x3000, ea: 0x3040 },
+            Event::Remove {
+                obj: h,
+                ba: 0x3000,
+                ea: 0x3040,
+            },
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
         assert_eq!(c[0].hit, 2);
@@ -316,15 +389,34 @@ mod tests {
     #[test]
     fn recursion_instances_tracked_independently() {
         let l = ObjectDesc::Local { func: 1, var: 0 };
-        let m = TableMembership { entries: vec![(l, vec![0])], sessions: 1 };
+        let m = TableMembership {
+            entries: vec![(l, vec![0])],
+            sessions: 1,
+        };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: l, ba: 0xF000, ea: 0xF004 }, // outer
-            Event::Install { obj: l, ba: 0xE000, ea: 0xE004 }, // inner
+            Event::Install {
+                obj: l,
+                ba: 0xF000,
+                ea: 0xF004,
+            }, // outer
+            Event::Install {
+                obj: l,
+                ba: 0xE000,
+                ea: 0xE004,
+            }, // inner
             write(0xE000, 0xE004), // hits inner instance
-            Event::Remove { obj: l, ba: 0xE000, ea: 0xE004 },
+            Event::Remove {
+                obj: l,
+                ba: 0xE000,
+                ea: 0xE004,
+            },
             write(0xE000, 0xE004), // inner gone: miss (different page from outer)
             write(0xF000, 0xF004), // hits outer
-            Event::Remove { obj: l, ba: 0xF000, ea: 0xF004 },
+            Event::Remove {
+                obj: l,
+                ba: 0xF000,
+                ea: 0xF004,
+            },
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
         assert_eq!(c[0].hit, 2);
@@ -335,11 +427,22 @@ mod tests {
 
     #[test]
     fn unmonitored_objects_cost_nothing() {
-        let m = TableMembership { entries: vec![], sessions: 1 };
+        let m = TableMembership {
+            entries: vec![],
+            sessions: 1,
+        };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: g(9), ba: 0x1000, ea: 0x1004 },
+            Event::Install {
+                obj: g(9),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
             write(0x1000, 0x1004),
-            Event::Remove { obj: g(9), ba: 0x1000, ea: 0x1004 },
+            Event::Remove {
+                obj: g(9),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
         assert_eq!(c[0].hit, 0);
@@ -355,16 +458,35 @@ mod tests {
             sessions: 1,
         };
         let trace = Trace::from_events(vec![
-            Event::Install { obj: g(0), ba: 0x1000, ea: 0x1004 },
-            Event::Install { obj: g(1), ba: 0x1004, ea: 0x1008 },
-            Event::Remove { obj: g(0), ba: 0x1000, ea: 0x1004 },
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x1004,
+                ea: 0x1008,
+            },
+            Event::Remove {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
             // Page still has g(1): a nearby write is an APM.
             write(0x1800, 0x1804),
-            Event::Remove { obj: g(1), ba: 0x1004, ea: 0x1008 },
+            Event::Remove {
+                obj: g(1),
+                ba: 0x1004,
+                ea: 0x1008,
+            },
         ]);
         let c = simulate(&trace, &m, PageSize::K4);
         assert_eq!(c[0].vm_protect, 1, "page protected once");
-        assert_eq!(c[0].vm_unprotect, 1, "unprotected only when last monitor left");
+        assert_eq!(
+            c[0].vm_unprotect, 1,
+            "unprotected only when last monitor left"
+        );
         assert_eq!(c[0].vm_active_page_miss, 1);
     }
 }

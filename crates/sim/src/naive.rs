@@ -126,22 +126,38 @@ mod tests {
                         if let std::collections::hash_map::Entry::Vacant(e) = live.entry(k) {
                             let range = (ba, ba + len);
                             e.insert(range);
-                            tr.push(Event::Install { obj: objs[k], ba: range.0, ea: range.1 });
+                            tr.push(Event::Install {
+                                obj: objs[k],
+                                ba: range.0,
+                                ea: range.1,
+                            });
                         }
                     }
                     1 => {
                         if let Some((ba, ea)) = live.remove(&k) {
-                            tr.push(Event::Remove { obj: objs[k], ba, ea });
+                            tr.push(Event::Remove {
+                                obj: objs[k],
+                                ba,
+                                ea,
+                            });
                         }
                     }
-                    _ => tr.push(Event::Write { pc: 0, ba, ea: ba + len }),
+                    _ => tr.push(Event::Write {
+                        pc: 0,
+                        ba,
+                        ea: ba + len,
+                    }),
                 }
             }
             // Close out, like Tracer::finish.
             let mut leftover: Vec<(usize, (u32, u32))> = live.into_iter().collect();
             leftover.sort_unstable();
             for (k, (ba, ea)) in leftover {
-                tr.push(Event::Remove { obj: objs[k], ba, ea });
+                tr.push(Event::Remove {
+                    obj: objs[k],
+                    ba,
+                    ea,
+                });
             }
             let membership = TableMembership {
                 entries: objs

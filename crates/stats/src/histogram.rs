@@ -44,14 +44,21 @@ impl Histogram {
     pub fn from_samples(samples: &[f64], nbuckets: usize) -> Self {
         assert!(nbuckets > 0, "histogram needs at least one bucket");
         if samples.is_empty() {
-            return Histogram { buckets: Vec::new(), total: 0 };
+            return Histogram {
+                buckets: Vec::new(),
+                total: 0,
+            };
         }
         let lo = crate::min(samples);
         let hi = crate::max(samples);
         assert!(lo.is_finite() && hi.is_finite(), "samples must be finite");
         if lo == hi {
             return Histogram {
-                buckets: vec![HistogramBucket { lo, hi, count: samples.len() }],
+                buckets: vec![HistogramBucket {
+                    lo,
+                    hi,
+                    count: samples.len(),
+                }],
                 total: samples.len(),
             };
         }
@@ -67,7 +74,10 @@ impl Histogram {
             let idx = (((s - lo) / width) as usize).min(nbuckets - 1);
             buckets[idx].count += 1;
         }
-        Histogram { buckets, total: samples.len() }
+        Histogram {
+            buckets,
+            total: samples.len(),
+        }
     }
 
     /// The buckets, in ascending range order.

@@ -1,0 +1,681 @@
+//! Point-in-time snapshots and their exporters. Text is for humans;
+//! CSV and JSON are machine-readable and parse back losslessly (the
+//! round-trip is pinned by tests), which is what lets `results/perf.json`
+//! serve as a benchmark trajectory across PRs without any serde
+//! dependency.
+
+use std::fmt;
+
+/// One histogram bucket: inclusive upper bound (`None` = `+inf`) and
+/// the number of recorded values that landed in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    pub le: Option<u64>,
+    pub count: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// A point-in-time copy of a [`crate::Registry`], plus optional derived
+/// rates (e.g. events/sec) attached by the caller before export.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub spans: Vec<SpanSnapshot>,
+    pub derived: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A named span snapshot, if present.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// A named histogram snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Attach a derived metric. Non-finite values are dropped (they
+    /// cannot round-trip through JSON).
+    pub fn push_derived(&mut self, name: &str, value: f64) {
+        if value.is_finite() {
+            self.derived.push((name.to_string(), value));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Text
+    // ------------------------------------------------------------------
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("== telemetry snapshot ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("  {n:<44} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("  {n:<44} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<44} count={} sum={}\n",
+                    h.name, h.count, h.sum
+                ));
+                for b in &h.buckets {
+                    match b.le {
+                        Some(le) => out.push_str(&format!("    le {le:<10} {}\n", b.count)),
+                        None => out.push_str(&format!("    le +inf      {}\n", b.count)),
+                    }
+                }
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:<44} count={} total={:.3}ms\n",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6
+                ));
+            }
+        }
+        if !self.derived.is_empty() {
+            out.push_str("derived:\n");
+            for (n, v) in &self.derived {
+                out.push_str(&format!("  {n:<44} {v:.3}\n"));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // CSV
+    // ------------------------------------------------------------------
+
+    /// `kind,name,field,value` rows (instrument names never contain
+    /// commas; they are `&'static str` identifiers chosen in-tree).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (n, v) in &self.counters {
+            out.push_str(&format!("counter,{n},value,{v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("gauge,{n},value,{v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("histogram,{},count,{}\n", h.name, h.count));
+            out.push_str(&format!("histogram,{},sum,{}\n", h.name, h.sum));
+            for b in &h.buckets {
+                match b.le {
+                    Some(le) => {
+                        out.push_str(&format!("histogram,{},le:{le},{}\n", h.name, b.count))
+                    }
+                    None => out.push_str(&format!("histogram,{},le:inf,{}\n", h.name, b.count)),
+                }
+            }
+        }
+        for s in &self.spans {
+            out.push_str(&format!("span,{},count,{}\n", s.name, s.count));
+            out.push_str(&format!("span,{},total_ns,{}\n", s.name, s.total_ns));
+        }
+        for (n, v) in &self.derived {
+            out.push_str(&format!("derived,{n},value,{v}\n"));
+        }
+        out
+    }
+
+    /// Parse a snapshot back from [`Snapshot::to_csv`] output.
+    pub fn from_csv(text: &str) -> Result<Snapshot, ParseError> {
+        let mut snap = Snapshot::default();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| ParseError::new(format!("csv line {}: {msg}", i + 1));
+            let mut parts = line.splitn(4, ',');
+            let (kind, name, field, value) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(k), Some(n), Some(f), Some(v)) => (k, n, f, v),
+                    _ => return Err(err("expected kind,name,field,value")),
+                };
+            let as_u64 =
+                |v: &str| -> Result<u64, ParseError> { v.parse().map_err(|_| err("bad u64")) };
+            match (kind, field) {
+                ("counter", "value") => snap.counters.push((name.to_string(), as_u64(value)?)),
+                ("gauge", "value") => snap
+                    .gauges
+                    .push((name.to_string(), value.parse().map_err(|_| err("bad i64"))?)),
+                ("derived", "value") => snap
+                    .derived
+                    .push((name.to_string(), value.parse().map_err(|_| err("bad f64"))?)),
+                ("histogram", _) => {
+                    if snap.histograms.last().map(|h| h.name.as_str()) != Some(name) {
+                        snap.histograms.push(HistogramSnapshot {
+                            name: name.to_string(),
+                            count: 0,
+                            sum: 0,
+                            buckets: Vec::new(),
+                        });
+                    }
+                    let h = snap.histograms.last_mut().expect("just pushed");
+                    match field {
+                        "count" => h.count = as_u64(value)?,
+                        "sum" => h.sum = as_u64(value)?,
+                        _ => {
+                            let le = field
+                                .strip_prefix("le:")
+                                .ok_or_else(|| err("unknown histogram field"))?;
+                            let le = if le == "inf" {
+                                None
+                            } else {
+                                Some(le.parse().map_err(|_| err("bad bucket bound"))?)
+                            };
+                            h.buckets.push(BucketSnapshot {
+                                le,
+                                count: as_u64(value)?,
+                            });
+                        }
+                    }
+                }
+                ("span", _) => {
+                    if snap.spans.last().map(|s| s.name.as_str()) != Some(name) {
+                        snap.spans.push(SpanSnapshot {
+                            name: name.to_string(),
+                            count: 0,
+                            total_ns: 0,
+                        });
+                    }
+                    let s = snap.spans.last_mut().expect("just pushed");
+                    match field {
+                        "count" => s.count = as_u64(value)?,
+                        "total_ns" => s.total_ns = as_u64(value)?,
+                        _ => return Err(err("unknown span field")),
+                    }
+                }
+                _ => return Err(err("unknown kind/field")),
+            }
+        }
+        Ok(snap)
+    }
+
+    // ------------------------------------------------------------------
+    // JSON
+    // ------------------------------------------------------------------
+
+    /// JSON object with `counters` / `gauges` / `histograms` / `spans` /
+    /// `derived` sections. Histogram buckets are `[le, count]` pairs
+    /// with `null` as the `+inf` bound.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_json_map(&mut out, &self.counters, |v| v.to_string());
+        out.push_str("},\n  \"gauges\": {");
+        push_json_map(&mut out, &self.gauges, |v| v.to_string());
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_string(&h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                match b.le {
+                    Some(le) => out.push_str(&format!("[{le}, {}]", b.count)),
+                    None => out.push_str(&format!("[null, {}]", b.count)),
+                }
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_ns\": {}}}",
+                json_string(&s.name),
+                s.count,
+                s.total_ns
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"derived\": {");
+        push_json_map(&mut out, &self.derived, |v| {
+            debug_assert!(v.is_finite());
+            format!("{v}")
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse a snapshot back from [`Snapshot::to_json`] output (accepts
+    /// any standard JSON with the same shape).
+    pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
+        let value = json::parse(text)?;
+        let root = value.as_object("top level")?;
+        let mut snap = Snapshot::default();
+        for (key, section) in root {
+            match key.as_str() {
+                "counters" => {
+                    for (n, v) in section.as_object("counters")? {
+                        snap.counters.push((n.clone(), v.as_u64("counter value")?));
+                    }
+                }
+                "gauges" => {
+                    for (n, v) in section.as_object("gauges")? {
+                        snap.gauges.push((n.clone(), v.as_i64("gauge value")?));
+                    }
+                }
+                "histograms" => {
+                    for (n, v) in section.as_object("histograms")? {
+                        let fields = v.as_object("histogram")?;
+                        let mut h = HistogramSnapshot {
+                            name: n.clone(),
+                            count: 0,
+                            sum: 0,
+                            buckets: Vec::new(),
+                        };
+                        for (f, fv) in fields {
+                            match f.as_str() {
+                                "count" => h.count = fv.as_u64("histogram count")?,
+                                "sum" => h.sum = fv.as_u64("histogram sum")?,
+                                "buckets" => {
+                                    for pair in fv.as_array("buckets")? {
+                                        let pair = pair.as_array("bucket pair")?;
+                                        if pair.len() != 2 {
+                                            return Err(ParseError::new(
+                                                "bucket pair must have 2 elements",
+                                            ));
+                                        }
+                                        let le = if pair[0].is_null() {
+                                            None
+                                        } else {
+                                            Some(pair[0].as_u64("bucket bound")?)
+                                        };
+                                        h.buckets.push(BucketSnapshot {
+                                            le,
+                                            count: pair[1].as_u64("bucket count")?,
+                                        });
+                                    }
+                                }
+                                other => {
+                                    return Err(ParseError::new(format!(
+                                        "unknown histogram field {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        snap.histograms.push(h);
+                    }
+                }
+                "spans" => {
+                    for (n, v) in section.as_object("spans")? {
+                        let fields = v.as_object("span")?;
+                        let mut s = SpanSnapshot {
+                            name: n.clone(),
+                            count: 0,
+                            total_ns: 0,
+                        };
+                        for (f, fv) in fields {
+                            match f.as_str() {
+                                "count" => s.count = fv.as_u64("span count")?,
+                                "total_ns" => s.total_ns = fv.as_u64("span total_ns")?,
+                                other => {
+                                    return Err(ParseError::new(format!(
+                                        "unknown span field {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        snap.spans.push(s);
+                    }
+                }
+                "derived" => {
+                    for (n, v) in section.as_object("derived")? {
+                        snap.derived.push((n.clone(), v.as_f64("derived value")?));
+                    }
+                }
+                other => return Err(ParseError::new(format!("unknown section {other:?}"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn push_json_map<V: Copy>(out: &mut String, entries: &[(String, V)], fmt: impl Fn(V) -> String) {
+    for (i, (n, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", json_string(n), fmt(*v)));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Error from [`Snapshot::from_json`] / [`Snapshot::from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "telemetry parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal recursive-descent JSON reader. Numbers keep their raw text
+/// so `u64`s round-trip without `f64` precision loss.
+mod json {
+    use super::ParseError;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], ParseError> {
+            match self {
+                Value::Obj(entries) => Ok(entries),
+                _ => Err(err(format!("{what}: expected object"))),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], ParseError> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(err(format!("{what}: expected array"))),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, ParseError> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| err(format!("{what}: expected u64, got {raw}"))),
+                _ => Err(err(format!("{what}: expected number"))),
+            }
+        }
+
+        pub fn as_i64(&self, what: &str) -> Result<i64, ParseError> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| err(format!("{what}: expected i64, got {raw}"))),
+                _ => Err(err(format!("{what}: expected number"))),
+            }
+        }
+
+        pub fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| err(format!("{what}: expected f64, got {raw}"))),
+                _ => Err(err(format!("{what}: expected number"))),
+            }
+        }
+    }
+
+    fn err(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(format!("trailing data at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!("expected {:?} at byte {}", c as char, *pos)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err(err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, ParseError> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(err(format!("bad keyword at byte {}", *pos)))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(err(format!("expected value at byte {start}")));
+        }
+        let raw = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+        raw.parse::<f64>()
+            .map_err(|_| err(format!("bad number {raw:?}")))?;
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(err("bad escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| err("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(err(format!("expected ',' or ']' at byte {}", *pos))),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        expect(bytes, pos, b'{')?;
+        let mut entries = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            entries.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(err(format!("expected ',' or '}}' at byte {}", *pos))),
+            }
+        }
+    }
+}

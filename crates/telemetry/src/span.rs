@@ -1,0 +1,72 @@
+//! Scoped wall-time spans: a [`Span`] accumulates invocation count and
+//! total nanoseconds; [`Span::start`] returns a guard that records on
+//! drop. When telemetry is disabled the guard is inert and the clock is
+//! never read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct SpanCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// A named wall-time accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Span(Arc<SpanCore>);
+
+impl Span {
+    pub fn detached() -> Self {
+        Span::default()
+    }
+
+    /// Begin a timed region; the returned guard records its elapsed
+    /// wall time into this span when dropped. If telemetry is disabled
+    /// at start, the guard is inert (no clock read, nothing recorded).
+    pub fn start(&self) -> SpanGuard {
+        SpanGuard {
+            span: self.clone(),
+            start: if crate::enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Record an externally measured duration.
+    pub fn record_ns(&self, ns: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.0.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a timed region (see [`Span::start`]).
+#[derive(Debug)]
+pub struct SpanGuard {
+    span: Span,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.span.record_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}

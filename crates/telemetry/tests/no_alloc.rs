@@ -1,0 +1,68 @@
+//! Pins the disabled-mode overhead policy: with the global flag off,
+//! gated hot-path operations record nothing and perform **zero heap
+//! allocations**. Lives in its own test binary because it installs a
+//! counting global allocator.
+
+use databp_telemetry::{global, set_enabled};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_hot_path_records_nothing_and_never_allocates() {
+    set_enabled(false);
+
+    // Handle registration may allocate — do it up front.
+    let counter = global().counter("noalloc.counter");
+    let gauge = global().gauge("noalloc.gauge");
+    let hist = global().histogram("noalloc.hist", &[1, 8, 64]);
+    let span = global().span("noalloc.span");
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        gauge.add(1);
+        hist.record(i);
+        drop(span.start());
+        // The macro forms gate before touching their OnceLock handles.
+        databp_telemetry::count!("noalloc.macro.counter");
+        databp_telemetry::observe!("noalloc.macro.hist", &[4], i);
+        let _t = databp_telemetry::time!("noalloc.macro.span");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(after - before, 0, "disabled hot path must not allocate");
+    assert_eq!(counter.get(), 0);
+    assert_eq!(gauge.get(), 0);
+    assert_eq!(hist.count(), 0);
+    assert_eq!(span.count(), 0);
+
+    // The disabled macros must not even have registered their names.
+    let snap = global().snapshot();
+    assert_eq!(snap.counter("noalloc.macro.counter"), None);
+    assert!(snap.histogram("noalloc.macro.hist").is_none());
+    assert!(snap.span("noalloc.macro.span").is_none());
+}

@@ -46,17 +46,27 @@ impl Options {
 
     /// CodePatch instrumentation.
     pub fn codepatch() -> Self {
-        Options { codepatch: true, ..Options::default() }
+        Options {
+            codepatch: true,
+            ..Options::default()
+        }
     }
 
     /// CodePatch with the loop-invariant preliminary-check optimization.
     pub fn codepatch_loopopt() -> Self {
-        Options { codepatch: true, loopopt: true, ..Options::default() }
+        Options {
+            codepatch: true,
+            loopopt: true,
+            ..Options::default()
+        }
     }
 
     /// Nop padding for dynamic patching (Section 3.3's hybrid).
     pub fn nop_padding() -> Self {
-        Options { nop_padding: true, ..Options::default() }
+        Options {
+            nop_padding: true,
+            ..Options::default()
+        }
     }
 }
 
@@ -203,7 +213,11 @@ pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
     };
 
     Compiled {
-        program: Program { code: g.code, data, entry: CODE_BASE },
+        program: Program {
+            code: g.code,
+            data,
+            entry: CODE_BASE,
+        },
         debug,
     }
 }
@@ -392,12 +406,18 @@ impl<'a> Gen<'a> {
                         // the chk is the *next* word.
                         let pc = self.here_pc();
                         self.emit(asm::chk(AT, 0, width as u8));
-                        self.loopopts.push(LoopOptInfo { preheader_pc: pc, body_pcs: Vec::new() });
+                        self.loopopts.push(LoopOptInfo {
+                            preheader_pc: pc,
+                            body_pcs: Vec::new(),
+                        });
                         hoists.insert(target, self.loopopts.len() - 1);
                         continue;
                     }
                 }
-                self.loopopts.push(LoopOptInfo { preheader_pc: pre_pc, body_pcs: Vec::new() });
+                self.loopopts.push(LoopOptInfo {
+                    preheader_pc: pre_pc,
+                    body_pcs: Vec::new(),
+                });
                 hoists.insert(target, self.loopopts.len() - 1);
             }
         }
@@ -515,8 +535,7 @@ impl<'a> Gen<'a> {
                         self.load_global_addr(AT, *g);
                         self.checked_store(rd, AT, 0, width, Some(StoreTarget::Global(*g)));
                     }
-                    ExprKind::Binary(BinOp::Add, base, off)
-                        if matches!(off.kind, ExprKind::Const(c) if (-32768..=32767).contains(&c)) =>
+                    ExprKind::Binary(BinOp::Add, base, off) if matches!(off.kind, ExprKind::Const(c) if (-32768..=32767).contains(&c)) =>
                     {
                         let c = match off.kind {
                             ExprKind::Const(c) => c as i16,
@@ -729,8 +748,10 @@ mod tests {
         m.set_args(args.to_vec());
         match m.run(&mut NoHooks, 50_000_000) {
             Ok(StopReason::Halted) => {}
-            other => panic!("unexpected stop: {other:?}\noutput so far: {:?}",
-                String::from_utf8_lossy(m.output())),
+            other => panic!(
+                "unexpected stop: {other:?}\noutput so far: {:?}",
+                String::from_utf8_lossy(m.output())
+            ),
         }
         (m.take_output(), m.exit_code())
     }
@@ -970,14 +991,26 @@ mod tests {
         let hir = lower("int g; int main() { g = 1; g = 2; return g; }").unwrap();
         let plain = generate(&hir, &Options::plain());
         let cp = generate(&hir, &Options::codepatch());
-        let chks = cp.program.code.iter().filter(|i| matches!(i, Instr::Chk(..))).count();
+        let chks = cp
+            .program
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Chk(..)))
+            .count();
         // 2 global stores; main has no locals/params.
         assert_eq!(chks, 2);
         assert_eq!(plain.debug.traced_store_count, cp.debug.traced_store_count);
         // Outputs must be identical either way.
-        let (o1, c1) = run_opts("int g; int main() { g = 1; g = 2; return g; }", &[], &Options::plain());
-        let (o2, c2) =
-            run_opts("int g; int main() { g = 1; g = 2; return g; }", &[], &Options::codepatch());
+        let (o1, c1) = run_opts(
+            "int g; int main() { g = 1; g = 2; return g; }",
+            &[],
+            &Options::plain(),
+        );
+        let (o2, c2) = run_opts(
+            "int g; int main() { g = 1; g = 2; return g; }",
+            &[],
+            &Options::codepatch(),
+        );
         assert_eq!((o1, c1), (o2, c2));
     }
 
@@ -993,11 +1026,19 @@ mod tests {
         let c = generate(&hir, &Options::plain());
         // Each function has 2 prologue saves; the call inside the addition
         // spills one live temp.
-        assert!(c.debug.untraced_store_pcs.len() >= 5, "{:?}", c.debug.untraced_store_pcs);
+        assert!(
+            c.debug.untraced_store_pcs.len() >= 5,
+            "{:?}",
+            c.debug.untraced_store_pcs
+        );
         // Untraced pcs point at actual store instructions.
         for &pc in &c.debug.untraced_store_pcs {
             let idx = ((pc - CODE_BASE) / 4) as usize;
-            assert!(c.program.code[idx].is_store(), "pc {pc:#x} is {:?}", c.program.code[idx]);
+            assert!(
+                c.program.code[idx].is_store(),
+                "pc {pc:#x} is {:?}",
+                c.program.code[idx]
+            );
         }
     }
 

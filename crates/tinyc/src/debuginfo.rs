@@ -106,7 +106,11 @@ impl DebugInfo {
                 .map(|f| {
                     f.locals
                         .iter()
-                        .map(|l| FrameVar { var: l.var, offset: l.offset, size: l.size })
+                        .map(|l| FrameVar {
+                            var: l.var,
+                            offset: l.offset,
+                            size: l.size,
+                        })
                         .collect()
                 })
                 .collect(),
@@ -119,18 +123,27 @@ impl DebugInfo {
         self.globals
             .iter()
             .filter(|g| !g.is_literal)
-            .map(|g| GlobalSpec { id: g.id, ba: g.ba, ea: g.ea })
+            .map(|g| GlobalSpec {
+                id: g.id,
+                ba: g.ba,
+                ea: g.ea,
+            })
             .collect()
     }
 
     /// Looks up a function id by name (example/test convenience).
     pub fn func_id(&self, name: &str) -> Option<u16> {
-        self.functions.iter().position(|f| f.name == name).map(|i| i as u16)
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u16)
     }
 
     /// Looks up a non-literal global by name.
     pub fn global(&self, name: &str) -> Option<&GlobalInfo> {
-        self.globals.iter().find(|g| g.name == name && !g.is_literal)
+        self.globals
+            .iter()
+            .find(|g| g.name == name && !g.is_literal)
     }
 }
 

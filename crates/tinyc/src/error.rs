@@ -16,7 +16,10 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error at `line`.
     pub fn new(line: u32, message: impl Into<String>) -> Self {
-        CompileError { line, message: message.into() }
+        CompileError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -39,6 +42,9 @@ mod tests {
     #[test]
     fn display_with_and_without_line() {
         assert_eq!(CompileError::new(3, "bad").to_string(), "line 3: bad");
-        assert_eq!(CompileError::new(0, "no main").to_string(), "error: no main");
+        assert_eq!(
+            CompileError::new(0, "no main").to_string(),
+            "error: no main"
+        );
     }
 }

@@ -202,6 +202,9 @@ pub enum ExprKind {
 impl Expr {
     /// A constant int expression.
     pub fn konst(v: i32) -> Expr {
-        Expr { ty: Type::Int, kind: ExprKind::Const(v) }
+        Expr {
+            ty: Type::Int,
+            kind: ExprKind::Const(v),
+        }
     }
 }

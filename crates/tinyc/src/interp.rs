@@ -71,14 +71,20 @@ pub fn interpret(hir: &Hir, args: &[i32], max_steps: u64) -> Result<InterpResult
         Flow::Return(v) => v as i32,
         _ => 0,
     };
-    Ok(InterpResult { output: it.output, exit_code, steps: it.steps })
+    Ok(InterpResult {
+        output: it.output,
+        exit_code,
+        steps: it.steps,
+    })
 }
 
 impl<'a> Interp<'a> {
     fn tick(&mut self) -> Result<(), MachineError> {
         self.steps += 1;
         if self.steps > self.max_steps {
-            return Err(MachineError::StepLimitExceeded { limit: self.max_steps });
+            return Err(MachineError::StepLimitExceeded {
+                limit: self.max_steps,
+            });
         }
         Ok(())
     }
@@ -94,7 +100,12 @@ impl<'a> Interp<'a> {
                     return Err(MachineError::Misaligned { addr, pc: 0 });
                 }
                 let i = addr as usize;
-                u32::from_le_bytes([self.mem[i], self.mem[i + 1], self.mem[i + 2], self.mem[i + 3]])
+                u32::from_le_bytes([
+                    self.mem[i],
+                    self.mem[i + 1],
+                    self.mem[i + 2],
+                    self.mem[i + 3],
+                ])
             }
             _ => unreachable!("width is 1 or 4"),
         })
@@ -131,7 +142,11 @@ impl<'a> Interp<'a> {
         for (k, &v) in args.iter().enumerate() {
             let l = &f.locals[k];
             let addr = fp.wrapping_add(l.offset as u32);
-            let v = if l.ty == Type::Char { (v as u8 as i8 as i32) as u32 } else { v };
+            let v = if l.ty == Type::Char {
+                (v as u8 as i8 as i32) as u32
+            } else {
+                v
+            };
             self.store(addr, l.ty.access_width(), v)?;
         }
         let flow = self.stmts(f, fp, &f.body)?;
@@ -225,12 +240,22 @@ impl<'a> Interp<'a> {
 
     /// Evaluates to a value, collapsing `exit()` into the error arm of the
     /// inner result.
-    fn value(&mut self, f: &'a FuncDef, fp: u32, e: &'a Expr) -> Result<Result<u32, i32>, MachineError> {
+    fn value(
+        &mut self,
+        f: &'a FuncDef,
+        fp: u32,
+        e: &'a Expr,
+    ) -> Result<Result<u32, i32>, MachineError> {
         self.expr(f, fp, e)
     }
 
     /// Inner result: `Ok(value)` or `Err(exit_code)` when `exit()` ran.
-    fn expr(&mut self, f: &'a FuncDef, fp: u32, e: &'a Expr) -> Result<Result<u32, i32>, MachineError> {
+    fn expr(
+        &mut self,
+        f: &'a FuncDef,
+        fp: u32,
+        e: &'a Expr,
+    ) -> Result<Result<u32, i32>, MachineError> {
         self.tick()?;
         macro_rules! eval {
             ($e:expr) => {
@@ -343,13 +368,11 @@ impl<'a> Interp<'a> {
                             .heap
                             .live_block(vals[0])
                             .ok_or(MachineError::BadFree { addr: vals[0] })?;
-                        let saved: Vec<u8> = self.mem
-                            [vals[0] as usize..(vals[0] + old_size) as usize]
-                            .to_vec();
+                        let saved: Vec<u8> =
+                            self.mem[vals[0] as usize..(vals[0] + old_size) as usize].to_vec();
                         self.heap.free(vals[0])?;
                         let new_addr = self.heap.alloc_with_seq(vals[1], seq)?;
-                        let (new_size, _) =
-                            self.heap.live_block(new_addr).expect("just allocated");
+                        let (new_size, _) = self.heap.live_block(new_addr).expect("just allocated");
                         let keep = old_size.min(new_size) as usize;
                         self.mem[new_addr as usize..new_addr as usize + keep]
                             .copy_from_slice(&saved[..keep]);
@@ -376,9 +399,7 @@ impl<'a> Interp<'a> {
                         }
                         0
                     }
-                    Builtin::Arg => {
-                        self.args.get(vals[0] as usize).copied().unwrap_or(0) as u32
-                    }
+                    Builtin::Arg => self.args.get(vals[0] as usize).copied().unwrap_or(0) as u32,
                     Builtin::Exit => return Ok(Err(vals[0] as i32)),
                 }
             }
@@ -428,7 +449,10 @@ mod tests {
     #[test]
     fn divide_by_zero_detected() {
         let hir = lower("int main() { int z; z = 0; return 1 / z; }").unwrap();
-        assert!(matches!(interpret(&hir, &[], 1000), Err(MachineError::DivideByZero { .. })));
+        assert!(matches!(
+            interpret(&hir, &[], 1000),
+            Err(MachineError::DivideByZero { .. })
+        ));
     }
 
     #[test]
@@ -445,16 +469,19 @@ mod tests {
 
     #[test]
     fn heap_misuse_detected() {
-        let hir = lower(
-            "int main() { free((char*)123456); return 0; }",
-        )
-        .unwrap();
-        assert!(matches!(interpret(&hir, &[], 1000), Err(MachineError::BadFree { .. })));
+        let hir = lower("int main() { free((char*)123456); return 0; }").unwrap();
+        assert!(matches!(
+            interpret(&hir, &[], 1000),
+            Err(MachineError::BadFree { .. })
+        ));
     }
 
     #[test]
     fn args_reach_program() {
-        let r = run("int main() { print_int(arg(0) + arg(1)); return 0; }", &[40, 2]);
+        let r = run(
+            "int main() { print_int(arg(0) + arg(1)); return 0; }",
+            &[40, 2],
+        );
         assert_eq!(r.output, b"42\n");
     }
 }

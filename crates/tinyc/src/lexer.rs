@@ -66,12 +66,10 @@ fn keyword(s: &str) -> Option<Kw> {
 }
 
 /// Multi-character punctuation, longest first.
-const PUNCT2: &[&str] = &[
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
-];
+const PUNCT2: &[&str] = &["<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->"];
 const PUNCT1: &[&str] = &[
-    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", "[",
-    "]", ";", ",", ".", "?", ":",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", "[", "]",
+    ";", ",", ".", "?", ":",
 ];
 
 struct Lexer<'a> {
@@ -166,13 +164,20 @@ impl<'a> Lexer<'a> {
 /// Reports unterminated comments/strings/chars, malformed numbers, and
 /// unknown characters, each with its line.
 pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
-    let mut lx = Lexer { src: source.as_bytes(), pos: 0, line: 1 };
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
     let mut out = Vec::new();
     loop {
         lx.skip_trivia()?;
         let line = lx.line;
         let Some(c) = lx.peek() else {
-            out.push(Token { kind: Tok::Eof, line });
+            out.push(Token {
+                kind: Tok::Eof,
+                line,
+            });
             return Ok(out);
         };
         let kind = if c.is_ascii_digit() {
@@ -194,7 +199,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                     lx.bump();
                 }
                 let text = std::str::from_utf8(&lx.src[start..lx.pos]).unwrap();
-                let v: i64 = text.parse().map_err(|_| CompileError::new(line, "bad number"))?;
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(line, "bad number"))?;
                 if v > i32::MAX as i64 {
                     return Err(CompileError::new(line, "integer literal out of range"));
                 }

@@ -161,7 +161,13 @@ impl<'a> Parser<'a> {
                 Stmt::Block(b) => b,
                 _ => unreachable!("parse_stmt at '{{' returns a block"),
             };
-            Ok(Item::Func(FuncDecl { ret: ty, name, params, body, line }))
+            Ok(Item::Func(FuncDecl {
+                ret: ty,
+                name,
+                params,
+                body,
+                line,
+            }))
         } else {
             // global variable
             let array = if self.eat_punct("[") {
@@ -175,8 +181,11 @@ impl<'a> Parser<'a> {
             } else {
                 None
             };
-            let init =
-                if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             Ok(Item::Global(GlobalDecl {
                 ty,
@@ -199,7 +208,11 @@ impl<'a> Parser<'a> {
             members.push((ty, d));
         }
         self.expect_punct(";")?;
-        Ok(StructDef { name, members, line })
+        Ok(StructDef {
+            name,
+            members,
+            line,
+        })
     }
 
     // ---- statements ----
@@ -280,9 +293,18 @@ impl<'a> Parser<'a> {
         if is_static || self.at_type() {
             let ty = self.parse_type()?;
             let decl = self.parse_declarator()?;
-            let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
-            return Ok(Stmt::Decl { is_static, ty, decl, init });
+            return Ok(Stmt::Decl {
+                is_static,
+                ty,
+                decl,
+                init,
+            });
         }
         let e = self.parse_expr()?;
         self.expect_punct(";")?;
@@ -352,22 +374,36 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_equality(&mut self) -> PResult<Expr> {
-        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Self::parse_relational)
+        self.binary_level(
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            Self::parse_relational,
+        )
     }
 
     fn parse_relational(&mut self) -> PResult<Expr> {
         self.binary_level(
-            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
             Self::parse_shift,
         )
     }
 
     fn parse_shift(&mut self) -> PResult<Expr> {
-        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Self::parse_additive)
+        self.binary_level(
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            Self::parse_additive,
+        )
     }
 
     fn parse_additive(&mut self) -> PResult<Expr> {
-        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::parse_multiplicative)
+        self.binary_level(
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            Self::parse_multiplicative,
+        )
     }
 
     fn parse_multiplicative(&mut self) -> PResult<Expr> {
@@ -381,23 +417,38 @@ impl<'a> Parser<'a> {
         let line = self.line();
         if self.eat_punct("-") {
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                line,
+            });
         }
         if self.eat_punct("!") {
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                line,
+            });
         }
         if self.eat_punct("~") {
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnOp::BitNot, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnOp::BitNot, Box::new(e)),
+                line,
+            });
         }
         if self.eat_punct("*") {
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::Deref(Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Deref(Box::new(e)),
+                line,
+            });
         }
         if self.eat_punct("&") {
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::AddrOf(Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::AddrOf(Box::new(e)),
+                line,
+            });
         }
         // Cast: '(' type … ')'
         if matches!(self.peek(), Tok::Punct("("))
@@ -410,7 +461,10 @@ impl<'a> Parser<'a> {
             let ty = self.parse_type()?;
             self.expect_punct(")")?;
             let e = self.parse_unary()?;
-            return Ok(Expr { kind: ExprKind::Cast(ty, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Cast(ty, Box::new(e)),
+                line,
+            });
         }
         self.parse_postfix()
     }
@@ -422,13 +476,22 @@ impl<'a> Parser<'a> {
             if self.eat_punct("[") {
                 let idx = self.parse_expr()?;
                 self.expect_punct("]")?;
-                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    line,
+                };
             } else if self.eat_punct(".") {
                 let m = self.expect_ident()?;
-                e = Expr { kind: ExprKind::Member(Box::new(e), m), line };
+                e = Expr {
+                    kind: ExprKind::Member(Box::new(e), m),
+                    line,
+                };
             } else if self.eat_punct("->") {
                 let m = self.expect_ident()?;
-                e = Expr { kind: ExprKind::Arrow(Box::new(e), m), line };
+                e = Expr {
+                    kind: ExprKind::Arrow(Box::new(e), m),
+                    line,
+                };
             } else if matches!(self.peek(), Tok::Punct("(")) {
                 // Call: only valid directly after an identifier.
                 let name = match &e.kind {
@@ -446,7 +509,10 @@ impl<'a> Parser<'a> {
                     }
                     self.expect_punct(")")?;
                 }
-                e = Expr { kind: ExprKind::Call(name, args), line: e.line };
+                e = Expr {
+                    kind: ExprKind::Call(name, args),
+                    line: e.line,
+                };
             } else {
                 return Ok(e);
             }
@@ -458,22 +524,34 @@ impl<'a> Parser<'a> {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Int(v), line })
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    line,
+                })
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Str(s), line })
+                Ok(Expr {
+                    kind: ExprKind::Str(s),
+                    line,
+                })
             }
             Tok::Ident(name) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Ident(name), line })
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    line,
+                })
             }
             Tok::Kw(Kw::Sizeof) => {
                 self.bump();
                 self.expect_punct("(")?;
                 let ty = self.parse_type()?;
                 self.expect_punct(")")?;
-                Ok(Expr { kind: ExprKind::Sizeof(ty), line })
+                Ok(Expr {
+                    kind: ExprKind::Sizeof(ty),
+                    line,
+                })
             }
             Tok::Punct("(") => {
                 self.bump();
@@ -496,7 +574,11 @@ pub fn parse(tokens: &[Token]) -> Result<Vec<Item>, CompileError> {
         matches!(tokens.last().map(|t| &t.kind), Some(Tok::Eof)),
         "token stream must end with Eof"
     );
-    Parser { toks: tokens, pos: 0 }.parse_program()
+    Parser {
+        toks: tokens,
+        pos: 0,
+    }
+    .parse_program()
 }
 
 #[cfg(test)]
@@ -543,7 +625,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let Item::Func(f) = &items[0] else { panic!("expected func") };
+        let Item::Func(f) = &items[0] else {
+            panic!("expected func")
+        };
         assert_eq!(f.name, "f");
         assert_eq!(f.params.len(), 1);
         assert_eq!(f.body.len(), 5);
@@ -553,26 +637,28 @@ mod tests {
     fn precedence_binds_correctly() {
         let items = parse_src("int main() { return 1 + 2 * 3 == 7 && 1; }").unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let Stmt::Return(Some(e), _) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &f.body[0] else {
+            panic!()
+        };
         // top node must be &&
         assert!(matches!(e.kind, ExprKind::Binary(BinOp::LogAnd, _, _)));
     }
 
     #[test]
     fn postfix_chains() {
-        let items =
-            parse_src("int main() { return p->next->data[i + 1]; }").unwrap();
+        let items = parse_src("int main() { return p->next->data[i + 1]; }").unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let Stmt::Return(Some(e), _) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Index(..)));
     }
 
     #[test]
     fn cast_vs_paren() {
-        let items = parse_src(
-            "int main() { int x; x = (int)1; x = (x); return (struct T*)0 == 0; }",
-        )
-        .unwrap();
+        let items =
+            parse_src("int main() { int x; x = (int)1; x = (x); return (struct T*)0 == 0; }")
+                .unwrap();
         assert_eq!(items.len(), 1);
     }
 
@@ -581,7 +667,9 @@ mod tests {
         let items = parse_src("int main() { a = b = 1; return 0; }").unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
         let Stmt::Expr(e) = &f.body[0] else { panic!() };
-        let ExprKind::Assign(_, rhs) = &e.kind else { panic!() };
+        let ExprKind::Assign(_, rhs) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Assign(..)));
     }
 

@@ -67,8 +67,15 @@ pub fn check(items: &[Item]) -> SResult<Hir> {
     // Pass 1: struct names get ids in order of appearance.
     for item in items {
         if let Item::Struct(s) = item {
-            if cx.struct_ids.insert(s.name.clone(), cx.struct_ids.len()).is_some() {
-                return Err(CompileError::new(s.line, format!("duplicate struct '{}'", s.name)));
+            if cx
+                .struct_ids
+                .insert(s.name.clone(), cx.struct_ids.len())
+                .is_some()
+            {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("duplicate struct '{}'", s.name),
+                ));
             }
         }
     }
@@ -88,7 +95,10 @@ pub fn check(items: &[Item]) -> SResult<Hir> {
     for item in items {
         if let Item::Func(f) = item {
             if cx.func_ids.contains_key(&f.name) {
-                return Err(CompileError::new(f.line, format!("duplicate function '{}'", f.name)));
+                return Err(CompileError::new(
+                    f.line,
+                    format!("duplicate function '{}'", f.name),
+                ));
             }
             if builtin_of(&f.name).is_some() {
                 return Err(CompileError::new(
@@ -209,14 +219,25 @@ impl Checker {
                 }
             }
             if members.iter().any(|m: &MemberLayout| m.name == d.name) {
-                return Err(CompileError::new(d.line, format!("duplicate member '{}'", d.name)));
+                return Err(CompileError::new(
+                    d.line,
+                    format!("duplicate member '{}'", d.name),
+                ));
             }
             let align = ty.align(&self.struct_sizes);
             off = align_up(off, align);
-            members.push(MemberLayout { name: d.name.clone(), ty: ty.clone(), offset: off });
+            members.push(MemberLayout {
+                name: d.name.clone(),
+                ty: ty.clone(),
+                offset: off,
+            });
             off += ty.size(&self.struct_sizes);
         }
-        Ok(StructLayout { name: s.name.clone(), members, size: align_up(off.max(1), 4) })
+        Ok(StructLayout {
+            name: s.name.clone(),
+            members,
+            size: align_up(off.max(1), 4),
+        })
     }
 
     fn alloc_global(
@@ -267,7 +288,10 @@ impl Checker {
     fn define_global(&mut self, g: &ast::GlobalDecl) -> SResult<()> {
         let line = g.decl.line;
         if self.global_by_name.contains_key(&g.decl.name) {
-            return Err(CompileError::new(line, format!("duplicate global '{}'", g.decl.name)));
+            return Err(CompileError::new(
+                line,
+                format!("duplicate global '{}'", g.decl.name),
+            ));
         }
         let base = self.resolve_type(&g.ty, line)?;
         let ty = match g.decl.array {
@@ -290,7 +314,10 @@ impl Checker {
     fn const_init_bytes(&mut self, e: &ast::Expr, ty: &Type) -> SResult<Vec<u8>> {
         if let Ast::Str(s) = &e.kind {
             if !ty.is_ptr() {
-                return Err(CompileError::new(e.line, "string initializer needs a pointer type"));
+                return Err(CompileError::new(
+                    e.line,
+                    "string initializer needs a pointer type",
+                ));
             }
             let id = self.intern_literal(s);
             let addr = DATA_BASE + self.globals[id as usize].offset;
@@ -313,9 +340,7 @@ impl Checker {
         let err = || CompileError::new(e.line, "initializer must be a constant expression");
         Ok(match &e.kind {
             Ast::Int(v) => *v,
-            Ast::Sizeof(t) => {
-                self.resolve_type(t, e.line)?.size(&self.struct_sizes) as i32
-            }
+            Ast::Sizeof(t) => self.resolve_type(t, e.line)?.size(&self.struct_sizes) as i32,
             Ast::Unary(UnOp::Neg, x) => self.const_eval(x)?.wrapping_neg(),
             Ast::Unary(UnOp::BitNot, x) => !self.const_eval(x)?,
             Ast::Unary(UnOp::Not, x) => (self.const_eval(x)? == 0) as i32,
@@ -392,7 +417,10 @@ impl Checker {
         });
         let scope = fx.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.clone(), Binding::Local(idx)).is_some() {
-            return Err(CompileError::new(line, format!("duplicate variable '{name}'")));
+            return Err(CompileError::new(
+                line,
+                format!("duplicate variable '{name}'"),
+            ));
         }
         Ok(idx)
     }
@@ -416,15 +444,15 @@ impl Checker {
         Ok(out)
     }
 
-    fn lower_stmt(
-        &mut self,
-        fx: &mut FuncCx,
-        s: &ast::Stmt,
-        out: &mut Vec<Stmt>,
-    ) -> SResult<()> {
+    fn lower_stmt(&mut self, fx: &mut FuncCx, s: &ast::Stmt, out: &mut Vec<Stmt>) -> SResult<()> {
         match s {
             ast::Stmt::Empty => {}
-            ast::Stmt::Decl { is_static, ty, decl, init } => {
+            ast::Stmt::Decl {
+                is_static,
+                ty,
+                decl,
+                init,
+            } => {
                 self.lower_decl(fx, *is_static, ty, decl, init.as_ref(), out)?;
             }
             ast::Stmt::Expr(e) => {
@@ -448,9 +476,15 @@ impl Checker {
                 out.push(Stmt::While(c, b));
             }
             ast::Stmt::For(init, cond, step, body) => {
-                let i = init.as_ref().map(|e| self.rvalue_or_void(fx, e)).transpose()?;
+                let i = init
+                    .as_ref()
+                    .map(|e| self.rvalue_or_void(fx, e))
+                    .transpose()?;
                 let c = cond.as_ref().map(|e| self.condition(fx, e)).transpose()?;
-                let st = step.as_ref().map(|e| self.rvalue_or_void(fx, e)).transpose()?;
+                let st = step
+                    .as_ref()
+                    .map(|e| self.rvalue_or_void(fx, e))
+                    .transpose()?;
                 fx.loop_depth += 1;
                 let b = self.lower_substmt(fx, body)?;
                 fx.loop_depth -= 1;
@@ -461,10 +495,16 @@ impl Checker {
                 let e = match (value, ret_ty) {
                     (None, Type::Void) => None,
                     (None, _) => {
-                        return Err(CompileError::new(*line, "non-void function must return a value"))
+                        return Err(CompileError::new(
+                            *line,
+                            "non-void function must return a value",
+                        ))
                     }
                     (Some(_), Type::Void) => {
-                        return Err(CompileError::new(*line, "void function cannot return a value"))
+                        return Err(CompileError::new(
+                            *line,
+                            "void function cannot return a value",
+                        ))
                     }
                     (Some(v), ret) => {
                         let e = self.rvalue(fx, v)?;
@@ -535,15 +575,24 @@ impl Checker {
                 false,
             );
             let scope = fx.scopes.last_mut().expect("scope stack never empty");
-            if scope.insert(decl.name.clone(), Binding::Global(gid)).is_some() {
-                return Err(CompileError::new(line, format!("duplicate variable '{}'", decl.name)));
+            if scope
+                .insert(decl.name.clone(), Binding::Global(gid))
+                .is_some()
+            {
+                return Err(CompileError::new(
+                    line,
+                    format!("duplicate variable '{}'", decl.name),
+                ));
             }
             return Ok(());
         }
         let idx = self.alloc_local(fx, decl.name.clone(), ty.clone(), false, line)?;
         if let Some(e) = init {
             if !ty.is_scalar() {
-                return Err(CompileError::new(line, "only scalar locals can have initializers"));
+                return Err(CompileError::new(
+                    line,
+                    "only scalar locals can have initializers",
+                ));
             }
             let value = self.rvalue(fx, e)?;
             self.check_assignable(&value.ty, &ty, line)?;
@@ -554,7 +603,10 @@ impl Checker {
             let value = coerce_store_value(value, &ty);
             out.push(Stmt::Expr(Expr {
                 ty,
-                kind: ExprKind::Assign { addr: Box::new(addr), value: Box::new(value) },
+                kind: ExprKind::Assign {
+                    addr: Box::new(addr),
+                    value: Box::new(value),
+                },
             }));
         }
         Ok(())
@@ -591,7 +643,10 @@ impl Checker {
         if ok {
             Ok(())
         } else {
-            Err(CompileError::new(line, format!("cannot convert {from} to {to}")))
+            Err(CompileError::new(
+                line,
+                format!("cannot convert {from} to {to}"),
+            ))
         }
     }
 
@@ -603,33 +658,43 @@ impl Checker {
                 Some(Binding::Local(i)) => {
                     let ty = fx.locals[i as usize].ty.clone();
                     Ok((
-                        Expr { ty: Type::Ptr(Box::new(ty.clone())), kind: ExprKind::AddrLocal(i) },
+                        Expr {
+                            ty: Type::Ptr(Box::new(ty.clone())),
+                            kind: ExprKind::AddrLocal(i),
+                        },
                         ty,
                     ))
                 }
                 Some(Binding::Global(g)) => {
                     let ty = self.globals[g as usize].ty.clone();
                     Ok((
-                        Expr { ty: Type::Ptr(Box::new(ty.clone())), kind: ExprKind::AddrGlobal(g) },
+                        Expr {
+                            ty: Type::Ptr(Box::new(ty.clone())),
+                            kind: ExprKind::AddrGlobal(g),
+                        },
                         ty,
                     ))
                 }
-                None => Err(CompileError::new(line, format!("unknown variable '{name}'"))),
+                None => Err(CompileError::new(
+                    line,
+                    format!("unknown variable '{name}'"),
+                )),
             },
             Ast::Deref(p) => {
                 let pe = self.rvalue(fx, p)?;
                 match pe.ty.clone() {
                     Type::Ptr(t) => Ok((pe, (*t).clone())),
-                    other => Err(CompileError::new(line, format!("cannot dereference {other}"))),
+                    other => Err(CompileError::new(
+                        line,
+                        format!("cannot dereference {other}"),
+                    )),
                 }
             }
             Ast::Index(base, idx) => {
                 let b = self.rvalue(fx, base)?;
                 let elem = match b.ty.pointee() {
                     Some(t) => t.clone(),
-                    None => {
-                        return Err(CompileError::new(line, format!("cannot index {}", b.ty)))
-                    }
+                    None => return Err(CompileError::new(line, format!("cannot index {}", b.ty))),
                 };
                 let i = self.rvalue(fx, idx)?;
                 if !matches!(i.ty, Type::Int | Type::Char) {
@@ -663,7 +728,10 @@ impl Checker {
                         }
                     },
                     other => {
-                        return Err(CompileError::new(line, format!("'->' on non-pointer {other}")))
+                        return Err(CompileError::new(
+                            line,
+                            format!("'->' on non-pointer {other}"),
+                        ))
                     }
                 };
                 let ml = self.member(sid, m, line)?;
@@ -704,7 +772,10 @@ impl Checker {
             }
             Ast::AddrOf(inner) => {
                 let (addr, ty) = self.lvalue(fx, inner)?;
-                Ok(Expr { ty: Type::Ptr(Box::new(ty)), kind: addr.kind })
+                Ok(Expr {
+                    ty: Type::Ptr(Box::new(ty)),
+                    kind: addr.kind,
+                })
             }
             Ast::Cast(t, inner) => {
                 let target = self.resolve_type(t, line)?;
@@ -717,7 +788,10 @@ impl Checker {
                         ty: Type::Char,
                         kind: ExprKind::CastChar(Box::new(v)),
                     }),
-                    t if t.is_scalar() => Ok(Expr { ty: t, kind: v.kind }),
+                    t if t.is_scalar() => Ok(Expr {
+                        ty: t,
+                        kind: v.kind,
+                    }),
                     other => Err(CompileError::new(line, format!("cannot cast to {other}"))),
                 }
             }
@@ -726,7 +800,10 @@ impl Checker {
                 if !v.ty.is_scalar() {
                     return Err(CompileError::new(line, "unary operand must be scalar"));
                 }
-                Ok(Expr { ty: Type::Int, kind: ExprKind::Unary(*op, Box::new(v)) })
+                Ok(Expr {
+                    ty: Type::Int,
+                    kind: ExprKind::Unary(*op, Box::new(v)),
+                })
             }
             Ast::Assign(lhs, rhs) => {
                 let (addr, ty) = self.lvalue(fx, lhs)?;
@@ -738,7 +815,10 @@ impl Checker {
                 let value = coerce_store_value(value, &ty);
                 Ok(Expr {
                     ty,
-                    kind: ExprKind::Assign { addr: Box::new(addr), value: Box::new(value) },
+                    kind: ExprKind::Assign {
+                        addr: Box::new(addr),
+                        value: Box::new(value),
+                    },
                 })
             }
             Ast::Binary(op, a, b) => self.lower_binary(fx, *op, a, b, line),
@@ -749,12 +829,19 @@ impl Checker {
                 match ty {
                     Type::Array(elem, _) => {
                         // Array decay: the value of an array is its address.
-                        Ok(Expr { ty: Type::Ptr(elem), kind: addr.kind })
+                        Ok(Expr {
+                            ty: Type::Ptr(elem),
+                            kind: addr.kind,
+                        })
                     }
-                    Type::Struct(_) => {
-                        Err(CompileError::new(line, "struct values cannot be used directly"))
-                    }
-                    ty => Ok(Expr { ty, kind: ExprKind::Load(Box::new(addr)) }),
+                    Type::Struct(_) => Err(CompileError::new(
+                        line,
+                        "struct values cannot be used directly",
+                    )),
+                    ty => Ok(Expr {
+                        ty,
+                        kind: ExprKind::Load(Box::new(addr)),
+                    }),
                 }
             }
         }
@@ -776,7 +863,10 @@ impl Checker {
             } else {
                 ExprKind::LogOr(Box::new(l), Box::new(r))
             };
-            return Ok(Expr { ty: Type::Int, kind });
+            return Ok(Expr {
+                ty: Type::Int,
+                kind,
+            });
         }
         let l = self.rvalue(fx, a)?;
         let r = self.rvalue(fx, b)?;
@@ -784,54 +874,52 @@ impl Checker {
             return Err(CompileError::new(line, "operands must be scalar"));
         }
         match op {
-            BinOp::Add | BinOp::Sub => {
-                match (l.ty.is_ptr(), r.ty.is_ptr()) {
-                    (true, false) => {
-                        let elem = l.ty.pointee().expect("pointer has pointee").clone();
-                        let ty = l.ty.clone();
-                        let scaled = scale(r, elem.size(&self.struct_sizes));
-                        Ok(Expr {
-                            ty,
-                            kind: ExprKind::Binary(op, Box::new(l), Box::new(scaled)),
-                        })
-                    }
-                    (false, true) => {
-                        if op == BinOp::Sub {
-                            return Err(CompileError::new(line, "cannot subtract pointer from int"));
-                        }
-                        let elem = r.ty.pointee().expect("pointer has pointee").clone();
-                        let ty = r.ty.clone();
-                        let scaled = scale(l, elem.size(&self.struct_sizes));
-                        Ok(Expr {
-                            ty,
-                            kind: ExprKind::Binary(op, Box::new(scaled), Box::new(r)),
-                        })
-                    }
-                    (true, true) => {
-                        if op != BinOp::Sub {
-                            return Err(CompileError::new(line, "cannot add two pointers"));
-                        }
-                        let elem = l.ty.pointee().expect("pointer has pointee").clone();
-                        let size = elem.size(&self.struct_sizes).max(1);
-                        let diff = Expr {
-                            ty: Type::Int,
-                            kind: ExprKind::Binary(BinOp::Sub, Box::new(l), Box::new(r)),
-                        };
-                        Ok(Expr {
-                            ty: Type::Int,
-                            kind: ExprKind::Binary(
-                                BinOp::Div,
-                                Box::new(diff),
-                                Box::new(Expr::konst(size as i32)),
-                            ),
-                        })
-                    }
-                    (false, false) => Ok(Expr {
-                        ty: Type::Int,
-                        kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
-                    }),
+            BinOp::Add | BinOp::Sub => match (l.ty.is_ptr(), r.ty.is_ptr()) {
+                (true, false) => {
+                    let elem = l.ty.pointee().expect("pointer has pointee").clone();
+                    let ty = l.ty.clone();
+                    let scaled = scale(r, elem.size(&self.struct_sizes));
+                    Ok(Expr {
+                        ty,
+                        kind: ExprKind::Binary(op, Box::new(l), Box::new(scaled)),
+                    })
                 }
-            }
+                (false, true) => {
+                    if op == BinOp::Sub {
+                        return Err(CompileError::new(line, "cannot subtract pointer from int"));
+                    }
+                    let elem = r.ty.pointee().expect("pointer has pointee").clone();
+                    let ty = r.ty.clone();
+                    let scaled = scale(l, elem.size(&self.struct_sizes));
+                    Ok(Expr {
+                        ty,
+                        kind: ExprKind::Binary(op, Box::new(scaled), Box::new(r)),
+                    })
+                }
+                (true, true) => {
+                    if op != BinOp::Sub {
+                        return Err(CompileError::new(line, "cannot add two pointers"));
+                    }
+                    let elem = l.ty.pointee().expect("pointer has pointee").clone();
+                    let size = elem.size(&self.struct_sizes).max(1);
+                    let diff = Expr {
+                        ty: Type::Int,
+                        kind: ExprKind::Binary(BinOp::Sub, Box::new(l), Box::new(r)),
+                    };
+                    Ok(Expr {
+                        ty: Type::Int,
+                        kind: ExprKind::Binary(
+                            BinOp::Div,
+                            Box::new(diff),
+                            Box::new(Expr::konst(size as i32)),
+                        ),
+                    })
+                }
+                (false, false) => Ok(Expr {
+                    ty: Type::Int,
+                    kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                }),
+            },
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => Ok(Expr {
                 ty: Type::Int,
                 kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
@@ -840,7 +928,10 @@ impl Checker {
                 if l.ty.is_ptr() || r.ty.is_ptr() {
                     return Err(CompileError::new(line, "pointer operand not allowed here"));
                 }
-                Ok(Expr { ty: Type::Int, kind: ExprKind::Binary(op, Box::new(l), Box::new(r)) })
+                Ok(Expr {
+                    ty: Type::Int,
+                    kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                })
             }
         }
     }
@@ -878,9 +969,15 @@ impl Checker {
                 ));
             }
             if ret == Type::Void && !allow_void {
-                return Err(CompileError::new(line, format!("'{name}' returns no value")));
+                return Err(CompileError::new(
+                    line,
+                    format!("'{name}' returns no value"),
+                ));
             }
-            return Ok(Expr { ty: ret, kind: ExprKind::Builtin(b, largs) });
+            return Ok(Expr {
+                ty: ret,
+                kind: ExprKind::Builtin(b, largs),
+            });
         }
         let fid = *self
             .func_ids
@@ -890,16 +987,26 @@ impl Checker {
         if largs.len() != ptys.len() {
             return Err(CompileError::new(
                 line,
-                format!("'{name}' expects {} argument(s), got {}", ptys.len(), largs.len()),
+                format!(
+                    "'{name}' expects {} argument(s), got {}",
+                    ptys.len(),
+                    largs.len()
+                ),
             ));
         }
         for (v, p) in largs.iter().zip(&ptys) {
             self.check_assignable(&v.ty, p, line)?;
         }
         if ret == Type::Void && !allow_void {
-            return Err(CompileError::new(line, format!("'{name}' returns no value")));
+            return Err(CompileError::new(
+                line,
+                format!("'{name}' returns no value"),
+            ));
         }
-        Ok(Expr { ty: ret, kind: ExprKind::Call(fid, largs) })
+        Ok(Expr {
+            ty: ret,
+            kind: ExprKind::Call(fid, largs),
+        })
     }
 }
 
@@ -914,18 +1021,17 @@ fn scale(e: Expr, size: u32) -> Expr {
     }
     Expr {
         ty: Type::Int,
-        kind: ExprKind::Binary(
-            BinOp::Mul,
-            Box::new(e),
-            Box::new(Expr::konst(size as i32)),
-        ),
+        kind: ExprKind::Binary(BinOp::Mul, Box::new(e), Box::new(Expr::konst(size as i32))),
     }
 }
 
 fn offset_addr(base: Expr, offset: u32, member_ty: Type) -> Expr {
     let ty = Type::Ptr(Box::new(member_ty));
     if offset == 0 {
-        return Expr { ty, kind: base.kind };
+        return Expr {
+            ty,
+            kind: base.kind,
+        };
     }
     Expr {
         ty,
@@ -940,7 +1046,10 @@ fn offset_addr(base: Expr, offset: u32, member_ty: Type) -> Expr {
 /// Wraps a value for storage into a `ty`-typed slot (chars truncate).
 fn coerce_store_value(value: Expr, ty: &Type) -> Expr {
     if *ty == Type::Char && value.ty != Type::Char {
-        Expr { ty: Type::Char, kind: ExprKind::CastChar(Box::new(value)) }
+        Expr {
+            ty: Type::Char,
+            kind: ExprKind::CastChar(Box::new(value)),
+        }
     } else {
         value
     }
@@ -988,10 +1097,7 @@ mod tests {
 
     #[test]
     fn self_referential_struct_via_pointer() {
-        assert!(lower_src(
-            "struct N { int v; struct N *next; }; int main() { return 0; }"
-        )
-        .is_ok());
+        assert!(lower_src("struct N { int v; struct N *next; }; int main() { return 0; }").is_ok());
         // Value self-member rejected.
         assert!(lower_src("struct N { struct N inner; }; int main() { return 0; }").is_err());
     }
@@ -1101,7 +1207,10 @@ mod tests {
         .unwrap();
         // Find the Assign whose value is Binary(Add, _, Const(12)).
         let found = format!("{:?}", hir.funcs[0].body);
-        assert!(found.contains("Const(12)"), "expected scaled offset 12 in {found}");
+        assert!(
+            found.contains("Const(12)"),
+            "expected scaled offset 12 in {found}"
+        );
     }
 
     #[test]
@@ -1128,15 +1237,9 @@ mod tests {
         // indexing an int
         assert!(lower_src("int main() { int x; return x[0]; }").is_err());
         // '->' on non-pointer
-        assert!(lower_src(
-            "struct S { int x; }; struct S s; int main() { return s->x; }"
-        )
-        .is_err());
+        assert!(lower_src("struct S { int x; }; struct S s; int main() { return s->x; }").is_err());
         // unknown member
-        assert!(lower_src(
-            "struct S { int x; }; struct S s; int main() { return s.y; }"
-        )
-        .is_err());
+        assert!(lower_src("struct S { int x; }; struct S s; int main() { return s.y; }").is_err());
         // unknown variable / function
         assert!(lower_src("int main() { return nosuch; }").is_err());
         assert!(lower_src("int main() { return nosuch(); }").is_err());
@@ -1154,12 +1257,12 @@ mod tests {
 
     #[test]
     fn pointer_difference_is_element_count() {
-        let hir = lower_src(
-            "int main() { int a[4]; return (&a[3]) - (&a[0]); }",
-        )
-        .unwrap();
+        let hir = lower_src("int main() { int a[4]; return (&a[3]) - (&a[0]); }").unwrap();
         let dump = format!("{:?}", hir.funcs[0].body);
-        assert!(dump.contains("Div"), "pointer difference divides by elem size: {dump}");
+        assert!(
+            dump.contains("Div"),
+            "pointer difference divides by elem size: {dump}"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@ fn run(src: &str, args: &[i32]) -> (Vec<u8>, i32) {
     let mut m = Machine::new();
     m.load(&compiled.program);
     m.set_args(args.to_vec());
-    assert_eq!(m.run(&mut NoHooks, 200_000_000).unwrap(), StopReason::Halted);
+    assert_eq!(
+        m.run(&mut NoHooks, 200_000_000).unwrap(),
+        StopReason::Halted
+    );
     (m.take_output(), m.exit_code())
 }
 
@@ -100,9 +103,7 @@ fn deep_statement_nesting() {
     for d in 0..40 {
         body = format!("if (acc >= {d}) {{ {body} }}");
     }
-    let src = format!(
-        "int main() {{ int acc; acc = 0; {body} print_int(acc); return 0; }}"
-    );
+    let src = format!("int main() {{ int acc; acc = 0; {body} print_int(acc); return 0; }}");
     check_against_interp(&src, &[]);
 }
 
@@ -190,7 +191,10 @@ fn chk_instrumentation_counts_match_stores() {
         pad.program.len() - plain.program.len(),
         plain.debug.traced_store_count as usize
     );
-    assert_eq!(pad.debug.pad_pcs.len(), plain.debug.traced_store_count as usize);
+    assert_eq!(
+        pad.debug.pad_pcs.len(),
+        plain.debug.traced_store_count as usize
+    );
     // Pad pcs each precede a store.
     for &pc in &pad.debug.pad_pcs {
         let idx = ((pc - databp_machine::CODE_BASE) / 4) as usize;

@@ -22,10 +22,15 @@ fn machine_run(src: &str, args: &[i32], opts: &Options) -> (Vec<u8>, i32) {
 fn check_differential(src: &str, args: &[i32]) {
     let hir = lower(src).expect("compile error");
     let oracle = interpret(&hir, args, 200_000_000).expect("interp error");
-    for opts in [Options::plain(), Options::codepatch(), Options::codepatch_loopopt()] {
+    for opts in [
+        Options::plain(),
+        Options::codepatch(),
+        Options::codepatch_loopopt(),
+    ] {
         let (out, code) = machine_run(src, args, &opts);
         assert_eq!(
-            out, oracle.output,
+            out,
+            oracle.output,
             "output mismatch under {opts:?}\nmachine: {}\ninterp:  {}",
             String::from_utf8_lossy(&out),
             String::from_utf8_lossy(&oracle.output),

@@ -74,8 +74,11 @@ fn arb_expr() -> impl Strategy<Value = E> {
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), any::<bool>())
-                .prop_map(|(a, b, m)| E::DivSafe(Box::new(a), Box::new(b), m)),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(a, b, m)| E::DivSafe(
+                Box::new(a),
+                Box::new(b),
+                m
+            )),
         ]
     })
 }

@@ -146,11 +146,13 @@ fn arb_stmt() -> impl Strategy<Value = S> {
     ];
     leaf.prop_recursive(3, 40, 4, |inner| {
         prop_oneof![
-            (arb_expr(), prop::collection::vec(inner.clone(), 0..4),
-             prop::collection::vec(inner.clone(), 0..3))
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(c, t, f)| S::If(c, t, f)),
-            (0u8..5, prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(k, b)| S::Loop(k, b)),
+            (0u8..5, prop::collection::vec(inner.clone(), 1..4)).prop_map(|(k, b)| S::Loop(k, b)),
         ]
     })
 }

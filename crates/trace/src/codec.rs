@@ -111,7 +111,10 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
 fn read_obj(r: &mut impl Read) -> Result<ObjectDesc, TraceCodecError> {
     Ok(match read_u8(r)? {
         OBJ_GLOBAL => ObjectDesc::Global { id: read_u32(r)? },
-        OBJ_LOCAL => ObjectDesc::Local { func: read_u16(r)?, var: read_u16(r)? },
+        OBJ_LOCAL => ObjectDesc::Local {
+            func: read_u16(r)?,
+            var: read_u16(r)?,
+        },
         OBJ_HEAP => ObjectDesc::Heap { seq: read_u32(r)? },
         t => return Err(TraceCodecError::Malformed(format!("object tag {t}"))),
     })
@@ -174,7 +177,9 @@ pub fn read_binary(r: &mut impl Read) -> Result<Trace, TraceCodecError> {
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(TraceCodecError::Malformed(format!("unsupported version {version}")));
+        return Err(TraceCodecError::Malformed(format!(
+            "unsupported version {version}"
+        )));
     }
     let count = read_u64(r)?;
     let mut trace = Trace::new();
@@ -182,13 +187,25 @@ pub fn read_binary(r: &mut impl Read) -> Result<Trace, TraceCodecError> {
         let e = match read_u8(r)? {
             TAG_INSTALL => {
                 let obj = read_obj(r)?;
-                Event::Install { obj, ba: read_u32(r)?, ea: read_u32(r)? }
+                Event::Install {
+                    obj,
+                    ba: read_u32(r)?,
+                    ea: read_u32(r)?,
+                }
             }
             TAG_REMOVE => {
                 let obj = read_obj(r)?;
-                Event::Remove { obj, ba: read_u32(r)?, ea: read_u32(r)? }
+                Event::Remove {
+                    obj,
+                    ba: read_u32(r)?,
+                    ea: read_u32(r)?,
+                }
             }
-            TAG_WRITE => Event::Write { pc: read_u32(r)?, ba: read_u32(r)?, ea: read_u32(r)? },
+            TAG_WRITE => Event::Write {
+                pc: read_u32(r)?,
+                ba: read_u32(r)?,
+                ea: read_u32(r)?,
+            },
             TAG_ENTER => Event::Enter { func: read_u16(r)? },
             TAG_EXIT => Event::Exit { func: read_u16(r)? },
             t => return Err(TraceCodecError::Malformed(format!("event tag {t}"))),
@@ -220,8 +237,12 @@ fn parse_obj(s: &str) -> Result<ObjectDesc, TraceCodecError> {
     let bad = || TraceCodecError::Malformed(format!("object descriptor {s:?}"));
     let (kind, rest) = s.split_at(1);
     match kind {
-        "G" => Ok(ObjectDesc::Global { id: rest.parse().map_err(|_| bad())? }),
-        "H" => Ok(ObjectDesc::Heap { seq: rest.parse().map_err(|_| bad())? }),
+        "G" => Ok(ObjectDesc::Global {
+            id: rest.parse().map_err(|_| bad())?,
+        }),
+        "H" => Ok(ObjectDesc::Heap {
+            seq: rest.parse().map_err(|_| bad())?,
+        }),
         "L" => {
             let (f, v) = rest.split_once('.').ok_or_else(bad)?;
             Ok(ObjectDesc::Local {
@@ -234,8 +255,7 @@ fn parse_obj(s: &str) -> Result<ObjectDesc, TraceCodecError> {
 }
 
 fn parse_hex(s: &str) -> Result<u32, TraceCodecError> {
-    u32::from_str_radix(s, 16)
-        .map_err(|_| TraceCodecError::Malformed(format!("hex field {s:?}")))
+    u32::from_str_radix(s, 16).map_err(|_| TraceCodecError::Malformed(format!("hex field {s:?}")))
 }
 
 /// Parses the text format.
@@ -292,24 +312,48 @@ mod tests {
 
     fn sample_trace() -> Trace {
         Trace::from_events(vec![
-            Event::Install { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+            Event::Install {
+                obj: ObjectDesc::Global { id: 0 },
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+            },
             Event::Enter { func: 3 },
             Event::Install {
                 obj: ObjectDesc::Local { func: 3, var: 1 },
                 ba: 0xeffff0,
                 ea: 0xeffff4,
             },
-            Event::Write { pc: 0x1_0010, ba: 0xeffff0, ea: 0xeffff4 },
-            Event::Install { obj: ObjectDesc::Heap { seq: 2 }, ba: 0x40_0000, ea: 0x40_0010 },
-            Event::Write { pc: 0x1_0020, ba: 0x40_0008, ea: 0x40_0009 },
-            Event::Remove { obj: ObjectDesc::Heap { seq: 2 }, ba: 0x40_0000, ea: 0x40_0010 },
+            Event::Write {
+                pc: 0x1_0010,
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Install {
+                obj: ObjectDesc::Heap { seq: 2 },
+                ba: 0x40_0000,
+                ea: 0x40_0010,
+            },
+            Event::Write {
+                pc: 0x1_0020,
+                ba: 0x40_0008,
+                ea: 0x40_0009,
+            },
+            Event::Remove {
+                obj: ObjectDesc::Heap { seq: 2 },
+                ba: 0x40_0000,
+                ea: 0x40_0010,
+            },
             Event::Remove {
                 obj: ObjectDesc::Local { func: 3, var: 1 },
                 ba: 0xeffff0,
                 ea: 0xeffff4,
             },
             Event::Exit { func: 3 },
-            Event::Remove { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
+            Event::Remove {
+                obj: ObjectDesc::Global { id: 0 },
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+            },
         ])
     }
 

@@ -182,7 +182,9 @@ impl Trace {
 
 impl FromIterator<Event> for Trace {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -203,14 +205,38 @@ mod tests {
     #[test]
     fn stats_count_each_kind() {
         let t = Trace::from_events(vec![
-            Event::Install { obj: g(0), ba: 0, ea: 4 },
-            Event::Install { obj: ObjectDesc::Heap { seq: 1 }, ba: 8, ea: 16 },
-            Event::Install { obj: ObjectDesc::Heap { seq: 1 }, ba: 16, ea: 32 }, // realloc re-install
+            Event::Install {
+                obj: g(0),
+                ba: 0,
+                ea: 4,
+            },
+            Event::Install {
+                obj: ObjectDesc::Heap { seq: 1 },
+                ba: 8,
+                ea: 16,
+            },
+            Event::Install {
+                obj: ObjectDesc::Heap { seq: 1 },
+                ba: 16,
+                ea: 32,
+            }, // realloc re-install
             Event::Enter { func: 0 },
-            Event::Write { pc: 0, ba: 0, ea: 4 },
-            Event::Write { pc: 4, ba: 8, ea: 9 },
+            Event::Write {
+                pc: 0,
+                ba: 0,
+                ea: 4,
+            },
+            Event::Write {
+                pc: 4,
+                ba: 8,
+                ea: 9,
+            },
             Event::Exit { func: 0 },
-            Event::Remove { obj: g(0), ba: 0, ea: 4 },
+            Event::Remove {
+                obj: g(0),
+                ba: 0,
+                ea: 4,
+            },
         ]);
         let s = t.stats();
         assert_eq!(s.writes, 2);
@@ -238,7 +264,12 @@ mod tests {
 
     #[test]
     fn is_write_classifier() {
-        assert!(Event::Write { pc: 0, ba: 0, ea: 1 }.is_write());
+        assert!(Event::Write {
+            pc: 0,
+            ba: 0,
+            ea: 1
+        }
+        .is_write());
         assert!(!Event::Enter { func: 0 }.is_write());
     }
 }

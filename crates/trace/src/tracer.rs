@@ -39,7 +39,10 @@ pub struct FrameMap {
 impl FrameMap {
     /// Frame variables of function `fid`; unknown functions have none.
     pub fn vars(&self, fid: u16) -> &[FrameVar] {
-        self.funcs.get(fid as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.funcs
+            .get(fid as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -128,7 +131,11 @@ impl Tracer {
         let mut live: Vec<(u32, (u32, u32))> = self.live_heap.drain().collect();
         live.sort_unstable();
         for (seq, (ba, ea)) in live {
-            self.trace.push(Event::Remove { obj: ObjectDesc::Heap { seq }, ba, ea });
+            self.trace.push(Event::Remove {
+                obj: ObjectDesc::Heap { seq },
+                ba,
+                ea,
+            });
         }
         for g in self.globals.iter().rev() {
             self.trace.push(Event::Remove {
@@ -149,7 +156,10 @@ impl Tracer {
         for v in map.vars(fid) {
             let ba = fp.wrapping_add(v.offset as u32);
             let ea = ba + v.size;
-            let obj = ObjectDesc::Local { func: fid, var: v.var };
+            let obj = ObjectDesc::Local {
+                func: fid,
+                var: v.var,
+            };
             trace.push(if install {
                 Event::Install { obj, ba, ea }
             } else {
@@ -164,7 +174,11 @@ impl Hooks for Tracer {
         if self.untraced_pcs.binary_search(&ev.pc).is_ok() {
             return;
         }
-        self.trace.push(Event::Write { pc: ev.pc, ba: ev.addr, ea: ev.addr + ev.len });
+        self.trace.push(Event::Write {
+            pc: ev.pc,
+            ba: ev.addr,
+            ea: ev.addr + ev.len,
+        });
     }
 
     fn on_enter(&mut self, fid: u16, fp: u32, _sp: u32) {
@@ -187,19 +201,35 @@ impl Hooks for Tracer {
 
     fn on_heap_alloc(&mut self, seq: u32, ba: u32, ea: u32) {
         self.live_heap.insert(seq, (ba, ea));
-        self.trace.push(Event::Install { obj: ObjectDesc::Heap { seq }, ba, ea });
+        self.trace.push(Event::Install {
+            obj: ObjectDesc::Heap { seq },
+            ba,
+            ea,
+        });
     }
 
     fn on_heap_free(&mut self, seq: u32, ba: u32, ea: u32) {
         self.live_heap.remove(&seq);
-        self.trace.push(Event::Remove { obj: ObjectDesc::Heap { seq }, ba, ea });
+        self.trace.push(Event::Remove {
+            obj: ObjectDesc::Heap { seq },
+            ba,
+            ea,
+        });
     }
 
     fn on_heap_realloc(&mut self, seq: u32, old: (u32, u32), new: (u32, u32)) {
         self.live_heap.insert(seq, new);
         let obj = ObjectDesc::Heap { seq };
-        self.trace.push(Event::Remove { obj, ba: old.0, ea: old.1 });
-        self.trace.push(Event::Install { obj, ba: new.0, ea: new.1 });
+        self.trace.push(Event::Remove {
+            obj,
+            ba: old.0,
+            ea: old.1,
+        });
+        self.trace.push(Event::Install {
+            obj,
+            ba: new.0,
+            ea: new.1,
+        });
     }
 }
 
@@ -211,8 +241,16 @@ mod tests {
     fn frame_map_one_func() -> FrameMap {
         FrameMap {
             funcs: vec![vec![
-                FrameVar { var: 0, offset: -4, size: 4 },
-                FrameVar { var: 1, offset: -12, size: 8 },
+                FrameVar {
+                    var: 0,
+                    offset: -4,
+                    size: 4,
+                },
+                FrameVar {
+                    var: 1,
+                    offset: -12,
+                    size: 8,
+                },
             ]],
         }
     }
@@ -220,8 +258,16 @@ mod tests {
     #[test]
     fn begin_installs_globals_finish_removes_them() {
         let globals = vec![
-            GlobalSpec { id: 0, ba: DATA_BASE, ea: DATA_BASE + 4 },
-            GlobalSpec { id: 1, ba: DATA_BASE + 4, ea: DATA_BASE + 104 },
+            GlobalSpec {
+                id: 0,
+                ba: DATA_BASE,
+                ea: DATA_BASE + 4,
+            },
+            GlobalSpec {
+                id: 1,
+                ba: DATA_BASE + 4,
+                ea: DATA_BASE + 104,
+            },
         ];
         let mut tr = Tracer::new(FrameMap::default(), globals);
         tr.begin();
@@ -229,11 +275,17 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert!(matches!(
             t.events()[0],
-            Event::Install { obj: ObjectDesc::Global { id: 0 }, .. }
+            Event::Install {
+                obj: ObjectDesc::Global { id: 0 },
+                ..
+            }
         ));
         assert!(matches!(
             t.events()[3],
-            Event::Remove { obj: ObjectDesc::Global { id: 0 }, .. }
+            Event::Remove {
+                obj: ObjectDesc::Global { id: 0 },
+                ..
+            }
         ));
     }
 
@@ -270,8 +322,20 @@ mod tests {
                 ea: 0x00F0_0000 - 4,
             }
         );
-        assert!(matches!(ev[3], Event::Remove { obj: ObjectDesc::Local { var: 0, .. }, .. }));
-        assert!(matches!(ev[4], Event::Remove { obj: ObjectDesc::Local { var: 1, .. }, .. }));
+        assert!(matches!(
+            ev[3],
+            Event::Remove {
+                obj: ObjectDesc::Local { var: 0, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            ev[4],
+            Event::Remove {
+                obj: ObjectDesc::Local { var: 1, .. },
+                ..
+            }
+        ));
         assert_eq!(ev[5], Event::Exit { func: 0 });
     }
 
@@ -285,7 +349,15 @@ mod tests {
         let removes = t
             .events()
             .iter()
-            .filter(|e| matches!(e, Event::Remove { obj: ObjectDesc::Local { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Remove {
+                        obj: ObjectDesc::Local { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(removes, 2);
         assert_eq!(t.stats().installs, t.stats().removes);
@@ -316,8 +388,13 @@ mod tests {
             .filter(|e| {
                 matches!(
                     e,
-                    Event::Install { obj: ObjectDesc::Heap { seq: 7 }, .. }
-                        | Event::Remove { obj: ObjectDesc::Heap { seq: 7 }, .. }
+                    Event::Install {
+                        obj: ObjectDesc::Heap { seq: 7 },
+                        ..
+                    } | Event::Remove {
+                        obj: ObjectDesc::Heap { seq: 7 },
+                        ..
+                    }
                 )
             })
             .collect();
@@ -341,7 +418,13 @@ mod tests {
         ]);
         let mut machine = Machine::new();
         machine.load(&prog);
-        let fm = FrameMap { funcs: vec![vec![FrameVar { var: 0, offset: -4, size: 4 }]] };
+        let fm = FrameMap {
+            funcs: vec![vec![FrameVar {
+                var: 0,
+                offset: -4,
+                size: 4,
+            }]],
+        };
         let mut tracer = Tracer::new(fm, vec![]);
         tracer.begin();
         assert_eq!(machine.run(&mut tracer, 1000).unwrap(), StopReason::Halted);
@@ -360,7 +443,10 @@ mod tests {
             })
             .unwrap();
         for e in t.events() {
-            if let Event::Write { ba: wba, ea: wea, .. } = e {
+            if let Event::Write {
+                ba: wba, ea: wea, ..
+            } = e
+            {
                 assert!(*wba >= ba && *wea <= ea);
             }
         }

@@ -23,8 +23,11 @@ fn any_event() -> impl Strategy<Value = Event> {
             ba,
             ea
         }),
-        (any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(pc, ba, ea)| Event::Write { pc, ba, ea }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(pc, ba, ea)| Event::Write {
+            pc,
+            ba,
+            ea
+        }),
         any::<u16>().prop_map(|func| Event::Enter { func }),
         any::<u16>().prop_map(|func| Event::Exit { func }),
     ]

@@ -156,7 +156,12 @@ pub fn prepare(workload: &Workload) -> Result<Prepared, MachineError> {
         .with_untraced(plain.debug.untraced_store_pcs.clone());
     tracer.begin();
     let stop = m.run(&mut tracer, workload.max_steps)?;
-    assert_eq!(stop, StopReason::Halted, "workload {} did not halt", workload.name);
+    assert_eq!(
+        stop,
+        StopReason::Halted,
+        "workload {} did not halt",
+        workload.name
+    );
     let trace = tracer.finish();
     Ok(Prepared {
         workload: workload.clone(),
@@ -198,7 +203,11 @@ mod tests {
             // Differential check against the reference interpreter.
             let hir = databp_tinyc::lower(w.source).unwrap();
             let oracle = interpret(&hir, &w.args, 400_000_000).unwrap();
-            assert_eq!(p.output, oracle.output, "{}: machine vs interpreter divergence", w.name);
+            assert_eq!(
+                p.output, oracle.output,
+                "{}: machine vs interpreter divergence",
+                w.name
+            );
         }
     }
 
@@ -212,7 +221,12 @@ mod tests {
                 m.load(&build.program);
                 m.set_args(w.args.clone());
                 m.run(&mut NoHooks, w.max_steps).unwrap();
-                assert_eq!(m.take_output(), p.output, "{} instrumented run differs", w.name);
+                assert_eq!(
+                    m.take_output(),
+                    p.output,
+                    "{} instrumented run differs",
+                    w.name
+                );
             }
         }
     }
@@ -225,15 +239,32 @@ mod tests {
                 .events()
                 .iter()
                 .filter(|e| {
-                    matches!(e, Event::Install { obj: ObjectDesc::Heap { .. }, .. })
+                    matches!(
+                        e,
+                        Event::Install {
+                            obj: ObjectDesc::Heap { .. },
+                            ..
+                        }
+                    )
                 })
                 .count()
         };
-        assert_eq!(heap_installs(&run_scaled("tex")), 0, "tex must not allocate");
-        assert_eq!(heap_installs(&run_scaled("qcd")), 0, "qcd must not allocate");
+        assert_eq!(
+            heap_installs(&run_scaled("tex")),
+            0,
+            "tex must not allocate"
+        );
+        assert_eq!(
+            heap_installs(&run_scaled("qcd")),
+            0,
+            "qcd must not allocate"
+        );
         assert!(heap_installs(&run_scaled("cc")) > 20);
         assert!(heap_installs(&run_scaled("spice")) >= 4);
-        assert!(heap_installs(&run_scaled("bps")) > 100, "bps allocates many nodes");
+        assert!(
+            heap_installs(&run_scaled("bps")) > 100,
+            "bps allocates many nodes"
+        );
     }
 
     #[test]

@@ -42,15 +42,24 @@ fn main() {
 
     // A single scalar watch fits real hardware: use NativeHardware with
     // the era's four watch registers.
-    let plan = RangePlan { globals: vec![checksum.id], ..RangePlan::default() };
+    let plan = RangePlan {
+        globals: vec![checksum.id],
+        ..RangePlan::default()
+    };
     let mut machine = Machine::new();
     machine.load(&compiled.program);
     let report = NativeHardware::realistic()
         .run(&mut machine, &compiled.debug, &plan, 10_000_000)
         .expect("program runs");
 
-    println!("program output: {}", String::from_utf8_lossy(machine.output()).trim());
-    println!("\nwrites to 'checksum' [{:#x}, {:#x}):", checksum.ba, checksum.ea);
+    println!(
+        "program output: {}",
+        String::from_utf8_lossy(machine.output()).trim()
+    );
+    println!(
+        "\nwrites to 'checksum' [{:#x}, {:#x}):",
+        checksum.ba, checksum.ea
+    );
     for (k, n) in report.notifications.iter().enumerate() {
         let idx = machine.pc_to_index(n.pc).expect("notification pc in code");
         let instr = machine.instr_at(idx).expect("decodable");

@@ -18,7 +18,9 @@ fn main() {
     let debug = &prepared.plain.debug;
 
     // Pick the AllHeapInFunc session rooted at the allocating function.
-    let new_state = debug.func_id("new_state").expect("allocator function exists");
+    let new_state = debug
+        .func_id("new_state")
+        .expect("allocator function exists");
     let session = enumerate_sessions(debug, &prepared.trace)
         .into_iter()
         .find(|s| *s == Session::AllHeapInFunc { func: new_state })
@@ -32,7 +34,12 @@ fn main() {
     m.load(&prepared.codepatch.program);
     m.set_args(workload.args.clone());
     let cp = CodePatch::default()
-        .run(&mut m, &prepared.codepatch.debug, &plan, workload.max_steps * 2)
+        .run(
+            &mut m,
+            &prepared.codepatch.debug,
+            &plan,
+            workload.max_steps * 2,
+        )
         .expect("codepatch run");
     println!(
         "CodePatch: {} monitors installed over the run, {} writes caught, {:.2}x overhead",
@@ -56,7 +63,10 @@ fn main() {
         "\nNativeHardware with 4 registers: exhausted = {}, caught only {} of {} writes",
         nh.watch_exhausted, nh.notification_count, cp.notification_count
     );
-    assert!(nh.watch_exhausted, "the session needs more than four registers");
+    assert!(
+        nh.watch_exhausted,
+        "the session needs more than four registers"
+    );
     assert!(nh.notification_count < cp.notification_count);
     println!(
         "\n\"Consider monitoring a large central data structure with thousands of\n\

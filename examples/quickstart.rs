@@ -31,8 +31,14 @@ fn main() {
 
     // Watch the global `balance` (global id 0 — or look it up by name).
     let balance = compiled.debug.global("balance").expect("balance exists");
-    println!("watching '{}' at [{:#x}, {:#x})\n", balance.name, balance.ba, balance.ea);
-    let plan = RangePlan { globals: vec![balance.id], ..RangePlan::default() };
+    println!(
+        "watching '{}' at [{:#x}, {:#x})\n",
+        balance.name, balance.ba, balance.ea
+    );
+    let plan = RangePlan {
+        globals: vec![balance.id],
+        ..RangePlan::default()
+    };
 
     let mut machine = Machine::new();
     machine.load(&compiled.program);
@@ -40,8 +46,14 @@ fn main() {
         .run(&mut machine, &compiled.debug, &plan, 10_000_000)
         .expect("program runs");
 
-    println!("program output: {}", String::from_utf8_lossy(machine.output()).trim());
-    println!("\n{} writes to 'balance' were caught:", report.notification_count);
+    println!(
+        "program output: {}",
+        String::from_utf8_lossy(machine.output()).trim()
+    );
+    println!(
+        "\n{} writes to 'balance' were caught:",
+        report.notification_count
+    );
     for n in &report.notifications {
         println!("  {n}");
     }

@@ -19,14 +19,17 @@ fn main() {
     println!("workload: {} ({})", workload.name, workload.paper_analogue);
 
     let prepared = prepare(&workload).expect("workload runs");
-    let sessions =
-        databp::sessions::enumerate_sessions(&prepared.plain.debug, &prepared.trace);
+    let sessions = databp::sessions::enumerate_sessions(&prepared.plain.debug, &prepared.trace);
     let index: usize = args
         .get(1)
         .map(|s| s.parse().expect("session index"))
         .unwrap_or_else(|| sessions.len() / 2);
     let session = sessions[index.min(sessions.len() - 1)];
-    println!("session:  {} — {}\n", session, session.describe(&prepared.plain.debug));
+    println!(
+        "session:  {} — {}\n",
+        session,
+        session.describe(&prepared.plain.debug)
+    );
     let plan = SessionPlan::new(session, &prepared.plain.debug);
 
     let mut rows: Vec<(&str, StrategyReport)> = Vec::new();
@@ -37,7 +40,9 @@ fn main() {
     m.set_args(workload.args.clone());
     rows.push((
         "NativeHardware",
-        NativeHardware::default().run(&mut m, &prepared.plain.debug, &plan, steps).unwrap(),
+        NativeHardware::default()
+            .run(&mut m, &prepared.plain.debug, &plan, steps)
+            .unwrap(),
     ));
 
     let mut m = Machine::new();
@@ -45,7 +50,9 @@ fn main() {
     m.set_args(workload.args.clone());
     rows.push((
         "VirtualMemory-4K",
-        VirtualMemory::k4().run(&mut m, &prepared.plain.debug, &plan, steps).unwrap(),
+        VirtualMemory::k4()
+            .run(&mut m, &prepared.plain.debug, &plan, steps)
+            .unwrap(),
     ));
 
     let mut m = Machine::new();
@@ -53,7 +60,9 @@ fn main() {
     m.set_args(workload.args.clone());
     rows.push((
         "TrapPatch",
-        TrapPatch::default().run(&mut m, &prepared.plain.debug, &plan, steps).unwrap(),
+        TrapPatch::default()
+            .run(&mut m, &prepared.plain.debug, &plan, steps)
+            .unwrap(),
     ));
 
     let mut m = Machine::new();
@@ -61,7 +70,9 @@ fn main() {
     m.set_args(workload.args.clone());
     rows.push((
         "CodePatch",
-        CodePatch::default().run(&mut m, &prepared.codepatch.debug, &plan, steps).unwrap(),
+        CodePatch::default()
+            .run(&mut m, &prepared.codepatch.debug, &plan, steps)
+            .unwrap(),
     ));
 
     println!(
@@ -82,7 +93,10 @@ fn main() {
     }
 
     let hits: Vec<u64> = rows.iter().map(|(_, r)| r.counts.hit).collect();
-    assert!(hits.iter().all(|&h| h == hits[0]), "strategies must agree on hits");
+    assert!(
+        hits.iter().all(|&h| h == hits[0]),
+        "strategies must agree on hits"
+    );
     println!(
         "\nall four strategies observed the same {} hits — they differ only in cost,\n\
          which is the paper's whole point.",

@@ -22,7 +22,9 @@
 //! * [`models`] — the analytical cost models (Figures 3–6, Table 2);
 //! * [`workloads`] — the five synthetic benchmark programs;
 //! * [`harness`] — regenerates every table and figure (`repro` binary);
-//! * [`stats`] — the descriptive statistics of Table 4.
+//! * [`stats`] — the descriptive statistics of Table 4;
+//! * [`telemetry`] — the opt-in metrics substrate (counters, gauges,
+//!   histograms, span timers) threaded through all of the above.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@ pub use databp_models as models;
 pub use databp_sessions as sessions;
 pub use databp_sim as sim;
 pub use databp_stats as stats;
+pub use databp_telemetry as telemetry;
 pub use databp_tinyc as tinyc;
 pub use databp_trace as trace;
 pub use databp_workloads as workloads;

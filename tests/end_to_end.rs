@@ -61,7 +61,11 @@ fn counts_are_internally_consistent() {
     let r = analyze(&Workload::by_name("spice").unwrap().scaled_down());
     let writes = r.prepared.trace.stats().writes;
     for (i, c) in r.counts4.iter().enumerate() {
-        assert_eq!(c.hit + c.miss, writes, "session {i}: hit+miss covers all writes");
+        assert_eq!(
+            c.hit + c.miss,
+            writes,
+            "session {i}: hit+miss covers all writes"
+        );
         assert_eq!(c.install, c.remove, "session {i}: balanced install/remove");
         assert!(c.vm_protect >= c.vm_unprotect.saturating_sub(0));
         assert!(

@@ -75,8 +75,16 @@ fn cp_and_tp_have_low_variance_vm_and_nh_do_not() {
         let nh = get(&s, Approach::Nh);
         // "CodePatch exhibited extremely low variance" — max within a
         // small factor of the trimmed mean; same for TP.
-        assert!(cp.max / cp.t_mean < 20.0, "{name}: CP spread {}", cp.max / cp.t_mean);
-        assert!(tp.max / tp.t_mean < 1.5, "{name}: TP spread {}", tp.max / tp.t_mean);
+        assert!(
+            cp.max / cp.t_mean < 20.0,
+            "{name}: CP spread {}",
+            cp.max / cp.t_mean
+        );
+        assert!(
+            tp.max / tp.t_mean < 1.5,
+            "{name}: TP spread {}",
+            tp.max / tp.t_mean
+        );
         // VM and NH blow up on their worst sessions by more than an
         // order of magnitude over their typical ones.
         assert!(
@@ -120,10 +128,10 @@ fn code_expansion_lands_in_the_paper_band() {
 #[test]
 fn timing_defaults_are_the_paper_table_2() {
     let t = TimingVars::default();
+    assert_eq!((t.software_update_us, t.software_lookup_us), (22.0, 2.75));
     assert_eq!(
-        (t.software_update_us, t.software_lookup_us),
-        (22.0, 2.75)
+        (t.nh_fault_us, t.vm_fault_us, t.tp_fault_us),
+        (131.0, 561.0, 102.0)
     );
-    assert_eq!((t.nh_fault_us, t.vm_fault_us, t.tp_fault_us), (131.0, 561.0, 102.0));
     assert_eq!((t.vm_protect_us, t.vm_unprotect_us), (80.0, 299.0));
 }

@@ -1,0 +1,196 @@
+//! A tiny, dependency-free stand-in for the `criterion` crate, vendored
+//! so `cargo bench` works without network access to a registry.
+//!
+//! It implements the subset of the criterion API the `databp-bench`
+//! crate uses: [`Criterion`], benchmark groups with `sample_size` /
+//! `throughput`, `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is auto-calibrated
+//! to run for a few milliseconds and the mean wall time per iteration is
+//! printed, with elements/sec when a throughput is declared. There are no
+//! statistical comparisons or HTML reports — the point is that the bench
+//! targets compile, run, and print useful numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.to_string(), None, f);
+        self
+    }
+}
+
+/// Throughput declaration: lets the report derive a rate per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, auto-scaling the iteration count until
+    /// the timed batch lasts at least a few milliseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || n >= (1 << 22) {
+                self.iterations = n;
+                self.elapsed = dt;
+                return;
+            }
+            n = n.saturating_mul(8);
+        }
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let iters = b.iterations.max(1);
+    let per_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_ns > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / (per_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if per_ns > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / (per_ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {per_ns:>14.1} ns/iter{rate}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.iterations >= 1);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| ()));
+    }
+}
