@@ -1,19 +1,37 @@
 //! `qei` — interactive REPL over the databp debugger.
 //!
 //! ```text
-//! usage: qei <program.c> [args...]
+//! usage: qei [--telemetry FMT] <program.c> [args...]
 //! ```
 //!
 //! Reads debugger commands from stdin (one per line; see `help`).
+//! `--telemetry` (FMT: text, json, csv) enables command-latency spans
+//! and dumps a snapshot when the session ends.
 
 use databp_debugger::{Debugger, RunState};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry: Option<String> = None;
+    if let Some(pos) = argv.iter().position(|a| a == "--telemetry") {
+        argv.remove(pos);
+        if pos >= argv.len() {
+            eprintln!("--telemetry needs a format: text, json, or csv");
+            return ExitCode::FAILURE;
+        }
+        let fmt = argv.remove(pos);
+        if !matches!(fmt.as_str(), "text" | "json" | "csv") {
+            eprintln!("unknown telemetry format '{fmt}' (expected text, json, or csv)");
+            return ExitCode::FAILURE;
+        }
+        databp_telemetry::set_enabled(true);
+        telemetry = Some(fmt);
+    }
+    let mut args = argv.into_iter();
     let Some(path) = args.next() else {
-        eprintln!("usage: qei <program.c> [args...]");
+        eprintln!("usage: qei [--telemetry FMT] <program.c> [args...]");
         return ExitCode::FAILURE;
     };
     let prog_args: Vec<i32> = args
@@ -70,6 +88,17 @@ fn main() -> ExitCode {
                 println!("--- program output ---\n{out}");
             }
         }
+    }
+    if let Some(fmt) = telemetry {
+        let snap = databp_telemetry::global().snapshot();
+        print!(
+            "{}",
+            match fmt.as_str() {
+                "json" => snap.to_json(),
+                "csv" => snap.to_csv(),
+                _ => snap.to_text(),
+            }
+        );
     }
     ExitCode::SUCCESS
 }

@@ -122,7 +122,15 @@ impl Debugger {
     ///
     /// [`DebuggerError`] for bad commands, bad state, or debuggee faults.
     pub fn execute(&mut self, line: &str) -> Result<String, DebuggerError> {
-        let cmd = parse_command(line).map_err(DebuggerError::Command)?;
+        // `qei` command-latency instrumentation: one span over the whole
+        // parse+dispatch, so a snapshot shows commands served and the
+        // wall time spent serving them.
+        let _t = databp_telemetry::time!("debugger.dispatch");
+        databp_telemetry::count!("debugger.commands");
+        let cmd = parse_command(line).map_err(|e| {
+            databp_telemetry::count!("debugger.commands.rejected");
+            DebuggerError::Command(e)
+        })?;
         self.dispatch(cmd)
     }
 
@@ -317,6 +325,7 @@ impl Debugger {
     // ---- execution ----
 
     fn resume(&mut self) -> Result<String, DebuggerError> {
+        let _t = databp_telemetry::time!("debugger.resume");
         loop {
             let executed = self.machine.cost().instructions;
             if executed >= RUN_BUDGET {
@@ -332,6 +341,7 @@ impl Debugger {
     }
 
     fn stepi(&mut self, n: u64) -> Result<String, DebuggerError> {
+        let _t = databp_telemetry::time!("debugger.stepi");
         if matches!(self.state, RunState::Exited(_)) {
             return Err(DebuggerError::Command("program has exited".into()));
         }

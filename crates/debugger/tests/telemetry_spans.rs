@@ -1,0 +1,42 @@
+//! Smoke test: `qei` command dispatch is covered by telemetry spans.
+//!
+//! Drives the `Debugger` engine in-process with telemetry enabled and
+//! asserts the dispatch/resume spans and command counters land in a
+//! registry snapshot — the ROADMAP's "extend telemetry to the debugger"
+//! item.
+
+use databp_debugger::{Debugger, RunState};
+
+const PROGRAM: &str = r#"
+    int total;
+    int add(int x) { total = total + x; return total; }
+    int main() {
+        add(5);
+        add(7);
+        return total;
+    }
+"#;
+
+#[test]
+fn dispatch_spans_appear_in_snapshot() {
+    databp_telemetry::set_enabled(true);
+    databp_telemetry::global().reset();
+
+    let mut dbg = Debugger::launch(PROGRAM, &[]).expect("program compiles");
+    dbg.execute("watch total").expect("watch");
+    dbg.execute("run").expect("run");
+    dbg.execute("continue").expect("continue");
+    dbg.execute("continue").expect("continue to exit");
+    assert!(matches!(dbg.state(), RunState::Exited(_)));
+    dbg.execute("bogus command").expect_err("rejected");
+
+    let snap = databp_telemetry::global().snapshot();
+    databp_telemetry::set_enabled(false);
+
+    let dispatch = snap.span("debugger.dispatch").expect("dispatch span");
+    assert_eq!(dispatch.count, 5, "one dispatch span per execute call");
+    let resume = snap.span("debugger.resume").expect("resume span");
+    assert_eq!(resume.count, 3, "run + two continues");
+    assert_eq!(snap.counter("debugger.commands"), Some(5));
+    assert_eq!(snap.counter("debugger.commands.rejected"), Some(1));
+}

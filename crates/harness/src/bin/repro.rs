@@ -2,7 +2,7 @@
 //! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads.
 //!
 //! ```text
-//! usage: repro [--small] [--csv DIR] [--telemetry FMT] <command>
+//! usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] <command>
 //!
 //! commands:
 //!   all          every experiment, in paper order
@@ -20,7 +20,9 @@
 //!   nhcoverage   watch-register coverage analysis
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
 //!   perf         instrumented small-scale run; prints a telemetry
-//!                snapshot and writes results/perf.json
+//!                snapshot, diffs it against the previous
+//!                results/perf.json (kept as results/perf.prev.json),
+//!                and writes the new results/perf.json
 //!   sessions W   list surviving sessions of workload W
 //!   dist W A     histogram of per-session overheads for workload W under
 //!                approach A (nh, vm4k, vm8k, tp, cp)
@@ -32,19 +34,21 @@
 //!   --csv DIR         also write each table as CSV into DIR
 //!   --telemetry FMT   enable telemetry and dump a snapshot after the
 //!                     command (FMT: text, json, csv)
+//!   --jobs N          run up to N workloads in parallel (default: one
+//!                     per available core)
 //! ```
 
 use databp_harness::figures::{figure, figure_ascii, Figure};
 use databp_harness::overheads_for;
 use databp_harness::render::TextTable;
-use databp_harness::{analyze, analyze_all, Scale};
+use databp_harness::{analyze, analyze_all_jobs, default_jobs, Scale};
 use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, tables};
 use databp_telemetry::Snapshot;
 use databp_workloads::Workload;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] <command>\n\
+const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
                      expansion loopopt dyncp nhcoverage verify perf sessions dist trace\n\
                      (see the source header for details)";
@@ -102,6 +106,7 @@ struct Opts {
     scale: Scale,
     csv_dir: Option<PathBuf>,
     telemetry: Option<TelemetryFormat>,
+    jobs: usize,
 }
 
 fn emit(opts: &Opts, slug: &str, table: &TextTable) {
@@ -120,6 +125,7 @@ fn main() -> ExitCode {
         scale: Scale::Full,
         csv_dir: None,
         telemetry: None,
+        jobs: default_jobs(),
     };
     if let Some(pos) = args.iter().position(|a| a == "--small") {
         args.remove(pos);
@@ -145,6 +151,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         opts.telemetry = Some(fmt);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--jobs needs a worker count");
+            return ExitCode::FAILURE;
+        }
+        let n = args.remove(pos);
+        let Ok(n) = n.parse::<usize>() else {
+            eprintln!("--jobs: '{n}' is not a number");
+            return ExitCode::FAILURE;
+        };
+        if n == 0 {
+            eprintln!("--jobs must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        opts.jobs = n;
     }
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!("{USAGE}");
@@ -288,13 +311,14 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     }
 
     eprintln!(
-        "running {} workloads (this regenerates the paper's traces)...",
+        "running {} workloads across {} thread(s) (this regenerates the paper's traces)...",
         match opts.scale {
             Scale::Full => "full-scale",
             Scale::Small => "scaled-down",
-        }
+        },
+        opts.jobs.min(Workload::all().len()),
     );
-    let results = analyze_all(opts.scale);
+    let results = analyze_all_jobs(opts.scale, opts.jobs);
     eprintln!("workloads done.\n");
 
     let run_figures = |opts: &Opts, fig: Figure, slug: &str| {
@@ -348,7 +372,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
 fn perf(opts: &Opts) -> ExitCode {
     eprintln!("running scaled-down workloads under telemetry...");
     let wall = std::time::Instant::now();
-    let results = analyze_all(Scale::Small);
+    let results = analyze_all_jobs(Scale::Small, opts.jobs);
 
     // Exercise every harness path so each `harness.*` span is recorded;
     // the tables themselves go to the CSV dir if requested, not stdout.
@@ -392,8 +416,95 @@ fn perf(opts: &Opts) -> ExitCode {
     let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
     print!("{}", fmt.render(&snap));
 
+    // Tracked regression baseline: the previous snapshot (if any) moves
+    // to results/perf.prev.json and a counter/span diff is printed, so
+    // each run shows its trajectory against the last one.
     std::fs::create_dir_all("results").expect("create results dir");
+    let prev = std::fs::read_to_string("results/perf.json")
+        .ok()
+        .and_then(|text| match Snapshot::from_json(&text) {
+            Ok(s) => Some((s, text)),
+            Err(e) => {
+                eprintln!("(ignoring unparsable previous results/perf.json: {e})");
+                None
+            }
+        });
+    if let Some((baseline, text)) = prev {
+        std::fs::write("results/perf.prev.json", text).expect("write results/perf.prev.json");
+        let diff = perf_diff(&baseline, &snap).render();
+        // With a machine-readable snapshot format on stdout, the diff
+        // table is progress commentary and belongs on stderr.
+        if matches!(fmt, TelemetryFormat::Text) {
+            println!("{diff}");
+        } else {
+            eprintln!("{diff}");
+        }
+    }
     std::fs::write("results/perf.json", snap.to_json()).expect("write results/perf.json");
-    eprintln!("(snapshot written to results/perf.json)");
+    eprintln!("(snapshot written to results/perf.json; baseline kept in results/perf.prev.json)");
     ExitCode::SUCCESS
+}
+
+/// Counter and span trajectory between two `repro perf` snapshots.
+///
+/// Counters are compared by value; spans by total wall time (count
+/// alongside). Rows appear for every name in either snapshot, in the
+/// snapshots' own (sorted) order, so the table is deterministic.
+fn perf_diff(prev: &Snapshot, cur: &Snapshot) -> TextTable {
+    let mut t = TextTable::new(
+        "perf trajectory vs previous results/perf.json",
+        &["metric", "previous", "current", "change"],
+    );
+    let pct = |old: f64, new: f64| -> String {
+        if old == 0.0 {
+            if new == 0.0 {
+                "=".to_string()
+            } else {
+                "new".to_string()
+            }
+        } else {
+            format!("{:+.1}%", (new - old) / old * 100.0)
+        }
+    };
+    let mut counter_names: Vec<&str> = prev
+        .counters
+        .iter()
+        .chain(&cur.counters)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    for name in counter_names {
+        let old = prev.counter(name).unwrap_or(0);
+        let new = cur.counter(name).unwrap_or(0);
+        t.row(vec![
+            format!("counter {name}"),
+            old.to_string(),
+            new.to_string(),
+            pct(old as f64, new as f64),
+        ]);
+    }
+    let mut span_names: Vec<&str> = prev
+        .spans
+        .iter()
+        .chain(&cur.spans)
+        .map(|s| s.name.as_str())
+        .collect();
+    span_names.sort_unstable();
+    span_names.dedup();
+    for name in span_names {
+        let (old_ms, old_n) = prev
+            .span(name)
+            .map_or((0.0, 0), |s| (s.total_ns as f64 / 1e6, s.count));
+        let (new_ms, new_n) = cur
+            .span(name)
+            .map_or((0.0, 0), |s| (s.total_ns as f64 / 1e6, s.count));
+        t.row(vec![
+            format!("span {name}"),
+            format!("{old_ms:.3}ms /{old_n}"),
+            format!("{new_ms:.3}ms /{new_n}"),
+            pct(old_ms, new_ms),
+        ]);
+    }
+    t
 }

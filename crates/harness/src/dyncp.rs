@@ -30,28 +30,25 @@ pub struct DynCpRow {
 }
 
 fn run_static(r: &WorkloadResults, plan: &dyn MonitorPlan) -> f64 {
+    let cp = r.prepared.codepatch();
     let mut m = Machine::new();
-    m.load(&r.prepared.codepatch.program);
+    m.load(&cp.program);
     m.set_args(r.prepared.workload.args.clone());
     CodePatch::default()
-        .run(
-            &mut m,
-            &r.prepared.codepatch.debug,
-            plan,
-            r.prepared.workload.max_steps * 2,
-        )
+        .run(&mut m, &cp.debug, plan, r.prepared.workload.max_steps * 2)
         .expect("CodePatch run")
         .relative_overhead()
 }
 
 fn run_dynamic(r: &WorkloadResults, plan: &dyn MonitorPlan) -> (f64, u64, u64) {
+    let padded = r.prepared.nop_padded();
     let mut m = Machine::new();
-    m.load(&r.prepared.nop_padded.program);
+    m.load(&padded.program);
     m.set_args(r.prepared.workload.args.clone());
     let rep = DynamicCodePatch::default()
         .run(
             &mut m,
-            &r.prepared.nop_padded.debug,
+            &padded.debug,
             plan,
             r.prepared.workload.max_steps * 2,
         )

@@ -11,7 +11,7 @@ use databp_models::code_expansion;
 pub fn expansion_row(r: &WorkloadResults) -> (f64, f64) {
     let plain_words = r.prepared.plain.program.len() as u32;
     let estimated = code_expansion(r.prepared.plain.debug.traced_store_count, plain_words);
-    let cp_words = r.prepared.codepatch.program.len() as u32;
+    let cp_words = r.prepared.codepatch().program.len() as u32;
     let measured = (cp_words - plain_words) as f64 / plain_words as f64;
     (estimated, measured)
 }

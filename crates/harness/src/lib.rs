@@ -33,4 +33,6 @@ pub mod render;
 pub mod tables;
 pub mod verify;
 
-pub use pipeline::{analyze, analyze_all, overheads_for, Scale, WorkloadResults};
+pub use pipeline::{
+    analyze, analyze_all, analyze_all_jobs, default_jobs, overheads_for, Scale, WorkloadResults,
+};

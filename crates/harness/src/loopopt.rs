@@ -39,9 +39,9 @@ fn run_cp(
     optimized: bool,
 ) -> databp_core::StrategyReport {
     let build = if optimized {
-        &r.prepared.codepatch_loopopt
+        r.prepared.codepatch_loopopt()
     } else {
-        &r.prepared.codepatch
+        r.prepared.codepatch()
     };
     let mut m = Machine::new();
     m.load(&build.program);

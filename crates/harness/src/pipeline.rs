@@ -1,11 +1,20 @@
 //! The phase-1 + phase-2 pipeline shared by every experiment.
+//!
+//! Phase 2 is the whole cost of the reproduction, so the pipeline is
+//! built to spend it once: [`analyze`] uses the simulator's **fused**
+//! dual-page-size replay (one trace walk yields both the 4K and 8K
+//! counts), and [`analyze_all`] fans the five workloads out across
+//! worker threads ([`analyze_all_jobs`]). Results always come back in
+//! [`Workload::all()`] order, independent of thread scheduling, so
+//! every derived table and CSV is byte-identical to a sequential run.
 
-use databp_machine::PageSize;
 use databp_models::{overhead, Approach, Counts};
 use databp_sessions::{enumerate_sessions, Session, SessionKind, SessionSet};
-use databp_sim::simulate;
+use databp_sim::simulate_fused;
 use databp_workloads::{prepare, Prepared, Workload};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which workload scale to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,13 +70,19 @@ impl WorkloadResults {
 /// Panics if the workload fails to run (covered by workload tests).
 pub fn analyze(workload: &Workload) -> WorkloadResults {
     let _span = databp_telemetry::time!("harness.analyze");
-    let prepared =
-        prepare(workload).unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name));
-    let all = enumerate_sessions(&prepared.plain.debug, &prepared.trace);
-    let candidates = all.len();
-    let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
-    let c4 = simulate(&prepared.trace, &set, PageSize::K4);
-    let c8 = simulate(&prepared.trace, &set, PageSize::K8);
+    let prepared = {
+        let _t = databp_telemetry::time!("harness.prepare");
+        prepare(workload).unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+    };
+    let (all, candidates, set) = {
+        let _t = databp_telemetry::time!("harness.sessions");
+        let all = enumerate_sessions(&prepared.plain.debug, &prepared.trace);
+        let candidates = all.len();
+        let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
+        (all, candidates, set)
+    };
+    // One fused trace walk yields both page sizes' counts.
+    let (c4, c8) = simulate_fused(&prepared.trace, &set);
 
     // "Monitor sessions that had no monitor hits were discarded under the
     // assumption that they are unlikely candidates during debugging."
@@ -90,15 +105,67 @@ pub fn analyze(workload: &Workload) -> WorkloadResults {
     }
 }
 
-/// Runs the pipeline for all five workloads at the given scale.
+/// Default worker count for [`analyze_all`]: one thread per available
+/// core, capped by the workload count inside [`analyze_all_jobs`].
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs the pipeline for all five workloads at the given scale, using
+/// [`default_jobs`] worker threads.
 pub fn analyze_all(scale: Scale) -> Vec<WorkloadResults> {
-    Workload::all()
+    analyze_all_jobs(scale, default_jobs())
+}
+
+/// Runs the pipeline for all five workloads at the given scale across
+/// up to `jobs` worker threads.
+///
+/// Workloads are claimed from a shared queue, but results are returned
+/// in [`Workload::all()`] order regardless of which thread finishes
+/// when — downstream tables and CSVs are byte-identical to a
+/// sequential (`jobs == 1`) run.
+///
+/// # Panics
+///
+/// Panics if any workload fails to run (propagated from [`analyze`]).
+pub fn analyze_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadResults> {
+    // Wall-clock over the whole fan-out; individual `harness.analyze`
+    // spans sum per-workload time across threads, this one shows what
+    // the user actually waits.
+    let _span = databp_telemetry::time!("harness.analyze_all");
+    let workloads: Vec<Workload> = Workload::all()
         .into_iter()
         .map(|w| match scale {
             Scale::Full => w,
             Scale::Small => w.scaled_down(),
         })
-        .map(|w| analyze(&w))
+        .collect();
+    let jobs = jobs.clamp(1, workloads.len());
+    if jobs == 1 {
+        return workloads.iter().map(analyze).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<WorkloadResults>>> =
+        workloads.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(w) = workloads.get(i) else {
+                    break;
+                };
+                let r = analyze(w);
+                *slots[i].lock().expect("result slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no worker panicked")
+                .expect("every workload slot filled")
+        })
         .collect()
 }
 

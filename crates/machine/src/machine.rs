@@ -276,6 +276,11 @@ pub struct Machine {
     watch: WatchRegs,
     heap: HeapAlloc,
     code: Vec<u32>,
+    /// Predecoded shadow of `code` — the run loop fetches instructions
+    /// here instead of decoding `code[idx]` on every step. Kept in sync
+    /// by [`Machine::load`] and [`Machine::patch_instr`], the only code
+    /// writers.
+    decoded: Vec<Instr>,
     cost_model: CostModel,
     cost: Cycles,
     args: Vec<i32>,
@@ -302,6 +307,7 @@ impl Machine {
             watch: WatchRegs::new(DEFAULT_WATCH_REGS),
             heap: HeapAlloc::new(),
             code: Vec::new(),
+            decoded: Vec::new(),
             cost_model: CostModel::default(),
             cost: Cycles::default(),
             args: Vec::new(),
@@ -351,6 +357,7 @@ impl Machine {
     /// output, protections, watchpoints).
     pub fn load(&mut self, program: &Program) {
         self.code = program.code.iter().map(|&i| encode(i)).collect();
+        self.decoded = program.code.clone();
         self.mem = Memory::new();
         self.mem
             .write_bytes(DATA_BASE, &program.data)
@@ -492,6 +499,7 @@ impl Machine {
     pub fn patch_instr(&mut self, index: usize, instr: Instr) -> Result<Instr, MachineError> {
         let old = self.instr_at(index)?;
         self.code[index] = encode(instr);
+        self.decoded[index] = instr;
         Ok(old)
     }
 
@@ -504,24 +512,30 @@ impl Machine {
     ///
     /// Any [`MachineError`] aborts the run;
     /// [`MachineError::StepLimitExceeded`] if the budget runs out.
-    pub fn run(
+    pub fn run<H: Hooks + ?Sized>(
         &mut self,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
         max_steps: u64,
     ) -> Result<StopReason, MachineError> {
         let mut steps = 0u64;
-        loop {
+        let result = loop {
             if self.cpu.is_halted() {
-                return Ok(StopReason::Halted);
+                break Ok(StopReason::Halted);
             }
             if steps >= max_steps {
-                return Err(MachineError::StepLimitExceeded { limit: max_steps });
+                break Err(MachineError::StepLimitExceeded { limit: max_steps });
             }
             steps += 1;
-            if let Some(stop) = self.step(hooks)? {
-                return Ok(stop);
+            match self.step_inner(hooks) {
+                Ok(None) => {}
+                Ok(Some(stop)) => break Ok(stop),
+                Err(e) => break Err(e),
             }
-        }
+        };
+        // One batched add for the whole run instead of an atomic
+        // increment per retired instruction.
+        databp_telemetry::count!("machine.instructions.retired", steps);
+        result
     }
 
     /// Executes one instruction; returns a stop reason when the driver
@@ -530,14 +544,23 @@ impl Machine {
     /// # Errors
     ///
     /// Any fatal [`MachineError`].
-    pub fn step(&mut self, hooks: &mut dyn Hooks) -> Result<Option<StopReason>, MachineError> {
+    pub fn step<H: Hooks + ?Sized>(
+        &mut self,
+        hooks: &mut H,
+    ) -> Result<Option<StopReason>, MachineError> {
+        databp_telemetry::count!("machine.instructions.retired");
+        self.step_inner(hooks)
+    }
+
+    fn step_inner<H: Hooks + ?Sized>(
+        &mut self,
+        hooks: &mut H,
+    ) -> Result<Option<StopReason>, MachineError> {
         let pc = self.cpu.pc();
         let idx = self.pc_to_index(pc)?;
-        let word = self.code[idx];
-        let instr = decode(word).map_err(|w| MachineError::InvalidOpcode { word: w, pc })?;
+        let instr = self.decoded[idx];
         self.cost.instructions += 1;
         self.cost.cycles += self.cost_model.cycles_for(CostModel::classify(&instr));
-        databp_telemetry::count!("machine.instructions.retired");
         self.exec(instr, hooks, false)
     }
 
@@ -552,9 +575,9 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if no protection fault is pending.
-    pub fn emulate_pending_store(
+    pub fn emulate_pending_store<H: Hooks + ?Sized>(
         &mut self,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
     ) -> Result<Option<StopReason>, MachineError> {
         let fault = self
             .pending_fault
@@ -572,18 +595,18 @@ impl Machine {
     /// # Errors
     ///
     /// Any fatal [`MachineError`].
-    pub fn emulate_instr(
+    pub fn emulate_instr<H: Hooks + ?Sized>(
         &mut self,
         instr: Instr,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
     ) -> Result<Option<StopReason>, MachineError> {
         self.exec(instr, hooks, true)
     }
 
-    fn exec(
+    fn exec<H: Hooks + ?Sized>(
         &mut self,
         instr: Instr,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
         bypass_mmu: bool,
     ) -> Result<Option<StopReason>, MachineError> {
         use Instr::*;
@@ -763,13 +786,13 @@ impl Machine {
         }
     }
 
-    fn do_store(
+    fn do_store<H: Hooks + ?Sized>(
         &mut self,
         pc: u32,
         addr: u32,
         len: u32,
         value: u32,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
         bypass_mmu: bool,
     ) -> Result<Option<StopReason>, MachineError> {
         if !bypass_mmu && self.mmu.store_faults(addr, len) {
@@ -802,10 +825,10 @@ impl Machine {
         Ok(None)
     }
 
-    fn syscall(
+    fn syscall<H: Hooks + ?Sized>(
         &mut self,
         code: u16,
-        hooks: &mut dyn Hooks,
+        hooks: &mut H,
     ) -> Result<Option<StopReason>, MachineError> {
         let call = Syscall::from_code(code).ok_or(MachineError::InvalidOpcode {
             word: code as u32,

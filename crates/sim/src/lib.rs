@@ -5,22 +5,27 @@
 //! the paper's counting variables ([`databp_models::Counts`]) per
 //! session. Those counts feed the analytical models.
 //!
-//! The engine ([`simulate`]) processes **all sessions in one pass** over
-//! the trace: each write consults a per-page index of active monitored
-//! object instances and attributes hits / active-page misses to the
-//! owning sessions with event-stamped deduplication. A naive per-session
-//! replay ([`simulate_naive`]) serves as the correctness oracle in
-//! property tests.
+//! The engine processes **all sessions and all page sizes in one pass**
+//! over the trace: each write consults a per-page index of active
+//! monitored object instances and attributes hits / active-page misses
+//! to the owning sessions with event-stamped deduplication. A naive
+//! per-session replay ([`simulate_naive`]) serves as the correctness
+//! oracle in property tests.
 //!
 //! Page-size-dependent counters (`VMProtectσ`, `VMUnprotectσ`,
-//! `VMActivePageMissσ`) are computed for the page size passed in; the
-//! harness runs the engine once for 4 KiB and once for 8 KiB, exactly as
-//! the paper reports VM-4K and VM-8K.
+//! `VMActivePageMissσ`) are kept per page size inside the engine, so one
+//! replay ([`simulate_fused`]) yields both the VM-4K and VM-8K columns
+//! the paper reports; [`simulate`] remains for single-size callers and
+//! [`simulate_sizes`] generalizes to any page-size list. Hot paths use a
+//! vendored FxHash hasher and inline per-page slot lists (see
+//! `slots.rs`).
 
 mod engine;
 mod membership;
 mod naive;
+mod slots;
 
-pub use engine::simulate;
+pub use engine::{simulate, simulate_fused, simulate_sizes};
 pub use membership::{Membership, TableMembership};
 pub use naive::simulate_naive;
+pub use slots::SlotList;

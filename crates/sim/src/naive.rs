@@ -193,5 +193,24 @@ mod tests {
                 }
             }
         }
+
+        /// The fused dual-page-size replay is bit-identical to the
+        /// naive oracle run separately at 4K and at 8K.
+        #[test]
+        fn fused_engine_matches_naive_oracle((trace, membership) in arb_trace_and_membership()) {
+            let (c4, c8) = crate::engine::simulate_fused(&trace, &membership);
+            for s in 0..membership.sessions as u32 {
+                let slow4 = simulate_naive(&trace, &membership, PageSize::K4, s);
+                let slow8 = simulate_naive(&trace, &membership, PageSize::K8, s);
+                prop_assert_eq!(
+                    c4[s as usize], slow4,
+                    "fused 4K divergence for session {}", s
+                );
+                prop_assert_eq!(
+                    c8[s as usize], slow8,
+                    "fused 8K divergence for session {}", s
+                );
+            }
+        }
     }
 }

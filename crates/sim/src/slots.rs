@@ -1,0 +1,156 @@
+//! [`SlotList`] — small-vec-style inline storage for per-page instance
+//! lists.
+//!
+//! The engine's page index maps page number → slab indices of the
+//! instances overlapping that page. In every workload trace the vast
+//! majority of pages hold a single monitored instance (locals and heap
+//! objects are small; globals are packed but enumerated per variable),
+//! so a `Vec<u32>` per page wastes a heap allocation and a pointer
+//! chase on the hottest read path in the simulator. `SlotList` stores
+//! up to [`INLINE`] slots in place and only spills to a `Vec` beyond
+//! that.
+
+/// Inline capacity. Four covers >99% of pages in the paper's workloads;
+/// the spilled representation is unbounded.
+const INLINE: usize = 4;
+
+/// A list of instance-slab indices with inline storage for the common
+/// few-instances-per-page case.
+#[derive(Debug, Clone)]
+pub enum SlotList {
+    /// Up to [`INLINE`] slots stored in place.
+    Inline { len: u8, buf: [u32; INLINE] },
+    /// Spilled to the heap once the inline buffer overflows.
+    Spilled(Vec<u32>),
+}
+
+impl Default for SlotList {
+    fn default() -> Self {
+        SlotList::Inline {
+            len: 0,
+            buf: [0; INLINE],
+        }
+    }
+}
+
+impl SlotList {
+    /// Number of stored slots.
+    pub fn len(&self) -> usize {
+        match self {
+            SlotList::Inline { len, .. } => usize::from(*len),
+            SlotList::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored slots as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            SlotList::Inline { len, buf } => &buf[..usize::from(*len)],
+            SlotList::Spilled(v) => v,
+        }
+    }
+
+    /// Appends a slot, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, slot: u32) {
+        match self {
+            SlotList::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < INLINE {
+                    buf[n] = slot;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(slot);
+                    *self = SlotList::Spilled(v);
+                }
+            }
+            SlotList::Spilled(v) => v.push(slot),
+        }
+    }
+
+    /// Removes the first occurrence of `slot` (order is not preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not present — the engine's page index and
+    /// instance slab must stay consistent.
+    pub fn swap_remove_value(&mut self, slot: u32) {
+        match self {
+            SlotList::Inline { len, buf } => {
+                let n = usize::from(*len);
+                let pos = buf[..n]
+                    .iter()
+                    .position(|&x| x == slot)
+                    .expect("slot in page list");
+                buf[pos] = buf[n - 1];
+                *len -= 1;
+            }
+            SlotList::Spilled(v) => {
+                let pos = v
+                    .iter()
+                    .position(|&x| x == slot)
+                    .expect("slot in page list");
+                v.swap_remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut l = SlotList::default();
+        assert!(l.is_empty());
+        for i in 0..INLINE as u32 {
+            l.push(i);
+        }
+        assert!(matches!(l, SlotList::Inline { .. }));
+        assert_eq!(l.len(), INLINE);
+        l.push(99);
+        assert!(matches!(l, SlotList::Spilled(_)));
+        assert_eq!(l.len(), INLINE + 1);
+        assert_eq!(l.as_slice(), &[0, 1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn swap_remove_inline_and_spilled() {
+        let mut l = SlotList::default();
+        l.push(10);
+        l.push(20);
+        l.push(30);
+        l.swap_remove_value(10);
+        assert_eq!(l.as_slice(), &[30, 20]);
+        l.swap_remove_value(20);
+        assert_eq!(l.as_slice(), &[30]);
+
+        let mut s = SlotList::default();
+        for i in 0..8 {
+            s.push(i);
+        }
+        s.swap_remove_value(0);
+        assert_eq!(s.len(), 7);
+        assert!(!s.as_slice().contains(&0));
+        for i in 1..8 {
+            s.swap_remove_value(i);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot in page list")]
+    fn removing_absent_slot_panics() {
+        let mut l = SlotList::default();
+        l.push(1);
+        l.swap_remove_value(2);
+    }
+}

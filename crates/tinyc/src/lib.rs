@@ -81,6 +81,8 @@ pub struct Compiled {
 /// Returns a [`CompileError`] (with a line number) for lexical, syntactic,
 /// or semantic faults.
 pub fn compile(source: &str, options: &Options) -> Result<Compiled, CompileError> {
+    let _t = databp_telemetry::time!("tinyc.compile");
+    databp_telemetry::count!("tinyc.compiles");
     let hir = lower(source)?;
     Ok(codegen::generate(&hir, options))
 }

@@ -13,8 +13,41 @@
 //!   function-statics, installed once at run start.
 
 use crate::event::{Event, ObjectDesc, Trace};
-use databp_machine::{Hooks, StoreEvent};
+use databp_machine::{Hooks, StoreEvent, CODE_BASE};
 use std::collections::HashMap;
+
+/// Set of store pcs excluded from the trace, as a bitset indexed by code
+/// word — [`Tracer::on_store`] runs once per traced store, so membership
+/// must be O(1) rather than a binary search.
+#[derive(Debug, Clone, Default)]
+struct UntracedPcs {
+    /// Bit `(pc - CODE_BASE) / 4` is set when `pc` is untraced.
+    bits: Vec<u64>,
+}
+
+impl UntracedPcs {
+    fn new(pcs: &[u32]) -> Self {
+        let mut bits = Vec::new();
+        for &pc in pcs {
+            let word = (pc.wrapping_sub(CODE_BASE) / 4) as usize;
+            let slot = word / 64;
+            if slot >= bits.len() {
+                bits.resize(slot + 1, 0u64);
+            }
+            bits[slot] |= 1u64 << (word % 64);
+        }
+        UntracedPcs { bits }
+    }
+
+    #[inline]
+    fn contains(&self, pc: u32) -> bool {
+        let word = (pc.wrapping_sub(CODE_BASE) / 4) as usize;
+        match self.bits.get(word / 64) {
+            Some(slot) => slot & (1u64 << (word % 64)) != 0,
+            None => false,
+        }
+    }
+}
 
 /// One local automatic variable's slot in a function frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,10 +105,10 @@ pub struct Tracer {
     frames: Vec<(u16, u32)>,
     /// Live heap objects: seq -> (ba, ea).
     live_heap: HashMap<u32, (u32, u32)>,
-    /// Sorted byte pcs of implicit stores to exclude from the trace
+    /// Byte pcs of implicit stores to exclude from the trace
     /// (the paper: "implicit writes (e.g., register spilling) do not
     /// appear in the trace").
-    untraced_pcs: Vec<u32>,
+    untraced_pcs: UntracedPcs,
     begun: bool,
 }
 
@@ -89,17 +122,15 @@ impl Tracer {
             trace: Trace::new(),
             frames: Vec::new(),
             live_heap: HashMap::new(),
-            untraced_pcs: Vec::new(),
+            untraced_pcs: UntracedPcs::default(),
             begun: false,
         }
     }
 
-    /// Excludes the given (sorted or unsorted) store pcs from the trace —
-    /// pass the compiler's implicit-store list
-    /// (`DebugInfo::untraced_store_pcs`).
-    pub fn with_untraced(mut self, mut pcs: Vec<u32>) -> Self {
-        pcs.sort_unstable();
-        self.untraced_pcs = pcs;
+    /// Excludes the given store pcs from the trace — pass the compiler's
+    /// implicit-store list (`DebugInfo::untraced_store_pcs`).
+    pub fn with_untraced(mut self, pcs: Vec<u32>) -> Self {
+        self.untraced_pcs = UntracedPcs::new(&pcs);
         self
     }
 
@@ -171,7 +202,7 @@ impl Tracer {
 
 impl Hooks for Tracer {
     fn on_store(&mut self, ev: &StoreEvent) {
-        if self.untraced_pcs.binary_search(&ev.pc).is_ok() {
+        if self.untraced_pcs.contains(ev.pc) {
             return;
         }
         self.trace.push(Event::Write {
@@ -253,6 +284,38 @@ mod tests {
                 },
             ]],
         }
+    }
+
+    #[test]
+    fn untraced_pc_bitset_membership() {
+        let pcs = vec![CODE_BASE, CODE_BASE + 8, CODE_BASE + 4 * 1000];
+        let set = UntracedPcs::new(&pcs);
+        for &pc in &pcs {
+            assert!(set.contains(pc), "pc {pc:#x} should be untraced");
+        }
+        assert!(!set.contains(CODE_BASE + 4));
+        assert!(!set.contains(CODE_BASE + 4 * 999));
+        assert!(!set.contains(CODE_BASE + 4 * 1001));
+        assert!(!set.contains(0)); // below the code segment
+        assert!(!UntracedPcs::default().contains(CODE_BASE));
+    }
+
+    #[test]
+    fn untraced_stores_do_not_reach_the_trace() {
+        let mut tr = Tracer::new(FrameMap::default(), vec![]).with_untraced(vec![CODE_BASE + 4]);
+        tr.begin();
+        tr.on_store(&StoreEvent {
+            pc: CODE_BASE + 4,
+            addr: DATA_BASE,
+            len: 4,
+        });
+        tr.on_store(&StoreEvent {
+            pc: CODE_BASE + 8,
+            addr: DATA_BASE,
+            len: 4,
+        });
+        let t = tr.finish();
+        assert_eq!(t.stats().writes, 1, "only the traced store appears");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use databp_machine::{Machine, MachineError, StopReason};
 use databp_tinyc::{compile, Compiled, Options};
 use databp_trace::{Trace, Tracer};
+use std::sync::OnceLock;
 
 /// One benchmark workload: a source program plus run parameters.
 #[derive(Debug, Clone)]
@@ -104,20 +105,27 @@ impl Workload {
     }
 }
 
-/// A workload compiled in all three instrumentation variants, traced, and
-/// timed — everything the harness needs for every experiment.
+/// A workload compiled, traced, and timed — everything the harness needs
+/// for every experiment.
+///
+/// Only the uninstrumented `plain` build is compiled eagerly (it is the
+/// one the trace run needs). The three instrumented variants —
+/// [`Prepared::codepatch`], [`Prepared::codepatch_loopopt`],
+/// [`Prepared::nop_padded`] — compile lazily on first use, so the hot
+/// `analyze` path (trace + replay only) never pays for them.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     /// The workload description.
     pub workload: Workload,
     /// Uninstrumented build (NH / VM / TP runs, trace generation).
     pub plain: Compiled,
-    /// CodePatch-instrumented build.
-    pub codepatch: Compiled,
-    /// CodePatch build with Section 9 loop optimization info.
-    pub codepatch_loopopt: Compiled,
-    /// Nop-padded build for the Section 3.3 dynamic-patching hybrid.
-    pub nop_padded: Compiled,
+    /// CodePatch-instrumented build (lazy).
+    codepatch: OnceLock<Compiled>,
+    /// CodePatch build with Section 9 loop optimization info (lazy).
+    codepatch_loopopt: OnceLock<Compiled>,
+    /// Nop-padded build for the Section 3.3 dynamic-patching hybrid
+    /// (lazy).
+    nop_padded: OnceLock<Compiled>,
     /// The phase-1 program event trace.
     pub trace: Trace,
     /// Base (uninstrumented, unmonitored) execution time, microseconds.
@@ -126,6 +134,39 @@ pub struct Prepared {
     pub instructions: u64,
     /// Program output (for workload integrity checks).
     pub output: Vec<u8>,
+}
+
+impl Prepared {
+    fn build<'a>(&self, slot: &'a OnceLock<Compiled>, opts: Options, what: &str) -> &'a Compiled {
+        slot.get_or_init(|| {
+            compile(self.workload.source, &opts).unwrap_or_else(|e| {
+                panic!(
+                    "workload {} failed to compile ({what}): {e}",
+                    self.workload.name
+                )
+            })
+        })
+    }
+
+    /// The CodePatch-instrumented build, compiled on first use.
+    pub fn codepatch(&self) -> &Compiled {
+        self.build(&self.codepatch, Options::codepatch(), "cp")
+    }
+
+    /// The CodePatch + Section 9 loop-optimization build, compiled on
+    /// first use.
+    pub fn codepatch_loopopt(&self) -> &Compiled {
+        self.build(
+            &self.codepatch_loopopt,
+            Options::codepatch_loopopt(),
+            "cp+opt",
+        )
+    }
+
+    /// The nop-padded build for dynamic patching, compiled on first use.
+    pub fn nop_padded(&self) -> &Compiled {
+        self.build(&self.nop_padded, Options::nop_padding(), "nop")
+    }
 }
 
 /// Compiles and runs `workload` once under the tracer — the paper's
@@ -142,13 +183,8 @@ pub struct Prepared {
 pub fn prepare(workload: &Workload) -> Result<Prepared, MachineError> {
     let plain = compile(workload.source, &Options::plain())
         .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.name));
-    let codepatch = compile(workload.source, &Options::codepatch())
-        .unwrap_or_else(|e| panic!("workload {} failed to compile (cp): {e}", workload.name));
-    let codepatch_loopopt = compile(workload.source, &Options::codepatch_loopopt())
-        .unwrap_or_else(|e| panic!("workload {} failed to compile (cp+opt): {e}", workload.name));
-    let nop_padded = compile(workload.source, &Options::nop_padding())
-        .unwrap_or_else(|e| panic!("workload {} failed to compile (nop): {e}", workload.name));
 
+    let _t = databp_telemetry::time!("workloads.trace_run");
     let mut m = Machine::new();
     m.load(&plain.program);
     m.set_args(workload.args.clone());
@@ -169,9 +205,9 @@ pub fn prepare(workload: &Workload) -> Result<Prepared, MachineError> {
         instructions: m.cost().instructions,
         output: m.take_output(),
         plain,
-        codepatch,
-        codepatch_loopopt,
-        nop_padded,
+        codepatch: OnceLock::new(),
+        codepatch_loopopt: OnceLock::new(),
+        nop_padded: OnceLock::new(),
         trace,
     })
 }
@@ -216,7 +252,7 @@ mod tests {
         for w in Workload::all() {
             let w = w.scaled_down();
             let p = prepare(&w).unwrap();
-            for build in [&p.codepatch, &p.codepatch_loopopt, &p.nop_padded] {
+            for build in [p.codepatch(), p.codepatch_loopopt(), p.nop_padded()] {
                 let mut m = Machine::new();
                 m.load(&build.program);
                 m.set_args(w.args.clone());
@@ -284,7 +320,7 @@ mod tests {
         for name in ["cc", "tex", "spice", "qcd", "bps"] {
             let p = run_scaled(name);
             assert!(
-                !p.codepatch_loopopt.debug.loopopts.is_empty(),
+                !p.codepatch_loopopt().debug.loopopts.is_empty(),
                 "{name} has loops with invariant scalar stores"
             );
         }

@@ -30,16 +30,12 @@ fn main() {
     let plan = SessionPlan::new(session, debug);
 
     // CodePatch handles any number of simultaneous monitors.
+    let cp_build = prepared.codepatch();
     let mut m = Machine::new();
-    m.load(&prepared.codepatch.program);
+    m.load(&cp_build.program);
     m.set_args(workload.args.clone());
     let cp = CodePatch::default()
-        .run(
-            &mut m,
-            &prepared.codepatch.debug,
-            &plan,
-            workload.max_steps * 2,
-        )
+        .run(&mut m, &cp_build.debug, &plan, workload.max_steps * 2)
         .expect("codepatch run");
     println!(
         "CodePatch: {} monitors installed over the run, {} writes caught, {:.2}x overhead",

@@ -65,13 +65,14 @@ fn main() {
             .unwrap(),
     ));
 
+    let cp_build = prepared.codepatch();
     let mut m = Machine::new();
-    m.load(&prepared.codepatch.program);
+    m.load(&cp_build.program);
     m.set_args(workload.args.clone());
     rows.push((
         "CodePatch",
         CodePatch::default()
-            .run(&mut m, &prepared.codepatch.debug, &plan, steps)
+            .run(&mut m, &cp_build.debug, &plan, steps)
             .unwrap(),
     ));
 

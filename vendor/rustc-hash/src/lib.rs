@@ -1,0 +1,203 @@
+//! A tiny, dependency-free stand-in for the `rustc-hash` crate,
+//! vendored so the workspace builds without network access to a
+//! registry (see `vendor/README.md`).
+//!
+//! [`FxHasher`] is the multiply-and-rotate word hasher used throughout
+//! rustc: not cryptographic, not DoS-resistant, but 3–5× faster than
+//! SipHash on the small integer keys that dominate the simulator's hot
+//! maps (page numbers, packed `(session, page)` pairs, object
+//! descriptors). The API mirrors upstream — [`FxHashMap`],
+//! [`FxHashSet`], [`FxBuildHasher`] — so the real crate drops in with a
+//! one-line `Cargo.toml` change.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier with well-mixed bits (derived from the golden ratio,
+/// as in upstream FxHash / splitmix).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic word-at-a-time hasher.
+///
+/// Each word folded in costs one rotate, one xor, and one multiply.
+/// Collision quality is adequate for in-process hash maps keyed by
+/// program data; never use it for untrusted input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One multiply propagates entropy low→high only, which would
+        // leave bucket-selecting low bits blind to high key bits (e.g.
+        // the session half of a packed (session, page) key). Fold the
+        // high half back down and remix.
+        (self.hash ^ (self.hash >> 32)).wrapping_mul(K)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at(8);
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            // Fold the tail length in so "ab" + "" and "a" + "b" differ.
+            self.add_word(word ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_word(i as u64);
+        self.add_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl Fn(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        assert_eq!(
+            hash_of(|h| h.write_u64(42)),
+            hash_of(|h| h.write_u64(42)),
+            "same input, same hash"
+        );
+        assert_ne!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(43)));
+        assert_ne!(
+            hash_of(|h| h.write_u32(7)),
+            hash_of(|h| h.write_u32(7 << 16)),
+            "high bits must affect the hash"
+        );
+    }
+
+    #[test]
+    fn byte_streams_distinguish_split_points() {
+        assert_ne!(
+            hash_of(|h| h.write(b"ab")),
+            hash_of(|h| {
+                h.write(b"a");
+                h.write(b"b");
+            })
+        );
+        assert_ne!(hash_of(|h| h.write(b"")), hash_of(|h| h.write(b"\0")));
+        // Longer-than-a-word streams exercise the chunked path.
+        assert_ne!(
+            hash_of(|h| h.write(b"0123456789abcdef")),
+            hash_of(|h| h.write(b"0123456789abcdeg")),
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(10, 20)), Some(&10));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+        assert!(!s.contains(&4));
+    }
+
+    #[test]
+    fn packed_session_page_keys_spread() {
+        // The simulator's hottest key shape: (session << 32) | page,
+        // with small sessions and clustered pages. Make sure the low
+        // bits of the hash actually vary (HashMap uses the low bits for
+        // bucket selection after its own mixing, but a constant hash
+        // would still degrade to a list).
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for s in 0..8u64 {
+            for p in 0..64u64 {
+                low_bits.insert(hash_of(|h| h.write_u64((s << 32) | p)) & 0xff);
+            }
+        }
+        assert!(low_bits.len() > 128, "hash low bits collapse: {low_bits:?}");
+    }
+}
