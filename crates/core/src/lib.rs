@@ -41,6 +41,7 @@ mod service;
 mod strategy;
 mod tracker;
 
+pub use databp_analysis::{PlanClass, SiteClass, WriteSafety};
 pub use intervals::IntervalSet;
 pub use monitor::{Monitor, MonitorId, Notification, WmsError};
 pub use pagemap::PageMap;

@@ -7,6 +7,8 @@
 //! whether to install a monitor. The `databp-sessions` crate implements
 //! it for the paper's five session types.
 
+use databp_analysis::PlanClass;
+
 /// Decides which program objects a run should monitor.
 pub trait MonitorPlan {
     /// Should global `id` be monitored (installed at program start)?
@@ -26,6 +28,17 @@ pub trait MonitorPlan {
     fn monitor_heap(&self, _seq: u32, _stack: &[u16]) -> bool {
         false
     }
+
+    /// The address regions this plan can ever place a monitor in, for
+    /// the static write-safety elision
+    /// ([`CodePatch::with_staticopt`](crate::CodePatch::with_staticopt)).
+    /// Must be an *over*-approximation: claiming a region the plan never
+    /// monitors only costs checks; omitting one it does monitor is
+    /// unsound (and caught by the replay oracle in `databp-sim`). The
+    /// default is [`PlanClass::ALL`] — elide nothing.
+    fn plan_class(&self) -> PlanClass {
+        PlanClass::ALL
+    }
 }
 
 /// Monitors nothing — the baseline plan (useful for measuring pure
@@ -33,7 +46,11 @@ pub trait MonitorPlan {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoMonitors;
 
-impl MonitorPlan for NoMonitors {}
+impl MonitorPlan for NoMonitors {
+    fn plan_class(&self) -> PlanClass {
+        PlanClass::NONE
+    }
+}
 
 /// Monitors every global, local, and heap object (stress testing).
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,6 +94,20 @@ impl MonitorPlan for RangePlan {
     fn monitor_heap(&self, seq: u32, _stack: &[u16]) -> bool {
         self.heap_seqs.contains(&seq)
     }
+
+    fn plan_class(&self) -> PlanClass {
+        let mut c = PlanClass::NONE;
+        if !self.locals.is_empty() {
+            c = c.union(PlanClass::STACK);
+        }
+        if !self.globals.is_empty() {
+            c = c.union(PlanClass::GLOBAL);
+        }
+        if !self.heap_seqs.is_empty() {
+            c = c.union(PlanClass::HEAP);
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +128,19 @@ mod tests {
         assert!(p.monitor_global(7));
         assert!(p.monitor_local(1, 2));
         assert!(p.monitor_heap(3, &[0, 1]));
+    }
+
+    #[test]
+    fn plan_classes_reflect_coverage() {
+        assert_eq!(NoMonitors.plan_class(), PlanClass::NONE);
+        assert_eq!(MonitorEverything.plan_class(), PlanClass::ALL);
+        let p = RangePlan {
+            globals: vec![1],
+            locals: vec![],
+            heap_seqs: vec![2],
+        };
+        assert_eq!(p.plan_class(), PlanClass::GLOBAL.union(PlanClass::HEAP));
+        assert_eq!(RangePlan::default().plan_class(), PlanClass::NONE);
     }
 
     #[test]

@@ -6,10 +6,12 @@ use crate::monitor::Notification;
 use crate::plan::MonitorPlan;
 use crate::service::Wms;
 use crate::strategy::report::StrategyReport;
+use databp_analysis::WriteSafety;
 use databp_machine::{Instr, Machine, MachineError, StopConfig, StopReason};
 use databp_models::{Approach, TimingVar, TimingVars};
 use databp_tinyc::DebugInfo;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The CodePatch strategy.
 ///
@@ -25,10 +27,21 @@ use std::collections::HashMap;
 /// optimization is active: a loop's *preliminary check* runs once in the
 /// preheader; while it misses, body checks on the same loop-invariant
 /// target skip their lookups ([`StrategyReport::skipped_lookups`]).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// With [`CodePatch::with_staticopt`] the static write-safety pass from
+/// `databp-analysis` is consulted instead: checks whose store provably
+/// cannot hit the plan's address regions
+/// ([`MonitorPlan::plan_class`]) skip their lookups entirely
+/// ([`StrategyReport::elided_lookups`]). Elision is validated under
+/// `debug_assertions`, and independently by the replay oracle in
+/// `databp-sim`.
+#[derive(Debug, Clone, Default)]
 pub struct CodePatch {
     /// Enable the Section 9 loop-invariant preliminary checks.
     pub loopopt: bool,
+    /// Static write-safety elision: checks classified provably safe for
+    /// the plan's class pay no lookup.
+    pub staticopt: Option<Arc<WriteSafety>>,
     /// Primitive costs.
     pub timing: TimingVars,
 }
@@ -38,7 +51,17 @@ impl CodePatch {
     pub fn with_loopopt() -> Self {
         CodePatch {
             loopopt: true,
-            timing: TimingVars::default(),
+            ..CodePatch::default()
+        }
+    }
+
+    /// CodePatch with static write-safety elision. `safety` must be the
+    /// analysis of the *same CodePatch build* this strategy will run
+    /// (its `chk` pcs are matched against stops).
+    pub fn with_staticopt(safety: Arc<WriteSafety>) -> Self {
+        CodePatch {
+            staticopt: Some(safety),
+            ..CodePatch::default()
         }
     }
 
@@ -61,12 +84,17 @@ impl CodePatch {
         plan: &dyn MonitorPlan,
         max_steps: u64,
     ) -> Result<StrategyReport, MachineError> {
+        let elided: HashSet<u32> = match &self.staticopt {
+            Some(ws) => ws.elided_chk_pcs(plan.plan_class()).into_iter().collect(),
+            None => HashSet::new(),
+        };
         let mut mech = CpMech {
-            opts: *self,
+            opts: self.clone(),
             wms: Wms::new(),
             preheader: HashMap::new(),
             body: HashMap::new(),
             armed: Vec::new(),
+            elided,
         };
         let mut rep = drive(
             &mut mech,
@@ -90,6 +118,9 @@ struct CpMech {
     body: HashMap<u32, usize>,
     /// Whether each loop group's preliminary check hit.
     armed: Vec<bool>,
+    /// `chk` pcs whose lookup the static write-safety pass elides for
+    /// this run's plan class.
+    elided: HashSet<u32>,
 }
 
 impl Mechanism for CpMech {
@@ -152,6 +183,19 @@ impl Mechanism for CpMech {
         };
         let t = &self.opts.timing;
         let (ba, ea) = (ev.addr, ev.addr + ev.len);
+        if self.elided.contains(&ev.pc) {
+            // Statically proven unable to hit this plan's regions: the
+            // write happens (a model miss) but the lookup is never paid.
+            // In a real deployment the check would not even be emitted.
+            debug_assert!(
+                !self.wms.would_hit(ba, ea),
+                "statically elided check at pc {:#x} would have hit [{ba:#x}, {ea:#x}): unsound write-safety classification",
+                ev.pc
+            );
+            rep.counts.miss += 1;
+            rep.elided_lookups += 1;
+            return Ok(());
+        }
         if self.opts.loopopt {
             if let Some(&idx) = self.preheader.get(&ev.pc) {
                 // Preliminary check: pure lookup, arms or disarms the
@@ -293,6 +337,75 @@ mod tests {
             &TimingVars::default(),
         );
         assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    fn safety(src: &str, debug: &DebugInfo) -> Arc<WriteSafety> {
+        let hir = databp_tinyc::lower(src).unwrap();
+        Arc::new(databp_analysis::analyze_writes(&hir, debug))
+    }
+
+    #[test]
+    fn staticopt_elides_stack_checks_under_global_plan() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let ws = safety(SRC, &debug);
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::with_staticopt(ws)
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // Notification behavior identical to plain CodePatch...
+        assert_eq!(rep.counts.hit, 10);
+        assert_eq!(rep.notification_count, 10);
+        assert_eq!(rep.counts.miss, 12);
+        // ...but the 11 stack stores (i = 0 and ten i = i + 1) pay no
+        // lookup.
+        assert_eq!(rep.elided_lookups, 11);
+        let model = databp_models::cp_staticopt_overhead(
+            &rep.counts,
+            rep.elided_lookups,
+            &TimingVars::default(),
+        );
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staticopt_elides_everything_for_no_monitors() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let ws = safety(SRC, &debug);
+        let rep = CodePatch::with_staticopt(ws)
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
+        // Every store in SRC has a provable region, and NoMonitors
+        // covers none of them.
+        assert_eq!(rep.elided_lookups, rep.counts.writes());
+        assert_eq!(rep.overhead.total_us(), 0.0);
+    }
+
+    #[test]
+    fn staticopt_keeps_checks_the_plan_may_hit() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let ws = safety(SRC, &debug);
+        let plan = RangePlan {
+            globals: vec![0],
+            locals: vec![(0, 0)],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::with_staticopt(ws)
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // Plan covers stack and global regions: nothing elides.
+        assert_eq!(rep.elided_lookups, 0);
+        let baseline = {
+            let (mut m2, d2) = load(SRC, &Options::codepatch());
+            CodePatch::default()
+                .run(&mut m2, &d2, &plan, 10_000_000)
+                .unwrap()
+        };
+        assert_eq!(rep.counts.hit, baseline.counts.hit);
+        assert_eq!(rep.notification_count, baseline.notification_count);
+        assert!((rep.overhead.total_us() - baseline.overhead.total_us()).abs() < 1e-6);
     }
 
     #[test]

@@ -173,4 +173,14 @@ fn record_strategy_telemetry(rep: &StrategyReport) {
     reg.counter(runs).inc_always();
     reg.counter(charged)
         .add_always(rep.overhead.total_us() as u64);
+    if matches!(approach, Approach::Cp) {
+        reg.counter("cp.stores_elided")
+            .add_always(rep.elided_lookups);
+        let checked = rep
+            .counts
+            .writes()
+            .saturating_sub(rep.skipped_lookups)
+            .saturating_sub(rep.elided_lookups);
+        reg.counter("cp.stores_checked").add_always(checked);
+    }
 }

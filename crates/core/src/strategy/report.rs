@@ -36,6 +36,10 @@ pub struct StrategyReport {
     /// CodePatch loop-optimization only: preliminary (preheader) checks
     /// executed.
     pub preheader_lookups: u64,
+    /// CodePatch static write-safety optimization only: checks whose
+    /// lookup was elided because the store provably cannot hit the
+    /// plan's address regions.
+    pub elided_lookups: u64,
     /// DynamicCodePatch only: pad patch/unpatch sweeps performed.
     pub patch_events: u64,
     /// Operation counters of the strategy's software WMS instance (all

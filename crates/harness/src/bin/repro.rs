@@ -16,13 +16,18 @@
 //!   breakdown    Section 8 time-spent breakdown
 //!   expansion    Section 8 CodePatch code expansion
 //!   loopopt      Section 9 loop-check optimization (executes CodePatch)
+//!   staticopt    static write-safety check elision (executes CodePatch,
+//!                replay-verifies every elision)
 //!   dyncp        Section 3.3 dynamic-patching hybrid (executes CodePatch)
 //!   nhcoverage   watch-register coverage analysis
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
-//!   perf         instrumented small-scale run; prints a telemetry
-//!                snapshot, diffs it against the previous
-//!                results/perf.json (kept as results/perf.prev.json),
-//!                and writes the new results/perf.json
+//!   perf         instrumented small-scale run; prints per-table
+//!                wall-clock + simulated cycles (the machine's
+//!                retired-instruction counter is the virtual clock),
+//!                prints a telemetry snapshot, diffs it against the
+//!                previous results/perf.json (kept as
+//!                results/perf.prev.json), and writes the new
+//!                results/perf.json
 //!   sessions W   list surviving sessions of workload W
 //!   dist W A     histogram of per-session overheads for workload W under
 //!                approach A (nh, vm4k, vm8k, tp, cp)
@@ -42,7 +47,7 @@ use databp_harness::figures::{figure, figure_ascii, Figure};
 use databp_harness::overheads_for;
 use databp_harness::render::TextTable;
 use databp_harness::{analyze, analyze_all_jobs, default_jobs, Scale};
-use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, tables};
+use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, staticopt, tables};
 use databp_telemetry::Snapshot;
 use databp_workloads::Workload;
 use std::path::PathBuf;
@@ -50,7 +55,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
-                     expansion loopopt dyncp nhcoverage verify perf sessions dist trace\n\
+                     expansion loopopt staticopt dyncp nhcoverage verify perf sessions dist trace\n\
                      (see the source header for details)";
 
 /// Every valid subcommand — checked before any workload runs so an
@@ -67,6 +72,7 @@ const COMMANDS: &[&str] = &[
     "breakdown",
     "expansion",
     "loopopt",
+    "staticopt",
     "dyncp",
     "nhcoverage",
     "verify",
@@ -339,6 +345,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
             emit(opts, "expansion", &expansion::expansion_table(&results));
             emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results));
             emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3));
+            emit(opts, "staticopt", &staticopt::staticopt_table(&results, 3));
             emit(opts, "dyncp", &dyncp::dyncp_table(&results));
         }
         "table1" => emit(opts, "table1", &tables::table1(&results)),
@@ -351,6 +358,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
         "expansion" => emit(opts, "expansion", &expansion::expansion_table(&results)),
         "nhcoverage" => emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results)),
         "loopopt" => emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
+        "staticopt" => emit(opts, "staticopt", &staticopt::staticopt_table(&results, 3)),
         "dyncp" => emit(opts, "dyncp", &dyncp::dyncp_table(&results)),
         "verify" => {
             let checks = databp_harness::verify::verify(&results);
@@ -369,26 +377,63 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
 /// every experiment. The registry is reset first, so counters reflect
 /// exactly this run (and are deterministic run to run); spans and the
 /// derived rates carry the host's wall-clock timings.
+///
+/// Each table is timed on two clocks: host wall time and *simulated
+/// cycles*, the delta of the machine's retired-instruction counter.
+/// Tables that only do arithmetic over the collected results burn zero
+/// simulated cycles; the ones that execute CodePatch (loopopt,
+/// staticopt, dyncp) show exactly how much virtual work they re-run.
+/// The deltas land in `perf.vcycles.*` counters before the snapshot is
+/// taken, so the trajectory diff tracks them like any other counter.
 fn perf(opts: &Opts) -> ExitCode {
     eprintln!("running scaled-down workloads under telemetry...");
+    let vclock = || {
+        databp_telemetry::global()
+            .counter("machine.instructions.retired")
+            .get()
+    };
+    let mut vrows: Vec<(&'static str, f64, u64)> = Vec::new();
+    // Evaluates one table expression under both clocks and records the
+    // simulated-cycle delta as a `perf.vcycles.<slug>` counter.
+    macro_rules! timed {
+        ($slug:literal, $table:expr) => {{
+            let t0 = std::time::Instant::now();
+            let v0 = vclock();
+            let table = $table;
+            let dv = vclock() - v0;
+            databp_telemetry::global()
+                .counter(concat!("perf.vcycles.", $slug))
+                .add_always(dv);
+            vrows.push(($slug, t0.elapsed().as_secs_f64(), dv));
+            ($slug, table)
+        }};
+    }
+
     let wall = std::time::Instant::now();
+    let v_start = vclock();
     let results = analyze_all_jobs(Scale::Small, opts.jobs);
+    let dv = vclock() - v_start;
+    databp_telemetry::global()
+        .counter("perf.vcycles.workloads")
+        .add_always(dv);
+    vrows.push(("workloads", wall.elapsed().as_secs_f64(), dv));
 
     // Exercise every harness path so each `harness.*` span is recorded;
     // the tables themselves go to the CSV dir if requested, not stdout.
     let tables = [
-        ("table1", tables::table1(&results)),
-        ("table2", tables::table2()),
-        ("table3", tables::table3(&results)),
-        ("table4", tables::table4(&results)),
-        ("fig7", figure(&results, Figure::Max)),
-        ("fig8", figure(&results, Figure::P90)),
-        ("fig9", figure(&results, Figure::TMean)),
-        ("breakdown", breakdown::breakdown_table(&results)),
-        ("expansion", expansion::expansion_table(&results)),
-        ("nhcoverage", nhcoverage::coverage_table(&results)),
-        ("loopopt", loopopt::loopopt_table(&results, 3)),
-        ("dyncp", dyncp::dyncp_table(&results)),
+        timed!("table1", tables::table1(&results)),
+        timed!("table2", tables::table2()),
+        timed!("table3", tables::table3(&results)),
+        timed!("table4", tables::table4(&results)),
+        timed!("fig7", figure(&results, Figure::Max)),
+        timed!("fig8", figure(&results, Figure::P90)),
+        timed!("fig9", figure(&results, Figure::TMean)),
+        timed!("breakdown", breakdown::breakdown_table(&results)),
+        timed!("expansion", expansion::expansion_table(&results)),
+        timed!("nhcoverage", nhcoverage::coverage_table(&results)),
+        timed!("loopopt", loopopt::loopopt_table(&results, 3)),
+        timed!("staticopt", staticopt::staticopt_table(&results, 2)),
+        timed!("dyncp", dyncp::dyncp_table(&results)),
     ];
     if let Some(dir) = &opts.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
@@ -398,6 +443,18 @@ fn perf(opts: &Opts) -> ExitCode {
     }
     let wall_secs = wall.elapsed().as_secs_f64();
     eprintln!("workloads done in {wall_secs:.2}s.\n");
+
+    let mut vt = TextTable::new(
+        "per-phase wall-clock and simulated cycles (retired instructions)",
+        &["phase", "wall", "simulated cycles"],
+    );
+    for (slug, secs, dv) in &vrows {
+        vt.row(vec![
+            slug.to_string(),
+            format!("{:.1}ms", secs * 1e3),
+            dv.to_string(),
+        ]);
+    }
 
     let mut snap = databp_telemetry::global().snapshot();
     let instructions = snap.counter("machine.instructions.retired").unwrap_or(0);
@@ -414,6 +471,13 @@ fn perf(opts: &Opts) -> ExitCode {
     }
 
     let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
+    // The dual-clock table is commentary; keep stdout machine-readable
+    // when a structured snapshot format was requested.
+    if matches!(fmt, TelemetryFormat::Text) {
+        println!("{}", vt.render());
+    } else {
+        eprintln!("{}", vt.render());
+    }
     print!("{}", fmt.render(&snap));
 
     // Tracked regression baseline: the previous snapshot (if any) moves

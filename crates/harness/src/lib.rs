@@ -13,6 +13,7 @@
 //! | §8 breakdown percentages | [`breakdown::breakdown_table`] | `repro breakdown` |
 //! | §8 CodePatch code expansion | [`expansion::expansion_table`] | `repro expansion` |
 //! | §9 loop-check optimization | [`loopopt::loopopt_table`] | `repro loopopt` |
+//! | static write-safety elision | [`staticopt::staticopt_table`] | `repro staticopt` |
 //! | §3.3 dynamic-patching hybrid | [`dyncp::dyncp_table`] | `repro dyncp` |
 //! | §9 watch-register coverage | [`nhcoverage::coverage_table`] | `repro nhcoverage` |
 //!
@@ -30,6 +31,7 @@ pub mod microbench;
 pub mod nhcoverage;
 pub mod pipeline;
 pub mod render;
+pub mod staticopt;
 pub mod tables;
 pub mod verify;
 

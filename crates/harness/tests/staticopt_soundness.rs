@@ -1,0 +1,202 @@
+//! Property test for the static write-safety pass: random `tinyc`
+//! programs exercising stack, global, and heap stores through pointers,
+//! parameters, and return values — for *every* enumerated monitor
+//! session, every store the analysis elides must never overlap that
+//! session's live monitors in the replayed trace, and executing
+//! `CodePatch::with_staticopt` must report exactly the notifications of
+//! plain CodePatch.
+//!
+//! The deliberately-unsound regression case (the oracle must object when
+//! fed a wrong elision list) lives next to the harness table in
+//! `src/staticopt.rs`.
+
+use databp_analysis::analyze_writes;
+use databp_core::{CodePatch, MonitorPlan, NoMonitors, StrategyReport};
+use databp_machine::{Machine, StopReason};
+use databp_sessions::{enumerate_sessions, SessionPlan, SessionSet};
+use databp_sim::verify_elided_stores;
+use databp_tinyc::{compile, lower, Compiled, Options};
+use databp_trace::{Trace, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One generated statement. The generator only produces programs whose
+/// pointers demonstrably stay in bounds: `s` aims at scalars, `p` aims
+/// at 4-element-or-larger blocks and is indexed with 0..=3.
+#[derive(Debug, Clone)]
+enum St {
+    /// `x = c;`
+    SetX(u8),
+    /// `g0 = c;` / `g1 = c;`
+    SetG(bool, u8),
+    /// `s = &x | &y | &g0 | &g1;`
+    AimS(u8),
+    /// `*s = c;`
+    StoreS(u8),
+    /// `p = arr | garr | (int*)malloc(32);`
+    AimP(u8),
+    /// `p[k] = c;`
+    StoreP(u8, u8),
+    /// `put(s|&y|p, c);` — optionally capturing the returned pointer
+    /// back into `s`, exercising parameter and return-value flow.
+    Put(u8, u8, bool),
+    /// `for (i = 0; i < n; i = i + 1) { p[k] = i; x = x + 1; }`
+    Loop(u8, u8),
+}
+
+fn render(stmts: &[St]) -> String {
+    let mut body = String::new();
+    for st in stmts {
+        let line = match *st {
+            St::SetX(c) => format!("x = {c};"),
+            St::SetG(false, c) => format!("g0 = {c};"),
+            St::SetG(true, c) => format!("g1 = {c};"),
+            St::AimS(0) => "s = &x;".to_string(),
+            St::AimS(1) => "s = &y;".to_string(),
+            St::AimS(2) => "s = &g0;".to_string(),
+            St::AimS(_) => "s = &g1;".to_string(),
+            St::StoreS(c) => format!("*s = {c};"),
+            St::AimP(0) => "p = arr;".to_string(),
+            St::AimP(1) => "p = garr;".to_string(),
+            St::AimP(_) => "p = (int*)malloc(32);".to_string(),
+            St::StoreP(k, c) => format!("p[{}] = {c};", k % 4),
+            St::Put(t, c, capture) => {
+                let target = match t % 3 {
+                    0 => "s",
+                    1 => "&y",
+                    _ => "p",
+                };
+                if capture {
+                    format!("s = put({target}, {c});")
+                } else {
+                    format!("put({target}, {c});")
+                }
+            }
+            St::Loop(n, k) => format!(
+                "for (i = 0; i < {}; i = i + 1) {{ p[{}] = i; x = x + 1; }}",
+                1 + n % 4,
+                k % 4
+            ),
+        };
+        body.push_str("            ");
+        body.push_str(&line);
+        body.push('\n');
+    }
+    format!(
+        r#"
+        int g0;
+        int g1;
+        int garr[8];
+        int *put(int *r, int v) {{ *r = v; return r; }}
+        int main() {{
+            int x;
+            int y;
+            int i;
+            int arr[4];
+            int *s;
+            int *p;
+            x = 0;
+            y = 0;
+            s = &x;
+            p = arr;
+{body}            return x + y + g0 + g1 + arr[0] + garr[0];
+        }}
+    "#
+    )
+}
+
+fn program() -> impl Strategy<Value = Vec<St>> {
+    let st = prop_oneof![
+        (0u8..9).prop_map(St::SetX),
+        (any::<bool>(), 0u8..9).prop_map(|(g, c)| St::SetG(g, c)),
+        (0u8..4).prop_map(St::AimS),
+        (0u8..9).prop_map(St::StoreS),
+        (0u8..3).prop_map(St::AimP),
+        (0u8..4, 0u8..9).prop_map(|(k, c)| St::StoreP(k, c)),
+        (0u8..3, 0u8..9, any::<bool>()).prop_map(|(t, c, cap)| St::Put(t, c, cap)),
+        (0u8..4, 0u8..4).prop_map(|(n, k)| St::Loop(n, k)),
+    ];
+    prop::collection::vec(st, 1..24)
+}
+
+fn trace_of(plain: &Compiled) -> Trace {
+    let mut m = Machine::new();
+    m.load(&plain.program);
+    let mut tracer = Tracer::new(plain.debug.frame_map(), plain.debug.global_specs())
+        .with_untraced(plain.debug.untraced_store_pcs.clone());
+    tracer.begin();
+    assert_eq!(m.run(&mut tracer, 10_000_000).unwrap(), StopReason::Halted);
+    tracer.finish()
+}
+
+fn run_cp(build: &Compiled, plan: &dyn MonitorPlan, strat: CodePatch) -> StrategyReport {
+    let mut m = Machine::new();
+    m.load(&build.program);
+    strat
+        .run(&mut m, &build.debug, plan, 10_000_000)
+        .expect("CodePatch run failed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every enumerated session of a random program, replaying the
+    /// full trace confirms that no store elided under that session's
+    /// plan class ever overlapped one of its live monitors.
+    #[test]
+    fn random_programs_never_elide_a_monitored_store(stmts in program()) {
+        let src = render(&stmts);
+        let plain = compile(&src, &Options::plain()).expect("generated program compiles");
+        let trace = trace_of(&plain);
+        let hir = lower(&src).expect("generated program lowers");
+        let safety = analyze_writes(&hir, &plain.debug);
+
+        let sessions = enumerate_sessions(&plain.debug, &trace);
+        let set = SessionSet::new(sessions, &plain.debug, &trace);
+        let elided: Vec<Vec<u32>> = set
+            .sessions()
+            .iter()
+            .map(|&s| safety.elided_store_pcs(SessionPlan::new(s, &plain.debug).plan_class()))
+            .collect();
+        prop_assert!(elided.iter().any(|e| !e.is_empty()),
+            "analysis proved nothing on:\n{src}");
+        let verdict = verify_elided_stores(&trace, &set, &elided);
+        prop_assert!(verdict.is_ok(), "unsound elision: {:?}\nprogram:\n{src}", verdict);
+    }
+
+    /// Executing CodePatch with static elision reports exactly the
+    /// notifications of plain CodePatch, for the no-monitor plan and for
+    /// every enumerated session. (The elision branch also carries a
+    /// debug assertion that the WMS would not have hit — active here.)
+    #[test]
+    fn staticopt_execution_matches_plain_codepatch(stmts in program()) {
+        let src = render(&stmts);
+        let plain = compile(&src, &Options::plain()).expect("generated program compiles");
+        let cp = compile(&src, &Options::codepatch()).expect("generated program compiles");
+        let trace = trace_of(&plain);
+        let hir = lower(&src).expect("generated program lowers");
+        let safety = Arc::new(analyze_writes(&hir, &cp.debug));
+
+        let mut plans: Vec<(Box<dyn MonitorPlan>, String)> =
+            vec![(Box::new(NoMonitors), "(no monitors)".to_string())];
+        for s in enumerate_sessions(&plain.debug, &trace) {
+            plans.push((
+                Box::new(SessionPlan::new(s, &plain.debug)),
+                s.describe(&plain.debug),
+            ));
+        }
+        for (plan, desc) in &plans {
+            let base = run_cp(&cp, plan.as_ref(), CodePatch::default());
+            let sopt = run_cp(
+                &cp,
+                plan.as_ref(),
+                CodePatch::with_staticopt(Arc::clone(&safety)),
+            );
+            prop_assert_eq!(
+                base.notification_count, sopt.notification_count,
+                "elision lost notifications under {} for:\n{}", desc, src);
+            prop_assert_eq!(base.counts.writes(), sopt.counts.writes());
+            prop_assert!(sopt.elided_lookups <= base.counts.writes());
+        }
+    }
+}

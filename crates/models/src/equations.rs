@@ -149,6 +149,18 @@ pub fn cp_loopopt_overhead(
     ov
 }
 
+/// The static write-safety adjustment to CodePatch: checks the analysis
+/// proved unable to hit the plan's regions pay no `SoftwareLookup`.
+/// Structurally the Section 9 model with the elided sites as the skipped
+/// checks and no preliminary checks (the proof is free at run time).
+///
+/// # Panics
+///
+/// Panics if `elided_checks` exceeds the session's total checked writes.
+pub fn cp_staticopt_overhead(c: &Counts, elided_checks: u64, t: &TimingVars) -> Overhead {
+    cp_loopopt_overhead(c, elided_checks, 0, t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +277,19 @@ mod tests {
     #[should_panic(expected = "cannot skip more checks")]
     fn loopopt_rejects_overskip() {
         cp_loopopt_overhead(&sample_counts(), u64::MAX, 0, &TimingVars::default());
+    }
+
+    #[test]
+    fn staticopt_charges_only_surviving_checks() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let plain = overhead(Approach::Cp, &c, &t);
+        let opt = cp_staticopt_overhead(&c, 1_000, &t);
+        let saved = 1_000.0 * t.software_lookup_us;
+        assert!((plain.total_us() - opt.total_us() - saved).abs() < 1e-9);
+        // Nothing elided = plain CodePatch.
+        let same = cp_staticopt_overhead(&c, 0, &t);
+        assert!((same.total_us() - plain.total_us()).abs() < 1e-9);
     }
 
     #[test]

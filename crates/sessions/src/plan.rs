@@ -1,7 +1,7 @@
 //! Adapting a session to the executable strategies' [`MonitorPlan`].
 
 use crate::kinds::Session;
-use databp_core::MonitorPlan;
+use databp_core::{MonitorPlan, PlanClass};
 use databp_tinyc::DebugInfo;
 
 /// A [`Session`] paired with the program's debug information, usable as a
@@ -54,6 +54,24 @@ impl MonitorPlan for SessionPlan<'_> {
             Session::OneHeap { seq: s } => s == seq,
             Session::AllHeapInFunc { func } => stack.contains(&func),
             _ => false,
+        }
+    }
+
+    fn plan_class(&self) -> PlanClass {
+        match self.session {
+            Session::OneLocalAuto { .. } => PlanClass::STACK,
+            Session::AllLocalInFunc { func } => {
+                // The session also covers the function's *statics*,
+                // which live in the global segment.
+                let has_statics = self.debug.globals.iter().any(|g| g.owner == Some(func));
+                if has_statics {
+                    PlanClass::STACK.union(PlanClass::GLOBAL)
+                } else {
+                    PlanClass::STACK
+                }
+            }
+            Session::OneGlobalStatic { .. } => PlanClass::GLOBAL,
+            Session::OneHeap { .. } | Session::AllHeapInFunc { .. } => PlanClass::HEAP,
         }
     }
 }
@@ -112,6 +130,30 @@ mod tests {
         let q = SessionPlan::new(Session::OneHeap { seq: 9 }, &d);
         assert!(q.monitor_heap(9, &[]));
         assert!(!q.monitor_heap(8, &[]));
+    }
+
+    #[test]
+    fn plan_classes_cover_session_regions() {
+        let d = debug();
+        let f = d.func_id("f").unwrap();
+        let main = d.func_id("main").unwrap();
+        let mk = |s| SessionPlan::new(s, &d).plan_class();
+        assert_eq!(
+            mk(Session::OneLocalAuto { func: f, var: 0 }),
+            PlanClass::STACK
+        );
+        assert_eq!(
+            mk(Session::AllLocalInFunc { func: f }),
+            PlanClass::STACK.union(PlanClass::GLOBAL),
+            "f has a static local in the global segment"
+        );
+        assert_eq!(mk(Session::AllLocalInFunc { func: main }), PlanClass::STACK);
+        assert_eq!(
+            mk(Session::OneGlobalStatic { global: 0 }),
+            PlanClass::GLOBAL
+        );
+        assert_eq!(mk(Session::OneHeap { seq: 0 }), PlanClass::HEAP);
+        assert_eq!(mk(Session::AllHeapInFunc { func: f }), PlanClass::HEAP);
     }
 
     #[test]

@@ -24,8 +24,10 @@ mod engine;
 mod membership;
 mod naive;
 mod slots;
+mod soundness;
 
 pub use engine::{simulate, simulate_fused, simulate_sizes};
 pub use membership::{Membership, TableMembership};
 pub use naive::simulate_naive;
 pub use slots::SlotList;
+pub use soundness::{verify_elided_stores, ElisionViolation};

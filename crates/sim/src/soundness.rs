@@ -1,0 +1,213 @@
+//! Replay-time verification of static check elision.
+//!
+//! The write-safety pass in `databp-analysis` claims certain store sites
+//! can never write a monitored address under a given session's plan.
+//! That claim is *load-bearing*: `CodePatch::with_staticopt` skips those
+//! checks, so a wrong classification would silently drop notifications.
+//! This module is the independent referee — it replays the full program
+//! trace with exact monitor-lifetime bookkeeping and confirms that no
+//! elided store ever overlapped a live monitor of the session it was
+//! elided for. Any overlap is returned as a hard
+//! [`ElisionViolation`], which the harness and property tests turn into
+//! a test failure.
+
+use crate::membership::Membership;
+use databp_trace::{Event, ObjectDesc, Trace};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Proof that a statically elided store wrote a monitored address — the
+/// write-safety classification was unsound for this program and session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElisionViolation {
+    /// Session index the store was (wrongly) elided for.
+    pub session: u32,
+    /// Program counter of the offending store.
+    pub pc: u32,
+    /// Written range.
+    pub write: (u32, u32),
+    /// The live monitored range it overlapped.
+    pub monitor: (u32, u32),
+    /// The monitored object.
+    pub obj: ObjectDesc,
+}
+
+impl fmt::Display for ElisionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elided store at pc {:#x} wrote [{:#x}, {:#x}) overlapping monitor [{:#x}, {:#x}) \
+             on {:?} of session {} — unsound write-safety classification",
+            self.pc,
+            self.write.0,
+            self.write.1,
+            self.monitor.0,
+            self.monitor.1,
+            self.obj,
+            self.session
+        )
+    }
+}
+
+impl std::error::Error for ElisionViolation {}
+
+/// Replays `trace` and checks that no store whose pc appears in
+/// `elided_per_session[s]` ever overlaps a monitor that session `s` has
+/// live at that moment. `elided_per_session[s]` holds the *plain-build*
+/// store pcs (the build the trace was recorded from) that the analysis
+/// elides under session `s`'s plan class.
+///
+/// Returns the first violation found, or `Ok(())` when every elision was
+/// sound for this trace.
+///
+/// # Errors
+///
+/// [`ElisionViolation`] identifying the offending store, monitor range,
+/// object, and session.
+pub fn verify_elided_stores<M: Membership>(
+    trace: &Trace,
+    membership: &M,
+    elided_per_session: &[Vec<u32>],
+) -> Result<(), ElisionViolation> {
+    let _t = databp_telemetry::time!("sim.soundness");
+    let elided: Vec<HashSet<u32>> = elided_per_session
+        .iter()
+        .map(|pcs| pcs.iter().copied().collect())
+        .collect();
+    if elided.iter().all(HashSet::is_empty) {
+        return Ok(());
+    }
+    // Live monitor instances with the sessions watching each.
+    let mut active: HashMap<(ObjectDesc, u32), (u32, u32, Vec<u32>)> = HashMap::new();
+    let mut scratch = Vec::new();
+    for ev in trace.events() {
+        match *ev {
+            Event::Install { obj, ba, ea } => {
+                if ba < ea {
+                    membership.sessions_of(&obj, &mut scratch);
+                    if !scratch.is_empty() {
+                        active.insert((obj, ba), (ba, ea, scratch.clone()));
+                    }
+                }
+            }
+            Event::Remove { obj, ba, .. } => {
+                active.remove(&(obj, ba));
+            }
+            Event::Write { pc, ba, ea } => {
+                if ba >= ea {
+                    continue;
+                }
+                for ((obj, _), &(mba, mea, ref sessions)) in &active {
+                    if ba < mea && mba < ea {
+                        for &s in sessions {
+                            if elided.get(s as usize).is_some_and(|pcs| pcs.contains(&pc)) {
+                                return Err(ElisionViolation {
+                                    session: s,
+                                    pc,
+                                    write: (ba, ea),
+                                    monitor: (mba, mea),
+                                    obj: *obj,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Enter { .. } | Event::Exit { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::TableMembership;
+
+    fn membership() -> TableMembership {
+        TableMembership {
+            entries: vec![
+                (ObjectDesc::Global { id: 0 }, vec![0]),
+                (ObjectDesc::Local { func: 0, var: 0 }, vec![1]),
+            ],
+            sessions: 2,
+        }
+    }
+
+    fn trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.push(Event::Install {
+            obj: ObjectDesc::Global { id: 0 },
+            ba: 0x1000,
+            ea: 0x1004,
+        });
+        tr.push(Event::Install {
+            obj: ObjectDesc::Local { func: 0, var: 0 },
+            ba: 0x2000,
+            ea: 0x2004,
+        });
+        // pc 0x10: writes the global. pc 0x20: writes the local.
+        tr.push(Event::Write {
+            pc: 0x10,
+            ba: 0x1000,
+            ea: 0x1004,
+        });
+        tr.push(Event::Write {
+            pc: 0x20,
+            ba: 0x2000,
+            ea: 0x2004,
+        });
+        tr.push(Event::Remove {
+            obj: ObjectDesc::Local { func: 0, var: 0 },
+            ba: 0x2000,
+            ea: 0x2004,
+        });
+        // The local is dead now: its old range is fair game.
+        tr.push(Event::Write {
+            pc: 0x30,
+            ba: 0x2000,
+            ea: 0x2004,
+        });
+        tr
+    }
+
+    #[test]
+    fn sound_elisions_pass() {
+        // Session 0 (watches the global): eliding the local-writing
+        // store is sound. Session 1 (watches the local): eliding the
+        // global-writing store is sound, as is the post-removal write.
+        let ok = verify_elided_stores(&trace(), &membership(), &[vec![0x20], vec![0x10, 0x30]]);
+        assert_eq!(ok, Ok(()));
+    }
+
+    #[test]
+    fn unsound_elision_is_caught() {
+        // Eliding pc 0x10 for session 0 is wrong: it writes the
+        // monitored global while the monitor is live.
+        let err = verify_elided_stores(&trace(), &membership(), &[vec![0x10], vec![]])
+            .expect_err("must be flagged");
+        assert_eq!(err.session, 0);
+        assert_eq!(err.pc, 0x10);
+        assert_eq!(err.monitor, (0x1000, 0x1004));
+        assert_eq!(err.obj, ObjectDesc::Global { id: 0 });
+        assert!(err.to_string().contains("unsound"));
+    }
+
+    #[test]
+    fn removal_ends_liability() {
+        // pc 0x30 writes the local's old range *after* removal — sound
+        // to elide even for the local's own session.
+        assert_eq!(
+            verify_elided_stores(&trace(), &membership(), &[vec![], vec![0x30]]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn empty_elisions_trivially_pass() {
+        assert_eq!(
+            verify_elided_stores(&trace(), &membership(), &[vec![], vec![]]),
+            Ok(())
+        );
+    }
+}

@@ -15,7 +15,10 @@
 //! check* in the loop preheader (Section 9), recorded in
 //! [`DebugInfo::loopopts`] for the CodePatch strategy to exploit.
 
-use crate::debuginfo::{DebugInfo, FuncInfo, GlobalInfo, LocalInfo, LoopOptInfo};
+use crate::debuginfo::{
+    AddrDesc, DebugInfo, FuncInfo, GlobalInfo, LocalInfo, LoopOptInfo, StoreSiteInfo,
+    REGION_GLOBAL, REGION_HEAP, REGION_STACK,
+};
 use crate::hir::{BinOp, Builtin, Expr, ExprKind, FuncDef, Hir, Stmt, UnOp};
 use crate::types::align_up;
 use crate::Compiled;
@@ -108,7 +111,9 @@ struct Gen<'a> {
     pads: Vec<u32>,
     loopopts: Vec<LoopOptInfo>,
     traced_store_count: u32,
+    store_sites: Vec<StoreSiteInfo>,
     cur: Option<&'a FuncDef>,
+    cur_fid: u16,
     epilogue: usize,
 }
 
@@ -128,7 +133,9 @@ pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
         pads: Vec::new(),
         loopopts: Vec::new(),
         traced_store_count: 0,
+        store_sites: Vec::new(),
         cur: None,
+        cur_fid: 0,
         epilogue: 0,
     };
 
@@ -210,6 +217,7 @@ pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
         loopopts: g.loopopts,
         data_size: hir.data_size,
         traced_store_count: g.traced_store_count,
+        store_sites: g.store_sites,
     };
 
     Compiled {
@@ -282,6 +290,7 @@ impl<'a> Gen<'a> {
 
     fn gen_func(&mut self, fid: u16, f: &'a FuncDef) {
         self.cur = Some(f);
+        self.cur_fid = fid;
         self.func_entries[fid as usize] = self.code.len();
         let total = align_up(f.frame_size, 8);
         assert!(total <= 32760, "frame of '{}' too large", f.name);
@@ -297,7 +306,7 @@ impl<'a> Gen<'a> {
         for p in 0..f.params {
             let off = self.local_offset(p);
             let width = f.locals[p as usize].ty.access_width();
-            self.checked_store(A0 + p as u8, FP, off, width, None);
+            self.checked_store(A0 + p as u8, FP, off, width, None, AddrDesc::stack_slot());
         }
 
         self.epilogue = self.new_label();
@@ -525,15 +534,16 @@ impl<'a> Gen<'a> {
             }
             ExprKind::Assign { addr, value } => {
                 let width = e.ty.access_width();
+                let desc = addr_desc(addr);
                 self.expr(value, depth);
                 match &addr.kind {
                     ExprKind::AddrLocal(i) => {
                         let off = self.local_offset(*i);
-                        self.checked_store(rd, FP, off, width, Some(StoreTarget::Local(*i)));
+                        self.checked_store(rd, FP, off, width, Some(StoreTarget::Local(*i)), desc);
                     }
                     ExprKind::AddrGlobal(g) => {
                         self.load_global_addr(AT, *g);
-                        self.checked_store(rd, AT, 0, width, Some(StoreTarget::Global(*g)));
+                        self.checked_store(rd, AT, 0, width, Some(StoreTarget::Global(*g)), desc);
                     }
                     ExprKind::Binary(BinOp::Add, base, off) if matches!(off.kind, ExprKind::Const(c) if (-32768..=32767).contains(&c)) =>
                     {
@@ -543,12 +553,12 @@ impl<'a> Gen<'a> {
                         };
                         self.expr(base, depth + 1);
                         let rbase = treg(depth + 1);
-                        self.checked_store(rd, rbase, c, width, None);
+                        self.checked_store(rd, rbase, c, width, None, desc);
                     }
                     _ => {
                         self.expr(addr, depth + 1);
                         let rbase = treg(depth + 1);
-                        self.checked_store(rd, rbase, 0, width, None);
+                        self.checked_store(rd, rbase, 0, width, None, desc);
                     }
                 }
             }
@@ -593,7 +603,7 @@ impl<'a> Gen<'a> {
     }
 
     /// Emits a traced store (optionally CodePatch-checked) of `rsrc` to
-    /// `off(rbase)`.
+    /// `off(rbase)`, recording the store site with its address summary.
     fn checked_store(
         &mut self,
         rsrc: u8,
@@ -601,25 +611,34 @@ impl<'a> Gen<'a> {
         off: i16,
         width: u32,
         target: Option<StoreTarget>,
+        desc: AddrDesc,
     ) {
         if !self.opts.codepatch && self.opts.nop_padding {
             self.pads.push(self.here_pc());
             self.emit(asm::nop());
         }
+        let mut chk_pc = None;
         if self.opts.codepatch {
-            let chk_pc = self.here_pc();
+            let pc = self.here_pc();
+            chk_pc = Some(pc);
             self.emit(asm::chk(rbase, off, width as u8));
             if self.opts.loopopt {
                 if let Some(t) = target {
                     if let Some(hoists) = self.hoist_stack.last() {
                         if let Some(&idx) = hoists.get(&t) {
-                            self.loopopts[idx].body_pcs.push(chk_pc);
+                            self.loopopts[idx].body_pcs.push(pc);
                         }
                     }
                 }
             }
         }
         self.traced_store_count += 1;
+        self.store_sites.push(StoreSiteInfo {
+            pc: self.here_pc(),
+            chk_pc,
+            func: self.cur_fid,
+            addr: desc,
+        });
         match width {
             1 => self.emit(asm::sb(rsrc, rbase, off)),
             4 => self.emit(asm::sw(rsrc, rbase, off)),
@@ -682,6 +701,47 @@ fn load_instr(width: u32, rd: u8, rbase: u8, off: i16) -> Instr {
         1 => asm::lb(rd, rbase, off),
         4 => asm::lw(rd, rbase, off),
         _ => unreachable!("load width is 1 or 4"),
+    }
+}
+
+/// Summarizes a store's address expression for the static write-safety
+/// pass: which regions the address is directly derived from, and which
+/// named scalars / function results feed it. Purely syntactic — the
+/// `databp-analysis` crate resolves the dependencies.
+fn addr_desc(e: &Expr) -> AddrDesc {
+    let mut d = AddrDesc::default();
+    fold_addr(e, &mut d);
+    d
+}
+
+fn fold_addr(e: &Expr, d: &mut AddrDesc) {
+    match &e.kind {
+        ExprKind::AddrLocal(_) => d.direct |= REGION_STACK,
+        ExprKind::AddrGlobal(_) => d.direct |= REGION_GLOBAL,
+        // Constants and boolean results carry no region: an address
+        // forged from them is REGION_NONE ("proves nothing"), never
+        // elided.
+        ExprKind::Const(_) | ExprKind::LogAnd(..) | ExprKind::LogOr(..) => {}
+        ExprKind::Binary(op, a, b) => match op {
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {}
+            _ => {
+                fold_addr(a, d);
+                fold_addr(b, d);
+            }
+        },
+        ExprKind::Load(inner) => match &inner.kind {
+            ExprKind::AddrLocal(v) => d.local_deps.push(*v),
+            ExprKind::AddrGlobal(g) => d.global_deps.push(*g),
+            _ => d.opaque = true,
+        },
+        ExprKind::Unary(_, a) | ExprKind::CastChar(a) => fold_addr(a, d),
+        ExprKind::Assign { value, .. } => fold_addr(value, d),
+        ExprKind::Call(fid, _) => d.call_deps.push(*fid),
+        ExprKind::Builtin(b, _) => match b {
+            Builtin::Malloc | Builtin::Realloc => d.direct |= REGION_HEAP,
+            Builtin::Arg => {}
+            _ => d.opaque = true,
+        },
     }
 }
 
@@ -1091,5 +1151,105 @@ mod tests {
             &[],
         );
         assert_eq!(out, b"1000000\n-1000000\n2147483647\n");
+    }
+
+    const SITES_SRC: &str = r#"
+        int g;
+        int main() {
+            int x;
+            int a[4];
+            int *p;
+            x = 1;
+            g = 2;
+            p = a;
+            p[1] = 3;
+            *p = 4;
+            return x + a[1] + g;
+        }
+    "#;
+
+    #[test]
+    fn store_sites_cover_every_traced_store() {
+        let hir = lower(SITES_SRC).unwrap();
+        for opts in [
+            Options::plain(),
+            Options::codepatch(),
+            Options::nop_padding(),
+        ] {
+            let c = generate(&hir, &opts);
+            let sites = &c.debug.store_sites;
+            assert_eq!(sites.len() as u32, c.debug.traced_store_count);
+            // Emission order = pc-ascending, every pc is a real store.
+            for w in sites.windows(2) {
+                assert!(w[0].pc < w[1].pc);
+            }
+            for s in sites {
+                let idx = ((s.pc - CODE_BASE) / 4) as usize;
+                assert!(matches!(c.program.code[idx], Instr::Sb(..) | Instr::Sw(..)));
+                if opts.codepatch {
+                    let chk = s.chk_pc.expect("codepatch builds record chk pcs");
+                    assert_eq!(chk + 4, s.pc, "chk immediately precedes its store");
+                    let cidx = ((chk - CODE_BASE) / 4) as usize;
+                    assert!(matches!(c.program.code[cidx], Instr::Chk(..)));
+                } else {
+                    assert_eq!(s.chk_pc, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_sites_align_across_builds() {
+        let hir = lower(SITES_SRC).unwrap();
+        let plain = generate(&hir, &Options::plain());
+        let cp = generate(&hir, &Options::codepatch());
+        let (a, b) = (&plain.debug.store_sites, &cp.debug.store_sites);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(b) {
+            assert_eq!(sa.func, sb.func);
+            assert_eq!(sa.addr, sb.addr, "address summaries match by index");
+        }
+    }
+
+    #[test]
+    fn store_sites_summarize_addresses() {
+        let hir = lower(SITES_SRC).unwrap();
+        let c = generate(&hir, &Options::plain());
+        let sites = &c.debug.store_sites;
+        // x = 1; g = 2; p = a; p[1] = 3; *p = 4;  (main: x=0, a=1, p=2)
+        assert_eq!(sites.len(), 5);
+        assert_eq!(sites[0].addr, AddrDesc::stack_slot());
+        assert_eq!(sites[1].addr.direct, REGION_GLOBAL);
+        assert!(sites[1].addr.local_deps.is_empty());
+        assert_eq!(sites[2].addr, AddrDesc::stack_slot());
+        for s in &sites[3..5] {
+            assert_eq!(s.addr.direct, 0);
+            assert_eq!(s.addr.local_deps, vec![2], "address flows from p");
+            assert!(!s.addr.opaque);
+        }
+    }
+
+    #[test]
+    fn store_sites_mark_untrackable_addresses_opaque() {
+        let src = r#"
+            int main() {
+                int *t;
+                int **q;
+                t = malloc(8);
+                q = &t;
+                *(*q + 4) = 7;
+                *(malloc(4)) = 8;
+                return 0;
+            }
+        "#;
+        let hir = lower(src).unwrap();
+        let c = generate(&hir, &Options::plain());
+        let sites = &c.debug.store_sites;
+        assert_eq!(sites.len(), 4);
+        // `*(*q + 4)`: the inner load is through a computed address.
+        assert!(sites[2].addr.opaque);
+        // `*(malloc(4))`: direct heap base, fully tracked.
+        assert_eq!(sites[3].addr.direct, REGION_HEAP);
+        assert!(!sites[3].addr.opaque);
     }
 }

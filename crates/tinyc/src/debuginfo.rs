@@ -8,6 +8,79 @@
 
 use databp_trace::{FrameMap, FrameVar, GlobalSpec};
 
+/// Address-region bit: the store target may be in the stack segment.
+pub const REGION_STACK: u8 = 1;
+/// Address-region bit: the store target may be in the data segment
+/// (file-scope globals, function statics, string literals).
+pub const REGION_GLOBAL: u8 = 2;
+/// Address-region bit: the store target may be in the heap segment.
+pub const REGION_HEAP: u8 = 4;
+/// All regions — the top of the write-safety lattice ("could be
+/// anywhere").
+pub const REGION_ALL: u8 = REGION_STACK | REGION_GLOBAL | REGION_HEAP;
+/// No regions — the address is not derived from any tracked object base
+/// (constants, comparison results). Distinct from [`REGION_ALL`]: a
+/// forged address proves nothing, so such sites are never elided either.
+pub const REGION_NONE: u8 = 0;
+
+/// A syntactic summary of one store's address expression, emitted by the
+/// code generator. This is the compiler's half of the static write-safety
+/// pass: it records *where the address came from* without judging it; the
+/// `databp-analysis` crate resolves the dependencies against its
+/// points-to masks to classify the site.
+///
+/// The summary of an address expression is the (term-wise) union over its
+/// `+`/`-` terms: direct bases contribute region bits, loads of named
+/// scalars contribute dependencies, and anything untrackable sets
+/// [`AddrDesc::opaque`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddrDesc {
+    /// Regions the address is *directly* derived from: `&local` sets
+    /// [`REGION_STACK`], `&global` sets [`REGION_GLOBAL`], a direct
+    /// `malloc`/`realloc` result sets [`REGION_HEAP`].
+    pub direct: u8,
+    /// Locals of the owning function whose loaded value feeds the
+    /// address (`*p`, `p[i]` contribute `p` — and `i`, whose mask is
+    /// empty for plain integers).
+    pub local_deps: Vec<u16>,
+    /// Globals whose loaded value feeds the address.
+    pub global_deps: Vec<u32>,
+    /// Functions whose return value feeds the address.
+    pub call_deps: Vec<u16>,
+    /// True when some contribution cannot be tracked (a load through a
+    /// computed address, a builtin with no meaningful value). Opaque
+    /// sites classify as "may hit" under every plan.
+    pub opaque: bool,
+}
+
+impl AddrDesc {
+    /// The descriptor of a direct store to a frame slot (parameter
+    /// spills, named-local assignments).
+    pub fn stack_slot() -> AddrDesc {
+        AddrDesc {
+            direct: REGION_STACK,
+            ..AddrDesc::default()
+        }
+    }
+}
+
+/// One traced store instruction, in emission (= pc-ascending) order.
+/// Plain, CodePatch, and nop-padded builds of the same program emit the
+/// same sites in the same order (only the pcs differ), which is what lets
+/// the harness map plain-build trace pcs to CodePatch-build check pcs by
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSiteInfo {
+    /// Byte pc of the store instruction itself.
+    pub pc: u32,
+    /// Byte pc of the preceding `chk` (CodePatch builds only).
+    pub chk_pc: Option<u32>,
+    /// Owning function id (resolves [`AddrDesc::local_deps`]).
+    pub func: u16,
+    /// Where the store's effective address comes from.
+    pub addr: AddrDesc,
+}
+
 /// One local automatic variable (parameters included).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalInfo {
@@ -88,6 +161,10 @@ pub struct DebugInfo {
     /// Static count of traced write instructions (the paper's CodePatch
     /// space-expansion numerator).
     pub traced_store_count: u32,
+    /// Every traced store site in emission order (pc ascending), with the
+    /// code generator's address summary — the input to the static
+    /// write-safety pass in `databp-analysis`.
+    pub store_sites: Vec<StoreSiteInfo>,
 }
 
 impl DebugInfo {
@@ -188,6 +265,7 @@ mod tests {
             loopopts: vec![],
             data_size: 8,
             traced_store_count: 3,
+            store_sites: vec![],
         }
     }
 

@@ -56,9 +56,12 @@ mod sema;
 mod types;
 
 pub use codegen::Options;
-pub use debuginfo::{DebugInfo, FuncInfo, GlobalInfo, LocalInfo, LoopOptInfo};
+pub use debuginfo::{
+    AddrDesc, DebugInfo, FuncInfo, GlobalInfo, LocalInfo, LoopOptInfo, StoreSiteInfo, REGION_ALL,
+    REGION_GLOBAL, REGION_HEAP, REGION_NONE, REGION_STACK,
+};
 pub use error::CompileError;
-pub use hir::Hir;
+pub use hir::{BinOp, Builtin, Expr, ExprKind, FuncDef, GlobalDef, Hir, LocalDef, Stmt, UnOp};
 pub use interp::{interpret, InterpResult};
 pub use types::Type;
 
