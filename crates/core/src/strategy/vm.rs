@@ -75,9 +75,12 @@ impl VirtualMemory {
     }
 
     fn approach(&self) -> Approach {
+        // The paper's analytical models only distinguish VM-4K and
+        // VM-8K; executable runs at the ladder's coarser page sizes
+        // report under the nearest modeled approach.
         match self.page_size {
             PageSize::K4 => Approach::Vm4k,
-            PageSize::K8 => Approach::Vm8k,
+            _ => Approach::Vm8k,
         }
     }
 

@@ -2,7 +2,8 @@
 //! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads.
 //!
 //! ```text
-//! usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] <command>
+//! usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N]
+//!              [--stream] [--page-sizes LIST] <command>
 //!
 //! commands:
 //!   all          every experiment, in paper order
@@ -20,7 +21,13 @@
 //!                replay-verifies every elision)
 //!   dyncp        Section 3.3 dynamic-patching hybrid (executes CodePatch)
 //!   nhcoverage   watch-register coverage analysis
+//!   ladder       per-page-size counting summary over the whole ladder
+//!                (pair with --page-sizes to sweep beyond 4K/8K)
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
+//!   perfgate     compare results/perf.json against results/perf.prev.json
+//!                and fail if `harness.analyze` regressed more than
+//!                PERF_GATE_TOLERANCE_PCT percent (default 25); missing
+//!                or unparsable snapshots pass (first-run friendly)
 //!   perf         instrumented small-scale run; prints per-table
 //!                wall-clock + simulated cycles (the machine's
 //!                retired-instruction counter is the virtual clock),
@@ -41,21 +48,31 @@
 //!                     command (FMT: text, json, csv)
 //!   --jobs N          run up to N workloads in parallel (default: one
 //!                     per available core)
+//!   --stream          overlap phase 2 with phase 1: the traced run feeds
+//!                     event batches through a bounded channel into a
+//!                     concurrent replay (results are byte-identical)
+//!   --page-sizes LIST comma-separated page-size ladder, e.g. 4K,8K,16K,32K
+//!                     (4K and 8K are always included — the overhead
+//!                     models need them; all sizes share one trace walk)
 //! ```
 
 use databp_harness::figures::{figure, figure_ascii, Figure};
 use databp_harness::overheads_for;
 use databp_harness::render::TextTable;
-use databp_harness::{analyze, analyze_all_jobs, default_jobs, Scale};
+use databp_harness::WorkloadResults;
+use databp_harness::{analyze_all_opts, analyze_opts, default_jobs, AnalyzeOpts, Scale};
 use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, staticopt, tables};
+use databp_machine::PageSize;
 use databp_telemetry::Snapshot;
 use databp_workloads::Workload;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] <command>\n\
+const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] \
+                     [--stream] [--page-sizes LIST] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
-                     expansion loopopt staticopt dyncp nhcoverage verify perf sessions dist trace\n\
+                     expansion loopopt staticopt dyncp nhcoverage ladder verify perf perfgate \
+                     sessions dist trace\n\
                      (see the source header for details)";
 
 /// Every valid subcommand — checked before any workload runs so an
@@ -75,8 +92,10 @@ const COMMANDS: &[&str] = &[
     "staticopt",
     "dyncp",
     "nhcoverage",
+    "ladder",
     "verify",
     "perf",
+    "perfgate",
     "sessions",
     "dist",
     "trace",
@@ -113,6 +132,22 @@ struct Opts {
     csv_dir: Option<PathBuf>,
     telemetry: Option<TelemetryFormat>,
     jobs: usize,
+    stream: bool,
+    ladder: Vec<PageSize>,
+}
+
+impl Opts {
+    /// Pipeline options for this invocation.
+    fn analyze(&self) -> AnalyzeOpts {
+        AnalyzeOpts {
+            stream: self.stream,
+            ladder: self.ladder.clone(),
+            // Threaded overlap on multicore hosts, inline replay on a
+            // single core (a consumer thread would only context-switch).
+            channel_batches: AnalyzeOpts::auto_channel_batches(),
+            ..AnalyzeOpts::default()
+        }
+    }
 }
 
 fn emit(opts: &Opts, slug: &str, table: &TextTable) {
@@ -132,7 +167,34 @@ fn main() -> ExitCode {
         csv_dir: None,
         telemetry: None,
         jobs: default_jobs(),
+        stream: false,
+        ladder: vec![PageSize::K4, PageSize::K8],
     };
+    if let Some(pos) = args.iter().position(|a| a == "--stream") {
+        args.remove(pos);
+        opts.stream = true;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--page-sizes") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--page-sizes needs a comma-separated list, e.g. 4K,8K,16K");
+            return ExitCode::FAILURE;
+        }
+        let list = args.remove(pos);
+        let mut ladder = Vec::new();
+        for part in list.split(',') {
+            let Some(ps) = PageSize::parse(part) else {
+                eprintln!(
+                    "--page-sizes: unknown page size '{part}' (expected one of 4K, 8K, 16K, 32K, 64K)"
+                );
+                return ExitCode::FAILURE;
+            };
+            ladder.push(ps);
+        }
+        // 4K and 8K are re-added by the pipeline if absent: the paper's
+        // overhead models always need them.
+        opts.ladder = ladder;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--small") {
         args.remove(pos);
         opts.scale = Scale::Small;
@@ -205,6 +267,7 @@ fn main() -> ExitCode {
 fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     match cmd {
         "perf" => return perf(opts),
+        "perfgate" => return perfgate(),
         "table2" => {
             // No workload runs needed.
             emit(opts, "table2", &tables::table2());
@@ -234,7 +297,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
                 Scale::Full => w,
                 Scale::Small => w.scaled_down(),
             };
-            let r = analyze(&w);
+            let r = analyze_opts(&w, &opts.analyze());
             let ovs = overheads_for(&r, approach);
             let h = databp_stats::Histogram::from_samples(&ovs, 16);
             println!(
@@ -295,7 +358,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
                 Scale::Full => w,
                 Scale::Small => w.scaled_down(),
             };
-            let r = analyze(&w);
+            let r = analyze_opts(&w, &opts.analyze());
             println!(
                 "{}: {} candidate sessions, {} with hits",
                 name,
@@ -317,14 +380,19 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     }
 
     eprintln!(
-        "running {} workloads across {} thread(s) (this regenerates the paper's traces)...",
+        "running {} workloads across {} thread(s){} (this regenerates the paper's traces)...",
         match opts.scale {
             Scale::Full => "full-scale",
             Scale::Small => "scaled-down",
         },
         opts.jobs.min(Workload::all().len()),
+        if opts.stream {
+            ", streaming phase 2"
+        } else {
+            ""
+        },
     );
-    let results = analyze_all_jobs(opts.scale, opts.jobs);
+    let results = analyze_all_opts(opts.scale, opts.jobs, &opts.analyze());
     eprintln!("workloads done.\n");
 
     let run_figures = |opts: &Opts, fig: Figure, slug: &str| {
@@ -360,6 +428,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
         "loopopt" => emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
         "staticopt" => emit(opts, "staticopt", &staticopt::staticopt_table(&results, 3)),
         "dyncp" => emit(opts, "dyncp", &dyncp::dyncp_table(&results)),
+        "ladder" => emit(opts, "ladder", &ladder_table(&results)),
         "verify" => {
             let checks = databp_harness::verify::verify(&results);
             let (text, all) = databp_harness::verify::render(&checks);
@@ -411,7 +480,24 @@ fn perf(opts: &Opts) -> ExitCode {
 
     let wall = std::time::Instant::now();
     let v_start = vclock();
-    let results = analyze_all_jobs(Scale::Small, opts.jobs);
+    // perf always takes the streaming pipeline — it is the configuration
+    // whose counters (`pipeline.*`) and spans the snapshot is meant to
+    // track — and keeps the teed trace because loopopt/staticopt/dyncp
+    // below re-execute against it.
+    let results = analyze_all_opts(
+        Scale::Small,
+        opts.jobs,
+        &AnalyzeOpts {
+            stream: true,
+            keep_trace: true,
+            ladder: opts.ladder.clone(),
+            channel_batches: AnalyzeOpts::auto_channel_batches(),
+            // Wider batches amortize the replay engine's cache refill
+            // per feed; ~1 MiB of buffering is still far below a
+            // materialized trace.
+            batch_events: 64 * 1024,
+        },
+    );
     let dv = vclock() - v_start;
     databp_telemetry::global()
         .counter("perf.vcycles.workloads")
@@ -503,9 +589,107 @@ fn perf(opts: &Opts) -> ExitCode {
         } else {
             eprintln!("{diff}");
         }
+    } else {
+        // First run (or an unreadable baseline, reported above): nothing
+        // to diff against is a clean start, not an error.
+        eprintln!(
+            "(no previous results/perf.json — baseline created; run `repro perf` again \
+             for a trajectory diff)"
+        );
     }
     std::fs::write("results/perf.json", snap.to_json()).expect("write results/perf.json");
     eprintln!("(snapshot written to results/perf.json; baseline kept in results/perf.prev.json)");
+    ExitCode::SUCCESS
+}
+
+/// The `ladder` subcommand's table: per-workload, per-page-size sums of
+/// the size-dependent counting variables. Hits and misses are
+/// page-size-independent (one column each); the VM columns show how the
+/// ladder trades protection traffic against active-page misses as pages
+/// coarsen — all sizes measured in the same single trace walk.
+fn ladder_table(results: &[WorkloadResults]) -> TextTable {
+    let mut t = TextTable::new(
+        "page-size ladder sweep (sums over surviving sessions; one trace walk per workload)",
+        &[
+            "workload",
+            "page size",
+            "sessions",
+            "hits",
+            "misses",
+            "vm protects",
+            "vm unprotects",
+            "active-page misses",
+        ],
+    );
+    for r in results {
+        for (k, ps) in r.ladder.iter().enumerate() {
+            let row = &r.ladder_counts[k];
+            let sum = |f: fn(&databp_models::Counts) -> u64| -> u64 { row.iter().map(f).sum() };
+            t.row(vec![
+                r.prepared.workload.name.to_string(),
+                ps.to_string(),
+                row.len().to_string(),
+                sum(|c| c.hit).to_string(),
+                sum(|c| c.miss).to_string(),
+                sum(|c| c.vm_protect).to_string(),
+                sum(|c| c.vm_unprotect).to_string(),
+                sum(|c| c.vm_active_page_miss).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// The `perfgate` subcommand: CI's perf-smoke gate. Compares the
+/// `harness.analyze` span of results/perf.json against
+/// results/perf.prev.json and fails only on a real regression beyond
+/// the tolerance (`PERF_GATE_TOLERANCE_PCT`, default 25). A missing or
+/// unparsable snapshot on either side passes — a fresh checkout has no
+/// baseline, and that must not break the build.
+fn perfgate() -> ExitCode {
+    let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0);
+    let load = |path: &str| -> Option<Snapshot> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("perfgate: no {path} — pass (run `repro perf` twice to arm the gate)");
+                return None;
+            }
+        };
+        match Snapshot::from_json(&text) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("perfgate: unparsable {path} ({e}) — pass");
+                None
+            }
+        }
+    };
+    let (Some(cur), Some(prev)) = (load("results/perf.json"), load("results/perf.prev.json"))
+    else {
+        return ExitCode::SUCCESS;
+    };
+    let analyze_ms = |s: &Snapshot| s.span("harness.analyze").map(|sp| sp.total_ns as f64 / 1e6);
+    let (Some(cur_ms), Some(prev_ms)) = (analyze_ms(&cur), analyze_ms(&prev)) else {
+        eprintln!("perfgate: no harness.analyze span in one of the snapshots — pass");
+        return ExitCode::SUCCESS;
+    };
+    if prev_ms <= 0.0 {
+        eprintln!("perfgate: zero baseline — pass");
+        return ExitCode::SUCCESS;
+    }
+    let change = (cur_ms - prev_ms) / prev_ms * 100.0;
+    println!(
+        "perfgate: harness.analyze {prev_ms:.3}ms -> {cur_ms:.3}ms ({change:+.1}%), \
+         tolerance +{tolerance:.0}%"
+    );
+    if change > tolerance {
+        eprintln!("perfgate: FAIL — harness.analyze regressed beyond the tolerance");
+        return ExitCode::FAILURE;
+    }
+    println!("perfgate: ok");
     ExitCode::SUCCESS
 }
 

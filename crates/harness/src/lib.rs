@@ -36,5 +36,6 @@ pub mod tables;
 pub mod verify;
 
 pub use pipeline::{
-    analyze, analyze_all, analyze_all_jobs, default_jobs, overheads_for, Scale, WorkloadResults,
+    analyze, analyze_all, analyze_all_jobs, analyze_all_opts, analyze_opts, default_jobs,
+    overheads_for, AnalyzeOpts, Scale, WorkloadResults,
 };

@@ -1,17 +1,29 @@
 //! The phase-1 + phase-2 pipeline shared by every experiment.
 //!
 //! Phase 2 is the whole cost of the reproduction, so the pipeline is
-//! built to spend it once: [`analyze`] uses the simulator's **fused**
-//! dual-page-size replay (one trace walk yields both the 4K and 8K
-//! counts), and [`analyze_all`] fans the five workloads out across
-//! worker threads ([`analyze_all_jobs`]). Results always come back in
-//! [`Workload::all()`] order, independent of thread scheduling, so
-//! every derived table and CSV is byte-identical to a sequential run.
+//! built to spend it once — and, since the streaming path landed, to
+//! *overlap* it with phase 1:
+//!
+//! * [`analyze`] replays the trace through the simulator's fused
+//!   page-size ladder (one trace walk yields the counts for every
+//!   requested size — the 4K/8K pair by default, any ladder via
+//!   [`AnalyzeOpts::ladder`]);
+//! * with [`AnalyzeOpts::stream`], the traced machine run feeds event
+//!   batches through a bounded channel to a concurrent replay engine,
+//!   so phase 2 finishes moments after phase 1 halts instead of
+//!   starting there — with byte-identical results (session discovery is
+//!   canonicalized to the materialized enumeration order);
+//! * [`analyze_all`] fans the five workloads out across worker threads
+//!   ([`analyze_all_jobs`]). Results always come back in
+//!   [`Workload::all()`] order, independent of thread scheduling, so
+//!   every derived table and CSV is byte-identical to a sequential run.
 
+use databp_machine::PageSize;
 use databp_models::{overhead, Approach, Counts};
-use databp_sessions::{enumerate_sessions, Session, SessionKind, SessionSet};
-use databp_sim::simulate_fused;
-use databp_workloads::{prepare, Prepared, Workload};
+use databp_sessions::{enumerate_sessions, Session, SessionKind, SessionSet, StreamSessionSet};
+use databp_sim::{simulate_sizes, StreamingReplay};
+use databp_trace::{batch_channel, Event, EventSink, StreamSink, Trace};
+use databp_workloads::{compile_plain, run_traced, Prepared, Workload};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,9 +38,74 @@ pub enum Scale {
     Small,
 }
 
+/// Pipeline configuration for [`analyze_opts`] / [`analyze_all_opts`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOpts {
+    /// Overlap phase 2 with phase 1 through the streaming channel.
+    pub stream: bool,
+    /// Keep a materialized copy of the trace in
+    /// [`Prepared::trace`](databp_workloads::Prepared) even when
+    /// streaming (needed by the static-elision check and the `trace`
+    /// command; tables don't use it). Ignored — always true — on the
+    /// materialized path.
+    pub keep_trace: bool,
+    /// Page sizes to count at. 4 KiB and 8 KiB are always included (the
+    /// models need them); extra sizes ride along in the same trace
+    /// walk.
+    pub ladder: Vec<PageSize>,
+    /// Events per streamed batch.
+    pub batch_events: usize,
+    /// Bounded channel capacity, in batches. `0` selects *inline*
+    /// streaming: each batch is replayed on the tracing thread itself —
+    /// still no materialized trace on the hot path, but no consumer
+    /// thread either, which is the right shape on a single-core host
+    /// where a second thread only adds context switches.
+    pub channel_batches: usize,
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> Self {
+        AnalyzeOpts {
+            stream: false,
+            keep_trace: true,
+            ladder: vec![PageSize::K4, PageSize::K8],
+            // Sized so the producer rarely blocks: sixteen batches of
+            // 16K events absorb a whole scaled-down trace, and ~6 MiB
+            // of buffering is still far below materializing a full
+            // trace.
+            batch_events: 16 * 1024,
+            channel_batches: 16,
+        }
+    }
+}
+
+impl AnalyzeOpts {
+    /// The channel depth streaming callers should use when they have no
+    /// reason to pick one: the default bounded channel on multicore
+    /// hosts, inline replay (`0`) when only one CPU is available.
+    pub fn auto_channel_batches() -> usize {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            AnalyzeOpts::default().channel_batches
+        } else {
+            0
+        }
+    }
+
+    /// The effective ladder: requested sizes plus the mandatory 4K/8K
+    /// pair, ascending and deduplicated.
+    fn normalized_ladder(&self) -> Vec<PageSize> {
+        let mut ladder = self.ladder.clone();
+        ladder.push(PageSize::K4);
+        ladder.push(PageSize::K8);
+        ladder.sort_unstable_by_key(|ps| ps.shift());
+        ladder.dedup();
+        ladder
+    }
+}
+
 /// Everything the experiments need for one workload: trace, sessions
 /// (zero-hit filtered, as in the paper), and per-session counting
-/// variables at both page sizes.
+/// variables at every ladder page size.
 #[derive(Debug)]
 pub struct WorkloadResults {
     /// Compiled builds, trace, and base timing.
@@ -40,6 +117,11 @@ pub struct WorkloadResults {
     pub counts4: Vec<Counts>,
     /// Counting variables at 8 KiB pages.
     pub counts8: Vec<Counts>,
+    /// The page-size ladder, ascending (always contains 4K and 8K).
+    pub ladder: Vec<PageSize>,
+    /// Counting variables per ladder size (`[k][s]` = `ladder[k]`,
+    /// session `s`); `counts4`/`counts8` are the 4K/8K rows of this.
+    pub ladder_counts: Vec<Vec<Counts>>,
     /// Number of enumerated sessions before zero-hit filtering.
     pub candidates: usize,
 }
@@ -63,16 +145,68 @@ impl WorkloadResults {
     }
 }
 
-/// Runs phase 1 and phase 2 for one workload.
+/// Runs phase 1 and phase 2 for one workload with default options
+/// (materialized trace, 4K/8K ladder).
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to run (covered by workload tests).
 pub fn analyze(workload: &Workload) -> WorkloadResults {
+    analyze_opts(workload, &AnalyzeOpts::default())
+}
+
+/// Runs phase 1 and phase 2 for one workload under `opts`.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run (covered by workload tests).
+pub fn analyze_opts(workload: &Workload, opts: &AnalyzeOpts) -> WorkloadResults {
     let _span = databp_telemetry::time!("harness.analyze");
+    let ladder = opts.normalized_ladder();
+    let (prepared, all, candidates, per_size) = if opts.stream {
+        analyze_streamed(workload, opts, &ladder)
+    } else {
+        analyze_materialized(workload, &ladder)
+    };
+
+    // "Monitor sessions that had no monitor hits were discarded under the
+    // assumption that they are unlikely candidates during debugging."
+    // Hits are page-size-independent, so filtering on any row is
+    // filtering on all of them.
+    let keep: Vec<usize> = (0..all.len()).filter(|&i| per_size[0][i].hit > 0).collect();
+    let sessions: Vec<Session> = keep.iter().map(|&i| all[i]).collect();
+    let ladder_counts: Vec<Vec<Counts>> = per_size
+        .iter()
+        .map(|row| keep.iter().map(|&i| row[i]).collect())
+        .collect();
+    let p4 = ladder
+        .iter()
+        .position(|&ps| ps == PageSize::K4)
+        .expect("4K is always in the ladder");
+    let p8 = ladder
+        .iter()
+        .position(|&ps| ps == PageSize::K8)
+        .expect("8K is always in the ladder");
+    WorkloadResults {
+        prepared,
+        sessions,
+        counts4: ladder_counts[p4].clone(),
+        counts8: ladder_counts[p8].clone(),
+        ladder,
+        ladder_counts,
+        candidates,
+    }
+}
+
+/// The classic two-phase path: trace fully materialized, then replayed.
+fn analyze_materialized(
+    workload: &Workload,
+    ladder: &[PageSize],
+) -> (Prepared, Vec<Session>, usize, Vec<Vec<Counts>>) {
     let prepared = {
         let _t = databp_telemetry::time!("harness.prepare");
-        prepare(workload).unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+        databp_workloads::prepare(workload)
+            .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
     };
     let (all, candidates, set) = {
         let _t = databp_telemetry::time!("harness.sessions");
@@ -81,28 +215,136 @@ pub fn analyze(workload: &Workload) -> WorkloadResults {
         let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
         (all, candidates, set)
     };
-    // One fused trace walk yields both page sizes' counts.
-    let (c4, c8) = simulate_fused(&prepared.trace, &set);
+    let per_size = simulate_sizes(&prepared.trace, &set, ladder);
+    (prepared, all, candidates, per_size)
+}
 
-    // "Monitor sessions that had no monitor hits were discarded under the
-    // assumption that they are unlikely candidates during debugging."
-    let mut sessions = Vec::new();
-    let mut counts4 = Vec::new();
-    let mut counts8 = Vec::new();
-    for (i, s) in all.into_iter().enumerate() {
-        if c4[i].hit > 0 {
-            sessions.push(s);
-            counts4.push(c4[i]);
-            counts8.push(c8[i]);
+/// An [`EventSink`] that replays each full batch *inline*, on the
+/// tracing thread itself. This is the single-threaded streaming mode
+/// (`channel_batches == 0`): the trace is still never materialized on
+/// the hot path, but there is no channel and no consumer thread — the
+/// right shape on a one-core host, where a second thread only turns
+/// overlap into context switching.
+struct InlineReplaySink {
+    replay: StreamingReplay<StreamSessionSet>,
+    batch: Vec<Event>,
+    capacity: usize,
+    tee: Option<Trace>,
+}
+
+impl InlineReplaySink {
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        databp_telemetry::count!("pipeline.batches");
+        databp_telemetry::count!("pipeline.events.streamed", self.batch.len() as u64);
+        // Depth is identically zero inline — the batch is consumed the
+        // moment it fills — but sampling it keeps the snapshot schema
+        // the same in both streaming modes.
+        databp_telemetry::observe!("pipeline.channel.depth", &[1, 2, 4, 8, 16, 32, 64], 0);
+        self.replay.feed(&self.batch);
+        self.batch.clear();
+    }
+}
+
+impl EventSink for InlineReplaySink {
+    fn emit(&mut self, ev: Event) {
+        if let Some(t) = &mut self.tee {
+            t.push(ev);
+        }
+        self.batch.push(ev);
+        if self.batch.len() >= self.capacity {
+            self.flush();
         }
     }
-    WorkloadResults {
-        prepared,
-        sessions,
-        counts4,
-        counts8,
-        candidates,
-    }
+}
+
+/// The streaming path: the traced run produces event batches that are
+/// replayed as they fill — through a bounded channel to a consumer
+/// thread (`channel_batches >= 1`), or inline on the tracing thread
+/// (`channel_batches == 0`) — discovering heap sessions online either
+/// way. Results are canonicalized to match the materialized path
+/// exactly.
+fn analyze_streamed(
+    workload: &Workload,
+    opts: &AnalyzeOpts,
+    ladder: &[PageSize],
+) -> (Prepared, Vec<Session>, usize, Vec<Vec<Counts>>) {
+    let plain = compile_plain(workload);
+    let membership = StreamSessionSet::new(&plain.debug);
+
+    let (mut prepared, tee, set, per_size_discovered) = if opts.channel_batches == 0 {
+        // Inline mode. Neither side of the channel exists, so neither
+        // side ever waits; count the zeros so the backpressure counters
+        // are present (and truthful) in every streaming snapshot.
+        databp_telemetry::count!("pipeline.backpressure.producer_waits", 0);
+        databp_telemetry::count!("pipeline.backpressure.consumer_waits", 0);
+        let capacity = opts.batch_events.max(1);
+        let sink = InlineReplaySink {
+            replay: StreamingReplay::new(membership, ladder),
+            batch: Vec::with_capacity(capacity),
+            capacity,
+            tee: opts.keep_trace.then(Trace::new),
+        };
+        let (prepared, mut sink) = {
+            // Here `harness.prepare` covers the fused phase-1 + phase-2
+            // work — replay happens inside the traced run.
+            let _t = databp_telemetry::time!("harness.prepare");
+            run_traced(workload, plain, sink)
+                .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+        };
+        sink.flush();
+        let (set, counts) = sink.replay.finish();
+        (prepared, sink.tee, set, counts)
+    } else {
+        let (tx, rx) = batch_channel(opts.channel_batches);
+        let sink = StreamSink::new(tx, opts.batch_events.max(1), opts.keep_trace);
+        std::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                // The producer half of the `harness.prepare` work: the
+                // traced machine run. Closing the sink here (not on the
+                // consumer side) flushes the tail batch and ends the
+                // stream even if the consumer is slow.
+                let _t = databp_telemetry::time!("harness.prepare");
+                let (prepared, sink) = run_traced(workload, plain, sink)
+                    .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name));
+                let tee = sink.close();
+                (prepared, tee)
+            });
+            let mut replay = StreamingReplay::new(membership, ladder);
+            while let Some(batch) = rx.recv() {
+                replay.feed(batch.events());
+                rx.recycle(batch);
+            }
+            let (set, counts) = replay.finish();
+            let (prepared, tee) = match producer.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (prepared, tee, set, counts)
+        })
+    };
+    prepared.trace = tee.unwrap_or_default();
+    let (all, candidates, per_size) = {
+        let _t = databp_telemetry::time!("harness.sessions");
+        let (all, perm) = set.into_canonical();
+        let candidates = all.len();
+        // Re-index per-session counts from discovery order to the
+        // canonical enumeration order.
+        let per_size: Vec<Vec<Counts>> = per_size_discovered
+            .iter()
+            .map(|row| {
+                let mut out = vec![Counts::default(); row.len()];
+                for (i, c) in row.iter().enumerate() {
+                    out[perm[i] as usize] = *c;
+                }
+                out
+            })
+            .collect();
+        (all, candidates, per_size)
+    };
+    (prepared, all, candidates, per_size)
 }
 
 /// Default worker count for [`analyze_all`]: one thread per available
@@ -119,16 +361,22 @@ pub fn analyze_all(scale: Scale) -> Vec<WorkloadResults> {
 
 /// Runs the pipeline for all five workloads at the given scale across
 /// up to `jobs` worker threads.
+pub fn analyze_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadResults> {
+    analyze_all_opts(scale, jobs, &AnalyzeOpts::default())
+}
+
+/// Runs the pipeline for all five workloads at the given scale across
+/// up to `jobs` worker threads, each workload under `opts`.
 ///
 /// Workloads are claimed from a shared queue, but results are returned
 /// in [`Workload::all()`] order regardless of which thread finishes
 /// when — downstream tables and CSVs are byte-identical to a
-/// sequential (`jobs == 1`) run.
+/// sequential (`jobs == 1`) run, and to a run with different `opts.stream`.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to run (propagated from [`analyze`]).
-pub fn analyze_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadResults> {
+pub fn analyze_all_opts(scale: Scale, jobs: usize, opts: &AnalyzeOpts) -> Vec<WorkloadResults> {
     // Wall-clock over the whole fan-out; individual `harness.analyze`
     // spans sum per-workload time across threads, this one shows what
     // the user actually waits.
@@ -142,7 +390,7 @@ pub fn analyze_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadResults> {
         .collect();
     let jobs = jobs.clamp(1, workloads.len());
     if jobs == 1 {
-        return workloads.iter().map(analyze).collect();
+        return workloads.iter().map(|w| analyze_opts(w, opts)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<WorkloadResults>>> =
@@ -154,7 +402,7 @@ pub fn analyze_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadResults> {
                 let Some(w) = workloads.get(i) else {
                     break;
                 };
-                let r = analyze(w);
+                let r = analyze_opts(w, opts);
                 *slots[i].lock().expect("result slot lock") = Some(r);
             });
         }
@@ -236,5 +484,25 @@ mod tests {
         let mean4: f64 = v4.iter().sum::<f64>() / v4.len() as f64;
         let mean8: f64 = v8.iter().sum::<f64>() / v8.len() as f64;
         assert!(mean8 >= mean4 * 0.999, "mean4={mean4} mean8={mean8}");
+    }
+
+    #[test]
+    fn default_ladder_rows_match_counts_fields() {
+        let r = small("qcd");
+        assert_eq!(r.ladder, vec![PageSize::K4, PageSize::K8]);
+        assert_eq!(r.ladder_counts[0], r.counts4);
+        assert_eq!(r.ladder_counts[1], r.counts8);
+    }
+
+    #[test]
+    fn ladder_always_includes_the_modeled_pair() {
+        let opts = AnalyzeOpts {
+            ladder: vec![PageSize::K16],
+            ..AnalyzeOpts::default()
+        };
+        assert_eq!(
+            opts.normalized_ladder(),
+            vec![PageSize::K4, PageSize::K8, PageSize::K16]
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! byte-identical run to run, whatever the thread scheduling.
 
 use databp_harness::figures::{figure, Figure};
-use databp_harness::{analyze_all, analyze_all_jobs, tables, Scale, WorkloadResults};
+use databp_harness::{
+    analyze_all, analyze_all_jobs, analyze_all_opts, tables, AnalyzeOpts, Scale, WorkloadResults,
+};
 use databp_workloads::Workload;
 
 /// Every CSV the pipeline feeds, rendered from one result set.
@@ -49,6 +51,33 @@ fn parallel_analyze_all_is_deterministic() {
             assert_eq!(
                 *expect, got,
                 "{label}: {slug}.csv must be byte-identical to the sequential run"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_pipeline_is_csv_identical() {
+    // The streaming pipeline overlaps trace generation with replay and
+    // discovers heap sessions online — none of that may show in any CSV,
+    // at any worker count.
+    let sequential = analyze_all_jobs(Scale::Small, 1);
+    let streamed = AnalyzeOpts {
+        stream: true,
+        ..AnalyzeOpts::default()
+    };
+    let stream_seq = analyze_all_opts(Scale::Small, 1, &streamed);
+    let stream_par = analyze_all_opts(Scale::Small, 3, &streamed);
+
+    let reference = all_csvs(&sequential);
+    for (label, results) in [
+        ("stream jobs=1", &stream_seq),
+        ("stream jobs=3", &stream_par),
+    ] {
+        for ((slug, expect), (_, got)) in reference.iter().zip(all_csvs(results)) {
+            assert_eq!(
+                *expect, got,
+                "{label}: {slug}.csv must be byte-identical to the materialized run"
             );
         }
     }

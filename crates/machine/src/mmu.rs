@@ -11,24 +11,38 @@ use std::fmt;
 
 /// A supported virtual-memory page size.
 ///
-/// The paper evaluates VirtualMemory at both 4 KiB (VM-4K) and 8 KiB
-/// (VM-8K); `PageSize` makes the choice explicit in APIs rather than a
-/// bare `u32`.
+/// The paper evaluates VirtualMemory at 4 KiB (VM-4K) and 8 KiB (VM-8K);
+/// the coarser sizes feed the simulator's generalized page-size ladder
+/// (`databp_sim::simulate_sizes`), which sweeps any power-of-two list in
+/// one trace walk. `PageSize` makes the choice explicit in APIs rather
+/// than a bare `u32`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PageSize {
     /// 4096-byte pages (SunOS 4.x on sun4c; the paper's VM-4K).
     K4,
     /// 8192-byte pages (the paper's VM-8K).
     K8,
+    /// 16384-byte pages.
+    K16,
+    /// 32768-byte pages.
+    K32,
+    /// 65536-byte pages.
+    K64,
 }
 
 impl PageSize {
+    /// Every supported size, ascending.
+    pub const ALL: [PageSize; 5] = [
+        PageSize::K4,
+        PageSize::K8,
+        PageSize::K16,
+        PageSize::K32,
+        PageSize::K64,
+    ];
+
     /// Page size in bytes.
     pub fn bytes(self) -> u32 {
-        match self {
-            PageSize::K4 => 4096,
-            PageSize::K8 => 8192,
-        }
+        1 << self.shift()
     }
 
     /// log2 of the page size, for shift-based page-number computation.
@@ -36,7 +50,19 @@ impl PageSize {
         match self {
             PageSize::K4 => 12,
             PageSize::K8 => 13,
+            PageSize::K16 => 14,
+            PageSize::K32 => 15,
+            PageSize::K64 => 16,
         }
+    }
+
+    /// Parses a human-entered size: `"4K"`, `"8k"`, or a byte count like
+    /// `"4096"`.
+    pub fn parse(s: &str) -> Option<PageSize> {
+        let norm = s.trim().to_ascii_uppercase();
+        PageSize::ALL
+            .into_iter()
+            .find(|ps| norm == ps.to_string() || norm == ps.bytes().to_string())
     }
 
     /// Page number containing byte address `addr`.
@@ -175,11 +201,30 @@ mod tests {
     fn page_size_arithmetic() {
         assert_eq!(PageSize::K4.bytes(), 4096);
         assert_eq!(PageSize::K8.bytes(), 8192);
+        assert_eq!(PageSize::K16.bytes(), 16384);
+        assert_eq!(PageSize::K32.bytes(), 32768);
+        assert_eq!(PageSize::K64.bytes(), 65536);
         assert_eq!(PageSize::K4.page_of(0), 0);
         assert_eq!(PageSize::K4.page_of(4095), 0);
         assert_eq!(PageSize::K4.page_of(4096), 1);
         assert_eq!(PageSize::K8.page_of(8191), 0);
         assert_eq!(PageSize::K8.page_of(8192), 1);
+        assert_eq!(PageSize::K32.page_of(32768), 1);
+        for ps in PageSize::ALL {
+            assert_eq!(ps.bytes(), 1 << ps.shift());
+        }
+    }
+
+    #[test]
+    fn page_size_parse_round_trips() {
+        for ps in PageSize::ALL {
+            assert_eq!(PageSize::parse(&ps.to_string()), Some(ps));
+            assert_eq!(PageSize::parse(&ps.bytes().to_string()), Some(ps));
+        }
+        assert_eq!(PageSize::parse("8k"), Some(PageSize::K8));
+        assert_eq!(PageSize::parse(" 16K "), Some(PageSize::K16));
+        assert_eq!(PageSize::parse("3K"), None);
+        assert_eq!(PageSize::parse(""), None);
     }
 
     #[test]

@@ -51,6 +51,28 @@ pub fn heap_contexts(trace: &Trace) -> HashMap<u32, Vec<u16>> {
 /// * `AllHeapInFunc`: every function in whose dynamic context at least
 ///   one heap object was allocated.
 pub fn enumerate_sessions(debug: &DebugInfo, trace: &Trace) -> Vec<Session> {
+    let mut out = static_sessions(debug);
+    let ctx = heap_contexts(trace);
+    let mut seqs: Vec<u32> = ctx.keys().copied().collect();
+    seqs.sort_unstable();
+    for seq in seqs {
+        out.push(Session::OneHeap { seq });
+    }
+    let mut alloc_funcs: Vec<u16> = ctx.values().flatten().copied().collect();
+    alloc_funcs.sort_unstable();
+    alloc_funcs.dedup();
+    for func in alloc_funcs {
+        out.push(Session::AllHeapInFunc { func });
+    }
+    out
+}
+
+/// The statically-known session prefix — everything
+/// [`enumerate_sessions`] derives from debug info alone, in the same
+/// order. Heap sessions (`OneHeap` / `AllHeapInFunc`) need the run's
+/// trace and follow this prefix; the streaming pipeline discovers them
+/// online instead (see `StreamSessionSet`).
+pub(crate) fn static_sessions(debug: &DebugInfo) -> Vec<Session> {
     let mut out = Vec::new();
     for (fid, f) in debug.functions.iter().enumerate() {
         for l in &f.locals {
@@ -78,18 +100,6 @@ pub fn enumerate_sessions(debug: &DebugInfo, trace: &Trace) -> Vec<Session> {
         if !g.is_literal && g.owner.is_none() {
             out.push(Session::OneGlobalStatic { global: g.id });
         }
-    }
-    let ctx = heap_contexts(trace);
-    let mut seqs: Vec<u32> = ctx.keys().copied().collect();
-    seqs.sort_unstable();
-    for seq in seqs {
-        out.push(Session::OneHeap { seq });
-    }
-    let mut alloc_funcs: Vec<u16> = ctx.values().flatten().copied().collect();
-    alloc_funcs.sort_unstable();
-    alloc_funcs.dedup();
-    for func in alloc_funcs {
-        out.push(Session::AllHeapInFunc { func });
     }
     out
 }

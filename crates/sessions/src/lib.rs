@@ -26,8 +26,10 @@ mod enumerate;
 mod kinds;
 mod plan;
 mod setindex;
+mod stream;
 
 pub use enumerate::{enumerate_sessions, heap_contexts};
 pub use kinds::{Session, SessionKind};
 pub use plan::SessionPlan;
 pub use setindex::SessionSet;
+pub use stream::StreamSessionSet;

@@ -1,26 +1,47 @@
-//! The one-pass multi-session counting engine, fused across page sizes.
+//! The one-pass multi-session counting engine, fused across a page-size
+//! ladder.
 //!
 //! One call to [`simulate_sizes`] walks the trace **once** and
-//! accumulates [`Counts`] for every requested page size simultaneously.
-//! Page-derived state (the page → instances index, per-(session, page)
-//! protection counts, `vm_protect` / `vm_unprotect` / active-page-miss
-//! accounting) lives in a per-page-size [`SizeState`]; everything else —
-//! the instance slab, membership interning, install/remove/hit/miss
-//! accounting — is shared across sizes, so the dominant replay work is
-//! paid once instead of once per page size.
+//! accumulates [`Counts`] for every requested page size simultaneously —
+//! any set of power-of-two sizes, not just the 4K/8K buddy pair the
+//! paper reports. The engine keeps a single page index at the *smallest*
+//! (base) size and derives every coarser size's page walk from it by
+//! shifting: a size-`k` page of a write expands to the base-page range
+//!
+//! ```text
+//! lo[k] = (ba >> shift_k) << d_k
+//! hi[k] = (((ea - 1) >> shift_k) << d_k) | ((1 << d_k) - 1)
+//! ```
+//!
+//! where `d_k = shift_k - base_shift`. Because the sizes are sorted
+//! ascending, these ranges nest (`lo` nonincreasing, `hi` nondecreasing
+//! in `k`), so one sweep over the widest range classifies every base
+//! page with its *level* `m` — the smallest `k` whose range contains it
+//! — and an instance found at level `m` is touched at exactly the sizes
+//! `m..n`. Page-derived protection state (`vm_protect` /
+//! `vm_unprotect` / active-page-miss tallies) stays per size; the
+//! instance slab, membership interning, and install/remove/hit/miss
+//! accounting are shared, so the dominant replay work is paid once
+//! regardless of ladder length.
 //!
 //! Hits are page-size-independent by construction: a write that overlaps
 //! a monitored instance shares at least one byte with it, hence shares a
-//! page at *every* page size, so every size's page walk discovers every
-//! overlapping instance. The engine exploits this by stamping the shared
-//! `last_hit` array from whichever walk runs and counting the hit in the
-//! first size's sweep only.
+//! base page inside the write's own range (level 0), so the sweep always
+//! discovers every overlapping instance at level 0 and byte-checks it
+//! there. A hit suppresses the active-page miss at every size.
+//!
+//! The engine core ([`EngineCore`]) is event-driven — it has no
+//! dependency on a materialized [`Trace`] — which is what lets the
+//! streaming pipeline (`crate::stream`) replay batches concurrently with
+//! trace generation. [`simulate`] / [`simulate_fused`] /
+//! [`simulate_sizes`] remain the materialized-trace entry points.
 
 use crate::membership::Membership;
 use crate::slots::SlotList;
+use crate::stream::{FixedMembership, StreamingReplay};
 use databp_machine::PageSize;
 use databp_models::Counts;
-use databp_trace::{Event, ObjectDesc, Trace};
+use databp_trace::{ObjectDesc, Trace};
 use rustc_hash::FxHashMap;
 
 /// A live monitored object instance.
@@ -38,84 +59,367 @@ fn session_page(s: u32, page: u32) -> u64 {
     (u64::from(s) << 32) | u64::from(page)
 }
 
-/// Page-derived state for one page size.
+/// Page-derived state for one ladder size. Only the base (smallest)
+/// size carries a page index; coarser sizes keep protection counts and
+/// active-page-miss tallies of their own but share the base walk.
 struct SizeState {
     page_size: PageSize,
-    /// Whether this size maintains its own `pages` index. The second
-    /// size of a doubling pair (e.g. 8K over 4K) derives its page walk
-    /// from the first size's index — an 8K page is exactly the 4K
-    /// buddy pair `{P, P ^ 1}` — so indexing it would be pure
-    /// install/remove overhead.
-    indexed: bool,
-    /// Page -> slab indices of instances overlapping it, indexed
-    /// directly by page number. The machine's data space is 16 MiB
-    /// (4096 pages at 4K), so a flat array beats hashing on the
-    /// write path; it grows on demand so synthetic traces with larger
-    /// addresses stay correct.
-    pages: Vec<SlotList>,
-    /// Packed (session, page) -> active member-monitor count.
+    /// Packed (session, page) -> active member-monitor count, in this
+    /// size's page numbering.
     page_counts: FxHashMap<u64, u32>,
     // Per-session accumulators.
     apm: Vec<u64>,
     vm_protect: Vec<u64>,
     vm_unprotect: Vec<u64>,
-    // Event-stamped dedup state, private to this size's page walk.
-    last_touch: Vec<u64>,
-    inst_stamp: Vec<u64>,
-    /// Scratch: sessions touched by the current write (reused).
-    touched: Vec<u32>,
 }
 
-impl SizeState {
-    fn new(page_size: PageSize, n_sessions: usize, indexed: bool) -> SizeState {
-        SizeState {
-            page_size,
-            indexed,
-            // Pre-size for the machine's whole data space; traces from
-            // real workloads never grow this.
-            pages: if indexed {
-                vec![SlotList::default(); (databp_machine::MEM_SIZE >> page_size.shift()) as usize]
-            } else {
-                Vec::new()
-            },
-            page_counts: FxHashMap::default(),
-            apm: vec![0; n_sessions],
-            vm_protect: vec![0; n_sessions],
-            vm_unprotect: vec![0; n_sessions],
-            last_touch: vec![u64::MAX; n_sessions],
-            inst_stamp: Vec::new(),
-            touched: Vec::new(),
-        }
-    }
-}
-
-struct Engine<'m, M: Membership> {
-    membership: &'m M,
+/// The event-driven replay core: feed it install/remove/write events in
+/// program order (any batching), then read per-size, per-session
+/// [`Counts`]. Sessions may appear lazily — [`EngineCore::ensure_sessions`]
+/// grows every per-session accumulator — which is what dynamic
+/// session discovery during streaming needs.
+pub(crate) struct EngineCore {
+    base_shift: u32,
     sizes: Vec<SizeState>,
+    /// Base-size page -> slab indices of instances overlapping it,
+    /// indexed directly by page number. The machine's data space is
+    /// 16 MiB, so a flat array beats hashing on the write path; it
+    /// grows on demand so synthetic traces with larger addresses stay
+    /// correct.
+    pages: Vec<SlotList>,
+    /// One bit per base page, set iff `pages[p]` is nonempty. The whole
+    /// 16 MiB space fits in 512 bytes, so the all-miss write sweep (the
+    /// overwhelmingly common case) probes L1-resident state instead of
+    /// the ~100 KiB `pages` array — which matters most when replay
+    /// interleaves with the traced run and shares its cache.
+    occ: Vec<u64>,
     /// Slab of live instances; `None` slots are free.
     instances: Vec<Option<Instance>>,
     free: Vec<u32>,
     /// Live lookup by (object, install base address).
     live: FxHashMap<(ObjectDesc, u32), u32>,
-    /// Interned membership lists; `member_cache` maps each object
-    /// descriptor to an index here (all instantiations of a local share
-    /// one descriptor, so this interns per variable). Index-based
-    /// interning keeps the engine `Send`-friendly and makes an instance
-    /// 12 bytes.
-    member_cache: FxHashMap<ObjectDesc, u32>,
+    /// Interned membership lists (see [`EngineCore::intern`]).
     member_lists: Vec<Box<[u32]>>,
+    /// Per-instance write stamp + smallest level processed this stamp.
+    inst_stamp: Vec<u64>,
+    inst_min: Vec<u8>,
     // Per-session accumulators (page-size-independent).
     hits: Vec<u64>,
     installs: Vec<u64>,
     removes: Vec<u64>,
-    /// Shared across sizes: stamp of the last write that hit the
-    /// session (hits are page-size-independent, see module docs).
+    /// Stamp of the last write that hit the session (hits are
+    /// page-size-independent, see module docs).
     last_hit: Vec<u64>,
+    /// Stamp of the last write that touched the session at any size,
+    /// and the smallest level it was touched at.
+    last_touch: Vec<u64>,
+    touch_min: Vec<u8>,
+    /// Scratch: sessions touched by the current write (reused).
+    touched: Vec<u32>,
     total_writes: u64,
-    /// True when `sizes` is a doubling pair (`sizes[1]` pages are twice
-    /// `sizes[0]` pages): the write path then derives the second size's
-    /// page walk from the first size's index via buddy pages.
-    derived_pair: bool,
+    /// Write stamp, pre-incremented per write; 0 is the never-stamped
+    /// sentinel.
+    stamp: u64,
+    /// Scratch: per-size expanded base-page bounds of the current write.
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+}
+
+impl EngineCore {
+    /// A core counting at every size in `ladder`, which must be
+    /// nonempty and strictly ascending.
+    pub(crate) fn new(ladder: &[PageSize]) -> EngineCore {
+        assert!(!ladder.is_empty(), "page-size ladder must be nonempty");
+        assert!(
+            ladder.windows(2).all(|w| w[0].shift() < w[1].shift()),
+            "page-size ladder must be strictly ascending"
+        );
+        let base_shift = ladder[0].shift();
+        let n = ladder.len();
+        EngineCore {
+            base_shift,
+            sizes: ladder
+                .iter()
+                .map(|&ps| SizeState {
+                    page_size: ps,
+                    page_counts: FxHashMap::default(),
+                    apm: Vec::new(),
+                    vm_protect: Vec::new(),
+                    vm_unprotect: Vec::new(),
+                })
+                .collect(),
+            // Pre-size for the machine's whole data space; traces from
+            // real workloads never grow this.
+            pages: vec![SlotList::default(); (databp_machine::MEM_SIZE >> base_shift) as usize],
+            occ: vec![0; ((databp_machine::MEM_SIZE >> base_shift) as usize).div_ceil(64)],
+            instances: Vec::new(),
+            free: Vec::new(),
+            live: FxHashMap::default(),
+            member_lists: Vec::new(),
+            inst_stamp: Vec::new(),
+            inst_min: Vec::new(),
+            hits: Vec::new(),
+            installs: Vec::new(),
+            removes: Vec::new(),
+            last_hit: Vec::new(),
+            last_touch: Vec::new(),
+            touch_min: Vec::new(),
+            touched: Vec::new(),
+            total_writes: 0,
+            stamp: 0,
+            lo: vec![0; n],
+            hi: vec![0; n],
+        }
+    }
+
+    /// Grows every per-session accumulator to cover sessions `0..n`.
+    /// New sessions start with zeroed counters and never-stamped
+    /// sentinels, which is correct because they could not have been
+    /// touched by any event replayed before they existed.
+    pub(crate) fn ensure_sessions(&mut self, n: usize) {
+        if self.hits.len() >= n {
+            return;
+        }
+        self.hits.resize(n, 0);
+        self.installs.resize(n, 0);
+        self.removes.resize(n, 0);
+        self.last_hit.resize(n, 0);
+        self.last_touch.resize(n, 0);
+        self.touch_min.resize(n, 0);
+        for st in &mut self.sizes {
+            st.apm.resize(n, 0);
+            st.vm_protect.resize(n, 0);
+            st.vm_unprotect.resize(n, 0);
+        }
+    }
+
+    /// Interns a member-session list, returning its index for
+    /// [`EngineCore::install`]. Callers cache per object descriptor —
+    /// all instantiations of a local share one descriptor, so this
+    /// interns per variable.
+    pub(crate) fn intern(&mut self, sessions: &[u32]) -> u32 {
+        let i = self.member_lists.len() as u32;
+        self.member_lists.push(sessions.into());
+        i
+    }
+
+    pub(crate) fn install(&mut self, obj: ObjectDesc, ba: u32, ea: u32, members: u32) {
+        let EngineCore {
+            base_shift,
+            sizes,
+            pages,
+            occ,
+            instances,
+            free,
+            live,
+            member_lists,
+            inst_stamp,
+            inst_min,
+            installs,
+            ..
+        } = self;
+        let sessions = &member_lists[members as usize];
+        if sessions.is_empty() || ba >= ea {
+            return;
+        }
+        let slot = match free.pop() {
+            Some(s) => {
+                instances[s as usize] = Some(Instance { ba, ea, members });
+                s
+            }
+            None => {
+                instances.push(Some(Instance { ba, ea, members }));
+                // Stale stamps in reused slots are harmless: stamps
+                // strictly increase, so an old stamp never equals a
+                // later write's.
+                inst_stamp.push(0);
+                inst_min.push(0);
+                (instances.len() - 1) as u32
+            }
+        };
+        live.insert((obj, ba), slot);
+        for page in (ba >> *base_shift)..=((ea - 1) >> *base_shift) {
+            if page as usize >= pages.len() {
+                pages.resize(page as usize + 1, SlotList::default());
+                occ.resize(pages.len().div_ceil(64), 0);
+            }
+            pages[page as usize].push(slot);
+            occ[(page >> 6) as usize] |= 1u64 << (page & 63);
+        }
+        for st in sizes.iter_mut() {
+            for page in st.page_size.pages_of_range(ba, ea) {
+                for &s in sessions.iter() {
+                    let cnt = st.page_counts.entry(session_page(s, page)).or_insert(0);
+                    *cnt += 1;
+                    if *cnt == 1 {
+                        st.vm_protect[s as usize] += 1;
+                    }
+                }
+            }
+        }
+        for &s in sessions.iter() {
+            installs[s as usize] += 1;
+        }
+    }
+
+    pub(crate) fn remove(&mut self, obj: ObjectDesc, ba: u32) {
+        let Some(slot) = self.live.remove(&(obj, ba)) else {
+            // Object not monitored by any session.
+            return;
+        };
+        let inst = self.instances[slot as usize]
+            .take()
+            .expect("live slot is occupied");
+        self.free.push(slot);
+        let sessions = &self.member_lists[inst.members as usize];
+        for page in (inst.ba >> self.base_shift)..=((inst.ea - 1) >> self.base_shift) {
+            let list = &mut self.pages[page as usize];
+            list.swap_remove_value(slot);
+            if list.is_empty() {
+                self.occ[(page >> 6) as usize] &= !(1u64 << (page & 63));
+            }
+        }
+        for st in &mut self.sizes {
+            for page in st.page_size.pages_of_range(inst.ba, inst.ea) {
+                for &s in sessions.iter() {
+                    let key = session_page(s, page);
+                    let cnt = st
+                        .page_counts
+                        .get_mut(&key)
+                        .expect("page count exists for member session");
+                    *cnt -= 1;
+                    if *cnt == 0 {
+                        st.page_counts.remove(&key);
+                        st.vm_unprotect[s as usize] += 1;
+                    }
+                }
+            }
+        }
+        for &s in sessions.iter() {
+            self.removes[s as usize] += 1;
+        }
+    }
+
+    pub(crate) fn write(&mut self, ba: u32, ea: u32) {
+        self.total_writes += 1;
+        if ba >= ea {
+            return;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let n = self.sizes.len();
+        let EngineCore {
+            base_shift,
+            sizes,
+            pages,
+            occ,
+            instances,
+            member_lists,
+            inst_stamp,
+            inst_min,
+            hits,
+            last_hit,
+            last_touch,
+            touch_min,
+            touched,
+            lo,
+            hi,
+            ..
+        } = self;
+        let top_shift = sizes[n - 1].page_size.shift();
+        let d_top = top_shift - *base_shift;
+        let lo_top = (ba >> top_shift) << d_top;
+        let hi_top = (((ea - 1) >> top_shift) << d_top) | ((1u32 << d_top) - 1);
+        let mut ranges_ready = false;
+        touched.clear();
+        // One sweep of the widest range; the level `m` of each base page
+        // is the smallest size whose (nested) range contains it. The
+        // per-size bounds are only needed once a monitored page turns
+        // up — the overwhelmingly common all-empty sweep skips them.
+        for page in lo_top..=hi_top {
+            let Some(&word) = occ.get((page >> 6) as usize) else {
+                break; // the bitmap is contiguous: no monitors this high
+            };
+            if word & (1u64 << (page & 63)) == 0 {
+                continue;
+            }
+            // A set bit guarantees the page exists and is nonempty.
+            let list = &pages[page as usize];
+            if !ranges_ready {
+                for (k, st) in sizes.iter().enumerate() {
+                    let shift = st.page_size.shift();
+                    let d = shift - *base_shift;
+                    lo[k] = (ba >> shift) << d;
+                    hi[k] = (((ea - 1) >> shift) << d) | ((1u32 << d) - 1);
+                }
+                ranges_ready = true;
+            }
+            let mut m = 0usize;
+            while page < lo[m] || page > hi[m] {
+                m += 1;
+            }
+            for &slot in list.as_slice() {
+                let si = slot as usize;
+                if inst_stamp[si] == stamp && usize::from(inst_min[si]) <= m {
+                    continue; // spans pages; already processed at ≤ this level
+                }
+                inst_stamp[si] = stamp;
+                inst_min[si] = m as u8;
+                let inst = instances[si].expect("indexed slot live");
+                // Byte overlap implies a shared base page at level 0, so
+                // checking only there still finds every hit.
+                let overlap = m == 0 && ba < inst.ea && inst.ba < ea;
+                for &s in member_lists[inst.members as usize].iter() {
+                    let su = s as usize;
+                    if last_touch[su] != stamp {
+                        last_touch[su] = stamp;
+                        touch_min[su] = m as u8;
+                        touched.push(s);
+                    } else if (m as u8) < touch_min[su] {
+                        touch_min[su] = m as u8;
+                    }
+                    if overlap {
+                        last_hit[su] = stamp;
+                    }
+                }
+            }
+        }
+        for &s in touched.iter() {
+            let su = s as usize;
+            if last_hit[su] == stamp {
+                // Page-size-independent; counted once and suppressing
+                // the active-page miss at every size.
+                hits[su] += 1;
+            } else {
+                // Touched at level m ⇒ touched at every coarser size.
+                for st in sizes[usize::from(touch_min[su])..].iter_mut() {
+                    st.apm[su] += 1;
+                }
+            }
+        }
+    }
+
+    /// Per-size, per-session counting variables for sessions `0..n`
+    /// (result `[k][s]` is ladder size `k`, session `s`).
+    pub(crate) fn counts(&mut self, n: usize) -> Vec<Vec<Counts>> {
+        self.ensure_sessions(n);
+        self.sizes
+            .iter()
+            .map(|st| {
+                (0..n)
+                    .map(|s| Counts {
+                        install: self.installs[s],
+                        remove: self.removes[s],
+                        hit: self.hits[s],
+                        miss: self.total_writes - self.hits[s],
+                        vm_protect: st.vm_protect[s],
+                        vm_unprotect: st.vm_unprotect[s],
+                        vm_active_page_miss: st.apm[s],
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 /// Replays `trace` once, producing per-session counting variables at the
@@ -143,316 +447,40 @@ pub fn simulate_fused<M: Membership>(trace: &Trace, membership: &M) -> (Vec<Coun
 
 /// Replays `trace` once, producing per-session counting variables for
 /// **each** page size in `sizes` (result `[i]` corresponds to
-/// `sizes[i]`). One replay is one trace walk regardless of how many
-/// page sizes are requested.
+/// `sizes[i]`; duplicates and any ordering are fine — the engine sorts
+/// and dedups internally). One replay is one trace walk regardless of
+/// how many page sizes are requested.
 pub fn simulate_sizes<M: Membership>(
     trace: &Trace,
     membership: &M,
     sizes: &[PageSize],
 ) -> Vec<Vec<Counts>> {
-    let n = membership.count();
-    let derived_pair = sizes.len() == 2 && sizes[1].shift() == sizes[0].shift() + 1;
-    let mut e = Engine {
-        membership,
-        sizes: sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &ps)| SizeState::new(ps, n, !(derived_pair && i == 1)))
-            .collect(),
-        instances: Vec::new(),
-        free: Vec::new(),
-        live: FxHashMap::default(),
-        member_cache: FxHashMap::default(),
-        member_lists: Vec::new(),
-        hits: vec![0; n],
-        installs: vec![0; n],
-        removes: vec![0; n],
-        last_hit: vec![u64::MAX; n],
-        total_writes: 0,
-        derived_pair,
-    };
-    let _replay_timer = databp_telemetry::time!("sim.replay");
-    databp_telemetry::count!("sim.replays");
-    databp_telemetry::count!("sim.page_sizes.fused", sizes.len() as u64);
-    databp_telemetry::count!("sim.sessions.simulated", n as u64);
-    databp_telemetry::count!("sim.events.replayed", trace.events().len() as u64);
-    let mut scratch = Vec::new();
-    for (idx, ev) in trace.events().iter().enumerate() {
-        let stamp = idx as u64;
-        match *ev {
-            Event::Install { obj, ba, ea } => e.install(obj, ba, ea, &mut scratch),
-            Event::Remove { obj, ba, .. } => e.remove(obj, ba),
-            Event::Write { ba, ea, .. } => e.write(ba, ea, stamp),
-            Event::Enter { .. } | Event::Exit { .. } => {}
-        }
+    if sizes.is_empty() {
+        return Vec::new();
     }
-    e.sizes
+    let mut ladder = sizes.to_vec();
+    ladder.sort_unstable_by_key(|ps| ps.shift());
+    ladder.dedup();
+    let mut replay = StreamingReplay::new(FixedMembership::new(membership), &ladder);
+    replay.feed(trace.events());
+    let (_, counts) = replay.finish();
+    sizes
         .iter()
-        .map(|st| {
-            (0..n)
-                .map(|s| Counts {
-                    install: e.installs[s],
-                    remove: e.removes[s],
-                    hit: e.hits[s],
-                    miss: e.total_writes - e.hits[s],
-                    vm_protect: st.vm_protect[s],
-                    vm_unprotect: st.vm_unprotect[s],
-                    vm_active_page_miss: st.apm[s],
-                })
-                .collect()
+        .map(|ps| {
+            let k = ladder
+                .iter()
+                .position(|l| l == ps)
+                .expect("requested size is in the deduped ladder");
+            counts[k].clone()
         })
         .collect()
-}
-
-impl<'m, M: Membership> Engine<'m, M> {
-    fn members(&mut self, obj: &ObjectDesc, scratch: &mut Vec<u32>) -> u32 {
-        if let Some(&i) = self.member_cache.get(obj) {
-            return i;
-        }
-        self.membership.sessions_of(obj, scratch);
-        let i = self.member_lists.len() as u32;
-        self.member_lists.push(scratch.as_slice().into());
-        self.member_cache.insert(*obj, i);
-        i
-    }
-
-    fn install(&mut self, obj: ObjectDesc, ba: u32, ea: u32, scratch: &mut Vec<u32>) {
-        let members = self.members(&obj, scratch);
-        let sessions = &self.member_lists[members as usize];
-        if sessions.is_empty() || ba >= ea {
-            return;
-        }
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.instances[s as usize] = Some(Instance { ba, ea, members });
-                s
-            }
-            None => {
-                self.instances.push(Some(Instance { ba, ea, members }));
-                for st in &mut self.sizes {
-                    st.inst_stamp.push(u64::MAX);
-                }
-                (self.instances.len() - 1) as u32
-            }
-        };
-        self.live.insert((obj, ba), slot);
-        for st in &mut self.sizes {
-            for page in st.page_size.pages_of_range(ba, ea) {
-                if st.indexed {
-                    if page as usize >= st.pages.len() {
-                        st.pages.resize(page as usize + 1, SlotList::default());
-                    }
-                    st.pages[page as usize].push(slot);
-                }
-                for &s in sessions.iter() {
-                    let cnt = st.page_counts.entry(session_page(s, page)).or_insert(0);
-                    *cnt += 1;
-                    if *cnt == 1 {
-                        st.vm_protect[s as usize] += 1;
-                    }
-                }
-            }
-        }
-        for &s in sessions.iter() {
-            self.installs[s as usize] += 1;
-        }
-    }
-
-    fn remove(&mut self, obj: ObjectDesc, ba: u32) {
-        let Some(slot) = self.live.remove(&(obj, ba)) else {
-            // Object not monitored by any session.
-            return;
-        };
-        let inst = self.instances[slot as usize]
-            .take()
-            .expect("live slot is occupied");
-        self.free.push(slot);
-        let sessions = &self.member_lists[inst.members as usize];
-        for st in &mut self.sizes {
-            for page in st.page_size.pages_of_range(inst.ba, inst.ea) {
-                if st.indexed {
-                    st.pages[page as usize].swap_remove_value(slot);
-                }
-                for &s in sessions.iter() {
-                    let key = session_page(s, page);
-                    let cnt = st
-                        .page_counts
-                        .get_mut(&key)
-                        .expect("page count exists for member session");
-                    *cnt -= 1;
-                    if *cnt == 0 {
-                        st.page_counts.remove(&key);
-                        st.vm_unprotect[s as usize] += 1;
-                    }
-                }
-            }
-        }
-        for &s in sessions.iter() {
-            self.removes[s as usize] += 1;
-        }
-    }
-
-    fn write(&mut self, ba: u32, ea: u32, stamp: u64) {
-        self.total_writes += 1;
-        if ba >= ea {
-            return;
-        }
-        if self.derived_pair {
-            self.write_derived_pair(ba, ea, stamp);
-            return;
-        }
-        let Engine {
-            sizes,
-            instances,
-            member_lists,
-            hits,
-            last_hit,
-            ..
-        } = self;
-        for (size_idx, st) in sizes.iter_mut().enumerate() {
-            let SizeState {
-                page_size,
-                pages,
-                apm,
-                last_touch,
-                inst_stamp,
-                touched,
-                ..
-            } = st;
-            touched.clear();
-            for page in page_size.pages_of_range(ba, ea) {
-                let Some(list) = pages.get(page as usize) else {
-                    continue; // beyond every install: no monitors there
-                };
-                for &slot in list.as_slice() {
-                    if inst_stamp[slot as usize] == stamp {
-                        continue; // instance spans pages; already processed
-                    }
-                    inst_stamp[slot as usize] = stamp;
-                    let inst = instances[slot as usize].expect("indexed slot live");
-                    // Every size's walk finds every overlapping instance
-                    // (overlap ⇒ a shared page at any size), so the first
-                    // sweep already stamped `last_hit` for all hit
-                    // sessions; later sweeps only classify.
-                    let overlap = size_idx == 0 && ba < inst.ea && inst.ba < ea;
-                    for &s in member_lists[inst.members as usize].iter() {
-                        if last_touch[s as usize] != stamp {
-                            last_touch[s as usize] = stamp;
-                            touched.push(s);
-                        }
-                        if overlap {
-                            last_hit[s as usize] = stamp;
-                        }
-                    }
-                }
-            }
-            for &s in touched.iter() {
-                if last_hit[s as usize] == stamp {
-                    // Page-size-independent; counted once, in the first
-                    // size's sweep (a hit session is touched at every
-                    // size — see module docs).
-                    if size_idx == 0 {
-                        hits[s as usize] += 1;
-                    }
-                } else {
-                    apm[s as usize] += 1;
-                }
-            }
-        }
-    }
-
-    /// Write path for a doubling size pair (e.g. 4K + 8K): one walk of
-    /// the small-size page index serves both sizes.
-    ///
-    /// A large page is exactly the small-page buddy pair `{P, P ^ 1}`,
-    /// so the large-size view of this write is the instances on the
-    /// write's own small pages (already visited for the small size)
-    /// plus the instances on their buddy pages. Buddy-only instances
-    /// have no byte in the write's own pages, hence can never overlap
-    /// the write — they contribute large-size touches (possible
-    /// active-page misses), never hits.
-    fn write_derived_pair(&mut self, ba: u32, ea: u32, stamp: u64) {
-        let (small, large) = self.sizes.split_at_mut(1);
-        let small = &mut small[0];
-        let large = &mut large[0];
-        let instances = &self.instances;
-        let member_lists = &self.member_lists;
-        small.touched.clear();
-        large.touched.clear();
-        let first = ba >> small.page_size.shift();
-        let last = (ea - 1) >> small.page_size.shift();
-        // Own pages: candidates for overlap; touch both sizes.
-        for page in first..=last {
-            let Some(list) = small.pages.get(page as usize) else {
-                continue;
-            };
-            for &slot in list.as_slice() {
-                if small.inst_stamp[slot as usize] == stamp {
-                    continue; // instance spans pages; already processed
-                }
-                small.inst_stamp[slot as usize] = stamp;
-                let inst = instances[slot as usize].expect("indexed slot live");
-                let overlap = ba < inst.ea && inst.ba < ea;
-                for &s in member_lists[inst.members as usize].iter() {
-                    if small.last_touch[s as usize] != stamp {
-                        small.last_touch[s as usize] = stamp;
-                        small.touched.push(s);
-                    }
-                    if large.last_touch[s as usize] != stamp {
-                        large.last_touch[s as usize] = stamp;
-                        large.touched.push(s);
-                    }
-                    if overlap {
-                        self.last_hit[s as usize] = stamp;
-                    }
-                }
-            }
-        }
-        // Buddy pages: complete the large-size view; touch it only.
-        for page in first..=last {
-            let buddy = page ^ 1;
-            if buddy >= first && buddy <= last {
-                continue; // buddy is an own page, already walked above
-            }
-            let Some(list) = small.pages.get(buddy as usize) else {
-                continue;
-            };
-            for &slot in list.as_slice() {
-                if small.inst_stamp[slot as usize] == stamp {
-                    continue; // already visited via an own page
-                }
-                if large.inst_stamp[slot as usize] == stamp {
-                    continue; // already visited via another buddy page
-                }
-                large.inst_stamp[slot as usize] = stamp;
-                let inst = instances[slot as usize].expect("indexed slot live");
-                for &s in member_lists[inst.members as usize].iter() {
-                    if large.last_touch[s as usize] != stamp {
-                        large.last_touch[s as usize] = stamp;
-                        large.touched.push(s);
-                    }
-                }
-            }
-        }
-        for &s in small.touched.iter() {
-            if self.last_hit[s as usize] == stamp {
-                self.hits[s as usize] += 1;
-            } else {
-                small.apm[s as usize] += 1;
-            }
-        }
-        for &s in large.touched.iter() {
-            if self.last_hit[s as usize] != stamp {
-                large.apm[s as usize] += 1;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::membership::TableMembership;
+    use databp_trace::Event;
 
     fn g(id: u32) -> ObjectDesc {
         ObjectDesc::Global { id }
@@ -555,6 +583,48 @@ mod tests {
         let (c4, c8) = simulate_fused(&trace, &m);
         assert_eq!(c4, simulate(&trace, &m, PageSize::K4));
         assert_eq!(c8, simulate(&trace, &m, PageSize::K8));
+    }
+
+    #[test]
+    fn ladder_matches_separate_replays_and_any_order() {
+        let m = TableMembership {
+            entries: vec![(g(0), vec![0, 1]), (g(1), vec![1])],
+            sessions: 2,
+        };
+        let trace = Trace::from_events(vec![
+            Event::Install {
+                obj: g(0),
+                ba: 0x0ff0,
+                ea: 0x1010,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x7ffc,
+                ea: 0x8004, // spans 16K pages 1–2, 32K page 0–1
+            },
+            write(0x1000, 0x1004),
+            write(0x3800, 0x3804),   // APM at 16K/32K only for g(0)
+            write(0x9000, 0x9004),   // near g(1): APM at coarse sizes
+            write(0x20000, 0x20004), // plain miss everywhere
+            Event::Remove {
+                obj: g(0),
+                ba: 0x0ff0,
+                ea: 0x1010,
+            },
+            write(0x0ff0, 0x0ff4),
+        ]);
+        let ladder = [PageSize::K4, PageSize::K8, PageSize::K16, PageSize::K32];
+        let fused = simulate_sizes(&trace, &m, &ladder);
+        for (k, &ps) in ladder.iter().enumerate() {
+            assert_eq!(fused[k], simulate(&trace, &m, ps), "size {ps}");
+        }
+        // Order and duplicates in the request don't change the results.
+        let shuffled = [PageSize::K32, PageSize::K4, PageSize::K4, PageSize::K16];
+        let out = simulate_sizes(&trace, &m, &shuffled);
+        assert_eq!(out[0], fused[3]);
+        assert_eq!(out[1], fused[0]);
+        assert_eq!(out[2], fused[0]);
+        assert_eq!(out[3], fused[2]);
     }
 
     #[test]

@@ -14,20 +14,29 @@
 //!
 //! Page-size-dependent counters (`VMProtectσ`, `VMUnprotectσ`,
 //! `VMActivePageMissσ`) are kept per page size inside the engine, so one
-//! replay ([`simulate_fused`]) yields both the VM-4K and VM-8K columns
-//! the paper reports; [`simulate`] remains for single-size callers and
-//! [`simulate_sizes`] generalizes to any page-size list. Hot paths use a
-//! vendored FxHash hasher and inline per-page slot lists (see
-//! `slots.rs`).
+//! replay yields a whole *page-size ladder* of columns — any set of
+//! power-of-two sizes, derived from a single page index at the smallest
+//! size. [`simulate`] remains for single-size callers,
+//! [`simulate_fused`] for the paper's VM-4K / VM-8K pair, and
+//! [`simulate_sizes`] for arbitrary ladders. Hot paths use a vendored
+//! FxHash hasher and inline per-page slot lists (see `slots.rs`).
+//!
+//! The engine is event-driven: [`StreamingReplay`] accepts event
+//! batches as phase 1 produces them, overlapping replay with trace
+//! generation (see `databp-trace`'s `batch_channel`). Online session
+//! membership goes through [`StreamMembership`]; [`FixedMembership`]
+//! adapts a precomputed [`Membership`] table.
 
 mod engine;
 mod membership;
 mod naive;
 mod slots;
 mod soundness;
+mod stream;
 
 pub use engine::{simulate, simulate_fused, simulate_sizes};
 pub use membership::{Membership, TableMembership};
 pub use naive::simulate_naive;
 pub use slots::SlotList;
 pub use soundness::{verify_elided_stores, ElisionViolation};
+pub use stream::{FixedMembership, StreamMembership, StreamingReplay};

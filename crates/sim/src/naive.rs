@@ -80,16 +80,18 @@ pub fn simulate_naive<M: Membership>(
     c
 }
 
+/// Shared proptest generators for engine-vs-oracle equivalence tests
+/// (also used by the streaming replay's tests).
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::engine::simulate;
+pub(crate) mod testgen {
     use crate::membership::TableMembership;
+    use databp_trace::{Event, ObjectDesc, Trace};
     use proptest::prelude::*;
+    use std::collections::HashMap;
 
     /// Random traces where every object is eventually installed before
     /// use and removed at most once per install.
-    fn arb_trace_and_membership() -> impl Strategy<Value = (Trace, TableMembership)> {
+    pub(crate) fn arb_trace_and_membership() -> impl Strategy<Value = (Trace, TableMembership)> {
         // A small universe of objects and a small address space so that
         // page sharing and overlap happen constantly.
         let objs: Vec<ObjectDesc> = vec![
@@ -174,6 +176,14 @@ mod tests {
             (tr, membership)
         })
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testgen::arb_trace_and_membership;
+    use super::*;
+    use crate::engine::{simulate, simulate_sizes};
+    use proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
@@ -210,6 +220,33 @@ mod tests {
                     c8[s as usize], slow8,
                     "fused 8K divergence for session {}", s
                 );
+            }
+        }
+
+        /// The generalized ladder at `[4K, 8K]` is byte-identical to the
+        /// dedicated dual-size entry point.
+        #[test]
+        fn ladder_pair_matches_fused((trace, membership) in arb_trace_and_membership()) {
+            let ladder = simulate_sizes(&trace, &membership, &[PageSize::K4, PageSize::K8]);
+            let (c4, c8) = crate::engine::simulate_fused(&trace, &membership);
+            prop_assert_eq!(&ladder[0], &c4);
+            prop_assert_eq!(&ladder[1], &c8);
+        }
+
+        /// A four-size ladder matches the naive oracle at every size —
+        /// one trace walk, four sets of page-derived counters.
+        #[test]
+        fn ladder_matches_naive_oracle((trace, membership) in arb_trace_and_membership()) {
+            let ladder = [PageSize::K4, PageSize::K8, PageSize::K16, PageSize::K32];
+            let fused = simulate_sizes(&trace, &membership, &ladder);
+            for (k, &ps) in ladder.iter().enumerate() {
+                for s in 0..membership.sessions as u32 {
+                    let slow = simulate_naive(&trace, &membership, ps, s);
+                    prop_assert_eq!(
+                        fused[k][s as usize], slow,
+                        "ladder divergence for session {} at page size {}", s, ps
+                    );
+                }
             }
         }
     }

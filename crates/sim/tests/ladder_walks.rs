@@ -1,0 +1,95 @@
+//! Pins the fused ladder's headline property end to end: simulating a
+//! four-size page ladder costs exactly one trace walk (observed through
+//! the telemetry counters, not inferred from the implementation) while
+//! every size's counters still match the naive per-session oracle.
+//!
+//! Lives in its own integration-test binary because the telemetry
+//! registry is process-global: lib tests run replays concurrently and
+//! would perturb the counters.
+
+use databp_machine::PageSize;
+use databp_sim::{simulate_naive, simulate_sizes, TableMembership};
+use databp_trace::{Event, ObjectDesc, Trace};
+
+fn g(id: u32) -> ObjectDesc {
+    ObjectDesc::Global { id }
+}
+
+fn write(ba: u32, ea: u32) -> Event {
+    Event::Write { pc: 0, ba, ea }
+}
+
+#[test]
+fn four_size_ladder_is_one_trace_walk_and_matches_oracle() {
+    let membership = TableMembership {
+        entries: vec![(g(0), vec![0, 1]), (g(1), vec![1]), (g(2), vec![2])],
+        sessions: 3,
+    };
+    let trace = Trace::from_events(vec![
+        Event::Install {
+            obj: g(0),
+            ba: 0x0ff0,
+            ea: 0x1010,
+        },
+        Event::Install {
+            obj: g(1),
+            ba: 0x7ffc,
+            ea: 0x8004,
+        },
+        Event::Install {
+            obj: g(2),
+            ba: 0x2_0000,
+            ea: 0x2_0040,
+        },
+        write(0x1000, 0x1004),
+        write(0x3800, 0x3804),
+        write(0x9000, 0x9004),
+        write(0x2_0000, 0x2_0004),
+        write(0x4_0000, 0x4_0004),
+        Event::Remove {
+            obj: g(0),
+            ba: 0x0ff0,
+            ea: 0x1010,
+        },
+        write(0x0ff0, 0x0ff4),
+        Event::Remove {
+            obj: g(1),
+            ba: 0x7ffc,
+            ea: 0x8004,
+        },
+        Event::Remove {
+            obj: g(2),
+            ba: 0x2_0000,
+            ea: 0x2_0040,
+        },
+    ]);
+
+    databp_telemetry::set_enabled(true);
+    databp_telemetry::global().reset();
+    let ladder = [PageSize::K4, PageSize::K8, PageSize::K16, PageSize::K32];
+    let fused = simulate_sizes(&trace, &membership, &ladder);
+    let snap = databp_telemetry::global().snapshot();
+    databp_telemetry::set_enabled(false);
+
+    assert_eq!(
+        snap.counter("sim.trace_walks"),
+        Some(1),
+        "four page sizes must share a single trace walk"
+    );
+    assert_eq!(snap.counter("sim.replays"), Some(1));
+    assert_eq!(snap.counter("sim.page_sizes.fused"), Some(4));
+    assert_eq!(
+        snap.counter("sim.events.replayed"),
+        Some(trace.events().len() as u64)
+    );
+
+    for (k, &ps) in ladder.iter().enumerate() {
+        for s in 0..membership.sessions as u32 {
+            assert_eq!(
+                fused[k][s as usize],
+                simulate_naive(&trace, &membership, ps, s),
+                "session {s} diverges from the oracle at page size {ps}"
+            );
+        }
+    }
+}

@@ -119,6 +119,23 @@ pub struct TraceStats {
     pub heap_objects: u64,
 }
 
+/// A destination for trace events as they are generated.
+///
+/// The tracer is generic over its sink so the same instrumentation
+/// serves both pipelines: [`Trace`] materializes the whole event list
+/// (the paper's two sequential phases), while `StreamSink` batches
+/// events into a channel consumed concurrently by the replay engine.
+pub trait EventSink {
+    /// Accepts the next event, in program order.
+    fn emit(&mut self, ev: Event);
+}
+
+impl EventSink for Trace {
+    fn emit(&mut self, ev: Event) {
+        self.push(ev);
+    }
+}
+
 /// A complete program event trace: phase-1 output, phase-2 input.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {

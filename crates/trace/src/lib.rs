@@ -16,7 +16,12 @@
 //!   the dynamic call context of each allocation);
 //! * [`Tracer`] — a [`databp_machine::Hooks`] implementation that emits a
 //!   trace from an instrumented run, given per-function frame layouts and
-//!   the global table ([`FrameMap`], [`GlobalSpec`]);
+//!   the global table ([`FrameMap`], [`GlobalSpec`]). The tracer is
+//!   generic over an [`EventSink`], so the same instrumentation can
+//!   materialize a [`Trace`] or stream batches to a concurrent consumer;
+//! * the streaming pipeline ([`batch_channel`], [`EventBatch`],
+//!   [`StreamSink`]) — a bounded SPSC channel that lets phase 2 replay
+//!   events while phase 1 is still generating them;
 //! * binary and text codecs ([`write_binary`] / [`read_binary`],
 //!   [`write_text`] / [`read_text`]).
 //!
@@ -35,8 +40,10 @@
 
 mod codec;
 mod event;
+mod stream;
 mod tracer;
 
 pub use codec::{read_binary, read_text, write_binary, write_text, TraceCodecError};
-pub use event::{Event, ObjectDesc, Trace, TraceStats};
+pub use event::{Event, EventSink, ObjectDesc, Trace, TraceStats};
+pub use stream::{batch_channel, BatchReceiver, BatchSender, EventBatch, StreamSink};
 pub use tracer::{FrameMap, FrameVar, GlobalSpec, Tracer};

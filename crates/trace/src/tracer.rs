@@ -12,7 +12,7 @@
 //! * a [`GlobalSpec`] table — address ranges of globals and
 //!   function-statics, installed once at run start.
 
-use crate::event::{Event, ObjectDesc, Trace};
+use crate::event::{Event, EventSink, ObjectDesc, Trace};
 use databp_machine::{Hooks, StoreEvent, CODE_BASE};
 use std::collections::HashMap;
 
@@ -96,11 +96,16 @@ pub struct GlobalSpec {
 /// [`Tracer::finish`] afterwards (it unwinds outstanding frames, frees
 /// live heap objects, and removes globals so every `Install` has a
 /// matching `Remove`).
+///
+/// The tracer is generic over its [`EventSink`]: [`Tracer::new`] records
+/// into a materialized [`Trace`], while [`Tracer::with_sink`] streams the
+/// same events into any sink (e.g. `StreamSink`, which feeds the replay
+/// engine concurrently).
 #[derive(Debug)]
-pub struct Tracer {
+pub struct Tracer<S: EventSink = Trace> {
     frame_map: FrameMap,
     globals: Vec<GlobalSpec>,
-    trace: Trace,
+    sink: S,
     /// Stack of (fid, fp) for frames currently live.
     frames: Vec<(u16, u32)>,
     /// Live heap objects: seq -> (ba, ea).
@@ -112,14 +117,26 @@ pub struct Tracer {
     begun: bool,
 }
 
-impl Tracer {
+impl Tracer<Trace> {
     /// Creates a tracer for a program with the given frame layouts and
-    /// globals.
+    /// globals, recording into a materialized [`Trace`].
     pub fn new(frame_map: FrameMap, globals: Vec<GlobalSpec>) -> Self {
+        Tracer::with_sink(frame_map, globals, Trace::new())
+    }
+
+    /// The trace recorded so far (mainly for tests).
+    pub fn trace(&self) -> &Trace {
+        &self.sink
+    }
+}
+
+impl<S: EventSink> Tracer<S> {
+    /// Creates a tracer emitting into `sink`.
+    pub fn with_sink(frame_map: FrameMap, globals: Vec<GlobalSpec>, sink: S) -> Self {
         Tracer {
             frame_map,
             globals,
-            trace: Trace::new(),
+            sink,
             frames: Vec::new(),
             live_heap: HashMap::new(),
             untraced_pcs: UntracedPcs::default(),
@@ -143,7 +160,7 @@ impl Tracer {
         assert!(!self.begun, "Tracer::begin called twice");
         self.begun = true;
         for g in &self.globals {
-            self.trace.push(Event::Install {
+            self.sink.emit(Event::Install {
                 obj: ObjectDesc::Global { id: g.id },
                 ba: g.ba,
                 ea: g.ea,
@@ -153,37 +170,32 @@ impl Tracer {
 
     /// Closes the trace: removes monitors for any still-live frames
     /// (program may have exited from a nested call), live heap objects,
-    /// and globals. Returns the finished trace.
-    pub fn finish(mut self) -> Trace {
+    /// and globals. Returns the sink.
+    pub fn finish(mut self) -> S {
         while let Some((fid, fp)) = self.frames.pop() {
-            Self::emit_frame(&self.frame_map, &mut self.trace, fid, fp, false);
-            self.trace.push(Event::Exit { func: fid });
+            Self::emit_frame(&self.frame_map, &mut self.sink, fid, fp, false);
+            self.sink.emit(Event::Exit { func: fid });
         }
         let mut live: Vec<(u32, (u32, u32))> = self.live_heap.drain().collect();
         live.sort_unstable();
         for (seq, (ba, ea)) in live {
-            self.trace.push(Event::Remove {
+            self.sink.emit(Event::Remove {
                 obj: ObjectDesc::Heap { seq },
                 ba,
                 ea,
             });
         }
         for g in self.globals.iter().rev() {
-            self.trace.push(Event::Remove {
+            self.sink.emit(Event::Remove {
                 obj: ObjectDesc::Global { id: g.id },
                 ba: g.ba,
                 ea: g.ea,
             });
         }
-        self.trace
+        self.sink
     }
 
-    /// The trace recorded so far (mainly for tests).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    fn emit_frame(map: &FrameMap, trace: &mut Trace, fid: u16, fp: u32, install: bool) {
+    fn emit_frame(map: &FrameMap, sink: &mut S, fid: u16, fp: u32, install: bool) {
         for v in map.vars(fid) {
             let ba = fp.wrapping_add(v.offset as u32);
             let ea = ba + v.size;
@@ -191,7 +203,7 @@ impl Tracer {
                 func: fid,
                 var: v.var,
             };
-            trace.push(if install {
+            sink.emit(if install {
                 Event::Install { obj, ba, ea }
             } else {
                 Event::Remove { obj, ba, ea }
@@ -200,12 +212,12 @@ impl Tracer {
     }
 }
 
-impl Hooks for Tracer {
+impl<S: EventSink> Hooks for Tracer<S> {
     fn on_store(&mut self, ev: &StoreEvent) {
         if self.untraced_pcs.contains(ev.pc) {
             return;
         }
-        self.trace.push(Event::Write {
+        self.sink.emit(Event::Write {
             pc: ev.pc,
             ba: ev.addr,
             ea: ev.addr + ev.len,
@@ -214,8 +226,8 @@ impl Hooks for Tracer {
 
     fn on_enter(&mut self, fid: u16, fp: u32, _sp: u32) {
         self.frames.push((fid, fp));
-        self.trace.push(Event::Enter { func: fid });
-        Self::emit_frame(&self.frame_map, &mut self.trace, fid, fp, true);
+        self.sink.emit(Event::Enter { func: fid });
+        Self::emit_frame(&self.frame_map, &mut self.sink, fid, fp, true);
     }
 
     fn on_exit(&mut self, fid: u16, fp: u32, _sp: u32) {
@@ -226,13 +238,13 @@ impl Hooks for Tracer {
             }
             None => debug_assert!(false, "exit with no live frame"),
         }
-        Self::emit_frame(&self.frame_map, &mut self.trace, fid, fp, false);
-        self.trace.push(Event::Exit { func: fid });
+        Self::emit_frame(&self.frame_map, &mut self.sink, fid, fp, false);
+        self.sink.emit(Event::Exit { func: fid });
     }
 
     fn on_heap_alloc(&mut self, seq: u32, ba: u32, ea: u32) {
         self.live_heap.insert(seq, (ba, ea));
-        self.trace.push(Event::Install {
+        self.sink.emit(Event::Install {
             obj: ObjectDesc::Heap { seq },
             ba,
             ea,
@@ -241,7 +253,7 @@ impl Hooks for Tracer {
 
     fn on_heap_free(&mut self, seq: u32, ba: u32, ea: u32) {
         self.live_heap.remove(&seq);
-        self.trace.push(Event::Remove {
+        self.sink.emit(Event::Remove {
             obj: ObjectDesc::Heap { seq },
             ba,
             ea,
@@ -251,12 +263,12 @@ impl Hooks for Tracer {
     fn on_heap_realloc(&mut self, seq: u32, old: (u32, u32), new: (u32, u32)) {
         self.live_heap.insert(seq, new);
         let obj = ObjectDesc::Heap { seq };
-        self.trace.push(Event::Remove {
+        self.sink.emit(Event::Remove {
             obj,
             ba: old.0,
             ea: old.1,
         });
-        self.trace.push(Event::Install {
+        self.sink.emit(Event::Install {
             obj,
             ba: new.0,
             ea: new.1,

@@ -17,10 +17,14 @@
 //! Every workload is deterministic (embedded LCG seeds) and parameterized
 //! by machine arguments so tests can run scaled-down instances.
 
-use databp_machine::{Machine, MachineError, StopReason};
+use databp_machine::{Machine, MachineError, StopReason, StoreBatcher};
 use databp_tinyc::{compile, Compiled, Options};
-use databp_trace::{Trace, Tracer};
+use databp_trace::{EventSink, Trace, Tracer};
 use std::sync::OnceLock;
+
+/// Store events are coalesced through a [`StoreBatcher`] before they
+/// reach the tracer, amortizing the per-event hook dispatch.
+const STORE_BATCH: usize = 256;
 
 /// One benchmark workload: a source program plus run parameters.
 #[derive(Debug, Clone)]
@@ -181,35 +185,76 @@ impl Prepared {
 /// Panics if the embedded workload source fails to compile (a build bug,
 /// covered by tests).
 pub fn prepare(workload: &Workload) -> Result<Prepared, MachineError> {
-    let plain = compile(workload.source, &Options::plain())
-        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.name));
+    let plain = compile_plain(workload);
+    let (mut prepared, trace) = run_traced(workload, plain, Trace::new())?;
+    prepared.trace = trace;
+    Ok(prepared)
+}
 
+/// Compiles the uninstrumented build of `workload`.
+///
+/// # Panics
+///
+/// Panics if the embedded workload source fails to compile (a build bug,
+/// covered by tests).
+pub fn compile_plain(workload: &Workload) -> Compiled {
+    compile(workload.source, &Options::plain())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", workload.name))
+}
+
+/// Runs `workload`'s pre-compiled `plain` build once under the tracer,
+/// emitting the event stream into `sink` — phase 1 against an arbitrary
+/// [`EventSink`], which is how the streaming pipeline overlaps replay
+/// with the run. The returned [`Prepared`] carries an **empty** `trace`;
+/// the caller decides whether the sink materialized one (as
+/// [`prepare`]'s [`Trace`] sink does).
+///
+/// # Errors
+///
+/// [`MachineError`] if the run faults or exhausts `max_steps`.
+///
+/// # Panics
+///
+/// Panics if the run stops for any reason other than halting.
+pub fn run_traced<S: EventSink>(
+    workload: &Workload,
+    plain: Compiled,
+    sink: S,
+) -> Result<(Prepared, S), MachineError> {
     let _t = databp_telemetry::time!("workloads.trace_run");
     let mut m = Machine::new();
     m.load(&plain.program);
     m.set_args(workload.args.clone());
-    let mut tracer = Tracer::new(plain.debug.frame_map(), plain.debug.global_specs())
+    let mut tracer = Tracer::with_sink(plain.debug.frame_map(), plain.debug.global_specs(), sink)
         .with_untraced(plain.debug.untraced_store_pcs.clone());
     tracer.begin();
-    let stop = m.run(&mut tracer, workload.max_steps)?;
+    let stop = {
+        let mut batcher = StoreBatcher::new(&mut tracer, STORE_BATCH);
+        let stop = m.run(&mut batcher, workload.max_steps)?;
+        batcher.flush();
+        stop
+    };
     assert_eq!(
         stop,
         StopReason::Halted,
         "workload {} did not halt",
         workload.name
     );
-    let trace = tracer.finish();
-    Ok(Prepared {
-        workload: workload.clone(),
-        base_us: m.cost().total_us(m.cost_model()),
-        instructions: m.cost().instructions,
-        output: m.take_output(),
-        plain,
-        codepatch: OnceLock::new(),
-        codepatch_loopopt: OnceLock::new(),
-        nop_padded: OnceLock::new(),
-        trace,
-    })
+    let sink = tracer.finish();
+    Ok((
+        Prepared {
+            workload: workload.clone(),
+            base_us: m.cost().total_us(m.cost_model()),
+            instructions: m.cost().instructions,
+            output: m.take_output(),
+            plain,
+            codepatch: OnceLock::new(),
+            codepatch_loopopt: OnceLock::new(),
+            nop_padded: OnceLock::new(),
+            trace: Trace::new(),
+        },
+        sink,
+    ))
 }
 
 #[cfg(test)]
