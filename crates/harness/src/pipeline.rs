@@ -92,8 +92,10 @@ impl AnalyzeOpts {
     }
 
     /// The effective ladder: requested sizes plus the mandatory 4K/8K
-    /// pair, ascending and deduplicated.
-    fn normalized_ladder(&self) -> Vec<PageSize> {
+    /// pair, ascending and deduplicated. Public because the replay
+    /// service's trace cache compares request ladders against cached
+    /// ones in exactly this normalized form.
+    pub fn normalized_ladder(&self) -> Vec<PageSize> {
         let mut ladder = self.ladder.clone();
         ladder.push(PageSize::K4);
         ladder.push(PageSize::K8);
@@ -168,7 +170,55 @@ pub fn analyze_opts(workload: &Workload, opts: &AnalyzeOpts) -> WorkloadResults 
     } else {
         analyze_materialized(workload, &ladder)
     };
+    finish_results(prepared, all, candidates, per_size, ladder)
+}
 
+/// Re-runs phase 2 only, against the materialized trace already inside
+/// `prepared`, at a possibly different page-size ladder. No workload is
+/// compiled or traced and no `harness.analyze` span is recorded — this
+/// is the replay service's cache-hit path for a ladder the cached
+/// results don't cover yet (one fresh trace walk, zero phase-1 work).
+///
+/// For the same trace and ladder the results are byte-identical to
+/// [`analyze_opts`] (the materialized and streamed paths already are,
+/// by test).
+///
+/// # Panics
+///
+/// Panics if `prepared.trace` is empty — the caller cached a trace-less
+/// build, which is a bug.
+pub fn reanalyze(prepared: &Prepared, ladder: &[PageSize]) -> WorkloadResults {
+    let _span = databp_telemetry::time!("harness.reanalyze");
+    assert!(
+        !prepared.trace.is_empty(),
+        "reanalyze needs a materialized trace (workload {})",
+        prepared.workload.name
+    );
+    let ladder = AnalyzeOpts {
+        ladder: ladder.to_vec(),
+        ..AnalyzeOpts::default()
+    }
+    .normalized_ladder();
+    let (all, candidates, set) = {
+        let _t = databp_telemetry::time!("harness.sessions");
+        let all = enumerate_sessions(&prepared.plain.debug, &prepared.trace);
+        let candidates = all.len();
+        let set = SessionSet::new(all.clone(), &prepared.plain.debug, &prepared.trace);
+        (all, candidates, set)
+    };
+    let per_size = simulate_sizes(&prepared.trace, &set, &ladder);
+    finish_results(prepared.clone(), all, candidates, per_size, ladder)
+}
+
+/// The shared tail of every analysis path: zero-hit session filtering
+/// and the 4K/8K row extraction.
+fn finish_results(
+    prepared: Prepared,
+    all: Vec<Session>,
+    candidates: usize,
+    per_size: Vec<Vec<Counts>>,
+    ladder: Vec<PageSize>,
+) -> WorkloadResults {
     // "Monitor sessions that had no monitor hits were discarded under the
     // assumption that they are unlikely candidates during debugging."
     // Hits are page-size-independent, so filtering on any row is
@@ -492,6 +542,30 @@ mod tests {
         assert_eq!(r.ladder, vec![PageSize::K4, PageSize::K8]);
         assert_eq!(r.ladder_counts[0], r.counts4);
         assert_eq!(r.ladder_counts[1], r.counts8);
+    }
+
+    #[test]
+    fn reanalyze_matches_analyze_at_same_and_wider_ladders() {
+        let w = Workload::by_name("tex").unwrap().scaled_down();
+        let base = analyze(&w);
+        // Same ladder: identical counts, sessions, and candidate totals.
+        let again = reanalyze(&base.prepared, &base.ladder);
+        assert_eq!(again.sessions, base.sessions);
+        assert_eq!(again.candidates, base.candidates);
+        assert_eq!(again.ladder_counts, base.ladder_counts);
+        // Wider ladder: the 4K/8K rows still match a direct analysis.
+        let wide = reanalyze(&base.prepared, &[PageSize::K16]);
+        assert_eq!(wide.ladder, vec![PageSize::K4, PageSize::K8, PageSize::K16]);
+        assert_eq!(wide.counts4, base.counts4);
+        assert_eq!(wide.counts8, base.counts8);
+        let direct = analyze_opts(
+            &w,
+            &AnalyzeOpts {
+                ladder: vec![PageSize::K16],
+                ..AnalyzeOpts::default()
+            },
+        );
+        assert_eq!(wide.ladder_counts, direct.ladder_counts);
     }
 
     #[test]

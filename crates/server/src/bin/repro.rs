@@ -1,5 +1,6 @@
 //! `repro` — regenerates every table and figure of *Efficient Data
-//! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads.
+//! Breakpoints* (Wahbe, ASPLOS 1992) from the substituted workloads,
+//! and runs the replay service built on the same pipeline.
 //!
 //! ```text
 //! usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N]
@@ -23,15 +24,27 @@
 //!   nhcoverage   watch-register coverage analysis
 //!   ladder       per-page-size counting summary over the whole ladder
 //!                (pair with --page-sizes to sweep beyond 4K/8K)
+//!   serve        run the replay service: line-delimited JSON requests on
+//!                stdin, one response line each on stdout (see README
+//!                "Running as a service" for the schema); --jobs sets the
+//!                worker count
+//!   client ARGS  in-process client for the batch API: one query per
+//!                listed workload name (duplicates exercise the trace
+//!                cache), or `--demo` for a canned mixed batch; prints
+//!                request lines, response lines, then a stats line
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
 //!   perfgate     compare results/perf.json against results/perf.prev.json
-//!                and fail if `harness.analyze` regressed more than
-//!                PERF_GATE_TOLERANCE_PCT percent (default 25); missing
-//!                or unparsable snapshots pass (first-run friendly)
+//!                and fail if `harness.analyze` regressed — or the
+//!                service-mix `server.batch_throughput` dropped — more
+//!                than PERF_GATE_TOLERANCE_PCT percent (default 25);
+//!                missing or unparsable snapshots pass (first-run
+//!                friendly)
 //!   perf         instrumented small-scale run; prints per-table
 //!                wall-clock + simulated cycles (the machine's
 //!                retired-instruction counter is the virtual clock),
-//!                prints a telemetry snapshot, diffs it against the
+//!                runs a service-mix batch so `server.*` counters and
+//!                `server.batch_throughput` land in the snapshot,
+//!                prints the telemetry snapshot, diffs it against the
 //!                previous results/perf.json (kept as
 //!                results/perf.prev.json), and writes the new
 //!                results/perf.json
@@ -47,7 +60,8 @@
 //!   --telemetry FMT   enable telemetry and dump a snapshot after the
 //!                     command (FMT: text, json, csv)
 //!   --jobs N          run up to N workloads in parallel (default: one
-//!                     per available core)
+//!                     per available core); for `serve`/`client`, the
+//!                     service worker count
 //!   --stream          overlap phase 2 with phase 1: the traced run feeds
 //!                     event batches through a bounded channel into a
 //!                     concurrent replay (results are byte-identical)
@@ -63,6 +77,7 @@ use databp_harness::WorkloadResults;
 use databp_harness::{analyze_all_opts, analyze_opts, default_jobs, AnalyzeOpts, Scale};
 use databp_harness::{breakdown, dyncp, expansion, loopopt, nhcoverage, staticopt, tables};
 use databp_machine::PageSize;
+use databp_server::{Request, Server, ServerConfig};
 use databp_telemetry::Snapshot;
 use databp_workloads::Workload;
 use std::path::PathBuf;
@@ -71,8 +86,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] \
                      [--stream] [--page-sizes LIST] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
-                     expansion loopopt staticopt dyncp nhcoverage ladder verify perf perfgate \
-                     sessions dist trace\n\
+                     expansion loopopt staticopt dyncp nhcoverage ladder serve client verify \
+                     perf perfgate sessions dist trace\n\
                      (see the source header for details)";
 
 /// Every valid subcommand — checked before any workload runs so an
@@ -93,6 +108,8 @@ const COMMANDS: &[&str] = &[
     "dyncp",
     "nhcoverage",
     "ladder",
+    "serve",
+    "client",
     "verify",
     "perf",
     "perfgate",
@@ -146,6 +163,17 @@ impl Opts {
             // single core (a consumer thread would only context-switch).
             channel_batches: AnalyzeOpts::auto_channel_batches(),
             ..AnalyzeOpts::default()
+        }
+    }
+
+    /// Service configuration for `serve`/`client`/the perf service mix.
+    fn server(&self) -> ServerConfig {
+        ServerConfig {
+            workers: self.jobs.clamp(1, 8),
+            // `--stream` opts the one-shot commands *into* streaming;
+            // the service streams by default and the flag is a no-op.
+            stream: true,
+            ..ServerConfig::default()
         }
     }
 }
@@ -268,6 +296,8 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     match cmd {
         "perf" => return perf(opts),
         "perfgate" => return perfgate(),
+        "serve" => return serve_stdio(opts),
+        "client" => return client(&args[1..], opts),
         "table2" => {
             // No workload runs needed.
             emit(opts, "table2", &tables::table2());
@@ -442,6 +472,88 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `serve` subcommand: the replay service on stdin/stdout. One
+/// request per line in, one response per line out, in input order;
+/// EOF drains the queue and exits cleanly.
+fn serve_stdio(opts: &Opts) -> ExitCode {
+    let cfg = opts.server();
+    eprintln!(
+        "replay service ready: {} workers, queue depth {}, {}MiB trace cache \
+         (one JSON request per line on stdin; Ctrl-D to finish)",
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.cache_bytes >> 20
+    );
+    let server = Server::start(cfg);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    match databp_server::serve(&server, stdin.lock(), &mut stdout) {
+        Ok(handled) => {
+            let stats = server.stats();
+            eprintln!(
+                "served {handled} request(s): {} hits, {} misses, {} rewalks, {} rejected",
+                stats.cache_hits, stats.cache_misses, stats.cache_rewalks, stats.rejected
+            );
+            server.shutdown();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `client` subcommand: an in-process batch-API client. Builds one
+/// query per listed workload name (at the invocation's scale and
+/// ladder), pipes the request lines through a fresh service, and
+/// prints each request/response pair plus a trailing stats probe —
+/// the same bytes a networked client would see.
+fn client(args: &[String], opts: &Opts) -> ExitCode {
+    let names: Vec<String> = if args.iter().any(|a| a == "--demo") {
+        // Canned mix: duplicates hit the cache, the spread exercises
+        // every strategy column.
+        ["cc", "tex", "cc", "tex", "cc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else if args.is_empty() {
+        eprintln!("usage: repro client <workload>... | repro client --demo");
+        return ExitCode::FAILURE;
+    } else {
+        args.to_vec()
+    };
+    let mut lines = String::new();
+    for (i, name) in names.iter().enumerate() {
+        let req = Request {
+            id: format!("q{}", i + 1),
+            workload: name.clone(),
+            scale: opts.scale,
+            strategies: Vec::new(),
+            page_sizes: opts.ladder.clone(),
+            overheads: false,
+        };
+        lines.push_str(&req.to_json_line());
+        lines.push('\n');
+    }
+    lines.push_str("{\"stats\":true}\n");
+
+    let server = Server::start(opts.server());
+    let mut out = Vec::new();
+    if let Err(e) = databp_server::serve(&server, std::io::Cursor::new(lines.as_bytes()), &mut out)
+    {
+        eprintln!("client: I/O error: {e}");
+        return ExitCode::FAILURE;
+    }
+    server.shutdown();
+    let responses = String::from_utf8(out).expect("responses are UTF-8");
+    for (req_line, resp_line) in lines.lines().zip(responses.lines()) {
+        println!("> {req_line}");
+        println!("< {resp_line}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `perf` subcommand: a fully instrumented small-scale pass over
 /// every experiment. The registry is reset first, so counters reflect
 /// exactly this run (and are deterministic run to run); spans and the
@@ -454,6 +566,11 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
 /// staticopt, dyncp) show exactly how much virtual work they re-run.
 /// The deltas land in `perf.vcycles.*` counters before the snapshot is
 /// taken, so the trajectory diff tracks them like any other counter.
+///
+/// After the tables, a *service-mix* phase drives an in-process replay
+/// service with a duplicate-heavy batch so the `server.*` counters
+/// appear in the snapshot and the batch rate lands as the
+/// `server.batch_throughput` derived metric (gated by `perfgate`).
 fn perf(opts: &Opts) -> ExitCode {
     eprintln!("running scaled-down workloads under telemetry...");
     let vclock = || {
@@ -527,6 +644,38 @@ fn perf(opts: &Opts) -> ExitCode {
             std::fs::write(dir.join(format!("{slug}.csv")), table.render_csv()).expect("write csv");
         }
     }
+
+    // Service-mix phase: the same duplicate-heavy batch the CI smoke
+    // step sends, driven through a fresh in-process service. Two
+    // distinct workloads trace (cache misses), the duplicates hit, and
+    // one widened ladder forces a rewalk — so every `server.cache.*`
+    // counter is exercised and lands in the snapshot below.
+    let batch_secs = {
+        let t0 = std::time::Instant::now();
+        let v0 = vclock();
+        let server = Server::start(ServerConfig {
+            workers: opts.jobs.clamp(1, 4),
+            ..ServerConfig::default()
+        });
+        let mut batch = vec![
+            Request::simple("mix1", "cc", Scale::Small),
+            Request::simple("mix2", "tex", Scale::Small),
+            Request::simple("mix3", "cc", Scale::Small),
+            Request::simple("mix4", "tex", Scale::Small),
+            Request::simple("mix5", "cc", Scale::Small),
+        ];
+        batch[4].page_sizes = vec![PageSize::K16]; // rewalk, not re-trace
+        let n = batch.len();
+        let responses = server.submit_batch(batch);
+        let failed = responses.iter().filter(|r| !r.ok).count();
+        if failed > 0 {
+            eprintln!("perf: {failed}/{n} service-mix requests failed");
+        }
+        server.shutdown();
+        let secs = t0.elapsed().as_secs_f64();
+        vrows.push(("server-mix", secs, vclock() - v0));
+        secs
+    };
     let wall_secs = wall.elapsed().as_secs_f64();
     eprintln!("workloads done in {wall_secs:.2}s.\n");
 
@@ -555,6 +704,9 @@ fn perf(opts: &Opts) -> ExitCode {
     if wall_secs > 0.0 {
         snap.push_derived("instructions_per_sec", instructions as f64 / wall_secs);
     }
+    if batch_secs > 0.0 {
+        snap.push_derived("server.batch_throughput", 5.0 / batch_secs);
+    }
 
     let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
     // The dual-clock table is commentary; keep stdout machine-readable
@@ -569,35 +721,39 @@ fn perf(opts: &Opts) -> ExitCode {
     // Tracked regression baseline: the previous snapshot (if any) moves
     // to results/perf.prev.json and a counter/span diff is printed, so
     // each run shows its trajectory against the last one.
-    std::fs::create_dir_all("results").expect("create results dir");
-    let prev = std::fs::read_to_string("results/perf.json")
-        .ok()
-        .and_then(|text| match Snapshot::from_json(&text) {
-            Ok(s) => Some((s, text)),
-            Err(e) => {
-                eprintln!("(ignoring unparsable previous results/perf.json: {e})");
-                None
-            }
-        });
-    if let Some((baseline, text)) = prev {
-        std::fs::write("results/perf.prev.json", text).expect("write results/perf.prev.json");
-        let diff = perf_diff(&baseline, &snap).render();
-        // With a machine-readable snapshot format on stdout, the diff
-        // table is progress commentary and belongs on stderr.
-        if matches!(fmt, TelemetryFormat::Text) {
-            println!("{diff}");
-        } else {
-            eprintln!("{diff}");
-        }
-    } else {
-        // First run (or an unreadable baseline, reported above): nothing
-        // to diff against is a clean start, not an error.
-        eprintln!(
-            "(no previous results/perf.json — baseline created; run `repro perf` again \
-             for a trajectory diff)"
-        );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("perf: cannot create results dir: {e}");
+        return ExitCode::FAILURE;
     }
-    std::fs::write("results/perf.json", snap.to_json()).expect("write results/perf.json");
+    match load_snapshot("results/perf.json") {
+        Ok(Some((baseline, text))) => {
+            if let Err(e) = std::fs::write("results/perf.prev.json", text) {
+                eprintln!("perf: cannot write results/perf.prev.json: {e}");
+                return ExitCode::FAILURE;
+            }
+            let diff = perf_diff(&baseline, &snap).render();
+            // With a machine-readable snapshot format on stdout, the diff
+            // table is progress commentary and belongs on stderr.
+            if matches!(fmt, TelemetryFormat::Text) {
+                println!("{diff}");
+            } else {
+                eprintln!("{diff}");
+            }
+        }
+        Ok(None) => {
+            // First run: nothing to diff against is a clean start, not
+            // an error.
+            eprintln!(
+                "(no previous results/perf.json — baseline created; run `repro perf` again \
+                 for a trajectory diff)"
+            );
+        }
+        Err(e) => eprintln!("(ignoring previous results/perf.json: {e})"),
+    }
+    if let Err(e) = std::fs::write("results/perf.json", snap.to_json()) {
+        eprintln!("perf: cannot write results/perf.json: {e}");
+        return ExitCode::FAILURE;
+    }
     eprintln!("(snapshot written to results/perf.json; baseline kept in results/perf.prev.json)");
     ExitCode::SUCCESS
 }
@@ -640,29 +796,46 @@ fn ladder_table(results: &[WorkloadResults]) -> TextTable {
     t
 }
 
-/// The `perfgate` subcommand: CI's perf-smoke gate. Compares the
-/// `harness.analyze` span of results/perf.json against
-/// results/perf.prev.json and fails only on a real regression beyond
-/// the tolerance (`PERF_GATE_TOLERANCE_PCT`, default 25). A missing or
-/// unparsable snapshot on either side passes — a fresh checkout has no
-/// baseline, and that must not break the build.
+/// Loads a telemetry snapshot from `path`. `Ok(None)` means the file
+/// does not exist (a fresh checkout — callers treat it as "no
+/// baseline"); `Err` means it exists but cannot be read or parsed
+/// (corrupt or truncated — reported cleanly, never a panic). The raw
+/// text rides along for callers that rotate the file.
+fn load_snapshot(path: &str) -> Result<Option<(Snapshot, String)>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    match Snapshot::from_json(&text) {
+        Ok(s) => Ok(Some((s, text))),
+        Err(e) => Err(format!("unparsable {path}: {e}")),
+    }
+}
+
+/// The `perfgate` subcommand: CI's perf-smoke gate. Compares
+/// results/perf.json against results/perf.prev.json and fails on a
+/// real regression beyond the tolerance (`PERF_GATE_TOLERANCE_PCT`,
+/// default 25) in either gated metric: the `harness.analyze` span
+/// (one-shot pipeline latency, lower is better) or the
+/// `server.batch_throughput` derived rate (service-mix requests/sec,
+/// higher is better). A missing or unparsable snapshot on either side
+/// passes — a fresh checkout has no baseline, and that must not break
+/// the build.
 fn perfgate() -> ExitCode {
     let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE_PCT")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(25.0);
     let load = |path: &str| -> Option<Snapshot> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(_) => {
+        match load_snapshot(path) {
+            Ok(Some((snap, _))) => Some(snap),
+            Ok(None) => {
                 eprintln!("perfgate: no {path} — pass (run `repro perf` twice to arm the gate)");
-                return None;
+                None
             }
-        };
-        match Snapshot::from_json(&text) {
-            Ok(s) => Some(s),
             Err(e) => {
-                eprintln!("perfgate: unparsable {path} ({e}) — pass");
+                eprintln!("perfgate: {e} — pass");
                 None
             }
         }
@@ -671,22 +844,49 @@ fn perfgate() -> ExitCode {
     else {
         return ExitCode::SUCCESS;
     };
+    let mut failed = false;
+
+    // Gate 1: one-shot pipeline latency (lower is better).
     let analyze_ms = |s: &Snapshot| s.span("harness.analyze").map(|sp| sp.total_ns as f64 / 1e6);
-    let (Some(cur_ms), Some(prev_ms)) = (analyze_ms(&cur), analyze_ms(&prev)) else {
-        eprintln!("perfgate: no harness.analyze span in one of the snapshots — pass");
-        return ExitCode::SUCCESS;
-    };
-    if prev_ms <= 0.0 {
-        eprintln!("perfgate: zero baseline — pass");
-        return ExitCode::SUCCESS;
+    match (analyze_ms(&cur), analyze_ms(&prev)) {
+        (Some(cur_ms), Some(prev_ms)) if prev_ms > 0.0 => {
+            let change = (cur_ms - prev_ms) / prev_ms * 100.0;
+            println!(
+                "perfgate: harness.analyze {prev_ms:.3}ms -> {cur_ms:.3}ms ({change:+.1}%), \
+                 tolerance +{tolerance:.0}%"
+            );
+            if change > tolerance {
+                eprintln!("perfgate: FAIL — harness.analyze regressed beyond the tolerance");
+                failed = true;
+            }
+        }
+        _ => eprintln!("perfgate: no harness.analyze baseline — span gate skipped"),
     }
-    let change = (cur_ms - prev_ms) / prev_ms * 100.0;
-    println!(
-        "perfgate: harness.analyze {prev_ms:.3}ms -> {cur_ms:.3}ms ({change:+.1}%), \
-         tolerance +{tolerance:.0}%"
-    );
-    if change > tolerance {
-        eprintln!("perfgate: FAIL — harness.analyze regressed beyond the tolerance");
+
+    // Gate 2: service-mix batch throughput (higher is better; a *drop*
+    // beyond the tolerance fails).
+    let throughput = |s: &Snapshot| {
+        s.derived
+            .iter()
+            .find(|(n, _)| n == "server.batch_throughput")
+            .map(|&(_, v)| v)
+    };
+    match (throughput(&cur), throughput(&prev)) {
+        (Some(cur_rps), Some(prev_rps)) if prev_rps > 0.0 => {
+            let change = (cur_rps - prev_rps) / prev_rps * 100.0;
+            println!(
+                "perfgate: server.batch_throughput {prev_rps:.2}req/s -> {cur_rps:.2}req/s \
+                 ({change:+.1}%), tolerance -{tolerance:.0}%"
+            );
+            if change < -tolerance {
+                eprintln!("perfgate: FAIL — server.batch_throughput dropped beyond the tolerance");
+                failed = true;
+            }
+        }
+        _ => eprintln!("perfgate: no server.batch_throughput baseline — throughput gate skipped"),
+    }
+
+    if failed {
         return ExitCode::FAILURE;
     }
     println!("perfgate: ok");

@@ -1,0 +1,363 @@
+//! In-memory trace cache with LRU eviction and in-flight deduplication.
+//!
+//! The service's hottest observation is that traffic repeats: the same
+//! workload is queried again and again with different strategy or
+//! ladder mixes, and phase 1 (tracing the workload on the simulated
+//! machine) dwarfs everything else. [`TraceCache`] keys completed
+//! phase-1+2 results by [workload hash](databp_workloads::Workload::workload_hash)
+//! so a repeat request skips the trace entirely.
+//!
+//! Two properties matter beyond a plain map:
+//!
+//! * **In-flight dedup.** When two workers miss on the same key
+//!   concurrently, only the first traces; the second blocks on the
+//!   first's *pending* slot and wakes to a hit. Without this, a batch
+//!   of N duplicate requests would trace N times on a cold cache —
+//!   exactly the work the cache exists to avoid.
+//! * **Bounded memory.** Entries are charged approximate byte sizes
+//!   (traces dominate — see
+//!   [`Trace::approx_bytes`](databp_trace::Trace::approx_bytes)) and
+//!   evicted least-recently-used when the budget is exceeded. A single
+//!   oversized entry is still admitted (the value was just paid for;
+//!   dropping it would only force a re-trace), it simply evicts
+//!   everything else.
+//!
+//! Telemetry: `server.cache.hits` / `.misses` / `.evictions` counters
+//! and the `server.cache.bytes` gauge. (`server.cache.rewalks` is
+//! counted by the server when a hit needs a phase-2-only rewalk.)
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A cached value slot.
+enum Slot<V> {
+    /// Some worker is computing this entry; others wait on the condvar.
+    Pending,
+    /// A completed entry.
+    Ready {
+        value: Arc<V>,
+        bytes: usize,
+        last_used: u64,
+    },
+}
+
+struct CacheInner<V> {
+    slots: HashMap<u64, Slot<V>>,
+    /// Monotonic use tick for LRU ordering.
+    tick: u64,
+    /// Bytes charged by all `Ready` slots.
+    bytes: usize,
+}
+
+/// Outcome of a cache lookup.
+pub enum Lookup<V> {
+    /// The entry was ready (or became ready while we waited on a
+    /// pending slot).
+    Hit(Arc<V>),
+    /// The entry is absent and this caller owns building it. Call
+    /// [`TraceCache::fill`] with the guard when done; dropping the
+    /// guard without filling releases the slot so another caller can
+    /// retry.
+    MustBuild(BuildGuard<V>),
+}
+
+/// Ownership token for a pending cache slot (see [`Lookup::MustBuild`]).
+pub struct BuildGuard<V> {
+    cache: Arc<Shared<V>>,
+    key: u64,
+    filled: bool,
+}
+
+impl<V> BuildGuard<V> {
+    /// The key this guard owns.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl<V> Drop for BuildGuard<V> {
+    fn drop(&mut self) {
+        if !self.filled {
+            // The build failed (panicked or errored): release the
+            // pending slot and wake waiters so one of them can retry
+            // rather than blocking forever.
+            let mut inner = self.cache.inner.lock().unwrap();
+            if matches!(inner.slots.get(&self.key), Some(Slot::Pending)) {
+                inner.slots.remove(&self.key);
+            }
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+struct Shared<V> {
+    inner: Mutex<CacheInner<V>>,
+    ready: Condvar,
+    capacity_bytes: usize,
+}
+
+/// The trace cache: a byte-bounded LRU map with pending-slot dedup.
+///
+/// Generic over the value type so the cache logic is unit-testable
+/// without tracing workloads; the server instantiates it with its
+/// cached-results record.
+pub struct TraceCache<V> {
+    shared: Arc<Shared<V>>,
+}
+
+impl<V> Clone for TraceCache<V> {
+    fn clone(&self) -> Self {
+        TraceCache {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<V> TraceCache<V> {
+    /// A cache evicting LRU entries once `Ready` slots exceed
+    /// `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> TraceCache<V> {
+        TraceCache {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(CacheInner {
+                    slots: HashMap::new(),
+                    tick: 0,
+                    bytes: 0,
+                }),
+                ready: Condvar::new(),
+                capacity_bytes,
+            }),
+        }
+    }
+
+    /// Looks up `key`, waiting out any in-flight build of the same key.
+    ///
+    /// Exactly one caller per absent key receives
+    /// [`Lookup::MustBuild`]; everyone else blocks until that build
+    /// [`fill`](TraceCache::fill)s (waking to a hit) or is abandoned
+    /// (one waiter inherits the build).
+    pub fn lookup_or_begin(&self, key: u64) -> Lookup<V> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.slots.get_mut(&key) {
+                Some(Slot::Ready {
+                    value, last_used, ..
+                }) => {
+                    *last_used = tick;
+                    let value = Arc::clone(value);
+                    databp_telemetry::count!("server.cache.hits");
+                    return Lookup::Hit(value);
+                }
+                Some(Slot::Pending) => {
+                    inner = self.shared.ready.wait(inner).unwrap();
+                }
+                None => {
+                    inner.slots.insert(key, Slot::Pending);
+                    databp_telemetry::count!("server.cache.misses");
+                    return Lookup::MustBuild(BuildGuard {
+                        cache: Arc::clone(&self.shared),
+                        key,
+                        filled: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Completes a build: publishes `value` under the guard's key,
+    /// charges `bytes` against the budget (evicting LRU entries as
+    /// needed), and wakes waiters. Returns the published value.
+    pub fn fill(&self, mut guard: BuildGuard<V>, value: V, bytes: usize) -> Arc<V> {
+        guard.filled = true;
+        let value = Arc::new(value);
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(
+            guard.key,
+            Slot::Ready {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: tick,
+            },
+        );
+        inner.bytes += bytes;
+        databp_telemetry::gauge_add!("server.cache.bytes", bytes as i64);
+        self.evict_over_budget(&mut inner, guard.key);
+        drop(inner);
+        self.shared.ready.notify_all();
+        value
+    }
+
+    /// Replaces the value under `key` in place (used when a rewalk
+    /// widened a cached entry's ladder), recharging its size. No-op if
+    /// the entry was evicted in the meantime.
+    pub fn update(&self, key: u64, value: V, bytes: usize) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(Slot::Ready {
+            bytes: old_bytes, ..
+        }) = inner.slots.get(&key)
+        {
+            let old_bytes = *old_bytes;
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.slots.insert(
+                key,
+                Slot::Ready {
+                    value: Arc::clone(&value),
+                    bytes,
+                    last_used: tick,
+                },
+            );
+            inner.bytes = inner.bytes - old_bytes + bytes;
+            databp_telemetry::gauge_add!("server.cache.bytes", bytes as i64 - old_bytes as i64);
+            self.evict_over_budget(&mut inner, key);
+        }
+        value
+    }
+
+    /// Evicts least-recently-used `Ready` entries (never `keep`, never
+    /// pending slots) until within budget or nothing evictable remains.
+    fn evict_over_budget(&self, inner: &mut CacheInner<V>, keep: u64) {
+        while inner.bytes > self.shared.capacity_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(&k, slot)| match slot {
+                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k)),
+                    _ => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            let Some(k) = victim else { break };
+            if let Some(Slot::Ready { bytes, .. }) = inner.slots.remove(&k) {
+                inner.bytes -= bytes;
+                databp_telemetry::count!("server.cache.evictions");
+                databp_telemetry::gauge_add!("server.cache.bytes", -(bytes as i64));
+            }
+        }
+    }
+
+    /// Current charged bytes across ready entries.
+    pub fn bytes(&self) -> usize {
+        self.shared.inner.lock().unwrap().bytes
+    }
+
+    /// Number of ready entries.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// True when no ready entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn build(cache: &TraceCache<String>, key: u64, v: &str, bytes: usize) -> Arc<String> {
+        match cache.lookup_or_begin(key) {
+            Lookup::Hit(v) => v,
+            Lookup::MustBuild(guard) => cache.fill(guard, v.to_string(), bytes),
+        }
+    }
+
+    #[test]
+    fn hit_after_fill_and_lru_eviction_order() {
+        let cache = TraceCache::new(100);
+        build(&cache, 1, "one", 40);
+        build(&cache, 2, "two", 40);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(matches!(cache.lookup_or_begin(1), Lookup::Hit(v) if *v == "one"));
+        // 40+40+40 > 100 → evict exactly one entry: key 2.
+        build(&cache, 3, "three", 40);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 80);
+        assert!(matches!(cache.lookup_or_begin(1), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(3), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_begin(2), Lookup::MustBuild(_)));
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_and_evicts_the_rest() {
+        let cache = TraceCache::new(50);
+        build(&cache, 1, "small", 10);
+        build(&cache, 2, "huge", 500);
+        assert_eq!(cache.len(), 1, "only the oversized entry remains");
+        assert!(matches!(cache.lookup_or_begin(2), Lookup::Hit(v) if *v == "huge"));
+    }
+
+    #[test]
+    fn update_recharges_bytes_in_place() {
+        let cache = TraceCache::new(1000);
+        build(&cache, 7, "v1", 100);
+        cache.update(7, "v2".to_string(), 250);
+        assert_eq!(cache.bytes(), 250);
+        assert!(matches!(cache.lookup_or_begin(7), Lookup::Hit(v) if *v == "v2"));
+        // Updating an absent key is a no-op.
+        cache.update(99, "ghost".to_string(), 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_duplicate_misses_build_once() {
+        let cache = TraceCache::new(1000);
+        let builds = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let builds = Arc::clone(&builds);
+            handles.push(thread::spawn(move || match cache.lookup_or_begin(42) {
+                Lookup::Hit(v) => v,
+                Lookup::MustBuild(guard) => {
+                    builds.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    // Linger so the other threads pile onto the
+                    // pending slot instead of racing past it.
+                    thread::sleep(Duration::from_millis(20));
+                    cache.fill(guard, "built".to_string(), 8)
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), "built");
+        }
+        assert_eq!(builds.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn abandoned_build_hands_the_slot_to_a_waiter() {
+        let cache: TraceCache<String> = TraceCache::new(1000);
+        let Lookup::MustBuild(guard) = cache.lookup_or_begin(5) else {
+            panic!("fresh key must be a miss");
+        };
+        let waiter = {
+            let cache = cache.clone();
+            thread::spawn(move || match cache.lookup_or_begin(5) {
+                Lookup::Hit(_) => panic!("abandoned slot must not read as a hit"),
+                Lookup::MustBuild(g) => {
+                    cache.fill(g, "second try".to_string(), 4);
+                }
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        drop(guard); // simulate a failed build
+        waiter.join().unwrap();
+        assert!(matches!(cache.lookup_or_begin(5), Lookup::Hit(v) if *v == "second try"));
+    }
+}

@@ -1,0 +1,419 @@
+//! The replay service: scheduler + cache + batch API glued together.
+//!
+//! A [`Server`] owns a [`StealPool`](crate::scheduler::StealPool) of
+//! replay workers and a [`TraceCache`](crate::cache::TraceCache) of
+//! completed analyses keyed by workload hash. Each submitted
+//! [`Request`] becomes a job; the worker that picks it up answers it
+//! one of three ways:
+//!
+//! * **miss** — first sight of this workload: run the streamed
+//!   trace→replay pipeline once
+//!   ([`analyze_opts`](databp_harness::analyze_opts) with
+//!   `keep_trace`), cache the results *with* the materialized trace,
+//!   render the body.
+//! * **hit** — the cached ladder covers the request: render straight
+//!   from cache. No phase-1, no phase-2, no trace walk at all.
+//! * **rewalk** — cached, but the request wants page sizes the cached
+//!   walk didn't count: one phase-2-only
+//!   [`reanalyze`](databp_harness::reanalyze) over the cached trace at
+//!   the merged ladder, then update the cache so the wider entry
+//!   serves future hits. Still zero phase-1 work.
+//!
+//! All three paths render through the same pure
+//! [`body_for`](crate::request::body_for), which is what makes cached
+//! answers byte-identical to fresh ones.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use databp_harness::{analyze_opts, reanalyze, AnalyzeOpts, WorkloadResults};
+use databp_machine::PageSize;
+
+use crate::cache::{Lookup, TraceCache};
+use crate::request::{body_for, CacheStatus, Request, Response};
+use crate::scheduler::StealPool;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each runs whole requests; phase-1 streaming
+    /// inside a request may add its own consumer thread).
+    pub workers: usize,
+    /// Jobs admitted-but-not-started before submissions are rejected.
+    pub queue_depth: usize,
+    /// Trace-cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Use the streamed phase-1/phase-2 overlap on cache misses.
+    pub stream: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .clamp(1, 8),
+            queue_depth: 64,
+            // Enough for every small-scale workload trace at once;
+            // full-scale traffic will evict LRU, which is the point.
+            cache_bytes: 512 << 20,
+            stream: true,
+        }
+    }
+}
+
+/// Monotonic service counters, independent of the telemetry registry
+/// (which is process-global and may be disabled); the `stats` wire
+/// probe reads these.
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_rewalks: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries processed (including failed ones; excluding rejections).
+    pub requests: u64,
+    /// Answers rendered from a covering cached entry (no trace walk).
+    pub cache_hits: u64,
+    /// Answers that ran phase 1 (first sight of the workload).
+    pub cache_misses: u64,
+    /// Answers that re-walked a cached trace for a wider ladder
+    /// (counted *in addition to* a hit — the cache did its job, the
+    /// ladder just grew).
+    pub cache_rewalks: u64,
+    /// Submissions bounced by admission control.
+    pub rejected: u64,
+    /// Queries that failed (bad request or worker panic).
+    pub errors: u64,
+    /// Bytes currently charged to the trace cache.
+    pub cache_bytes: u64,
+    /// Entries currently in the trace cache.
+    pub cache_entries: u64,
+}
+
+/// A handle to one in-flight request's eventual [`Response`].
+#[derive(Clone)]
+pub struct Ticket {
+    slot: Arc<(Mutex<Option<Response>>, Condvar)>,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            slot: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    fn fulfill(&self, resp: Response) {
+        let mut slot = self.slot.0.lock().unwrap();
+        *slot = Some(resp);
+        self.slot.1.notify_all();
+    }
+
+    /// Blocks until the response is ready.
+    pub fn wait(&self) -> Response {
+        let mut slot = self.slot.0.lock().unwrap();
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            slot = self.slot.1.wait(slot).unwrap();
+        }
+    }
+
+    /// Takes the response if it is already ready.
+    pub fn try_take(&self) -> Option<Response> {
+        self.slot.0.lock().unwrap().take()
+    }
+}
+
+type Job = (Request, Ticket);
+
+/// The sharded multi-session replay service.
+pub struct Server {
+    pool: StealPool<Job>,
+    cache: TraceCache<WorkloadResults>,
+    stats: Arc<StatsInner>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Starts the worker pool and returns a ready server.
+    pub fn start(config: ServerConfig) -> Server {
+        let cache: TraceCache<WorkloadResults> = TraceCache::new(config.cache_bytes);
+        let stats = Arc::new(StatsInner::default());
+        let pool = {
+            let cache = cache.clone();
+            let stats = Arc::clone(&stats);
+            let cfg = config.clone();
+            StealPool::start(config.workers, config.queue_depth, move |_w, job: Job| {
+                let (req, ticket) = job;
+                let resp = Server::process(&cfg, &cache, &stats, &req);
+                ticket.fulfill(resp);
+            })
+        };
+        Server {
+            pool,
+            cache,
+            stats,
+            config,
+        }
+    }
+
+    /// A server with default configuration.
+    pub fn start_default() -> Server {
+        Server::start(ServerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Submits one request. `Err` returns the request when admission
+    /// control rejects it (queue full or shutting down) — the caller
+    /// decides whether to retry, shed, or answer with an error.
+    pub fn submit(&self, req: Request) -> Result<Ticket, Request> {
+        let ticket = Ticket::new();
+        match self.pool.submit((req, ticket.clone())) {
+            Ok(()) => Ok(ticket),
+            Err((req, _)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(req)
+            }
+        }
+    }
+
+    /// The batch API: answers N requests, responses in request order.
+    /// Duplicates within the batch are deduplicated by the cache's
+    /// in-flight pending slots — one trace, N answers. Rejected
+    /// submissions become error responses (`ok: false`) in place.
+    pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
+        let outcomes: Vec<Result<Ticket, Request>> =
+            reqs.into_iter().map(|req| self.submit(req)).collect();
+        outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(ticket) => ticket.wait(),
+                Err(req) => Response::failure(&req.id, "rejected: queue full"),
+            })
+            .collect()
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            cache_rewalks: self.stats.cache_rewalks.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            cache_bytes: self.cache.bytes() as u64,
+            cache_entries: self.cache.len() as u64,
+        }
+    }
+
+    /// Drains queued work and joins the workers.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+
+    /// Answers one query (runs on a worker thread).
+    fn process(
+        cfg: &ServerConfig,
+        cache: &TraceCache<WorkloadResults>,
+        stats: &StatsInner,
+        req: &Request,
+    ) -> Response {
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        databp_telemetry::count!("server.requests");
+        let result =
+            std::panic::catch_unwind(AssertUnwindSafe(|| Server::answer(cfg, cache, stats, req)));
+        match result {
+            Ok(Ok((status, results))) => {
+                Response::success(&req.id, status, body_for(req, &results))
+            }
+            Ok(Err(msg)) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::failure(&req.id, msg)
+            }
+            Err(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::failure(&req.id, "internal error: request processing panicked")
+            }
+        }
+    }
+
+    /// Resolves the cache outcome for one query.
+    fn answer(
+        cfg: &ServerConfig,
+        cache: &TraceCache<WorkloadResults>,
+        stats: &StatsInner,
+        req: &Request,
+    ) -> Result<(CacheStatus, Arc<WorkloadResults>), String> {
+        let workload = req.resolve_workload()?;
+        let key = workload.workload_hash();
+        let want = req.normalized_ladder();
+        match cache.lookup_or_begin(key) {
+            Lookup::Hit(results) => {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if want.iter().all(|ps| results.ladder.contains(ps)) {
+                    return Ok((CacheStatus::Hit, results));
+                }
+                // The cached trace is good; its walk just didn't count
+                // the sizes this request wants. Re-walk once at the
+                // union so the entry only ever widens.
+                stats.cache_rewalks.fetch_add(1, Ordering::Relaxed);
+                databp_telemetry::count!("server.cache.rewalks");
+                let merged = merged_ladder(&results.ladder, &want);
+                let fresh = reanalyze(&results.prepared, &merged);
+                let bytes = entry_bytes(&fresh);
+                let arc = cache.update(key, fresh, bytes);
+                Ok((CacheStatus::Rewalk, arc))
+            }
+            Lookup::MustBuild(guard) => {
+                stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let opts = AnalyzeOpts {
+                    stream: cfg.stream,
+                    keep_trace: true, // the cache IS the trace owner
+                    ladder: req.page_sizes.clone(),
+                    channel_batches: AnalyzeOpts::auto_channel_batches(),
+                    ..AnalyzeOpts::default()
+                };
+                let results = analyze_opts(&workload, &opts);
+                let bytes = entry_bytes(&results);
+                let arc = cache.fill(guard, results, bytes);
+                Ok((CacheStatus::Miss, arc))
+            }
+        }
+    }
+}
+
+/// Union of two normalized ladders, kept ascending by page shift.
+fn merged_ladder(a: &[PageSize], b: &[PageSize]) -> Vec<PageSize> {
+    let mut out: Vec<PageSize> = a.iter().chain(b).copied().collect();
+    out.sort_unstable_by_key(|ps| ps.shift());
+    out.dedup();
+    out
+}
+
+/// Bytes a cached entry is charged against the cache budget: the
+/// materialized trace dominates; the counts matrix and session list
+/// ride along.
+fn entry_bytes(r: &WorkloadResults) -> usize {
+    r.prepared.trace.approx_bytes()
+        + std::mem::size_of_val(r.sessions.as_slice())
+        + r.ladder_counts
+            .iter()
+            .map(|row| std::mem::size_of_val(row.as_slice()))
+            .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use databp_harness::Scale;
+
+    fn tiny_server(workers: usize) -> Server {
+        Server::start(ServerConfig {
+            workers,
+            queue_depth: 16,
+            cache_bytes: 512 << 20,
+            stream: true,
+        })
+    }
+
+    #[test]
+    fn duplicate_requests_hit_the_cache_with_identical_bytes() {
+        let server = tiny_server(2);
+        let req = Request::simple("a", "cc", Scale::Small);
+        let mut dup = req.clone();
+        dup.id = "b".to_string();
+        let first = server.submit(req).unwrap().wait();
+        let second = server.submit(dup).unwrap().wait();
+        assert!(first.ok && second.ok);
+        assert_eq!(first.cache, Some(CacheStatus::Miss));
+        assert_eq!(second.cache, Some(CacheStatus::Hit));
+        assert_eq!(
+            first.body.as_ref().unwrap().to_json(),
+            second.body.as_ref().unwrap().to_json(),
+            "cached answer must be byte-identical"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert!(stats.cache_bytes > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wider_ladder_rewalks_without_retracing() {
+        let server = tiny_server(1);
+        let base = Request::simple("warm", "tex", Scale::Small);
+        assert!(server.submit(base.clone()).unwrap().wait().ok);
+        let mut wide = base.clone();
+        wide.id = "wide".to_string();
+        wide.page_sizes = vec![PageSize::K16, PageSize::K32];
+        let widened = server.submit(wide.clone()).unwrap().wait();
+        assert_eq!(widened.cache, Some(CacheStatus::Rewalk));
+        // The widened entry now serves the wide ladder as a pure hit…
+        let mut again = wide;
+        again.id = "again".to_string();
+        let hit = server.submit(again).unwrap().wait();
+        assert_eq!(hit.cache, Some(CacheStatus::Hit));
+        assert_eq!(
+            widened.body.as_ref().unwrap().to_json(),
+            hit.body.as_ref().unwrap().to_json()
+        );
+        // …and the original narrow request still renders identically
+        // from the widened entry (body filters to the asked ladder).
+        let mut narrow = base;
+        narrow.id = "narrow2".to_string();
+        let narrow_resp = server.submit(narrow).unwrap().wait();
+        assert_eq!(narrow_resp.cache, Some(CacheStatus::Hit));
+        let stats = server.stats();
+        assert_eq!(stats.cache_misses, 1, "tex was traced exactly once");
+        assert_eq!(stats.cache_rewalks, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_preserves_order_and_reports_bad_requests_in_place() {
+        let server = tiny_server(2);
+        let reqs = vec![
+            Request::simple("1", "cc", Scale::Small),
+            Request::simple("2", "nope", Scale::Small),
+            Request::simple("3", "cc", Scale::Small),
+        ];
+        let resps = server.submit_batch(reqs);
+        assert_eq!(
+            resps.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            vec!["1", "2", "3"]
+        );
+        assert!(resps[0].ok);
+        assert!(!resps[1].ok);
+        assert!(resps[1]
+            .error
+            .as_ref()
+            .unwrap()
+            .contains("unknown workload"));
+        assert!(resps[2].ok);
+        assert_eq!(
+            resps[0].body.as_ref().unwrap().to_json(),
+            resps[2].body.as_ref().unwrap().to_json()
+        );
+        assert_eq!(server.stats().errors, 1);
+        server.shutdown();
+    }
+}

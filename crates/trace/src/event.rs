@@ -173,6 +173,15 @@ impl Trace {
         self.events.push(e);
     }
 
+    /// Approximate resident size of this trace in bytes: the event
+    /// storage plus the container itself. The replay service's trace
+    /// cache charges entries against its byte budget with this, so it
+    /// only needs to be honest about scale (events dominate), not exact
+    /// about allocator overhead.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.events.capacity() * std::mem::size_of::<Event>()
+    }
+
     /// Computes aggregate statistics in one pass.
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats::default();

@@ -94,6 +94,40 @@ impl Workload {
         Workload::all().into_iter().find(|w| w.name == name)
     }
 
+    /// A stable 64-bit content hash of the program and its inputs:
+    /// name, source text, machine arguments, and step budget — every
+    /// field that determines the phase-1 trace. Two workloads hash
+    /// equal exactly when a trace of one is a valid trace of the other,
+    /// which is what lets `databp-server`'s trace cache key on it.
+    ///
+    /// The hash is FNV-1a over a length-prefixed field encoding, so it
+    /// is identical across runs, hosts, and (absent workload changes)
+    /// builds. The pinned values in this crate's tests exist to make
+    /// any accidental drift — which would silently split or poison the
+    /// server's cache keyspace — a loud test failure.
+    pub fn workload_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h
+        }
+        // Length-prefix variable-size fields so ("ab","c") and
+        // ("a","bc") cannot collide.
+        fn eat_field(h: u64, bytes: &[u8]) -> u64 {
+            eat(eat(h, &(bytes.len() as u64).to_le_bytes()), bytes)
+        }
+        let mut h = eat_field(OFFSET, self.name.as_bytes());
+        h = eat_field(h, self.source.as_bytes());
+        h = eat(h, &(self.args.len() as u64).to_le_bytes());
+        for &a in &self.args {
+            h = eat(h, &a.to_le_bytes());
+        }
+        eat(h, &self.max_steps.to_le_bytes())
+    }
+
     /// A scaled-down variant for unit tests (same code paths, smaller
     /// trace).
     pub fn scaled_down(mut self) -> Workload {
@@ -266,6 +300,45 @@ mod tests {
 
     fn run_scaled(name: &str) -> Prepared {
         prepare(&Workload::by_name(name).unwrap().scaled_down()).unwrap()
+    }
+
+    #[test]
+    fn workload_hashes_are_pinned_stable_and_distinct() {
+        // Pinned trace-cache keys (full-scale, scaled-down). If this
+        // fails because a workload's source or inputs changed, update
+        // the pins: the point of the failure is that stale cached
+        // traces must never be served for new content.
+        let pinned: [(&str, u64, u64); 5] = [
+            ("cc", 0x3016_f34b_cbf6_7f40, 0xa40e_5ca2_36ff_4c24),
+            ("tex", 0xde7b_4b87_0b2a_bd17, 0xa25e_fb29_5f09_d76a),
+            ("spice", 0x55c6_dcc2_6d32_2f21, 0x4d5b_04ba_acbb_ef27),
+            ("qcd", 0x5fc8_1783_439e_50f4, 0x6991_73dd_0744_bd46),
+            ("bps", 0x13ca_3077_b14e_d200, 0x9d9a_e06b_bde7_712d),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (name, full, small) in pinned {
+            let w = Workload::by_name(name).unwrap();
+            assert_eq!(
+                w.workload_hash(),
+                full,
+                "{name}: full-scale hash drifted (got {:#018x})",
+                w.workload_hash()
+            );
+            let s = w.clone().scaled_down();
+            assert_eq!(
+                s.workload_hash(),
+                small,
+                "{name}: scaled-down hash drifted (got {:#018x})",
+                s.workload_hash()
+            );
+            // Hashing is pure: same content, same key.
+            assert_eq!(
+                w.workload_hash(),
+                Workload::by_name(name).unwrap().workload_hash()
+            );
+            assert!(seen.insert(full), "{name}: full hash collides");
+            assert!(seen.insert(small), "{name}: small hash collides");
+        }
     }
 
     #[test]

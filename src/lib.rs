@@ -51,6 +51,7 @@ pub use databp_core as core;
 pub use databp_harness as harness;
 pub use databp_machine as machine;
 pub use databp_models as models;
+pub use databp_server as server;
 pub use databp_sessions as sessions;
 pub use databp_sim as sim;
 pub use databp_stats as stats;
