@@ -1,0 +1,48 @@
+//! Replay-only microbenchmark: prepare each workload once, then time
+//! repeated phase-2 rewalks of the stored trace at the default ladder.
+use databp_machine::PageSize;
+use databp_sessions::{enumerate_sessions, SessionSet};
+use databp_sim::simulate_sizes;
+use databp_workloads::{prepare, Workload};
+use std::time::Instant;
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let ladder = [PageSize::K4, PageSize::K8];
+    let mut total_ns = 0u128;
+    let mut total_events = 0u128;
+    for w in Workload::all().into_iter().chain(Workload::bench()) {
+        let w = w.scaled_down();
+        let p = prepare(&w).expect("runs");
+        let sessions = enumerate_sessions(&p.plain.debug, &p.trace);
+        let set = SessionSet::new(sessions, &p.plain.debug, &p.trace);
+        // Warm up once, then time.
+        let warm = simulate_sizes(&p.trace, &set, &ladder);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let out = simulate_sizes(&p.trace, &set, &ladder);
+            assert_eq!(out, warm);
+        }
+        let dt = t0.elapsed().as_nanos();
+        let ev = p.trace.len() as u128 * reps as u128;
+        total_ns += dt;
+        total_events += ev;
+        println!(
+            "{:>14}: {:>8.1} ns/ev  ({} events x{} in {:.1} ms)",
+            w.name,
+            dt as f64 / ev as f64,
+            p.trace.len(),
+            reps,
+            dt as f64 / 1e6
+        );
+    }
+    println!(
+        "{:>14}: {:>8.1} ns/ev  ({} events total)",
+        "ALL",
+        total_ns as f64 / total_events as f64,
+        total_events
+    );
+}

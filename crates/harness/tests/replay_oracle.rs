@@ -1,0 +1,44 @@
+//! Pins the lane-packed replay engine against the naive per-session
+//! oracle on **every bundled workload** — the Table 1 set and the
+//! benchmark corpus — not just on synthetic property-test traces. The
+//! oracle is O(sessions × trace), so each workload checks a spread of
+//! session indices (first, last, and a deterministic stride between)
+//! rather than all of them; the full cross-product is covered by the
+//! property tests in `databp-sim`.
+
+use databp_machine::PageSize;
+use databp_sessions::{enumerate_sessions, SessionSet};
+use databp_sim::{simulate_naive, simulate_sizes, Membership};
+use databp_workloads::{prepare, Workload};
+
+#[test]
+fn vectorized_replay_matches_oracle_on_all_bundled_workloads() {
+    let ladder = [PageSize::K4, PageSize::K8, PageSize::K16];
+    for w in Workload::all().into_iter().chain(Workload::bench()) {
+        let w = w.scaled_down();
+        let p = prepare(&w).expect("workload runs");
+        let sessions = enumerate_sessions(&p.plain.debug, &p.trace);
+        let set = SessionSet::new(sessions, &p.plain.debug, &p.trace);
+        let n = set.count();
+        assert!(n > 0, "{}: no sessions enumerated", w.name);
+
+        let fast = simulate_sizes(&p.trace, &set, &ladder);
+
+        // First, last, and every ceil(n/17)-th session in between: the
+        // spread crosses 64-bit lane-word boundaries once n > 64.
+        let stride = n.div_ceil(17).max(1);
+        let mut picked: Vec<u32> = (0..n).step_by(stride).map(|s| s as u32).collect();
+        picked.push((n - 1) as u32);
+        picked.dedup();
+        for (k, &ps) in ladder.iter().enumerate() {
+            for &s in &picked {
+                let slow = simulate_naive(&p.trace, &set, ps, s);
+                assert_eq!(
+                    fast[k][s as usize], slow,
+                    "{}: session {s} diverges from the oracle at {ps}",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N]
-//!              [--stream] [--page-sizes LIST] <command>
+//!              [--stream] [--page-sizes LIST] [--store DIR] <command>
 //!
 //! commands:
 //!   all          every experiment, in paper order
@@ -27,16 +27,18 @@
 //!   serve        run the replay service: line-delimited JSON requests on
 //!                stdin, one response line each on stdout (see README
 //!                "Running as a service" for the schema); --jobs sets the
-//!                worker count
+//!                worker count; --store DIR persists traces across
+//!                restarts (the cache warm-starts from the directory)
 //!   client ARGS  in-process client for the batch API: one query per
 //!                listed workload name (duplicates exercise the trace
 //!                cache), or `--demo` for a canned mixed batch; prints
 //!                request lines, response lines, then a stats line
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
 //!   perfgate     compare results/perf.json against results/perf.prev.json
-//!                and fail if `harness.analyze` regressed — or the
-//!                service-mix `server.batch_throughput` dropped — more
-//!                than PERF_GATE_TOLERANCE_PCT percent (default 25);
+//!                and fail if `harness.analyze` or `sim.replay`
+//!                regressed — or the service-mix
+//!                `server.batch_throughput` dropped — more than
+//!                PERF_GATE_TOLERANCE_PCT percent (default 25);
 //!                missing or unparsable snapshots pass (first-run
 //!                friendly)
 //!   perf         instrumented small-scale run; prints per-table
@@ -52,7 +54,11 @@
 //!   dist W A     histogram of per-session overheads for workload W under
 //!                approach A (nh, vm4k, vm8k, tp, cp)
 //!   trace W F    run workload W and save its phase-1 trace to file F
-//!                (binary when F ends in .bin, text otherwise)
+//!                (columnar DBPT v2 when F ends in .dbpt, v1 binary when
+//!                .bin, text otherwise)
+//!   trace dump F     decode a trace file (any format) and print it as text
+//!   trace convert I O  re-encode trace file I as O (format by extension,
+//!                as for `trace W F`); v1→v2 conversion is lossless
 //!
 //! options:
 //!   --small           run scaled-down workloads (fast; for smoke tests)
@@ -68,6 +74,10 @@
 //!   --page-sizes LIST comma-separated page-size ladder, e.g. 4K,8K,16K,32K
 //!                     (4K and 8K are always included — the overhead
 //!                     models need them; all sizes share one trace walk)
+//!   --store DIR       persistent trace store directory for `serve`: cache
+//!                     misses save their trace as DBPT v2 files and a
+//!                     restarted server warm-starts from them (first repeat
+//!                     request is a hit with zero phase-1 work)
 //! ```
 
 use databp_harness::figures::{figure, figure_ascii, Figure};
@@ -84,7 +94,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] \
-                     [--stream] [--page-sizes LIST] <command>\n\
+                     [--stream] [--page-sizes LIST] [--store DIR] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
                      expansion loopopt staticopt dyncp nhcoverage ladder serve client verify \
                      perf perfgate sessions dist trace\n\
@@ -151,6 +161,7 @@ struct Opts {
     jobs: usize,
     stream: bool,
     ladder: Vec<PageSize>,
+    store: Option<PathBuf>,
 }
 
 impl Opts {
@@ -173,6 +184,7 @@ impl Opts {
             // `--stream` opts the one-shot commands *into* streaming;
             // the service streams by default and the flag is a no-op.
             stream: true,
+            store: self.store.clone(),
             ..ServerConfig::default()
         }
     }
@@ -197,7 +209,16 @@ fn main() -> ExitCode {
         jobs: default_jobs(),
         stream: false,
         ladder: vec![PageSize::K4, PageSize::K8],
+        store: None,
     };
+    if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--store needs a directory");
+            return ExitCode::FAILURE;
+        }
+        opts.store = Some(PathBuf::from(args.remove(pos)));
+    }
     if let Some(pos) = args.iter().position(|a| a == "--stream") {
         args.remove(pos);
         opts.stream = true;
@@ -342,39 +363,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
             );
             return ExitCode::SUCCESS;
         }
-        "trace" => {
-            let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: repro trace <workload> <file>");
-                return ExitCode::FAILURE;
-            };
-            let Some(w) = Workload::by_name(name) else {
-                eprintln!("unknown workload '{name}'");
-                return ExitCode::FAILURE;
-            };
-            let w = match opts.scale {
-                Scale::Full => w,
-                Scale::Small => w.scaled_down(),
-            };
-            let p = databp_workloads::prepare(&w).expect("workload runs");
-            let mut buf = Vec::new();
-            if path.ends_with(".bin") {
-                databp_trace::write_binary(&p.trace, &mut buf).expect("encode");
-            } else {
-                databp_trace::write_text(&p.trace, &mut buf).expect("encode");
-            }
-            std::fs::write(path, &buf).expect("write trace file");
-            let st = p.trace.stats();
-            println!(
-                "{}: {} events ({} writes, {} installs) -> {} ({} bytes)",
-                name,
-                p.trace.len(),
-                st.writes,
-                st.installs,
-                path,
-                buf.len()
-            );
-            return ExitCode::SUCCESS;
-        }
+        "trace" => return trace_cmd(&args[1..], opts),
         "sessions" => {
             let Some(name) = args.get(1) else {
                 eprintln!("usage: repro sessions <workload>");
@@ -472,17 +461,141 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Encodes `trace` in the format `path`'s extension names: columnar
+/// DBPT v2 for `.dbpt`, row-oriented v1 binary for `.bin`, text
+/// otherwise. `meta` only survives into the v2 form (the other formats
+/// have no meta slot).
+fn encode_trace_as(trace: &databp_trace::Trace, meta: &[u8], path: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    if path.ends_with(".dbpt") {
+        databp_trace::write_columnar(trace, meta, &mut buf).expect("encode");
+    } else if path.ends_with(".bin") {
+        databp_trace::write_binary(trace, &mut buf).expect("encode");
+    } else {
+        databp_trace::write_text(trace, &mut buf).expect("encode");
+    }
+    buf
+}
+
+/// Decodes a trace file in any supported format: DBPT v1/v2 by magic,
+/// falling back to the text form. Returns the trace plus the v2 meta
+/// blob (empty for the other formats).
+fn decode_trace_file(path: &str) -> Result<(databp_trace::Trace, Vec<u8>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match databp_trace::read_any(&bytes) {
+        Ok(out) => Ok(out),
+        Err(binary_err) => match std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| databp_trace::read_text(text).ok())
+        {
+            Some(trace) => Ok((trace, Vec::new())),
+            None => Err(format!("cannot decode {path}: {binary_err}")),
+        },
+    }
+}
+
+/// The `trace` subcommand family: `trace W F` runs a workload and saves
+/// its phase-1 trace; `trace dump F` decodes any trace file to text;
+/// `trace convert I O` re-encodes between the text, v1 binary, and v2
+/// columnar forms.
+fn trace_cmd(args: &[String], opts: &Opts) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("dump") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: repro trace dump <file>");
+                return ExitCode::FAILURE;
+            };
+            let (trace, meta) = match decode_trace_file(path) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("trace dump: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let st = trace.stats();
+            eprintln!(
+                "{path}: {} events ({} writes, {} installs), {} meta bytes",
+                trace.len(),
+                st.writes,
+                st.installs,
+                meta.len()
+            );
+            let mut out = Vec::new();
+            databp_trace::write_text(&trace, &mut out).expect("encode");
+            print!("{}", String::from_utf8(out).expect("text form is UTF-8"));
+            ExitCode::SUCCESS
+        }
+        Some("convert") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: repro trace convert <in> <out>");
+                return ExitCode::FAILURE;
+            };
+            let (trace, meta) = match decode_trace_file(input) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("trace convert: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let buf = encode_trace_as(&trace, &meta, output);
+            std::fs::write(output, &buf).expect("write trace file");
+            println!(
+                "{input}: {} events -> {output} ({} bytes)",
+                trace.len(),
+                buf.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(name) => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: repro trace <workload> <file>");
+                return ExitCode::FAILURE;
+            };
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let w = match opts.scale {
+                Scale::Full => w,
+                Scale::Small => w.scaled_down(),
+            };
+            let p = databp_workloads::prepare(&w).expect("workload runs");
+            let buf = encode_trace_as(&p.trace, &[], path);
+            std::fs::write(path, &buf).expect("write trace file");
+            let st = p.trace.stats();
+            println!(
+                "{}: {} events ({} writes, {} installs) -> {} ({} bytes)",
+                name,
+                p.trace.len(),
+                st.writes,
+                st.installs,
+                path,
+                buf.len()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("usage: repro trace <workload> <file> | trace dump <file> | trace convert <in> <out>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The `serve` subcommand: the replay service on stdin/stdout. One
 /// request per line in, one response per line out, in input order;
 /// EOF drains the queue and exits cleanly.
 fn serve_stdio(opts: &Opts) -> ExitCode {
     let cfg = opts.server();
     eprintln!(
-        "replay service ready: {} workers, queue depth {}, {}MiB trace cache \
+        "replay service ready: {} workers, queue depth {}, {}MiB trace cache{} \
          (one JSON request per line on stdin; Ctrl-D to finish)",
         cfg.workers,
         cfg.queue_depth,
-        cfg.cache_bytes >> 20
+        cfg.cache_bytes >> 20,
+        match &cfg.store {
+            Some(dir) => format!(", trace store at {}", dir.display()),
+            None => String::new(),
+        }
     );
     let server = Server::start(cfg);
     let stdin = std::io::stdin();
@@ -676,6 +789,34 @@ fn perf(opts: &Opts) -> ExitCode {
         vrows.push(("server-mix", secs, vclock() - v0));
         secs
     };
+
+    // Bench-corpus replay phase: trace the four benchmark workloads,
+    // round-trip each trace through a TraceStore (so the
+    // `trace.store.*` counters land in the snapshot), and replay the
+    // *loaded* trace at a three-size ladder. The `sim.replay` span this
+    // accumulates — together with the Table 1 replays above — is the
+    // lane-packed engine's gated latency metric.
+    {
+        let t0 = std::time::Instant::now();
+        let v0 = vclock();
+        let dir = std::env::temp_dir().join(format!("databp-perf-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = databp_trace::TraceStore::open(&dir).expect("open perf trace store");
+        for w in Workload::bench() {
+            let w = w.scaled_down();
+            let p = databp_workloads::prepare(&w).expect("workload runs");
+            let key = p.workload.workload_hash();
+            store.save(key, &p.trace, &[]).expect("save bench trace");
+            let (trace, _meta) = store
+                .load(key)
+                .expect("load bench trace")
+                .expect("entry exists");
+            assert_eq!(trace.len(), p.trace.len(), "store round-trip lost events");
+            let _ = databp_harness::reanalyze(&p, &[PageSize::K4, PageSize::K8, PageSize::K16]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        vrows.push(("bench-replay", t0.elapsed().as_secs_f64(), vclock() - v0));
+    }
     let wall_secs = wall.elapsed().as_secs_f64();
     eprintln!("workloads done in {wall_secs:.2}s.\n");
 
@@ -816,8 +957,9 @@ fn load_snapshot(path: &str) -> Result<Option<(Snapshot, String)>, String> {
 /// The `perfgate` subcommand: CI's perf-smoke gate. Compares
 /// results/perf.json against results/perf.prev.json and fails on a
 /// real regression beyond the tolerance (`PERF_GATE_TOLERANCE_PCT`,
-/// default 25) in either gated metric: the `harness.analyze` span
-/// (one-shot pipeline latency, lower is better) or the
+/// default 25) in any gated metric: the `harness.analyze` span
+/// (one-shot pipeline latency, lower is better), the `sim.replay` span
+/// (lane-packed replay engine latency, lower is better), or the
 /// `server.batch_throughput` derived rate (service-mix requests/sec,
 /// higher is better). A missing or unparsable snapshot on either side
 /// passes — a fresh checkout has no baseline, and that must not break
@@ -863,7 +1005,26 @@ fn perfgate() -> ExitCode {
         _ => eprintln!("perfgate: no harness.analyze baseline — span gate skipped"),
     }
 
-    // Gate 2: service-mix batch throughput (higher is better; a *drop*
+    // Gate 2: lane-packed replay latency (lower is better). The
+    // `sim.replay` span sums every phase-2 walk of the perf run — the
+    // Table 1 streamed replays plus the bench-corpus replay phase.
+    let replay_ms = |s: &Snapshot| s.span("sim.replay").map(|sp| sp.total_ns as f64 / 1e6);
+    match (replay_ms(&cur), replay_ms(&prev)) {
+        (Some(cur_ms), Some(prev_ms)) if prev_ms > 0.0 => {
+            let change = (cur_ms - prev_ms) / prev_ms * 100.0;
+            println!(
+                "perfgate: sim.replay {prev_ms:.3}ms -> {cur_ms:.3}ms ({change:+.1}%), \
+                 tolerance +{tolerance:.0}%"
+            );
+            if change > tolerance {
+                eprintln!("perfgate: FAIL — sim.replay regressed beyond the tolerance");
+                failed = true;
+            }
+        }
+        _ => eprintln!("perfgate: no sim.replay baseline — replay gate skipped"),
+    }
+
+    // Gate 3: service-mix batch throughput (higher is better; a *drop*
     // beyond the tolerance fails).
     let throughput = |s: &Snapshot| {
         s.derived

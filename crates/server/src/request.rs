@@ -40,7 +40,9 @@ pub enum RequestLine {
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub id: String,
-    /// Workload name (`cc`, `tex`, `spice`, `qcd`, `bps`).
+    /// Workload name: one of the Table 1 set (`cc`, `tex`, `spice`,
+    /// `qcd`, `bps`) or the benchmark corpus (`matmul`, `fib`,
+    /// `struct_bench`, `bitwise`).
     pub workload: String,
     /// Workload scale. Defaults to [`Scale::Small`]: service traffic is
     /// interactive, and full-scale traces are an explicit opt-in.
@@ -92,7 +94,7 @@ impl Request {
     pub fn resolve_workload(&self) -> Result<Workload, String> {
         let w = Workload::by_name(&self.workload).ok_or_else(|| {
             format!(
-                "unknown workload {:?} (cc, tex, spice, qcd, bps)",
+                "unknown workload {:?} (cc, tex, spice, qcd, bps, matmul, fib, struct_bench, bitwise)",
                 self.workload
             )
         })?;

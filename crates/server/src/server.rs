@@ -22,13 +22,24 @@
 //! All three paths render through the same pure
 //! [`body_for`](crate::request::body_for), which is what makes cached
 //! answers byte-identical to fresh ones.
+//!
+//! With a [`ServerConfig::store`] directory configured, every phase-1
+//! miss additionally persists its trace to a
+//! [`TraceStore`](databp_trace::TraceStore), and `Server::start`
+//! **warm-starts** from the same directory: each stored trace is
+//! reconstituted into a full cache entry (plain build recompiled, one
+//! phase-2 [`reanalyze`] walk, *zero* phase-1 work), so the first
+//! repeat request after a restart is already a cache hit.
 
 use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use databp_harness::{analyze_opts, reanalyze, AnalyzeOpts, WorkloadResults};
 use databp_machine::PageSize;
+use databp_trace::TraceStore;
+use databp_workloads::{compile_plain, Prepared, Workload};
 
 use crate::cache::{Lookup, TraceCache};
 use crate::request::{body_for, CacheStatus, Request, Response};
@@ -46,6 +57,10 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Use the streamed phase-1/phase-2 overlap on cache misses.
     pub stream: bool,
+    /// Directory of the persistent trace store. When set, cache misses
+    /// save their trace here and `Server::start` warm-starts the cache
+    /// from whatever the directory already holds.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +74,7 @@ impl Default for ServerConfig {
             // full-scale traffic will evict LRU, which is the point.
             cache_bytes: 512 << 20,
             stream: true,
+            store: None,
         }
     }
 }
@@ -146,9 +162,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool and returns a ready server.
+    /// Starts the worker pool and returns a ready server. With a
+    /// configured [`ServerConfig::store`], the cache is warm-started
+    /// from the store directory first (synchronously — a started server
+    /// answers repeat requests as hits from its very first job).
     pub fn start(config: ServerConfig) -> Server {
         let cache: TraceCache<WorkloadResults> = TraceCache::new(config.cache_bytes);
+        if let Some(dir) = &config.store {
+            warm_start(&cache, dir);
+        }
         let stats = Arc::new(StatsInner::default());
         let pool = {
             let cache = cache.clone();
@@ -292,8 +314,147 @@ impl Server {
                 let results = analyze_opts(&workload, &opts);
                 let bytes = entry_bytes(&results);
                 let arc = cache.fill(guard, results, bytes);
+                if let Some(dir) = &cfg.store {
+                    save_to_store(dir, key, &arc.prepared);
+                }
                 Ok((CacheStatus::Miss, arc))
             }
+        }
+    }
+}
+
+/// Version tag of the store meta blob (bumped if the layout changes).
+const META_VERSION: u32 = 1;
+
+/// Encodes the base-run measurements a warm start cannot rederive
+/// without re-running phase 1: base time, instruction count, and the
+/// program output (the workload-integrity reference). Everything else
+/// in a [`Prepared`] is recompiled or decoded from the trace columns.
+fn encode_meta(prepared: &Prepared) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + prepared.output.len());
+    out.extend_from_slice(&META_VERSION.to_le_bytes());
+    out.extend_from_slice(&prepared.base_us.to_bits().to_le_bytes());
+    out.extend_from_slice(&prepared.instructions.to_le_bytes());
+    out.extend_from_slice(&(prepared.output.len() as u64).to_le_bytes());
+    out.extend_from_slice(&prepared.output);
+    out
+}
+
+/// Decodes [`encode_meta`]'s blob: `(base_us, instructions, output)`.
+fn decode_meta(meta: &[u8]) -> Result<(f64, u64, Vec<u8>), String> {
+    let take8 = |at: usize| -> Result<u64, String> {
+        let bytes: [u8; 8] = meta
+            .get(at..at + 8)
+            .ok_or("meta blob truncated")?
+            .try_into()
+            .expect("slice is 8 bytes");
+        Ok(u64::from_le_bytes(bytes))
+    };
+    let version = u32::from_le_bytes(
+        meta.get(0..4)
+            .ok_or("meta blob truncated")?
+            .try_into()
+            .expect("slice is 4 bytes"),
+    );
+    if version != META_VERSION {
+        return Err(format!("unknown meta version {version}"));
+    }
+    let base_us = f64::from_bits(take8(4)?);
+    let instructions = take8(12)?;
+    let output_len = take8(20)? as usize;
+    let output = meta.get(28..).ok_or("meta blob truncated")?;
+    if output.len() != output_len {
+        return Err(format!(
+            "meta output length mismatch: header says {output_len}, blob has {}",
+            output.len()
+        ));
+    }
+    Ok((base_us, instructions, output.to_vec()))
+}
+
+/// Saves one freshly traced entry to the store. Persistence is
+/// best-effort: a failed save costs a warning and a re-trace after the
+/// next restart, never the response.
+fn save_to_store(dir: &Path, key: u64, prepared: &Prepared) {
+    let result = TraceStore::open(dir)
+        .and_then(|store| store.save(key, &prepared.trace, &encode_meta(prepared)));
+    if let Err(e) = result {
+        eprintln!(
+            "warning: trace store save failed for {} ({key:016x}): {e}",
+            prepared.workload.name
+        );
+    }
+}
+
+/// Every workload hash the store could legitimately hold: the bundled
+/// corpus (Table 1 set plus benchmarks) at both scales.
+fn known_workloads() -> std::collections::HashMap<u64, Workload> {
+    let mut map = std::collections::HashMap::new();
+    for w in Workload::all().into_iter().chain(Workload::bench()) {
+        let small = w.clone().scaled_down();
+        map.insert(small.workload_hash(), small);
+        map.insert(w.workload_hash(), w);
+    }
+    map
+}
+
+/// Rebuilds cache entries from the persistent store: for each stored
+/// trace whose key names a bundled workload, recompile the plain build,
+/// reattach the trace and base-run meta, and run one phase-2 walk at
+/// the default ladder. No phase 1 runs — that is the store's whole
+/// point. Entries that fail to load or decode are skipped with a
+/// warning (the next miss simply re-traces and overwrites them).
+fn warm_start(cache: &TraceCache<WorkloadResults>, dir: &Path) {
+    let store = match TraceStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warning: trace store {} unusable: {e}", dir.display());
+            return;
+        }
+    };
+    let keys = match store.keys() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("warning: trace store {} unlistable: {e}", dir.display());
+            return;
+        }
+    };
+    let known = known_workloads();
+    for key in keys {
+        let Some(workload) = known.get(&key) else {
+            eprintln!("warning: trace store entry {key:016x} names no bundled workload, skipping");
+            continue;
+        };
+        let (trace, meta) = match store.load(key) {
+            Ok(Some(entry)) => entry,
+            Ok(None) => continue,
+            Err(e) => {
+                eprintln!("warning: trace store entry {key:016x} unreadable: {e}");
+                continue;
+            }
+        };
+        let (base_us, instructions, output) = match decode_meta(&meta) {
+            Ok(parts) => parts,
+            Err(e) => {
+                eprintln!("warning: trace store entry {key:016x} has bad meta: {e}");
+                continue;
+            }
+        };
+        let plain = compile_plain(workload);
+        let prepared = Prepared::from_parts(
+            workload.clone(),
+            plain,
+            trace,
+            base_us,
+            instructions,
+            output,
+        );
+        let ladder = AnalyzeOpts::default().normalized_ladder();
+        let results = reanalyze(&prepared, &ladder);
+        let bytes = entry_bytes(&results);
+        if let Lookup::MustBuild(guard) = cache.lookup_or_begin(key) {
+            cache.fill(guard, results, bytes);
+            databp_telemetry::count!("server.store.warm_entries");
         }
     }
 }
@@ -329,7 +490,65 @@ mod tests {
             queue_depth: 16,
             cache_bytes: 512 << 20,
             stream: true,
+            store: None,
         })
+    }
+
+    #[test]
+    fn meta_blob_round_trips_and_rejects_garbage() {
+        let w = Workload::all().remove(0).scaled_down();
+        let prepared = databp_workloads::prepare(&w).expect("workload runs");
+        let meta = encode_meta(&prepared);
+        let (base_us, instructions, output) = decode_meta(&meta).expect("own blob decodes");
+        assert_eq!(base_us.to_bits(), prepared.base_us.to_bits());
+        assert_eq!(instructions, prepared.instructions);
+        assert_eq!(output, prepared.output);
+        for cut in 0..meta.len() {
+            assert!(decode_meta(&meta[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let mut wrong = meta.clone();
+        wrong[0] ^= 0xff; // version
+        assert!(decode_meta(&wrong).is_err());
+    }
+
+    #[test]
+    fn store_round_trip_warm_starts_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("databp-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 16,
+            cache_bytes: 512 << 20,
+            stream: true,
+            store: Some(dir.clone()),
+        });
+        let req = Request::simple("cold", "cc", Scale::Small);
+        let first = cold.submit(req.clone()).unwrap().wait();
+        assert_eq!(first.cache, Some(CacheStatus::Miss));
+        cold.shutdown();
+
+        // A brand-new server over the same directory starts warm: the
+        // very first request is a pure hit with identical bytes.
+        let warm = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 16,
+            cache_bytes: 512 << 20,
+            stream: true,
+            store: Some(dir.clone()),
+        });
+        assert_eq!(warm.stats().cache_entries, 1);
+        let mut again = req;
+        again.id = "warm".to_string();
+        let second = warm.submit(again).unwrap().wait();
+        assert_eq!(second.cache, Some(CacheStatus::Hit));
+        assert_eq!(
+            first.body.as_ref().unwrap().to_json(),
+            second.body.as_ref().unwrap().to_json(),
+            "warm-started answer must be byte-identical"
+        );
+        assert_eq!(warm.stats().cache_misses, 0, "no phase 1 after restart");
+        warm.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The one-pass multi-session counting engine, fused across a page-size
-//! ladder.
+//! ladder and vectorized across sessions.
 //!
 //! One call to [`simulate_sizes`] walks the trace **once** and
 //! accumulates [`Counts`] for every requested page size simultaneously —
@@ -24,6 +24,53 @@
 //! accounting are shared, so the dominant replay work is paid once
 //! regardless of ladder length.
 //!
+//! # Lane-packed session sweep
+//!
+//! Session state within a write is held in `u64` bitset lanes, 64
+//! sessions per word (see [`SessionLanes`]). Each monitored instance
+//! carries its member set as sparse `(word, bits)` lane pairs, so
+//! charging a write to all member sessions is one word OR per *occupied*
+//! lane word into per-level *touch lanes* (`touch_lanes[k]`) and a *hit
+//! lane*, instead of a per-member scalar loop with stamp branches. A
+//! post-pass over the (few) dirty lane words then settles counters: set
+//! bits of the hit lane bump `MonitorHit`; for active-page misses the
+//! ascending-level scan `t = touch_lanes[k] & !below; below |= t`
+//! isolates each session's *minimum* touch level in exactly one `t`,
+//! and a hit (folded into `below` first) suppresses the APM at every
+//! size. Lane words are zeroed lazily via per-word write stamps, so a
+//! write that touches no monitored page pays nothing and a sparse touch
+//! pays per dirty word, not per session universe. Because the per-write
+//! state is all bitsets, charging is idempotent — an instance spanning
+//! several base pages may be swept more than once with no stamp
+//! bookkeeping. Each occupied base page additionally caches the *union*
+//! of its instances' member lanes (rebuilt lazily when the page's
+//! generation moves), so touch charging is one OR pass per page rather
+//! than per instance; individual instances are only walked at level 0,
+//! where byte overlap decides hits.
+//!
+//! # Memoized write effects
+//!
+//! Traced programs are loops: the same store site writes the same
+//! `(ba, ea)` span thousands of times while the monitor population on
+//! its pages is unchanged, and the per-session effect of such a write —
+//! which sessions take a `MonitorHit`, which take an active-page miss
+//! and at which minimum ladder level — is a pure function of the span
+//! and the instances living on its probed pages. The engine therefore
+//! memoizes settled effects in a `(ba, ea) → effect` table, validated
+//! by per-base-page *generations*: every install/remove bumps the
+//! generation of each base page the instance covers, and an effect is
+//! reusable iff the maximum generation over the write's probed page
+//! range still equals the snapshot taken when it was recorded. Effects
+//! are applied *deferred*: a valid memo hit only increments the
+//! effect's multiplicity, and the accumulated count is flushed into the
+//! per-session counters when the effect is superseded or at the final
+//! `counts` settle. A repeated write then costs one occupancy probe,
+//! one generation max, one hash lookup, and one increment — O(1) no
+//! matter how many sessions it touches; the full page sweep runs only
+//! for novel spans or after the monitor set on those pages actually
+//! changed. Effect session lists live in append-only arenas
+//! (`eff_hits` / `eff_apms`), so a flush is a branch-free counter walk.
+//!
 //! Hits are page-size-independent by construction: a write that overlaps
 //! a monitored instance shares at least one byte with it, hence shares a
 //! base page inside the write's own range (level 0), so the sweep always
@@ -36,7 +83,7 @@
 //! trace generation. [`simulate`] / [`simulate_fused`] /
 //! [`simulate_sizes`] remain the materialized-trace entry points.
 
-use crate::membership::Membership;
+use crate::membership::{Membership, SessionLanes};
 use crate::slots::SlotList;
 use crate::stream::{FixedMembership, StreamingReplay};
 use databp_machine::PageSize;
@@ -49,14 +96,77 @@ use rustc_hash::FxHashMap;
 struct Instance {
     ba: u32,
     ea: u32,
-    /// Index into the engine's interned membership lists.
+    /// Index into the engine's interned membership lanes.
     members: u32,
 }
 
-/// Packs a (session, page) pair into one map key.
-#[inline]
-fn session_page(s: u32, page: u32) -> u64 {
-    (u64::from(s) << 32) | u64::from(page)
+/// A memoized, settled write effect: arena ranges of the sessions that
+/// hit and the sessions that take an APM (packed with their minimum
+/// ladder level), valid while the generation max over the write's
+/// probed base pages equals `gen`. `count` is the effect's multiplicity
+/// — how many writes produced it since it was last flushed into the
+/// per-session counters. Deferring the application this way makes a
+/// repeated write O(1) no matter how many sessions it touches.
+#[derive(Debug, Clone, Copy)]
+struct Effect {
+    gen: u64,
+    count: u64,
+    hits: (u32, u32),
+    apms: (u32, u32),
+}
+
+/// APM arena entries pack `level << LEVEL_SHIFT | session`.
+const LEVEL_SHIFT: u32 = 24;
+
+/// Per-page active member-monitor counts: unsorted `(session, count)`
+/// pairs, scanned linearly. A page's distinct member-session set is
+/// small (the instances living there share interned member sets), so a
+/// sequential L1 scan beats a hash probe per (session, page) op — and
+/// install/remove pay this op per member per covered page per size,
+/// which makes it the hottest part of instance turnover.
+#[derive(Debug, Clone, Default)]
+struct PageSessions(Vec<(u32, u32)>);
+
+impl PageSessions {
+    /// Increments `s`'s count; true when the page becomes newly active
+    /// for `s` (a `vm_protect` transition).
+    #[inline]
+    fn add(&mut self, s: u32) -> bool {
+        for p in self.0.iter_mut() {
+            if p.0 == s {
+                p.1 += 1;
+                return false;
+            }
+        }
+        self.0.push((s, 1));
+        true
+    }
+
+    /// Decrements `s`'s count; true when the page goes inactive for `s`
+    /// (a `vm_unprotect` transition).
+    #[inline]
+    fn sub(&mut self, s: u32) -> bool {
+        for (i, p) in self.0.iter_mut().enumerate() {
+            if p.0 == s {
+                p.1 -= 1;
+                if p.1 == 0 {
+                    self.0.swap_remove(i);
+                    return true;
+                }
+                return false;
+            }
+        }
+        panic!("page count exists for member session");
+    }
+}
+
+/// A lazily cached union of the member lanes of every instance on one
+/// base page, valid while `gen` equals the page's generation. The pair
+/// list is unsorted; only nonzero words appear.
+#[derive(Debug, Clone, Default)]
+struct PageUnion {
+    gen: u64,
+    pairs: Vec<(u32, u64)>,
 }
 
 /// Page-derived state for one ladder size. Only the base (smallest)
@@ -64,9 +174,8 @@ fn session_page(s: u32, page: u32) -> u64 {
 /// active-page-miss tallies of their own but share the base walk.
 struct SizeState {
     page_size: PageSize,
-    /// Packed (session, page) -> active member-monitor count, in this
-    /// size's page numbering.
-    page_counts: FxHashMap<u64, u32>,
+    /// Active member-monitor counts indexed by this size's page number.
+    page_counts: Vec<PageSessions>,
     // Per-session accumulators.
     apm: Vec<u64>,
     vm_protect: Vec<u64>,
@@ -93,32 +202,50 @@ pub(crate) struct EngineCore {
     /// the ~100 KiB `pages` array — which matters most when replay
     /// interleaves with the traced run and shares its cache.
     occ: Vec<u64>,
+    /// Per-base-page generation: the `stamp` value of the last
+    /// install/remove covering the page. Validates memoized effects and
+    /// cached page unions.
+    page_gen: Vec<u64>,
+    /// Per-base-page cached union of the member lanes of every instance
+    /// on the page, rebuilt lazily when the page's generation moves.
+    /// Lets the sweep charge a whole page's touch in one pair walk
+    /// instead of one walk per instance.
+    page_union: Vec<PageUnion>,
     /// Slab of live instances; `None` slots are free.
     instances: Vec<Option<Instance>>,
     free: Vec<u32>,
     /// Live lookup by (object, install base address).
     live: FxHashMap<(ObjectDesc, u32), u32>,
-    /// Interned membership lists (see [`EngineCore::intern`]).
-    member_lists: Vec<Box<[u32]>>,
-    /// Per-instance write stamp + smallest level processed this stamp.
-    inst_stamp: Vec<u64>,
-    inst_min: Vec<u8>,
+    /// Interned membership lane sets (see [`EngineCore::intern`]).
+    member_lanes: Vec<SessionLanes>,
     // Per-session accumulators (page-size-independent).
     hits: Vec<u64>,
     installs: Vec<u64>,
     removes: Vec<u64>,
-    /// Stamp of the last write that hit the session (hits are
-    /// page-size-independent, see module docs).
-    last_hit: Vec<u64>,
-    /// Stamp of the last write that touched the session at any size,
-    /// and the smallest level it was touched at.
-    last_touch: Vec<u64>,
-    touch_min: Vec<u8>,
-    /// Scratch: sessions touched by the current write (reused).
-    touched: Vec<u32>,
+    /// Lane words per session array (`ceil(sessions / 64)`).
+    width: usize,
+    /// Per-level touch lanes for the current write, flattened as
+    /// `[level * width + word]`. Zeroed lazily via `word_stamp`.
+    touch_lanes: Vec<u64>,
+    /// Hit lanes for the current write (`[word]`), lazily zeroed.
+    hit_lanes: Vec<u64>,
+    /// Stamp of the write that last initialized lane `word` across all
+    /// levels; a stale stamp means the word's lanes are garbage and get
+    /// zeroed on first touch.
+    word_stamp: Vec<u64>,
+    /// Scratch: lane words dirtied by the current write (reused).
+    dirty: Vec<u32>,
+    /// Memoized write effects keyed by `ba << 32 | ea`; the value
+    /// indexes `effects`, so revalidating a stale entry after an
+    /// install/remove overwrites in place without re-hashing.
+    memo: FxHashMap<u64, u32>,
+    effects: Vec<Effect>,
+    /// Effect arenas (append-only; superseded ranges are abandoned).
+    eff_hits: Vec<u32>,
+    eff_apms: Vec<u32>,
     total_writes: u64,
-    /// Write stamp, pre-incremented per write; 0 is the never-stamped
-    /// sentinel.
+    /// Event stamp, pre-incremented per write and per install/remove;
+    /// 0 is the never-stamped sentinel.
     stamp: u64,
     /// Scratch: per-size expanded base-page bounds of the current write.
     lo: Vec<u32>,
@@ -136,13 +263,17 @@ impl EngineCore {
         );
         let base_shift = ladder[0].shift();
         let n = ladder.len();
+        let base_pages = (databp_machine::MEM_SIZE >> base_shift) as usize;
         EngineCore {
             base_shift,
             sizes: ladder
                 .iter()
                 .map(|&ps| SizeState {
                     page_size: ps,
-                    page_counts: FxHashMap::default(),
+                    page_counts: vec![
+                        PageSessions::default();
+                        (databp_machine::MEM_SIZE >> ps.shift()) as usize
+                    ],
                     apm: Vec::new(),
                     vm_protect: Vec::new(),
                     vm_unprotect: Vec::new(),
@@ -150,21 +281,26 @@ impl EngineCore {
                 .collect(),
             // Pre-size for the machine's whole data space; traces from
             // real workloads never grow this.
-            pages: vec![SlotList::default(); (databp_machine::MEM_SIZE >> base_shift) as usize],
-            occ: vec![0; ((databp_machine::MEM_SIZE >> base_shift) as usize).div_ceil(64)],
+            pages: vec![SlotList::default(); base_pages],
+            occ: vec![0; base_pages.div_ceil(64)],
+            page_gen: vec![0; base_pages],
+            page_union: vec![PageUnion::default(); base_pages],
             instances: Vec::new(),
             free: Vec::new(),
             live: FxHashMap::default(),
-            member_lists: Vec::new(),
-            inst_stamp: Vec::new(),
-            inst_min: Vec::new(),
+            member_lanes: Vec::new(),
             hits: Vec::new(),
             installs: Vec::new(),
             removes: Vec::new(),
-            last_hit: Vec::new(),
-            last_touch: Vec::new(),
-            touch_min: Vec::new(),
-            touched: Vec::new(),
+            width: 0,
+            touch_lanes: Vec::new(),
+            hit_lanes: Vec::new(),
+            word_stamp: Vec::new(),
+            dirty: Vec::new(),
+            memo: FxHashMap::default(),
+            effects: Vec::new(),
+            eff_hits: Vec::new(),
+            eff_apms: Vec::new(),
             total_writes: 0,
             stamp: 0,
             lo: vec![0; n],
@@ -173,19 +309,26 @@ impl EngineCore {
     }
 
     /// Grows every per-session accumulator to cover sessions `0..n`.
-    /// New sessions start with zeroed counters and never-stamped
-    /// sentinels, which is correct because they could not have been
-    /// touched by any event replayed before they existed.
+    /// New sessions start with zeroed counters, which is correct because
+    /// they could not have been touched by any event replayed before
+    /// they existed. Lane scratch re-strides on growth; that is safe
+    /// because growth only happens between writes and every lane word is
+    /// stamp-gated, so stale content is zeroed before its next use.
     pub(crate) fn ensure_sessions(&mut self, n: usize) {
         if self.hits.len() >= n {
             return;
         }
+        assert!(
+            n < (1 << LEVEL_SHIFT),
+            "session universe exceeds the effect-arena packing"
+        );
         self.hits.resize(n, 0);
         self.installs.resize(n, 0);
         self.removes.resize(n, 0);
-        self.last_hit.resize(n, 0);
-        self.last_touch.resize(n, 0);
-        self.touch_min.resize(n, 0);
+        self.width = n.div_ceil(64);
+        self.touch_lanes.resize(self.sizes.len() * self.width, 0);
+        self.hit_lanes.resize(self.width, 0);
+        self.word_stamp.resize(self.width, 0);
         for st in &mut self.sizes {
             st.apm.resize(n, 0);
             st.vm_protect.resize(n, 0);
@@ -193,13 +336,14 @@ impl EngineCore {
         }
     }
 
-    /// Interns a member-session list, returning its index for
+    /// Interns a member-session set, returning its index for
     /// [`EngineCore::install`]. Callers cache per object descriptor —
     /// all instantiations of a local share one descriptor, so this
     /// interns per variable.
     pub(crate) fn intern(&mut self, sessions: &[u32]) -> u32 {
-        let i = self.member_lists.len() as u32;
-        self.member_lists.push(sessions.into());
+        let i = self.member_lanes.len() as u32;
+        self.member_lanes
+            .push(SessionLanes::from_sessions(sessions));
         i
     }
 
@@ -209,19 +353,21 @@ impl EngineCore {
             sizes,
             pages,
             occ,
+            page_gen,
+            page_union,
             instances,
             free,
             live,
-            member_lists,
-            inst_stamp,
-            inst_min,
+            member_lanes,
             installs,
+            stamp,
             ..
         } = self;
-        let sessions = &member_lists[members as usize];
-        if sessions.is_empty() || ba >= ea {
+        let lanes = &member_lanes[members as usize];
+        if lanes.is_empty() || ba >= ea {
             return;
         }
+        *stamp += 1;
         let slot = match free.pop() {
             Some(s) => {
                 instances[s as usize] = Some(Instance { ba, ea, members });
@@ -229,11 +375,6 @@ impl EngineCore {
             }
             None => {
                 instances.push(Some(Instance { ba, ea, members }));
-                // Stale stamps in reused slots are harmless: stamps
-                // strictly increase, so an old stamp never equals a
-                // later write's.
-                inst_stamp.push(0);
-                inst_min.push(0);
                 (instances.len() - 1) as u32
             }
         };
@@ -242,22 +383,28 @@ impl EngineCore {
             if page as usize >= pages.len() {
                 pages.resize(page as usize + 1, SlotList::default());
                 occ.resize(pages.len().div_ceil(64), 0);
+                page_gen.resize(pages.len(), 0);
+                page_union.resize(pages.len(), PageUnion::default());
             }
             pages[page as usize].push(slot);
             occ[(page >> 6) as usize] |= 1u64 << (page & 63);
+            page_gen[page as usize] = *stamp;
         }
         for st in sizes.iter_mut() {
             for page in st.page_size.pages_of_range(ba, ea) {
-                for &s in sessions.iter() {
-                    let cnt = st.page_counts.entry(session_page(s, page)).or_insert(0);
-                    *cnt += 1;
-                    if *cnt == 1 {
+                if page as usize >= st.page_counts.len() {
+                    st.page_counts
+                        .resize(page as usize + 1, PageSessions::default());
+                }
+                let counts = &mut st.page_counts[page as usize];
+                for s in lanes.iter() {
+                    if counts.add(s) {
                         st.vm_protect[s as usize] += 1;
                     }
                 }
             }
         }
-        for &s in sessions.iter() {
+        for s in lanes.iter() {
             installs[s as usize] += 1;
         }
     }
@@ -271,31 +418,27 @@ impl EngineCore {
             .take()
             .expect("live slot is occupied");
         self.free.push(slot);
-        let sessions = &self.member_lists[inst.members as usize];
+        self.stamp += 1;
+        let lanes = &self.member_lanes[inst.members as usize];
         for page in (inst.ba >> self.base_shift)..=((inst.ea - 1) >> self.base_shift) {
             let list = &mut self.pages[page as usize];
             list.swap_remove_value(slot);
             if list.is_empty() {
                 self.occ[(page >> 6) as usize] &= !(1u64 << (page & 63));
             }
+            self.page_gen[page as usize] = self.stamp;
         }
         for st in &mut self.sizes {
             for page in st.page_size.pages_of_range(inst.ba, inst.ea) {
-                for &s in sessions.iter() {
-                    let key = session_page(s, page);
-                    let cnt = st
-                        .page_counts
-                        .get_mut(&key)
-                        .expect("page count exists for member session");
-                    *cnt -= 1;
-                    if *cnt == 0 {
-                        st.page_counts.remove(&key);
+                let counts = &mut st.page_counts[page as usize];
+                for s in lanes.iter() {
+                    if counts.sub(s) {
                         st.vm_unprotect[s as usize] += 1;
                     }
                 }
             }
         }
-        for &s in sessions.iter() {
+        for s in lanes.iter() {
             self.removes[s as usize] += 1;
         }
     }
@@ -305,40 +448,124 @@ impl EngineCore {
         if ba >= ea {
             return;
         }
+        let n = self.sizes.len();
+        let top_shift = self.sizes[n - 1].page_size.shift();
+        let d_top = top_shift - self.base_shift;
+        let lo_top = (ba >> top_shift) << d_top;
+        let hi_top = (((ea - 1) >> top_shift) << d_top) | ((1u32 << d_top) - 1);
+        // Occupancy and generation probe, fused in one pass: the
+        // overwhelmingly common case is a write whose probed range holds
+        // no monitored page — it pays a couple of L1 loads and nothing
+        // else. `gen` is the range's generation max, which validates the
+        // memo: the effect of this span is reusable iff no
+        // install/remove has touched any probed page since it was
+        // recorded.
+        let mut occupied = false;
+        let mut gen = 0u64;
+        for page in lo_top..=hi_top {
+            let Some(&word) = self.occ.get((page >> 6) as usize) else {
+                break; // the bitmap is contiguous: no monitors this high
+            };
+            occupied |= word & (1u64 << (page & 63)) != 0;
+            // The occ word can outlive `page_gen`'s exact length (it is
+            // sized in 64-page words); out-of-range pages never change.
+            gen = gen.max(self.page_gen.get(page as usize).copied().unwrap_or(0));
+        }
+        if !occupied {
+            return;
+        }
+        let key = (u64::from(ba) << 32) | u64::from(ea);
+        let slot = self.memo.get(&key).copied();
+        if let Some(i) = slot {
+            let e = &mut self.effects[i as usize];
+            if e.gen == gen {
+                e.count += 1;
+                return;
+            }
+        }
+        let (hits, apms) = self.sweep(ba, ea, lo_top, hi_top);
+        let e = Effect {
+            gen,
+            count: 1,
+            hits,
+            apms,
+        };
+        match slot {
+            Some(i) => {
+                // Settle the superseded effect's accumulated writes
+                // before the new monitor state takes its slot.
+                let old = self.effects[i as usize];
+                self.flush_effect(old);
+                self.effects[i as usize] = e;
+            }
+            None => {
+                let i = self.effects.len() as u32;
+                self.effects.push(e);
+                self.memo.insert(key, i);
+            }
+        }
+    }
+
+    /// Settles an effect's accumulated multiplicity into the per-session
+    /// counters: arena ranges of hitting sessions and of
+    /// `level << LEVEL_SHIFT | session` APM entries, each charged
+    /// `count` times.
+    #[inline]
+    fn flush_effect(&mut self, e: Effect) {
+        if e.count == 0 {
+            return;
+        }
+        for &s in &self.eff_hits[e.hits.0 as usize..e.hits.1 as usize] {
+            // Page-size-independent; counted once per write and
+            // suppressing the active-page miss at every size.
+            self.hits[s as usize] += e.count;
+        }
+        for &a in &self.eff_apms[e.apms.0 as usize..e.apms.1 as usize] {
+            let s = (a & ((1 << LEVEL_SHIFT) - 1)) as usize;
+            let k = (a >> LEVEL_SHIFT) as usize;
+            // Touched at level k ⇒ touched at every coarser size.
+            for st in self.sizes[k..].iter_mut() {
+                st.apm[s] += e.count;
+            }
+        }
+    }
+
+    /// The full page sweep for one write: classifies each occupied base
+    /// page in the probed range with its minimum ladder level, charges
+    /// member lanes, settles the dirty lane words, and records the
+    /// resulting effect in the arenas. Returns the new arena ranges.
+    fn sweep(&mut self, ba: u32, ea: u32, lo_top: u32, hi_top: u32) -> ((u32, u32), (u32, u32)) {
         self.stamp += 1;
         let stamp = self.stamp;
         let n = self.sizes.len();
+        let width = self.width;
         let EngineCore {
             base_shift,
             sizes,
             pages,
             occ,
+            page_gen,
+            page_union,
             instances,
-            member_lists,
-            inst_stamp,
-            inst_min,
-            hits,
-            last_hit,
-            last_touch,
-            touch_min,
-            touched,
+            member_lanes,
+            touch_lanes,
+            hit_lanes,
+            word_stamp,
+            dirty,
+            eff_hits,
+            eff_apms,
             lo,
             hi,
             ..
         } = self;
-        let top_shift = sizes[n - 1].page_size.shift();
-        let d_top = top_shift - *base_shift;
-        let lo_top = (ba >> top_shift) << d_top;
-        let hi_top = (((ea - 1) >> top_shift) << d_top) | ((1u32 << d_top) - 1);
         let mut ranges_ready = false;
-        touched.clear();
+        dirty.clear();
         // One sweep of the widest range; the level `m` of each base page
         // is the smallest size whose (nested) range contains it. The
-        // per-size bounds are only needed once a monitored page turns
-        // up — the overwhelmingly common all-empty sweep skips them.
+        // per-size bounds are computed once on the first occupied page.
         for page in lo_top..=hi_top {
             let Some(&word) = occ.get((page >> 6) as usize) else {
-                break; // the bitmap is contiguous: no monitors this high
+                break;
             };
             if word & (1u64 << (page & 63)) == 0 {
                 continue;
@@ -358,51 +585,94 @@ impl EngineCore {
             while page < lo[m] || page > hi[m] {
                 m += 1;
             }
-            for &slot in list.as_slice() {
-                let si = slot as usize;
-                if inst_stamp[si] == stamp && usize::from(inst_min[si]) <= m {
-                    continue; // spans pages; already processed at ≤ this level
-                }
-                inst_stamp[si] = stamp;
-                inst_min[si] = m as u8;
-                let inst = instances[si].expect("indexed slot live");
-                // Byte overlap implies a shared base page at level 0, so
-                // checking only there still finds every hit.
-                let overlap = m == 0 && ba < inst.ea && inst.ba < ea;
-                for &s in member_lists[inst.members as usize].iter() {
-                    let su = s as usize;
-                    if last_touch[su] != stamp {
-                        last_touch[su] = stamp;
-                        touch_min[su] = m as u8;
-                        touched.push(s);
-                    } else if (m as u8) < touch_min[su] {
-                        touch_min[su] = m as u8;
+            // Charge the whole page's touch from its cached lane union
+            // — one OR charges up to 64 member sessions at once, and
+            // only occupied lane words cost. The union is rebuilt
+            // lazily after the page's monitor set changes.
+            let u = &mut page_union[page as usize];
+            if u.gen != page_gen[page as usize] {
+                u.gen = page_gen[page as usize];
+                u.pairs.clear();
+                for &slot in list.as_slice() {
+                    let inst = instances[slot as usize].expect("indexed slot live");
+                    'pair: for &(w, bits) in member_lanes[inst.members as usize].pairs() {
+                        for p in u.pairs.iter_mut() {
+                            if p.0 == w {
+                                p.1 |= bits;
+                                continue 'pair;
+                            }
+                        }
+                        u.pairs.push((w, bits));
                     }
-                    if overlap {
-                        last_hit[su] = stamp;
+                }
+            }
+            for &(w, bits) in u.pairs.iter() {
+                let w = w as usize;
+                if word_stamp[w] != stamp {
+                    word_stamp[w] = stamp;
+                    hit_lanes[w] = 0;
+                    for k in 0..n {
+                        touch_lanes[k * width + w] = 0;
+                    }
+                    dirty.push(w as u32);
+                }
+                touch_lanes[m * width + w] |= bits;
+            }
+            // Byte overlap implies a shared base page at level 0, so
+            // per-instance hit checks only run there — and lane ORs are
+            // idempotent, so an instance spanning several pages needs no
+            // dedup stamp.
+            if m == 0 {
+                for &slot in list.as_slice() {
+                    let inst = instances[slot as usize].expect("indexed slot live");
+                    if ba < inst.ea && inst.ba < ea {
+                        for &(w, bits) in member_lanes[inst.members as usize].pairs() {
+                            hit_lanes[w as usize] |= bits;
+                        }
                     }
                 }
             }
         }
-        for &s in touched.iter() {
-            let su = s as usize;
-            if last_hit[su] == stamp {
-                // Page-size-independent; counted once and suppressing
-                // the active-page miss at every size.
-                hits[su] += 1;
-            } else {
-                // Touched at level m ⇒ touched at every coarser size.
-                for st in sizes[usize::from(touch_min[su])..].iter_mut() {
-                    st.apm[su] += 1;
+        // Settle the dirty lane words into the effect arenas. `below`
+        // carries every session already accounted for at a finer level
+        // (or by a hit), so each session's minimum touch level survives
+        // in exactly one masked `t`.
+        let h0 = eff_hits.len() as u32;
+        let a0 = eff_apms.len() as u32;
+        for &w in dirty.iter() {
+            let w = w as usize;
+            let base = (w as u32) * 64;
+            let mut bits = hit_lanes[w];
+            let mut below = bits;
+            while bits != 0 {
+                let s = base + bits.trailing_zeros();
+                bits &= bits - 1;
+                eff_hits.push(s);
+            }
+            for k in 0..n {
+                let mut t = touch_lanes[k * width + w] & !below;
+                below |= t;
+                while t != 0 {
+                    let s = base + t.trailing_zeros();
+                    t &= t - 1;
+                    eff_apms.push(((k as u32) << LEVEL_SHIFT) | s);
                 }
             }
         }
+        ((h0, eff_hits.len() as u32), (a0, eff_apms.len() as u32))
     }
 
     /// Per-size, per-session counting variables for sessions `0..n`
     /// (result `[k][s]` is ladder size `k`, session `s`).
     pub(crate) fn counts(&mut self, n: usize) -> Vec<Vec<Counts>> {
         self.ensure_sessions(n);
+        // Settle every outstanding memoized effect (idempotent: flushed
+        // multiplicities zero out).
+        for i in 0..self.effects.len() {
+            let e = self.effects[i];
+            self.flush_effect(e);
+            self.effects[i].count = 0;
+        }
         self.sizes
             .iter()
             .map(|st| {
@@ -421,7 +691,6 @@ impl EngineCore {
             .collect()
     }
 }
-
 /// Replays `trace` once, producing per-session counting variables at the
 /// given page size.
 ///
@@ -492,10 +761,7 @@ mod tests {
 
     #[test]
     fn single_session_hit_miss_accounting() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -525,10 +791,7 @@ mod tests {
 
     #[test]
     fn page_size_affects_apm() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0])], 1);
         let trace = Trace::from_events(vec![
             // Monitor on 4K page 1 == 8K page 0.
             Event::Install {
@@ -549,20 +812,20 @@ mod tests {
 
     #[test]
     fn fused_replay_matches_separate_replays() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0, 1]), (g(1), vec![1]), (g(2), vec![2])],
-            sessions: 3,
-        };
+        let m = TableMembership::new(
+            vec![(g(0), vec![0, 1]), (g(1), vec![1]), (g(2), vec![2])],
+            3,
+        );
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
                 ba: 0x0ff0,
-                ea: 0x1010, // spans 4K pages 0–1 (one 8K page)
+                ea: 0x1010, // spans 4K pages 0-1 (one 8K page)
             },
             Event::Install {
                 obj: g(1),
                 ba: 0x1ffc,
-                ea: 0x2004, // spans 4K pages 1–2 and 8K pages 0–1
+                ea: 0x2004, // spans 4K pages 1-2 and 8K pages 0-1
             },
             write(0x1000, 0x1004), // hits g(0)
             write(0x1800, 0x1804), // APM at 4K and 8K
@@ -587,10 +850,7 @@ mod tests {
 
     #[test]
     fn ladder_matches_separate_replays_and_any_order() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0, 1]), (g(1), vec![1])],
-            sessions: 2,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0, 1]), (g(1), vec![1])], 2);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -600,7 +860,7 @@ mod tests {
             Event::Install {
                 obj: g(1),
                 ba: 0x7ffc,
-                ea: 0x8004, // spans 16K pages 1–2, 32K page 0–1
+                ea: 0x8004, // spans 16K pages 1-2, 32K page 0-1
             },
             write(0x1000, 0x1004),
             write(0x3800, 0x3804),   // APM at 16K/32K only for g(0)
@@ -629,10 +889,7 @@ mod tests {
 
     #[test]
     fn one_write_hitting_two_objects_counts_once_per_session() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0]), (g(1), vec![0, 1])],
-            sessions: 2,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0]), (g(1), vec![0, 1])], 2);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -653,10 +910,7 @@ mod tests {
 
     #[test]
     fn hit_suppresses_active_page_miss_for_same_write() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0]), (g(1), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0]), (g(1), vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -683,10 +937,7 @@ mod tests {
         // 8K page). A write that hits the second monitor must suppress
         // the APM at both sizes; a near-miss on page 0 is an APM at 4K
         // (page 0 is active) and at 8K too.
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0]), (g(1), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0]), (g(1), vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -716,10 +967,7 @@ mod tests {
     fn reinstalled_object_keeps_counting() {
         // Realloc pattern: remove + install of the same descriptor.
         let h = ObjectDesc::Heap { seq: 5 };
-        let m = TableMembership {
-            entries: vec![(h, vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(h, vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: h,
@@ -754,10 +1002,7 @@ mod tests {
     #[test]
     fn recursion_instances_tracked_independently() {
         let l = ObjectDesc::Local { func: 1, var: 0 };
-        let m = TableMembership {
-            entries: vec![(l, vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(l, vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: l,
@@ -792,10 +1037,7 @@ mod tests {
 
     #[test]
     fn unmonitored_objects_cost_nothing() {
-        let m = TableMembership {
-            entries: vec![],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(9),
@@ -818,10 +1060,7 @@ mod tests {
 
     #[test]
     fn overlapping_monitors_page_counts_stay_protected() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0]), (g(1), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0]), (g(1), vec![0])], 1);
         let trace = Trace::from_events(vec![
             Event::Install {
                 obj: g(0),
@@ -856,15 +1095,88 @@ mod tests {
     }
 
     #[test]
+    fn high_session_indices_span_many_lane_words() {
+        // Sessions 0, 63, 64, and 200 exercise lane-word boundaries and
+        // the sparse-pair path (an object whose only member is a
+        // high-indexed session must not pay for the words below it).
+        let m = TableMembership::new(vec![(g(0), vec![0, 63, 64]), (g(1), vec![200])], 201);
+        let trace = Trace::from_events(vec![
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x1100,
+                ea: 0x1104,
+            },
+            write(0x1000, 0x1004), // hits g(0); APM for g(1)'s session
+            write(0x1800, 0x1804), // APM for all four sessions
+            write(0x5000, 0x5004), // plain miss everywhere
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        for s in [0usize, 63, 64] {
+            assert_eq!(c[s].hit, 1, "session {s}");
+            assert_eq!(c[s].vm_active_page_miss, 1, "session {s}");
+            assert_eq!(c[s].miss, 2, "session {s}");
+        }
+        assert_eq!(c[200].hit, 0);
+        assert_eq!(c[200].vm_active_page_miss, 2);
+        assert_eq!(c[200].miss, 3);
+    }
+
+    #[test]
+    fn repeated_writes_reuse_and_invalidate_the_memo() {
+        // The same span written before and after a remove on its page
+        // must not reuse the stale effect; a remove on an unrelated page
+        // must not invalidate it either (the counts prove both).
+        let m = TableMembership::new(vec![(g(0), vec![0]), (g(1), vec![1])], 2);
+        let trace = Trace::from_events(vec![
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            Event::Install {
+                obj: g(1),
+                ba: 0x9000,
+                ea: 0x9004,
+            },
+            write(0x1000, 0x1004), // hit (memo fill)
+            write(0x1000, 0x1004), // hit (memo reuse)
+            Event::Remove {
+                obj: g(1),
+                ba: 0x9000,
+                ea: 0x9004,
+            },
+            write(0x1000, 0x1004), // unrelated remove: still a hit
+            Event::Remove {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            write(0x1000, 0x1004), // monitor gone: plain miss
+            Event::Install {
+                obj: g(0),
+                ba: 0x1000,
+                ea: 0x1004,
+            },
+            write(0x1000, 0x1004), // reinstalled: hit again
+        ]);
+        let c = simulate(&trace, &m, PageSize::K4);
+        assert_eq!(c[0].hit, 4);
+        assert_eq!(c[0].miss, 1);
+        assert_eq!(c[1].vm_active_page_miss, 0);
+    }
+
+    #[test]
     fn engine_outputs_are_send() {
         // The parallel pipeline moves counts (and everything the engine
         // produces) across threads; pin that the engine's result type
         // stays Send.
         fn assert_send<T: Send>(_: &T) {}
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0])], 1);
         let trace = Trace::from_events(vec![Event::Install {
             obj: g(0),
             ba: 0x1000,

@@ -35,7 +35,7 @@ mod soundness;
 mod stream;
 
 pub use engine::{simulate, simulate_fused, simulate_sizes};
-pub use membership::{Membership, TableMembership};
+pub use membership::{Membership, SessionLanes, TableMembership};
 pub use naive::simulate_naive;
 pub use slots::SlotList;
 pub use soundness::{verify_elided_stores, ElisionViolation};

@@ -161,18 +161,10 @@ pub(crate) mod testgen {
                     ea,
                 });
             }
-            let membership = TableMembership {
-                entries: objs
-                    .iter()
-                    .zip(mem)
-                    .map(|(o, mut ss)| {
-                        ss.sort_unstable();
-                        ss.dedup();
-                        (*o, ss)
-                    })
-                    .collect(),
-                sessions: n_sessions,
-            };
+            let membership = TableMembership::new(
+                objs.iter().zip(mem).map(|(o, ss)| (*o, ss)).collect(),
+                n_sessions,
+            );
             (tr, membership)
         })
     }
@@ -194,7 +186,7 @@ mod tests {
         fn engine_matches_naive_oracle((trace, membership) in arb_trace_and_membership()) {
             for ps in [PageSize::K4, PageSize::K8] {
                 let fast = simulate(&trace, &membership, ps);
-                for s in 0..membership.sessions as u32 {
+                for s in 0..membership.count() as u32 {
                     let slow = simulate_naive(&trace, &membership, ps, s);
                     prop_assert_eq!(
                         fast[s as usize], slow,
@@ -209,7 +201,7 @@ mod tests {
         #[test]
         fn fused_engine_matches_naive_oracle((trace, membership) in arb_trace_and_membership()) {
             let (c4, c8) = crate::engine::simulate_fused(&trace, &membership);
-            for s in 0..membership.sessions as u32 {
+            for s in 0..membership.count() as u32 {
                 let slow4 = simulate_naive(&trace, &membership, PageSize::K4, s);
                 let slow8 = simulate_naive(&trace, &membership, PageSize::K8, s);
                 prop_assert_eq!(
@@ -240,7 +232,7 @@ mod tests {
             let ladder = [PageSize::K4, PageSize::K8, PageSize::K16, PageSize::K32];
             let fused = simulate_sizes(&trace, &membership, &ladder);
             for (k, &ps) in ladder.iter().enumerate() {
-                for s in 0..membership.sessions as u32 {
+                for s in 0..membership.count() as u32 {
                     let slow = simulate_naive(&trace, &membership, ps, s);
                     prop_assert_eq!(
                         fused[k][s as usize], slow,

@@ -125,13 +125,13 @@ mod tests {
     use crate::membership::TableMembership;
 
     fn membership() -> TableMembership {
-        TableMembership {
-            entries: vec![
+        TableMembership::new(
+            vec![
                 (ObjectDesc::Global { id: 0 }, vec![0]),
                 (ObjectDesc::Local { func: 0, var: 0 }, vec![1]),
             ],
-            sessions: 2,
-        }
+            2,
+        )
     }
 
     fn trace() -> Trace {

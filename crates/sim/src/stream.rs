@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn batched_feed_matches_single_feed() {
-        let m = TableMembership {
-            entries: vec![(g(0), vec![0])],
-            sessions: 1,
-        };
+        let m = TableMembership::new(vec![(g(0), vec![0])], 1);
         let trace = demo_trace();
         let whole = simulate_sizes(&trace, &m, &[PageSize::K4, PageSize::K8]);
         for batch in [1usize, 2, 3] {
@@ -209,10 +206,7 @@ mod tests {
 
     #[test]
     fn empty_feed_is_harmless() {
-        let m = TableMembership {
-            entries: vec![],
-            sessions: 2,
-        };
+        let m = TableMembership::new(vec![], 2);
         let mut r = StreamingReplay::new(FixedMembership::new(&m), &[PageSize::K4]);
         r.feed(&[]);
         let (_, counts) = r.finish();
@@ -224,10 +218,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_ladder_is_rejected() {
-        let m = TableMembership {
-            entries: vec![],
-            sessions: 0,
-        };
+        let m = TableMembership::new(vec![], 0);
         let _ = StreamingReplay::new(FixedMembership::new(&m), &[PageSize::K8, PageSize::K4]);
     }
 

@@ -8,7 +8,7 @@
 //! would perturb the counters.
 
 use databp_machine::PageSize;
-use databp_sim::{simulate_naive, simulate_sizes, TableMembership};
+use databp_sim::{simulate_naive, simulate_sizes, Membership, TableMembership};
 use databp_trace::{Event, ObjectDesc, Trace};
 
 fn g(id: u32) -> ObjectDesc {
@@ -21,10 +21,10 @@ fn write(ba: u32, ea: u32) -> Event {
 
 #[test]
 fn four_size_ladder_is_one_trace_walk_and_matches_oracle() {
-    let membership = TableMembership {
-        entries: vec![(g(0), vec![0, 1]), (g(1), vec![1]), (g(2), vec![2])],
-        sessions: 3,
-    };
+    let membership = TableMembership::new(
+        vec![(g(0), vec![0, 1]), (g(1), vec![1]), (g(2), vec![2])],
+        3,
+    );
     let trace = Trace::from_events(vec![
         Event::Install {
             obj: g(0),
@@ -84,7 +84,7 @@ fn four_size_ladder_is_one_trace_walk_and_matches_oracle() {
     );
 
     for (k, &ps) in ladder.iter().enumerate() {
-        for s in 0..membership.sessions as u32 {
+        for s in 0..membership.count() as u32 {
             assert_eq!(
                 fused[k][s as usize],
                 simulate_naive(&trace, &membership, ps, s),

@@ -1,0 +1,634 @@
+//! DBPT v2 — the columnar, delta-encoded binary trace format.
+//!
+//! Where v1 interleaves tag and payload per event, v2 splits events into
+//! per-field *columns* packed in fixed-size blocks, which is what the
+//! persistent trace store serializes:
+//!
+//! ```text
+//! "DBPT" u32:2
+//! u32:meta_len  meta bytes            (opaque application blob)
+//! u64:n_events
+//! u32:dict_len  { u8:kind u32:payload }*   (dense ObjectDesc dictionary)
+//! u32:n_blocks
+//! blocks: u32:block_events  6 × ( u32:col_len col_bytes )
+//! ```
+//!
+//! The six columns per block, in order: **tags** (run-length pairs
+//! `u8:tag varint:run`), **objs** (varint dictionary ids, one per
+//! install/remove), **pcs** (zigzag-delta varints, one per write),
+//! **bas** (zigzag-delta varints, one per install/remove/write),
+//! **lens** (zigzag varints of `ea − ba`, same events as `bas`), and
+//! **funcs** (varint function ids, one per enter/exit). Delta state
+//! resets at block boundaries, so blocks decode independently.
+//!
+//! Run-length tags are what remove per-event decode branching: the
+//! reader dispatches once per *run* and then decodes a straight-line
+//! batch of same-shaped events from the column cursors. A whole file is
+//! loaded with one read into a byte arena ([`read_columnar`] takes
+//! `&[u8]`) and columns are sliced out of it — no per-event I/O, no
+//! intermediate buffers.
+//!
+//! Malformed or truncated input yields a clean
+//! [`TraceCodecError`] — any valid prefix of a v2 file fails with an
+//! error, never a panic, and allocation sizes are bounded by the input
+//! length so corrupted headers cannot trigger huge reservations.
+
+use crate::codec::TraceCodecError;
+use crate::event::{Event, ObjectDesc, Trace};
+use std::io::{self, Write};
+
+const MAGIC: &[u8; 4] = b"DBPT";
+const VERSION2: u32 = 2;
+
+/// Events per column block. 64K events keeps every block's columns in
+/// cache during decode while bounding the delta chains corruption can
+/// damage.
+pub const BLOCK_EVENTS: usize = 1 << 16;
+
+const TAG_INSTALL: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_ENTER: u8 = 4;
+const TAG_EXIT: u8 = 5;
+
+const OBJ_GLOBAL: u8 = 1;
+const OBJ_LOCAL: u8 = 2;
+const OBJ_HEAP: u8 = 3;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A read cursor over one column slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceCodecError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| truncated("column byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceCodecError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| truncated("u32"))?;
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceCodecError> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| truncated("u64"))?;
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceCodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(TraceCodecError::Malformed("varint overflow".into()));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Slices off a `u32`-length-prefixed segment.
+    fn segment(&mut self) -> Result<&'a [u8], TraceCodecError> {
+        let len = self.u32()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| truncated("column segment"))?;
+        let seg = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(seg)
+    }
+}
+
+fn truncated(what: &str) -> TraceCodecError {
+    TraceCodecError::Malformed(format!("truncated {what}"))
+}
+
+fn obj_key(obj: &ObjectDesc) -> (u8, u32) {
+    match *obj {
+        ObjectDesc::Global { id } => (OBJ_GLOBAL, id),
+        ObjectDesc::Local { func, var } => (OBJ_LOCAL, (u32::from(func) << 16) | u32::from(var)),
+        ObjectDesc::Heap { seq } => (OBJ_HEAP, seq),
+    }
+}
+
+fn obj_from_key(kind: u8, payload: u32) -> Result<ObjectDesc, TraceCodecError> {
+    Ok(match kind {
+        OBJ_GLOBAL => ObjectDesc::Global { id: payload },
+        OBJ_LOCAL => ObjectDesc::Local {
+            func: (payload >> 16) as u16,
+            var: (payload & 0xffff) as u16,
+        },
+        OBJ_HEAP => ObjectDesc::Heap { seq: payload },
+        k => return Err(TraceCodecError::Malformed(format!("dictionary kind {k}"))),
+    })
+}
+
+fn event_tag(e: &Event) -> u8 {
+    match e {
+        Event::Install { .. } => TAG_INSTALL,
+        Event::Remove { .. } => TAG_REMOVE,
+        Event::Write { .. } => TAG_WRITE,
+        Event::Enter { .. } => TAG_ENTER,
+        Event::Exit { .. } => TAG_EXIT,
+    }
+}
+
+/// The six per-block column buffers, reused across blocks.
+#[derive(Default)]
+struct Columns {
+    tags: Vec<u8>,
+    objs: Vec<u8>,
+    pcs: Vec<u8>,
+    bas: Vec<u8>,
+    lens: Vec<u8>,
+    funcs: Vec<u8>,
+}
+
+impl Columns {
+    fn clear(&mut self) {
+        self.tags.clear();
+        self.objs.clear();
+        self.pcs.clear();
+        self.bas.clear();
+        self.lens.clear();
+        self.funcs.clear();
+    }
+}
+
+/// Serializes `trace` in the DBPT v2 columnar format, embedding `meta`
+/// as an opaque application blob (the trace store keeps workload
+/// provenance there; pass `&[]` for a plain trace file).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Result<()> {
+    // Dense object dictionary, ids in order of first appearance. The
+    // dictionary is small (hundreds of objects), so the standard hasher
+    // is fine and keeps this crate dependency-free.
+    let mut dict_ids: std::collections::HashMap<(u8, u32), u32> = std::collections::HashMap::new();
+    let mut dict: Vec<(u8, u32)> = Vec::new();
+    for e in trace.events() {
+        if let Event::Install { obj, .. } | Event::Remove { obj, .. } = e {
+            let key = obj_key(obj);
+            dict_ids.entry(key).or_insert_with(|| {
+                dict.push(key);
+                (dict.len() - 1) as u32
+            });
+        }
+    }
+
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION2.to_le_bytes())?;
+    w.write_all(&(meta.len() as u32).to_le_bytes())?;
+    w.write_all(meta)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    w.write_all(&(dict.len() as u32).to_le_bytes())?;
+    for &(kind, payload) in &dict {
+        w.write_all(&[kind])?;
+        w.write_all(&payload.to_le_bytes())?;
+    }
+    let n_blocks = trace.len().div_ceil(BLOCK_EVENTS);
+    w.write_all(&(n_blocks as u32).to_le_bytes())?;
+
+    let mut cols = Columns::default();
+    for block in trace.events().chunks(BLOCK_EVENTS) {
+        cols.clear();
+        let mut prev_pc = 0i64;
+        let mut prev_ba = 0i64;
+        let mut run_tag = 0u8;
+        let mut run_len = 0u64;
+        for e in block {
+            let tag = event_tag(e);
+            if tag == run_tag {
+                run_len += 1;
+            } else {
+                if run_len > 0 {
+                    cols.tags.push(run_tag);
+                    put_varint(&mut cols.tags, run_len);
+                }
+                run_tag = tag;
+                run_len = 1;
+            }
+            match *e {
+                Event::Install { obj, ba, ea } | Event::Remove { obj, ba, ea } => {
+                    let id = dict_ids[&obj_key(&obj)];
+                    put_varint(&mut cols.objs, u64::from(id));
+                    put_varint(&mut cols.bas, zigzag(i64::from(ba) - prev_ba));
+                    prev_ba = i64::from(ba);
+                    put_varint(&mut cols.lens, zigzag(i64::from(ea) - i64::from(ba)));
+                }
+                Event::Write { pc, ba, ea } => {
+                    put_varint(&mut cols.pcs, zigzag(i64::from(pc) - prev_pc));
+                    prev_pc = i64::from(pc);
+                    put_varint(&mut cols.bas, zigzag(i64::from(ba) - prev_ba));
+                    prev_ba = i64::from(ba);
+                    put_varint(&mut cols.lens, zigzag(i64::from(ea) - i64::from(ba)));
+                }
+                Event::Enter { func } | Event::Exit { func } => {
+                    put_varint(&mut cols.funcs, u64::from(func));
+                }
+            }
+        }
+        if run_len > 0 {
+            cols.tags.push(run_tag);
+            put_varint(&mut cols.tags, run_len);
+        }
+        w.write_all(&(block.len() as u32).to_le_bytes())?;
+        for col in [
+            &cols.tags,
+            &cols.objs,
+            &cols.pcs,
+            &cols.bas,
+            &cols.lens,
+            &cols.funcs,
+        ] {
+            w.write_all(&(col.len() as u32).to_le_bytes())?;
+            w.write_all(col)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a DBPT v2 columnar trace from an in-memory arena (load
+/// the whole file with one read, then call this), returning the trace
+/// and the embedded meta blob.
+///
+/// # Errors
+///
+/// [`TraceCodecError::Malformed`] on bad magic/version, dictionary or
+/// column inconsistencies, and any truncation — a valid prefix of a v2
+/// file is an error, never a panic.
+pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> {
+    let mut cur = Cursor::new(bytes);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = cur.u8()?;
+    }
+    if &magic != MAGIC {
+        return Err(TraceCodecError::Malformed("bad magic".into()));
+    }
+    let version = cur.u32()?;
+    if version != VERSION2 {
+        return Err(TraceCodecError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let meta_len = cur.u32()? as usize;
+    if meta_len > cur.remaining() {
+        return Err(truncated("meta blob"));
+    }
+    let meta = bytes[cur.pos..cur.pos + meta_len].to_vec();
+    cur.pos += meta_len;
+
+    let n_events = cur.u64()? as usize;
+    // 5 bytes is the smallest event encoding (amortized); reject counts
+    // the remaining input cannot possibly hold so corrupt headers can't
+    // reserve huge buffers.
+    if n_events / 8 > cur.remaining() {
+        return Err(truncated("event payload"));
+    }
+    let dict_len = cur.u32()? as usize;
+    if dict_len * 5 > cur.remaining() {
+        return Err(truncated("dictionary"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let kind = cur.u8()?;
+        let payload = cur.u32()?;
+        dict.push(obj_from_key(kind, payload)?);
+    }
+    let n_blocks = cur.u32()? as usize;
+    if n_blocks * 4 > cur.remaining() {
+        return Err(truncated("blocks"));
+    }
+
+    let mut trace = Trace::with_capacity(n_events);
+    for _ in 0..n_blocks {
+        let block_events = cur.u32()? as usize;
+        if block_events > BLOCK_EVENTS {
+            return Err(TraceCodecError::Malformed(format!(
+                "block of {block_events} events exceeds the {BLOCK_EVENTS} cap"
+            )));
+        }
+        let mut tags = Cursor::new(cur.segment()?);
+        let mut objs = Cursor::new(cur.segment()?);
+        let mut pcs = Cursor::new(cur.segment()?);
+        let mut bas = Cursor::new(cur.segment()?);
+        let mut lens = Cursor::new(cur.segment()?);
+        let mut funcs = Cursor::new(cur.segment()?);
+        let mut prev_pc = 0i64;
+        let mut prev_ba = 0i64;
+        let mut decoded = 0usize;
+        while decoded < block_events {
+            let tag = tags.u8()?;
+            let run = tags.varint()? as usize;
+            if run == 0 || run > block_events - decoded {
+                return Err(TraceCodecError::Malformed(format!(
+                    "tag run of {run} overflows block"
+                )));
+            }
+            // One dispatch per run; the loop body is branch-free on the
+            // event shape.
+            match tag {
+                TAG_INSTALL | TAG_REMOVE => {
+                    for _ in 0..run {
+                        let id = objs.varint()? as usize;
+                        let obj = *dict.get(id).ok_or_else(|| {
+                            TraceCodecError::Malformed(format!("dictionary id {id} out of range"))
+                        })?;
+                        let ba = prev_ba + unzigzag(bas.varint()?);
+                        prev_ba = ba;
+                        let len = unzigzag(lens.varint()?);
+                        let (ba, ea) = addr_pair(ba, len)?;
+                        trace.push(if tag == TAG_INSTALL {
+                            Event::Install { obj, ba, ea }
+                        } else {
+                            Event::Remove { obj, ba, ea }
+                        });
+                    }
+                }
+                TAG_WRITE => {
+                    for _ in 0..run {
+                        let pc = prev_pc + unzigzag(pcs.varint()?);
+                        prev_pc = pc;
+                        let pc = u32::try_from(pc).map_err(|_| {
+                            TraceCodecError::Malformed("pc delta out of range".into())
+                        })?;
+                        let ba = prev_ba + unzigzag(bas.varint()?);
+                        prev_ba = ba;
+                        let len = unzigzag(lens.varint()?);
+                        let (ba, ea) = addr_pair(ba, len)?;
+                        trace.push(Event::Write { pc, ba, ea });
+                    }
+                }
+                TAG_ENTER | TAG_EXIT => {
+                    for _ in 0..run {
+                        let func = u16::try_from(funcs.varint()?).map_err(|_| {
+                            TraceCodecError::Malformed("function id out of range".into())
+                        })?;
+                        trace.push(if tag == TAG_ENTER {
+                            Event::Enter { func }
+                        } else {
+                            Event::Exit { func }
+                        });
+                    }
+                }
+                t => return Err(TraceCodecError::Malformed(format!("event tag {t}"))),
+            }
+            decoded += run;
+        }
+        for (cur, name) in [
+            (&tags, "tags"),
+            (&objs, "objs"),
+            (&pcs, "pcs"),
+            (&bas, "bas"),
+            (&lens, "lens"),
+            (&funcs, "funcs"),
+        ] {
+            if cur.remaining() != 0 {
+                return Err(TraceCodecError::Malformed(format!(
+                    "{name} column has trailing bytes"
+                )));
+            }
+        }
+    }
+    if trace.len() != n_events {
+        return Err(TraceCodecError::Malformed(format!(
+            "header promises {n_events} events, blocks hold {}",
+            trace.len()
+        )));
+    }
+    if cur.remaining() != 0 {
+        return Err(TraceCodecError::Malformed("trailing bytes".into()));
+    }
+    Ok((trace, meta))
+}
+
+fn addr_pair(ba: i64, len: i64) -> Result<(u32, u32), TraceCodecError> {
+    let ea = ba.checked_add(len);
+    match (u32::try_from(ba), ea.map(u32::try_from)) {
+        (Ok(ba), Some(Ok(ea))) => Ok((ba, ea)),
+        _ => Err(TraceCodecError::Malformed(
+            "address delta out of range".into(),
+        )),
+    }
+}
+
+/// Reads a serialized trace of either binary version from an in-memory
+/// arena: v1 (row-oriented) or v2 (columnar). v1 files carry no meta
+/// blob, so it comes back empty.
+///
+/// # Errors
+///
+/// As [`read_columnar`] / [`crate::read_binary`].
+pub fn read_any(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> {
+    if bytes.len() >= 8 && &bytes[..4] == MAGIC {
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version == VERSION2 {
+            return read_columnar(bytes);
+        }
+    }
+    let trace = crate::codec::read_binary(&mut &bytes[..])?;
+    Ok((trace, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            Event::Install {
+                obj: ObjectDesc::Global { id: 0 },
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+            },
+            Event::Enter { func: 3 },
+            Event::Install {
+                obj: ObjectDesc::Local { func: 3, var: 1 },
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Write {
+                pc: 0x1_0010,
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Write {
+                pc: 0x1_0014,
+                ba: 0xeffff0,
+                ea: 0xeffff1,
+            },
+            Event::Install {
+                obj: ObjectDesc::Heap { seq: 2 },
+                ba: 0x40_0000,
+                ea: 0x40_0010,
+            },
+            Event::Remove {
+                obj: ObjectDesc::Heap { seq: 2 },
+                ba: 0x40_0000,
+                ea: 0x40_0010,
+            },
+            Event::Remove {
+                obj: ObjectDesc::Local { func: 3, var: 1 },
+                ba: 0xeffff0,
+                ea: 0xeffff4,
+            },
+            Event::Exit { func: 3 },
+            Event::Remove {
+                obj: ObjectDesc::Global { id: 0 },
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+            },
+        ])
+    }
+
+    #[test]
+    fn columnar_roundtrip_with_meta() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_columnar(&t, b"workload=tex", &mut buf).unwrap();
+        let (back, meta) = read_columnar(&buf).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(meta, b"workload=tex");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_columnar(&t, &[], &mut buf).unwrap();
+        let (back, meta) = read_columnar(&buf).unwrap();
+        assert_eq!(back, t);
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        let mut t = Trace::new();
+        for i in 0..(BLOCK_EVENTS as u32 + 100) {
+            t.push(Event::Write {
+                pc: 0x100 + (i % 7),
+                ba: 0x1000 + i * 4,
+                ea: 0x1004 + i * 4,
+            });
+        }
+        let mut buf = Vec::new();
+        write_columnar(&t, &[], &mut buf).unwrap();
+        let (back, _) = read_columnar(&buf).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(matches!(
+            read_columnar(b"NOPE\x02\0\0\0"),
+            Err(TraceCodecError::Malformed(_))
+        ));
+        let mut buf = Vec::new();
+        write_columnar(&sample_trace(), &[], &mut buf).unwrap();
+        buf[4] = 9;
+        assert!(matches!(
+            read_columnar(&buf),
+            Err(TraceCodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_clean_error() {
+        let mut buf = Vec::new();
+        write_columnar(&sample_trace(), b"meta", &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_columnar(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn read_any_dispatches_on_version() {
+        let t = sample_trace();
+        let mut v1 = Vec::new();
+        crate::codec::write_binary(&t, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_columnar(&t, b"m", &mut v2).unwrap();
+        let (t1, m1) = read_any(&v1).unwrap();
+        let (t2, m2) = read_any(&v2).unwrap();
+        assert_eq!(t1, t);
+        assert_eq!(t2, t);
+        assert!(m1.is_empty());
+        assert_eq!(m2, b"m");
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_on_write_heavy_traces() {
+        let mut t = Trace::new();
+        for i in 0..10_000u32 {
+            t.push(Event::Write {
+                pc: 0x200,
+                ba: 0x1000 + (i % 64) * 4,
+                ea: 0x1004 + (i % 64) * 4,
+            });
+        }
+        let mut v1 = Vec::new();
+        crate::codec::write_binary(&t, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_columnar(&t, &[], &mut v2).unwrap();
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "v2 ({}) should be well under half of v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+}

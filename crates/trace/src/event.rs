@@ -148,6 +148,14 @@ impl Trace {
         Trace::default()
     }
 
+    /// An empty trace with room for `n` events — decoders that know the
+    /// event count up front allocate once.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(n),
+        }
+    }
+
     /// Wraps an event list as a trace.
     pub fn from_events(events: Vec<Event>) -> Self {
         Trace { events }

@@ -23,7 +23,9 @@
 //!   [`StreamSink`]) — a bounded SPSC channel that lets phase 2 replay
 //!   events while phase 1 is still generating them;
 //! * binary and text codecs ([`write_binary`] / [`read_binary`],
-//!   [`write_text`] / [`read_text`]).
+//!   [`write_text`] / [`read_text`]), plus the columnar DBPT v2 format
+//!   ([`write_columnar`] / [`read_columnar`] / [`read_any`]) and the
+//!   persistent [`TraceStore`] built on it.
 //!
 //! # Examples
 //!
@@ -39,11 +41,15 @@
 //! ```
 
 mod codec;
+mod columnar;
 mod event;
+mod store;
 mod stream;
 mod tracer;
 
 pub use codec::{read_binary, read_text, write_binary, write_text, TraceCodecError};
+pub use columnar::{read_any, read_columnar, write_columnar, BLOCK_EVENTS};
 pub use event::{Event, EventSink, ObjectDesc, Trace, TraceStats};
+pub use store::TraceStore;
 pub use stream::{batch_channel, BatchReceiver, BatchSender, EventBatch, StreamSink};
 pub use tracer::{FrameMap, FrameVar, GlobalSpec, Tracer};

@@ -46,6 +46,10 @@ const TEX_SRC: &str = include_str!("programs/tex.c");
 const SPICE_SRC: &str = include_str!("programs/spice.c");
 const QCD_SRC: &str = include_str!("programs/qcd.c");
 const BPS_SRC: &str = include_str!("programs/bps.c");
+const MATMUL_SRC: &str = include_str!("programs/matmul.c");
+const FIB_SRC: &str = include_str!("programs/fib.c");
+const STRUCT_BENCH_SRC: &str = include_str!("programs/struct_bench.c");
+const BITWISE_SRC: &str = include_str!("programs/bitwise.c");
 
 impl Workload {
     /// The five workloads at full (harness) scale, in Table 1 row order.
@@ -89,9 +93,52 @@ impl Workload {
         ]
     }
 
-    /// Looks up a workload by name.
+    /// The replay-benchmark corpus: classic kernel shapes (dense
+    /// matrix multiply, deep recursion, heap record churn, bit
+    /// twiddling) ported to `tinyc`. These are **not** part of the
+    /// paper's Table 1 set ([`Workload::all`]) — they exist to feed the
+    /// vectorized replay path traces with contrasting event mixes, and
+    /// `repro perf` times `sim.replay` over them.
+    pub fn bench() -> Vec<Workload> {
+        vec![
+            Workload {
+                name: "matmul",
+                paper_analogue: "dense integer matrix multiply kernel",
+                source: MATMUL_SRC,
+                args: vec![20, 60],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "fib",
+                paper_analogue: "recursive fibonacci (frame-traffic kernel)",
+                source: FIB_SRC,
+                args: vec![19, 25],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "struct_bench",
+                paper_analogue: "heap record-update kernel",
+                source: STRUCT_BENCH_SRC,
+                args: vec![500, 160],
+                max_steps: 80_000_000,
+            },
+            Workload {
+                name: "bitwise",
+                paper_analogue: "xorshift/popcount bit-twiddling kernel",
+                source: BITWISE_SRC,
+                args: vec![1536, 120],
+                max_steps: 80_000_000,
+            },
+        ]
+    }
+
+    /// Looks up a workload by name, in the Table 1 set first, then the
+    /// benchmark corpus.
     pub fn by_name(name: &str) -> Option<Workload> {
-        Workload::all().into_iter().find(|w| w.name == name)
+        Workload::all()
+            .into_iter()
+            .chain(Workload::bench())
+            .find(|w| w.name == name)
     }
 
     /// A stable 64-bit content hash of the program and its inputs:
@@ -137,6 +184,10 @@ impl Workload {
             "spice" => vec![6, 4],
             "qcd" => vec![10, 4],
             "bps" => vec![400, 150],
+            "matmul" => vec![8, 6],
+            "fib" => vec![12, 3],
+            "struct_bench" => vec![80, 20],
+            "bitwise" => vec![256, 10],
             _ => self.args,
         };
         self
@@ -175,6 +226,32 @@ pub struct Prepared {
 }
 
 impl Prepared {
+    /// Reassembles a `Prepared` from persisted parts — the warm-start
+    /// path of the replay service's trace store, which saves the trace
+    /// plus the base-run measurements and recompiles only the plain
+    /// build. Instrumented builds stay lazy, exactly as after
+    /// [`prepare`].
+    pub fn from_parts(
+        workload: Workload,
+        plain: Compiled,
+        trace: Trace,
+        base_us: f64,
+        instructions: u64,
+        output: Vec<u8>,
+    ) -> Prepared {
+        Prepared {
+            workload,
+            plain,
+            codepatch: OnceLock::new(),
+            codepatch_loopopt: OnceLock::new(),
+            nop_padded: OnceLock::new(),
+            trace,
+            base_us,
+            instructions,
+            output,
+        }
+    }
+
     fn build<'a>(&self, slot: &'a OnceLock<Compiled>, opts: Options, what: &str) -> &'a Compiled {
         slot.get_or_init(|| {
             compile(self.workload.source, &opts).unwrap_or_else(|e| {
@@ -346,6 +423,105 @@ mod tests {
         let names: Vec<_> = Workload::all().iter().map(|w| w.name).collect();
         assert_eq!(names, ["cc", "tex", "spice", "qcd", "bps"]);
         assert!(Workload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn bench_corpus_exists_and_resolves_by_name() {
+        let names: Vec<_> = Workload::bench().iter().map(|w| w.name).collect();
+        assert_eq!(names, ["matmul", "fib", "struct_bench", "bitwise"]);
+        for name in names {
+            assert_eq!(Workload::by_name(name).unwrap().name, name);
+        }
+        // The Table 1 set is untouched by the corpus.
+        assert_eq!(Workload::all().len(), 5);
+    }
+
+    #[test]
+    fn bench_hashes_are_pinned_stable_and_distinct() {
+        // Pinned trace-store keys for the benchmark corpus
+        // (full-scale, scaled-down) — same contract as the Table 1
+        // pins: drift must fail loudly, because stale store entries
+        // would otherwise warm-start wrong traces.
+        let pinned: [(&str, u64, u64); 4] = [
+            ("matmul", 0x07c6_7cc5_ca05_ae5e, 0xa420_c900_2c91_1c08),
+            ("fib", 0x1caa_ad3c_de12_f8a4, 0x286d_de09_a79c_9dc1),
+            ("struct_bench", 0xf344_d9b5_b19c_9201, 0x00c6_858f_3532_296e),
+            ("bitwise", 0x2d04_1757_a3cc_b353, 0x39a5_1394_f7df_9b30),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (name, full, small) in pinned {
+            let w = Workload::by_name(name).unwrap();
+            assert_eq!(
+                w.workload_hash(),
+                full,
+                "{name}: full-scale hash drifted (got {:#018x})",
+                w.workload_hash()
+            );
+            let s = w.clone().scaled_down();
+            assert_eq!(
+                s.workload_hash(),
+                small,
+                "{name}: scaled-down hash drifted (got {:#018x})",
+                s.workload_hash()
+            );
+            assert!(seen.insert(full), "{name}: full hash collides");
+            assert!(seen.insert(small), "{name}: small hash collides");
+        }
+    }
+
+    #[test]
+    fn bench_workloads_compile_run_and_match_interpreter() {
+        for w in Workload::bench() {
+            let w = w.scaled_down();
+            let p = prepare(&w).unwrap();
+            assert!(!p.output.is_empty(), "{} produced no output", w.name);
+            let hir = databp_tinyc::lower(w.source).unwrap();
+            let oracle = interpret(&hir, &w.args, 400_000_000).unwrap();
+            assert_eq!(
+                p.output, oracle.output,
+                "{}: machine vs interpreter divergence",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn bench_traces_are_write_rich_and_balanced() {
+        for w in Workload::bench() {
+            let w = w.scaled_down();
+            let p = prepare(&w).unwrap();
+            let s = p.trace.stats();
+            assert!(s.writes > 1_000, "{}: only {} writes", w.name, s.writes);
+            assert_eq!(s.installs, s.removes, "{}: unbalanced trace", w.name);
+            assert!(p.base_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_prepare() {
+        let w = Workload::by_name("matmul").unwrap().scaled_down();
+        let p = prepare(&w).unwrap();
+        let rebuilt = Prepared::from_parts(
+            w.clone(),
+            compile_plain(&w),
+            p.trace.clone(),
+            p.base_us,
+            p.instructions,
+            p.output.clone(),
+        );
+        assert_eq!(rebuilt.trace, p.trace);
+        assert_eq!(rebuilt.base_us, p.base_us);
+        assert_eq!(rebuilt.instructions, p.instructions);
+        assert_eq!(rebuilt.output, p.output);
+        // The recompiled plain build and the lazy instrumented build
+        // both still behave identically after reassembly.
+        for build in [&rebuilt.plain, rebuilt.codepatch()] {
+            let mut m = Machine::new();
+            m.load(&build.program);
+            m.set_args(w.args.clone());
+            m.run(&mut NoHooks, w.max_steps).unwrap();
+            assert_eq!(m.take_output(), p.output);
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+// bitwise — bit-twiddling kernel: xorshift PRNG streams, software
+// popcount, and parity folds over a global word array. All shifts,
+// masks, and xors — the operation mix of hashing and compression inner
+// loops — with every round rewriting the whole array in place.
+//
+// arg(0) = words in the working set (default 1536, <= 2048)
+// arg(1) = rounds (default 120)
+
+int W;
+int bits[2048];
+int seed;
+int rounds_done;
+
+int popcount(int v) {
+    int c;
+    c = 0;
+    while (v != 0) {
+        v = v & (v - 1);
+        c = c + 1;
+    }
+    return c;
+}
+
+void fill() {
+    int i;
+    for (i = 0; i < W; i = i + 1) {
+        seed = seed * 1103515245 + 12345;
+        bits[i] = (seed >> 8) & 16777215;
+    }
+}
+
+// One xorshift step per word, mixed with its neighbour so the stream
+// isn't W independent generators.
+void churn() {
+    int i; int v;
+    for (i = 0; i < W; i = i + 1) {
+        v = bits[i];
+        v = v ^ (v << 13);
+        v = v ^ (v >> 17);
+        v = v ^ (v << 5);
+        v = v ^ (bits[(i + 1) % W] >> 3);
+        bits[i] = v & 16777215;
+    }
+    rounds_done = rounds_done + 1;
+}
+
+int weigh() {
+    int i; int total; int parity;
+    total = 0;
+    parity = 0;
+    for (i = 0; i < W; i = i + 1) {
+        total = (total + popcount(bits[i])) % 1000003;
+        parity = parity ^ bits[i];
+    }
+    return (total + (parity & 1023)) % 1000003;
+}
+
+int main() {
+    int rounds; int r; int sum;
+    W = arg(0);
+    if (W <= 0) W = 1536;
+    if (W > 2048) W = 2048;
+    rounds = arg(1);
+    if (rounds <= 0) rounds = 120;
+    seed = 2026;
+    fill();
+    sum = 0;
+    for (r = 0; r < rounds; r = r + 1) {
+        churn();
+        sum = (sum + weigh()) % 1000003;
+    }
+    print_str("bitwise: sum=");
+    print_int(sum);
+    print_str("bitwise: rounds=");
+    print_int(rounds_done);
+    print_str("bitwise: b0=");
+    print_int(bits[0]);
+    return 0;
+}

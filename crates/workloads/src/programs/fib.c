@@ -1,0 +1,55 @@
+// fib — deep plain recursion plus a memoized sweep. Where matmul is
+// all writes, fib is all *frame traffic*: every call installs and
+// removes monitored locals and emits enter/exit records, exercising the
+// replay engine's install/remove path and the trace codec's run-length
+// tag columns (long E/X runs) rather than the write sweep.
+//
+// arg(0) = fibonacci index n (default 19)
+// arg(1) = repetitions (default 25)
+
+int calls;
+int memo[64];
+int memo_hits;
+
+int fib(int n) {
+    int left; int right;
+    calls = calls + 1;
+    if (n < 2) return n;
+    left = fib(n - 1);
+    right = fib(n - 2);
+    return (left + right) % 1000003;
+}
+
+int fib_memo(int n) {
+    int v;
+    if (n < 2) return n;
+    if (memo[n] != 0) {
+        memo_hits = memo_hits + 1;
+        return memo[n];
+    }
+    v = (fib_memo(n - 1) + fib_memo(n - 2)) % 1000003;
+    memo[n] = v;
+    return v;
+}
+
+int main() {
+    int n; int reps; int r; int i; int sum;
+    n = arg(0);
+    if (n <= 0) n = 19;
+    if (n > 24) n = 24;
+    reps = arg(1);
+    if (reps <= 0) reps = 25;
+    sum = 0;
+    for (r = 0; r < reps; r = r + 1) {
+        sum = (sum + fib(n)) % 1000003;
+        for (i = 0; i < 64; i = i + 1) memo[i] = 0;
+        sum = (sum + fib_memo(n + 5)) % 1000003;
+    }
+    print_str("fib: sum=");
+    print_int(sum);
+    print_str("fib: calls=");
+    print_int(calls);
+    print_str("fib: memo_hits=");
+    print_int(memo_hits);
+    return 0;
+}

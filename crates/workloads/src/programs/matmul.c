@@ -1,0 +1,85 @@
+// matmul — dense integer matrix multiply, the classic replay-bench
+// kernel shape: three nested loops streaming writes through a global
+// result matrix. Few objects, few functions, enormous write density on
+// a handful of pages — the best case for the lane-packed replay sweep.
+//
+// arg(0) = matrix edge N (default 20, N*N <= 1600)
+// arg(1) = multiply rounds (default 60)
+
+int N;
+int a[1600];
+int b[1600];
+int c[1600];
+int seed;
+int rounds_done;
+
+int rnd(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return ((seed >> 16) & 32767) % limit;
+}
+
+void fill() {
+    int i;
+    for (i = 0; i < N * N; i = i + 1) {
+        a[i] = rnd(256) - 128;
+        b[i] = rnd(256) - 128;
+    }
+}
+
+void multiply() {
+    int i; int j; int k; int acc;
+    for (i = 0; i < N; i = i + 1) {
+        for (j = 0; j < N; j = j + 1) {
+            acc = 0;
+            for (k = 0; k < N; k = k + 1) {
+                acc = acc + a[i * N + k] * b[k * N + j];
+            }
+            c[i * N + j] = acc % 65536;
+        }
+    }
+    rounds_done = rounds_done + 1;
+}
+
+// Feed the product back into the operands so every round computes on
+// fresh values and nothing is dead code.
+void stir() {
+    int i;
+    for (i = 0; i < N * N; i = i + 1) {
+        a[i] = (a[i] + c[i]) % 251 - 125;
+        b[i] = (b[i] ^ (c[i] >> 3)) % 199;
+    }
+}
+
+int checksum() {
+    int i; int h;
+    h = 0;
+    for (i = 0; i < N * N; i = i + 1) {
+        h = (h * 31 + c[i]) % 1000003;
+    }
+    if (h < 0) h = h + 1000003;
+    return h;
+}
+
+int main() {
+    int rounds; int r; int sum;
+    N = arg(0);
+    if (N <= 0) N = 20;
+    if (N * N > 1600) N = 40;
+    rounds = arg(1);
+    if (rounds <= 0) rounds = 60;
+    seed = 4242;
+    fill();
+    sum = 0;
+    for (r = 0; r < rounds; r = r + 1) {
+        multiply();
+        stir();
+        sum = (sum + checksum()) % 1000003;
+    }
+    print_str("matmul: sum=");
+    print_int(sum);
+    print_str("matmul: rounds=");
+    print_int(rounds_done);
+    print_str("matmul: c0=");
+    print_int(c[0]);
+    return 0;
+}
