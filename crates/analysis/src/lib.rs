@@ -6,17 +6,22 @@
 //! whose effective address provably never lands in a region the debugger
 //! is monitoring needs no check at all.
 //!
-//! The analysis is a classic flow-insensitive inclusion-based points-to
-//! pass, specialized to the three-segment `spar` address space:
+//! The analysis is an inclusion-based points-to pass specialized to the
+//! three-segment `spar` address space, fed by the tinyc SSA middle end
+//! (`databp_tinyc::ssa`, DESIGN.md §11):
 //!
-//! * Every store site carries an [`AddrDesc`] emitted by the tinyc code
-//!   generator — the *syntactic* origin of its address (direct region
-//!   bases, named-scalar dependencies, called functions).
-//! * This crate resolves the dependencies: it assigns every named scalar
-//!   (each local per function, each global) and every function result a
-//!   **region mask** — which of stack / global / heap the pointer values
-//!   flowing into it may point to — by iterating value-flow constraints
-//!   to a fixpoint.
+//! * The SSA pass lowers each function into SSA form (dominator tree,
+//!   mem2reg for address-never-taken locals, copy/constant propagation,
+//!   trivial DCE) and produces one **flow-sensitive** [`AddrDesc`] per
+//!   store site — the reaching definitions of the address at that exact
+//!   program point, far tighter than a syntactic fold over the HIR. It
+//!   also proves some sites statically dead (unreachable branches),
+//!   which are elidable under any plan.
+//! * This crate resolves the remaining dependencies: it assigns every
+//!   named scalar (each local per function, each global) and every
+//!   function result a **region mask** — which of stack / global / heap
+//!   the pointer values flowing into it may point to — by iterating the
+//!   SSA-derived value-flow edges to a fixpoint.
 //! * A store site's mask is then its direct bits unioned with the masks
 //!   of everything its address depends on; [`WriteSafety::classify`]
 //!   compares that mask against a [`PlanClass`] (the regions a monitor
@@ -38,9 +43,9 @@
 //! their base address was derived from (spatial safety).
 
 use databp_machine::DATA_BASE;
+use databp_tinyc::ssa::{self, FlowTarget, SsaInfo};
 use databp_tinyc::{
-    AddrDesc, Builtin, DebugInfo, Expr, ExprKind, Hir, Stmt, REGION_ALL, REGION_GLOBAL,
-    REGION_HEAP, REGION_STACK,
+    AddrDesc, DebugInfo, Hir, REGION_ALL, REGION_GLOBAL, REGION_HEAP, REGION_STACK,
 };
 
 pub use databp_tinyc::{BinOp, StoreSiteInfo};
@@ -95,6 +100,7 @@ pub struct WriteSafety {
     pcs: Vec<u32>,
     chk_pcs: Vec<Option<u32>>,
     masks: Vec<u8>,
+    dead: Vec<bool>,
 }
 
 /// Runs the write-safety pass over a lowered program and the debug info
@@ -103,20 +109,34 @@ pub struct WriteSafety {
 /// per-index masks agree across builds (only the pcs differ).
 pub fn analyze_writes(hir: &Hir, debug: &DebugInfo) -> WriteSafety {
     let _t = databp_telemetry::time!("analysis.writeopt");
+    let ssa = ssa::analyze(hir);
     let mut solver = Solver::new(hir);
-    solver.collect();
+    solver.collect(&ssa);
     solver.solve();
-    let (mut pcs, mut chk_pcs, mut masks) = (Vec::new(), Vec::new(), Vec::new());
-    for site in &debug.store_sites {
+    let facts: Vec<&ssa::SiteFact> = ssa.flat_sites().collect();
+    // SSA enumerates sites in the code generator's emission order
+    // (pinned by tinyc's site-alignment tests); fall back to the
+    // syntactic summaries if the counts ever disagree.
+    let aligned = facts.len() == debug.store_sites.len();
+    let (mut pcs, mut chk_pcs, mut masks, mut dead) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for (i, site) in debug.store_sites.iter().enumerate() {
         pcs.push(site.pc);
         chk_pcs.push(site.chk_pc);
-        masks.push(solver.eval(site.func, &site.addr));
+        if aligned {
+            masks.push(solver.eval(site.func, &facts[i].desc));
+            dead.push(facts[i].dead);
+        } else {
+            masks.push(solver.eval(site.func, &site.addr));
+            dead.push(false);
+        }
     }
     databp_telemetry::count!("analysis.sites", pcs.len() as u64);
     WriteSafety {
         pcs,
         chk_pcs,
         masks,
+        dead,
     }
 }
 
@@ -147,6 +167,11 @@ impl WriteSafety {
     }
 
     fn elidable(&self, i: usize, class: PlanClass) -> bool {
+        if self.dead[i] {
+            // Statically unreachable: the check never executes, so
+            // eliding it is trivially sound under any plan.
+            return true;
+        }
         let m = self.masks[i];
         m != 0 && m & class.mask() == 0
     }
@@ -184,7 +209,8 @@ impl WriteSafety {
 /// summary (interpreted in a particular function's namespace) into a
 /// target node; iteration to a fixpoint is the standard inclusion-based
 /// propagation, tiny here because tinyc programs have a few hundred
-/// scalars at most.
+/// scalars at most. The edges and escape sets come from the SSA pass,
+/// which only emits flow from statically reachable code.
 struct Solver<'a> {
     hir: &'a Hir,
     /// Node masks: globals, then per-function locals, then returns.
@@ -193,7 +219,6 @@ struct Solver<'a> {
     edges: Vec<(u16, AddrDesc, usize)>,
     local_base: Vec<usize>,
     ret_base: usize,
-    cur_fid: u16,
 }
 
 impl<'a> Solver<'a> {
@@ -211,7 +236,6 @@ impl<'a> Solver<'a> {
             edges: Vec::new(),
             local_base,
             ret_base,
-            cur_fid: 0,
         };
         s.seed_globals();
         s
@@ -250,99 +274,32 @@ impl<'a> Solver<'a> {
         self.masks[node] = REGION_ALL;
     }
 
-    fn collect(&mut self) {
-        for fid in 0..self.hir.funcs.len() {
-            self.cur_fid = fid as u16;
-            let body = &self.hir.funcs[fid].body;
-            self.walk_stmts(body);
-        }
-    }
-
-    fn walk_stmts(&mut self, stmts: &'a [Stmt]) {
-        for s in stmts {
-            match s {
-                Stmt::Expr(e) => self.walk_expr(e, false),
-                Stmt::If(c, a, b) => {
-                    self.walk_expr(c, false);
-                    self.walk_stmts(a);
-                    self.walk_stmts(b);
-                }
-                Stmt::While(c, body) => {
-                    self.walk_expr(c, false);
-                    self.walk_stmts(body);
-                }
-                Stmt::For(init, cond, step, body) => {
-                    for e in [init, cond, step].into_iter().flatten() {
-                        self.walk_expr(e, false);
-                    }
-                    self.walk_stmts(body);
-                }
-                Stmt::Return(Some(e)) => {
-                    self.walk_expr(e, false);
-                    let sum = summarize(e);
-                    self.edges
-                        .push((self.cur_fid, sum, self.ret_node(self.cur_fid)));
-                }
-                Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
-            }
-        }
-    }
-
-    /// Walks an expression, marking escaped objects and collecting value
-    /// -flow edges. `benign` is true when *this exact node* may be an
-    /// `&x` without escaping `x`: the immediate child of a load (a plain
-    /// read) or the address slot of a direct assignment (handled as an
-    /// explicit edge). Everything else — array-index bases, call
-    /// arguments, stored values — escapes the object: its content may
-    /// thereafter be written through channels the solver cannot see, so
-    /// the node saturates to [`REGION_ALL`].
-    fn walk_expr(&mut self, e: &'a Expr, benign: bool) {
-        match &e.kind {
-            ExprKind::AddrLocal(v) => {
-                if !benign {
-                    let n = self.local_node(self.cur_fid, *v);
+    /// Imports the SSA pass's results: escaped scalars saturate their
+    /// nodes (their content may be written through channels the solver
+    /// cannot see), and the flow-sensitive value edges become the
+    /// fixpoint's constraint set.
+    fn collect(&mut self, ssa: &SsaInfo) {
+        for (fid, f) in ssa.funcs.iter().enumerate() {
+            for (v, &taken) in f.taken.iter().enumerate() {
+                if taken {
+                    let n = self.local_node(fid as u16, v as u16);
                     self.mark_taken(n);
                 }
             }
-            ExprKind::AddrGlobal(g) => {
-                if !benign {
-                    let n = self.global_node(*g);
-                    self.mark_taken(n);
-                }
+        }
+        for (g, &taken) in ssa.taken_globals.iter().enumerate() {
+            if taken {
+                let n = self.global_node(g as u32);
+                self.mark_taken(n);
             }
-            ExprKind::Const(_) => {}
-            ExprKind::Load(inner) => self.walk_expr(inner, true),
-            ExprKind::Unary(_, a) | ExprKind::CastChar(a) => self.walk_expr(a, false),
-            ExprKind::Binary(_, a, b) | ExprKind::LogAnd(a, b) | ExprKind::LogOr(a, b) => {
-                self.walk_expr(a, false);
-                self.walk_expr(b, false);
-            }
-            ExprKind::Assign { addr, value } => {
-                self.walk_expr(addr, true);
-                self.walk_expr(value, false);
-                let target = match &addr.kind {
-                    ExprKind::AddrLocal(v) => Some(self.local_node(self.cur_fid, *v)),
-                    ExprKind::AddrGlobal(g) => Some(self.global_node(*g)),
-                    // Indirect stores write into escaped objects, whose
-                    // nodes are already saturated.
-                    _ => None,
-                };
-                if let Some(t) = target {
-                    self.edges.push((self.cur_fid, summarize(value), t));
-                }
-            }
-            ExprKind::Call(fid, args) => {
-                for (k, a) in args.iter().enumerate() {
-                    self.walk_expr(a, false);
-                    let param = self.local_node(*fid, k as u16);
-                    self.edges.push((self.cur_fid, summarize(a), param));
-                }
-            }
-            ExprKind::Builtin(_, args) => {
-                for a in args {
-                    self.walk_expr(a, false);
-                }
-            }
+        }
+        for e in &ssa.edges {
+            let node = match e.target {
+                FlowTarget::Local(fid, v) => self.local_node(fid, v),
+                FlowTarget::Global(g) => self.global_node(g),
+                FlowTarget::Ret(fid) => self.ret_node(fid),
+            };
+            self.edges.push((e.fid, e.desc.clone(), node));
         }
     }
 
@@ -385,55 +342,10 @@ impl<'a> Solver<'a> {
     }
 }
 
-/// Summarizes a *value* expression — which regions the produced value
-/// may point to, and which scalars / function results it depends on.
-/// Mirrors the code generator's address summary, with one extra rule:
-/// an integer constant that is itself a plausible data address (≥
-/// `DATA_BASE`) poisons the summary, so directly forged pointers flow as
-/// "could be anything" rather than "nothing".
-fn summarize(e: &Expr) -> AddrDesc {
-    let mut d = AddrDesc::default();
-    fold(e, &mut d);
-    d
-}
-
-fn fold(e: &Expr, d: &mut AddrDesc) {
-    match &e.kind {
-        ExprKind::AddrLocal(_) => d.direct |= REGION_STACK,
-        ExprKind::AddrGlobal(_) => d.direct |= REGION_GLOBAL,
-        ExprKind::Const(c) => {
-            if (*c as u32) >= DATA_BASE {
-                d.opaque = true;
-            }
-        }
-        ExprKind::LogAnd(..) | ExprKind::LogOr(..) => {}
-        ExprKind::Binary(op, a, b) => match op {
-            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {}
-            _ => {
-                fold(a, d);
-                fold(b, d);
-            }
-        },
-        ExprKind::Load(inner) => match &inner.kind {
-            ExprKind::AddrLocal(v) => d.local_deps.push(*v),
-            ExprKind::AddrGlobal(g) => d.global_deps.push(*g),
-            _ => d.opaque = true,
-        },
-        ExprKind::Unary(_, a) | ExprKind::CastChar(a) => fold(a, d),
-        ExprKind::Assign { value, .. } => fold(value, d),
-        ExprKind::Call(fid, _) => d.call_deps.push(*fid),
-        ExprKind::Builtin(b, _) => match b {
-            Builtin::Malloc | Builtin::Realloc => d.direct |= REGION_HEAP,
-            Builtin::Arg => {}
-            _ => d.opaque = true,
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use databp_tinyc::{compile, lower, Options};
+    use databp_tinyc::{compile, lower, Options, REGION_GLOBAL, REGION_HEAP, REGION_STACK};
 
     fn analyze(src: &str) -> (WriteSafety, DebugInfo) {
         let hir = lower(src).expect("compiles");
@@ -493,9 +405,10 @@ mod tests {
             "#,
         );
         // Sites: p=&x (stack), *p, p=&g (stack), *p.
-        // Flow-insensitive: both indirect stores see STACK|GLOBAL.
-        assert_eq!(m[1], REGION_STACK | REGION_GLOBAL);
-        assert_eq!(m[3], REGION_STACK | REGION_GLOBAL);
+        // Flow-sensitive: each indirect store sees only the reaching
+        // definition of p at that point.
+        assert_eq!(m[1], REGION_STACK);
+        assert_eq!(m[3], REGION_GLOBAL);
     }
 
     #[test]

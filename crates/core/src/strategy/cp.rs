@@ -35,6 +35,14 @@ use std::sync::Arc;
 /// ([`StrategyReport::elided_lookups`]). Elision is validated under
 /// `debug_assertions`, and independently by the replay oracle in
 /// `databp-sim`.
+///
+/// Programs compiled with [`databp_tinyc::Options::codepatch_ssa`]
+/// additionally carry SSA-planned hoist groups ([`DebugInfo::hoists`]):
+/// one preheader guard dominating a loop's invariant store targets —
+/// including stores through never-reassigned pointers the Section 9
+/// syntactic pass cannot see. These are honored whenever present
+/// ([`StrategyReport::hoisted_lookups`]); monitor installs re-arm every
+/// group so a mid-loop install is never missed.
 #[derive(Debug, Clone, Default)]
 pub struct CodePatch {
     /// Enable the Section 9 loop-invariant preliminary checks.
@@ -94,6 +102,7 @@ impl CodePatch {
             preheader: HashMap::new(),
             body: HashMap::new(),
             armed: Vec::new(),
+            hoist_base: 0,
             elided,
         };
         let mut rep = drive(
@@ -116,8 +125,13 @@ struct CpMech {
     preheader: HashMap<u32, usize>,
     /// Body check pc -> loop-group index.
     body: HashMap<u32, usize>,
-    /// Whether each loop group's preliminary check hit.
+    /// Whether each loop group's preliminary check hit. Section 9
+    /// (`loopopt`) groups first, then SSA hoist groups.
     armed: Vec<bool>,
+    /// First SSA hoist group in `armed` (groups at or past this index
+    /// count as [`StrategyReport::hoisted_lookups`] and re-arm on
+    /// monitor installs).
+    hoist_base: usize,
     /// `chk` pcs whose lookup the static write-safety pass elides for
     /// this run's plan class.
     elided: HashSet<u32>,
@@ -139,15 +153,22 @@ impl Mechanism for CpMech {
                 "CodePatch strategy requires a program compiled with Options::codepatch"
             );
         }
+        let mut groups: Vec<&databp_tinyc::LoopOptInfo> = Vec::new();
         if self.opts.loopopt {
-            for (idx, l) in debug.loopopts.iter().enumerate() {
-                self.preheader.insert(l.preheader_pc, idx);
-                for &pc in &l.body_pcs {
-                    self.body.insert(pc, idx);
-                }
-            }
-            self.armed = vec![false; debug.loopopts.len()];
+            groups.extend(debug.loopopts.iter());
         }
+        // SSA hoist groups are honored whenever the build carries them:
+        // the preheader guards are already in the code, so skipping the
+        // dominated body checks is always licensed.
+        self.hoist_base = groups.len();
+        groups.extend(debug.hoists.iter());
+        for (idx, l) in groups.iter().enumerate() {
+            self.preheader.insert(l.preheader_pc, idx);
+            for &pc in &l.body_pcs {
+                self.body.insert(pc, idx);
+            }
+        }
+        self.armed = vec![false; groups.len()];
         Ok(())
     }
 
@@ -155,6 +176,13 @@ impl Mechanism for CpMech {
         self.wms
             .install(ba, ea)
             .expect("tracker ranges are non-empty");
+        // A monitor installed after a preheader guard already missed
+        // could be hit by the body stores that guard disarmed:
+        // conservatively re-arm every SSA hoist group, so its body
+        // checks pay the full lookup until the preheader next runs.
+        for a in &mut self.armed[self.hoist_base..] {
+            *a = true;
+        }
         rep.overhead.add(
             TimingVar::SoftwareUpdate,
             self.opts.timing.software_update_us,
@@ -196,29 +224,31 @@ impl Mechanism for CpMech {
             rep.elided_lookups += 1;
             return Ok(());
         }
-        if self.opts.loopopt {
-            if let Some(&idx) = self.preheader.get(&ev.pc) {
-                // Preliminary check: pure lookup, arms or disarms the
-                // loop's body checks. Not a write — no hit/miss counted.
-                rep.overhead
-                    .add(TimingVar::SoftwareLookup, t.software_lookup_us);
-                rep.preheader_lookups += 1;
-                self.armed[idx] = self.wms.would_hit(ba, ea);
-                return Ok(());
-            }
-            if let Some(&idx) = self.body.get(&ev.pc) {
-                if !self.armed[idx] {
-                    // The write still happens and is still a (model)
-                    // miss; the lookup cost is elided — that is the
-                    // optimization.
-                    debug_assert!(
-                        !self.wms.would_hit(ba, ea),
-                        "disarmed loop check would have hit: unsound arming"
-                    );
-                    rep.counts.miss += 1;
+        if let Some(&idx) = self.preheader.get(&ev.pc) {
+            // Preliminary check: pure lookup, arms or disarms the
+            // loop's body checks. Not a write — no hit/miss counted.
+            rep.overhead
+                .add(TimingVar::SoftwareLookup, t.software_lookup_us);
+            rep.preheader_lookups += 1;
+            self.armed[idx] = self.wms.would_hit(ba, ea);
+            return Ok(());
+        }
+        if let Some(&idx) = self.body.get(&ev.pc) {
+            if !self.armed[idx] {
+                // The write still happens and is still a (model)
+                // miss; the lookup cost is elided — that is the
+                // optimization.
+                debug_assert!(
+                    !self.wms.would_hit(ba, ea),
+                    "disarmed loop check would have hit: unsound arming"
+                );
+                rep.counts.miss += 1;
+                if idx >= self.hoist_base {
+                    rep.hoisted_lookups += 1;
+                } else {
                     rep.skipped_lookups += 1;
-                    return Ok(());
                 }
+                return Ok(());
             }
         }
         rep.overhead
@@ -406,6 +436,111 @@ mod tests {
         assert_eq!(rep.counts.hit, baseline.counts.hit);
         assert_eq!(rep.notification_count, baseline.notification_count);
         assert!((rep.overhead.total_us() - baseline.overhead.total_us()).abs() < 1e-6);
+    }
+
+    const PTR_SRC: &str = r#"
+        int g;
+        int main() {
+            int i; int s;
+            int *p;
+            int a[4];
+            p = a;
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                *p = i;
+                s = s + *p;
+                g = s;
+            }
+            return s + g + a[0];
+        }
+    "#;
+
+    #[test]
+    fn ssa_hoists_skip_pointer_checks_when_unmonitored() {
+        let (mut m, debug) = load(PTR_SRC, &Options::codepatch_ssa());
+        assert!(!debug.hoists.is_empty());
+        let rep = CodePatch::default()
+            .run(&mut m, &debug, &NoMonitors, 10_000_000)
+            .unwrap();
+        assert!(rep.hoisted_lookups > 0, "hoisted body checks were skipped");
+        assert!(rep.preheader_lookups > 0);
+        assert_eq!(rep.skipped_lookups, 0, "no Section 9 groups in this build");
+        assert_eq!(rep.counts.hit, 0);
+        // Charged lookups match the loopopt-shaped model with the
+        // hoisted count in the skipped slot.
+        let model = databp_models::cp_loopopt_overhead(
+            &rep.counts,
+            rep.hoisted_lookups,
+            rep.preheader_lookups,
+            &TimingVars::default(),
+        );
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssa_hoists_still_notify_when_monitored() {
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let (mut m, debug) = load(PTR_SRC, &Options::codepatch_ssa());
+        let rep = CodePatch::default()
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        let baseline = {
+            let (mut m2, d2) = load(PTR_SRC, &Options::codepatch());
+            CodePatch::default()
+                .run(&mut m2, &d2, &plan, 10_000_000)
+                .unwrap()
+        };
+        // Monitor visibility identical to the unhoisted build...
+        assert_eq!(rep.counts.hit, baseline.counts.hit);
+        assert_eq!(rep.notification_count, baseline.notification_count);
+        assert_eq!(
+            rep.notifications
+                .iter()
+                .map(|n| (n.ba, n.ea))
+                .collect::<Vec<_>>(),
+            baseline
+                .notifications
+                .iter()
+                .map(|n| (n.ba, n.ea))
+                .collect::<Vec<_>>()
+        );
+        // ...while the unmonitored invariant targets skip lookups.
+        assert!(rep.hoisted_lookups > 0);
+    }
+
+    #[test]
+    fn ssa_hoists_compose_with_staticopt() {
+        let (mut m, debug) = load(PTR_SRC, &Options::codepatch_ssa());
+        let ws = safety(PTR_SRC, &debug);
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::with_staticopt(ws)
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        let baseline = {
+            let (mut m2, d2) = load(PTR_SRC, &Options::codepatch());
+            CodePatch::default()
+                .run(&mut m2, &d2, &plan, 10_000_000)
+                .unwrap()
+        };
+        assert_eq!(rep.counts.hit, baseline.counts.hit);
+        assert_eq!(rep.notification_count, baseline.notification_count);
+        // Static elision takes the stack stores; the hoist groups can
+        // only skip what elision left behind.
+        assert!(rep.elided_lookups > 0);
+        let model = databp_models::cp_ssaopt_overhead(
+            &rep.counts,
+            rep.elided_lookups,
+            rep.hoisted_lookups,
+            rep.preheader_lookups,
+            &TimingVars::default(),
+        );
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
     }
 
     #[test]

@@ -176,11 +176,14 @@ fn record_strategy_telemetry(rep: &StrategyReport) {
     if matches!(approach, Approach::Cp) {
         reg.counter("cp.stores_elided")
             .add_always(rep.elided_lookups);
+        reg.counter("cp.stores_hoisted")
+            .add_always(rep.hoisted_lookups);
         let checked = rep
             .counts
             .writes()
             .saturating_sub(rep.skipped_lookups)
-            .saturating_sub(rep.elided_lookups);
+            .saturating_sub(rep.elided_lookups)
+            .saturating_sub(rep.hoisted_lookups);
         reg.counter("cp.stores_checked").add_always(checked);
     }
 }

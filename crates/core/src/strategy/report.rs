@@ -40,6 +40,10 @@ pub struct StrategyReport {
     /// lookup was elided because the store provably cannot hit the
     /// plan's address regions.
     pub elided_lookups: u64,
+    /// CodePatch SSA hoist optimization only: body checks whose lookup
+    /// was skipped because a dominating preheader guard proved the
+    /// loop-invariant target unmonitored.
+    pub hoisted_lookups: u64,
     /// DynamicCodePatch only: pad patch/unpatch sweeps performed.
     pub patch_events: u64,
     /// Operation counters of the strategy's software WMS instance (all

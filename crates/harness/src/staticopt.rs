@@ -39,12 +39,28 @@ pub struct StaticOptRow {
     pub checked_cp: u64,
     /// Dynamic stores checked with the loop optimization.
     pub checked_loopopt: u64,
-    /// Dynamic stores checked with static elision.
+    /// Dynamic stores checked with static elision + SSA hoisting.
     pub checked_staticopt: u64,
     /// Dynamic store checks elided by the static pass.
     pub elided: u64,
+    /// Dynamic store checks skipped by a dominating preheader guard
+    /// (SSA hoist groups).
+    pub hoisted: u64,
     /// Notifications (identical across all three variants — soundness).
     pub notifications: u64,
+}
+
+impl StaticOptRow {
+    /// Fraction of plain-CP checks the optimized variant never pays:
+    /// statically elided plus dominator-hoisted, over every traced
+    /// write.
+    pub fn elision_rate(&self) -> f64 {
+        if self.checked_cp == 0 {
+            0.0
+        } else {
+            (self.elided + self.hoisted) as f64 / self.checked_cp as f64
+        }
+    }
 }
 
 /// Which CodePatch variant to run.
@@ -63,7 +79,10 @@ fn run_cp(
 ) -> databp_core::StrategyReport {
     let build = match variant {
         Variant::LoopOpt => r.prepared.codepatch_loopopt(),
-        Variant::Plain | Variant::StaticOpt => r.prepared.codepatch(),
+        // The static variant runs the SSA build: its preheader guards
+        // carry the dominator-hoisting groups the plan exploits.
+        Variant::StaticOpt => r.prepared.codepatch_ssa(),
+        Variant::Plain => r.prepared.codepatch(),
     };
     let mut m = Machine::new();
     m.load(&build.program);
@@ -114,25 +133,51 @@ fn verify_soundness(r: &WorkloadResults, plain_safety: &WriteSafety) {
 pub fn measure(r: &WorkloadResults, samples: usize) -> Vec<StaticOptRow> {
     let hir = lower(r.prepared.workload.source).expect("workload compiles");
     // The same sites in the same order across builds: the plain build's
-    // analysis feeds the trace-pc oracle, the CodePatch build's feeds
-    // the strategy.
+    // analysis feeds the trace-pc oracle, the SSA build's feeds the
+    // strategy (its chk pcs account for the inserted preheader guards).
     let plain_safety = analyze_writes(&hir, &r.prepared.plain.debug);
-    let cp_safety = Arc::new(analyze_writes(&hir, &r.prepared.codepatch().debug));
+    let ssa_safety = Arc::new(analyze_writes(&hir, &r.prepared.codepatch_ssa().debug));
     verify_soundness(r, &plain_safety);
 
     let mut rows = Vec::new();
     let mut push_row = |plan: &dyn MonitorPlan, session: String| {
-        let base = run_cp(r, plan, Variant::Plain, &cp_safety);
-        let lopt = run_cp(r, plan, Variant::LoopOpt, &cp_safety);
-        let sopt = run_cp(r, plan, Variant::StaticOpt, &cp_safety);
+        let base = run_cp(r, plan, Variant::Plain, &ssa_safety);
+        let lopt = run_cp(r, plan, Variant::LoopOpt, &ssa_safety);
+        let sopt = run_cp(r, plan, Variant::StaticOpt, &ssa_safety);
         assert_eq!(
             base.notification_count, sopt.notification_count,
             "static elision must not lose notifications for {session}"
+        );
+        // The address sequences must agree too (pcs differ across
+        // builds; the monitored writes do not) — this dynamically
+        // validates every hoist group the run exercised.
+        assert_eq!(
+            base.notifications
+                .iter()
+                .map(|n| (n.ba, n.ea))
+                .collect::<Vec<_>>(),
+            sopt.notifications
+                .iter()
+                .map(|n| (n.ba, n.ea))
+                .collect::<Vec<_>>(),
+            "static elision must notify the same writes for {session}"
         );
         assert_eq!(
             base.notification_count, lopt.notification_count,
             "loop optimization must not lose notifications for {session}"
         );
+        // Corpus-level effectiveness counters: each traced store counts
+        // once (the plain-CP run), against what the optimized variant
+        // removed. `repro perf` derives `cp.elision_rate` from these —
+        // the `cp.stores_*` counters also absorb the comparison's
+        // baseline runs, which by construction elide nothing.
+        let reg = databp_telemetry::global();
+        reg.counter("staticopt.stores_base")
+            .add_always(base.counts.writes());
+        reg.counter("staticopt.stores_elided")
+            .add_always(sopt.elided_lookups);
+        reg.counter("staticopt.stores_hoisted")
+            .add_always(sopt.hoisted_lookups);
         rows.push(StaticOptRow {
             workload: r.prepared.workload.name.to_string(),
             session,
@@ -141,8 +186,9 @@ pub fn measure(r: &WorkloadResults, samples: usize) -> Vec<StaticOptRow> {
             cp_staticopt: sopt.relative_overhead(),
             checked_cp: base.counts.writes(),
             checked_loopopt: lopt.counts.writes() - lopt.skipped_lookups,
-            checked_staticopt: sopt.counts.writes() - sopt.elided_lookups,
+            checked_staticopt: sopt.counts.writes() - sopt.elided_lookups - sopt.hoisted_lookups,
             elided: sopt.elided_lookups,
+            hoisted: sopt.hoisted_lookups,
             notifications: sopt.notification_count,
         });
     };
@@ -157,6 +203,10 @@ pub fn measure(r: &WorkloadResults, samples: usize) -> Vec<StaticOptRow> {
     }
     rows
 }
+
+/// Sessions sampled per workload in the staticopt comparison (the
+/// no-monitor row is always included on top of these).
+pub const SESSION_SAMPLES: usize = 2;
 
 /// The static write-safety table over all workloads.
 pub fn staticopt_table(results: &[WorkloadResults], samples: usize) -> TextTable {
@@ -173,9 +223,13 @@ pub fn staticopt_table(results: &[WorkloadResults], samples: usize) -> TextTable
             "checked +loopopt",
             "checked +staticopt",
             "elided",
+            "hoisted",
+            "rate",
             "saved",
         ],
     );
+    let (mut tot_cp, mut tot_lopt, mut tot_sopt) = (0u64, 0u64, 0u64);
+    let (mut tot_elided, mut tot_hoisted) = (0u64, 0u64);
     for r in results {
         for row in measure(r, samples) {
             let saved = if row.cp > 0.0 {
@@ -183,9 +237,14 @@ pub fn staticopt_table(results: &[WorkloadResults], samples: usize) -> TextTable
             } else {
                 0.0
             };
+            tot_cp += row.checked_cp;
+            tot_lopt += row.checked_loopopt;
+            tot_sopt += row.checked_staticopt;
+            tot_elided += row.elided;
+            tot_hoisted += row.hoisted;
             t.row(vec![
-                row.workload,
-                row.session,
+                row.workload.clone(),
+                row.session.clone(),
                 fmt_rel(row.cp),
                 fmt_rel(row.cp_loopopt),
                 fmt_rel(row.cp_staticopt),
@@ -193,11 +252,39 @@ pub fn staticopt_table(results: &[WorkloadResults], samples: usize) -> TextTable
                 row.checked_loopopt.to_string(),
                 row.checked_staticopt.to_string(),
                 row.elided.to_string(),
+                row.hoisted.to_string(),
+                fmt_pct(row.elision_rate()),
                 fmt_pct(saved),
             ]);
         }
     }
+    let tot_rate = if tot_cp == 0 {
+        0.0
+    } else {
+        (tot_elided + tot_hoisted) as f64 / tot_cp as f64
+    };
+    t.row(vec![
+        "TOTAL".to_string(),
+        String::new(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        tot_cp.to_string(),
+        tot_lopt.to_string(),
+        tot_sopt.to_string(),
+        tot_elided.to_string(),
+        tot_hoisted.to_string(),
+        fmt_pct(tot_rate),
+        "-".to_string(),
+    ]);
     t
+}
+
+/// The staticopt table at the standard sample depth — the single entry
+/// point the `repro` binary uses, so every surface reports the same
+/// comparison.
+pub fn staticopt_report(results: &[WorkloadResults]) -> TextTable {
+    staticopt_table(results, SESSION_SAMPLES)
 }
 
 #[cfg(test)]

@@ -1,0 +1,245 @@
+//! Property tests for the SSA middle end: random `tinyc` pointer
+//! programs compiled with and without the SSA optimizer must be
+//! indistinguishable.
+//!
+//! Two obligations, checked independently:
+//!
+//! 1. **Semantics** — the plain, CodePatch, and CodePatch+SSA builds all
+//!    halt with the same exit code and output, and all three agree with
+//!    the reference `tinyc` interpreter on the HIR. The SSA build
+//!    inserts preheader `chk` guards and reorders nothing else; a `chk`
+//!    never accesses memory, so even a guard hoisted above a
+//!    possibly-uninitialized pointer must not change behavior.
+//! 2. **Observability** — for the no-monitor plan and every enumerated
+//!    session, running `CodePatch::with_staticopt` on the SSA build
+//!    reports exactly the notifications (count *and* address sequence)
+//!    of plain `CodePatch` on the unoptimized build. This exercises the
+//!    dominator-hoisting groups dynamically: a preheader guard that
+//!    wrongly licensed skipping a monitored store would drop a
+//!    notification here.
+//!
+//! The generator leans on loops whose pointers are provably in bounds:
+//! invariant pointers (hoistable) and stepped pointers (must not hoist).
+
+use databp_analysis::analyze_writes;
+use databp_core::{CodePatch, MonitorPlan, NoMonitors, StrategyReport};
+use databp_machine::{Machine, NoHooks, StopReason};
+use databp_sessions::{enumerate_sessions, SessionPlan};
+use databp_tinyc::{compile, interpret, lower, Compiled, Options};
+use databp_trace::{Trace, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One generated statement. Pointers demonstrably stay in bounds: `s`
+/// aims at scalars, `p` aims at 4-element-or-larger blocks indexed with
+/// 0..=3, and `q` is re-aimed at `garr` (8 elements) before any loop
+/// that steps it at most 4 times.
+#[derive(Debug, Clone)]
+enum St {
+    /// `x = c;`
+    SetX(u8),
+    /// `g0 = c;` / `g1 = c;`
+    SetG(bool, u8),
+    /// `s = &x | &y | &g0 | &g1;`
+    AimS(u8),
+    /// `*s = c;`
+    StoreS(u8),
+    /// `p = arr | garr | (int*)malloc(32);`
+    AimP(u8),
+    /// `p[k] = c;`
+    StoreP(u8, u8),
+    /// `put(s|&y|p, c);` — optionally capturing the returned pointer.
+    Put(u8, u8, bool),
+    /// `q = arr; for (...) { q[k] = i; x = x + 1; }` — the pointer is
+    /// loop-invariant, so the SSA pass hoists its check.
+    LoopInvariant(u8, u8),
+    /// `q = garr; for (...) { *q = i; q = q + 1; }` — the pointer is
+    /// reassigned in the body, so its check must NOT be hoisted.
+    LoopStepped(u8),
+    /// `for (...) { g0 = g0 + i; y = y + 2; }` — scalar global + local
+    /// hoist targets.
+    LoopScalar(u8),
+}
+
+fn render(stmts: &[St]) -> String {
+    let mut body = String::new();
+    for st in stmts {
+        let line = match *st {
+            St::SetX(c) => format!("x = {c};"),
+            St::SetG(false, c) => format!("g0 = {c};"),
+            St::SetG(true, c) => format!("g1 = {c};"),
+            St::AimS(0) => "s = &x;".to_string(),
+            St::AimS(1) => "s = &y;".to_string(),
+            St::AimS(2) => "s = &g0;".to_string(),
+            St::AimS(_) => "s = &g1;".to_string(),
+            St::StoreS(c) => format!("*s = {c};"),
+            St::AimP(0) => "p = arr;".to_string(),
+            St::AimP(1) => "p = garr;".to_string(),
+            St::AimP(_) => "p = (int*)malloc(32);".to_string(),
+            St::StoreP(k, c) => format!("p[{}] = {c};", k % 4),
+            St::Put(t, c, capture) => {
+                let target = match t % 3 {
+                    0 => "s",
+                    1 => "&y",
+                    _ => "p",
+                };
+                if capture {
+                    format!("s = put({target}, {c});")
+                } else {
+                    format!("put({target}, {c});")
+                }
+            }
+            St::LoopInvariant(n, k) => format!(
+                "q = arr; for (i = 0; i < {}; i = i + 1) {{ q[{}] = i; x = x + 1; }}",
+                1 + n % 4,
+                k % 4
+            ),
+            St::LoopStepped(n) => format!(
+                "q = garr; for (i = 0; i < {}; i = i + 1) {{ *q = i; q = q + 1; }}",
+                1 + n % 4
+            ),
+            St::LoopScalar(n) => format!(
+                "for (i = 0; i < {}; i = i + 1) {{ g0 = g0 + i; y = y + 2; }}",
+                1 + n % 4
+            ),
+        };
+        body.push_str("            ");
+        body.push_str(&line);
+        body.push('\n');
+    }
+    format!(
+        r#"
+        int g0;
+        int g1;
+        int garr[8];
+        int *put(int *r, int v) {{ *r = v; return r; }}
+        int main() {{
+            int x;
+            int y;
+            int i;
+            int arr[4];
+            int *s;
+            int *p;
+            int *q;
+            x = 0;
+            y = 0;
+            s = &x;
+            p = arr;
+            q = arr;
+{body}            return x + y + g0 + g1 + arr[0] + garr[0] + *q;
+        }}
+    "#
+    )
+}
+
+fn program() -> impl Strategy<Value = Vec<St>> {
+    let st = prop_oneof![
+        (0u8..9).prop_map(St::SetX),
+        (any::<bool>(), 0u8..9).prop_map(|(g, c)| St::SetG(g, c)),
+        (0u8..4).prop_map(St::AimS),
+        (0u8..9).prop_map(St::StoreS),
+        (0u8..3).prop_map(St::AimP),
+        (0u8..4, 0u8..9).prop_map(|(k, c)| St::StoreP(k, c)),
+        (0u8..3, 0u8..9, any::<bool>()).prop_map(|(t, c, cap)| St::Put(t, c, cap)),
+        (0u8..4, 0u8..4).prop_map(|(n, k)| St::LoopInvariant(n, k)),
+        (0u8..4).prop_map(St::LoopStepped),
+        (0u8..4).prop_map(St::LoopScalar),
+    ];
+    prop::collection::vec(st, 1..24)
+}
+
+fn run_machine(build: &Compiled) -> (i32, Vec<u8>) {
+    let mut m = Machine::new();
+    m.load(&build.program);
+    assert_eq!(m.run(&mut NoHooks, 10_000_000).unwrap(), StopReason::Halted);
+    (m.exit_code(), m.output().to_vec())
+}
+
+fn trace_of(plain: &Compiled) -> Trace {
+    let mut m = Machine::new();
+    m.load(&plain.program);
+    let mut tracer = Tracer::new(plain.debug.frame_map(), plain.debug.global_specs())
+        .with_untraced(plain.debug.untraced_store_pcs.clone());
+    tracer.begin();
+    assert_eq!(m.run(&mut tracer, 10_000_000).unwrap(), StopReason::Halted);
+    tracer.finish()
+}
+
+fn run_cp(build: &Compiled, plan: &dyn MonitorPlan, strat: CodePatch) -> StrategyReport {
+    let mut m = Machine::new();
+    m.load(&build.program);
+    strat
+        .run(&mut m, &build.debug, plan, 10_000_000)
+        .expect("CodePatch run failed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The SSA optimizer never changes what a program computes: plain,
+    /// CodePatch, and CodePatch+SSA builds agree with each other and
+    /// with the reference interpreter on exit code and output.
+    #[test]
+    fn ssa_codegen_preserves_semantics(stmts in program()) {
+        let src = render(&stmts);
+        let plain = compile(&src, &Options::plain()).expect("generated program compiles");
+        let cp = compile(&src, &Options::codepatch()).expect("generated program compiles");
+        let ssa = compile(&src, &Options::codepatch_ssa()).expect("generated program compiles");
+        let hir = lower(&src).expect("generated program lowers");
+
+        let reference = interpret(&hir, &[], 10_000_000).expect("interpreter runs");
+        for (name, build) in [("plain", &plain), ("cp", &cp), ("cp+ssa", &ssa)] {
+            let (exit, output) = run_machine(build);
+            prop_assert_eq!(
+                exit, reference.exit_code,
+                "{} build exit code diverged from interpreter on:\n{}", name, &src);
+            prop_assert_eq!(
+                &output, &reference.output,
+                "{} build output diverged from interpreter on:\n{}", name, &src);
+        }
+    }
+
+    /// For the no-monitor plan and every enumerated session, CodePatch
+    /// with SSA hoisting + static elision notifies exactly the same
+    /// write sequence as plain CodePatch.
+    #[test]
+    fn ssa_hoisting_preserves_every_notification(stmts in program()) {
+        let src = render(&stmts);
+        let plain = compile(&src, &Options::plain()).expect("generated program compiles");
+        let cp = compile(&src, &Options::codepatch()).expect("generated program compiles");
+        let ssa = compile(&src, &Options::codepatch_ssa()).expect("generated program compiles");
+        let trace = trace_of(&plain);
+        let hir = lower(&src).expect("generated program lowers");
+        let safety = Arc::new(analyze_writes(&hir, &ssa.debug));
+
+        let mut plans: Vec<(Box<dyn MonitorPlan>, String)> =
+            vec![(Box::new(NoMonitors), "(no monitors)".to_string())];
+        for s in enumerate_sessions(&plain.debug, &trace) {
+            plans.push((
+                Box::new(SessionPlan::new(s, &plain.debug)),
+                s.describe(&plain.debug),
+            ));
+        }
+        for (plan, desc) in &plans {
+            let base = run_cp(&cp, plan.as_ref(), CodePatch::default());
+            let sopt = run_cp(
+                &ssa,
+                plan.as_ref(),
+                CodePatch::with_staticopt(Arc::clone(&safety)),
+            );
+            prop_assert_eq!(
+                base.notification_count, sopt.notification_count,
+                "SSA optimization lost notifications under {} for:\n{}", desc, &src);
+            // pcs differ across builds (preheader guards shift code);
+            // the monitored write addresses must not.
+            let base_addrs: Vec<(u32, u32)> =
+                base.notifications.iter().map(|n| (n.ba, n.ea)).collect();
+            let sopt_addrs: Vec<(u32, u32)> =
+                sopt.notifications.iter().map(|n| (n.ba, n.ea)).collect();
+            prop_assert_eq!(
+                base_addrs, sopt_addrs,
+                "SSA optimization changed the notified writes under {} for:\n{}", desc, &src);
+            prop_assert_eq!(base.counts.writes(), sopt.counts.writes());
+        }
+    }
+}

@@ -161,6 +161,26 @@ pub fn cp_staticopt_overhead(c: &Counts, elided_checks: u64, t: &TimingVars) -> 
     cp_loopopt_overhead(c, elided_checks, 0, t)
 }
 
+/// The combined SSA-optimizer adjustment to CodePatch: statically elided
+/// checks (`elided_checks`) and dominator-hoisted body checks whose
+/// preheader guard missed (`hoisted_checks`) both pay no
+/// `SoftwareLookup`; the `preheader_checks` guards themselves do.
+/// Structurally the Section 9 model with both skip classes pooled.
+///
+/// # Panics
+///
+/// Panics if the skipped checks exceed the session's total checked
+/// writes.
+pub fn cp_ssaopt_overhead(
+    c: &Counts,
+    elided_checks: u64,
+    hoisted_checks: u64,
+    preheader_checks: u64,
+    t: &TimingVars,
+) -> Overhead {
+    cp_loopopt_overhead(c, elided_checks + hoisted_checks, preheader_checks, t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +310,22 @@ mod tests {
         // Nothing elided = plain CodePatch.
         let same = cp_staticopt_overhead(&c, 0, &t);
         assert!((same.total_us() - plain.total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssaopt_pools_both_skip_classes() {
+        let t = TimingVars::default();
+        let c = sample_counts();
+        let combined = cp_ssaopt_overhead(&c, 700, 300, 40, &t);
+        let pooled = cp_loopopt_overhead(&c, 1_000, 40, &t);
+        assert!((combined.total_us() - pooled.total_us()).abs() < 1e-9);
+        // Degenerate cases collapse to the narrower models.
+        let static_only = cp_ssaopt_overhead(&c, 700, 0, 0, &t);
+        assert!(
+            (static_only.total_us() - cp_staticopt_overhead(&c, 700, &t).total_us()).abs() < 1e-9
+        );
+        let none = cp_ssaopt_overhead(&c, 0, 0, 0, &t);
+        assert!((none.total_us() - overhead(Approach::Cp, &c, &t).total_us()).abs() < 1e-9);
     }
 
     #[test]

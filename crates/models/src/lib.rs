@@ -44,6 +44,8 @@ mod timing;
 
 pub use approach::Approach;
 pub use counts::Counts;
-pub use equations::{cp_loopopt_overhead, cp_staticopt_overhead, overhead, Overhead};
+pub use equations::{
+    cp_loopopt_overhead, cp_ssaopt_overhead, cp_staticopt_overhead, overhead, Overhead,
+};
 pub use expansion::code_expansion;
 pub use timing::{TimingVar, TimingVars};

@@ -18,8 +18,12 @@
 //!   breakdown    Section 8 time-spent breakdown
 //!   expansion    Section 8 CodePatch code expansion
 //!   loopopt      Section 9 loop-check optimization (executes CodePatch)
-//!   staticopt    static write-safety check elision (executes CodePatch,
-//!                replay-verifies every elision)
+//!   staticopt [W...]  SSA-driven static check elision + dominator
+//!                hoisting (executes CodePatch, replay-verifies every
+//!                elision); runs the named workloads, default: the five
+//!                paper workloads plus the four-kernel bench corpus
+//!   tinyc --dump-ssa W  print workload W's SSA form (blocks, phis,
+//!                per-site address facts, hoist plans)
 //!   dyncp        Section 3.3 dynamic-patching hybrid (executes CodePatch)
 //!   nhcoverage   watch-register coverage analysis
 //!   ladder       per-page-size counting summary over the whole ladder
@@ -37,7 +41,8 @@
 //!   perfgate     compare results/perf.json against results/perf.prev.json
 //!                and fail if `harness.analyze` or `sim.replay`
 //!                regressed — or the service-mix
-//!                `server.batch_throughput` dropped — more than
+//!                `server.batch_throughput` or the static-elision
+//!                `cp.elision_rate` dropped — more than
 //!                PERF_GATE_TOLERANCE_PCT percent (default 25);
 //!                missing or unparsable snapshots pass (first-run
 //!                friendly)
@@ -97,7 +102,7 @@ const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--job
                      [--stream] [--page-sizes LIST] [--store DIR] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
                      expansion loopopt staticopt dyncp nhcoverage ladder serve client verify \
-                     perf perfgate sessions dist trace\n\
+                     perf perfgate sessions dist trace tinyc\n\
                      (see the source header for details)";
 
 /// Every valid subcommand — checked before any workload runs so an
@@ -126,6 +131,7 @@ const COMMANDS: &[&str] = &[
     "sessions",
     "dist",
     "trace",
+    "tinyc",
 ];
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -364,6 +370,63 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
             return ExitCode::SUCCESS;
         }
         "trace" => return trace_cmd(&args[1..], opts),
+        "tinyc" => {
+            let (Some(flag), Some(name)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: repro tinyc --dump-ssa <workload>");
+                return ExitCode::FAILURE;
+            };
+            if flag != "--dump-ssa" {
+                eprintln!("unknown tinyc flag '{flag}' (expected --dump-ssa)");
+                return ExitCode::FAILURE;
+            }
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let hir = match databp_tinyc::lower(w.source) {
+                Ok(hir) => hir,
+                Err(e) => {
+                    eprintln!("workload '{name}' does not lower: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", databp_tinyc::ssa::dump(&hir));
+            return ExitCode::SUCCESS;
+        }
+        "staticopt" => {
+            // Own corpus resolution: the SSA elision table defaults to
+            // the five paper workloads *plus* the bench kernels (where
+            // pointer hoisting pays), and takes explicit names too.
+            let mut workloads = Vec::new();
+            if args.len() > 1 {
+                for name in &args[1..] {
+                    let Some(w) = Workload::by_name(name) else {
+                        eprintln!("unknown workload '{name}'");
+                        return ExitCode::FAILURE;
+                    };
+                    workloads.push(w);
+                }
+            } else {
+                workloads.extend(Workload::all());
+                workloads.extend(Workload::bench());
+            }
+            eprintln!(
+                "running {} workload(s) for the staticopt comparison...",
+                workloads.len()
+            );
+            let results: Vec<WorkloadResults> = workloads
+                .into_iter()
+                .map(|w| {
+                    let w = match opts.scale {
+                        Scale::Full => w,
+                        Scale::Small => w.scaled_down(),
+                    };
+                    analyze_opts(&w, &opts.analyze())
+                })
+                .collect();
+            emit(opts, "staticopt", &staticopt::staticopt_report(&results));
+            return ExitCode::SUCCESS;
+        }
         "sessions" => {
             let Some(name) = args.get(1) else {
                 eprintln!("usage: repro sessions <workload>");
@@ -432,7 +495,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
             emit(opts, "expansion", &expansion::expansion_table(&results));
             emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results));
             emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3));
-            emit(opts, "staticopt", &staticopt::staticopt_table(&results, 3));
+            emit(opts, "staticopt", &staticopt::staticopt_report(&results));
             emit(opts, "dyncp", &dyncp::dyncp_table(&results));
         }
         "table1" => emit(opts, "table1", &tables::table1(&results)),
@@ -445,7 +508,6 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
         "expansion" => emit(opts, "expansion", &expansion::expansion_table(&results)),
         "nhcoverage" => emit(opts, "nhcoverage", &nhcoverage::coverage_table(&results)),
         "loopopt" => emit(opts, "loopopt", &loopopt::loopopt_table(&results, 3)),
-        "staticopt" => emit(opts, "staticopt", &staticopt::staticopt_table(&results, 3)),
         "dyncp" => emit(opts, "dyncp", &dyncp::dyncp_table(&results)),
         "ladder" => emit(opts, "ladder", &ladder_table(&results)),
         "verify" => {
@@ -748,7 +810,28 @@ fn perf(opts: &Opts) -> ExitCode {
         timed!("expansion", expansion::expansion_table(&results)),
         timed!("nhcoverage", nhcoverage::coverage_table(&results)),
         timed!("loopopt", loopopt::loopopt_table(&results, 3)),
-        timed!("staticopt", staticopt::staticopt_table(&results, 2)),
+        timed!("staticopt", staticopt::staticopt_report(&results)),
+        // The bench kernels join the staticopt phase: their
+        // pointer-heavy loops are where SSA hoisting pays, and their
+        // cp.stores_* counters pool with the paper workloads' to form
+        // the gated cp.elision_rate metric.
+        timed!("staticopt-bench", {
+            let bench: Vec<WorkloadResults> = Workload::bench()
+                .into_iter()
+                .map(|w| {
+                    analyze_opts(
+                        &w.scaled_down(),
+                        &AnalyzeOpts {
+                            stream: true,
+                            keep_trace: true,
+                            channel_batches: AnalyzeOpts::auto_channel_batches(),
+                            ..AnalyzeOpts::default()
+                        },
+                    )
+                })
+                .collect();
+            staticopt::staticopt_report(&bench)
+        }),
         timed!("dyncp", dyncp::dyncp_table(&results)),
     ];
     if let Some(dir) = &opts.csv_dir {
@@ -847,6 +930,18 @@ fn perf(opts: &Opts) -> ExitCode {
     }
     if batch_secs > 0.0 {
         snap.push_derived("server.batch_throughput", 5.0 / batch_secs);
+    }
+    // Static-elision effectiveness over the staticopt phases (paper +
+    // bench corpus): the fraction of traced stores — each counted once,
+    // in the plain-CP baseline run — whose check the optimized variant
+    // either statically elided or skipped behind a dominating preheader
+    // guard. Matches the staticopt TOTAL row's rate column. Gated by
+    // `perfgate` — the analysis must not silently lose precision.
+    let traced = snap.counter("staticopt.stores_base").unwrap_or(0);
+    let elided = snap.counter("staticopt.stores_elided").unwrap_or(0);
+    let hoisted = snap.counter("staticopt.stores_hoisted").unwrap_or(0);
+    if traced > 0 {
+        snap.push_derived("cp.elision_rate", (elided + hoisted) as f64 / traced as f64);
     }
 
     let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
@@ -959,11 +1054,13 @@ fn load_snapshot(path: &str) -> Result<Option<(Snapshot, String)>, String> {
 /// real regression beyond the tolerance (`PERF_GATE_TOLERANCE_PCT`,
 /// default 25) in any gated metric: the `harness.analyze` span
 /// (one-shot pipeline latency, lower is better), the `sim.replay` span
-/// (lane-packed replay engine latency, lower is better), or the
+/// (lane-packed replay engine latency, lower is better), the
 /// `server.batch_throughput` derived rate (service-mix requests/sec,
-/// higher is better). A missing or unparsable snapshot on either side
-/// passes — a fresh checkout has no baseline, and that must not break
-/// the build.
+/// higher is better), or the `cp.elision_rate` derived ratio (fraction
+/// of traced stores whose check the static pass removes — higher is
+/// better; a drop means the analysis lost precision). A missing or
+/// unparsable snapshot on either side passes — a fresh checkout has no
+/// baseline, and that must not break the build.
 fn perfgate() -> ExitCode {
     let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE_PCT")
         .ok()
@@ -1045,6 +1142,33 @@ fn perfgate() -> ExitCode {
             }
         }
         _ => eprintln!("perfgate: no server.batch_throughput baseline — throughput gate skipped"),
+    }
+
+    // Gate 4: static check elision rate (higher is better; a *drop*
+    // beyond the tolerance fails — a looser alias analysis or a broken
+    // hoist planner silently re-checking stores is a regression even
+    // though every run still passes its soundness oracle).
+    let elision = |s: &Snapshot| {
+        s.derived
+            .iter()
+            .find(|(n, _)| n == "cp.elision_rate")
+            .map(|&(_, v)| v)
+    };
+    match (elision(&cur), elision(&prev)) {
+        (Some(cur_rate), Some(prev_rate)) if prev_rate > 0.0 => {
+            let change = (cur_rate - prev_rate) / prev_rate * 100.0;
+            println!(
+                "perfgate: cp.elision_rate {:.1}% -> {:.1}% ({change:+.1}%), \
+                 tolerance -{tolerance:.0}%",
+                prev_rate * 100.0,
+                cur_rate * 100.0
+            );
+            if change < -tolerance {
+                eprintln!("perfgate: FAIL — cp.elision_rate dropped beyond the tolerance");
+                failed = true;
+            }
+        }
+        _ => eprintln!("perfgate: no cp.elision_rate baseline — elision gate skipped"),
     }
 
     if failed {

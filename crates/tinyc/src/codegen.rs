@@ -38,6 +38,12 @@ pub struct Options {
     /// can overwrite with checks at run time. Ignored when `codepatch`
     /// is set.
     pub nop_padding: bool,
+    /// Emit SSA-planned preheader checks ([`crate::ssa::hoist_plans`]):
+    /// loop-invariant store targets — including stores through
+    /// never-reassigned promotable pointers — get one guard in the
+    /// preheader that licenses skipping the per-iteration checks it
+    /// dominates. Requires `codepatch`; ignored otherwise.
+    pub ssa_hoist: bool,
 }
 
 impl Options {
@@ -60,6 +66,15 @@ impl Options {
         Options {
             codepatch: true,
             loopopt: true,
+            ..Options::default()
+        }
+    }
+
+    /// CodePatch with SSA-planned dominator-based check hoisting.
+    pub fn codepatch_ssa() -> Self {
+        Options {
+            codepatch: true,
+            ssa_hoist: true,
             ..Options::default()
         }
     }
@@ -93,6 +108,10 @@ fn treg(depth: u32) -> u8 {
 enum StoreTarget {
     Local(u16),
     Global(u32),
+    /// Store through local pointer `var` at constant byte offset — only
+    /// used by the SSA hoist planner ([`Options::ssa_hoist`]), which
+    /// guarantees the pointer is promotable and loop-invariant.
+    Ptr(u16, i16),
 }
 
 struct Gen<'a> {
@@ -107,9 +126,17 @@ struct Gen<'a> {
     loop_labels: Vec<(usize, usize)>,
     /// Innermost-loop hoist registry: target -> loopopts index.
     hoist_stack: Vec<HashMap<StoreTarget, usize>>,
+    /// SSA hoist plans per function, indexed by loop pre-order ordinal
+    /// (empty unless [`Options::ssa_hoist`]).
+    ssa_plans: Vec<Vec<crate::ssa::HoistPlan>>,
+    /// Pre-order ordinal of the next loop in the current function.
+    loop_ordinal: usize,
+    /// Innermost-loop SSA hoist registry: target -> hoists index.
+    ssa_hoist_stack: Vec<HashMap<StoreTarget, usize>>,
     untraced: Vec<u32>,
     pads: Vec<u32>,
     loopopts: Vec<LoopOptInfo>,
+    hoists: Vec<LoopOptInfo>,
     traced_store_count: u32,
     store_sites: Vec<StoreSiteInfo>,
     cur: Option<&'a FuncDef>,
@@ -129,9 +156,17 @@ pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
         branch_fixups: Vec::new(),
         loop_labels: Vec::new(),
         hoist_stack: Vec::new(),
+        ssa_plans: if opts.codepatch && opts.ssa_hoist {
+            crate::ssa::hoist_plans(hir)
+        } else {
+            Vec::new()
+        },
+        loop_ordinal: 0,
+        ssa_hoist_stack: Vec::new(),
         untraced: Vec::new(),
         pads: Vec::new(),
         loopopts: Vec::new(),
+        hoists: Vec::new(),
         traced_store_count: 0,
         store_sites: Vec::new(),
         cur: None,
@@ -215,6 +250,7 @@ pub fn generate(hir: &Hir, opts: &Options) -> Compiled {
         untraced_store_pcs: g.untraced,
         pad_pcs: g.pads,
         loopopts: g.loopopts,
+        hoists: g.hoists,
         data_size: hir.data_size,
         traced_store_count: g.traced_store_count,
         store_sites: g.store_sites,
@@ -291,6 +327,7 @@ impl<'a> Gen<'a> {
     fn gen_func(&mut self, fid: u16, f: &'a FuncDef) {
         self.cur = Some(f);
         self.cur_fid = fid;
+        self.loop_ordinal = 0;
         self.func_entries[fid as usize] = self.code.len();
         let total = align_up(f.frame_size, 8);
         assert!(total <= 32760, "frame of '{}' too large", f.name);
@@ -383,6 +420,8 @@ impl<'a> Gen<'a> {
         step: Option<&'a Expr>,
         body: &'a [Stmt],
     ) {
+        let ordinal = self.loop_ordinal;
+        self.loop_ordinal += 1;
         if let Some(i) = init {
             self.expr(i, 0);
         }
@@ -422,6 +461,9 @@ impl<'a> Gen<'a> {
                         hoists.insert(target, self.loopopts.len() - 1);
                         continue;
                     }
+                    StoreTarget::Ptr(..) => {
+                        unreachable!("Section 9 discovery never yields pointer targets")
+                    }
                 }
                 self.loopopts.push(LoopOptInfo {
                     preheader_pc: pre_pc,
@@ -431,6 +473,50 @@ impl<'a> Gen<'a> {
             }
         }
         self.hoist_stack.push(hoists);
+
+        // SSA-planned preheader checks: one dominating `chk` per
+        // loop-invariant target licenses skipping the body checks it
+        // covers. `chk` never accesses memory, so guarding through a
+        // possibly-uninitialized pointer slot cannot fault.
+        let mut ssa_hoists = HashMap::new();
+        if self.opts.codepatch && self.opts.ssa_hoist {
+            let plan = self
+                .ssa_plans
+                .get(self.cur_fid as usize)
+                .and_then(|per_loop| per_loop.get(ordinal))
+                .cloned();
+            if let Some(plan) = plan {
+                for t in &plan.targets {
+                    let (target, pre_pc) = match *t {
+                        crate::ssa::HoistTarget::Local { var, width } => {
+                            let pc = self.here_pc();
+                            let off = self.local_offset(var);
+                            self.emit(asm::chk(FP, off, width as u8));
+                            (StoreTarget::Local(var), pc)
+                        }
+                        crate::ssa::HoistTarget::Global { gid, width } => {
+                            self.load_global_addr(AT, gid);
+                            let pc = self.here_pc();
+                            self.emit(asm::chk(AT, 0, width as u8));
+                            (StoreTarget::Global(gid), pc)
+                        }
+                        crate::ssa::HoistTarget::PtrLocal { var, off, width } => {
+                            let poff = self.local_offset(var);
+                            self.emit(asm::lw(AT, FP, poff));
+                            let pc = self.here_pc();
+                            self.emit(asm::chk(AT, off, width as u8));
+                            (StoreTarget::Ptr(var, off), pc)
+                        }
+                    };
+                    self.hoists.push(LoopOptInfo {
+                        preheader_pc: pre_pc,
+                        body_pcs: Vec::new(),
+                    });
+                    ssa_hoists.insert(target, self.hoists.len() - 1);
+                }
+            }
+        }
+        self.ssa_hoist_stack.push(ssa_hoists);
 
         let lcond = self.new_label();
         let lstep = self.new_label();
@@ -449,6 +535,7 @@ impl<'a> Gen<'a> {
         }
         self.jump_to(lcond);
         self.bind(lend);
+        self.ssa_hoist_stack.pop();
         self.hoist_stack.pop();
     }
 
@@ -551,14 +638,16 @@ impl<'a> Gen<'a> {
                             ExprKind::Const(c) => c as i16,
                             _ => unreachable!(),
                         };
+                        let target = ptr_store_target(base, c);
                         self.expr(base, depth + 1);
                         let rbase = treg(depth + 1);
-                        self.checked_store(rd, rbase, c, width, None, desc);
+                        self.checked_store(rd, rbase, c, width, target, desc);
                     }
                     _ => {
+                        let target = ptr_store_target(addr, 0);
                         self.expr(addr, depth + 1);
                         let rbase = treg(depth + 1);
-                        self.checked_store(rd, rbase, 0, width, None, desc);
+                        self.checked_store(rd, rbase, 0, width, target, desc);
                     }
                 }
             }
@@ -627,6 +716,15 @@ impl<'a> Gen<'a> {
                     if let Some(hoists) = self.hoist_stack.last() {
                         if let Some(&idx) = hoists.get(&t) {
                             self.loopopts[idx].body_pcs.push(pc);
+                        }
+                    }
+                }
+            }
+            if self.opts.ssa_hoist {
+                if let Some(t) = target {
+                    if let Some(hoists) = self.ssa_hoist_stack.last() {
+                        if let Some(&idx) = hoists.get(&t) {
+                            self.hoists[idx].body_pcs.push(pc);
                         }
                     }
                 }
@@ -742,6 +840,20 @@ fn fold_addr(e: &Expr, d: &mut AddrDesc) {
             Builtin::Arg => {}
             _ => d.opaque = true,
         },
+    }
+}
+
+/// Identifies a store through a named local pointer at constant offset
+/// `off` — the key the SSA hoist planner uses for `*p` / `p[k]` stores.
+/// `base` is the store's base-address expression (the full address for
+/// offset-0 stores, the addend base otherwise).
+fn ptr_store_target(base: &Expr, off: i16) -> Option<StoreTarget> {
+    match &base.kind {
+        ExprKind::Load(inner) => match inner.kind {
+            ExprKind::AddrLocal(p) => Some(StoreTarget::Ptr(p, off)),
+            _ => None,
+        },
+        _ => None,
     }
 }
 
@@ -1251,5 +1363,106 @@ mod tests {
         // `*(malloc(4))`: direct heap base, fully tracked.
         assert_eq!(sites[3].addr.direct, REGION_HEAP);
         assert!(!sites[3].addr.opaque);
+    }
+
+    const SSA_HOIST_SRC: &str = r#"
+        int g;
+        int main() {
+            int i; int s;
+            int *p;
+            int a[4];
+            p = a;
+            s = 0;
+            for (i = 0; i < 8; i = i + 1) {
+                *p = i;          // hoistable: invariant promotable pointer
+                p[1] = i + 1;    // hoistable: same pointer, offset 4
+                s = s + *p;      // hoistable: scalar local
+                g = s;           // hoistable: scalar global
+            }
+            return s + g + a[0] + a[1];
+        }
+    "#;
+
+    #[test]
+    fn ssa_hoist_emits_pointer_preheaders() {
+        let hir = lower(SSA_HOIST_SRC).unwrap();
+        let c = generate(&hir, &Options::codepatch_ssa());
+        // Targets: *p, p[1], s, g, and the step's i — five hoist groups.
+        assert_eq!(c.debug.hoists.len(), 5, "{:?}", c.debug.hoists);
+        let chk_pcs: Vec<u32> = c
+            .debug
+            .store_sites
+            .iter()
+            .filter_map(|s| s.chk_pc)
+            .collect();
+        for h in &c.debug.hoists {
+            let idx = ((h.preheader_pc - CODE_BASE) / 4) as usize;
+            assert!(matches!(c.program.code[idx], Instr::Chk(..)));
+            assert!(!h.body_pcs.is_empty(), "{:?}", c.debug.hoists);
+            for &pc in &h.body_pcs {
+                assert!(chk_pcs.contains(&pc), "body pc is a store-site chk");
+            }
+        }
+        // The SSA build does not populate the Section 9 groups.
+        assert!(c.debug.loopopts.is_empty());
+        // Semantics unchanged.
+        let (o1, c1) = run_opts(SSA_HOIST_SRC, &[], &Options::plain());
+        let (o2, c2) = run_opts(SSA_HOIST_SRC, &[], &Options::codepatch_ssa());
+        assert_eq!((o1, c1), (o2, c2));
+    }
+
+    #[test]
+    fn ssa_hoist_skips_reassigned_pointers() {
+        let src = r#"
+            int main() {
+                int i;
+                int *q;
+                int a[8];
+                q = a;
+                for (i = 0; i < 8; i = i + 1) {
+                    *q = i;
+                    q = q + 1;
+                }
+                return a[3];
+            }
+        "#;
+        let hir = lower(src).unwrap();
+        let c = generate(&hir, &Options::codepatch_ssa());
+        // q is reassigned in the body: only q itself and the step's i
+        // hoist, never the *q store.
+        assert_eq!(c.debug.hoists.len(), 2, "{:?}", c.debug.hoists);
+        let (o1, c1) = run_opts(src, &[], &Options::plain());
+        let (o2, c2) = run_opts(src, &[], &Options::codepatch_ssa());
+        assert_eq!((o1, c1), (o2, c2));
+    }
+
+    #[test]
+    fn ssa_build_aligns_and_leaves_other_builds_untouched() {
+        let hir = lower(SSA_HOIST_SRC).unwrap();
+        let cp = generate(&hir, &Options::codepatch());
+        let ssa = generate(&hir, &Options::codepatch_ssa());
+        // Store sites align by index across cp and cp+ssa builds.
+        assert_eq!(cp.debug.store_sites.len(), ssa.debug.store_sites.len());
+        for (a, b) in cp.debug.store_sites.iter().zip(&ssa.debug.store_sites) {
+            assert_eq!(a.func, b.func);
+            assert_eq!(a.addr, b.addr);
+        }
+        // Builds without ssa_hoist record no hoist groups...
+        assert!(cp.debug.hoists.is_empty());
+        assert!(generate(&hir, &Options::codepatch_loopopt())
+            .debug
+            .hoists
+            .is_empty());
+        // ...and ssa_hoist without codepatch is a no-op.
+        let plain = generate(&hir, &Options::plain());
+        let plain_ssa = generate(
+            &hir,
+            &Options {
+                ssa_hoist: true,
+                ..Options::plain()
+            },
+        );
+        assert_eq!(plain.program.code, plain_ssa.program.code);
+        assert!(plain_ssa.debug.hoists.is_empty());
     }
 }

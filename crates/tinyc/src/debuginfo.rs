@@ -156,6 +156,12 @@ pub struct DebugInfo {
     /// Loop-invariant check groups (only when compiled with
     /// `loopopt`).
     pub loopopts: Vec<LoopOptInfo>,
+    /// SSA-planned dominator-hoisted check groups (only when compiled
+    /// with `ssa_hoist`): one preheader `chk` dominating — and licensing
+    /// the run-time skip of — each listed body check. Unlike `loopopts`
+    /// these cover stores through loop-invariant promotable pointers,
+    /// not just named scalars.
+    pub hoists: Vec<LoopOptInfo>,
     /// Data segment size in bytes.
     pub data_size: u32,
     /// Static count of traced write instructions (the paper's CodePatch
@@ -263,6 +269,7 @@ mod tests {
             untraced_store_pcs: vec![0x10004, 0x10008],
             pad_pcs: vec![],
             loopopts: vec![],
+            hoists: vec![],
             data_size: 8,
             traced_store_count: 3,
             store_sites: vec![],

@@ -53,6 +53,7 @@ mod interp;
 mod lexer;
 mod parser;
 mod sema;
+pub mod ssa;
 mod types;
 
 pub use codegen::Options;

@@ -212,6 +212,8 @@ pub struct Prepared {
     codepatch: OnceLock<Compiled>,
     /// CodePatch build with Section 9 loop optimization info (lazy).
     codepatch_loopopt: OnceLock<Compiled>,
+    /// CodePatch build with SSA-planned check hoisting (lazy).
+    codepatch_ssa: OnceLock<Compiled>,
     /// Nop-padded build for the Section 3.3 dynamic-patching hybrid
     /// (lazy).
     nop_padded: OnceLock<Compiled>,
@@ -244,6 +246,7 @@ impl Prepared {
             plain,
             codepatch: OnceLock::new(),
             codepatch_loopopt: OnceLock::new(),
+            codepatch_ssa: OnceLock::new(),
             nop_padded: OnceLock::new(),
             trace,
             base_us,
@@ -276,6 +279,11 @@ impl Prepared {
             Options::codepatch_loopopt(),
             "cp+opt",
         )
+    }
+
+    /// The CodePatch + SSA hoist build, compiled on first use.
+    pub fn codepatch_ssa(&self) -> &Compiled {
+        self.build(&self.codepatch_ssa, Options::codepatch_ssa(), "cp-ssa")
     }
 
     /// The nop-padded build for dynamic patching, compiled on first use.
@@ -361,6 +369,7 @@ pub fn run_traced<S: EventSink>(
             plain,
             codepatch: OnceLock::new(),
             codepatch_loopopt: OnceLock::new(),
+            codepatch_ssa: OnceLock::new(),
             nop_padded: OnceLock::new(),
             trace: Trace::new(),
         },
