@@ -101,6 +101,11 @@ pub struct WriteSafety {
     chk_pcs: Vec<Option<u32>>,
     masks: Vec<u8>,
     dead: Vec<bool>,
+    funcs: Vec<u16>,
+    /// Stored value when it is a compile-time constant, already masked
+    /// to the site's store width — directly comparable to the `value` a
+    /// monitor predicate observes at run time.
+    value_consts: Vec<Option<u32>>,
 }
 
 /// Runs the write-safety pass over a lowered program and the debug info
@@ -120,15 +125,22 @@ pub fn analyze_writes(hir: &Hir, debug: &DebugInfo) -> WriteSafety {
     let aligned = facts.len() == debug.store_sites.len();
     let (mut pcs, mut chk_pcs, mut masks, mut dead) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut funcs, mut value_consts) = (Vec::new(), Vec::new());
     for (i, site) in debug.store_sites.iter().enumerate() {
         pcs.push(site.pc);
         chk_pcs.push(site.chk_pc);
+        funcs.push(site.func);
         if aligned {
             masks.push(solver.eval(site.func, &facts[i].desc));
             dead.push(facts[i].dead);
+            // Mask the folded constant exactly as the machine masks the
+            // store: a byte store of 0x1ff observes value 0xff.
+            let width_mask = if site.len == 1 { 0xff } else { u32::MAX };
+            value_consts.push(facts[i].value_const.map(|v| v as u32 & width_mask));
         } else {
             masks.push(solver.eval(site.func, &site.addr));
             dead.push(false);
+            value_consts.push(None);
         }
     }
     databp_telemetry::count!("analysis.sites", pcs.len() as u64);
@@ -137,6 +149,8 @@ pub fn analyze_writes(hir: &Hir, debug: &DebugInfo) -> WriteSafety {
         chk_pcs,
         masks,
         dead,
+        funcs,
+        value_consts,
     }
 }
 
@@ -155,6 +169,35 @@ impl WriteSafety {
     /// unprovable origin).
     pub fn site_mask(&self, i: usize) -> u8 {
         self.masks[i]
+    }
+
+    /// The store pc of site `i` (this build's pc).
+    pub fn site_pc(&self, i: usize) -> u32 {
+        self.pcs[i]
+    }
+
+    /// The `chk` pc of site `i` (CodePatch builds only).
+    pub fn site_chk_pc(&self, i: usize) -> Option<u32> {
+        self.chk_pcs[i]
+    }
+
+    /// The function id owning site `i`'s store instruction — the static
+    /// `writer` a monitor predicate's `writer in f` filter observes.
+    pub fn site_func(&self, i: usize) -> u16 {
+        self.funcs[i]
+    }
+
+    /// The stored value at site `i` when constant propagation proved it
+    /// a compile-time constant, masked to the store width (the exact
+    /// `value` every run-time write at this site presents to a monitor
+    /// predicate). `None` when the value is run-time dependent.
+    pub fn site_value_const(&self, i: usize) -> Option<u32> {
+        self.value_consts[i]
+    }
+
+    /// True when site `i` is statically unreachable.
+    pub fn site_dead(&self, i: usize) -> bool {
+        self.dead[i]
     }
 
     /// Classifies site `i` against a plan class.
@@ -517,6 +560,37 @@ mod tests {
         for class in [PlanClass::STACK, PlanClass::GLOBAL, PlanClass::HEAP] {
             assert_eq!(ws.classify(last, class), SiteClass::MayHitMonitor);
         }
+    }
+
+    #[test]
+    fn site_value_consts_and_funcs_surface() {
+        let (ws, debug) = analyze(
+            r#"
+            int g;
+            int put(int k) { g = k; return 0; }
+            int main() {
+                int x;
+                x = 300;
+                g = 7;
+                put(9);
+                return 0;
+            }
+            "#,
+        );
+        // Sites: put's param spill, g = k (put), x = 300, g = 7 (main).
+        assert_eq!(ws.len(), 4);
+        let put = debug.func_id("put").unwrap();
+        let main = debug.func_id("main").unwrap();
+        assert_eq!(ws.site_func(0), put);
+        assert_eq!(ws.site_func(1), put);
+        assert_eq!(ws.site_func(2), main);
+        assert_eq!(ws.site_func(3), main);
+        assert_eq!(ws.site_value_const(0), None, "spilled argument");
+        assert_eq!(ws.site_value_const(1), None, "parameter value");
+        assert_eq!(ws.site_value_const(2), Some(300));
+        assert_eq!(ws.site_value_const(3), Some(7));
+        assert!(!ws.site_dead(3));
+        assert_eq!(ws.site_chk_pc(3), None, "plain build has no chks");
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod intervals;
 mod monitor;
 mod pagemap;
 mod plan;
+mod predicate;
 mod service;
 mod strategy;
 mod tracker;
@@ -46,6 +47,10 @@ pub use intervals::IntervalSet;
 pub use monitor::{Monitor, MonitorId, Notification, WmsError};
 pub use pagemap::PageMap;
 pub use plan::{MonitorEverything, MonitorPlan, NoMonitors, RangePlan};
+pub use predicate::{
+    CompiledPredicate, PredEval, Predicate, PredicateError, WriterMap, MAX_PREDICATE_DEPTH,
+    NO_WRITER,
+};
 pub use service::{Wms, WmsCounters};
 pub use strategy::{
     CodePatch, DynamicCodePatch, NativeHardware, StrategyReport, TrapPatch, VirtualMemory,

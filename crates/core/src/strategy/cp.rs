@@ -4,6 +4,7 @@
 use super::{drive, Mechanism};
 use crate::monitor::Notification;
 use crate::plan::MonitorPlan;
+use crate::predicate::{CompiledPredicate, PredEval, WriterMap};
 use crate::service::Wms;
 use crate::strategy::report::StrategyReport;
 use databp_analysis::WriteSafety;
@@ -50,6 +51,14 @@ pub struct CodePatch {
     /// Static write-safety elision: checks classified provably safe for
     /// the plan's class pay no lookup.
     pub staticopt: Option<Arc<WriteSafety>>,
+    /// Monitor predicate: candidate writes (monitor-overlapping) notify
+    /// only when the predicate holds. Checks whose predicate is
+    /// *statically* false (constant stored value, writer filter, per
+    /// [`CompiledPredicate::statically_false`]) skip their lookup
+    /// entirely ([`StrategyReport::pred_dead_skips`]); such sites are
+    /// excluded from elision/hoist accounting so each check is counted
+    /// exactly once.
+    pub predicate: Option<CompiledPredicate>,
     /// Primitive costs.
     pub timing: TimingVars,
 }
@@ -73,6 +82,14 @@ impl CodePatch {
         }
     }
 
+    /// Adds a monitor predicate (compiled against the same program this
+    /// strategy will run). Composes with every other option.
+    #[must_use]
+    pub fn with_predicate(mut self, pred: CompiledPredicate) -> Self {
+        self.predicate = Some(pred);
+        self
+    }
+
     /// Runs a freshly loaded, CodePatch-compiled machine under this
     /// strategy.
     ///
@@ -92,10 +109,40 @@ impl CodePatch {
         plan: &dyn MonitorPlan,
         max_steps: u64,
     ) -> Result<StrategyReport, MachineError> {
-        let elided: HashSet<u32> = match &self.staticopt {
+        let mut elided: HashSet<u32> = match &self.staticopt {
             Some(ws) => ws.elided_chk_pcs(plan.plan_class()).into_iter().collect(),
             None => HashSet::new(),
         };
+        // Predicate deadness: a check whose predicate is provably false
+        // for every write its site can perform pays no lookup. Writer
+        // identity comes from the site itself; the constant stored
+        // value (when staticopt carries the SSA analysis of this build)
+        // tightens the verdict. Decided before elision and removed from
+        // the elided set, so every such check is accounted exactly once
+        // — under `pred_dead_skips`, never `elided_lookups` or
+        // `hoisted_lookups`.
+        let mut pred_dead: HashSet<u32> = HashSet::new();
+        if let Some(pred) = &self.predicate {
+            let aligned = self
+                .staticopt
+                .as_ref()
+                .filter(|ws| ws.len() == debug.store_sites.len());
+            for (i, site) in debug.store_sites.iter().enumerate() {
+                let Some(chk_pc) = site.chk_pc else { continue };
+                let vc = aligned.and_then(|ws| ws.site_value_const(i));
+                if pred.statically_false(vc, Some(site.func)) {
+                    pred_dead.insert(chk_pc);
+                    elided.remove(&chk_pc);
+                }
+            }
+        }
+        let writers = WriterMap::new(
+            debug
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.entry_pc, id as u16)),
+        );
         let mut mech = CpMech {
             opts: self.clone(),
             wms: Wms::new(),
@@ -104,6 +151,9 @@ impl CodePatch {
             armed: Vec::new(),
             hoist_base: 0,
             elided,
+            pred_dead,
+            pred: self.predicate.clone().map(PredEval::new),
+            writers,
         };
         let mut rep = drive(
             &mut mech,
@@ -135,6 +185,13 @@ struct CpMech {
     /// `chk` pcs whose lookup the static write-safety pass elides for
     /// this run's plan class.
     elided: HashSet<u32>,
+    /// `chk` pcs whose predicate is statically false (disjoint from
+    /// `elided` by construction).
+    pred_dead: HashSet<u32>,
+    /// The session predicate's stateful evaluator.
+    pred: Option<PredEval>,
+    /// pc → owning function, for `writer in f` filters.
+    writers: WriterMap,
 }
 
 impl Mechanism for CpMech {
@@ -211,6 +268,27 @@ impl Mechanism for CpMech {
         };
         let t = &self.opts.timing;
         let (ba, ea) = (ev.addr, ev.addr + ev.len);
+        if self.pred_dead.contains(&ev.pc) {
+            // The write may well overlap a monitor, but the predicate
+            // is provably false for every value this site can store:
+            // no notification is possible, so the lookup is never paid.
+            // (Predicates reading `hits` are never in this set — their
+            // counter would be perturbed for other sites.)
+            debug_assert!(
+                self.pred.as_ref().is_some_and(|p| !p.predicate().eval(
+                    ev.value,
+                    ev.old,
+                    0,
+                    self.writers.writer_of(ev.pc)
+                )),
+                "pred-dead check at pc {:#x} would have fired for value {:#x}: unsound static predicate evaluation",
+                ev.pc,
+                ev.value
+            );
+            rep.counts.miss += 1;
+            rep.pred_dead_skips += 1;
+            return Ok(());
+        }
         if self.elided.contains(&ev.pc) {
             // Statically proven unable to hit this plan's regions: the
             // write happens (a model miss) but the lookup is never paid.
@@ -255,7 +333,20 @@ impl Mechanism for CpMech {
             .add(TimingVar::SoftwareLookup, t.software_lookup_us);
         if self.wms.check_write(ba, ea, ev.pc) {
             rep.counts.hit += 1;
-            rep.notify(Notification { ba, ea, pc: ev.pc });
+            match self.pred.as_mut() {
+                Some(pe) => {
+                    // A candidate write: the predicate decides whether
+                    // the notification is delivered. Filtered writes
+                    // cost only the check they already paid.
+                    if pe.observe(ev.value, ev.old, self.writers.writer_of(ev.pc)) {
+                        rep.pred_fired += 1;
+                        rep.notify(Notification { ba, ea, pc: ev.pc });
+                    } else {
+                        rep.pred_filtered += 1;
+                    }
+                }
+                None => rep.notify(Notification { ba, ea, pc: ev.pc }),
+            }
         } else {
             rep.counts.miss += 1;
         }
@@ -541,6 +632,196 @@ mod tests {
             &TimingVars::default(),
         );
         assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    fn pred(src: &str, debug: &DebugInfo) -> crate::predicate::CompiledPredicate {
+        crate::predicate::Predicate::parse(src)
+            .unwrap()
+            .compile(|n| debug.func_id(n))
+            .unwrap()
+    }
+
+    #[test]
+    fn predicate_filters_notifications_by_value() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::default()
+            .with_predicate(pred("value > 5", &debug))
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // g counts 1..=10; only 6..=10 pass the predicate.
+        assert_eq!(rep.counts.hit, 10, "candidates are still WMS hits");
+        assert_eq!(rep.notification_count, 5);
+        assert_eq!(rep.pred_fired, 5);
+        assert_eq!(rep.pred_filtered, 5);
+        assert_eq!(rep.pred_dead_skips, 0);
+        // Filtered writes still paid their lookup: overhead unchanged.
+        let model = databp_models::overhead(Approach::Cp, &rep.counts, &TimingVars::default());
+        assert!((rep.overhead.total_us() - model.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hits_predicate_counts_candidates_in_order() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let plan = RangePlan {
+            globals: vec![0, 1],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::default()
+            .with_predicate(pred("hits % 2 == 0", &debug))
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // 11 candidates (ten g writes + h = 3); the even ones fire.
+        assert_eq!(rep.counts.hit, 11);
+        assert_eq!(rep.pred_fired, 5);
+        assert_eq!(rep.pred_filtered, 6);
+    }
+
+    #[test]
+    fn old_predicate_sees_overwritten_values() {
+        let (mut m, debug) = load(SRC, &Options::codepatch());
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        // g = g + 1 always satisfies value == old + 1; h = 3 over 0 does
+        // not.
+        let plan_all = RangePlan {
+            globals: vec![0, 1],
+            ..plan
+        };
+        let rep = CodePatch::default()
+            .with_predicate(pred("value == old + 1", &debug))
+            .run(&mut m, &debug, &plan_all, 10_000_000)
+            .unwrap();
+        assert_eq!(rep.counts.hit, 11);
+        assert_eq!(rep.pred_fired, 10);
+        assert_eq!(rep.pred_filtered, 1);
+    }
+
+    const WRITER_SRC: &str = r#"
+        int g;
+        int put(int k) { g = k; return 0; }
+        int main() {
+            int i;
+            for (i = 0; i < 4; i = i + 1) g = i;
+            put(9);
+            put(11);
+            return g;
+        }
+    "#;
+
+    #[test]
+    fn writer_filter_is_statically_dead_at_other_sites() {
+        let (mut m, debug) = load(WRITER_SRC, &Options::codepatch());
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let rep = CodePatch::default()
+            .with_predicate(pred("writer in put", &debug))
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // Only put's two stores notify; every main-side check is
+        // statically dead for this predicate without any staticopt.
+        assert_eq!(rep.notification_count, 2);
+        assert_eq!(rep.pred_fired, 2);
+        assert!(rep.pred_dead_skips > 0, "main's checks skip the lookup");
+        assert_eq!(rep.pred_filtered, 0, "no dynamic filtering needed");
+    }
+
+    const PRED_DEAD_SRC: &str = r#"
+        int g;
+        int main() {
+            int x;
+            int i;
+            for (i = 0; i < 5; i = i + 1) { g = 7; }
+            x = 3;
+            g = 20;
+            return x;
+        }
+    "#;
+
+    /// Satellite regression: a site that is both write-safety elidable
+    /// and predicate-dead is accounted exactly once — under
+    /// `pred_dead_skips`, never under `elided_lookups` (or
+    /// `hoisted_lookups`).
+    #[test]
+    fn pred_dead_and_elision_count_each_check_exactly_once() {
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let p = "value > 10";
+
+        // Baseline: staticopt alone elides the three stack stores
+        // (i = 0, five i = i + 1, x = 3 → 7 checks).
+        let (mut m, debug) = load(PRED_DEAD_SRC, &Options::codepatch());
+        let ws = safety(PRED_DEAD_SRC, &debug);
+        let base = CodePatch::with_staticopt(Arc::clone(&ws))
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        assert_eq!(base.elided_lookups, 7);
+
+        // staticopt + predicate: `x = 3` and `i = 0` (constant stores
+        // that cannot satisfy value > 10) and the five `g = 7` stores
+        // move to the pred-dead bucket; only the non-constant
+        // `i = i + 1` checks stay classically elided.
+        let (mut m2, d2) = load(PRED_DEAD_SRC, &Options::codepatch());
+        let rep = CodePatch::with_staticopt(ws)
+            .with_predicate(pred(p, &d2))
+            .run(&mut m2, &d2, &plan, 10_000_000)
+            .unwrap();
+        assert_eq!(rep.pred_dead_skips, 7, "i=0, five g=7, x=3");
+        assert_eq!(rep.elided_lookups, 5, "five i=i+1 checks");
+        assert_eq!(rep.hoisted_lookups, 0);
+        // Every traced store is in exactly one bucket: pred-dead (7),
+        // elided (5), or looked up (1, the g = 20 store).
+        assert_eq!(rep.counts.writes(), 13);
+        assert_eq!(
+            rep.counts.writes() - rep.pred_dead_skips - rep.elided_lookups,
+            1
+        );
+        assert_eq!(rep.counts.hit, 1, "only g = 20 pays and hits the lookup");
+        // And notification behavior is unchanged by the accounting:
+        // only g = 20 fires.
+        assert_eq!(rep.notification_count, 1);
+        assert_eq!(rep.pred_fired, 1);
+
+        // The same predicate without staticopt reaches the same
+        // notifications dynamically (no value constants available).
+        let (mut m3, d3) = load(PRED_DEAD_SRC, &Options::codepatch());
+        let dynamic = CodePatch::default()
+            .with_predicate(pred(p, &d3))
+            .run(&mut m3, &d3, &plan, 10_000_000)
+            .unwrap();
+        assert_eq!(dynamic.notification_count, 1);
+        assert_eq!(dynamic.pred_dead_skips, 0);
+        assert_eq!(dynamic.pred_filtered, 5, "five g = 7 candidates");
+    }
+
+    #[test]
+    fn hits_predicates_are_never_statically_dead() {
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let (mut m, debug) = load(PRED_DEAD_SRC, &Options::codepatch());
+        let ws = safety(PRED_DEAD_SRC, &debug);
+        let rep = CodePatch::with_staticopt(ws)
+            .with_predicate(pred("value > 10 && hits >= 1", &debug))
+            .run(&mut m, &debug, &plan, 10_000_000)
+            .unwrap();
+        // The stack stores stay elided (write-safety is orthogonal),
+        // but nothing is pred-dead: the hits counter must observe every
+        // candidate.
+        assert_eq!(rep.pred_dead_skips, 0);
+        assert_eq!(rep.elided_lookups, 7);
+        assert_eq!(rep.counts.hit, 6, "all six g writes are candidates");
+        assert_eq!(rep.notification_count, 1);
     }
 
     #[test]

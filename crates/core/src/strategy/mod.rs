@@ -183,7 +183,15 @@ fn record_strategy_telemetry(rep: &StrategyReport) {
             .writes()
             .saturating_sub(rep.skipped_lookups)
             .saturating_sub(rep.elided_lookups)
-            .saturating_sub(rep.hoisted_lookups);
+            .saturating_sub(rep.hoisted_lookups)
+            .saturating_sub(rep.pred_dead_skips);
         reg.counter("cp.stores_checked").add_always(checked);
+        if rep.pred_filtered > 0 || rep.pred_fired > 0 || rep.pred_dead_skips > 0 {
+            // Predicate filtering totals (pred-dead skips are filtered
+            // candidates the strategy never even looked up).
+            reg.counter("cp.pred_filtered")
+                .add_always(rep.pred_filtered + rep.pred_dead_skips);
+            reg.counter("cp.pred_fired").add_always(rep.pred_fired);
+        }
     }
 }

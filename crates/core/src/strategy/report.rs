@@ -46,6 +46,17 @@ pub struct StrategyReport {
     pub hoisted_lookups: u64,
     /// DynamicCodePatch only: pad patch/unpatch sweeps performed.
     pub patch_events: u64,
+    /// Predicated runs only: candidate writes (monitor-overlapping) the
+    /// predicate suppressed.
+    pub pred_filtered: u64,
+    /// Predicated runs only: candidate writes the predicate let through
+    /// (== notifications delivered).
+    pub pred_fired: u64,
+    /// Predicated CodePatch runs only: checks skipped because the
+    /// predicate is statically false at the site (never counted under
+    /// [`StrategyReport::elided_lookups`] or
+    /// [`StrategyReport::hoisted_lookups`]).
+    pub pred_dead_skips: u64,
     /// Operation counters of the strategy's software WMS instance (all
     /// zeros for NativeHardware, which realizes monitors in watch
     /// registers without a software WMS).

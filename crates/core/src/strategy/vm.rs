@@ -4,6 +4,7 @@
 use super::{drive, Mechanism};
 use crate::monitor::Notification;
 use crate::plan::MonitorPlan;
+use crate::predicate::{CompiledPredicate, PredEval, WriterMap};
 use crate::service::Wms;
 use crate::strategy::report::StrategyReport;
 use databp_machine::{Machine, MachineError, NoHooks, PageSize, StopConfig, StopReason};
@@ -96,10 +97,39 @@ impl VirtualMemory {
         plan: &dyn MonitorPlan,
         max_steps: u64,
     ) -> Result<StrategyReport, MachineError> {
+        self.run_with_predicate(machine, debug, plan, None, max_steps)
+    }
+
+    /// Like [`VirtualMemory::run`], with an optional monitor predicate:
+    /// faulting writes that hit a monitor notify only when the predicate
+    /// holds (the fault and lookup costs are paid either way — a page
+    /// fault cannot be elided statically). The predicate must be
+    /// compiled against the same program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] from the run.
+    pub fn run_with_predicate(
+        &self,
+        machine: &mut Machine,
+        debug: &DebugInfo,
+        plan: &dyn MonitorPlan,
+        predicate: Option<CompiledPredicate>,
+        max_steps: u64,
+    ) -> Result<StrategyReport, MachineError> {
+        let writers = WriterMap::new(
+            debug
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.entry_pc, id as u16)),
+        );
         let mut mech = VmMech {
             opts: *self,
             wms: Wms::new(),
             page_counts: HashMap::new(),
+            pred: predicate.map(PredEval::new),
+            writers,
         };
         let mut rep = drive(
             &mut mech,
@@ -119,6 +149,10 @@ struct VmMech {
     wms: Wms,
     /// Active monitor count per MMU page.
     page_counts: HashMap<u32, u32>,
+    /// The session predicate's stateful evaluator.
+    pred: Option<PredEval>,
+    /// pc → owning function, for `writer in f` filters.
+    writers: WriterMap,
 }
 
 impl Mechanism for VmMech {
@@ -193,11 +227,31 @@ impl Mechanism for VmMech {
                         .add(TimingVar::SoftwareLookup, t.software_lookup_us);
                     if self.wms.check_write(f.addr, f.addr + f.len, f.pc) {
                         rep.counts.hit += 1;
-                        rep.notify(Notification {
-                            ba: f.addr,
-                            ea: f.addr + f.len,
-                            pc: f.pc,
-                        });
+                        // The fault is pre-commit: the Fault's masked
+                        // value/old pair is exactly what the write will
+                        // make true, matching what CodePatch's check
+                        // observes at its chk.
+                        let ev = f.store_event();
+                        let fire = match self.pred.as_mut() {
+                            Some(pe) => {
+                                let fire =
+                                    pe.observe(ev.value, ev.old, self.writers.writer_of(f.pc));
+                                if fire {
+                                    rep.pred_fired += 1;
+                                } else {
+                                    rep.pred_filtered += 1;
+                                }
+                                fire
+                            }
+                            None => true,
+                        };
+                        if fire {
+                            rep.notify(Notification {
+                                ba: f.addr,
+                                ea: f.addr + f.len,
+                                pc: f.pc,
+                            });
+                        }
                     } else {
                         rep.counts.vm_active_page_miss += 1;
                     }
@@ -256,6 +310,47 @@ mod tests {
         let mut m = Machine::new();
         m.load(&c.program);
         (m, c.debug)
+    }
+
+    #[test]
+    fn predicate_filters_vm_notifications_and_agrees_with_cp() {
+        let plan = RangePlan {
+            globals: vec![0],
+            ..RangePlan::default()
+        };
+        let pred = |d: &DebugInfo| {
+            crate::predicate::Predicate::parse("value > 5")
+                .unwrap()
+                .compile(|n| d.func_id(n))
+                .unwrap()
+        };
+        let (mut m, debug) = load(SRC);
+        let rep = VirtualMemory::k4()
+            .run_with_predicate(&mut m, &debug, &plan, Some(pred(&debug)), 10_000_000)
+            .unwrap();
+        // g counts 1..=10; only 6..=10 pass. Filtered candidates still
+        // count as WMS hits and still pay the fault + lookup.
+        assert_eq!(rep.counts.hit, 10);
+        assert_eq!(rep.pred_fired, 5);
+        assert_eq!(rep.pred_filtered, 5);
+        assert_eq!(rep.notification_count, 5);
+
+        // CodePatch under the same predicate delivers the same
+        // notification sequence (same addresses, same order) even
+        // though its checks observe the value at the chk instead of at
+        // a protection fault.
+        let c = compile(SRC, &Options::codepatch()).unwrap();
+        let mut m2 = Machine::new();
+        m2.load(&c.program);
+        let cp = crate::strategy::CodePatch::default()
+            .with_predicate(pred(&c.debug))
+            .run(&mut m2, &c.debug, &plan, 10_000_000)
+            .unwrap();
+        let vm_seq: Vec<(u32, u32)> = rep.notifications.iter().map(|n| (n.ba, n.ea)).collect();
+        let cp_seq: Vec<(u32, u32)> = cp.notifications.iter().map(|n| (n.ba, n.ea)).collect();
+        assert_eq!(vm_seq, cp_seq);
+        assert_eq!(rep.pred_fired, cp.pred_fired);
+        assert_eq!(rep.pred_filtered, cp.pred_filtered);
     }
 
     #[test]

@@ -114,24 +114,33 @@ fn parse_watch(rest: &[&str]) -> Result<Command, String> {
     if rest.is_empty() {
         return Err("usage: watch <var>|<func>.<var>|heap <n> [if ==|!=|<|> <value>]".into());
     }
-    // Split off a trailing "if <op> <value>".
+    // Split off a trailing "if ...": either the short comparison form
+    // `if <op> <value>` or a full monitor predicate (`value`, `old`,
+    // `hits`, `writer in f` — e.g. `if value == old + 1 && hits > 3`).
     let (target_words, cond) = match rest.iter().position(|w| *w == "if") {
         Some(pos) => {
             let cond_words = &rest[pos + 1..];
-            let cond = match cond_words {
-                [op, val] => {
-                    let v: i32 = val
-                        .parse()
-                        .map_err(|_| format!("bad condition value '{val}'"))?;
-                    match *op {
-                        "==" => Condition::Eq(v),
-                        "!=" => Condition::Ne(v),
-                        "<" => Condition::Lt(v),
-                        ">" => Condition::Gt(v),
-                        other => return Err(format!("bad condition operator '{other}'")),
+            let legacy = match cond_words {
+                [op, val] => val.parse::<i32>().ok().and_then(|v| match *op {
+                    "==" => Some(Condition::Eq(v)),
+                    "!=" => Some(Condition::Ne(v)),
+                    "<" => Some(Condition::Lt(v)),
+                    ">" => Some(Condition::Gt(v)),
+                    _ => None,
+                }),
+                _ => None,
+            };
+            let cond = match legacy {
+                Some(c) => c,
+                None => {
+                    if cond_words.is_empty() {
+                        return Err("usage: ... if ==|!=|<|> <value>, or if <predicate>".into());
                     }
+                    let src = cond_words.join(" ");
+                    databp_core::Predicate::parse(&src)
+                        .map_err(|e| format!("bad watch condition '{src}': {e}"))?;
+                    Condition::Pred(src)
                 }
-                _ => return Err("usage: ... if ==|!=|<|> <value>".into()),
             };
             (&rest[..pos], cond)
         }
@@ -187,6 +196,34 @@ mod tests {
             parse_command("watch heap 3 if > -1").unwrap(),
             Command::Watch(WatchTarget::Heap(3), Condition::Gt(-1))
         );
+    }
+
+    #[test]
+    fn parses_predicate_conditions() {
+        assert_eq!(
+            parse_command("watch g if value == old + 1").unwrap(),
+            Command::Watch(
+                WatchTarget::Global("g".into()),
+                Condition::Pred("value == old + 1".into())
+            )
+        );
+        assert_eq!(
+            parse_command("w main.i if hits % 2 == 0 && writer in main").unwrap(),
+            Command::Watch(
+                WatchTarget::Local {
+                    func: "main".into(),
+                    var: "i".into()
+                },
+                Condition::Pred("hits % 2 == 0 && writer in main".into())
+            )
+        );
+        // The two-word comparison form still wins where it applies.
+        assert_eq!(
+            parse_command("watch g if > 5").unwrap(),
+            Command::Watch(WatchTarget::Global("g".into()), Condition::Gt(5))
+        );
+        assert!(parse_command("watch g if value >").is_err());
+        assert!(parse_command("watch g if").is_err());
     }
 
     #[test]

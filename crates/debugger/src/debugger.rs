@@ -2,7 +2,7 @@
 
 use crate::command::{parse_command, Command, WatchTarget};
 use crate::watches::{Condition, Watch, WatchId, WatchKind};
-use databp_core::{Monitor, MonitorId, PageMap};
+use databp_core::{Monitor, MonitorId, PageMap, PredEval, Predicate, WriterMap};
 use databp_machine::{disasm, Machine, MachineError, MarkKind, NoHooks, StopConfig, StopReason};
 use databp_tinyc::{compile, CompileError, Compiled, Options};
 use std::collections::{BTreeMap, HashMap};
@@ -68,6 +68,8 @@ pub struct Debugger {
     frame_monitors: Vec<Vec<(MonitorId, Monitor)>>,
     heap_live: HashMap<u32, (u32, u32)>,
     heap_monitors: HashMap<u32, (MonitorId, Monitor)>,
+    /// pc → function id, for `writer in f` watch predicates.
+    writers: WriterMap,
     state: RunState,
 }
 
@@ -88,9 +90,18 @@ impl Debugger {
             heap: true,
             chk: true,
         });
+        let writers = WriterMap::new(
+            compiled
+                .debug
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.entry_pc, id as u16)),
+        );
         Ok(Debugger {
             machine,
             compiled,
+            writers,
             map: PageMap::new(),
             mon_watch: HashMap::new(),
             watches: BTreeMap::new(),
@@ -219,6 +230,18 @@ impl Debugger {
             WatchTarget::Heap(seq) => WatchKind::Heap { seq: *seq },
         };
 
+        // Compile a predicate condition against this program's debug
+        // info (function names must resolve) before the watch installs.
+        let pred = match &cond {
+            Condition::Pred(src) => Some(PredEval::new(
+                Predicate::parse(src)
+                    .map_err(|e| DebuggerError::Command(format!("bad predicate: {e}")))?
+                    .compile(|n| debug.func_id(n))
+                    .map_err(|e| DebuggerError::Command(format!("bad predicate: {e}")))?,
+            )),
+            _ => None,
+        };
+
         let wid = WatchId(self.next_watch);
         self.next_watch += 1;
         self.watches.insert(
@@ -226,6 +249,7 @@ impl Debugger {
             Watch {
                 kind: kind.clone(),
                 cond,
+                pred,
                 hits: 0,
             },
         );
@@ -384,11 +408,19 @@ impl Debugger {
                 if ids.is_empty() {
                     return Ok(None);
                 }
-                // The store itself is the next instruction; execute it so
-                // the notification happens *after the write succeeds* and
+                // Read the overwritten value first — predicate
+                // conditions can reference `old` — then execute the
+                // store itself (the next instruction) so the
+                // notification happens *after the write succeeds* and
                 // conditions can read the new value.
+                let old = self.read_value(ev.addr, ev.len)?;
                 self.machine.step(&mut NoHooks)?;
                 let value = self.read_value(ev.addr, ev.len)?;
+                // Predicates see values as the CP check does: unsigned,
+                // masked to the store width.
+                let mask = if ev.len == 1 { 0xff } else { u32::MAX };
+                let (uval, uold) = (value as u32 & mask, old as u32 & mask);
+                let writer = self.writers.writer_of(ev.pc);
                 let mut pauses = Vec::new();
                 let in_func = self.func_at(ev.pc).to_string();
                 for id in ids {
@@ -397,7 +429,11 @@ impl Debugger {
                     };
                     let w = self.watches.get_mut(&wid.0).expect("monitor owner exists");
                     w.hits += 1;
-                    if w.cond.holds(value) {
+                    let fires = match &mut w.pred {
+                        Some(p) => p.observe(uval, uold, writer),
+                        None => w.cond.holds(value),
+                    };
+                    if fires {
                         pauses.push(format!(
                             "data breakpoint: {wid} ({}{}) — wrote {} to [{:#010x}, {:#010x}) at pc {:#010x} in {in_func}()",
                             w.kind,

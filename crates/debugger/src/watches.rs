@@ -50,7 +50,7 @@ impl fmt::Display for WatchKind {
 
 /// A condition on the *newly stored* value; the debugger pauses only when
 /// it holds (the watch still counts every hit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Condition {
     /// Pause on every write.
     #[default]
@@ -63,17 +63,24 @@ pub enum Condition {
     Lt(i32),
     /// Pause when it is greater (signed).
     Gt(i32),
+    /// Pause when the full monitor predicate fires (`value`, `old`,
+    /// `hits`, `writer in f` — see [`databp_core::Predicate`]). Holds
+    /// the source text; the compiled form lives on the installed watch.
+    Pred(String),
 }
 
 impl Condition {
-    /// Evaluates the condition against a stored value.
-    pub fn holds(self, value: i32) -> bool {
+    /// Evaluates a simple comparison against the stored value. For
+    /// [`Condition::Pred`] this is vacuously true — the debugger
+    /// evaluates the compiled predicate on the watch instead, which
+    /// also sees `old`, the per-watch hit count, and the writer.
+    pub fn holds(&self, value: i32) -> bool {
         match self {
-            Condition::Always => true,
-            Condition::Eq(x) => value == x,
-            Condition::Ne(x) => value != x,
-            Condition::Lt(x) => value < x,
-            Condition::Gt(x) => value > x,
+            Condition::Always | Condition::Pred(_) => true,
+            Condition::Eq(x) => value == *x,
+            Condition::Ne(x) => value != *x,
+            Condition::Lt(x) => value < *x,
+            Condition::Gt(x) => value > *x,
         }
     }
 }
@@ -86,6 +93,7 @@ impl fmt::Display for Condition {
             Condition::Ne(x) => write!(f, " if != {x}"),
             Condition::Lt(x) => write!(f, " if < {x}"),
             Condition::Gt(x) => write!(f, " if > {x}"),
+            Condition::Pred(src) => write!(f, " if {src}"),
         }
     }
 }
@@ -95,6 +103,9 @@ impl fmt::Display for Condition {
 pub(crate) struct Watch {
     pub kind: WatchKind,
     pub cond: Condition,
+    /// Compiled form of [`Condition::Pred`], with its own hit counter
+    /// (the predicate's `hits` variable counts this watch's hits).
+    pub pred: Option<databp_core::PredEval>,
     pub hits: u64,
 }
 
@@ -126,5 +137,9 @@ mod tests {
         );
         assert_eq!(Condition::Eq(7).to_string(), " if == 7");
         assert_eq!(Condition::Always.to_string(), "");
+        assert_eq!(
+            Condition::Pred("value == old + 1".into()).to_string(),
+            " if value == old + 1"
+        );
     }
 }

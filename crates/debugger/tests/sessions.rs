@@ -61,6 +61,51 @@ fn conditional_watch_pauses_only_when_predicate_holds() {
 }
 
 #[test]
+fn predicate_watch_sees_old_value() {
+    let mut dbg = launch();
+    dbg.execute("watch counter if value == old + 1").unwrap();
+    let out = dbg.execute("run").unwrap();
+    // counter goes 0→1, 1→3, 3→6, 6→10, 10→15: only the first write
+    // satisfies value == old + 1.
+    assert!(out.contains("wrote 1"), "{out}");
+    assert_eq!(dbg.state(), RunState::Paused);
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("exited"), "{out}");
+    let info = dbg.execute("info watch").unwrap();
+    assert!(info.contains("if value == old + 1"), "{info}");
+    assert!(info.contains("5 hits"), "{info}");
+}
+
+#[test]
+fn predicate_watch_hit_counter_and_writer_filter() {
+    let mut dbg = launch();
+    dbg.execute("watch counter if hits % 2 == 0").unwrap();
+    let out = dbg.execute("run").unwrap();
+    assert!(out.contains("wrote 3"), "second candidate fires: {out}");
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("wrote 10"), "fourth candidate fires: {out}");
+    let out = dbg.execute("continue").unwrap();
+    assert!(out.contains("exited"), "{out}");
+
+    // Writer-site filters: every write to `counter` happens in bump().
+    let mut dbg = launch();
+    dbg.execute("watch counter if writer in main").unwrap();
+    let out = dbg.execute("run").unwrap();
+    assert!(out.contains("exited"), "no write from main pauses: {out}");
+    let mut dbg = launch();
+    dbg.execute("watch counter if writer in bump").unwrap();
+    let mut pauses = 0;
+    let mut out = dbg.execute("run").unwrap();
+    while dbg.state() == RunState::Paused {
+        pauses += 1;
+        out = dbg.execute("continue").unwrap();
+    }
+    assert_eq!(pauses, 5, "{out}");
+    // Unknown function names fail at install time.
+    assert!(dbg.execute("watch counter if writer in missing").is_err());
+}
+
+#[test]
 fn watch_local_catches_per_instantiation_writes() {
     let mut dbg = launch();
     dbg.execute("watch bump.before").unwrap();

@@ -42,6 +42,14 @@ pub struct StoreEvent {
     pub addr: u32,
     /// Width in bytes (1 or 4).
     pub len: u32,
+    /// The value being written, masked to the store width. For a `chk`
+    /// event this is peeked from the source register of the following
+    /// store; a `chk` with no matching following store (an SSA
+    /// preheader guard) reports 0.
+    pub value: u32,
+    /// The value the target held *before* the write, masked to the
+    /// store width (0 when the target was unmapped).
+    pub old: u32,
 }
 
 /// Details of a write fault or watchpoint hit.
@@ -55,6 +63,11 @@ pub struct Fault {
     pub len: u32,
     /// The value being stored (low byte significant for `sb`).
     pub value: u32,
+    /// The value the target held before the store, masked to the store
+    /// width. For a [`StopReason::ProtFault`] the store has not
+    /// committed, so this is the current memory content; for a
+    /// [`StopReason::WatchFault`] it is the overwritten content.
+    pub old: u32,
 }
 
 impl Fault {
@@ -64,7 +77,19 @@ impl Fault {
             pc: self.pc,
             addr: self.addr,
             len: self.len,
+            value: mask_to_len(self.value, self.len),
+            old: self.old,
         }
+    }
+}
+
+/// Masks a store value to its width (`sb` stores commit only the low
+/// byte).
+fn mask_to_len(value: u32, len: u32) -> u32 {
+    if len == 1 {
+        value & 0xff
+    } else {
+        value
     }
 }
 
@@ -848,10 +873,13 @@ impl Machine {
             }
             Chk(base, imm, len) => {
                 let addr = self.cpu.read(base).wrapping_add(imm as i32 as u32);
+                let (value, old) = self.peek_checked_store(pc, addr, len as u32);
                 let ev = StoreEvent {
                     pc,
                     addr,
                     len: len as u32,
+                    value,
+                    old,
                 };
                 hooks.on_chk(&ev);
                 self.cpu.advance();
@@ -888,12 +916,14 @@ impl Machine {
         hooks: &mut H,
         bypass_mmu: bool,
     ) -> Result<Option<StopReason>, MachineError> {
+        let old = self.peek_mem(addr, len);
         if !bypass_mmu && self.mmu.store_faults(addr, len) {
             let fault = Fault {
                 pc,
                 addr,
                 len,
                 value,
+                old,
             };
             self.pending_fault = Some(fault);
             databp_telemetry::count!("machine.faults.prot");
@@ -904,7 +934,13 @@ impl Machine {
             1 => self.mem.store_u8(addr, value as u8, pc)?,
             _ => unreachable!("store width is 1 or 4"),
         }
-        hooks.on_store(&StoreEvent { pc, addr, len });
+        hooks.on_store(&StoreEvent {
+            pc,
+            addr,
+            len,
+            value: mask_to_len(value, len),
+            old,
+        });
         self.cpu.advance();
         if self.watch.store_hits(addr, len) {
             databp_telemetry::count!("machine.faults.watch");
@@ -913,9 +949,44 @@ impl Machine {
                 addr,
                 len,
                 value,
+                old,
             })));
         }
         Ok(None)
+    }
+
+    /// Reads the current memory content at `[addr, addr+len)` without
+    /// faulting — loads ignore page protection, and an unmapped target
+    /// reads as 0 (the subsequent store reports the real error).
+    fn peek_mem(&mut self, addr: u32, len: u32) -> u32 {
+        let pc = self.cpu.pc();
+        match len {
+            4 => self.mem.load_u32(addr, pc).unwrap_or(0),
+            _ => self.mem.load_u8(addr, pc).unwrap_or(0) as u32,
+        }
+    }
+
+    /// Resolves the written/overwritten values for the store a `chk` at
+    /// `pc` guards. The code generator places each store-site `chk`
+    /// immediately before its store (pinned by codegen tests), so the
+    /// value is read from the following store's source register; an SSA
+    /// preheader guard has no matching following store and reports
+    /// `(0, 0)`.
+    fn peek_checked_store(&mut self, pc: u32, addr: u32, len: u32) -> (u32, u32) {
+        let Ok(idx) = self.pc_to_index(pc.wrapping_add(4)) else {
+            return (0, 0);
+        };
+        let (src, base, imm, slen) = match self.decoded.get(idx) {
+            Some(&Instr::Sw(src, base, imm)) => (src, base, imm, 4),
+            Some(&Instr::Sb(src, base, imm)) => (src, base, imm, 1),
+            _ => return (0, 0),
+        };
+        let saddr = self.cpu.read(base).wrapping_add(imm as i32 as u32);
+        if saddr != addr || slen != len {
+            return (0, 0);
+        }
+        let value = mask_to_len(self.cpu.read(src), len);
+        (value, self.peek_mem(addr, len))
     }
 
     fn syscall<H: Hooks + ?Sized>(
@@ -1234,7 +1305,9 @@ mod tests {
             vec![StoreEvent {
                 pc: CODE_BASE + 4,
                 addr: DATA_BASE + 12,
-                len: 4
+                len: 4,
+                value: 0,
+                old: 0
             }]
         );
     }
@@ -1440,6 +1513,8 @@ mod tests {
             pc: 0,
             addr,
             len: 4,
+            value: 0,
+            old: 0,
         };
         let mut rec = Recorder::default();
         let mut b = StoreBatcher::new(&mut rec, 2);

@@ -37,6 +37,13 @@
 //!                listed workload name (duplicates exercise the trace
 //!                cache), or `--demo` for a canned mixed batch; prints
 //!                request lines, response lines, then a stats line
+//!   query Q [W...]  run the online trace query Q (`<agg> [if <pred>]`,
+//!                aggs: count, first, last, hist, watch) over the
+//!                phase-1 trace of each named workload (default: the
+//!                bench corpus); when Q carries a predicate, a
+//!                predicated CodePatch pass follows, printing the
+//!                cp.pred_filtered / cp.pred_fired counters in
+//!                greppable `key=value` form
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
 //!   perfgate     compare results/perf.json against results/perf.prev.json
 //!                and fail if `harness.analyze` or `sim.replay`
@@ -101,8 +108,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: repro [--small] [--csv DIR] [--telemetry FMT] [--jobs N] \
                      [--stream] [--page-sizes LIST] [--store DIR] <command>\n\
                      commands: all table1 table2 table3 table4 fig7 fig8 fig9 breakdown \
-                     expansion loopopt staticopt dyncp nhcoverage ladder serve client verify \
-                     perf perfgate sessions dist trace tinyc\n\
+                     expansion loopopt staticopt dyncp nhcoverage ladder serve client query \
+                     verify perf perfgate sessions dist trace tinyc\n\
                      (see the source header for details)";
 
 /// Every valid subcommand — checked before any workload runs so an
@@ -125,6 +132,7 @@ const COMMANDS: &[&str] = &[
     "ladder",
     "serve",
     "client",
+    "query",
     "verify",
     "perf",
     "perfgate",
@@ -325,6 +333,7 @@ fn run(cmd: &str, args: &[String], opts: &Opts) -> ExitCode {
         "perfgate" => return perfgate(),
         "serve" => return serve_stdio(opts),
         "client" => return client(&args[1..], opts),
+        "query" => return query_cmd(&args[1..], opts),
         "table2" => {
             // No workload runs needed.
             emit(opts, "table2", &tables::table2());
@@ -707,6 +716,7 @@ fn client(args: &[String], opts: &Opts) -> ExitCode {
             strategies: Vec::new(),
             page_sizes: opts.ladder.clone(),
             overheads: false,
+            query: None,
         };
         lines.push_str(&req.to_json_line());
         lines.push('\n');
@@ -725,6 +735,119 @@ fn client(args: &[String], opts: &Opts) -> ExitCode {
     for (req_line, resp_line) in lines.lines().zip(responses.lines()) {
         println!("> {req_line}");
         println!("< {resp_line}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `query` subcommand: parses the query once, then for each
+/// workload runs phase 1 and feeds the trace through the online
+/// [`QueryEngine`](databp_sim::QueryEngine) — no monitor replay, no
+/// overhead models. When the query carries a predicate, a predicated
+/// CodePatch pass (monitoring everything) follows so the inline-check
+/// predicate counters are exercised end to end; they print as
+/// `key=value` pairs for scripts and the CI smoke step to grep.
+fn query_cmd(args: &[String], opts: &Opts) -> ExitCode {
+    let Some(qsrc) = args.first() else {
+        eprintln!(
+            "usage: repro query '<agg> [if <predicate>]' [workload...]\n\
+             aggs: count, first, last, hist, watch; default workloads: the bench corpus"
+        );
+        return ExitCode::FAILURE;
+    };
+    let parsed = match databp_sim::Query::parse(qsrc) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("bad query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut workloads = Vec::new();
+    if args.len() > 1 {
+        for name in &args[1..] {
+            let Some(w) = Workload::by_name(name) else {
+                eprintln!("unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            workloads.push(w);
+        }
+    } else {
+        workloads.extend(Workload::bench());
+    }
+    for w in workloads {
+        let w = match opts.scale {
+            Scale::Full => w,
+            Scale::Small => w.scaled_down(),
+        };
+        let name = w.name;
+        let prepared = match databp_workloads::prepare(&w) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("workload '{name}' failed to run: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let debug = &prepared.plain.debug;
+        let writers = databp_core::WriterMap::new(
+            debug
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.entry_pc, id as u16)),
+        );
+        let result = match databp_sim::run_query(
+            qsrc,
+            prepared.trace.events(),
+            |n| debug.func_id(n),
+            writers,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("query failed on '{name}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "query[{name}] {result} (writes={})",
+            prepared
+                .trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, databp_trace::Event::Write { .. }))
+                .count()
+        );
+        let Some(psrc) = parsed.predicate_src() else {
+            continue;
+        };
+        let build = prepared.codepatch();
+        let pred = match databp_core::Predicate::parse(psrc)
+            .expect("predicate re-parses")
+            .compile(|n| build.debug.func_id(n))
+        {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("query predicate does not resolve in '{name}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut m = databp_machine::Machine::new();
+        m.load(&build.program);
+        m.set_args(w.args.clone());
+        let rep = databp_core::CodePatch::default()
+            .with_predicate(pred)
+            .run(
+                &mut m,
+                &build.debug,
+                &databp_core::MonitorEverything,
+                w.max_steps * 2,
+            )
+            .expect("CodePatch run failed");
+        println!(
+            "query[{name}] cp.pred_filtered={} cp.pred_fired={} cp.pred_dead_skips={} notifications={}",
+            rep.pred_filtered + rep.pred_dead_skips,
+            rep.pred_fired,
+            rep.pred_dead_skips,
+            rep.notification_count
+        );
     }
     ExitCode::SUCCESS
 }
@@ -899,6 +1022,52 @@ fn perf(opts: &Opts) -> ExitCode {
         }
         let _ = std::fs::remove_dir_all(&dir);
         vrows.push(("bench-replay", t0.elapsed().as_secs_f64(), vclock() - v0));
+    }
+
+    // Predicate phase: one online trace query plus a predicated
+    // CodePatch pass over a bench kernel, so the inline-check predicate
+    // counters (`cp.pred_filtered`, `cp.pred_fired`) land in the
+    // snapshot and the trajectory diff tracks them.
+    {
+        let t0 = std::time::Instant::now();
+        let v0 = vclock();
+        let w = Workload::by_name("fib")
+            .expect("bench workload exists")
+            .scaled_down();
+        let p = databp_workloads::prepare(&w).expect("workload runs");
+        let debug = &p.plain.debug;
+        let writers = databp_core::WriterMap::new(
+            debug
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(id, f)| (f.entry_pc, id as u16)),
+        );
+        databp_sim::run_query(
+            "count if value > 5",
+            p.trace.events(),
+            |n| debug.func_id(n),
+            writers,
+        )
+        .expect("perf query runs");
+        let build = p.codepatch();
+        let pred = databp_core::Predicate::parse("value > 5")
+            .expect("perf predicate parses")
+            .compile(|n| build.debug.func_id(n))
+            .expect("perf predicate compiles");
+        let mut m = databp_machine::Machine::new();
+        m.load(&build.program);
+        m.set_args(w.args.clone());
+        databp_core::CodePatch::default()
+            .with_predicate(pred)
+            .run(
+                &mut m,
+                &build.debug,
+                &databp_core::MonitorEverything,
+                w.max_steps * 2,
+            )
+            .expect("predicated CodePatch run");
+        vrows.push(("predicates", t0.elapsed().as_secs_f64(), vclock() - v0));
     }
     let wall_secs = wall.elapsed().as_secs_f64();
     eprintln!("workloads done in {wall_secs:.2}s.\n");

@@ -39,6 +39,8 @@ pub mod server;
 
 pub use cache::{BuildGuard, Lookup, TraceCache};
 pub use proto::serve;
-pub use request::{body_for, CacheStatus, Request, RequestLine, Response, ResponseBody};
+pub use request::{
+    body_for, query_body_for, CacheStatus, Request, RequestLine, Response, ResponseBody,
+};
 pub use scheduler::StealPool;
 pub use server::{Server, ServerConfig, ServerStats, Ticket};

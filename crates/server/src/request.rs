@@ -17,9 +17,11 @@
 //! one-shot `--stream` pipeline.
 
 use crate::json::{self, Value};
+use databp_core::WriterMap;
 use databp_harness::{overheads_for, AnalyzeOpts, Scale, WorkloadResults};
 use databp_machine::PageSize;
 use databp_models::Approach;
+use databp_sim::{QueryResult, WriteHit};
 use databp_stats::Summary;
 use databp_workloads::Workload;
 
@@ -55,6 +57,12 @@ pub struct Request {
     /// Include the full per-session overhead population per strategy
     /// (not just its summary statistics).
     pub overheads: bool,
+    /// A trace query (`<agg> [if <predicate>]`, see
+    /// [`databp_sim::Query`]). When present the response body is the
+    /// query answer instead of the strategy/ladder report — computed
+    /// from the (possibly cached) trace alone, so a cache hit does
+    /// zero phase-1 *and* zero phase-2 work.
+    pub query: Option<String>,
 }
 
 impl Request {
@@ -68,6 +76,7 @@ impl Request {
             strategies: Vec::new(),
             page_sizes: Vec::new(),
             overheads: false,
+            query: None,
         }
     }
 
@@ -120,6 +129,7 @@ impl Request {
             strategies: Vec::new(),
             page_sizes: Vec::new(),
             overheads: false,
+            query: None,
         };
         for (key, val) in obj {
             match key.as_str() {
@@ -175,6 +185,13 @@ impl Request {
                         .as_bool()
                         .ok_or_else(|| "overheads must be a bool".to_string())?
                 }
+                "query" => {
+                    req.query = Some(
+                        val.as_str()
+                            .ok_or_else(|| "query must be a string".to_string())?
+                            .to_string(),
+                    )
+                }
                 other => return Err(format!("unknown request field {other:?}")),
             }
         }
@@ -223,6 +240,9 @@ impl Request {
         }
         if self.overheads {
             v.set("overheads", Value::Bool(true));
+        }
+        if let Some(q) = &self.query {
+            v.set("query", Value::str(q));
         }
         v.to_string()
     }
@@ -383,6 +403,105 @@ pub fn body_for(req: &Request, results: &WorkloadResults) -> ResponseBody {
     ResponseBody { json: body }
 }
 
+/// Renders one [`WriteHit`] as a JSON object (addresses in hex for
+/// greppability, values in decimal).
+fn hit_value(hit: &WriteHit) -> Value {
+    let mut v = Value::obj();
+    v.set("seq", Value::u64(hit.seq));
+    v.set("pc", Value::str(format!("{:#x}", hit.pc)));
+    v.set("ba", Value::str(format!("{:#x}", hit.ba)));
+    v.set("ea", Value::str(format!("{:#x}", hit.ea)));
+    v.set("value", Value::u64(u64::from(hit.value)));
+    v.set("old", Value::u64(u64::from(hit.old)));
+    v
+}
+
+/// Renders the answer to a trace query from `results` — the query
+/// sibling of [`body_for`], and like it the *single* place query
+/// result bytes come from, so a cached answer is byte-identical to a
+/// fresh one. Needs only the trace and the debug info; never touches
+/// the counts matrices, so a cache hit answers with zero phase-1 and
+/// zero phase-2 work.
+///
+/// # Errors
+///
+/// A message when the query is malformed or names an unknown function.
+pub fn query_body_for(req: &Request, results: &WorkloadResults) -> Result<ResponseBody, String> {
+    let src = req.query.as_deref().unwrap_or_default();
+    let debug = &results.prepared.plain.debug;
+    let writers = WriterMap::new(
+        debug
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(id, f)| (f.entry_pc, id as u16)),
+    );
+    let events = results.prepared.trace.events();
+    let result = databp_sim::run_query(src, events, |name| debug.func_id(name), writers)
+        .map_err(|e| format!("bad query: {e}"))?;
+
+    let mut body = Value::obj();
+    body.set("workload", Value::str(&req.workload));
+    body.set(
+        "workload_hash",
+        Value::str(format!(
+            "{:016x}",
+            results.prepared.workload.workload_hash()
+        )),
+    );
+    body.set(
+        "scale",
+        Value::str(match req.scale {
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }),
+    );
+    body.set("query", Value::str(src));
+    let mut res = Value::obj();
+    match &result {
+        QueryResult::Count { matched, writes } => {
+            res.set("kind", Value::str("count"));
+            res.set("matched", Value::u64(*matched));
+            res.set("writes", Value::u64(*writes));
+        }
+        QueryResult::First(hit) => {
+            res.set("kind", Value::str("first"));
+            res.set("hit", hit.as_ref().map_or(Value::Null, hit_value));
+        }
+        QueryResult::Last(hit) => {
+            res.set("kind", Value::str("last"));
+            res.set("hit", hit.as_ref().map_or(Value::Null, hit_value));
+        }
+        QueryResult::Histogram(sites) => {
+            res.set("kind", Value::str("hist"));
+            res.set(
+                "sites",
+                Value::Arr(
+                    sites
+                        .iter()
+                        .map(|&(pc, n)| {
+                            let mut s = Value::obj();
+                            s.set("pc", Value::str(format!("{pc:#x}")));
+                            s.set("count", Value::u64(n));
+                            s
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        QueryResult::ValueWatch { samples, total } => {
+            res.set("kind", Value::str("watch"));
+            res.set("total", Value::u64(*total));
+            res.set(
+                "samples",
+                Value::Arr(samples.iter().map(|&v| Value::u64(u64::from(v))).collect()),
+            );
+        }
+    }
+    body.set("result", res);
+    Ok(ResponseBody { json: body })
+}
+
 /// One wire response: metadata plus (on success) a [`ResponseBody`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -470,6 +589,7 @@ mod tests {
             strategies: vec![Approach::Vm8k],
             page_sizes: vec![PageSize::K32],
             overheads: true,
+            query: Some("count if value > 5".to_string()),
         };
         let RequestLine::Query(back) = Request::parse_line(&req.to_json_line()).unwrap() else {
             panic!("expected a query");
@@ -487,6 +607,7 @@ mod tests {
         assert!(Request::parse_line(r#"{"workload":"cc","scale":"huge"}"#).is_err());
         assert!(Request::parse_line(r#"{"workload":"cc","strategies":["zz"]}"#).is_err());
         assert!(Request::parse_line(r#"{"workload":"cc","bogus":1}"#).is_err());
+        assert!(Request::parse_line(r#"{"workload":"cc","query":7}"#).is_err());
         assert!(Request::parse_line("not json").is_err());
     }
 

@@ -42,7 +42,7 @@ use databp_trace::TraceStore;
 use databp_workloads::{compile_plain, Prepared, Workload};
 
 use crate::cache::{Lookup, TraceCache};
-use crate::request::{body_for, CacheStatus, Request, Response};
+use crate::request::{body_for, query_body_for, CacheStatus, Request, Response};
 use crate::scheduler::StealPool;
 
 /// Server tuning knobs.
@@ -203,6 +203,9 @@ impl Server {
     /// Submits one request. `Err` returns the request when admission
     /// control rejects it (queue full or shutting down) — the caller
     /// decides whether to retry, shed, or answer with an error.
+    // Handing the whole Request back on rejection is the point of the
+    // API; the Err path is the rare shed path, not a hot path.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, req: Request) -> Result<Ticket, Request> {
         let ticket = Ticket::new();
         match self.pool.submit((req, ticket.clone())) {
@@ -218,6 +221,7 @@ impl Server {
     /// Duplicates within the batch are deduplicated by the cache's
     /// in-flight pending slots — one trace, N answers. Rejected
     /// submissions become error responses (`ok: false`) in place.
+    #[allow(clippy::result_large_err)]
     pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
         let outcomes: Vec<Result<Ticket, Request>> =
             reqs.into_iter().map(|req| self.submit(req)).collect();
@@ -262,7 +266,18 @@ impl Server {
             std::panic::catch_unwind(AssertUnwindSafe(|| Server::answer(cfg, cache, stats, req)));
         match result {
             Ok(Ok((status, results))) => {
-                Response::success(&req.id, status, body_for(req, &results))
+                if req.query.is_some() {
+                    databp_telemetry::count!("server.trace_queries");
+                    match query_body_for(req, &results) {
+                        Ok(body) => Response::success(&req.id, status, body),
+                        Err(msg) => {
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                            Response::failure(&req.id, msg)
+                        }
+                    }
+                } else {
+                    Response::success(&req.id, status, body_for(req, &results))
+                }
             }
             Ok(Err(msg)) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -283,12 +298,19 @@ impl Server {
         req: &Request,
     ) -> Result<(CacheStatus, Arc<WorkloadResults>), String> {
         let workload = req.resolve_workload()?;
+        if let Some(q) = &req.query {
+            // Reject malformed queries before any trace work: a bad
+            // query must not cost a phase-1 run.
+            databp_sim::Query::parse(q).map_err(|e| format!("bad query: {e}"))?;
+        }
         let key = workload.workload_hash();
         let want = req.normalized_ladder();
         match cache.lookup_or_begin(key) {
             Lookup::Hit(results) => {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                if want.iter().all(|ps| results.ladder.contains(ps)) {
+                // A trace query needs only the cached trace — never a
+                // ladder rewalk, whatever page sizes the request names.
+                if req.query.is_some() || want.iter().all(|ps| results.ladder.contains(ps)) {
                     return Ok((CacheStatus::Hit, results));
                 }
                 // The cached trace is good; its walk just didn't count
@@ -604,6 +626,39 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.cache_misses, 1, "tex was traced exactly once");
         assert_eq!(stats.cache_rewalks, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_queries_answer_from_cache_without_rewalks() {
+        let server = tiny_server(1);
+        // A malformed query must be rejected before any phase-1 work.
+        let mut bad = Request::simple("q0", "cc", Scale::Small);
+        bad.query = Some("count if value >".to_string());
+        let resp = server.submit(bad).unwrap().wait();
+        assert!(!resp.ok);
+        assert_eq!(server.stats().cache_misses, 0, "bad query must not trace");
+
+        let mut q = Request::simple("q1", "cc", Scale::Small);
+        q.query = Some("count if value > 0".to_string());
+        let first = server.submit(q.clone()).unwrap().wait();
+        assert!(first.ok, "{:?}", first.error);
+        assert_eq!(first.cache, Some(CacheStatus::Miss));
+        // A repeat query is a pure hit, even when it names page sizes
+        // the cached walk never counted — queries only need the trace.
+        let mut again = q;
+        again.id = "q2".to_string();
+        again.page_sizes = vec![databp_machine::PageSize::K32];
+        let second = server.submit(again).unwrap().wait();
+        assert_eq!(second.cache, Some(CacheStatus::Hit));
+        assert_eq!(server.stats().cache_rewalks, 0);
+        assert_eq!(
+            first.body.as_ref().unwrap().to_json(),
+            second.body.as_ref().unwrap().to_json(),
+            "cached query answer must be byte-identical"
+        );
+        let json = first.body.as_ref().unwrap().to_json();
+        assert!(json.contains(r#""kind":"count""#), "{json}");
         server.shutdown();
     }
 

@@ -756,7 +756,13 @@ mod tests {
     }
 
     fn write(ba: u32, ea: u32) -> Event {
-        Event::Write { pc: 0, ba, ea }
+        Event::Write {
+            pc: 0,
+            ba,
+            ea,
+            value: 0,
+            old: 0,
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 mod engine;
 mod membership;
 mod naive;
+mod query;
 mod slots;
 mod soundness;
 mod stream;
@@ -37,6 +38,10 @@ mod stream;
 pub use engine::{simulate, simulate_fused, simulate_sizes};
 pub use membership::{Membership, SessionLanes, TableMembership};
 pub use naive::simulate_naive;
+pub use query::{
+    run_query, Aggregation, CompiledQuery, Query, QueryEngine, QueryError, QueryResult, WriteHit,
+    MAX_WATCH_SAMPLES,
+};
 pub use slots::SlotList;
 pub use soundness::{verify_elided_stores, ElisionViolation};
 pub use stream::{FixedMembership, StreamMembership, StreamingReplay};

@@ -148,6 +148,8 @@ pub(crate) mod testgen {
                         pc: 0,
                         ba,
                         ea: ba + len,
+                        value: 0,
+                        old: 0,
                     }),
                 }
             }

@@ -93,7 +93,7 @@ pub fn verify_elided_stores<M: Membership>(
             Event::Remove { obj, ba, .. } => {
                 active.remove(&(obj, ba));
             }
-            Event::Write { pc, ba, ea } => {
+            Event::Write { pc, ba, ea, .. } => {
                 if ba >= ea {
                     continue;
                 }
@@ -151,11 +151,15 @@ mod tests {
             pc: 0x10,
             ba: 0x1000,
             ea: 0x1004,
+            value: 0,
+            old: 0,
         });
         tr.push(Event::Write {
             pc: 0x20,
             ba: 0x2000,
             ea: 0x2004,
+            value: 0,
+            old: 0,
         });
         tr.push(Event::Remove {
             obj: ObjectDesc::Local { func: 0, var: 0 },
@@ -167,6 +171,8 @@ mod tests {
             pc: 0x30,
             ba: 0x2000,
             ea: 0x2004,
+            value: 0,
+            old: 0,
         });
         tr
     }

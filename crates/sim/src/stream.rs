@@ -169,16 +169,22 @@ mod tests {
                 pc: 0,
                 ba: 0x1000,
                 ea: 0x1004,
+                value: 0,
+                old: 0,
             },
             Event::Write {
                 pc: 4,
                 ba: 0x1800,
                 ea: 0x1804,
+                value: 0,
+                old: 0,
             },
             Event::Write {
                 pc: 8,
                 ba: 0x5000,
                 ea: 0x5004,
+                value: 0,
+                old: 0,
             },
             Event::Remove {
                 obj: g(0),

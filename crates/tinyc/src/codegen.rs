@@ -735,6 +735,7 @@ impl<'a> Gen<'a> {
             pc: self.here_pc(),
             chk_pc,
             func: self.cur_fid,
+            len: width,
             addr: desc,
         });
         match width {

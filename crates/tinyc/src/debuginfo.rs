@@ -77,6 +77,9 @@ pub struct StoreSiteInfo {
     pub chk_pc: Option<u32>,
     /// Owning function id (resolves [`AddrDesc::local_deps`]).
     pub func: u16,
+    /// Store width in bytes (1 for `sb`, 4 for `sw`) — the mask applied
+    /// to the written value, which predicate deadness must mirror.
+    pub len: u32,
     /// Where the store's effective address comes from.
     pub addr: AddrDesc,
 }

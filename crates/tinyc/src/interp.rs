@@ -24,6 +24,62 @@ pub struct InterpResult {
     pub steps: u64,
 }
 
+/// Observes the interpreter's externally visible memory events, in the
+/// same order the machine's trace hooks would see them for the compiled
+/// program: frame entry (before parameter spills), every explicit store
+/// (assignments and parameter spills — the stores the code generator
+/// instruments), heap lifetime events, and frame exit.
+///
+/// This makes the interpreter usable as a *semantic oracle for monitors
+/// and predicates*, not just for program output: a consumer can rebuild
+/// the program event trace from these callbacks and compare
+/// notification/query results against the executable strategies.
+pub trait InterpObserver {
+    /// Control entered `func`; its frame pointer is `fp` (locals live at
+    /// `fp`-relative offsets, exactly like generated prologues). Fires
+    /// before parameter spill stores, matching the machine's
+    /// `mark_enter` placement.
+    fn enter(&mut self, func: u16, fp: u32) {
+        let _ = (func, fp);
+    }
+
+    /// Control is leaving `func` normally (not via `exit()`), matching
+    /// the machine's `mark_exit` placement. `exit()` unwinds are not
+    /// reported — mirror the tracer and unwind outstanding frames at
+    /// the end of the run.
+    fn exit(&mut self, func: u16, fp: u32) {
+        let _ = (func, fp);
+    }
+
+    /// An explicit source-level store committed `value` over `old` at
+    /// `[addr, addr + len)`. Both values are masked to the store width
+    /// (`len` is 1 or 4), matching the machine's `StoreEvent`.
+    fn store(&mut self, addr: u32, len: u32, value: u32, old: u32) {
+        let _ = (addr, len, value, old);
+    }
+
+    /// Heap object `seq` allocated at `[ba, ea)`.
+    fn heap_alloc(&mut self, seq: u32, ba: u32, ea: u32) {
+        let _ = (seq, ba, ea);
+    }
+
+    /// Heap object `seq` at `[ba, ea)` freed.
+    fn heap_free(&mut self, seq: u32, ba: u32, ea: u32) {
+        let _ = (seq, ba, ea);
+    }
+
+    /// Heap object `seq` moved from `old` to `new` by `realloc`.
+    fn heap_realloc(&mut self, seq: u32, old: (u32, u32), new: (u32, u32)) {
+        let _ = (seq, old, new);
+    }
+}
+
+/// The default no-op observer; [`interpret`] uses it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl InterpObserver for NoObserver {}
+
 enum Flow {
     Normal,
     Break,
@@ -32,7 +88,7 @@ enum Flow {
     Exit(i32),
 }
 
-struct Interp<'a> {
+struct Interp<'a, O: InterpObserver> {
     hir: &'a Hir,
     mem: Vec<u8>,
     heap: HeapAlloc,
@@ -41,6 +97,7 @@ struct Interp<'a> {
     args: Vec<i32>,
     steps: u64,
     max_steps: u64,
+    obs: &'a mut O,
 }
 
 /// Interprets a checked program.
@@ -52,6 +109,20 @@ struct Interp<'a> {
 /// [`MachineError::StepLimitExceeded`] when `max_steps` evaluations are
 /// exhausted.
 pub fn interpret(hir: &Hir, args: &[i32], max_steps: u64) -> Result<InterpResult, MachineError> {
+    interpret_observed(hir, args, max_steps, &mut NoObserver)
+}
+
+/// [`interpret`], reporting memory events to `obs` as they happen.
+///
+/// # Errors
+///
+/// Same as [`interpret`].
+pub fn interpret_observed<O: InterpObserver>(
+    hir: &Hir,
+    args: &[i32],
+    max_steps: u64,
+    obs: &mut O,
+) -> Result<InterpResult, MachineError> {
     let mut it = Interp {
         hir,
         mem: vec![0; MEM_SIZE as usize],
@@ -61,6 +132,7 @@ pub fn interpret(hir: &Hir, args: &[i32], max_steps: u64) -> Result<InterpResult
         args: args.to_vec(),
         steps: 0,
         max_steps,
+        obs,
     };
     for g in &hir.globals {
         let base = (DATA_BASE + g.offset) as usize;
@@ -78,7 +150,7 @@ pub fn interpret(hir: &Hir, args: &[i32], max_steps: u64) -> Result<InterpResult
     })
 }
 
-impl<'a> Interp<'a> {
+impl<'a, O: InterpObserver> Interp<'a, O> {
     fn tick(&mut self) -> Result<(), MachineError> {
         self.steps += 1;
         if self.steps > self.max_steps {
@@ -116,12 +188,24 @@ impl<'a> Interp<'a> {
             return Err(MachineError::UnmappedAddress { addr, pc: 0 });
         }
         match width {
-            1 => self.mem[addr as usize] = value as u8,
+            1 => {
+                let old = u32::from(self.mem[addr as usize]);
+                self.mem[addr as usize] = value as u8;
+                self.obs.store(addr, 1, value & 0xff, old);
+            }
             4 => {
                 if !addr.is_multiple_of(4) {
                     return Err(MachineError::Misaligned { addr, pc: 0 });
                 }
-                self.mem[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
+                let i = addr as usize;
+                let old = u32::from_le_bytes([
+                    self.mem[i],
+                    self.mem[i + 1],
+                    self.mem[i + 2],
+                    self.mem[i + 3],
+                ]);
+                self.mem[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                self.obs.store(addr, 4, value, old);
             }
             _ => unreachable!("width is 1 or 4"),
         }
@@ -138,6 +222,7 @@ impl<'a> Interp<'a> {
         }
         let saved_sp = self.sp;
         self.sp = new_sp;
+        self.obs.enter(fid, fp);
         // Parameters spill into their frame slots, like generated code.
         for (k, &v) in args.iter().enumerate() {
             let l = &f.locals[k];
@@ -153,8 +238,14 @@ impl<'a> Interp<'a> {
         self.sp = saved_sp;
         Ok(match flow {
             Flow::Exit(c) => Flow::Exit(c),
-            Flow::Return(v) => Flow::Return(v),
-            _ => Flow::Return(0),
+            Flow::Return(v) => {
+                self.obs.exit(fid, fp);
+                Flow::Return(v)
+            }
+            _ => {
+                self.obs.exit(fid, fp);
+                Flow::Return(0)
+            }
         })
     }
 
@@ -358,9 +449,15 @@ impl<'a> Interp<'a> {
                     vals.push(eval!(a));
                 }
                 match b {
-                    Builtin::Malloc => self.heap.alloc(vals[0])?.0,
+                    Builtin::Malloc => {
+                        let (addr, seq) = self.heap.alloc(vals[0])?;
+                        let (size, _) = self.heap.live_block(addr).expect("just allocated");
+                        self.obs.heap_alloc(seq, addr, addr + size);
+                        addr
+                    }
                     Builtin::Free => {
-                        self.heap.free(vals[0])?;
+                        let (size, seq) = self.heap.free(vals[0])?;
+                        self.obs.heap_free(seq, vals[0], vals[0] + size);
                         0
                     }
                     Builtin::Realloc => {
@@ -377,6 +474,11 @@ impl<'a> Interp<'a> {
                         self.mem[new_addr as usize..new_addr as usize + keep]
                             .copy_from_slice(&saved[..keep]);
                         self.heap.note_realloc();
+                        self.obs.heap_realloc(
+                            seq,
+                            (vals[0], vals[0] + old_size),
+                            (new_addr, new_addr + new_size),
+                        );
                         new_addr
                     }
                     Builtin::PrintInt => {
@@ -474,6 +576,102 @@ mod tests {
             interpret(&hir, &[], 1000),
             Err(MachineError::BadFree { .. })
         ));
+    }
+
+    #[derive(Default)]
+    struct Log {
+        events: Vec<String>,
+    }
+
+    impl InterpObserver for Log {
+        fn enter(&mut self, func: u16, _fp: u32) {
+            self.events.push(format!("enter {func}"));
+        }
+        fn exit(&mut self, func: u16, _fp: u32) {
+            self.events.push(format!("exit {func}"));
+        }
+        fn store(&mut self, _addr: u32, len: u32, value: u32, old: u32) {
+            self.events.push(format!("store{len} {value}<-{old}"));
+        }
+        fn heap_alloc(&mut self, seq: u32, ba: u32, ea: u32) {
+            self.events.push(format!("alloc {seq} {}b", ea - ba));
+        }
+        fn heap_free(&mut self, seq: u32, _ba: u32, _ea: u32) {
+            self.events.push(format!("free {seq}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_stores_in_machine_order() {
+        let hir = lower(
+            r#"
+            int g;
+            int put(int k) { g = k; return 0; }
+            int main() { g = 5; put(9); return g; }
+            "#,
+        )
+        .unwrap();
+        let mut log = Log::default();
+        let r = interpret_observed(&hir, &[], 10_000, &mut log).unwrap();
+        assert_eq!(r.exit_code, 9);
+        assert_eq!(
+            log.events,
+            vec![
+                "enter 1", // main
+                "store4 5<-0",
+                "enter 0",     // put
+                "store4 9<-0", // the k parameter spill
+                "store4 9<-5", // g = k, old value visible
+                "exit 0",
+                "exit 1",
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_sees_heap_lifetimes_and_exit_skips_unwind() {
+        let hir = lower(
+            r#"
+            int main() {
+                char *p;
+                p = malloc(10);
+                free(p);
+                exit(3);
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let mut log = Log::default();
+        let r = interpret_observed(&hir, &[], 10_000, &mut log).unwrap();
+        assert_eq!(r.exit_code, 3);
+        // malloc rounds to 8-byte granules; exit() unwinds without an
+        // exit event (the consumer unwinds, like Tracer::finish).
+        let no_stores: Vec<&String> = log
+            .events
+            .iter()
+            .filter(|e| !e.starts_with("store"))
+            .collect();
+        assert_eq!(no_stores, ["enter 0", "alloc 0 16b", "free 0"]);
+    }
+
+    #[test]
+    fn byte_stores_report_masked_values() {
+        let hir = lower(
+            r#"
+            char c;
+            int main() { c = 300; c = 1; return 0; }
+            "#,
+        )
+        .unwrap();
+        let mut log = Log::default();
+        interpret_observed(&hir, &[], 10_000, &mut log).unwrap();
+        let stores: Vec<&String> = log
+            .events
+            .iter()
+            .filter(|e| e.starts_with("store1"))
+            .collect();
+        assert_eq!(stores, ["store1 44<-0", "store1 1<-44"]);
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct SiteFact {
     /// Refined address descriptor (reaching-definition based; at least
     /// as tight as the syntactic summary in `DebugInfo::store_sites`).
     pub desc: AddrDesc,
+    /// The stored value, when constant propagation proves it a
+    /// compile-time constant at this site (raw, unmasked — callers mask
+    /// to the site's store width). Feeds predicate deadness: a monitor
+    /// predicate that is provably false for this value never fires here.
+    pub value_const: Option<i32>,
     /// True when the store is statically unreachable (dead branch or
     /// code after a terminator): its check can be elided under any
     /// plan.
@@ -208,7 +213,11 @@ pub fn analyze(hir: &Hir) -> SsaInfo {
                 Some(s) => flatten(s, &solved.values),
                 None => AddrDesc::default(),
             };
-            sites.push(SiteFact { desc, dead });
+            sites.push(SiteFact {
+                desc,
+                value_const: solved.site_val[idx],
+                dead,
+            });
         }
         for (b, target, sum) in &solved.edges {
             if solved.live[*b] {
@@ -611,8 +620,9 @@ enum Inst {
     Capture { token: usize, var: u16 },
     /// SSA definition of promoted local `var`.
     Def { var: u16, rhs: Rhs },
-    /// Traced store site `idx`'s address summary.
-    Site { idx: usize, rhs: Rhs },
+    /// Traced store site `idx`'s address summary plus the stored
+    /// value's fold skeleton (for compile-time-constant detection).
+    Site { idx: usize, rhs: Rhs, val: KExpr },
     /// Value flow into a fixpoint node.
     Edge { target: FlowTarget, rhs: Rhs },
 }
@@ -669,10 +679,15 @@ impl<'a> FuncBuilder<'a> {
         // Parameter spills: one stack-slot site each, before any body
         // code (mirrors gen_func).
         for _ in 0..f.params {
-            b.emit_site(Rhs {
-                direct: REGION_STACK,
-                ..Rhs::default()
-            });
+            // Spilled argument values are call-site dependent: never a
+            // site constant.
+            b.emit_site(
+                Rhs {
+                    direct: REGION_STACK,
+                    ..Rhs::default()
+                },
+                KExpr::Unknown,
+            );
         }
         b.walk_stmts(&f.body);
         // Falling off the end is an implicit return.
@@ -693,11 +708,11 @@ impl<'a> FuncBuilder<'a> {
         self.blocks[self.cur].insts.push(inst);
     }
 
-    fn emit_site(&mut self, rhs: Rhs) {
+    fn emit_site(&mut self, rhs: Rhs, val: KExpr) {
         let idx = self.n_sites;
         self.n_sites += 1;
         self.site_block.push(self.cur);
-        self.emit(Inst::Site { idx, rhs });
+        self.emit(Inst::Site { idx, rhs, val });
     }
 
     fn terminate(&mut self, t: Term) {
@@ -920,7 +935,7 @@ impl<'a> FuncBuilder<'a> {
             ExprKind::Assign { addr, value } => {
                 let mut rv = self.expr(value);
                 let ra = self.expr(addr);
-                self.emit_site(ra);
+                self.emit_site(ra, rv.k.clone());
                 match &addr.kind {
                     ExprKind::AddrLocal(v) => {
                         if self.promotable[*v as usize] {
@@ -995,6 +1010,7 @@ struct Solved {
     live: Vec<bool>,
     cond_val: Vec<Option<i32>>,
     site_sum: Vec<Option<Sum>>,
+    site_val: Vec<Option<i32>>,
     site_block: Vec<usize>,
     edges: Vec<(usize, FlowTarget, Sum)>,
     n_phis: usize,
@@ -1182,6 +1198,7 @@ fn solve_func(f: &FuncDef, fid: u16, promotable: &[bool]) -> Solved {
     }
 
     let mut site_sum: Vec<Option<Sum>> = vec![None; n_sites];
+    let mut site_val: Vec<Option<i32>> = vec![None; n_sites];
     let mut edges: Vec<(usize, FlowTarget, Sum)> = Vec::new();
     let mut cond_val: Vec<Option<i32>> = vec![None; n];
     {
@@ -1193,6 +1210,7 @@ fn solve_func(f: &FuncDef, fid: u16, promotable: &[bool]) -> Solved {
             stacks,
             captures: vec![None; n_caps],
             site_sum: &mut site_sum,
+            site_val: &mut site_val,
             edges: &mut edges,
             cond_val: &mut cond_val,
             push_log: Vec::new(),
@@ -1232,6 +1250,7 @@ fn solve_func(f: &FuncDef, fid: u16, promotable: &[bool]) -> Solved {
         live,
         cond_val,
         site_sum,
+        site_val,
         site_block,
         edges,
         n_phis,
@@ -1246,6 +1265,7 @@ struct Renamer<'a> {
     stacks: Vec<Vec<ValueId>>,
     captures: Vec<Option<ValueId>>,
     site_sum: &'a mut [Option<Sum>],
+    site_val: &'a mut [Option<i32>],
     edges: &'a mut Vec<(usize, FlowTarget, Sum)>,
     cond_val: &'a mut [Option<i32>],
     push_log: Vec<u16>,
@@ -1296,8 +1316,9 @@ impl Renamer<'_> {
                     self.stacks[*var as usize].push(vid);
                     self.push_log.push(*var);
                 }
-                Inst::Site { idx, rhs } => {
+                Inst::Site { idx, rhs, val } => {
                     self.site_sum[*idx] = Some(self.resolve(rhs));
+                    self.site_val[*idx] = self.keval_caps(val);
                 }
                 Inst::Edge { target, rhs } => {
                     let sum = self.resolve(rhs);
@@ -1489,7 +1510,7 @@ pub fn dump(hir: &Hir) -> String {
                     Inst::Def { var, rhs } => {
                         let _ = writeln!(out, "    def v{var} = {}", fmt_rhs(rhs));
                     }
-                    Inst::Site { idx, rhs } => {
+                    Inst::Site { idx, rhs, .. } => {
                         let _ = writeln!(out, "    site {idx} addr {}", fmt_rhs(rhs));
                     }
                     Inst::Edge { target, rhs } => {
@@ -1607,6 +1628,33 @@ fn fmt_rhs(r: &Rhs) -> String {
 mod tests {
     use super::*;
     use crate::{compile, lower, Options};
+
+    #[test]
+    fn site_value_constants_track_stored_values() {
+        let hir = lower(
+            "int g; int main() { int x; int y; x = 7; y = x + 1; g = arg(0); g = y * 2; return 0; }",
+        )
+        .unwrap();
+        let info = analyze(&hir);
+        let m = &info.funcs[hir.main as usize];
+        let consts: Vec<Option<i32>> = m.sites.iter().map(|s| s.value_const).collect();
+        // x = 7 and the propagated y = 8 are constants; arg(0) is not;
+        // y * 2 folds through the promoted locals.
+        assert_eq!(consts, vec![Some(7), Some(8), None, Some(16)]);
+    }
+
+    #[test]
+    fn site_value_constants_respect_reaching_definitions() {
+        let hir = lower(
+            "int g; int main() { int x; x = 1; if (arg(0)) { x = 2; } g = x; g = 5; return 0; }",
+        )
+        .unwrap();
+        let info = analyze(&hir);
+        let m = &info.funcs[hir.main as usize];
+        let consts: Vec<Option<i32>> = m.sites.iter().map(|s| s.value_const).collect();
+        // The merged x is not constant; the literal 5 is.
+        assert_eq!(consts, vec![Some(1), Some(2), None, Some(5)]);
+    }
 
     #[test]
     fn flow_sensitivity_refines_pointer_stores() {

@@ -9,10 +9,15 @@
 //! binary: "DBPT" u32:version u64:count { u8:tag ... }*
 //! text:   one record per line, e.g.
 //!           I G3 00100000 00100004
-//!           W 00010004 00100000 00100004
+//!           W 00010004 00100000 00100004 0000002a 00000000
 //!           E 17            (enter)
 //!           X 17            (exit)
 //! ```
+//!
+//! Row version 3 extends the `W` record with the written value and the
+//! overwritten (old) value; version-1 traces still decode, with both
+//! fields zero-filled. Text `W` lines accept the legacy 3-field form the
+//! same way.
 
 use crate::event::{Event, ObjectDesc, Trace};
 use std::error::Error;
@@ -20,7 +25,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"DBPT";
-const VERSION: u32 = 1;
+/// Legacy row version: `W` records carry pc/ba/ea only.
+const VERSION_V1: u32 = 1;
+/// Current row version: `W` records additionally carry value/old.
+const VERSION: u32 = 3;
 
 const TAG_INSTALL: u8 = 1;
 const TAG_REMOVE: u8 = 2;
@@ -143,11 +151,19 @@ pub fn write_binary(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
                 w.write_all(&ba.to_le_bytes())?;
                 w.write_all(&ea.to_le_bytes())?;
             }
-            Event::Write { pc, ba, ea } => {
+            Event::Write {
+                pc,
+                ba,
+                ea,
+                value,
+                old,
+            } => {
                 w.write_all(&[TAG_WRITE])?;
                 w.write_all(&pc.to_le_bytes())?;
                 w.write_all(&ba.to_le_bytes())?;
                 w.write_all(&ea.to_le_bytes())?;
+                w.write_all(&value.to_le_bytes())?;
+                w.write_all(&old.to_le_bytes())?;
             }
             Event::Enter { func } => {
                 w.write_all(&[TAG_ENTER])?;
@@ -176,7 +192,7 @@ pub fn read_binary(r: &mut impl Read) -> Result<Trace, TraceCodecError> {
         return Err(TraceCodecError::Malformed("bad magic".into()));
     }
     let version = read_u32(r)?;
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION {
         return Err(TraceCodecError::Malformed(format!(
             "unsupported version {version}"
         )));
@@ -201,11 +217,21 @@ pub fn read_binary(r: &mut impl Read) -> Result<Trace, TraceCodecError> {
                     ea: read_u32(r)?,
                 }
             }
-            TAG_WRITE => Event::Write {
-                pc: read_u32(r)?,
-                ba: read_u32(r)?,
-                ea: read_u32(r)?,
-            },
+            TAG_WRITE => {
+                let (pc, ba, ea) = (read_u32(r)?, read_u32(r)?, read_u32(r)?);
+                let (value, old) = if version >= VERSION {
+                    (read_u32(r)?, read_u32(r)?)
+                } else {
+                    (0, 0)
+                };
+                Event::Write {
+                    pc,
+                    ba,
+                    ea,
+                    value,
+                    old,
+                }
+            }
             TAG_ENTER => Event::Enter { func: read_u16(r)? },
             TAG_EXIT => Event::Exit { func: read_u16(r)? },
             t => return Err(TraceCodecError::Malformed(format!("event tag {t}"))),
@@ -225,7 +251,13 @@ pub fn write_text(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
         match *e {
             Event::Install { obj, ba, ea } => writeln!(w, "I {obj} {ba:08x} {ea:08x}")?,
             Event::Remove { obj, ba, ea } => writeln!(w, "R {obj} {ba:08x} {ea:08x}")?,
-            Event::Write { pc, ba, ea } => writeln!(w, "W {pc:08x} {ba:08x} {ea:08x}")?,
+            Event::Write {
+                pc,
+                ba,
+                ea,
+                value,
+                old,
+            } => writeln!(w, "W {pc:08x} {ba:08x} {ea:08x} {value:08x} {old:08x}")?,
             Event::Enter { func } => writeln!(w, "E {func}")?,
             Event::Exit { func } => writeln!(w, "X {func}")?,
         }
@@ -288,7 +320,19 @@ pub fn read_text(input: &str) -> Result<Trace, TraceCodecError> {
                 let pc = parse_hex(parts.next().ok_or_else(bad)?)?;
                 let ba = parse_hex(parts.next().ok_or_else(bad)?)?;
                 let ea = parse_hex(parts.next().ok_or_else(bad)?)?;
-                Event::Write { pc, ba, ea }
+                // Legacy 3-field lines zero-fill value/old; current lines
+                // carry both.
+                let (value, old) = match parts.next() {
+                    Some(v) => (parse_hex(v)?, parse_hex(parts.next().ok_or_else(bad)?)?),
+                    None => (0, 0),
+                };
+                Event::Write {
+                    pc,
+                    ba,
+                    ea,
+                    value,
+                    old,
+                }
             }
             "E" => Event::Enter {
                 func: parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?,
@@ -327,6 +371,8 @@ mod tests {
                 pc: 0x1_0010,
                 ba: 0xeffff0,
                 ea: 0xeffff4,
+                value: 42,
+                old: 7,
             },
             Event::Install {
                 obj: ObjectDesc::Heap { seq: 2 },
@@ -337,6 +383,8 @@ mod tests {
                 pc: 0x1_0020,
                 ba: 0x40_0008,
                 ea: 0x40_0009,
+                value: 0xff,
+                old: 0,
             },
             Event::Remove {
                 obj: ObjectDesc::Heap { seq: 2 },
@@ -374,6 +422,47 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let back = read_text(&text).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn legacy_v1_binary_decodes_with_zero_filled_values() {
+        // Hand-build a version-1 stream: one 3-field W record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(TAG_WRITE);
+        buf.extend_from_slice(&0x1_0010u32.to_le_bytes());
+        buf.extend_from_slice(&0x10_0000u32.to_le_bytes());
+        buf.extend_from_slice(&0x10_0004u32.to_le_bytes());
+        let t = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            t.events(),
+            &[Event::Write {
+                pc: 0x1_0010,
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+                value: 0,
+                old: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn legacy_3_field_text_write_lines_decode() {
+        let t = read_text("W 00010010 00100000 00100004\n").unwrap();
+        assert_eq!(
+            t.events(),
+            &[Event::Write {
+                pc: 0x1_0010,
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+                value: 0,
+                old: 0,
+            }]
+        );
+        // 4 fields (value with no old) is malformed.
+        assert!(read_text("W 00010010 00100000 00100004 0000002a").is_err());
     }
 
     #[test]

@@ -5,21 +5,27 @@
 //! persistent trace store serializes:
 //!
 //! ```text
-//! "DBPT" u32:2
+//! "DBPT" u32:4
 //! u32:meta_len  meta bytes            (opaque application blob)
 //! u64:n_events
 //! u32:dict_len  { u8:kind u32:payload }*   (dense ObjectDesc dictionary)
 //! u32:n_blocks
-//! blocks: u32:block_events  6 × ( u32:col_len col_bytes )
+//! blocks: u32:block_events  8 × ( u32:col_len col_bytes )
 //! ```
 //!
-//! The six columns per block, in order: **tags** (run-length pairs
+//! The eight columns per block, in order: **tags** (run-length pairs
 //! `u8:tag varint:run`), **objs** (varint dictionary ids, one per
 //! install/remove), **pcs** (zigzag-delta varints, one per write),
 //! **bas** (zigzag-delta varints, one per install/remove/write),
-//! **lens** (zigzag varints of `ea − ba`, same events as `bas`), and
-//! **funcs** (varint function ids, one per enter/exit). Delta state
-//! resets at block boundaries, so blocks decode independently.
+//! **lens** (zigzag varints of `ea − ba`, same events as `bas`),
+//! **funcs** (varint function ids, one per enter/exit), **values**
+//! (zigzag-delta varints of the written value, one per write), and
+//! **olds** (likewise for the overwritten value). Delta state resets at
+//! block boundaries, so blocks decode independently.
+//!
+//! Version 2 is the pre-predicate layout — the same container with only
+//! the first six columns; it still decodes, with write values and olds
+//! zero-filled.
 //!
 //! Run-length tags are what remove per-event decode branching: the
 //! reader dispatches once per *run* and then decodes a straight-line
@@ -38,7 +44,10 @@ use crate::event::{Event, ObjectDesc, Trace};
 use std::io::{self, Write};
 
 const MAGIC: &[u8; 4] = b"DBPT";
+/// Legacy columnar version: six columns, no write values.
 const VERSION2: u32 = 2;
+/// Current columnar version: eight columns including values/olds.
+const VERSION4: u32 = 4;
 
 /// Events per column block. 64K events keeps every block's columns in
 /// cache during decode while bounding the delta chains corruption can
@@ -181,7 +190,7 @@ fn event_tag(e: &Event) -> u8 {
     }
 }
 
-/// The six per-block column buffers, reused across blocks.
+/// The eight per-block column buffers, reused across blocks.
 #[derive(Default)]
 struct Columns {
     tags: Vec<u8>,
@@ -190,6 +199,8 @@ struct Columns {
     bas: Vec<u8>,
     lens: Vec<u8>,
     funcs: Vec<u8>,
+    values: Vec<u8>,
+    olds: Vec<u8>,
 }
 
 impl Columns {
@@ -200,6 +211,8 @@ impl Columns {
         self.bas.clear();
         self.lens.clear();
         self.funcs.clear();
+        self.values.clear();
+        self.olds.clear();
     }
 }
 
@@ -227,7 +240,7 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
     }
 
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION2.to_le_bytes())?;
+    w.write_all(&VERSION4.to_le_bytes())?;
     w.write_all(&(meta.len() as u32).to_le_bytes())?;
     w.write_all(meta)?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
@@ -244,6 +257,8 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
         cols.clear();
         let mut prev_pc = 0i64;
         let mut prev_ba = 0i64;
+        let mut prev_value = 0i64;
+        let mut prev_old = 0i64;
         let mut run_tag = 0u8;
         let mut run_len = 0u64;
         for e in block {
@@ -266,12 +281,22 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
                     prev_ba = i64::from(ba);
                     put_varint(&mut cols.lens, zigzag(i64::from(ea) - i64::from(ba)));
                 }
-                Event::Write { pc, ba, ea } => {
+                Event::Write {
+                    pc,
+                    ba,
+                    ea,
+                    value,
+                    old,
+                } => {
                     put_varint(&mut cols.pcs, zigzag(i64::from(pc) - prev_pc));
                     prev_pc = i64::from(pc);
                     put_varint(&mut cols.bas, zigzag(i64::from(ba) - prev_ba));
                     prev_ba = i64::from(ba);
                     put_varint(&mut cols.lens, zigzag(i64::from(ea) - i64::from(ba)));
+                    put_varint(&mut cols.values, zigzag(i64::from(value) - prev_value));
+                    prev_value = i64::from(value);
+                    put_varint(&mut cols.olds, zigzag(i64::from(old) - prev_old));
+                    prev_old = i64::from(old);
                 }
                 Event::Enter { func } | Event::Exit { func } => {
                     put_varint(&mut cols.funcs, u64::from(func));
@@ -290,6 +315,8 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
             &cols.bas,
             &cols.lens,
             &cols.funcs,
+            &cols.values,
+            &cols.olds,
         ] {
             w.write_all(&(col.len() as u32).to_le_bytes())?;
             w.write_all(col)?;
@@ -317,11 +344,12 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
         return Err(TraceCodecError::Malformed("bad magic".into()));
     }
     let version = cur.u32()?;
-    if version != VERSION2 {
+    if version != VERSION2 && version != VERSION4 {
         return Err(TraceCodecError::Malformed(format!(
             "unsupported version {version}"
         )));
     }
+    let has_values = version == VERSION4;
     let meta_len = cur.u32()? as usize;
     if meta_len > cur.remaining() {
         return Err(truncated("meta blob"));
@@ -365,8 +393,15 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
         let mut bas = Cursor::new(cur.segment()?);
         let mut lens = Cursor::new(cur.segment()?);
         let mut funcs = Cursor::new(cur.segment()?);
+        let (mut values, mut olds) = if has_values {
+            (Cursor::new(cur.segment()?), Cursor::new(cur.segment()?))
+        } else {
+            (Cursor::new(&[]), Cursor::new(&[]))
+        };
         let mut prev_pc = 0i64;
         let mut prev_ba = 0i64;
+        let mut prev_value = 0i64;
+        let mut prev_old = 0i64;
         let mut decoded = 0usize;
         while decoded < block_events {
             let tag = tags.u8()?;
@@ -407,7 +442,22 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
                         prev_ba = ba;
                         let len = unzigzag(lens.varint()?);
                         let (ba, ea) = addr_pair(ba, len)?;
-                        trace.push(Event::Write { pc, ba, ea });
+                        let (value, old) = if has_values {
+                            let v = prev_value + unzigzag(values.varint()?);
+                            prev_value = v;
+                            let o = prev_old + unzigzag(olds.varint()?);
+                            prev_old = o;
+                            (word_value(v)?, word_value(o)?)
+                        } else {
+                            (0, 0)
+                        };
+                        trace.push(Event::Write {
+                            pc,
+                            ba,
+                            ea,
+                            value,
+                            old,
+                        });
                     }
                 }
                 TAG_ENTER | TAG_EXIT => {
@@ -433,6 +483,8 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
             (&bas, "bas"),
             (&lens, "lens"),
             (&funcs, "funcs"),
+            (&values, "values"),
+            (&olds, "olds"),
         ] {
             if cur.remaining() != 0 {
                 return Err(TraceCodecError::Malformed(format!(
@@ -453,6 +505,10 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
     Ok((trace, meta))
 }
 
+fn word_value(v: i64) -> Result<u32, TraceCodecError> {
+    u32::try_from(v).map_err(|_| TraceCodecError::Malformed("value delta out of range".into()))
+}
+
 fn addr_pair(ba: i64, len: i64) -> Result<(u32, u32), TraceCodecError> {
     let ea = ba.checked_add(len);
     match (u32::try_from(ba), ea.map(u32::try_from)) {
@@ -463,9 +519,9 @@ fn addr_pair(ba: i64, len: i64) -> Result<(u32, u32), TraceCodecError> {
     }
 }
 
-/// Reads a serialized trace of either binary version from an in-memory
-/// arena: v1 (row-oriented) or v2 (columnar). v1 files carry no meta
-/// blob, so it comes back empty.
+/// Reads a serialized trace of any binary version from an in-memory
+/// arena: row-oriented (v1/v3) or columnar (v2/v4). Row files carry no
+/// meta blob, so it comes back empty.
 ///
 /// # Errors
 ///
@@ -473,7 +529,7 @@ fn addr_pair(ba: i64, len: i64) -> Result<(u32, u32), TraceCodecError> {
 pub fn read_any(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> {
     if bytes.len() >= 8 && &bytes[..4] == MAGIC {
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version == VERSION2 {
+        if version == VERSION2 || version == VERSION4 {
             return read_columnar(bytes);
         }
     }
@@ -502,11 +558,15 @@ mod tests {
                 pc: 0x1_0010,
                 ba: 0xeffff0,
                 ea: 0xeffff4,
+                value: 0xdead_beef,
+                old: 0,
             },
             Event::Write {
                 pc: 0x1_0014,
                 ba: 0xeffff0,
                 ea: 0xeffff1,
+                value: 0x7f,
+                old: 0xef,
             },
             Event::Install {
                 obj: ObjectDesc::Heap { seq: 2 },
@@ -560,6 +620,8 @@ mod tests {
                 pc: 0x100 + (i % 7),
                 ba: 0x1000 + i * 4,
                 ea: 0x1004 + i * 4,
+                value: i.wrapping_mul(2654435761),
+                old: i % 3,
             });
         }
         let mut buf = Vec::new();
@@ -596,6 +658,48 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_six_column_file_decodes_with_zero_filled_values() {
+        // Hand-build a version-2 container: one block, one write event,
+        // six columns (no values/olds).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION2.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // meta_len
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n_events
+        buf.extend_from_slice(&0u32.to_le_bytes()); // dict_len
+        buf.extend_from_slice(&1u32.to_le_bytes()); // n_blocks
+        buf.extend_from_slice(&1u32.to_le_bytes()); // block_events
+        let mut tags = Vec::new();
+        tags.push(TAG_WRITE);
+        put_varint(&mut tags, 1);
+        let mut pcs = Vec::new();
+        put_varint(&mut pcs, zigzag(0x1_0010));
+        let mut bas = Vec::new();
+        put_varint(&mut bas, zigzag(0x10_0000));
+        let mut lens = Vec::new();
+        put_varint(&mut lens, zigzag(4));
+        for col in [&tags, &Vec::new(), &pcs, &bas, &lens, &Vec::new()] {
+            buf.extend_from_slice(&(col.len() as u32).to_le_bytes());
+            buf.extend_from_slice(col);
+        }
+        let (t, meta) = read_columnar(&buf).unwrap();
+        assert!(meta.is_empty());
+        assert_eq!(
+            t.events(),
+            &[Event::Write {
+                pc: 0x1_0010,
+                ba: 0x10_0000,
+                ea: 0x10_0004,
+                value: 0,
+                old: 0,
+            }]
+        );
+        // read_any dispatches legacy columnar files too.
+        let (t2, _) = read_any(&buf).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
     fn read_any_dispatches_on_version() {
         let t = sample_trace();
         let mut v1 = Vec::new();
@@ -618,6 +722,8 @@ mod tests {
                 pc: 0x200,
                 ba: 0x1000 + (i % 64) * 4,
                 ea: 0x1004 + (i % 64) * 4,
+                value: i % 100,
+                old: (i % 100).wrapping_sub(1),
             });
         }
         let mut v1 = Vec::new();

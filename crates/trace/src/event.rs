@@ -80,6 +80,13 @@ pub enum Event {
         ba: u32,
         /// Ending address (exclusive).
         ea: u32,
+        /// The value written, masked to the store width — the input to
+        /// predicate evaluation and trace queries.
+        value: u32,
+        /// The value the target held before the write, masked to the
+        /// store width. Traces written by pre-predicate codec versions
+        /// decode with `value = old = 0`.
+        old: u32,
     },
     /// Control entered function `func` (frame established).
     Enter {
@@ -259,11 +266,15 @@ mod tests {
                 pc: 0,
                 ba: 0,
                 ea: 4,
+                value: 1,
+                old: 0,
             },
             Event::Write {
                 pc: 4,
                 ba: 8,
                 ea: 9,
+                value: 2,
+                old: 1,
             },
             Event::Exit { func: 0 },
             Event::Remove {
@@ -301,7 +312,9 @@ mod tests {
         assert!(Event::Write {
             pc: 0,
             ba: 0,
-            ea: 1
+            ea: 1,
+            value: 0,
+            old: 0
         }
         .is_write());
         assert!(!Event::Enter { func: 0 }.is_write());

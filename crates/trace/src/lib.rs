@@ -34,7 +34,7 @@
 //!
 //! let trace = Trace::from_events(vec![
 //!     Event::Install { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
-//!     Event::Write { pc: 0x1_0000, ba: 0x10_0000, ea: 0x10_0004 },
+//!     Event::Write { pc: 0x1_0000, ba: 0x10_0000, ea: 0x10_0004, value: 42, old: 0 },
 //!     Event::Remove { obj: ObjectDesc::Global { id: 0 }, ba: 0x10_0000, ea: 0x10_0004 },
 //! ]);
 //! assert_eq!(trace.stats().writes, 1);

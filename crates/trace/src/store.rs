@@ -131,6 +131,8 @@ mod tests {
                 pc: 0x40,
                 ba: 0x1000,
                 ea: 0x1004,
+                value: 9,
+                old: 3,
             },
             Event::Remove {
                 obj: ObjectDesc::Global { id: 1 },

@@ -260,6 +260,8 @@ mod tests {
             pc: 0,
             ba,
             ea: ba + 4,
+            value: 0,
+            old: 0,
         }
     }
 

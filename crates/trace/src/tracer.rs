@@ -221,6 +221,8 @@ impl<S: EventSink> Hooks for Tracer<S> {
             pc: ev.pc,
             ba: ev.addr,
             ea: ev.addr + ev.len,
+            value: ev.value,
+            old: ev.old,
         });
     }
 
@@ -320,11 +322,15 @@ mod tests {
             pc: CODE_BASE + 4,
             addr: DATA_BASE,
             len: 4,
+            value: 0,
+            old: 0,
         });
         tr.on_store(&StoreEvent {
             pc: CODE_BASE + 8,
             addr: DATA_BASE,
             len: 4,
+            value: 0,
+            old: 0,
         });
         let t = tr.finish();
         assert_eq!(t.stats().writes, 1, "only the traced store appears");

@@ -23,11 +23,20 @@ fn any_event() -> impl Strategy<Value = Event> {
             ba,
             ea
         }),
-        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(pc, ba, ea)| Event::Write {
-            pc,
-            ba,
-            ea
-        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(pc, ba, ea, value, old)| Event::Write {
+                pc,
+                ba,
+                ea,
+                value,
+                old
+            }),
         any::<u16>().prop_map(|func| Event::Enter { func }),
         any::<u16>().prop_map(|func| Event::Exit { func }),
     ]

@@ -24,11 +24,20 @@ fn arb_event() -> impl Strategy<Value = Event> {
             ba,
             ea: ba.saturating_add(len)
         }),
-        (any::<u32>(), any::<u32>(), 0u32..16).prop_map(|(pc, ba, len)| Event::Write {
-            pc,
-            ba,
-            ea: ba.saturating_add(len)
-        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            0u32..16,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(pc, ba, len, value, old)| Event::Write {
+                pc,
+                ba,
+                ea: ba.saturating_add(len),
+                value,
+                old
+            }),
         (0u16..64).prop_map(|func| Event::Enter { func }),
         (0u16..64).prop_map(|func| Event::Exit { func }),
     ]

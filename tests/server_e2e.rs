@@ -54,6 +54,7 @@ fn batch_is_byte_identical_to_one_shot_and_caches_duplicates() {
         strategies: vec![Approach::Cp],
         page_sizes: Vec::new(),
         overheads: true,
+        query: None,
     };
     let c = Request {
         id: "c".to_string(),
@@ -62,6 +63,7 @@ fn batch_is_byte_identical_to_one_shot_and_caches_duplicates() {
         strategies: vec![Approach::Cp, Approach::Tp],
         page_sizes: Vec::new(),
         overheads: false,
+        query: None,
     };
     let d = Request::simple("d", "cc", Scale::Small);
     let batch = vec![a.clone(), b.clone(), c.clone(), d.clone()];
@@ -139,6 +141,45 @@ fn batch_is_byte_identical_to_one_shot_and_caches_duplicates() {
         resp_f.body.as_ref().unwrap().to_json(),
         resp.body.as_ref().unwrap().to_json()
     );
+
+    // A trace query against a cached workload is answered from the
+    // trace alone: no phase-1 run, no phase-2 rewalk — zero new
+    // `harness.analyze` (and `harness.reanalyze`) spans.
+    let analyze_q = span_count("harness.analyze");
+    let reanalyze_q = span_count("harness.reanalyze");
+    let rewalks_q = server.stats().cache_rewalks;
+    let mut q1 = Request::simple("q1", "cc", Scale::Small);
+    q1.query = Some("count if value > 0 && writer in main".to_string());
+    let resp_q1 = server
+        .submit(q1.clone())
+        .unwrap_or_else(|_| panic!("queue cannot be full"))
+        .wait();
+    assert!(resp_q1.ok, "{:?}", resp_q1.error);
+    assert_eq!(resp_q1.cache, Some(CacheStatus::Hit));
+    let q1_body = resp_q1.body.as_ref().unwrap().to_json();
+    assert!(q1_body.contains(r#""kind":"count""#), "{q1_body}");
+    assert_eq!(
+        span_count("harness.analyze"),
+        analyze_q,
+        "a cached-trace query ran phase 1 zero times"
+    );
+    assert_eq!(
+        span_count("harness.reanalyze"),
+        reanalyze_q,
+        "a cached-trace query ran phase 2 zero times"
+    );
+    assert_eq!(server.stats().cache_rewalks, rewalks_q);
+
+    // Resubmitting the same query yields byte-identical response
+    // bodies: query answers are deterministic functions of the trace.
+    let mut q2 = q1.clone();
+    q2.id = "q2".to_string();
+    let resp_q2 = server
+        .submit(q2)
+        .unwrap_or_else(|_| panic!("queue cannot be full"))
+        .wait();
+    assert!(resp_q2.ok);
+    assert_eq!(resp_q2.body.as_ref().unwrap().to_json(), q1_body);
 
     let stats = server.stats();
     assert!(
