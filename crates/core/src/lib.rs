@@ -48,8 +48,8 @@ pub use monitor::{Monitor, MonitorId, Notification, WmsError};
 pub use pagemap::PageMap;
 pub use plan::{MonitorEverything, MonitorPlan, NoMonitors, RangePlan};
 pub use predicate::{
-    CompiledPredicate, PredEval, Predicate, PredicateError, WriterMap, MAX_PREDICATE_DEPTH,
-    NO_WRITER,
+    CompiledPredicate, PredEval, Predicate, PredicateError, WriteSpan, WriterMap,
+    MAX_PREDICATE_DEPTH, NO_WRITER,
 };
 pub use service::{Wms, WmsCounters};
 pub use strategy::{

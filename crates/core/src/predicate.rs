@@ -343,6 +343,271 @@ impl Expr<u16> {
 }
 
 // ---------------------------------------------------------------------
+// Interval abstract evaluation (block-level refutation)
+// ---------------------------------------------------------------------
+
+/// An inclusive `i64` interval — the abstract domain block-level
+/// refutation evaluates predicates in. `TOP` is the full range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i64,
+    hi: i64,
+}
+
+const TOP: Iv = Iv {
+    lo: i64::MIN,
+    hi: i64::MAX,
+};
+
+impl Iv {
+    fn point(v: i64) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    fn bool_any() -> Iv {
+        Iv { lo: 0, hi: 1 }
+    }
+
+    fn contains_zero(self) -> bool {
+        self.lo <= 0 && 0 <= self.hi
+    }
+
+    fn is_zero(self) -> bool {
+        self == Iv::point(0)
+    }
+
+    fn singleton(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Tri-state boolean as an interval: definitely-false `[0,0]`,
+    /// definitely-true `[1,1]`, unknown `[0,1]`.
+    fn tri(t: Option<bool>) -> Iv {
+        match t {
+            Some(true) => Iv::point(1),
+            Some(false) => Iv::point(0),
+            None => Iv::bool_any(),
+        }
+    }
+
+    fn add(self, b: Iv) -> Iv {
+        match (self.lo.checked_add(b.lo), self.hi.checked_add(b.hi)) {
+            (Some(lo), Some(hi)) => Iv { lo, hi },
+            _ => TOP,
+        }
+    }
+
+    fn sub(self, b: Iv) -> Iv {
+        match (self.lo.checked_sub(b.hi), self.hi.checked_sub(b.lo)) {
+            (Some(lo), Some(hi)) => Iv { lo, hi },
+            _ => TOP,
+        }
+    }
+
+    fn mul(self, b: Iv) -> Iv {
+        // A product over a box attains its extremes at the corners; if
+        // every corner is representable, so is every interior product.
+        let corners = [
+            self.lo.checked_mul(b.lo),
+            self.lo.checked_mul(b.hi),
+            self.hi.checked_mul(b.lo),
+            self.hi.checked_mul(b.hi),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for c in corners {
+            match c {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return TOP,
+            }
+        }
+        Iv { lo, hi }
+    }
+
+    fn div(self, b: Iv) -> Iv {
+        // Exact only on singletons (matching the total `/`: b == 0 → 0);
+        // anything wider is conservatively TOP.
+        match (self.singleton(), b.singleton()) {
+            (Some(_), Some(0)) => Iv::point(0),
+            (Some(a), Some(b)) => Iv::point(a.wrapping_div(b)),
+            _ => TOP,
+        }
+    }
+
+    fn rem(self, b: Iv) -> Iv {
+        match (self.singleton(), b.singleton()) {
+            (Some(_), Some(0)) => Iv::point(0),
+            (Some(a), Some(b)) => Iv::point(a.wrapping_rem(b)),
+            _ if self.lo >= 0 && b.lo >= 1 => Iv {
+                lo: 0,
+                hi: b.hi - 1,
+            },
+            _ => TOP,
+        }
+    }
+
+    fn neg(self) -> Iv {
+        match (self.hi.checked_neg(), self.lo.checked_neg()) {
+            (Some(lo), Some(hi)) => Iv { lo, hi },
+            _ => TOP,
+        }
+    }
+
+    fn lt(self, b: Iv) -> Iv {
+        if self.hi < b.lo {
+            Iv::point(1)
+        } else if self.lo >= b.hi {
+            Iv::point(0)
+        } else {
+            Iv::bool_any()
+        }
+    }
+
+    fn le(self, b: Iv) -> Iv {
+        if self.hi <= b.lo {
+            Iv::point(1)
+        } else if self.lo > b.hi {
+            Iv::point(0)
+        } else {
+            Iv::bool_any()
+        }
+    }
+
+    fn eq(self, b: Iv) -> Iv {
+        if self.hi < b.lo || b.hi < self.lo {
+            Iv::point(0)
+        } else if let (Some(a), Some(b)) = (self.singleton(), b.singleton()) {
+            Iv::point(i64::from(a == b))
+        } else {
+            Iv::bool_any()
+        }
+    }
+
+    fn not(self) -> Iv {
+        if self.is_zero() {
+            Iv::point(1)
+        } else if !self.contains_zero() {
+            Iv::point(0)
+        } else {
+            Iv::bool_any()
+        }
+    }
+}
+
+/// Per-block write ranges a predicate is refuted against: inclusive
+/// min/max of the written value, the overwritten value, and the `hits`
+/// counter values the block's writes will observe. A query engine
+/// derives `hits` from cumulative per-block write counts (zone maps),
+/// so skipped blocks still advance the counter exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSpan {
+    /// Inclusive `(min, max)` of written values in the block.
+    pub value: (u32, u32),
+    /// Inclusive `(min, max)` of overwritten values in the block.
+    pub old: (u32, u32),
+    /// Inclusive `(min, max)` of the 1-based `hits` ordinal across the
+    /// block's writes.
+    pub hits: (u64, u64),
+}
+
+impl Expr<u16> {
+    /// Interval abstract evaluation: returns an interval guaranteed to
+    /// contain [`Expr::eval`]'s result for every concrete
+    /// `(value, old, hits, writer)` consistent with `span` and
+    /// `writer_in` — the soundness invariant block skipping rests on.
+    fn range_eval(&self, span: &WriteSpan, writer_in: &mut dyn FnMut(u16) -> Option<bool>) -> Iv {
+        match self {
+            Expr::Value => Iv {
+                lo: i64::from(span.value.0),
+                hi: i64::from(span.value.1),
+            },
+            Expr::Old => Iv {
+                lo: i64::from(span.old.0),
+                hi: i64::from(span.old.1),
+            },
+            // Concrete eval clamps hits to i64::MAX, so saturating here
+            // matches it exactly.
+            Expr::Hits => Iv {
+                lo: i64::try_from(span.hits.0).unwrap_or(i64::MAX),
+                hi: i64::try_from(span.hits.1).unwrap_or(i64::MAX),
+            },
+            Expr::Lit(n) => Iv::point(*n),
+            Expr::WriterIn(f) => Iv::tri(writer_in(*f)),
+            Expr::Not(e) => e.range_eval(span, writer_in).not(),
+            Expr::Neg(e) => e.range_eval(span, writer_in).neg(),
+            Expr::Bin(op, l, r) => {
+                let a = l.range_eval(span, writer_in);
+                let b = r.range_eval(span, writer_in);
+                match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    BinOp::Div => a.div(b),
+                    BinOp::Rem => a.rem(b),
+                    BinOp::Eq => a.eq(b),
+                    BinOp::Ne => a.eq(b).not(),
+                    BinOp::Lt => a.lt(b),
+                    BinOp::Le => a.le(b),
+                    BinOp::Gt => b.lt(a),
+                    BinOp::Ge => b.le(a),
+                    // Concrete `&&`/`||` return 0 or 1 with
+                    // short-circuit; the abstraction only needs
+                    // zero-membership of each side.
+                    BinOp::And => {
+                        if a.is_zero() || b.is_zero() {
+                            Iv::point(0)
+                        } else if !a.contains_zero() && !b.contains_zero() {
+                            Iv::point(1)
+                        } else {
+                            Iv::bool_any()
+                        }
+                    }
+                    BinOp::Or => {
+                        if !a.contains_zero() || !b.contains_zero() {
+                            Iv::point(1)
+                        } else if a.is_zero() && b.is_zero() {
+                            Iv::point(0)
+                        } else {
+                            Iv::bool_any()
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn uses_value(&self) -> bool {
+        match self {
+            Expr::Value => true,
+            Expr::Old | Expr::Hits | Expr::Lit(_) | Expr::WriterIn(_) => false,
+            Expr::Not(e) | Expr::Neg(e) => e.uses_value(),
+            Expr::Bin(_, l, r) => l.uses_value() || r.uses_value(),
+        }
+    }
+
+    fn uses_old(&self) -> bool {
+        match self {
+            Expr::Old => true,
+            Expr::Value | Expr::Hits | Expr::Lit(_) | Expr::WriterIn(_) => false,
+            Expr::Not(e) | Expr::Neg(e) => e.uses_old(),
+            Expr::Bin(_, l, r) => l.uses_old() || r.uses_old(),
+        }
+    }
+
+    fn uses_writer(&self) -> bool {
+        match self {
+            Expr::WriterIn(_) => true,
+            Expr::Value | Expr::Old | Expr::Hits | Expr::Lit(_) => false,
+            Expr::Not(e) | Expr::Neg(e) => e.uses_writer(),
+            Expr::Bin(_, l, r) => l.uses_writer() || r.uses_writer(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Tokenizer
 // ---------------------------------------------------------------------
 
@@ -826,6 +1091,51 @@ impl CompiledPredicate {
             != 0
     }
 
+    /// True when the predicate reads `value`.
+    pub fn uses_value(&self) -> bool {
+        self.root.uses_value()
+    }
+
+    /// True when the predicate reads `old`.
+    pub fn uses_old(&self) -> bool {
+        self.root.uses_old()
+    }
+
+    /// True when the predicate has any `writer in f` filter.
+    pub fn uses_writer(&self) -> bool {
+        self.root.uses_writer()
+    }
+
+    /// Decides the predicate over a whole *range* of writes at once —
+    /// the block-level pushdown test. `span` bounds the written/old
+    /// values and the `hits` ordinals the writes will observe;
+    /// `writer_in(f)` answers whether the writes' writer can/must be
+    /// `f`: `Some(true)` = every write's writer is `f`, `Some(false)` =
+    /// no write's writer is `f`, `None` = mixed or unknown.
+    ///
+    /// Returns `Some(false)` when **no** write in the span can satisfy
+    /// the predicate (the block is refutable and need not be decoded),
+    /// `Some(true)` when **every** write must satisfy it, and `None`
+    /// when the range is inconclusive. Sound by interval abstraction:
+    /// each subexpression evaluates to an interval that contains its
+    /// concrete value for every write consistent with the inputs, so a
+    /// definite answer here can never disagree with per-event
+    /// evaluation.
+    pub fn decide_over(
+        &self,
+        span: &WriteSpan,
+        writer_in: &mut dyn FnMut(u16) -> Option<bool>,
+    ) -> Option<bool> {
+        let iv = self.root.range_eval(span, writer_in);
+        if iv.is_zero() {
+            Some(false)
+        } else if !iv.contains_zero() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
     /// True when the predicate provably evaluates to false for *every*
     /// write a site can perform, given what is statically known:
     /// `value` when the stored value is a compile-time constant (already
@@ -905,6 +1215,14 @@ impl WriterMap {
         } else {
             self.starts[idx - 1].1
         }
+    }
+
+    /// The sorted `(entry_pc, func_id)` segments: pcs in
+    /// `[entry_i, entry_{i+1})` belong to `func_id_i`. Block-level
+    /// refutation walks these to bound which functions a pc *range* can
+    /// touch.
+    pub fn segments(&self) -> &[(u32, u16)] {
+        &self.starts
     }
 }
 
@@ -1159,5 +1477,130 @@ mod tests {
             }
             let _ = Predicate::parse(&src); // must not panic
         }
+    }
+
+    #[test]
+    fn decide_over_refutes_and_affirms_ranges() {
+        let span = |vlo, vhi| WriteSpan {
+            value: (vlo, vhi),
+            old: (0, u32::MAX),
+            hits: (1, 1000),
+        };
+        let p = compiled("value > 100");
+        assert_eq!(p.decide_over(&span(0, 100), &mut |_| None), Some(false));
+        assert_eq!(p.decide_over(&span(101, 500), &mut |_| None), Some(true));
+        assert_eq!(p.decide_over(&span(50, 500), &mut |_| None), None);
+
+        // Writer tri-state: `put` is id 1.
+        let p = compiled("writer in put");
+        assert_eq!(
+            p.decide_over(&span(0, 0), &mut |f| Some(f == 1)),
+            Some(true)
+        );
+        assert_eq!(
+            p.decide_over(&span(0, 0), &mut |_| Some(false)),
+            Some(false)
+        );
+        assert_eq!(p.decide_over(&span(0, 0), &mut |_| None), None);
+
+        // hits bounds refute hits-only predicates per block.
+        let p = compiled("hits > 5000");
+        assert_eq!(p.decide_over(&span(0, 0), &mut |_| None), Some(false));
+        let wide = WriteSpan {
+            value: (0, 0),
+            old: (0, 0),
+            hits: (5001, 6000),
+        };
+        assert_eq!(p.decide_over(&wide, &mut |_| None), Some(true));
+
+        // Conjunction: one refuted side kills the block even when the
+        // other is unknown.
+        let p = compiled("value > 100 && old == 3");
+        assert_eq!(p.decide_over(&span(0, 90), &mut |_| None), Some(false));
+        assert_eq!(p.decide_over(&span(101, 500), &mut |_| None), None);
+
+        // Arithmetic stays sound under potential overflow: intervals
+        // widen to TOP rather than pretending wrapping is monotonic.
+        let p = compiled("value * value * value > 0");
+        assert_eq!(p.decide_over(&span(0, u32::MAX), &mut |_| None), None);
+    }
+
+    #[test]
+    fn column_introspection() {
+        let p = compiled("value > 1 && writer in put");
+        assert!(p.uses_value() && p.uses_writer());
+        assert!(!p.uses_old() && !p.uses_hits());
+        let p = compiled("old % 2 == hits % 2");
+        assert!(p.uses_old() && p.uses_hits());
+        assert!(!p.uses_value() && !p.uses_writer());
+    }
+
+    /// Interval soundness, sampled: for random predicates over random
+    /// spans, a definite `decide_over` answer must agree with concrete
+    /// evaluation at every sampled point inside the span.
+    #[test]
+    fn decide_over_agrees_with_concrete_eval() {
+        let pool = [
+            "value > 1000",
+            "value + old > 1000",
+            "value - old == 1",
+            "value * 2 >= old",
+            "value % 7 == 3",
+            "value / 2 > old",
+            "hits % 2 == 0",
+            "hits > 10 && value < 50",
+            "writer in put || value == 0",
+            "!(value > 10) && old <= 5",
+            "-value < -10",
+            "value == old",
+            "value != 0 || old != 0",
+            "(value + 1) * (old + 1) > 100",
+        ];
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..400 {
+            let p = compiled(pool[(rng() % pool.len() as u64) as usize]);
+            let a = (rng() % 2000) as u32;
+            let b = (rng() % 2000) as u32;
+            let (vlo, vhi) = (a.min(b), a.max(b));
+            let a = (rng() % 2000) as u32;
+            let b = (rng() % 2000) as u32;
+            let (olo, ohi) = (a.min(b), a.max(b));
+            let hlo = 1 + rng() % 100;
+            let hhi = hlo + rng() % 100;
+            let span = WriteSpan {
+                value: (vlo, vhi),
+                old: (olo, ohi),
+                hits: (hlo, hhi),
+            };
+            // Writer is either pinned to one id or unknown.
+            let pinned = (rng() % 2 == 0).then(|| (rng() % 3) as u16);
+            let decided = p.decide_over(&span, &mut |f| pinned.map(|w| w == f));
+            let Some(want) = decided else { continue };
+            for _ in 0..64 {
+                let value = vlo + (rng() % (u64::from(vhi - vlo) + 1)) as u32;
+                let old = olo + (rng() % (u64::from(ohi - olo) + 1)) as u32;
+                let hits = hlo + rng() % (hhi - hlo + 1);
+                let writer = pinned.unwrap_or((rng() % 4) as u16);
+                assert_eq!(
+                    p.eval(value, old, hits, writer),
+                    want,
+                    "{} decided {want} over {span:?} but concrete \
+                     (v={value}, o={old}, h={hits}, w={writer}) disagrees",
+                    p.src()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writer_map_segments_are_sorted() {
+        let wm = WriterMap::new([(0x100, 2), (0x40, 0), (0x80, 1)]);
+        assert_eq!(wm.segments(), &[(0x40, 0), (0x80, 1), (0x100, 2)]);
     }
 }

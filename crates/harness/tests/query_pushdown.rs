@@ -1,0 +1,244 @@
+//! Differential query-pushdown suite: random queries × random traces ×
+//! random block boundaries, three independent answer paths, one result.
+//!
+//! For every generated (trace, query, block size) triple, the
+//! event-at-a-time engine ([`databp_sim::run_query`]) is the oracle and
+//! the zone-mapped pushdown scan ([`databp_sim::scan_query`]) must
+//! reproduce its `QueryResult` exactly — sequentially (`jobs = 1`) and
+//! with a parallel block fan-out (`jobs = 4`), over trailered files,
+//! trailer-less files, and files whose zone-map trailer has been
+//! corrupted (which must degrade to a full scan, never a wrong
+//! answer). Accounting invariants ride along: every block is either
+//! scanned or skipped, and the write total matches the trace.
+
+use databp_core::WriterMap;
+use databp_sim::{run_query, scan_query};
+use databp_trace::{write_columnar_with, Event, ObjectDesc, Trace, WriteOpts};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let write =
+        (0u32..0x400, 0u32..0x8000, any::<u32>(), any::<u32>()).prop_map(|(pc, ba, value, old)| {
+            Event::Write {
+                pc: 0x1000 + pc * 4,
+                ba: 0x10_0000 + ba * 4,
+                ea: 0x10_0000 + ba * 4 + 4,
+                value,
+                old,
+            }
+        });
+    prop_oneof![
+        // Writes dominate real traces and are all a query inspects:
+        // repeating the strategy weights the choice toward them.
+        write.clone(),
+        write.clone(),
+        write.clone(),
+        write.clone(),
+        write,
+        (1u32..64, 0u32..0x100).prop_map(|(id, ba)| Event::Install {
+            obj: ObjectDesc::Global { id },
+            ba: 0x20_0000 + ba * 16,
+            ea: 0x20_0000 + ba * 16 + 16,
+        }),
+        (1u32..64, 0u32..0x100).prop_map(|(id, ba)| Event::Remove {
+            obj: ObjectDesc::Global { id },
+            ba: 0x20_0000 + ba * 16,
+            ea: 0x20_0000 + ba * 16 + 16,
+        }),
+        (0u16..8).prop_map(|f| Event::Enter { func: f }),
+        (0u16..8).prop_map(|f| Event::Exit { func: f }),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_event(), 0..600).prop_map(Trace::from_events)
+}
+
+/// Query pool: every aggregation, predicates over every term the zone
+/// maps bound (`value`, `old`, `hits`, `writer`), plus arithmetic the
+/// interval evaluator must stay conservative on.
+fn arb_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("count".to_string()),
+        Just("first".to_string()),
+        Just("last".to_string()),
+        Just("hist".to_string()),
+        Just("watch".to_string()),
+        (0usize..5, any::<u32>()).prop_map(|(agg, k)| {
+            let agg = ["count", "first", "last", "hist", "watch"][agg];
+            format!("{agg} if value > {k}")
+        }),
+        (0u32..0x100).prop_map(|k| format!("count if old < {k}")),
+        (0u64..3000).prop_map(|k| format!("count if hits > {k}")),
+        (0u64..3000).prop_map(|k| format!("first if hits > {k}")),
+        (0u16..8).prop_map(|f| format!("count if writer in f{f}")),
+        (0u16..8, any::<u32>())
+            .prop_map(|(f, k)| format!("last if writer in f{f} && value <= {k}")),
+        (any::<u32>()).prop_map(|k| format!("hist if value - old > {k}")),
+        (1u32..64).prop_map(|k| format!("count if value % {k} == 0")),
+        Just("count if value == old + 1".to_string()),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| format!(
+            "watch if value > {} && old < {}",
+            a.min(b),
+            a.max(b)
+        )),
+    ]
+}
+
+/// Function entries spread across the generated pc range so `writer in`
+/// predicates see below-first-entry pcs, interior segments, and a
+/// duplicate entry (last id wins).
+fn writer_map() -> WriterMap {
+    WriterMap::new([
+        (0x1100, 0u16),
+        (0x1300, 1u16),
+        (0x1300, 2u16),
+        (0x1500, 3u16),
+        (0x1900, 4u16),
+        (0x2000, 5u16),
+    ])
+}
+
+fn resolve(name: &str) -> Option<u16> {
+    name.strip_prefix('f').and_then(|s| s.parse().ok())
+}
+
+fn encoded(trace: &Trace, block_events: usize, zone_maps: bool) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_columnar_with(
+        trace,
+        b"pushdown-suite",
+        &mut buf,
+        WriteOpts {
+            block_events,
+            zone_maps,
+        },
+    )
+    .expect("in-memory encode");
+    buf
+}
+
+fn check_all_paths(trace: &Trace, bytes: &[u8], query: &str, ctx: &str) {
+    let writers = writer_map();
+    let want = run_query(query, trace.events(), resolve, writers.clone())
+        .expect("oracle accepts every generated query");
+    let n_writes = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Write { .. }))
+        .count() as u64;
+    for jobs in [1usize, 4] {
+        let (got, stats) = scan_query(bytes, query, resolve, &writers, jobs)
+            .expect("pushdown accepts every generated query");
+        assert_eq!(got, want, "{ctx}: `{query}` diverged with jobs={jobs}");
+        assert_eq!(
+            stats.writes, n_writes,
+            "{ctx}: `{query}` write accounting diverged with jobs={jobs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equality: full scan == pushdown == parallel merge,
+    /// under random block boundaries.
+    #[test]
+    fn pushdown_matches_full_scan(
+        trace in arb_trace(),
+        query in arb_query(),
+        block_events in 1usize..96,
+    ) {
+        let bytes = encoded(&trace, block_events, true);
+        check_all_paths(&trace, &bytes, &query, "trailered");
+    }
+
+    /// Files written without zone maps answer identically (every block
+    /// scanned — old-writer/new-reader compatibility).
+    #[test]
+    fn trailerless_file_matches_full_scan(
+        trace in arb_trace(),
+        query in arb_query(),
+        block_events in 1usize..96,
+    ) {
+        let bytes = encoded(&trace, block_events, false);
+        check_all_paths(&trace, &bytes, &query, "trailer-less");
+        let (_, stats) =
+            scan_query(&bytes, &query, resolve, &writer_map(), 1).unwrap();
+        let n_blocks = (trace.len() as u64).div_ceil(block_events as u64);
+        prop_assert_eq!(stats.blocks_scanned + stats.blocks_skipped, n_blocks);
+        // Without zone maps nothing can be *refuted*; only the
+        // `first`/`last` short-circuit may leave blocks undecoded.
+        if !query.starts_with("first") && !query.starts_with("last") {
+            prop_assert_eq!(stats.blocks_skipped, 0, "no zones, nothing may be skipped");
+        }
+    }
+
+    /// Corrupting any single byte of the zone-map trailer never changes
+    /// an answer: the reader either keeps a checksum-valid trailer or
+    /// falls back to scanning every block.
+    #[test]
+    fn trailer_corruption_never_changes_an_answer(
+        trace in arb_trace(),
+        query in arb_query(),
+        block_events in 1usize..96,
+        flip in any::<u8>(),
+        at in any::<u16>(),
+    ) {
+        let plain = encoded(&trace, block_events, false);
+        let mut bytes = encoded(&trace, block_events, true);
+        // The trailer is always emitted (even for an empty trace).
+        let trailer_len = bytes.len() - plain.len();
+        prop_assert!(trailer_len > 0);
+        let at = bytes.len() - 1 - (usize::from(at) % trailer_len);
+        bytes[at] ^= flip | 1; // always a real flip
+        check_all_paths(&trace, &bytes, &query, "corrupted trailer");
+    }
+
+    /// Truncating the trailer (still a decodable event section) also
+    /// degrades to a correct full scan.
+    #[test]
+    fn trailer_truncation_never_changes_an_answer(
+        trace in arb_trace(),
+        query in arb_query(),
+        block_events in 1usize..96,
+        keep in any::<u16>(),
+    ) {
+        let plain = encoded(&trace, block_events, true);
+        let trailer_start = encoded(&trace, block_events, false).len();
+        let trailer_len = plain.len() - trailer_start;
+        prop_assert!(trailer_len > 1);
+        // Keep a strict, nonzero prefix of the trailer.
+        let keep = 1 + usize::from(keep) % (trailer_len - 1);
+        let bytes = &plain[..trailer_start + keep];
+        check_all_paths(&trace, bytes, &query, "truncated trailer");
+    }
+}
+
+/// Deterministic spot-check that skipping actually happens on the kind
+/// of selective query the CI smoke step sends — the differential
+/// properties above prove equality, this proves the "push" in pushdown.
+#[test]
+fn selective_query_skips_blocks() {
+    let mut evs = Vec::new();
+    for i in 0u32..1000 {
+        evs.push(Event::Write {
+            pc: 0x1000 + (i % 7) * 4,
+            ba: 0x10_0000 + i * 4,
+            ea: 0x10_0000 + i * 4 + 4,
+            value: i,
+            old: 0,
+        });
+    }
+    let trace = Trace::from_events(evs);
+    let bytes = encoded(&trace, 64, true);
+    let writers = writer_map();
+    let (result, stats) = scan_query(&bytes, "count if value > 950", resolve, &writers, 4).unwrap();
+    let want = run_query("count if value > 950", trace.events(), resolve, writers).unwrap();
+    assert_eq!(result, want);
+    assert!(
+        stats.blocks_skipped >= 14,
+        "a selective query over 16 blocks must skip most of them, skipped {}",
+        stats.blocks_skipped
+    );
+}

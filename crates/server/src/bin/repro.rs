@@ -40,16 +40,19 @@
 //!   query Q [W...]  run the online trace query Q (`<agg> [if <pred>]`,
 //!                aggs: count, first, last, hist, watch) over the
 //!                phase-1 trace of each named workload (default: the
-//!                bench corpus); when Q carries a predicate, a
-//!                predicated CodePatch pass follows, printing the
-//!                cp.pred_filtered / cp.pred_fired counters in
-//!                greppable `key=value` form
+//!                bench corpus) as a columnar pushdown scan — zone-maps
+//!                skip refuted blocks undecoded; the per-workload
+//!                query.blocks_scanned / query.blocks_skipped stats
+//!                print in greppable `key=value` form; when Q carries a
+//!                predicate, a predicated CodePatch pass follows,
+//!                printing the cp.pred_filtered / cp.pred_fired
+//!                counters the same way
 //!   verify       run the DESIGN.md fidelity checklist (exit 1 on failure)
 //!   perfgate     compare results/perf.json against results/perf.prev.json
 //!                and fail if `harness.analyze` or `sim.replay`
-//!                regressed — or the service-mix
-//!                `server.batch_throughput` or the static-elision
-//!                `cp.elision_rate` dropped — more than
+//!                or the pushdown `query.ns_per_event` regressed — or
+//!                the service-mix `server.batch_throughput` or the
+//!                static-elision `cp.elision_rate` dropped — more than
 //!                PERF_GATE_TOLERANCE_PCT percent (default 25);
 //!                missing or unparsable snapshots pass (first-run
 //!                friendly)
@@ -68,7 +71,10 @@
 //!   trace W F    run workload W and save its phase-1 trace to file F
 //!                (columnar DBPT v2 when F ends in .dbpt, v1 binary when
 //!                .bin, text otherwise)
-//!   trace dump F     decode a trace file (any format) and print it as text
+//!   trace dump [--meta] F  decode a trace file (any format) and print it
+//!                as text; --meta prints the columnar header, meta blob,
+//!                and per-block zone-map summary without decoding any
+//!                event column
 //!   trace convert I O  re-encode trace file I as O (format by extension,
 //!                as for `trace W F`); v1→v2 conversion is lossless
 //!
@@ -565,17 +571,85 @@ fn decode_trace_file(path: &str) -> Result<(databp_trace::Trace, Vec<u8>), Strin
     }
 }
 
+/// `trace dump --meta F`: print a DBPT v2 file's header, meta blob,
+/// dictionary size, and per-block summary (event counts, encoded column
+/// sizes, zone-map ranges) straight off the container framing — no
+/// event column is ever decoded.
+fn trace_dump_meta(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("trace dump: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reader = match databp_trace::ColumnarReader::open(&bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace dump: {path} is not a DBPT columnar file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: DBPT v{}, {} events, {} blocks, {} dict entries, {} meta bytes, zone maps: {}",
+        reader.version(),
+        reader.n_events(),
+        reader.blocks().len(),
+        reader.dict().len(),
+        reader.meta().len(),
+        if reader.zones().is_some() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    if !reader.meta().is_empty() {
+        println!("meta: {}", String::from_utf8_lossy(reader.meta()));
+    }
+    for (i, block) in reader.blocks().iter().enumerate() {
+        let cols = block
+            .column_sizes()
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(name, n)| format!("{name}={n}B"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        print!("block[{i}] events={} {cols}", block.events());
+        if let Some(zones) = reader.zones() {
+            let z = &zones[i];
+            print!(
+                " | writes={} installs={} removes={} enters={} exits={}",
+                z.writes, z.installs, z.removes, z.enters, z.exits
+            );
+            if let Some((lo, hi)) = z.write_pc_range() {
+                print!(" pc=[{lo:#x},{hi:#x}]");
+            }
+            if let Some((lo, hi)) = z.write_value_range() {
+                print!(" value=[{lo},{hi}]");
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `trace` subcommand family: `trace W F` runs a workload and saves
-/// its phase-1 trace; `trace dump F` decodes any trace file to text;
-/// `trace convert I O` re-encodes between the text, v1 binary, and v2
-/// columnar forms.
+/// its phase-1 trace; `trace dump F` decodes any trace file to text
+/// (`--meta` prints the columnar container summary without decoding
+/// event columns); `trace convert I O` re-encodes between the text, v1
+/// binary, and v2 columnar forms.
 fn trace_cmd(args: &[String], opts: &Opts) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("dump") => {
-            let Some(path) = args.get(1) else {
-                eprintln!("usage: repro trace dump <file>");
+            let rest: Vec<&String> = args[1..].iter().filter(|a| *a != "--meta").collect();
+            let meta_only = rest.len() < args.len() - 1;
+            let Some(&path) = rest.first() else {
+                eprintln!("usage: repro trace dump [--meta] <file>");
                 return ExitCode::FAILURE;
             };
+            if meta_only {
+                return trace_dump_meta(path);
+            }
             let (trace, meta) = match decode_trace_file(path) {
                 Ok(out) => out,
                 Err(e) => {
@@ -765,7 +839,12 @@ fn query_cmd(args: &[String], opts: &Opts) -> ExitCode {
     if args.len() > 1 {
         for name in &args[1..] {
             let Some(w) = Workload::by_name(name) else {
-                eprintln!("unknown workload '{name}'");
+                let known: Vec<&str> = Workload::all()
+                    .iter()
+                    .chain(Workload::bench().iter())
+                    .map(|w| w.name)
+                    .collect();
+                eprintln!("unknown workload '{name}'; available: {}", known.join(", "));
                 return ExitCode::FAILURE;
             };
             workloads.push(w);
@@ -794,26 +873,23 @@ fn query_cmd(args: &[String], opts: &Opts) -> ExitCode {
                 .enumerate()
                 .map(|(id, f)| (f.entry_pc, id as u16)),
         );
-        let result = match databp_sim::run_query(
+        let (result, stats) = match databp_sim::scan_query(
+            prepared.columnar_bytes(),
             qsrc,
-            prepared.trace.events(),
             |n| debug.func_id(n),
-            writers,
+            &writers,
+            opts.jobs.max(1),
         ) {
-            Ok(r) => r,
+            Ok(out) => out,
             Err(e) => {
                 eprintln!("query failed on '{name}': {e}");
                 return ExitCode::FAILURE;
             }
         };
+        println!("query[{name}] {result} (writes={})", stats.writes);
         println!(
-            "query[{name}] {result} (writes={})",
-            prepared
-                .trace
-                .events()
-                .iter()
-                .filter(|e| matches!(e, databp_trace::Event::Write { .. }))
-                .count()
+            "query[{name}] query.blocks_scanned={} query.blocks_skipped={}",
+            stats.blocks_scanned, stats.blocks_skipped
         );
         let Some(psrc) = parsed.predicate_src() else {
             continue;
@@ -1069,6 +1145,73 @@ fn perf(opts: &Opts) -> ExitCode {
             .expect("predicated CodePatch run");
         vrows.push(("predicates", t0.elapsed().as_secs_f64(), vclock() - v0));
     }
+
+    // Query phase: the same query mix over the bench corpus' cached
+    // columnar traces, answered twice from the encoded bytes — once by
+    // full decode + the event-at-a-time engine (what the server's query
+    // path did before pushdown), once by the zone-mapped pushdown scan
+    // — so the snapshot carries both `query.ns_per_event` (pushdown,
+    // gated) and `query.fullscan_ns_per_event` (baseline), plus the
+    // `query.blocks_scanned` / `query.blocks_skipped` counters the CI
+    // smoke step pins nonzero.
+    let query_rates = {
+        let t0 = std::time::Instant::now();
+        let v0 = vclock();
+        const QUERIES: &[&str] = &[
+            "count",
+            "count if value > 100000000",
+            "count if value > 1000",
+            "first if value > 100000000",
+            "hist if old < 16",
+        ];
+        const REPS: u32 = 5;
+        let corpus: Vec<databp_workloads::Prepared> = Workload::bench()
+            .into_iter()
+            .map(|w| databp_workloads::prepare(&w.scaled_down()).expect("workload runs"))
+            .collect();
+        let mut full_ns = 0u64;
+        let mut push_ns = 0u64;
+        let mut events = 0u64;
+        for p in &corpus {
+            let debug = &p.plain.debug;
+            let writers = databp_core::WriterMap::new(
+                debug
+                    .functions
+                    .iter()
+                    .enumerate()
+                    .map(|(id, f)| (f.entry_pc, id as u16)),
+            );
+            let bytes = p.columnar_bytes().clone();
+            for q in QUERIES {
+                for _ in 0..REPS {
+                    let t = std::time::Instant::now();
+                    let (decoded, _) =
+                        databp_trace::read_columnar(&bytes).expect("perf trace decodes");
+                    let full = databp_sim::run_query(
+                        q,
+                        decoded.events(),
+                        |n| debug.func_id(n),
+                        writers.clone(),
+                    )
+                    .expect("perf query runs");
+                    full_ns += t.elapsed().as_nanos() as u64;
+                    let t = std::time::Instant::now();
+                    let (pushed, _) =
+                        databp_sim::scan_query(&bytes, q, |n| debug.func_id(n), &writers, 1)
+                            .expect("perf pushdown query runs");
+                    push_ns += t.elapsed().as_nanos() as u64;
+                    assert_eq!(
+                        pushed, full,
+                        "pushdown diverged on `{q}` over {}",
+                        p.workload.name
+                    );
+                    events += p.trace.len() as u64;
+                }
+            }
+        }
+        vrows.push(("queries", t0.elapsed().as_secs_f64(), vclock() - v0));
+        (events, full_ns, push_ns)
+    };
     let wall_secs = wall.elapsed().as_secs_f64();
     eprintln!("workloads done in {wall_secs:.2}s.\n");
 
@@ -1111,6 +1254,20 @@ fn perf(opts: &Opts) -> ExitCode {
     let hoisted = snap.counter("staticopt.stores_hoisted").unwrap_or(0);
     if traced > 0 {
         snap.push_derived("cp.elision_rate", (elided + hoisted) as f64 / traced as f64);
+    }
+    // Query-pushdown latency over the bench corpus (lower is better,
+    // gated) against its own full-scan baseline; the speedup ratio is
+    // the acceptance headline.
+    let (q_events, q_full_ns, q_push_ns) = query_rates;
+    if q_events > 0 {
+        snap.push_derived("query.ns_per_event", q_push_ns as f64 / q_events as f64);
+        snap.push_derived(
+            "query.fullscan_ns_per_event",
+            q_full_ns as f64 / q_events as f64,
+        );
+        if q_push_ns > 0 {
+            snap.push_derived("query.speedup", q_full_ns as f64 / q_push_ns as f64);
+        }
     }
 
     let fmt = opts.telemetry.unwrap_or(TelemetryFormat::Text);
@@ -1225,9 +1382,11 @@ fn load_snapshot(path: &str) -> Result<Option<(Snapshot, String)>, String> {
 /// (one-shot pipeline latency, lower is better), the `sim.replay` span
 /// (lane-packed replay engine latency, lower is better), the
 /// `server.batch_throughput` derived rate (service-mix requests/sec,
-/// higher is better), or the `cp.elision_rate` derived ratio (fraction
+/// higher is better), the `cp.elision_rate` derived ratio (fraction
 /// of traced stores whose check the static pass removes — higher is
-/// better; a drop means the analysis lost precision). A missing or
+/// better; a drop means the analysis lost precision), or the
+/// `query.ns_per_event` derived rate (pushdown query latency over the
+/// bench corpus, lower is better). A missing or
 /// unparsable snapshot on either side passes — a fresh checkout has no
 /// baseline, and that must not break the build.
 fn perfgate() -> ExitCode {
@@ -1338,6 +1497,30 @@ fn perfgate() -> ExitCode {
             }
         }
         _ => eprintln!("perfgate: no cp.elision_rate baseline — elision gate skipped"),
+    }
+
+    // Gate 5: query-pushdown latency (lower is better). The perf run's
+    // query phase answers the bench-corpus query mix from the columnar
+    // bytes; losing block skipping or lazy column decode shows up here.
+    let query_ns = |s: &Snapshot| {
+        s.derived
+            .iter()
+            .find(|(n, _)| n == "query.ns_per_event")
+            .map(|&(_, v)| v)
+    };
+    match (query_ns(&cur), query_ns(&prev)) {
+        (Some(cur_ns), Some(prev_ns)) if prev_ns > 0.0 => {
+            let change = (cur_ns - prev_ns) / prev_ns * 100.0;
+            println!(
+                "perfgate: query.ns_per_event {prev_ns:.2}ns -> {cur_ns:.2}ns ({change:+.1}%), \
+                 tolerance +{tolerance:.0}%"
+            );
+            if change > tolerance {
+                eprintln!("perfgate: FAIL — query.ns_per_event regressed beyond the tolerance");
+                failed = true;
+            }
+        }
+        _ => eprintln!("perfgate: no query.ns_per_event baseline — query gate skipped"),
     }
 
     if failed {

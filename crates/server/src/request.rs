@@ -423,10 +423,22 @@ fn hit_value(hit: &WriteHit) -> Value {
 /// the counts matrices, so a cache hit answers with zero phase-1 and
 /// zero phase-2 work.
 ///
+/// The query runs as a columnar pushdown scan over the prepared
+/// workload's cached DBPT v2 bytes
+/// ([`Prepared::columnar_bytes`](databp_workloads::Prepared::columnar_bytes)):
+/// zone-refuted blocks are skipped undecoded, surviving blocks decode
+/// only the columns the query reads, fanned across `jobs` workers with
+/// a deterministic in-order merge — so the rendered bytes are
+/// identical to the event-at-a-time engine's, just cheaper.
+///
 /// # Errors
 ///
 /// A message when the query is malformed or names an unknown function.
-pub fn query_body_for(req: &Request, results: &WorkloadResults) -> Result<ResponseBody, String> {
+pub fn query_body_for(
+    req: &Request,
+    results: &WorkloadResults,
+    jobs: usize,
+) -> Result<ResponseBody, String> {
     let src = req.query.as_deref().unwrap_or_default();
     let debug = &results.prepared.plain.debug;
     let writers = WriterMap::new(
@@ -436,9 +448,10 @@ pub fn query_body_for(req: &Request, results: &WorkloadResults) -> Result<Respon
             .enumerate()
             .map(|(id, f)| (f.entry_pc, id as u16)),
     );
-    let events = results.prepared.trace.events();
-    let result = databp_sim::run_query(src, events, |name| debug.func_id(name), writers)
-        .map_err(|e| format!("bad query: {e}"))?;
+    let bytes = results.prepared.columnar_bytes();
+    let (result, _stats) =
+        databp_sim::scan_query(bytes, src, |name| debug.func_id(name), &writers, jobs)
+            .map_err(|e| format!("bad query: {e}"))?;
 
     let mut body = Value::obj();
     body.set("workload", Value::str(&req.workload));

@@ -268,7 +268,7 @@ impl Server {
             Ok(Ok((status, results))) => {
                 if req.query.is_some() {
                     databp_telemetry::count!("server.trace_queries");
-                    match query_body_for(req, &results) {
+                    match query_body_for(req, &results, cfg.workers.max(1)) {
                         Ok(body) => Response::success(&req.id, status, body),
                         Err(msg) => {
                             stats.errors.fetch_add(1, Ordering::Relaxed);

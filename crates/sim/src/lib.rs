@@ -30,6 +30,7 @@
 mod engine;
 mod membership;
 mod naive;
+mod pushdown;
 mod query;
 mod slots;
 mod soundness;
@@ -38,6 +39,7 @@ mod stream;
 pub use engine::{simulate, simulate_fused, simulate_sizes};
 pub use membership::{Membership, SessionLanes, TableMembership};
 pub use naive::simulate_naive;
+pub use pushdown::{scan_query, ScanError, ScanStats};
 pub use query::{
     run_query, Aggregation, CompiledQuery, Query, QueryEngine, QueryError, QueryResult, WriteHit,
     MAX_WATCH_SAMPLES,

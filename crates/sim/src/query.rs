@@ -269,6 +269,10 @@ pub struct QueryEngine {
     first: Option<WriteHit>,
     last: Option<WriteHit>,
     hist: BTreeMap<u32, u64>,
+    /// Pending `(pc, count)` histogram run: consecutive matches at the
+    /// same site coalesce here and flush to the map only when the site
+    /// changes, so tight store loops don't pay a map lookup per event.
+    hist_run: Option<(u32, u64)>,
     samples: Vec<u32>,
 }
 
@@ -286,6 +290,7 @@ impl QueryEngine {
             first: None,
             last: None,
             hist: BTreeMap::new(),
+            hist_run: None,
             samples: Vec::new(),
         }
     }
@@ -334,7 +339,15 @@ impl QueryEngine {
                 self.first.get_or_insert(hit);
             }
             Aggregation::Last => self.last = Some(hit),
-            Aggregation::Histogram => *self.hist.entry(pc).or_insert(0) += 1,
+            Aggregation::Histogram => match &mut self.hist_run {
+                Some((run_pc, n)) if *run_pc == pc => *n += 1,
+                run => {
+                    if let Some((p, n)) = run.take() {
+                        *self.hist.entry(p).or_insert(0) += n;
+                    }
+                    *run = Some((pc, 1));
+                }
+            },
             Aggregation::ValueWatch => {
                 if self.samples.len() < MAX_WATCH_SAMPLES {
                     self.samples.push(value);
@@ -358,7 +371,14 @@ impl QueryEngine {
             Aggregation::First => QueryResult::First(self.first),
             Aggregation::Last => QueryResult::Last(self.last),
             Aggregation::Histogram => {
-                QueryResult::Histogram(self.hist.iter().map(|(&pc, &n)| (pc, n)).collect())
+                let mut rows: Vec<(u32, u64)> = self.hist.iter().map(|(&pc, &n)| (pc, n)).collect();
+                if let Some((pc, n)) = self.hist_run {
+                    match rows.binary_search_by_key(&pc, |&(p, _)| p) {
+                        Ok(i) => rows[i].1 += n,
+                        Err(i) => rows.insert(i, (pc, n)),
+                    }
+                }
+                QueryResult::Histogram(rows)
             }
             Aggregation::ValueWatch => QueryResult::ValueWatch {
                 samples: self.samples.clone(),

@@ -11,6 +11,7 @@
 //! u32:dict_len  { u8:kind u32:payload }*   (dense ObjectDesc dictionary)
 //! u32:n_blocks
 //! blocks: u32:block_events  8 × ( u32:col_len col_bytes )
+//! trailer (optional): "ZMAP" u32:payload_len u64:fnv1a64(payload) payload
 //! ```
 //!
 //! The eight columns per block, in order: **tags** (run-length pairs
@@ -34,10 +35,27 @@
 //! `&[u8]`) and columns are sliced out of it — no per-event I/O, no
 //! intermediate buffers.
 //!
+//! # Zone-map trailer and format compatibility
+//!
+//! The trailer carries one fixed-width [`ZoneMap`] per block — per-tag
+//! event counts, min/max of write `pc`/`value`/`old` and of addressed
+//! `ba`, and a 64-bucket write-pc occupancy filter — which is what the
+//! query engine's block-skipping pushdown consumes. The trailer is
+//! **optional and ignorable**: files without one (everything written
+//! before zone maps existed, or via [`WriteOpts`] `zone_maps: false`)
+//! decode unchanged, and the full-decode path skips the trailer without
+//! reading its contents, so its layout can evolve behind the checksum.
+//! [`ColumnarReader::open`] validates the trailer (framing, FNV-1a
+//! checksum, per-block consistency) and silently drops it when anything
+//! is off — a damaged trailer degrades queries to a full scan, never to
+//! a wrong answer.
+//!
 //! Malformed or truncated input yields a clean
-//! [`TraceCodecError`] — any valid prefix of a v2 file fails with an
-//! error, never a panic, and allocation sizes are bounded by the input
-//! length so corrupted headers cannot trigger huge reservations.
+//! [`TraceCodecError`] — any valid prefix of a trailer-less v2 file
+//! fails with an error, never a panic (for files carrying a trailer,
+//! the one prefix that drops exactly the whole trailer decodes, to the
+//! complete and correct trace), and allocation sizes are bounded by the
+//! input length so corrupted headers cannot trigger huge reservations.
 
 use crate::codec::TraceCodecError;
 use crate::event::{Event, ObjectDesc, Trace};
@@ -64,6 +82,11 @@ const OBJ_GLOBAL: u8 = 1;
 const OBJ_LOCAL: u8 = 2;
 const OBJ_HEAP: u8 = 3;
 
+const TRAILER_MAGIC: &[u8; 4] = b"ZMAP";
+const ZONE_VERSION: u32 = 1;
+/// Serialized size of one [`ZoneMap`]: 14 × u32 + u64 filter.
+const ZONE_BYTES: usize = 64;
+
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
@@ -84,6 +107,17 @@ fn zigzag(v: i64) -> u64 {
 #[inline]
 fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// FNV-1a over `bytes`; guards the zone-map trailer against the random
+/// corruption the property suites throw at it (not cryptographic).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A read cursor over one column slice.
@@ -190,6 +224,171 @@ fn event_tag(e: &Event) -> u8 {
     }
 }
 
+/// Per-block summary statistics, serialized in the optional `ZMAP`
+/// trailer and consumed by the query engine's block-skipping pushdown.
+///
+/// Range fields use `min = u32::MAX, max = 0` as the empty sentinel
+/// (checked through the `*_range` accessors). `ba` covers every
+/// addressed event (install/remove/write); `pc`, `value` and `old`
+/// cover writes only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Total events in the block.
+    pub events: u32,
+    /// Install events in the block.
+    pub installs: u32,
+    /// Remove events in the block.
+    pub removes: u32,
+    /// Write events in the block.
+    pub writes: u32,
+    /// Enter events in the block.
+    pub enters: u32,
+    /// Exit events in the block.
+    pub exits: u32,
+    /// Min `ba` over install/remove/write events.
+    pub ba_min: u32,
+    /// Max `ba` over install/remove/write events.
+    pub ba_max: u32,
+    /// Min write `pc`.
+    pub pc_min: u32,
+    /// Max write `pc`.
+    pub pc_max: u32,
+    /// Min written value.
+    pub value_min: u32,
+    /// Max written value.
+    pub value_max: u32,
+    /// Min overwritten (old) value.
+    pub old_min: u32,
+    /// Max overwritten (old) value.
+    pub old_max: u32,
+    /// 64-bucket occupancy filter over `[pc_min, pc_max]`: bit `i` is
+    /// set iff some write pc falls in equal-width bucket `i`.
+    pub pc_filter: u64,
+}
+
+impl ZoneMap {
+    fn empty(events: u32) -> ZoneMap {
+        ZoneMap {
+            events,
+            installs: 0,
+            removes: 0,
+            writes: 0,
+            enters: 0,
+            exits: 0,
+            ba_min: u32::MAX,
+            ba_max: 0,
+            pc_min: u32::MAX,
+            pc_max: 0,
+            value_min: u32::MAX,
+            value_max: 0,
+            old_min: u32::MAX,
+            old_max: 0,
+            pc_filter: 0,
+        }
+    }
+
+    #[inline]
+    fn filter_bucket_width(&self) -> u32 {
+        (self.pc_max - self.pc_min) / 64 + 1
+    }
+
+    /// Inclusive `(min, max)` of write pcs, or `None` when the block
+    /// has no writes.
+    pub fn write_pc_range(&self) -> Option<(u32, u32)> {
+        (self.writes > 0).then_some((self.pc_min, self.pc_max))
+    }
+
+    /// Inclusive `(min, max)` of written values, or `None` when the
+    /// block has no writes.
+    pub fn write_value_range(&self) -> Option<(u32, u32)> {
+        (self.writes > 0).then_some((self.value_min, self.value_max))
+    }
+
+    /// Inclusive `(min, max)` of overwritten (old) values, or `None`
+    /// when the block has no writes.
+    pub fn write_old_range(&self) -> Option<(u32, u32)> {
+        (self.writes > 0).then_some((self.old_min, self.old_max))
+    }
+
+    /// Could any write pc fall within `[lo, hi]` (inclusive)? `false`
+    /// is definitive; `true` is a may-answer (the filter buckets are
+    /// coarse).
+    pub fn any_write_pc_in(&self, lo: u32, hi: u32) -> bool {
+        if self.writes == 0 || lo > hi {
+            return false;
+        }
+        let lo = lo.max(self.pc_min);
+        let hi = hi.min(self.pc_max);
+        if lo > hi {
+            return false;
+        }
+        let w = self.filter_bucket_width();
+        let b_lo = (lo - self.pc_min) / w;
+        let b_hi = (hi - self.pc_min) / w;
+        let mask = if b_hi - b_lo >= 63 {
+            !0u64
+        } else {
+            ((1u64 << (b_hi - b_lo + 1)) - 1) << b_lo
+        };
+        self.pc_filter & mask != 0
+    }
+
+    /// Do *all* write pcs fall within `[lo, hi]` (inclusive)? `false`
+    /// when the block has no writes.
+    pub fn all_write_pcs_in(&self, lo: u32, hi: u32) -> bool {
+        self.writes > 0 && lo <= self.pc_min && self.pc_max <= hi
+    }
+
+    fn observe_write_pcs(&mut self, pcs: &[u32]) {
+        let w = self.filter_bucket_width();
+        for &pc in pcs {
+            self.pc_filter |= 1u64 << ((pc - self.pc_min) / w);
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.events,
+            self.installs,
+            self.removes,
+            self.writes,
+            self.enters,
+            self.exits,
+            self.ba_min,
+            self.ba_max,
+            self.pc_min,
+            self.pc_max,
+            self.value_min,
+            self.value_max,
+            self.old_min,
+            self.old_max,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pc_filter.to_le_bytes());
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<ZoneMap, TraceCodecError> {
+        Ok(ZoneMap {
+            events: cur.u32()?,
+            installs: cur.u32()?,
+            removes: cur.u32()?,
+            writes: cur.u32()?,
+            enters: cur.u32()?,
+            exits: cur.u32()?,
+            ba_min: cur.u32()?,
+            ba_max: cur.u32()?,
+            pc_min: cur.u32()?,
+            pc_max: cur.u32()?,
+            value_min: cur.u32()?,
+            value_max: cur.u32()?,
+            old_min: cur.u32()?,
+            old_max: cur.u32()?,
+            pc_filter: cur.u64()?,
+        })
+    }
+}
+
 /// The eight per-block column buffers, reused across blocks.
 #[derive(Default)]
 struct Columns {
@@ -216,14 +415,51 @@ impl Columns {
     }
 }
 
+/// Encoder knobs for [`write_columnar_with`]. The defaults match
+/// [`write_columnar`]: full-size blocks with a zone-map trailer.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOpts {
+    /// Events per block, clamped to `1..=BLOCK_EVENTS`. Small blocks
+    /// exist for tests that want many block boundaries on tiny traces.
+    pub block_events: usize,
+    /// Emit the `ZMAP` zone-map trailer. `false` reproduces the
+    /// pre-trailer byte format exactly.
+    pub zone_maps: bool,
+}
+
+impl Default for WriteOpts {
+    fn default() -> WriteOpts {
+        WriteOpts {
+            block_events: BLOCK_EVENTS,
+            zone_maps: true,
+        }
+    }
+}
+
 /// Serializes `trace` in the DBPT v2 columnar format, embedding `meta`
 /// as an opaque application blob (the trace store keeps workload
-/// provenance there; pass `&[]` for a plain trace file).
+/// provenance there; pass `&[]` for a plain trace file). Appends the
+/// zone-map trailer; use [`write_columnar_with`] to opt out.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Result<()> {
+    write_columnar_with(trace, meta, w, WriteOpts::default())
+}
+
+/// [`write_columnar`] with explicit block size and trailer control.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_columnar_with(
+    trace: &Trace,
+    meta: &[u8],
+    w: &mut impl Write,
+    opts: WriteOpts,
+) -> io::Result<()> {
+    let block_events = opts.block_events.clamp(1, BLOCK_EVENTS);
     // Dense object dictionary, ids in order of first appearance. The
     // dictionary is small (hundreds of objects), so the standard hasher
     // is fine and keeps this crate dependency-free.
@@ -249,12 +485,16 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
         w.write_all(&[kind])?;
         w.write_all(&payload.to_le_bytes())?;
     }
-    let n_blocks = trace.len().div_ceil(BLOCK_EVENTS);
+    let n_blocks = trace.len().div_ceil(block_events);
     w.write_all(&(n_blocks as u32).to_le_bytes())?;
 
     let mut cols = Columns::default();
-    for block in trace.events().chunks(BLOCK_EVENTS) {
+    let mut zones: Vec<ZoneMap> = Vec::with_capacity(if opts.zone_maps { n_blocks } else { 0 });
+    let mut pc_scratch: Vec<u32> = Vec::new();
+    for block in trace.events().chunks(block_events) {
         cols.clear();
+        pc_scratch.clear();
+        let mut zone = ZoneMap::empty(block.len() as u32);
         let mut prev_pc = 0i64;
         let mut prev_ba = 0i64;
         let mut prev_value = 0i64;
@@ -275,6 +515,13 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
             }
             match *e {
                 Event::Install { obj, ba, ea } | Event::Remove { obj, ba, ea } => {
+                    if tag == TAG_INSTALL {
+                        zone.installs += 1;
+                    } else {
+                        zone.removes += 1;
+                    }
+                    zone.ba_min = zone.ba_min.min(ba);
+                    zone.ba_max = zone.ba_max.max(ba);
                     let id = dict_ids[&obj_key(&obj)];
                     put_varint(&mut cols.objs, u64::from(id));
                     put_varint(&mut cols.bas, zigzag(i64::from(ba) - prev_ba));
@@ -288,6 +535,16 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
                     value,
                     old,
                 } => {
+                    zone.writes += 1;
+                    zone.ba_min = zone.ba_min.min(ba);
+                    zone.ba_max = zone.ba_max.max(ba);
+                    zone.pc_min = zone.pc_min.min(pc);
+                    zone.pc_max = zone.pc_max.max(pc);
+                    zone.value_min = zone.value_min.min(value);
+                    zone.value_max = zone.value_max.max(value);
+                    zone.old_min = zone.old_min.min(old);
+                    zone.old_max = zone.old_max.max(old);
+                    pc_scratch.push(pc);
                     put_varint(&mut cols.pcs, zigzag(i64::from(pc) - prev_pc));
                     prev_pc = i64::from(pc);
                     put_varint(&mut cols.bas, zigzag(i64::from(ba) - prev_ba));
@@ -298,7 +555,12 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
                     put_varint(&mut cols.olds, zigzag(i64::from(old) - prev_old));
                     prev_old = i64::from(old);
                 }
-                Event::Enter { func } | Event::Exit { func } => {
+                Event::Enter { func } => {
+                    zone.enters += 1;
+                    put_varint(&mut cols.funcs, u64::from(func));
+                }
+                Event::Exit { func } => {
+                    zone.exits += 1;
                     put_varint(&mut cols.funcs, u64::from(func));
                 }
             }
@@ -306,6 +568,12 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
         if run_len > 0 {
             cols.tags.push(run_tag);
             put_varint(&mut cols.tags, run_len);
+        }
+        if opts.zone_maps {
+            if zone.writes > 0 {
+                zone.observe_write_pcs(&pc_scratch);
+            }
+            zones.push(zone);
         }
         w.write_all(&(block.len() as u32).to_le_bytes())?;
         for col in [
@@ -322,82 +590,230 @@ pub fn write_columnar(trace: &Trace, meta: &[u8], w: &mut impl Write) -> io::Res
             w.write_all(col)?;
         }
     }
+    if opts.zone_maps {
+        let mut payload = Vec::with_capacity(8 + zones.len() * ZONE_BYTES);
+        payload.extend_from_slice(&ZONE_VERSION.to_le_bytes());
+        payload.extend_from_slice(&(zones.len() as u32).to_le_bytes());
+        for z in &zones {
+            z.encode(&mut payload);
+        }
+        w.write_all(TRAILER_MAGIC)?;
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        w.write_all(&payload)?;
+    }
     Ok(())
 }
 
-/// Deserializes a DBPT v2 columnar trace from an in-memory arena (load
-/// the whole file with one read, then call this), returning the trace
-/// and the embedded meta blob.
-///
-/// # Errors
-///
-/// [`TraceCodecError::Malformed`] on bad magic/version, dictionary or
-/// column inconsistencies, and any truncation — a valid prefix of a v2
-/// file is an error, never a panic.
-pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> {
-    let mut cur = Cursor::new(bytes);
-    let mut magic = [0u8; 4];
-    for b in &mut magic {
-        *b = cur.u8()?;
-    }
-    if &magic != MAGIC {
-        return Err(TraceCodecError::Malformed("bad magic".into()));
-    }
-    let version = cur.u32()?;
-    if version != VERSION2 && version != VERSION4 {
-        return Err(TraceCodecError::Malformed(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let has_values = version == VERSION4;
-    let meta_len = cur.u32()? as usize;
-    if meta_len > cur.remaining() {
-        return Err(truncated("meta blob"));
-    }
-    let meta = bytes[cur.pos..cur.pos + meta_len].to_vec();
-    cur.pos += meta_len;
+/// One block's raw (still encoded) column slices, borrowed from the
+/// file arena. Decoding is explicit and column-selective — this is the
+/// unit of lazy decode for query pushdown.
+#[derive(Clone, Copy)]
+pub struct RawBlock<'a> {
+    events: u32,
+    tags: &'a [u8],
+    objs: &'a [u8],
+    pcs: &'a [u8],
+    bas: &'a [u8],
+    lens: &'a [u8],
+    funcs: &'a [u8],
+    values: &'a [u8],
+    olds: &'a [u8],
+}
 
-    let n_events = cur.u64()? as usize;
-    // 5 bytes is the smallest event encoding (amortized); reject counts
-    // the remaining input cannot possibly hold so corrupt headers can't
-    // reserve huge buffers.
-    if n_events / 8 > cur.remaining() {
-        return Err(truncated("event payload"));
+/// Which write-bearing columns [`RawBlock::decode_writes`] should
+/// materialize. Unrequested columns are never touched.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteCols {
+    /// Decode write pcs.
+    pub pcs: bool,
+    /// Decode write `(ba, ea)` pairs (walks the tags/bas/lens chain,
+    /// which interleaves install/remove entries).
+    pub addrs: bool,
+    /// Decode written values.
+    pub values: bool,
+    /// Decode overwritten (old) values.
+    pub olds: bool,
+}
+
+/// Decoded per-write columns for one block, reusable across blocks.
+/// Only the vectors requested via [`WriteCols`] are filled.
+#[derive(Default, Debug)]
+pub struct BlockWrites {
+    /// Write pcs (if requested).
+    pub pcs: Vec<u32>,
+    /// Write base addresses (if `addrs` requested).
+    pub bas: Vec<u32>,
+    /// Write end addresses (if `addrs` requested).
+    pub eas: Vec<u32>,
+    /// Written values (if requested).
+    pub values: Vec<u32>,
+    /// Overwritten values (if requested).
+    pub olds: Vec<u32>,
+}
+
+impl BlockWrites {
+    fn clear(&mut self) {
+        self.pcs.clear();
+        self.bas.clear();
+        self.eas.clear();
+        self.values.clear();
+        self.olds.clear();
     }
-    let dict_len = cur.u32()? as usize;
-    if dict_len * 5 > cur.remaining() {
-        return Err(truncated("dictionary"));
-    }
-    let mut dict = Vec::with_capacity(dict_len);
-    for _ in 0..dict_len {
-        let kind = cur.u8()?;
-        let payload = cur.u32()?;
-        dict.push(obj_from_key(kind, payload)?);
-    }
-    let n_blocks = cur.u32()? as usize;
-    if n_blocks * 4 > cur.remaining() {
-        return Err(truncated("blocks"));
+}
+
+impl<'a> RawBlock<'a> {
+    /// Events in this block (from the block header, no decode).
+    pub fn events(&self) -> u32 {
+        self.events
     }
 
-    let mut trace = Trace::with_capacity(n_events);
-    for _ in 0..n_blocks {
-        let block_events = cur.u32()? as usize;
-        if block_events > BLOCK_EVENTS {
-            return Err(TraceCodecError::Malformed(format!(
-                "block of {block_events} events exceeds the {BLOCK_EVENTS} cap"
-            )));
+    /// `(column name, encoded byte length)` for the eight columns —
+    /// what `repro trace dump --meta` prints.
+    pub fn column_sizes(&self) -> [(&'static str, usize); 8] {
+        [
+            ("tags", self.tags.len()),
+            ("objs", self.objs.len()),
+            ("pcs", self.pcs.len()),
+            ("bas", self.bas.len()),
+            ("lens", self.lens.len()),
+            ("funcs", self.funcs.len()),
+            ("values", self.values.len()),
+            ("olds", self.olds.len()),
+        ]
+    }
+
+    /// Decodes only the write rows of the requested columns into
+    /// `out` (cleared first), returning the block's write count.
+    /// Requires the current 8-column layout (see
+    /// [`ColumnarReader::has_write_values`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceCodecError::Malformed`] on any column inconsistency —
+    /// including requested columns disagreeing on the write count.
+    pub fn decode_writes(
+        &self,
+        want: WriteCols,
+        out: &mut BlockWrites,
+    ) -> Result<u32, TraceCodecError> {
+        out.clear();
+        let mut count: Option<usize> = None;
+        fn merge(count: &mut Option<usize>, n: usize, col: &str) -> Result<(), TraceCodecError> {
+            match *count {
+                None => {
+                    *count = Some(n);
+                    Ok(())
+                }
+                Some(c) if c == n => Ok(()),
+                Some(c) => Err(TraceCodecError::Malformed(format!(
+                    "write columns disagree: {c} writes vs {n} in {col}"
+                ))),
+            }
         }
-        let mut tags = Cursor::new(cur.segment()?);
-        let mut objs = Cursor::new(cur.segment()?);
-        let mut pcs = Cursor::new(cur.segment()?);
-        let mut bas = Cursor::new(cur.segment()?);
-        let mut lens = Cursor::new(cur.segment()?);
-        let mut funcs = Cursor::new(cur.segment()?);
-        let (mut values, mut olds) = if has_values {
-            (Cursor::new(cur.segment()?), Cursor::new(cur.segment()?))
-        } else {
-            (Cursor::new(&[]), Cursor::new(&[]))
-        };
+        if want.pcs {
+            let mut cur = Cursor::new(self.pcs);
+            let mut prev = 0i64;
+            while cur.remaining() > 0 {
+                let v = prev + unzigzag(cur.varint()?);
+                prev = v;
+                out.pcs.push(
+                    u32::try_from(v)
+                        .map_err(|_| TraceCodecError::Malformed("pc delta out of range".into()))?,
+                );
+            }
+            merge(&mut count, out.pcs.len(), "pcs")?;
+        }
+        if want.values {
+            let mut cur = Cursor::new(self.values);
+            let mut prev = 0i64;
+            while cur.remaining() > 0 {
+                let v = prev + unzigzag(cur.varint()?);
+                prev = v;
+                out.values.push(word_value(v)?);
+            }
+            merge(&mut count, out.values.len(), "values")?;
+        }
+        if want.olds {
+            let mut cur = Cursor::new(self.olds);
+            let mut prev = 0i64;
+            while cur.remaining() > 0 {
+                let v = prev + unzigzag(cur.varint()?);
+                prev = v;
+                out.olds.push(word_value(v)?);
+            }
+            merge(&mut count, out.olds.len(), "olds")?;
+        }
+        if want.addrs || count.is_none() {
+            // The bas/lens delta chain interleaves install/remove and
+            // write entries, so write addresses require the tag runs;
+            // when no column was requested at all, the tags alone still
+            // yield the write count.
+            let mut tags = Cursor::new(self.tags);
+            let mut bas = Cursor::new(self.bas);
+            let mut lens = Cursor::new(self.lens);
+            let mut prev_ba = 0i64;
+            let mut decoded = 0usize;
+            let mut writes = 0usize;
+            let events = self.events as usize;
+            while decoded < events {
+                let tag = tags.u8()?;
+                let run = tags.varint()? as usize;
+                if run == 0 || run > events - decoded {
+                    return Err(TraceCodecError::Malformed(format!(
+                        "tag run of {run} overflows block"
+                    )));
+                }
+                match tag {
+                    TAG_INSTALL | TAG_REMOVE => {
+                        if want.addrs {
+                            for _ in 0..run {
+                                let ba = prev_ba + unzigzag(bas.varint()?);
+                                prev_ba = ba;
+                                let len = unzigzag(lens.varint()?);
+                                addr_pair(ba, len)?;
+                            }
+                        }
+                    }
+                    TAG_WRITE => {
+                        writes += run;
+                        if want.addrs {
+                            for _ in 0..run {
+                                let ba = prev_ba + unzigzag(bas.varint()?);
+                                prev_ba = ba;
+                                let len = unzigzag(lens.varint()?);
+                                let (ba, ea) = addr_pair(ba, len)?;
+                                out.bas.push(ba);
+                                out.eas.push(ea);
+                            }
+                        }
+                    }
+                    TAG_ENTER | TAG_EXIT => {}
+                    t => return Err(TraceCodecError::Malformed(format!("event tag {t}"))),
+                }
+                decoded += run;
+            }
+            merge(&mut count, writes, "tags")?;
+        }
+        Ok(count.unwrap_or(0) as u32)
+    }
+
+    /// Fully decodes this block's events, appending to `out`.
+    fn decode_into(
+        &self,
+        has_values: bool,
+        dict: &[ObjectDesc],
+        out: &mut Trace,
+    ) -> Result<(), TraceCodecError> {
+        let block_events = self.events as usize;
+        let mut tags = Cursor::new(self.tags);
+        let mut objs = Cursor::new(self.objs);
+        let mut pcs = Cursor::new(self.pcs);
+        let mut bas = Cursor::new(self.bas);
+        let mut lens = Cursor::new(self.lens);
+        let mut funcs = Cursor::new(self.funcs);
+        let mut values = Cursor::new(self.values);
+        let mut olds = Cursor::new(self.olds);
         let mut prev_pc = 0i64;
         let mut prev_ba = 0i64;
         let mut prev_value = 0i64;
@@ -424,7 +840,7 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
                         prev_ba = ba;
                         let len = unzigzag(lens.varint()?);
                         let (ba, ea) = addr_pair(ba, len)?;
-                        trace.push(if tag == TAG_INSTALL {
+                        out.push(if tag == TAG_INSTALL {
                             Event::Install { obj, ba, ea }
                         } else {
                             Event::Remove { obj, ba, ea }
@@ -451,7 +867,7 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
                         } else {
                             (0, 0)
                         };
-                        trace.push(Event::Write {
+                        out.push(Event::Write {
                             pc,
                             ba,
                             ea,
@@ -465,7 +881,7 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
                         let func = u16::try_from(funcs.varint()?).map_err(|_| {
                             TraceCodecError::Malformed("function id out of range".into())
                         })?;
-                        trace.push(if tag == TAG_ENTER {
+                        out.push(if tag == TAG_ENTER {
                             Event::Enter { func }
                         } else {
                             Event::Exit { func }
@@ -492,17 +908,290 @@ pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> 
                 )));
             }
         }
+        Ok(())
     }
-    if trace.len() != n_events {
+}
+
+/// Parsed container structure: header fields plus raw block slices and
+/// whatever bytes follow the last block (empty or a trailer).
+struct Parsed<'a> {
+    version: u32,
+    meta: &'a [u8],
+    n_events: u64,
+    dict: Vec<ObjectDesc>,
+    blocks: Vec<RawBlock<'a>>,
+    trailer: &'a [u8],
+}
+
+fn parse_container(bytes: &[u8]) -> Result<Parsed<'_>, TraceCodecError> {
+    let mut cur = Cursor::new(bytes);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = cur.u8()?;
+    }
+    if &magic != MAGIC {
+        return Err(TraceCodecError::Malformed("bad magic".into()));
+    }
+    let version = cur.u32()?;
+    if version != VERSION2 && version != VERSION4 {
         return Err(TraceCodecError::Malformed(format!(
-            "header promises {n_events} events, blocks hold {}",
+            "unsupported version {version}"
+        )));
+    }
+    let has_values = version == VERSION4;
+    let meta_len = cur.u32()? as usize;
+    if meta_len > cur.remaining() {
+        return Err(truncated("meta blob"));
+    }
+    let meta = &bytes[cur.pos..cur.pos + meta_len];
+    cur.pos += meta_len;
+
+    let n_events = cur.u64()?;
+    // 5 bytes is the smallest event encoding (amortized); reject counts
+    // the remaining input cannot possibly hold so corrupt headers can't
+    // reserve huge buffers.
+    if n_events / 8 > cur.remaining() as u64 {
+        return Err(truncated("event payload"));
+    }
+    let dict_len = cur.u32()? as usize;
+    if dict_len * 5 > cur.remaining() {
+        return Err(truncated("dictionary"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let kind = cur.u8()?;
+        let payload = cur.u32()?;
+        dict.push(obj_from_key(kind, payload)?);
+    }
+    let n_blocks = cur.u32()? as usize;
+    if n_blocks * 4 > cur.remaining() {
+        return Err(truncated("blocks"));
+    }
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let block_events = cur.u32()?;
+        if block_events as usize > BLOCK_EVENTS {
+            return Err(TraceCodecError::Malformed(format!(
+                "block of {block_events} events exceeds the {BLOCK_EVENTS} cap"
+            )));
+        }
+        let tags = cur.segment()?;
+        let objs = cur.segment()?;
+        let pcs = cur.segment()?;
+        let bas = cur.segment()?;
+        let lens = cur.segment()?;
+        let funcs = cur.segment()?;
+        let (values, olds) = if has_values {
+            (cur.segment()?, cur.segment()?)
+        } else {
+            (&[][..], &[][..])
+        };
+        blocks.push(RawBlock {
+            events: block_events,
+            tags,
+            objs,
+            pcs,
+            bas,
+            lens,
+            funcs,
+            values,
+            olds,
+        });
+    }
+    let trailer = &bytes[cur.pos..];
+    Ok(Parsed {
+        version,
+        meta,
+        n_events,
+        dict,
+        blocks,
+        trailer,
+    })
+}
+
+/// The strict full-decode rule for post-block bytes: nothing at all, or
+/// one completely framed `ZMAP` trailer (contents skipped unread).
+/// Anything else — trailing garbage, a truncated trailer — is an error,
+/// so truncation of a trailer-less file is always detected.
+fn check_trailer_framing(trailer: &[u8]) -> Result<(), TraceCodecError> {
+    if trailer.is_empty() {
+        return Ok(());
+    }
+    let trailing = || TraceCodecError::Malformed("trailing bytes".into());
+    if trailer.len() < 16 || &trailer[..4] != TRAILER_MAGIC {
+        return Err(trailing());
+    }
+    let len = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes")) as usize;
+    if trailer.len() - 16 != len {
+        return Err(TraceCodecError::Malformed(
+            "zone-map trailer length mismatch".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Lenient zone-map extraction for the query path: any defect — bad
+/// magic, truncation, checksum mismatch, count disagreement with the
+/// block headers — yields `None`, which callers treat as "no zone
+/// maps, scan everything".
+fn parse_zone_trailer(trailer: &[u8], blocks: &[RawBlock<'_>]) -> Option<Vec<ZoneMap>> {
+    if trailer.len() < 16 || &trailer[..4] != TRAILER_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes")) as usize;
+    let checksum = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+    if trailer.len() - 16 != len {
+        return None;
+    }
+    let payload = &trailer[16..];
+    if fnv1a64(payload) != checksum {
+        return None;
+    }
+    let mut cur = Cursor::new(payload);
+    if cur.u32().ok()? != ZONE_VERSION {
+        return None;
+    }
+    let n = cur.u32().ok()? as usize;
+    if n != blocks.len() || payload.len() != 8 + n * ZONE_BYTES {
+        return None;
+    }
+    let mut zones = Vec::with_capacity(n);
+    for block in blocks {
+        let z = ZoneMap::decode(&mut cur).ok()?;
+        let tag_sum = z.installs + z.removes + z.writes + z.enters + z.exits;
+        if z.events != block.events || tag_sum != z.events {
+            return None;
+        }
+        zones.push(z);
+    }
+    Some(zones)
+}
+
+/// A lazily-decoding view over a DBPT v2 file: header, dictionary and
+/// block directory are parsed eagerly (cheap — column contents are only
+/// sliced, not decoded), zone maps are validated if present, and event
+/// decode happens per block, per column, on demand.
+///
+/// This is the substrate for query pushdown: refute a block against its
+/// [`ZoneMap`], and decode only the surviving blocks' relevant columns.
+pub struct ColumnarReader<'a> {
+    version: u32,
+    meta: &'a [u8],
+    n_events: u64,
+    dict: Vec<ObjectDesc>,
+    blocks: Vec<RawBlock<'a>>,
+    zones: Option<Vec<ZoneMap>>,
+}
+
+impl<'a> ColumnarReader<'a> {
+    /// Parses the container structure of `bytes` without decoding any
+    /// event columns. A malformed *trailer* is not an error here — the
+    /// zone maps are simply dropped (see [`ColumnarReader::zones`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceCodecError::Malformed`] on bad magic/version, dictionary
+    /// defects, truncated block structure, or block headers that
+    /// disagree with the event count.
+    pub fn open(bytes: &'a [u8]) -> Result<ColumnarReader<'a>, TraceCodecError> {
+        let p = parse_container(bytes)?;
+        let header_sum: u64 = p.blocks.iter().map(|b| u64::from(b.events)).sum();
+        if header_sum != p.n_events {
+            return Err(TraceCodecError::Malformed(format!(
+                "header promises {} events, blocks hold {header_sum}",
+                p.n_events
+            )));
+        }
+        let zones = parse_zone_trailer(p.trailer, &p.blocks);
+        Ok(ColumnarReader {
+            version: p.version,
+            meta: p.meta,
+            n_events: p.n_events,
+            dict: p.dict,
+            blocks: p.blocks,
+            zones,
+        })
+    }
+
+    /// Container format version (2 legacy, 4 current).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// `true` when blocks carry the values/olds columns (version 4),
+    /// i.e. [`RawBlock::decode_writes`] is usable.
+    pub fn has_write_values(&self) -> bool {
+        self.version == VERSION4
+    }
+
+    /// The embedded opaque meta blob.
+    pub fn meta(&self) -> &'a [u8] {
+        self.meta
+    }
+
+    /// Total events promised by the header (equals the block sum).
+    pub fn n_events(&self) -> u64 {
+        self.n_events
+    }
+
+    /// The object dictionary.
+    pub fn dict(&self) -> &[ObjectDesc] {
+        &self.dict
+    }
+
+    /// The raw (undecoded) blocks.
+    pub fn blocks(&self) -> &[RawBlock<'a>] {
+        &self.blocks
+    }
+
+    /// Validated zone maps, one per block — `None` when the file has no
+    /// trailer or the trailer failed validation (old file, truncation,
+    /// corruption): callers must then scan every block.
+    pub fn zones(&self) -> Option<&[ZoneMap]> {
+        self.zones.as_deref()
+    }
+
+    /// Fully decodes block `idx`, appending its events to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceCodecError::Malformed`] on column defects in the block.
+    ///
+    /// # Panics
+    ///
+    /// If `idx` is out of range.
+    pub fn decode_block_into(&self, idx: usize, out: &mut Trace) -> Result<(), TraceCodecError> {
+        self.blocks[idx].decode_into(self.has_write_values(), &self.dict, out)
+    }
+}
+
+/// Deserializes a DBPT v2 columnar trace from an in-memory arena (load
+/// the whole file with one read, then call this), returning the trace
+/// and the embedded meta blob. A zone-map trailer, if present, is
+/// skipped without being read — this full-decode path predates zone
+/// maps and stays byte-compatible in both directions.
+///
+/// # Errors
+///
+/// [`TraceCodecError::Malformed`] on bad magic/version, dictionary or
+/// column inconsistencies, and any truncation — a valid prefix of a v2
+/// file is an error, never a panic.
+pub fn read_columnar(bytes: &[u8]) -> Result<(Trace, Vec<u8>), TraceCodecError> {
+    let p = parse_container(bytes)?;
+    check_trailer_framing(p.trailer)?;
+    let has_values = p.version == VERSION4;
+    let mut trace = Trace::with_capacity(p.n_events as usize);
+    for block in &p.blocks {
+        block.decode_into(has_values, &p.dict, &mut trace)?;
+    }
+    if trace.len() as u64 != p.n_events {
+        return Err(TraceCodecError::Malformed(format!(
+            "header promises {} events, blocks hold {}",
+            p.n_events,
             trace.len()
         )));
     }
-    if cur.remaining() != 0 {
-        return Err(TraceCodecError::Malformed("trailing bytes".into()));
-    }
-    Ok((trace, meta))
+    Ok((trace, p.meta.to_vec()))
 }
 
 fn word_value(v: i64) -> Result<u32, TraceCodecError> {
@@ -592,6 +1281,21 @@ mod tests {
         ])
     }
 
+    fn write_no_zones(trace: &Trace, meta: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_columnar_with(
+            trace,
+            meta,
+            &mut buf,
+            WriteOpts {
+                zone_maps: false,
+                ..WriteOpts::default()
+            },
+        )
+        .unwrap();
+        buf
+    }
+
     #[test]
     fn columnar_roundtrip_with_meta() {
         let t = sample_trace();
@@ -647,14 +1351,158 @@ mod tests {
 
     #[test]
     fn every_truncation_prefix_is_a_clean_error() {
-        let mut buf = Vec::new();
-        write_columnar(&sample_trace(), b"meta", &mut buf).unwrap();
+        // Without a trailer the original guarantee holds exactly: no
+        // proper prefix decodes.
+        let buf = write_no_zones(&sample_trace(), b"meta");
         for cut in 0..buf.len() {
             assert!(
                 read_columnar(&buf[..cut]).is_err(),
                 "prefix of {cut} bytes decoded"
             );
         }
+    }
+
+    #[test]
+    fn trailered_file_truncation_never_yields_a_wrong_trace() {
+        // With a trailer, the single prefix that drops exactly the whole
+        // trailer is a valid trailer-less file and decodes to the full
+        // trace; every other proper prefix errors.
+        let t = sample_trace();
+        let plain = write_no_zones(&t, b"meta");
+        let mut buf = Vec::new();
+        write_columnar(&t, b"meta", &mut buf).unwrap();
+        assert!(buf.len() > plain.len(), "trailer should add bytes");
+        for cut in 0..buf.len() {
+            match read_columnar(&buf[..cut]) {
+                Ok((back, meta)) => {
+                    assert_eq!(cut, plain.len(), "unexpected prefix of {cut} bytes decoded");
+                    assert_eq!(back, t);
+                    assert_eq!(meta, b"meta");
+                }
+                Err(_) => assert_ne!(cut, plain.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn trailer_is_byte_prefix_compatible() {
+        // The trailered encoding is exactly the pre-trailer encoding
+        // plus the trailer: old-style bytes are a strict prefix.
+        let t = sample_trace();
+        let plain = write_no_zones(&t, b"m");
+        let mut with = Vec::new();
+        write_columnar(&t, b"m", &mut with).unwrap();
+        assert_eq!(&with[..plain.len()], &plain[..]);
+        assert_eq!(&with[plain.len()..plain.len() + 4], TRAILER_MAGIC);
+    }
+
+    #[test]
+    fn reader_exposes_validated_zone_maps() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_columnar(&t, b"m", &mut buf).unwrap();
+        let r = ColumnarReader::open(&buf).unwrap();
+        assert_eq!(r.n_events(), t.len() as u64);
+        assert_eq!(r.meta(), b"m");
+        assert!(r.has_write_values());
+        let zones = r.zones().expect("trailer should validate");
+        assert_eq!(zones.len(), 1);
+        let z = &zones[0];
+        assert_eq!(
+            (z.installs, z.removes, z.writes, z.enters, z.exits),
+            (3, 3, 2, 1, 1)
+        );
+        assert_eq!(z.write_value_range(), Some((0x7f, 0xdead_beef)));
+        assert_eq!(z.write_old_range(), Some((0, 0xef)));
+        assert_eq!(z.write_pc_range(), Some((0x1_0010, 0x1_0014)));
+        assert!(z.any_write_pc_in(0x1_0010, 0x1_0010));
+        assert!(!z.any_write_pc_in(0, 0x1_000f));
+        assert!(!z.any_write_pc_in(0x1_0015, u32::MAX));
+        assert!(z.all_write_pcs_in(0x1_0000, 0x2_0000));
+        assert!(!z.all_write_pcs_in(0x1_0011, 0x2_0000));
+    }
+
+    #[test]
+    fn corrupt_trailer_degrades_to_no_zones_but_reader_still_opens() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_columnar(&t, b"m", &mut buf).unwrap();
+        let plain_len = write_no_zones(&t, b"m").len();
+        // Flip a byte inside the trailer payload: checksum breaks.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let r = ColumnarReader::open(&buf).unwrap();
+        assert!(r.zones().is_none());
+        // Blocks remain decodable.
+        let mut back = Trace::new();
+        for i in 0..r.blocks().len() {
+            r.decode_block_into(i, &mut back).unwrap();
+        }
+        assert_eq!(back, t);
+        // Mangle the trailer magic instead: reader still opens (no
+        // zones), while the strict full decode reports trailing bytes.
+        buf[last] ^= 0xff;
+        buf[plain_len] ^= 0xff;
+        let r = ColumnarReader::open(&buf).unwrap();
+        assert!(r.zones().is_none());
+        assert!(read_columnar(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_writes_is_column_selective() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_columnar(&t, &[], &mut buf).unwrap();
+        let r = ColumnarReader::open(&buf).unwrap();
+        let mut out = BlockWrites::default();
+        // No columns requested: still counts writes via tags.
+        let n = r.blocks()[0]
+            .decode_writes(WriteCols::default(), &mut out)
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(out.pcs.is_empty() && out.values.is_empty());
+        let n = r.blocks()[0]
+            .decode_writes(
+                WriteCols {
+                    pcs: true,
+                    addrs: true,
+                    values: true,
+                    olds: true,
+                },
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(out.pcs, vec![0x1_0010, 0x1_0014]);
+        assert_eq!(out.bas, vec![0xeffff0, 0xeffff0]);
+        assert_eq!(out.eas, vec![0xeffff4, 0xeffff1]);
+        assert_eq!(out.values, vec![0xdead_beef, 0x7f]);
+        assert_eq!(out.olds, vec![0, 0xef]);
+    }
+
+    #[test]
+    fn small_block_writer_roundtrips_many_blocks() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_columnar_with(
+            &t,
+            b"m",
+            &mut buf,
+            WriteOpts {
+                block_events: 3,
+                zone_maps: true,
+            },
+        )
+        .unwrap();
+        let (back, meta) = read_columnar(&buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(meta, b"m");
+        let r = ColumnarReader::open(&buf).unwrap();
+        assert_eq!(r.blocks().len(), t.len().div_ceil(3));
+        let zones = r.zones().expect("zones validate");
+        assert_eq!(zones.len(), r.blocks().len());
+        let write_sum: u32 = zones.iter().map(|z| z.writes).sum();
+        assert_eq!(write_sum, 2);
     }
 
     #[test]
@@ -697,6 +1545,11 @@ mod tests {
         // read_any dispatches legacy columnar files too.
         let (t2, _) = read_any(&buf).unwrap();
         assert_eq!(t, t2);
+        // The lazy reader opens legacy files as well — no zones, no
+        // write-value columns.
+        let r = ColumnarReader::open(&buf).unwrap();
+        assert!(!r.has_write_values());
+        assert!(r.zones().is_none());
     }
 
     #[test]

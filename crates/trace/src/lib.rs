@@ -25,7 +25,11 @@
 //! * binary and text codecs ([`write_binary`] / [`read_binary`],
 //!   [`write_text`] / [`read_text`]), plus the columnar DBPT v2 format
 //!   ([`write_columnar`] / [`read_columnar`] / [`read_any`]) and the
-//!   persistent [`TraceStore`] built on it.
+//!   persistent [`TraceStore`] built on it. V2 files optionally carry a
+//!   per-block [`ZoneMap`] trailer that [`ColumnarReader`] validates
+//!   and the query engine uses to skip blocks; the trailer is fully
+//!   backward/forward compatible — old files decode unchanged, and the
+//!   full-decode path skips the trailer without reading it.
 //!
 //! # Examples
 //!
@@ -48,7 +52,10 @@ mod stream;
 mod tracer;
 
 pub use codec::{read_binary, read_text, write_binary, write_text, TraceCodecError};
-pub use columnar::{read_any, read_columnar, write_columnar, BLOCK_EVENTS};
+pub use columnar::{
+    read_any, read_columnar, write_columnar, write_columnar_with, BlockWrites, ColumnarReader,
+    RawBlock, WriteCols, WriteOpts, ZoneMap, BLOCK_EVENTS,
+};
 pub use event::{Event, EventSink, ObjectDesc, Trace, TraceStats};
 pub use store::TraceStore;
 pub use stream::{batch_channel, BatchReceiver, BatchSender, EventBatch, StreamSink};

@@ -177,7 +177,9 @@ mod tests {
         store.save(9, &small_trace(), &[]).unwrap();
         let path = store.dir().join(format!("{:016x}.dbpt", 9));
         let mut bytes = fs::read(&path).unwrap();
-        bytes.truncate(bytes.len() / 2);
+        // Cut inside the block section (not at the zone-map trailer
+        // boundary, the one prefix of a trailered file that decodes).
+        bytes.truncate(20);
         fs::write(&path, &bytes).unwrap();
         assert!(store.load(9).is_err());
         fs::remove_dir_all(&dir).unwrap();

@@ -3,8 +3,19 @@
 //! file can panic the decoder — a damaged input is a clean
 //! `TraceCodecError` (or, for bit flips that happen to stay
 //! self-consistent, a successfully decoded trace), never a crash.
+//!
+//! The zone-map trailer carries its own obligations: the per-block
+//! summaries must match a brute-force recomputation from the decoded
+//! events (soundness of every refutation the query planner derives
+//! from them), a trailered file must be a strict byte-prefix extension
+//! of the trailer-less encoding (old readers see the same bytes), and
+//! any corruption of the trailer must degrade the lazy reader to
+//! "no zones" while leaving the decoded trace intact.
 
-use databp_trace::{read_any, read_columnar, write_columnar, Event, ObjectDesc, Trace};
+use databp_trace::{
+    read_any, read_columnar, write_columnar, write_columnar_with, ColumnarReader, Event,
+    ObjectDesc, Trace, WriteOpts,
+};
 use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = Event> {
@@ -62,15 +73,106 @@ proptest! {
         prop_assert_eq!(back_meta, meta);
     }
 
-    /// Every proper prefix of a valid file is a decode error — the
-    /// decoder must detect truncation, not invent events or panic.
+    /// Every proper prefix of a valid trailer-less file is a decode
+    /// error — the decoder must detect truncation, not invent events or
+    /// panic. (Trailered files have exactly one benign cut — the
+    /// trailer boundary — covered by the dedicated property below.)
     #[test]
     fn truncation_is_a_clean_error(trace in arb_trace(), frac in 0.0f64..1.0) {
         let mut buf = Vec::new();
-        write_columnar(&trace, b"m", &mut buf).unwrap();
+        write_columnar_with(&trace, b"m", &mut buf, WriteOpts { zone_maps: false, ..WriteOpts::default() }).unwrap();
         let cut = ((buf.len() as f64) * frac) as usize;
         prop_assert!(cut < buf.len());
         prop_assert!(read_columnar(&buf[..cut]).is_err());
+    }
+
+    /// Truncating a *trailered* file never yields a wrong trace: every
+    /// cut either errors or (only at the exact trailer boundary)
+    /// decodes to the full original.
+    #[test]
+    fn trailered_truncation_never_wrong(trace in arb_trace(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_columnar(&trace, b"m", &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        match read_columnar(&buf[..cut]) {
+            Err(_) => {}
+            Ok((back, meta)) => {
+                prop_assert_eq!(back, trace);
+                prop_assert_eq!(meta, b"m".to_vec());
+            }
+        }
+    }
+
+    /// A trailered file is the trailer-less encoding plus a suffix —
+    /// byte-for-byte — so a reader that ignores trailing sections (the
+    /// old on-disk consumer contract) sees unchanged bytes.
+    #[test]
+    fn trailer_is_a_strict_suffix(trace in arb_trace(), block_events in 1usize..128) {
+        let mut plain = Vec::new();
+        write_columnar_with(&trace, b"m", &mut plain, WriteOpts { block_events, zone_maps: false }).unwrap();
+        let mut full = Vec::new();
+        write_columnar_with(&trace, b"m", &mut full, WriteOpts { block_events, zone_maps: true }).unwrap();
+        prop_assert!(full.len() > plain.len());
+        prop_assert_eq!(&full[..plain.len()], &plain[..]);
+    }
+
+    /// Zone maps agree with a brute-force recomputation over the
+    /// decoded events, block by block — every bound the query planner
+    /// refutes with is genuinely conservative.
+    #[test]
+    fn zone_maps_match_brute_force(trace in arb_trace(), block_events in 1usize..128) {
+        let mut buf = Vec::new();
+        write_columnar_with(&trace, b"", &mut buf, WriteOpts { block_events, zone_maps: true }).unwrap();
+        let reader = ColumnarReader::open(&buf).unwrap();
+        let zones = reader.zones().expect("freshly written trailer validates");
+        prop_assert_eq!(zones.len(), reader.blocks().len());
+        for (zone, chunk) in zones.iter().zip(trace.events().chunks(block_events.max(1))) {
+            let mut writes = 0u32;
+            for ev in chunk {
+                let Event::Write { pc, ba, value, old, .. } = *ev else { continue };
+                writes += 1;
+                let (plo, phi) = zone.write_pc_range().expect("block has a write");
+                prop_assert!(plo <= pc && pc <= phi);
+                let (vlo, vhi) = zone.write_value_range().expect("block has a write");
+                prop_assert!(vlo <= value && value <= vhi);
+                let (olo, ohi) = zone.write_old_range().expect("block has a write");
+                prop_assert!(olo <= old && old <= ohi);
+                prop_assert!(zone.ba_min <= ba && ba <= zone.ba_max);
+                // The occupancy filter may over-approximate but never
+                // deny a pc that is present.
+                prop_assert!(zone.any_write_pc_in(pc, pc));
+            }
+            prop_assert_eq!(zone.writes, writes);
+            prop_assert_eq!(u64::from(zone.events), chunk.len() as u64);
+            let tag_sum = zone.installs + zone.removes + zone.writes + zone.enters + zone.exits;
+            prop_assert_eq!(tag_sum, zone.events);
+        }
+    }
+
+    /// Any single-byte corruption of the trailer leaves the decoded
+    /// trace intact; the lazy reader either keeps a checksum-valid
+    /// trailer or reports no zones — never a malformed one.
+    #[test]
+    fn trailer_corruption_degrades_to_no_zones(
+        trace in arb_trace(),
+        at in any::<u16>(),
+        flip in any::<u8>(),
+    ) {
+        let mut plain = Vec::new();
+        write_columnar_with(&trace, b"m", &mut plain, WriteOpts { zone_maps: false, ..WriteOpts::default() }).unwrap();
+        let mut buf = Vec::new();
+        write_columnar(&trace, b"m", &mut buf).unwrap();
+        let trailer_len = buf.len() - plain.len();
+        prop_assert!(trailer_len > 0);
+        let at = buf.len() - 1 - (usize::from(at) % trailer_len);
+        buf[at] ^= flip | 1;
+        if let Ok(reader) = ColumnarReader::open(&buf) {
+            let mut back = Trace::new();
+            for i in 0..reader.blocks().len() {
+                reader.decode_block_into(i, &mut back).unwrap();
+            }
+            prop_assert_eq!(back, trace);
+        }
     }
 
     /// Flipping arbitrary bytes never panics: the decoder either

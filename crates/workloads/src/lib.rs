@@ -19,8 +19,8 @@
 
 use databp_machine::{Machine, MachineError, StopReason, StoreBatcher};
 use databp_tinyc::{compile, Compiled, Options};
-use databp_trace::{EventSink, Trace, Tracer};
-use std::sync::OnceLock;
+use databp_trace::{write_columnar, EventSink, Trace, Tracer};
+use std::sync::{Arc, OnceLock};
 
 /// Store events are coalesced through a [`StoreBatcher`] before they
 /// reach the tracer, amortizing the per-event hook dispatch.
@@ -217,6 +217,9 @@ pub struct Prepared {
     /// Nop-padded build for the Section 3.3 dynamic-patching hybrid
     /// (lazy).
     nop_padded: OnceLock<Compiled>,
+    /// DBPT v2 encoding of `trace`, zone maps included (lazy) — what
+    /// the query pushdown scans instead of the decoded events.
+    columnar: OnceLock<Arc<Vec<u8>>>,
     /// The phase-1 program event trace.
     pub trace: Trace,
     /// Base (uninstrumented, unmonitored) execution time, microseconds.
@@ -248,6 +251,7 @@ impl Prepared {
             codepatch_loopopt: OnceLock::new(),
             codepatch_ssa: OnceLock::new(),
             nop_padded: OnceLock::new(),
+            columnar: OnceLock::new(),
             trace,
             base_us,
             instructions,
@@ -289,6 +293,22 @@ impl Prepared {
     /// The nop-padded build for dynamic patching, compiled on first use.
     pub fn nop_padded(&self) -> &Compiled {
         self.build(&self.nop_padded, Options::nop_padding(), "nop")
+    }
+
+    /// The trace's DBPT v2 encoding (zone maps included), built on
+    /// first use and shared thereafter — query pushdown scans these
+    /// bytes directly instead of re-walking `trace.events()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-memory encode fails, which it cannot (the sink
+    /// is a `Vec`).
+    pub fn columnar_bytes(&self) -> &Arc<Vec<u8>> {
+        self.columnar.get_or_init(|| {
+            let mut buf = Vec::new();
+            write_columnar(&self.trace, &[], &mut buf).expect("in-memory encode");
+            Arc::new(buf)
+        })
     }
 }
 
@@ -371,6 +391,7 @@ pub fn run_traced<S: EventSink>(
             codepatch_loopopt: OnceLock::new(),
             codepatch_ssa: OnceLock::new(),
             nop_padded: OnceLock::new(),
+            columnar: OnceLock::new(),
             trace: Trace::new(),
         },
         sink,
